@@ -1,0 +1,26 @@
+//! Criterion bench for the protocol ablation: strawman #1-#3 vs the final
+//! noised protocol, at a fixed block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstress_bench::transfer_micro::run_transfer_micro;
+use dstress_transfer::ProtocolVariant;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_variants");
+    group.sample_size(10);
+    let variants = [
+        ("strawman1", ProtocolVariant::Strawman1),
+        ("strawman2", ProtocolVariant::Strawman2),
+        ("strawman3", ProtocolVariant::Strawman3),
+        ("final", ProtocolVariant::Final { alpha: 0.9 }),
+    ];
+    for (name, variant) in variants {
+        group.bench_with_input(BenchmarkId::new("variant", name), &variant, |b, &v| {
+            b.iter(|| run_transfer_micro(v, 6, 12, 0x7C))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

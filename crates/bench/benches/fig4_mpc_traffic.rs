@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 4: per-node traffic of the DStress MPC
+//! circuits (the measured quantity is bytes; the bench times the
+//! measurement pipeline and prints the traffic through the row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstress_bench::mpc_micro::{run_mpc_micro, MpcCircuitKind};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mpc_traffic");
+    group.sample_size(10);
+    for block_size in [4usize, 8, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("en_step_traffic", block_size),
+            &block_size,
+            |b, &bs| {
+                b.iter(|| {
+                    let row = run_mpc_micro(MpcCircuitKind::EisenbergNoeStep, bs, 20, 50, 0xF14);
+                    row.traffic_per_node_bytes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

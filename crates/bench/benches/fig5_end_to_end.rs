@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 5: an end-to-end DStress run of both
+//! systemic-risk algorithms at reduced scale (the paper-scale sweep is
+//! `repro fig5 --full`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstress_bench::end_to_end::{fig5_network, run_end_to_end, Algorithm};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_end_to_end");
+    group.sample_size(10);
+    let network = fig5_network(16, 4, 0xF15);
+    for (name, alg) in [("EN", Algorithm::EisenbergNoe), ("EGJ", Algorithm::ElliottGolubJackson)] {
+        for block_size in [4usize, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(name, block_size),
+                &block_size,
+                |b, &bs| b.iter(|| run_end_to_end(alg, &network, 3, bs, 0xF15)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

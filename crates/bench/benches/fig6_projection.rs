@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 6: the paper-scale projection sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress_bench::scalability::{fig6_sweep, headline_projection};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_projection");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| fig6_sweep(&[100, 500, 1000, 1750, 2000], &[10, 40, 70, 100]))
+    });
+    group.bench_function("headline", |b| b.iter(headline_projection));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for the §5.5 naive monolithic-MPC baseline: one small
+//! matrix multiplication executed under GMW plus the paper-scale
+//! extrapolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstress_bench::naive_baseline::{paper_comparison, run_baseline_point};
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_baseline");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("matrix_multiply_gmw", n), &n, |b, &n| {
+            b.iter(|| run_baseline_point(n, true, 0xBA5E))
+        });
+    }
+    group.bench_function("paper_extrapolation", |b| b.iter(paper_comparison));
+    group.finish();
+}
+
+criterion_group!(benches, bench_naive);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the §5.2 message-transfer microbenchmark: one
+//! 12-bit transfer through the full (real-crypto) protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstress_bench::transfer_micro::run_transfer_micro;
+use dstress_transfer::ProtocolVariant;
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_micro");
+    group.sample_size(10);
+    for block_size in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("final", block_size), &block_size, |b, &bs| {
+            b.iter(|| run_transfer_micro(ProtocolVariant::Final { alpha: 0.9 }, bs, 12, 0x7B))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! The `repro` binary: regenerates every table and figure of the paper's
+//! evaluation from the reproduction.
+//!
+//! Usage (release builds strongly recommended):
+//!
+//! ```text
+//! cargo run -p dstress-bench --release --bin repro -- all
+//! cargo run -p dstress-bench --release --bin repro -- fig5-time --full
+//! ```
+//!
+//! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
+//! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
+//! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`, `all`.
+//! The `--full` flag switches the measured experiments from the quick
+//! parameters to the paper's parameters (much slower).
+
+use dstress_bench::end_to_end::{fig5_sweep, EndToEndParams};
+use dstress_bench::mpc_micro::{block_size_sweep, parameter_sweep};
+use dstress_bench::naive_baseline::{baseline_comparison, paper_comparison};
+use dstress_bench::policy::{edge_privacy_summary, utility_table};
+use dstress_bench::scalability::{fig6_sweep, headline_projection, validation_point};
+use dstress_bench::transfer_micro::{
+    block_size_sweep as transfer_sweep, variant_sweep as transfer_variants,
+};
+use dstress_bench::{contagion_study, format_bytes, format_seconds};
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+fn fig3_left(full: bool) {
+    header("Figure 3 (left): MPC computation time vs block size");
+    let (blocks, d, n): (&[usize], usize, usize) = if full {
+        (&[8, 12, 16, 20], 100, 100)
+    } else {
+        (&[4, 8, 12], 20, 100)
+    };
+    println!("(degree bound D = {d}, aggregation over N = {n} states)");
+    println!("{:<16} {:>6} {:>10} {:>14} {:>14}", "circuit", "block", "AND gates", "measured", "projected");
+    for row in block_size_sweep(blocks, d, n) {
+        println!(
+            "{:<16} {:>6} {:>10} {:>14} {:>14}",
+            row.kind.label(),
+            row.block_size,
+            row.and_gates,
+            format_seconds(row.measured_seconds),
+            format_seconds(row.projected_seconds),
+        );
+    }
+}
+
+fn fig3_right(full: bool) {
+    header("Figure 3 (right): MPC computation time vs degree bound / node count");
+    let (block, degrees, nodes): (usize, &[usize], &[usize]) = if full {
+        (20, &[10, 40, 70, 100], &[50, 100, 150, 200])
+    } else {
+        (8, &[10, 40], &[50, 100])
+    };
+    println!("(block size {block})");
+    println!("{:<16} {:>6} {:>6} {:>10} {:>14} {:>14}", "circuit", "D", "N", "AND gates", "measured", "projected");
+    for row in parameter_sweep(block, degrees, nodes) {
+        println!(
+            "{:<16} {:>6} {:>6} {:>10} {:>14} {:>14}",
+            row.kind.label(),
+            row.degree_bound,
+            row.vertices,
+            row.and_gates,
+            format_seconds(row.measured_seconds),
+            format_seconds(row.projected_seconds),
+        );
+    }
+}
+
+fn fig4(full: bool) {
+    header("Figure 4: per-node traffic of the MPC circuits vs block size");
+    let (blocks, d, n): (&[usize], usize, usize) = if full {
+        (&[8, 12, 16, 20], 100, 100)
+    } else {
+        (&[4, 8, 12], 20, 100)
+    };
+    println!("{:<16} {:>6} {:>16}", "circuit", "block", "traffic/node");
+    for row in block_size_sweep(blocks, d, n) {
+        println!(
+            "{:<16} {:>6} {:>16}",
+            row.kind.label(),
+            row.block_size,
+            format_bytes(row.traffic_per_node_bytes),
+        );
+    }
+}
+
+fn transfer_time(full: bool) {
+    header("§5.2: message-transfer completion time vs block size (12-bit message)");
+    let blocks: &[usize] = if full { &[8, 12, 16, 20] } else { &[4, 8, 12] };
+    println!("{:<8} {:>14} {:>14}", "block", "measured", "projected");
+    for row in transfer_sweep(blocks, 12) {
+        println!(
+            "{:<8} {:>14} {:>14}",
+            row.block_size,
+            format_seconds(row.measured_seconds),
+            format_seconds(row.projected_seconds),
+        );
+    }
+    println!("(paper: 285 ms at block size 8, 610 ms at block size 20)");
+}
+
+fn transfer_traffic(full: bool) {
+    header("§5.3: message-transfer traffic per role");
+    let blocks: &[usize] = if full { &[8, 12, 16, 20] } else { &[4, 8, 12] };
+    println!(
+        "{:<8} {:>18} {:>18} {:>18}",
+        "block", "vertex i recv", "B_i member sent", "B_j member recv"
+    );
+    for row in transfer_sweep(blocks, 12) {
+        println!(
+            "{:<8} {:>18} {:>18} {:>18}",
+            row.block_size,
+            format_bytes(row.vertex_i_received_bytes as f64),
+            format_bytes(row.sender_member_sent_bytes as f64),
+            format_bytes(row.receiver_member_received_bytes as f64),
+        );
+    }
+    println!("(paper, 48-byte group elements: 97-595 kB, <=29 kB, ~1.4 kB)");
+}
+
+fn transfer_ablation() {
+    header("Protocol ablation: strawman #1-#3 vs the final protocol (block size 8)");
+    println!(
+        "{:<14} {:>16} {:>14} {:>12}",
+        "variant", "exponentiations", "projected", "bytes"
+    );
+    for row in transfer_variants(8, 12) {
+        println!(
+            "{:<14} {:>16} {:>14} {:>12}",
+            format!("{:?}", row.variant),
+            row.counts.exponentiations,
+            format_seconds(row.projected_seconds),
+            format_bytes(row.counts.bytes_sent as f64),
+        );
+    }
+}
+
+fn fig5(full: bool) {
+    let params = if full {
+        EndToEndParams::paper()
+    } else {
+        EndToEndParams::quick()
+    };
+    header("Figure 5: end-to-end runs (time breakdown and per-node traffic)");
+    println!(
+        "(N = {}, D = {}, I = {})",
+        params.banks, params.degree_bound, params.iterations
+    );
+    println!(
+        "{:<5} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "alg", "block", "init", "compute", "transfer", "agg+noise", "total", "traffic/node", "sim wall"
+    );
+    for row in fig5_sweep(&params) {
+        let p = row.projected_phase_seconds;
+        println!(
+            "{:<5} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+            row.algorithm.label(),
+            row.block_size,
+            format_seconds(p[0]),
+            format_seconds(p[1]),
+            format_seconds(p[2]),
+            format_seconds(p[3]),
+            format_seconds(row.projected_total_seconds()),
+            format_bytes(row.traffic_per_node_bytes),
+            format_seconds(row.measured_seconds),
+        );
+    }
+}
+
+fn fig6(full: bool) {
+    header("Figure 6: projected cost at scale (Eisenberg-Noe, block size 20)");
+    let (nodes, degrees): (&[usize], &[usize]) = if full {
+        (&[100, 250, 500, 1000, 1500, 1750, 2000], &[10, 40, 70, 100])
+    } else {
+        (&[100, 500, 1000, 1750], &[10, 100])
+    };
+    println!("{:<6} {:>6} {:>5} {:>14} {:>16}", "N", "D", "iter", "time", "traffic/node");
+    for row in fig6_sweep(nodes, degrees) {
+        println!(
+            "{:<6} {:>6} {:>5} {:>14} {:>16}",
+            row.nodes,
+            row.degree_bound,
+            row.iterations,
+            format_seconds(row.result.total_seconds),
+            format_bytes(row.result.bytes_per_node),
+        );
+    }
+    let headline = headline_projection();
+    println!(
+        "Headline (N=1750, D=100): {} and {} per node (paper: ~4.8 h, ~750 MB)",
+        format_seconds(headline.result.total_seconds),
+        format_bytes(headline.result.bytes_per_node),
+    );
+    let (n, d, block) = if full { (100, 10, 20) } else { (20, 5, 8) };
+    let point = validation_point(n, d, block);
+    println!(
+        "Validation run (N={}, D={}, block {}): measured-counts {} / projected {}, traffic {} / {}",
+        point.nodes,
+        point.degree_bound,
+        point.block_size,
+        format_seconds(point.measured_projected_seconds),
+        format_seconds(point.projected_seconds),
+        format_bytes(point.measured_bytes_per_node),
+        format_bytes(point.projected_bytes_per_node),
+    );
+}
+
+fn naive(full: bool) {
+    header("§5.5: naive monolithic-MPC baseline vs DStress");
+    let comparison = if full {
+        baseline_comparison(&[4, 6, 8], &[10, 25], 11)
+    } else {
+        paper_comparison()
+    };
+    println!("{:<6} {:>10} {:>12} {:>14} {:>14}", "N", "executed", "AND gates", "measured", "projected");
+    for row in &comparison.rows {
+        println!(
+            "{:<6} {:>10} {:>12} {:>14} {:>14}",
+            row.n,
+            row.executed,
+            row.and_gates,
+            format_seconds(row.measured_seconds),
+            format_seconds(row.projected_seconds),
+        );
+    }
+    println!(
+        "Full scale (N=1750, 11 multiplications): {} ({:.0} years; paper: ~287 years)",
+        format_seconds(comparison.full_scale_seconds),
+        comparison.full_scale_years,
+    );
+    println!(
+        "DStress projected: {}  =>  speedup ~{:.0}x",
+        format_seconds(comparison.dstress_seconds),
+        comparison.speedup,
+    );
+}
+
+fn utility() {
+    header("§4.5: dollar-differential-privacy utility analysis");
+    println!(
+        "{:<24} {:>12} {:>12} {:>16} {:>10} {:>10}",
+        "model", "sensitivity", "eps/query", "noise scale", "runs/yr", "P(|err|<200B)"
+    );
+    for row in utility_table() {
+        println!(
+            "{:<24} {:>12.1} {:>12.3} {:>14.1}B$ {:>10} {:>10.3}",
+            row.model,
+            row.sensitivity,
+            row.epsilon_query,
+            row.noise_scale_dollars / 1e9,
+            row.runs_per_year,
+            row.accuracy_probability,
+        );
+    }
+    println!("(paper: EGJ sensitivity 20, eps >= 0.23, ~3 runs per year)");
+}
+
+fn edge_privacy() {
+    header("Appendix B: edge-privacy accounting for the transfer protocol");
+    let s = edge_privacy_summary();
+    println!("sensitivity (k+1):            {}", s.sensitivity);
+    println!("total transfers N_q:          {:.3e}", s.total_transfers);
+    println!("paper epsilon per transfer:   {:.3e}", s.paper_epsilon);
+    println!("minimum feasible epsilon:     {:.3e}", s.minimum_epsilon);
+    println!("failure probability P_fail:   {:.3e}", s.failure_probability);
+    println!("budget per iteration:         {:.4}   (paper: 0.0014)", s.budget_per_iteration);
+    println!("budget per year:              {:.4}   (paper: 0.0469)", s.budget_per_year);
+    println!("fraction of ln 2 budget:      {:.2}%", s.fraction_of_annual_budget * 100.0);
+}
+
+fn contagion() {
+    header("Appendix C: contagion scenarios on the 50-bank two-tier network");
+    println!(
+        "{:<16} {:<6} {:>12} {:>8} {:>10} {:>10}",
+        "scenario", "model", "TDS", "failed", "converged", "log2(N)"
+    );
+    for row in contagion_study::scenario_table(0xC0C0) {
+        println!(
+            "{:<16} {:<6} {:>12.1} {:>8} {:>10} {:>10}",
+            row.scenario,
+            match row.model {
+                dstress_finance::contagion::ContagionModel::EisenbergNoe => "EN",
+                dstress_finance::contagion::ContagionModel::ElliottGolubJackson => "EGJ",
+            },
+            row.outcome.report.total_shortfall,
+            row.outcome.report.failed_banks,
+            row.outcome.iterations_to_converge,
+            row.iteration_bound,
+        );
+    }
+    let noised = contagion_study::noised_cascade_run(0xBEEF);
+    println!(
+        "DStress release on the cascade: ideal TDS {:.1}, released {:.1} (Laplace scale {:.1}, relative error {:.1}%)",
+        noised.ideal_output,
+        noised.noised_output,
+        noised.noise_scale,
+        noised.relative_error * 100.0,
+    );
+}
+
+fn run(experiment: &str, full: bool) -> bool {
+    match experiment {
+        "fig3-left" => fig3_left(full),
+        "fig3-right" => fig3_right(full),
+        "fig4" => fig4(full),
+        "transfer-time" => transfer_time(full),
+        "transfer-traffic" => transfer_traffic(full),
+        "transfer-ablation" => transfer_ablation(),
+        "fig5-time" | "fig5-traffic" | "fig5" => fig5(full),
+        "fig6" => fig6(full),
+        "naive-baseline" => naive(full),
+        "utility" => utility(),
+        "edge-privacy" => edge_privacy(),
+        "contagion" => contagion(),
+        "all" => {
+            for exp in [
+                "fig3-left",
+                "fig3-right",
+                "fig4",
+                "transfer-time",
+                "transfer-traffic",
+                "transfer-ablation",
+                "fig5",
+                "fig6",
+                "naive-baseline",
+                "utility",
+                "edge-privacy",
+                "contagion",
+            ] {
+                run(exp, full);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !run(&experiment, full) {
+        eprintln!("unknown experiment '{experiment}'");
+        eprintln!(
+            "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
+             transfer-ablation fig5 fig6 naive-baseline utility edge-privacy contagion all"
+        );
+        std::process::exit(1);
+    }
+}

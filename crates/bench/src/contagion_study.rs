@@ -1,0 +1,145 @@
+//! Appendix C: contagion scenarios and end-to-end utility.
+//!
+//! The paper uses a stylised 50-bank core–periphery network to (a) justify
+//! the `I = log₂ N` iteration rule and (b) argue (together with the OFR
+//! working paper) that the Laplace noise added for output privacy does not
+//! blunt the systemic-risk signal: a genuine cascade dwarfs the noise.
+//!
+//! This module runs the two Appendix C scenarios under both contagion
+//! models and, in addition, pushes the cascade scenario through the full
+//! DStress runtime to compare the noised release against the ideal value.
+
+use dstress_core::{DStressConfig, DStressRuntime, SecureVertexProgram};
+use dstress_finance::contagion::{
+    absorbed_shock_scenario, cascade_scenario, recommended_iterations, ContagionModel,
+    ContagionOutcome,
+};
+use dstress_finance::{CircuitParams, EisenbergNoeSecure, FinancialNetwork};
+use dstress_math::rng::Xoshiro256;
+
+/// One Appendix C scenario result.
+#[derive(Clone, Debug)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Contagion model.
+    pub model: ContagionModel,
+    /// The outcome (shortfall, failures, convergence).
+    pub outcome: ContagionOutcome,
+    /// The `log₂ N` iteration bound for the network size.
+    pub iteration_bound: u32,
+}
+
+/// Runs the two scenarios under both models.
+pub fn scenario_table(seed: u64) -> Vec<ScenarioRow> {
+    let mut rows = Vec::new();
+    for model in [ContagionModel::EisenbergNoe, ContagionModel::ElliottGolubJackson] {
+        let mut rng = Xoshiro256::new(seed);
+        let (net, outcome) = absorbed_shock_scenario(&mut rng, model);
+        rows.push(ScenarioRow {
+            scenario: "absorbed shock",
+            model,
+            iteration_bound: recommended_iterations(net.bank_count()),
+            outcome,
+        });
+        let mut rng = Xoshiro256::new(seed);
+        let (net, outcome) = cascade_scenario(&mut rng, model);
+        rows.push(ScenarioRow {
+            scenario: "core cascade",
+            model,
+            iteration_bound: recommended_iterations(net.bank_count()),
+            outcome,
+        });
+    }
+    rows
+}
+
+/// The noised-output utility check: run the cascade scenario through the
+/// full DStress runtime and report ideal vs released values.
+#[derive(Clone, Debug)]
+pub struct NoisedRunRow {
+    /// The ideal (pre-noise) total dollar shortfall.
+    pub ideal_output: f64,
+    /// The differentially-private released value.
+    pub noised_output: f64,
+    /// The Laplace scale used (sensitivity / ε).
+    pub noise_scale: f64,
+    /// Relative error introduced by the noise.
+    pub relative_error: f64,
+}
+
+/// Runs the cascade network through the DStress runtime (cost-accounted
+/// transfers, small blocks) and reports the noised release.
+pub fn noised_cascade_run(seed: u64) -> NoisedRunRow {
+    let mut rng = Xoshiro256::new(seed);
+    let (network, _) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
+    noised_run(&network, seed)
+}
+
+/// Runs Eisenberg–Noe over `network` through the DStress runtime.
+pub fn noised_run(network: &FinancialNetwork, seed: u64) -> NoisedRunRow {
+    let epsilon = 0.23;
+    let leverage_bound = 0.1;
+    let mut config = DStressConfig::benchmark(2);
+    config.epsilon = epsilon;
+    config.seed = seed;
+    let runtime = DStressRuntime::new(config);
+    let program = EisenbergNoeSecure {
+        network,
+        params: CircuitParams::default_params(),
+        iterations: recommended_iterations(network.bank_count()),
+        leverage_bound,
+    };
+    let run = runtime
+        .execute(network.graph(), &program)
+        .expect("contagion run succeeds");
+    let noise_scale = program.sensitivity() / epsilon;
+    let relative_error = if run.ideal_output.abs() > 1e-9 {
+        (run.noised_output - run.ideal_output).abs() / run.ideal_output.abs()
+    } else {
+        (run.noised_output - run.ideal_output).abs()
+    };
+    NoisedRunRow {
+        ideal_output: run.ideal_output,
+        noised_output: run.noised_output,
+        noise_scale,
+        relative_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_table_shows_cascade_vs_absorption() {
+        let rows = scenario_table(0xC0C0);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            let absorbed = &pair[0];
+            let cascade = &pair[1];
+            assert_eq!(absorbed.scenario, "absorbed shock");
+            assert_eq!(cascade.scenario, "core cascade");
+            assert!(
+                cascade.outcome.report.total_shortfall
+                    > 2.0 * absorbed.outcome.report.total_shortfall
+            );
+            assert!(cascade.outcome.cascaded);
+            // Convergence within (roughly) the log2 N bound.
+            assert!(cascade.outcome.iterations_to_converge <= cascade.iteration_bound + 2);
+            assert_eq!(cascade.iteration_bound, 6);
+        }
+    }
+
+    #[test]
+    fn noise_does_not_drown_the_cascade_signal() {
+        // The OFR-style utility argument: the cascade TDS is hundreds of
+        // units while the Laplace scale at ε = 0.23, sensitivity 10 is ~43
+        // units, so the released value still unambiguously signals trouble.
+        let row = noised_cascade_run(0xBEEF);
+        assert!(row.ideal_output > 100.0, "ideal = {}", row.ideal_output);
+        assert!(row.noised_output > 50.0, "noised = {}", row.noised_output);
+        assert!(row.relative_error < 1.0, "relative error = {}", row.relative_error);
+        assert!((row.noise_scale - 10.0 / 0.23).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,622 @@
+//! Circuit construction and the word-level gadget library.
+//!
+//! The vertex programs DStress runs (Eisenberg–Noe and
+//! Elliott–Golub–Jackson) are arithmetic: they add debts, compare
+//! liquidity against obligations, pro-rate payments and multiply
+//! valuations.  [`CircuitBuilder`] provides those operations as Boolean
+//! gadgets over fixed-width two's-complement [`Word`]s (least-significant
+//! bit first), so that the finance crate can express its update functions
+//! once and run them either in plaintext (via [`crate::eval`]) or under
+//! GMW (via `dstress-mpc`).
+//!
+//! Gate-cost notes (relevant because AND gates dominate GMW cost):
+//! ripple-carry addition costs 2 AND/bit, multiplexers 1 AND/bit,
+//! comparisons ~2 AND/bit, schoolbook multiplication ~2·W AND/bit and the
+//! restoring divider ~3·W AND per quotient bit.
+
+use crate::ir::{Circuit, CircuitError, Gate, WireId};
+
+/// A fixed-width little-endian word of wires.
+pub type Word = Vec<WireId>;
+
+/// Incremental circuit builder.
+#[derive(Clone, Debug, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+    num_inputs: usize,
+    outputs: Vec<WireId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    /// Adds a single input wire.
+    pub fn input(&mut self) -> WireId {
+        let id = self.gates.len();
+        self.gates.push(Gate::Input(self.num_inputs));
+        self.num_inputs += 1;
+        id
+    }
+
+    /// Adds `width` input wires forming a word (LSB first).
+    pub fn input_word(&mut self, width: u32) -> Word {
+        (0..width).map(|_| self.input()).collect()
+    }
+
+    /// A constant bit.
+    pub fn const_bit(&mut self, value: bool) -> WireId {
+        let id = self.gates.len();
+        self.gates.push(if value { Gate::ConstTrue } else { Gate::ConstFalse });
+        id
+    }
+
+    /// A constant word (LSB first).
+    pub fn const_word(&mut self, value: u64, width: u32) -> Word {
+        (0..width)
+            .map(|i| self.const_bit((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// XOR of two bits.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        let id = self.gates.len();
+        self.gates.push(Gate::Xor(a, b));
+        id
+    }
+
+    /// AND of two bits.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        let id = self.gates.len();
+        self.gates.push(Gate::And(a, b));
+        id
+    }
+
+    /// NOT of a bit.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        let id = self.gates.len();
+        self.gates.push(Gate::Not(a));
+        id
+    }
+
+    /// OR of two bits (`a | b = ¬(¬a ∧ ¬b)`, one AND gate).
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let nand = self.and(na, nb);
+        self.not(nand)
+    }
+
+    /// Bit multiplexer: returns `if sel { then } else { otherwise }`
+    /// (one AND gate).
+    pub fn mux(&mut self, sel: WireId, then: WireId, otherwise: WireId) -> WireId {
+        let diff = self.xor(then, otherwise);
+        let masked = self.and(sel, diff);
+        self.xor(masked, otherwise)
+    }
+
+    /// Word-wise multiplexer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word widths differ.
+    pub fn mux_word(&mut self, sel: WireId, then: &Word, otherwise: &Word) -> Word {
+        assert_eq!(then.len(), otherwise.len(), "mux_word width mismatch");
+        then.iter()
+            .zip(otherwise.iter())
+            .map(|(&t, &o)| self.mux(sel, t, o))
+            .collect()
+    }
+
+    /// Bitwise XOR of two words.
+    pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.len(), b.len(), "xor_word width mismatch");
+        a.iter().zip(b.iter()).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        a.iter().map(|&x| self.not(x)).collect()
+    }
+
+    /// Ripple-carry addition with explicit carry-in; returns the sum word
+    /// (same width, wrapping) and the carry-out.
+    fn add_with_carry(&mut self, a: &Word, b: &Word, carry_in: WireId) -> (Word, WireId) {
+        assert_eq!(a.len(), b.len(), "add width mismatch");
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let x_xor_y = self.xor(x, y);
+            let s = self.xor(x_xor_y, carry);
+            // carry-out = (x ∧ y) ⊕ (carry ∧ (x ⊕ y)); the two terms are
+            // never simultaneously true so XOR equals OR here.
+            let t1 = self.and(x, y);
+            let t2 = self.and(carry, x_xor_y);
+            carry = self.xor(t1, t2);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Wrapping addition of two equal-width words.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        let zero = self.const_bit(false);
+        self.add_with_carry(a, b, zero).0
+    }
+
+    /// Wrapping subtraction `a - b` (two's complement).
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        let not_b = self.not_word(b);
+        let one = self.const_bit(true);
+        self.add_with_carry(a, &not_b, one).0
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: &Word) -> Word {
+        let zero = self.const_word(0, a.len() as u32);
+        self.sub(&zero, a)
+    }
+
+    /// Unsigned comparison `a < b` (single output bit).
+    pub fn lt_unsigned(&mut self, a: &Word, b: &Word) -> WireId {
+        // a < b  iff  the subtraction a - b borrows, i.e. the carry-out of
+        // a + ¬b + 1 is zero.
+        let not_b = self.not_word(b);
+        let one = self.const_bit(true);
+        let (_, carry) = self.add_with_carry(a, &not_b, one);
+        self.not(carry)
+    }
+
+    /// Signed (two's complement) comparison `a < b`.
+    pub fn lt_signed(&mut self, a: &Word, b: &Word) -> WireId {
+        let sign_a = *a.last().expect("non-empty word");
+        let sign_b = *b.last().expect("non-empty word");
+        let lt_u = self.lt_unsigned(a, b);
+        // If signs are equal, unsigned comparison gives the right answer;
+        // otherwise a < b exactly when a is negative.
+        let signs_differ = self.xor(sign_a, sign_b);
+        self.mux(signs_differ, sign_a, lt_u)
+    }
+
+    /// Equality test of two words (single output bit).
+    pub fn eq_word(&mut self, a: &Word, b: &Word) -> WireId {
+        assert_eq!(a.len(), b.len(), "eq width mismatch");
+        let mut all_equal = self.const_bit(true);
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let diff = self.xor(x, y);
+            let same = self.not(diff);
+            all_equal = self.and(all_equal, same);
+        }
+        all_equal
+    }
+
+    /// Returns `max(a, 0)` for a signed word: clamps negative values to
+    /// zero (used to clamp pro-rata fractions and shortfalls).
+    pub fn relu(&mut self, a: &Word) -> Word {
+        let sign = *a.last().expect("non-empty word");
+        let zero = self.const_word(0, a.len() as u32);
+        self.mux_word(sign, &zero, a)
+    }
+
+    /// Unsigned minimum of two words.
+    pub fn min_unsigned(&mut self, a: &Word, b: &Word) -> Word {
+        let a_lt_b = self.lt_unsigned(a, b);
+        self.mux_word(a_lt_b, a, b)
+    }
+
+    /// Unsigned maximum of two words.
+    pub fn max_unsigned(&mut self, a: &Word, b: &Word) -> Word {
+        let a_lt_b = self.lt_unsigned(a, b);
+        self.mux_word(a_lt_b, b, a)
+    }
+
+    /// Zero-extends a word to `width` bits.
+    pub fn zero_extend(&mut self, a: &Word, width: u32) -> Word {
+        assert!(width as usize >= a.len(), "cannot shrink in zero_extend");
+        let mut out = a.clone();
+        while out.len() < width as usize {
+            out.push(self.const_bit(false));
+        }
+        out
+    }
+
+    /// Truncates a word to its low `width` bits.
+    pub fn truncate(&mut self, a: &Word, width: u32) -> Word {
+        assert!(width as usize <= a.len(), "cannot grow in truncate");
+        a[..width as usize].to_vec()
+    }
+
+    /// Logical left shift by a constant amount (bits shifted in are zero),
+    /// keeping the original width.
+    pub fn shl_const(&mut self, a: &Word, amount: u32) -> Word {
+        let width = a.len();
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            if i < amount as usize {
+                out.push(self.const_bit(false));
+            } else {
+                out.push(a[i - amount as usize]);
+            }
+        }
+        out
+    }
+
+    /// Logical right shift by a constant amount, keeping the width.
+    pub fn shr_const(&mut self, a: &Word, amount: u32) -> Word {
+        let width = a.len();
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let src = i + amount as usize;
+            if src < width {
+                out.push(a[src]);
+            } else {
+                out.push(self.const_bit(false));
+            }
+        }
+        out
+    }
+
+    /// Unsigned schoolbook multiplication producing the full
+    /// `a.len() + b.len()`-bit product.
+    pub fn mul_full(&mut self, a: &Word, b: &Word) -> Word {
+        let out_width = a.len() + b.len();
+        let mut acc = self.const_word(0, out_width as u32);
+        for (i, &b_bit) in b.iter().enumerate() {
+            // partial = (a AND b_bit) << i, zero-extended to out_width.
+            let mut partial = vec![self.const_bit(false); i];
+            for &a_bit in a {
+                let p = self.and(a_bit, b_bit);
+                partial.push(p);
+            }
+            while partial.len() < out_width {
+                partial.push(self.const_bit(false));
+            }
+            acc = self.add(&acc, &partial);
+        }
+        acc
+    }
+
+    /// Unsigned multiplication truncated to the width of `a`
+    /// (wrapping, like `u64::wrapping_mul` at that width).
+    pub fn mul(&mut self, a: &Word, b: &Word) -> Word {
+        let full = self.mul_full(a, b);
+        self.truncate(&full, a.len() as u32)
+    }
+
+    /// Fixed-point multiplication of two non-negative values with
+    /// `frac_bits` fractional bits: computes `(a * b) >> frac_bits`
+    /// truncated back to the operand width.
+    pub fn mul_fixed(&mut self, a: &Word, b: &Word, frac_bits: u32) -> Word {
+        let full = self.mul_full(a, b);
+        let shifted = self.shr_const(&full, frac_bits);
+        self.truncate(&shifted, a.len() as u32)
+    }
+
+    /// Fixed-point division of non-negative values with `frac_bits`
+    /// fractional bits: computes `(a << frac_bits) / b` by restoring
+    /// division, truncated to the operand width.  Division by zero yields
+    /// the all-ones word (saturates), mirroring the plaintext reference.
+    pub fn div_fixed(&mut self, a: &Word, b: &Word, frac_bits: u32) -> Word {
+        assert_eq!(a.len(), b.len(), "div width mismatch");
+        let width = a.len();
+        let total_bits = width + frac_bits as usize;
+        // Numerator is a shifted left by frac_bits, so it has
+        // width + frac_bits significant bits.
+        let wide = (width + frac_bits as usize + 1) as u32;
+        let divisor = self.zero_extend(b, wide);
+        let mut remainder = self.const_word(0, wide);
+        let mut quotient_bits: Vec<WireId> = Vec::with_capacity(total_bits);
+
+        // Numerator bits from MSB to LSB: bit positions
+        // total_bits-1 .. 0, where position p >= frac_bits maps to a's bit
+        // p - frac_bits and positions below frac_bits are zero.
+        for p in (0..total_bits).rev() {
+            // remainder = (remainder << 1) | numerator_bit(p)
+            remainder = self.shl_const(&remainder, 1);
+            if p >= frac_bits as usize {
+                remainder[0] = a[p - frac_bits as usize];
+            }
+            // If remainder >= divisor, subtract and emit a 1 bit.
+            let lt = self.lt_unsigned(&remainder, &divisor);
+            let ge = self.not(lt);
+            let diff = self.sub(&remainder, &divisor);
+            remainder = self.mux_word(ge, &diff, &remainder);
+            quotient_bits.push(ge);
+        }
+        quotient_bits.reverse(); // now LSB first, total_bits wide
+        // Saturate on division by zero: quotient would be all ones anyway
+        // because remainder >= 0 == divisor at every step, which is the
+        // documented saturation behaviour.
+        self.truncate(&quotient_bits, width as u32)
+    }
+
+    /// Sums a list of equal-width words (wrapping).
+    pub fn sum(&mut self, words: &[Word]) -> Word {
+        assert!(!words.is_empty(), "sum of no words");
+        let mut acc = words[0].clone();
+        for w in &words[1..] {
+            acc = self.add(&acc, w);
+        }
+        acc
+    }
+
+    /// Marks a single wire as a circuit output.
+    pub fn output(&mut self, wire: WireId) {
+        self.outputs.push(wire);
+    }
+
+    /// Marks all wires of a word as outputs (LSB first).
+    pub fn output_word(&mut self, word: &Word) {
+        self.outputs.extend_from_slice(word);
+    }
+
+    /// Number of gates added so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if no gates have been added.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if the gate list is inconsistent (cannot
+    /// happen when only builder methods were used).
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        Circuit::new(self.gates, self.num_inputs, self.outputs)
+    }
+}
+
+/// Encodes an unsigned value as input bits for a word of `width` bits
+/// (LSB first), for use with [`crate::eval::evaluate`].
+pub fn encode_word(value: u64, width: u32) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Encodes a signed value in two's complement at the given width.
+pub fn encode_word_signed(value: i64, width: u32) -> Vec<bool> {
+    encode_word(value as u64, width)
+}
+
+/// Decodes output bits (LSB first) into an unsigned value.
+pub fn decode_word(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Decodes output bits (LSB first) as a two's-complement signed value.
+pub fn decode_word_signed(bits: &[bool]) -> i64 {
+    let raw = decode_word(bits);
+    let width = bits.len() as u32;
+    if width == 64 || bits.last().copied() != Some(true) {
+        raw as i64
+    } else {
+        (raw as i64) - (1i64 << width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use proptest::prelude::*;
+
+    const W: u32 = 16;
+
+    /// Helper: builds a two-input word circuit with `f`, evaluates it on
+    /// `(a, b)` and returns the decoded unsigned output.
+    fn run_binop(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> Word, a: u64, b: u64) -> u64 {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.input_word(W);
+        let wb = builder.input_word(W);
+        let out = f(&mut builder, &wa, &wb);
+        builder.output_word(&out);
+        let circuit = builder.build().unwrap();
+        let mut inputs = encode_word(a, W);
+        inputs.extend(encode_word(b, W));
+        decode_word(&evaluate(&circuit, &inputs).unwrap())
+    }
+
+    /// Helper for single-bit-output comparisons.
+    fn run_cmp(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> WireId, a: u64, b: u64) -> bool {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.input_word(W);
+        let wb = builder.input_word(W);
+        let out = f(&mut builder, &wa, &wb);
+        builder.output(out);
+        let circuit = builder.build().unwrap();
+        let mut inputs = encode_word(a, W);
+        inputs.extend(encode_word(b, W));
+        evaluate(&circuit, &inputs).unwrap()[0]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(decode_word(&encode_word(0xABCD, 16)), 0xABCD);
+        assert_eq!(decode_word_signed(&encode_word_signed(-5, 16)), -5);
+        assert_eq!(decode_word_signed(&encode_word_signed(5, 16)), 5);
+        assert_eq!(decode_word_signed(&encode_word_signed(-1, 8)), -1);
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(run_binop(|b, x, y| b.add(x, y), 1000, 2345), 3345);
+        // Wrapping behaviour.
+        assert_eq!(run_binop(|b, x, y| b.add(x, y), 0xFFFF, 1), 0);
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(run_binop(|b, x, y| b.sub(x, y), 5000, 1234), 3766);
+        // Wraps to two's complement.
+        assert_eq!(run_binop(|b, x, y| b.sub(x, y), 0, 1), 0xFFFF);
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(run_binop(|b, x, y| b.mul(x, y), 123, 456), 123 * 456);
+        assert_eq!(run_binop(|b, x, y| b.mul(x, y), 300, 300), (300 * 300) & 0xFFFF);
+    }
+
+    #[test]
+    fn fixed_point_multiplication() {
+        // With 8 fractional bits: 2.5 * 1.5 = 3.75 => 960/256.
+        let a = (2.5f64 * 256.0) as u64;
+        let b = (1.5f64 * 256.0) as u64;
+        let out = run_binop(|bld, x, y| bld.mul_fixed(x, y, 8), a, b);
+        assert_eq!(out, (3.75f64 * 256.0) as u64);
+    }
+
+    #[test]
+    fn fixed_point_division() {
+        // With 8 fractional bits: 3 / 4 = 0.75 => 192/256.
+        let out = run_binop(|bld, x, y| bld.div_fixed(x, y, 8), 3 << 8, 4 << 8);
+        assert_eq!(out, 192);
+        // 10 / 4 = 2.5 => 640/256.
+        let out = run_binop(|bld, x, y| bld.div_fixed(x, y, 8), 10 << 8, 4 << 8);
+        assert_eq!(out, 640);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        let out = run_binop(|bld, x, y| bld.div_fixed(x, y, 4), 7 << 4, 0);
+        assert_eq!(out, 0xFFFF);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(run_cmp(|b, x, y| b.lt_unsigned(x, y), 3, 5));
+        assert!(!run_cmp(|b, x, y| b.lt_unsigned(x, y), 5, 3));
+        assert!(!run_cmp(|b, x, y| b.lt_unsigned(x, y), 5, 5));
+        assert!(run_cmp(|b, x, y| b.eq_word(x, y), 1234, 1234));
+        assert!(!run_cmp(|b, x, y| b.eq_word(x, y), 1234, 1235));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let minus_one = 0xFFFFu64; // -1 at 16 bits
+        let minus_five = 0xFFFBu64;
+        assert!(run_cmp(|b, x, y| b.lt_signed(x, y), minus_one, 3));
+        assert!(!run_cmp(|b, x, y| b.lt_signed(x, y), 3, minus_one));
+        assert!(run_cmp(|b, x, y| b.lt_signed(x, y), minus_five, minus_one));
+        assert!(run_cmp(|b, x, y| b.lt_signed(x, y), 2, 7));
+    }
+
+    #[test]
+    fn min_max_relu() {
+        assert_eq!(run_binop(|b, x, y| b.min_unsigned(x, y), 9, 4), 4);
+        assert_eq!(run_binop(|b, x, y| b.max_unsigned(x, y), 9, 4), 9);
+        // relu of a negative two's-complement value is zero.
+        let neg = 0xFFF0u64;
+        assert_eq!(run_binop(|b, x, _| b.relu(x), neg, 0), 0);
+        assert_eq!(run_binop(|b, x, _| b.relu(x), 17, 0), 17);
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut builder = CircuitBuilder::new();
+        let sel = builder.input();
+        let a = builder.input_word(8);
+        let b = builder.input_word(8);
+        let out = builder.mux_word(sel, &a, &b);
+        builder.output_word(&out);
+        let circuit = builder.build().unwrap();
+        for (sel_v, expected) in [(true, 0xAA), (false, 0x55)] {
+            let mut inputs = vec![sel_v];
+            inputs.extend(encode_word(0xAA, 8));
+            inputs.extend(encode_word(0x55, 8));
+            assert_eq!(decode_word(&evaluate(&circuit, &inputs).unwrap()), expected);
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(run_binop(|b, x, _| b.shl_const(x, 3), 0b101, 0), 0b101000);
+        assert_eq!(run_binop(|b, x, _| b.shr_const(x, 2), 0b10100, 0), 0b101);
+        assert_eq!(run_binop(|b, x, _| b.shl_const(x, 0), 77, 0), 77);
+    }
+
+    #[test]
+    fn sum_of_words() {
+        let mut builder = CircuitBuilder::new();
+        let words: Vec<Word> = (0..5).map(|_| builder.input_word(W)).collect();
+        let total = builder.sum(&words);
+        builder.output_word(&total);
+        let circuit = builder.build().unwrap();
+        let values = [10u64, 20, 30, 40, 50];
+        let inputs: Vec<bool> = values.iter().flat_map(|&v| encode_word(v, W)).collect();
+        assert_eq!(decode_word(&evaluate(&circuit, &inputs).unwrap()), 150);
+    }
+
+    #[test]
+    fn gate_counts_are_sensible() {
+        let mut builder = CircuitBuilder::new();
+        let a = builder.input_word(16);
+        let b = builder.input_word(16);
+        let s = builder.add(&a, &b);
+        builder.output_word(&s);
+        let adder = builder.build().unwrap();
+        // Ripple-carry adder: 2 AND gates per bit.
+        assert_eq!(adder.and_gates(), 32);
+
+        let mut builder = CircuitBuilder::new();
+        let a = builder.input_word(16);
+        let b = builder.input_word(16);
+        let p = builder.mul(&a, &b);
+        builder.output_word(&p);
+        let mult = builder.build().unwrap();
+        assert!(mult.and_gates() > 16 * 16, "multiplier should dominate");
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        for (a, b, expect) in [(false, false, false), (true, false, true), (false, true, true), (true, true, true)] {
+            let mut builder = CircuitBuilder::new();
+            let wa = builder.input();
+            let wb = builder.input();
+            let o = builder.or(wa, wb);
+            builder.output(o);
+            let c = builder.build().unwrap();
+            assert_eq!(evaluate(&c, &[a, b]).unwrap()[0], expect);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_add_matches_native(a in 0u64..65536, b in 0u64..65536) {
+            prop_assert_eq!(run_binop(|bld, x, y| bld.add(x, y), a, b), (a + b) & 0xFFFF);
+        }
+
+        #[test]
+        fn prop_sub_matches_native(a in 0u64..65536, b in 0u64..65536) {
+            prop_assert_eq!(run_binop(|bld, x, y| bld.sub(x, y), a, b), a.wrapping_sub(b) & 0xFFFF);
+        }
+
+        #[test]
+        fn prop_mul_matches_native(a in 0u64..65536, b in 0u64..65536) {
+            prop_assert_eq!(run_binop(|bld, x, y| bld.mul(x, y), a, b), (a * b) & 0xFFFF);
+        }
+
+        #[test]
+        fn prop_lt_matches_native(a in 0u64..65536, b in 0u64..65536) {
+            prop_assert_eq!(run_cmp(|bld, x, y| bld.lt_unsigned(x, y), a, b), a < b);
+        }
+
+        #[test]
+        fn prop_div_matches_native(a in 0u64..256, b in 1u64..256) {
+            // 8 integer bits + 8 fractional bits stays within the 16-bit word.
+            let out = run_binop(|bld, x, y| bld.div_fixed(x, y, 8), a << 8, b << 8);
+            let expected = ((a << 16) / (b << 8)) & 0xFFFF;
+            prop_assert_eq!(out, expected);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Circuit intermediate representation.
+//!
+//! A [`Circuit`] is a flat, topologically ordered list of gates.  Wire `i`
+//! is the output of gate `i`; the first `num_inputs` gates are
+//! [`Gate::Input`] placeholders.  This representation is deliberately
+//! simple: the GMW engine walks the gate list once per evaluation, and the
+//! statistics module only needs gate counts and fan-in information.
+
+use core::fmt;
+
+/// Identifier of a wire (the index of the gate that drives it).
+pub type WireId = usize;
+
+/// A single gate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// The `n`-th circuit input.
+    Input(usize),
+    /// Constant false.
+    ConstFalse,
+    /// Constant true.
+    ConstTrue,
+    /// Exclusive OR of two wires (free in GMW).
+    Xor(WireId, WireId),
+    /// Logical AND of two wires (requires an OT round in GMW).
+    And(WireId, WireId),
+    /// Negation of a wire (free in GMW: only one party flips its share).
+    Not(WireId),
+}
+
+/// Errors raised when constructing or validating circuits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a wire that has not been defined yet.
+    ForwardReference {
+        /// The gate index containing the bad reference.
+        gate: usize,
+        /// The referenced wire.
+        wire: WireId,
+    },
+    /// The number of provided input values does not match the circuit.
+    InputCountMismatch {
+        /// Inputs the circuit declares.
+        expected: usize,
+        /// Inputs provided by the caller.
+        actual: usize,
+    },
+    /// An output referenced a non-existent wire.
+    InvalidOutput {
+        /// The offending wire id.
+        wire: WireId,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ForwardReference { gate, wire } => {
+                write!(f, "gate {gate} references undefined wire {wire}")
+            }
+            CircuitError::InputCountMismatch { expected, actual } => {
+                write!(f, "circuit expects {expected} inputs, got {actual}")
+            }
+            CircuitError::InvalidOutput { wire } => write!(f, "invalid output wire {wire}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A Boolean circuit.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    num_inputs: usize,
+    outputs: Vec<WireId>,
+}
+
+impl Circuit {
+    /// Creates a circuit from parts, validating the topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if any gate references a wire at or after
+    /// its own position, or if an output references a non-existent wire.
+    pub fn new(
+        gates: Vec<Gate>,
+        num_inputs: usize,
+        outputs: Vec<WireId>,
+    ) -> Result<Self, CircuitError> {
+        for (idx, gate) in gates.iter().enumerate() {
+            let check = |wire: WireId| -> Result<(), CircuitError> {
+                if wire >= idx {
+                    Err(CircuitError::ForwardReference { gate: idx, wire })
+                } else {
+                    Ok(())
+                }
+            };
+            match gate {
+                Gate::Input(_) | Gate::ConstFalse | Gate::ConstTrue => {}
+                Gate::Xor(a, b) | Gate::And(a, b) => {
+                    check(*a)?;
+                    check(*b)?;
+                }
+                Gate::Not(a) => check(*a)?,
+            }
+        }
+        for &o in &outputs {
+            if o >= gates.len() {
+                return Err(CircuitError::InvalidOutput { wire: o });
+            }
+        }
+        Ok(Circuit {
+            gates,
+            num_inputs,
+            outputs,
+        })
+    }
+
+    /// The gate list, in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of input wires.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The output wire list.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Total number of gates (including inputs and constants).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of AND gates — the only gates that cost communication in GMW.
+    pub fn and_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And(_, _)))
+            .count()
+    }
+
+    /// Number of XOR gates.
+    pub fn xor_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Xor(_, _)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_circuit_constructs() {
+        // out = (in0 AND in1) XOR in2
+        let gates = vec![
+            Gate::Input(0),
+            Gate::Input(1),
+            Gate::Input(2),
+            Gate::And(0, 1),
+            Gate::Xor(3, 2),
+        ];
+        let c = Circuit::new(gates, 3, vec![4]).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.and_gates(), 1);
+        assert_eq!(c.xor_gates(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.outputs(), &[4]);
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        let gates = vec![Gate::Input(0), Gate::And(0, 5)];
+        let err = Circuit::new(gates, 1, vec![1]).unwrap_err();
+        assert!(matches!(err, CircuitError::ForwardReference { gate: 1, wire: 5 }));
+    }
+
+    #[test]
+    fn self_reference_is_rejected() {
+        let gates = vec![Gate::Input(0), Gate::Not(1)];
+        assert!(Circuit::new(gates, 1, vec![1]).is_err());
+    }
+
+    #[test]
+    fn invalid_output_is_rejected() {
+        let gates = vec![Gate::Input(0)];
+        let err = Circuit::new(gates, 1, vec![3]).unwrap_err();
+        assert_eq!(err, CircuitError::InvalidOutput { wire: 3 });
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CircuitError::InputCountMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(CircuitError::InvalidOutput { wire: 9 }.to_string().contains('9'));
+        assert!(CircuitError::ForwardReference { gate: 1, wire: 2 }
+            .to_string()
+            .contains("undefined"));
+    }
+}

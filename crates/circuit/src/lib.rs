@@ -1,0 +1,33 @@
+//! Boolean circuits for the DStress MPC runtime.
+//!
+//! DStress executes every vertex-program step inside a small multi-party
+//! computation; the GMW protocol it uses (and that we reproduce in
+//! `dstress-mpc`) evaluates *Boolean circuits*.  This crate provides:
+//!
+//! * [`ir`] — the circuit intermediate representation: a flat list of
+//!   XOR / AND / NOT / constant gates over single-bit wires.
+//! * [`builder`] — a gadget library for constructing circuits: adders,
+//!   subtractors, comparators, multiplexers, multipliers and a restoring
+//!   fixed-point divider, over two's-complement words of configurable
+//!   width.  These are the building blocks of the Eisenberg–Noe and
+//!   Elliott–Golub–Jackson update circuits in `dstress-finance`.
+//! * [`eval`] — a plaintext evaluator, used both as the correctness
+//!   reference for the MPC engine and to execute the "ideal functionality"
+//!   in tests.
+//! * [`stats`] — gate-count and depth statistics.  GMW's communication and
+//!   round costs are driven by the number of AND gates and the AND depth,
+//!   so these statistics are what the cost model in `dstress-core`
+//!   consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod eval;
+pub mod ir;
+pub mod stats;
+
+pub use builder::{CircuitBuilder, Word};
+pub use eval::evaluate;
+pub use ir::{Circuit, CircuitError, Gate, WireId};
+pub use stats::CircuitStats;

@@ -1,0 +1,91 @@
+//! Runtime configuration.
+
+use dstress_crypto::group::GroupKind;
+
+/// How the communication steps execute their cryptography.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Run the full ElGamal message transfer protocol (encryption,
+    /// homomorphic aggregation, adjustment, decryption).  This is the
+    /// faithful mode used by tests and the transfer microbenchmarks.
+    RealCrypto,
+    /// Move the shares in plaintext while *accounting* exactly the
+    /// operation counts and traffic the real protocol would generate.
+    /// Large end-to-end simulations (Figure 5 and beyond) use this mode so
+    /// that wall-clock time stays manageable; a unit test pins the counts
+    /// of the two modes against each other.
+    Accounted,
+}
+
+/// Configuration of a DStress execution.
+#[derive(Clone, Debug)]
+pub struct DStressConfig {
+    /// Collusion bound `k`; every block has `k + 1` members.
+    pub collusion_bound: usize,
+    /// Message width `L` in bits (the prototype used 12-bit shares).
+    pub message_bits: u32,
+    /// Output-privacy budget ε for the Laplace mechanism.
+    pub epsilon: f64,
+    /// Edge-privacy noise parameter α of the transfer protocol
+    /// (Appendix B); values close to 1 add more noise.
+    pub edge_noise_alpha: f64,
+    /// Half-width of the signed discrete-log window used to decrypt the
+    /// noised bit sums (the paper's `N_l / 2`).
+    pub dlog_window: u64,
+    /// Which ElGamal group to instantiate.
+    pub group: GroupKind,
+    /// Whether communication steps run real cryptography or cost-accounted
+    /// plaintext sharing.
+    pub transfer_mode: TransferMode,
+    /// Seed for all randomness in the run (setup, sharing, noise).
+    pub seed: u64,
+}
+
+impl DStressConfig {
+    /// A configuration suitable for tests and examples: small blocks, the
+    /// fast simulation group, real cryptography everywhere.
+    pub fn small_test(collusion_bound: usize) -> Self {
+        DStressConfig {
+            collusion_bound,
+            message_bits: 12,
+            epsilon: 0.23,
+            edge_noise_alpha: 0.5,
+            dlog_window: 2_000,
+            group: GroupKind::Sim64,
+            transfer_mode: TransferMode::RealCrypto,
+            seed: 0xD57E55,
+        }
+    }
+
+    /// A configuration for larger benchmark runs: cost-accounted transfers
+    /// so that wall-clock time stays proportional to the MPC work.
+    pub fn benchmark(collusion_bound: usize) -> Self {
+        DStressConfig {
+            transfer_mode: TransferMode::Accounted,
+            ..DStressConfig::small_test(collusion_bound)
+        }
+    }
+
+    /// The block size `k + 1`.
+    pub fn block_size(&self) -> usize {
+        self.collusion_bound + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let t = DStressConfig::small_test(3);
+        assert_eq!(t.block_size(), 4);
+        assert_eq!(t.transfer_mode, TransferMode::RealCrypto);
+        assert_eq!(t.group, GroupKind::Sim64);
+        let b = DStressConfig::benchmark(19);
+        assert_eq!(b.block_size(), 20);
+        assert_eq!(b.transfer_mode, TransferMode::Accounted);
+        assert!(b.epsilon > 0.0);
+        assert!(b.edge_noise_alpha > 0.0 && b.edge_noise_alpha < 1.0);
+    }
+}

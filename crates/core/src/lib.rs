@@ -1,0 +1,41 @@
+//! The DStress runtime.
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes (§3.3–§3.6): a set of nodes, one per graph vertex, each
+//! associated with a *block* of `k + 1` nodes that holds an XOR sharing of
+//! the vertex state; computation steps executed as GMW multi-party
+//! computations inside each block; communication steps executed with the
+//! message transfer protocol; and a final aggregation-plus-noising step
+//! performed by a dedicated aggregation block, which releases only the
+//! differentially-private output.
+//!
+//! Modules:
+//!
+//! * [`config`] — runtime configuration (collusion bound, message width,
+//!   privacy parameters, execution mode).
+//! * [`program`] — the [`program::SecureVertexProgram`] trait: the
+//!   circuit-level description of a vertex program (initial-state
+//!   encoding, update circuit, aggregation circuit, sensitivity).
+//! * [`engine`] — the runtime itself, producing a [`engine::DStressRun`]
+//!   with the noised output, a per-phase cost breakdown and the measured
+//!   per-node traffic.
+//! * [`noise_circuit`] — the Boolean circuit used to account the cost of
+//!   drawing the Laplace noise inside the aggregation MPC (the Dwork et
+//!   al. distributed-noise-generation step of §5.1).
+//! * [`projection`] — the analytic cost model that reproduces Figure 6:
+//!   given `(N, D, k, I)` it predicts end-to-end computation time and
+//!   per-node traffic for deployments too large to simulate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod noise_circuit;
+pub mod program;
+pub mod projection;
+
+pub use config::{DStressConfig, TransferMode};
+pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts};
+pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
+pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};

@@ -1,0 +1,239 @@
+//! The circuit-level vertex-program interface.
+//!
+//! The plaintext [`dstress_graph::VertexProgram`] trait describes *what* a
+//! vertex program computes; [`SecureVertexProgram`] describes the same
+//! program as Boolean circuits so that the runtime can execute it under
+//! GMW.  The two descriptions of each case-study program are tested
+//! against each other in `dstress-finance`.
+//!
+//! Layout conventions (all words are little-endian bit vectors):
+//!
+//! * the **update circuit** takes `state_bits` wires of current state
+//!   followed by `D · message_bits` wires of incoming messages (slot `d`
+//!   carries the message from the vertex's `d`-th in-neighbour, or the
+//!   no-op message `⊥ = 0` if there is no such neighbour), and produces
+//!   `state_bits` wires of new state followed by `D · message_bits` wires
+//!   of outgoing messages (slot `d` is sent to the `d`-th out-neighbour);
+//! * the **aggregation circuit** takes `N · state_bits` wires (the final
+//!   state of every vertex) and produces `aggregate_bits` wires that
+//!   decode to the pre-noise output.
+
+use dstress_circuit::Circuit;
+use dstress_graph::{Graph, VertexId};
+
+/// A vertex program expressed as Boolean circuits.
+pub trait SecureVertexProgram {
+    /// Width of the per-vertex state encoding, in bits.
+    fn state_bits(&self) -> u32;
+
+    /// Width of a message, in bits (the runtime's `L`).
+    fn message_bits(&self) -> u32;
+
+    /// Width of the aggregation output, in bits.
+    fn aggregate_bits(&self) -> u32;
+
+    /// Number of computation/communication iterations.
+    fn iterations(&self) -> u32;
+
+    /// Sensitivity bound of the aggregate (in the same units as
+    /// [`Self::decode_aggregate`]).
+    fn sensitivity(&self) -> f64;
+
+    /// Encodes the initial state of vertex `v` as `state_bits` bits.
+    ///
+    /// The encoding may depend on the graph (e.g. per-edge debts are laid
+    /// out in the order of `graph.out_neighbors(v)` /
+    /// `graph.in_neighbors(v)`).
+    fn encode_initial_state(&self, graph: &Graph, v: VertexId) -> Vec<bool>;
+
+    /// Builds the per-vertex update circuit for degree bound `degree_bound`.
+    fn update_circuit(&self, degree_bound: usize) -> Circuit;
+
+    /// Builds the aggregation circuit over `vertices` final states.
+    fn aggregation_circuit(&self, vertices: usize) -> Circuit;
+
+    /// Decodes the aggregation circuit's output bits into the scalar the
+    /// program reports (e.g. the total dollar shortfall).
+    fn decode_aggregate(&self, bits: &[bool]) -> f64;
+}
+
+/// Executes a [`SecureVertexProgram`] entirely in plaintext by evaluating
+/// its circuits directly (no blocks, no MPC, no noise).
+///
+/// This is the exact "ideal functionality" of the secure runtime: the
+/// engine in [`crate::engine`] is tested to produce the same pre-noise
+/// aggregate, and the finance crate uses it to compare the circuit
+/// encodings of its models against their plaintext implementations.
+pub fn execute_plaintext<P: SecureVertexProgram>(graph: &Graph, program: &P) -> f64 {
+    let n = graph.vertex_count();
+    let d = graph.degree_bound();
+    let state_bits = program.state_bits() as usize;
+    let message_bits = program.message_bits() as usize;
+    let update = program.update_circuit(d);
+
+    let mut states: Vec<Vec<bool>> = graph
+        .vertices()
+        .map(|v| program.encode_initial_state(graph, v))
+        .collect();
+    let mut inboxes: Vec<Vec<Vec<bool>>> = vec![vec![vec![false; message_bits]; d]; n];
+
+    let run_update = |states: &mut Vec<Vec<bool>>, inboxes: &Vec<Vec<Vec<bool>>>| -> Vec<Vec<Vec<bool>>> {
+        let mut outgoing = vec![vec![vec![false; message_bits]; d]; n];
+        for v in graph.vertices() {
+            let mut inputs = states[v.0].clone();
+            for slot in &inboxes[v.0] {
+                inputs.extend_from_slice(slot);
+            }
+            let outputs = dstress_circuit::evaluate(&update, &inputs)
+                .expect("program circuits accept their own encoding");
+            states[v.0] = outputs[..state_bits].to_vec();
+            for slot in 0..d {
+                let start = state_bits + slot * message_bits;
+                outgoing[v.0][slot] = outputs[start..start + message_bits].to_vec();
+            }
+        }
+        outgoing
+    };
+
+    for _ in 0..program.iterations() {
+        let outgoing = run_update(&mut states, &inboxes);
+        for v in graph.vertices() {
+            for (out_slot, &to) in graph.out_neighbors(v).iter().enumerate() {
+                let in_slot = graph
+                    .in_neighbors(to)
+                    .iter()
+                    .position(|&src| src == v)
+                    .expect("out-edge implies matching in-edge");
+                inboxes[to.0][in_slot] = outgoing[v.0][out_slot].clone();
+            }
+        }
+    }
+    let _ = run_update(&mut states, &inboxes);
+
+    let mut agg_inputs = Vec::with_capacity(n * state_bits);
+    for state in &states {
+        agg_inputs.extend_from_slice(state);
+    }
+    let aggregation = program.aggregation_circuit(n);
+    let bits = dstress_circuit::evaluate(&aggregation, &agg_inputs)
+        .expect("aggregation circuit accepts the final states");
+    program.decode_aggregate(&bits)
+}
+
+/// A minimal secure vertex program used by tests, examples and
+/// microbenchmarks.
+///
+/// Each vertex's state is a counter initialised to `v + 1`; every
+/// iteration it adds all incoming messages to its counter and sends the
+/// new value to every out-neighbour; the aggregate is the sum of the final
+/// counters.  It exercises every part of the runtime (state sharing, MPC
+/// update, message transfer, aggregation) with the smallest possible
+/// circuits.
+pub struct CounterProgram {
+    /// Word width of the counter and the messages.
+    pub width: u32,
+    /// Number of iterations to run.
+    pub rounds: u32,
+}
+
+mod counter_impl {
+    use super::{CounterProgram, SecureVertexProgram};
+    use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
+    use dstress_circuit::Circuit;
+    use dstress_graph::{Graph, VertexId};
+
+    impl SecureVertexProgram for CounterProgram {
+        fn state_bits(&self) -> u32 {
+            self.width
+        }
+
+        fn message_bits(&self) -> u32 {
+            self.width
+        }
+
+        fn aggregate_bits(&self) -> u32 {
+            2 * self.width
+        }
+
+        fn iterations(&self) -> u32 {
+            self.rounds
+        }
+
+        fn sensitivity(&self) -> f64 {
+            1.0
+        }
+
+        fn encode_initial_state(&self, _graph: &Graph, v: VertexId) -> Vec<bool> {
+            encode_word(v.0 as u64 + 1, self.width)
+        }
+
+        fn update_circuit(&self, degree_bound: usize) -> Circuit {
+            let mut b = CircuitBuilder::new();
+            let state = b.input_word(self.width);
+            let incoming: Vec<_> = (0..degree_bound).map(|_| b.input_word(self.width)).collect();
+            let mut new_state = state.clone();
+            for msg in &incoming {
+                new_state = b.add(&new_state, msg);
+            }
+            b.output_word(&new_state);
+            for _ in 0..degree_bound {
+                b.output_word(&new_state);
+            }
+            b.build().expect("builder circuits are well formed")
+        }
+
+        fn aggregation_circuit(&self, vertices: usize) -> Circuit {
+            let mut b = CircuitBuilder::new();
+            let states: Vec<_> = (0..vertices).map(|_| b.input_word(self.width)).collect();
+            let wide: Vec<_> = states
+                .iter()
+                .map(|s| b.zero_extend(s, 2 * self.width))
+                .collect();
+            let total = b.sum(&wide);
+            b.output_word(&total);
+            b.build().expect("builder circuits are well formed")
+        }
+
+        fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+            decode_word(bits) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_circuit::builder::decode_word;
+    use dstress_circuit::evaluate;
+
+    #[test]
+    fn counter_update_circuit_has_expected_shape() {
+        let p = CounterProgram { width: 8, rounds: 2 };
+        let c = p.update_circuit(3);
+        assert_eq!(c.num_inputs(), 8 + 3 * 8);
+        assert_eq!(c.outputs().len(), 8 + 3 * 8);
+        // state 5, messages 1, 2, 3 → new state 11 broadcast to all slots.
+        let mut inputs = dstress_circuit::builder::encode_word(5, 8);
+        for m in [1u64, 2, 3] {
+            inputs.extend(dstress_circuit::builder::encode_word(m, 8));
+        }
+        let out = evaluate(&c, &inputs).unwrap();
+        assert_eq!(decode_word(&out[..8]), 11);
+        assert_eq!(decode_word(&out[8..16]), 11);
+        assert_eq!(decode_word(&out[24..32]), 11);
+    }
+
+    #[test]
+    fn counter_aggregation_circuit_sums() {
+        let p = CounterProgram { width: 8, rounds: 1 };
+        let c = p.aggregation_circuit(3);
+        assert_eq!(c.num_inputs(), 24);
+        let mut inputs = Vec::new();
+        for v in [10u64, 200, 45] {
+            inputs.extend(dstress_circuit::builder::encode_word(v, 8));
+        }
+        let out = evaluate(&c, &inputs).unwrap();
+        assert_eq!(p.decode_aggregate(&out), 255.0);
+        assert_eq!(p.aggregate_bits(), 16);
+    }
+}

@@ -1,0 +1,249 @@
+//! Discrete-logarithm recovery for exponential ElGamal.
+//!
+//! Exponential ElGamal encrypts `g^m`; after decryption the recipient holds
+//! the group element `g^m` and must recover `m`.  This is only feasible
+//! when `m` lies in a small known range.  The paper notes (§3, Appendix B)
+//! that the prototype pre-computes a lookup table of `g^c` for all
+//! candidate values `c`, and that the table size bounds how much geometric
+//! noise can be added before decryption fails (the failure probability
+//! `P_fail`).
+//!
+//! Two mechanisms are provided:
+//!
+//! * [`DlogTable`] — an exact mirror of the prototype's lookup table,
+//!   covering `0..=max`.
+//! * [`baby_step_giant_step`] — an O(√R) search used by tests and by the
+//!   aggregation step, where the range is larger but still bounded.
+
+use crate::error::CryptoError;
+use crate::group::{Group, GroupElem};
+use dstress_math::U256;
+use std::collections::HashMap;
+
+/// A precomputed table mapping `g^m ↦ m` for `m` in a small window.
+///
+/// The window is `[0, max]` for [`DlogTable::new`] and `[-max, max]` for
+/// [`DlogTable::new_signed`]; the signed variant is what the message
+/// transfer protocol uses, because the even geometric noise added to the
+/// forwarded bit-sums can be negative (Appendix B sizes this window as
+/// `N_l` entries).
+#[derive(Clone, Debug)]
+pub struct DlogTable {
+    table: HashMap<U256, i64>,
+    max: u64,
+    signed: bool,
+}
+
+impl DlogTable {
+    /// Builds a table covering exponents `0..=max`.
+    pub fn new(group: &Group, max: u64) -> Self {
+        let mut table = HashMap::with_capacity(max as usize + 1);
+        let mut acc = group.identity();
+        let g = group.generator();
+        for m in 0..=max {
+            table.insert(group.elem_to_int(acc), m as i64);
+            acc = group.mul(acc, g);
+        }
+        DlogTable {
+            table,
+            max,
+            signed: false,
+        }
+    }
+
+    /// Builds a table covering exponents `-max ..= max` (so `2·max + 1`
+    /// entries).
+    pub fn new_signed(group: &Group, max: u64) -> Self {
+        let mut table = HashMap::with_capacity(2 * max as usize + 1);
+        let g = group.generator();
+        let g_inv = group.inv(g).expect("generator is invertible");
+        let mut acc = group.identity();
+        for m in 0..=max {
+            table.insert(group.elem_to_int(acc), m as i64);
+            acc = group.mul(acc, g);
+        }
+        let mut acc = g_inv;
+        for m in 1..=max {
+            table.insert(group.elem_to_int(acc), -(m as i64));
+            acc = group.mul(acc, g_inv);
+        }
+        DlogTable {
+            table,
+            max,
+            signed: true,
+        }
+    }
+
+    /// The largest exponent magnitude the table can recover.
+    pub fn max_exponent(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns `true` if the table covers negative exponents.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Number of entries in the table (the paper's `N_l`).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Looks up the discrete log of `elem` as a non-negative value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DlogOutOfRange`] when the exponent is not in
+    /// the covered range — the event the paper calls a decryption failure —
+    /// or when the recovered exponent is negative.
+    pub fn lookup(&self, group: &Group, elem: GroupElem) -> Result<u64, CryptoError> {
+        match self.lookup_signed(group, elem) {
+            Ok(v) if v >= 0 => Ok(v as u64),
+            _ => Err(CryptoError::DlogOutOfRange { searched: self.max }),
+        }
+    }
+
+    /// Looks up the discrete log of `elem`, allowing negative exponents
+    /// when the table was built with [`DlogTable::new_signed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DlogOutOfRange`] when the exponent is not in
+    /// the covered range.
+    pub fn lookup_signed(&self, group: &Group, elem: GroupElem) -> Result<i64, CryptoError> {
+        self.table
+            .get(&group.elem_to_int(elem))
+            .copied()
+            .ok_or(CryptoError::DlogOutOfRange { searched: self.max })
+    }
+
+    /// Approximate memory footprint of the table in bytes, as used by the
+    /// Appendix B sizing argument (each entry stores a group element key
+    /// plus a 64-bit exponent).
+    pub fn memory_bytes(&self, group: &Group) -> usize {
+        self.entries() * (group.element_bytes() + 8)
+    }
+}
+
+/// Recovers `m` such that `g^m == elem` for `m ∈ [0, bound)` using
+/// baby-step/giant-step in O(√bound) time and memory.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::DlogOutOfRange`] if no such `m` exists in range.
+pub fn baby_step_giant_step(
+    group: &Group,
+    elem: GroupElem,
+    bound: u64,
+) -> Result<u64, CryptoError> {
+    if bound == 0 {
+        return Err(CryptoError::DlogOutOfRange { searched: 0 });
+    }
+    let m = (bound as f64).sqrt().ceil() as u64;
+    // Baby steps: g^j for j in [0, m).
+    let mut baby = HashMap::with_capacity(m as usize);
+    let g = group.generator();
+    let mut acc = group.identity();
+    for j in 0..m {
+        baby.entry(group.elem_to_int(acc)).or_insert(j);
+        acc = group.mul(acc, g);
+    }
+    // Giant steps: elem * (g^{-m})^i.
+    let g_m = group.pow(g, &U256::from_u64(m));
+    let g_m_inv = group.inv(g_m)?;
+    let mut gamma = elem;
+    for i in 0..m {
+        if let Some(&j) = baby.get(&group.elem_to_int(gamma)) {
+            let result = i * m + j;
+            if result < bound {
+                return Ok(result);
+            }
+        }
+        gamma = group.mul(gamma, g_m_inv);
+    }
+    Err(CryptoError::DlogOutOfRange { searched: bound })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_recovers_all_entries() {
+        let group = Group::sim64();
+        let table = DlogTable::new(&group, 200);
+        assert_eq!(table.entries(), 201);
+        assert_eq!(table.max_exponent(), 200);
+        for m in [0u64, 1, 2, 50, 199, 200] {
+            assert_eq!(table.lookup(&group, group.encode_exponent(m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn table_rejects_out_of_range() {
+        let group = Group::sim64();
+        let table = DlogTable::new(&group, 10);
+        let err = table.lookup(&group, group.encode_exponent(11)).unwrap_err();
+        assert_eq!(err, CryptoError::DlogOutOfRange { searched: 10 });
+    }
+
+    #[test]
+    fn signed_table_recovers_negative_exponents() {
+        let group = Group::sim64();
+        let table = DlogTable::new_signed(&group, 50);
+        assert!(table.is_signed());
+        assert_eq!(table.entries(), 101);
+        for m in [-50i64, -7, -1, 0, 1, 13, 50] {
+            let elem = if m >= 0 {
+                group.encode_exponent(m as u64)
+            } else {
+                group
+                    .inv(group.encode_exponent((-m) as u64))
+                    .expect("group elements are invertible")
+            };
+            assert_eq!(table.lookup_signed(&group, elem).unwrap(), m);
+        }
+        // Unsigned lookup rejects negative exponents.
+        let neg = group.inv(group.encode_exponent(3)).unwrap();
+        assert!(table.lookup(&group, neg).is_err());
+        // Out of range either way.
+        assert!(table.lookup_signed(&group, group.encode_exponent(51)).is_err());
+    }
+
+    #[test]
+    fn table_memory_estimate() {
+        let group = Group::sim64();
+        let table = DlogTable::new(&group, 100);
+        assert_eq!(table.memory_bytes(&group), 101 * 16);
+    }
+
+    #[test]
+    fn bsgs_recovers_values() {
+        let group = Group::sim64();
+        for m in [0u64, 1, 17, 999, 12345, 65535] {
+            let elem = group.encode_exponent(m);
+            assert_eq!(baby_step_giant_step(&group, elem, 70_000).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bsgs_rejects_out_of_range() {
+        let group = Group::sim64();
+        let elem = group.encode_exponent(1000);
+        assert!(baby_step_giant_step(&group, elem, 100).is_err());
+        assert!(baby_step_giant_step(&group, elem, 0).is_err());
+    }
+
+    #[test]
+    fn bsgs_matches_table_on_prod_group() {
+        let group = Group::prod256();
+        let table = DlogTable::new(&group, 64);
+        for m in [0u64, 3, 31, 64] {
+            let elem = group.encode_exponent(m);
+            assert_eq!(
+                table.lookup(&group, elem).unwrap(),
+                baby_step_giant_step(&group, elem, 65).unwrap()
+            );
+        }
+    }
+}

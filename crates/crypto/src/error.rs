@@ -1,0 +1,83 @@
+//! Error type for the cryptographic layer.
+
+use core::fmt;
+use dstress_math::MathError;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An underlying arithmetic error (invalid modulus, out-of-range value, ...).
+    Math(MathError),
+    /// A discrete logarithm could not be recovered because the exponent was
+    /// outside the lookup table / search range.
+    ///
+    /// The paper calls this the *failure probability* `P_fail` of the system
+    /// (Appendix B): the geometric noise occasionally pushes the encrypted
+    /// sum outside the recoverable window.
+    DlogOutOfRange {
+        /// The maximum absolute exponent that was searched.
+        searched: u64,
+    },
+    /// A ciphertext was malformed (e.g. a component was zero).
+    MalformedCiphertext,
+    /// Secret reconstruction was attempted with an inconsistent number of
+    /// shares.
+    ShareCountMismatch {
+        /// Number of shares expected.
+        expected: usize,
+        /// Number of shares provided.
+        actual: usize,
+    },
+    /// A message did not fit in the configured bit width.
+    MessageTooWide {
+        /// Bit width of the share representation.
+        bits: u32,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::Math(e) => write!(f, "arithmetic error: {e}"),
+            CryptoError::DlogOutOfRange { searched } => {
+                write!(f, "discrete log not found within ±{searched}")
+            }
+            CryptoError::MalformedCiphertext => write!(f, "malformed ciphertext"),
+            CryptoError::ShareCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} shares, got {actual}")
+            }
+            CryptoError::MessageTooWide { bits, value } => {
+                write!(f, "message {value} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+impl From<MathError> for CryptoError {
+    fn from(e: MathError) -> Self {
+        CryptoError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CryptoError::MalformedCiphertext.to_string().contains("malformed"));
+        assert!(CryptoError::DlogOutOfRange { searched: 7 }.to_string().contains('7'));
+        assert!(CryptoError::ShareCountMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains('3'));
+        assert!(CryptoError::MessageTooWide { bits: 12, value: 99999 }
+            .to_string()
+            .contains("12"));
+        let wrapped: CryptoError = MathError::InvalidModulus.into();
+        assert!(wrapped.to_string().contains("arithmetic"));
+    }
+}

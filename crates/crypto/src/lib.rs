@@ -1,0 +1,36 @@
+//! Cryptographic primitives for the DStress reproduction.
+//!
+//! The original prototype used OpenSSL ElGamal over the secp384r1 curve;
+//! this crate provides an equivalent, self-contained implementation over a
+//! safe-prime Schnorr group (see `DESIGN.md` for the substitution
+//! argument).  It exposes exactly the primitives the DStress protocol
+//! needs:
+//!
+//! * [`group`] — group parameter sets: a 256-bit group for the crypto
+//!   micro-benchmarks and a fast 64-bit *simulation* group for the large
+//!   end-to-end runs.
+//! * [`elgamal`] — ElGamal and *exponential* ElGamal with the two unusual
+//!   properties DStress relies on (§3 of the paper): an additive
+//!   homomorphism and public-key re-randomisation, plus the Kurosawa
+//!   multi-recipient optimisation used by the prototype (§5.1).
+//! * [`dlog`] — lookup-table and baby-step/giant-step discrete-log
+//!   recovery for decrypting exponential-ElGamal ciphertexts that carry
+//!   small sums.
+//! * [`sharing`] — XOR secret sharing, sub-share splitting and bit
+//!   decomposition: the `⊕`-sharing substrate used by the blocks and the
+//!   message transfer protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dlog;
+pub mod elgamal;
+pub mod error;
+pub mod group;
+pub mod sharing;
+
+pub use dlog::DlogTable;
+pub use elgamal::{Ciphertext, KeyPair, PublicKey, SecretKey};
+pub use error::CryptoError;
+pub use group::{Group, GroupElem, GroupKind};
+pub use sharing::{split_xor, xor_reconstruct, BitMessage};

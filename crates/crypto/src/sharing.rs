@@ -1,0 +1,278 @@
+//! XOR secret sharing and bit decomposition.
+//!
+//! DStress keeps every piece of private state *secret shared* among the
+//! `k + 1` members of a block: the value can be reconstructed by XORing all
+//! shares together (the sharing used by the GMW protocol), and any `k`
+//! shares reveal nothing.  The message transfer protocol additionally
+//! splits each share into *sub-shares* (one per receiving-block member) and
+//! decomposes sub-shares into individual bits, which are what actually get
+//! encrypted (§3.5).
+//!
+//! This module provides those operations for [`BitMessage`]s — fixed-width
+//! bit strings (the paper's prototype used 12-bit shares) — and for single
+//! bits.
+
+use crate::error::CryptoError;
+use dstress_math::rng::DetRng;
+
+/// A fixed-width message of up to 64 bits.
+///
+/// The width is carried alongside the value so that bit decomposition,
+/// wire-size accounting and range checks all agree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BitMessage {
+    value: u64,
+    bits: u32,
+}
+
+impl BitMessage {
+    /// Creates a message, checking that `value` fits in `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooWide`] if it does not.
+    pub fn new(value: u64, bits: u32) -> Result<Self, CryptoError> {
+        assert!(bits >= 1 && bits <= 64, "width must be in [1, 64]");
+        if bits < 64 && value >> bits != 0 {
+            return Err(CryptoError::MessageTooWide { bits, value });
+        }
+        Ok(BitMessage { value, bits })
+    }
+
+    /// Creates the all-zero message of the given width (DStress's no-op
+    /// message `⊥` is encoded as zero).
+    pub fn zero(bits: u32) -> Self {
+        BitMessage { value: 0, bits }
+    }
+
+    /// The message value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The message width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Decomposes the message into its bits, least-significant first.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.bits).map(|i| (self.value >> i) & 1 == 1).collect()
+    }
+
+    /// Reassembles a message from bits (least-significant first).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty() && bits.len() <= 64, "1..=64 bits required");
+        let mut value = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                value |= 1 << i;
+            }
+        }
+        BitMessage {
+            value,
+            bits: bits.len() as u32,
+        }
+    }
+
+    /// XORs two messages of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ (an internal protocol invariant).
+    pub fn xor(&self, other: &BitMessage) -> BitMessage {
+        assert_eq!(self.bits, other.bits, "cannot XOR messages of different widths");
+        BitMessage {
+            value: self.value ^ other.value,
+            bits: self.bits,
+        }
+    }
+}
+
+/// Splits `secret` into `n` XOR shares of the same width.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn split_xor(secret: BitMessage, n: usize, rng: &mut dyn DetRng) -> Vec<BitMessage> {
+    assert!(n > 0, "need at least one share");
+    let mask = if secret.bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << secret.bits) - 1
+    };
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for _ in 0..n - 1 {
+        let share = rng.next_u64() & mask;
+        acc ^= share;
+        shares.push(BitMessage {
+            value: share,
+            bits: secret.bits,
+        });
+    }
+    shares.push(BitMessage {
+        value: acc ^ secret.value,
+        bits: secret.bits,
+    });
+    shares
+}
+
+/// Reconstructs a secret from XOR shares.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::ShareCountMismatch`] if `shares` is empty.
+pub fn xor_reconstruct(shares: &[BitMessage]) -> Result<BitMessage, CryptoError> {
+    let first = shares.first().ok_or(CryptoError::ShareCountMismatch {
+        expected: 1,
+        actual: 0,
+    })?;
+    let mut acc = *first;
+    for share in &shares[1..] {
+        acc = acc.xor(share);
+    }
+    Ok(acc)
+}
+
+/// Splits a single bit into `n` XOR shares.
+pub fn split_xor_bit(secret: bool, n: usize, rng: &mut dyn DetRng) -> Vec<bool> {
+    assert!(n > 0, "need at least one share");
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = false;
+    for _ in 0..n - 1 {
+        let b = rng.next_bool();
+        acc ^= b;
+        shares.push(b);
+    }
+    shares.push(acc ^ secret);
+    shares
+}
+
+/// Reconstructs a single bit from XOR shares.
+pub fn xor_reconstruct_bit(shares: &[bool]) -> bool {
+    shares.iter().fold(false, |acc, &b| acc ^ b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_math::rng::Xoshiro256;
+    use proptest::prelude::*;
+
+    #[test]
+    fn message_width_check() {
+        assert!(BitMessage::new(4095, 12).is_ok());
+        assert!(matches!(
+            BitMessage::new(4096, 12).unwrap_err(),
+            CryptoError::MessageTooWide { bits: 12, value: 4096 }
+        ));
+        assert!(BitMessage::new(u64::MAX, 64).is_ok());
+    }
+
+    #[test]
+    fn zero_message() {
+        let z = BitMessage::zero(12);
+        assert_eq!(z.value(), 0);
+        assert_eq!(z.bits(), 12);
+        assert!(z.to_bits().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        let m = BitMessage::new(0b1011_0101_0011, 12).unwrap();
+        let bits = m.to_bits();
+        assert_eq!(bits.len(), 12);
+        assert!(bits[0] && bits[1] && !bits[2]);
+        assert_eq!(BitMessage::from_bits(&bits), m);
+    }
+
+    #[test]
+    fn xor_of_messages() {
+        let a = BitMessage::new(0b1100, 4).unwrap();
+        let b = BitMessage::new(0b1010, 4).unwrap();
+        assert_eq!(a.xor(&b).value(), 0b0110);
+        assert_eq!(a.xor(&a).value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn xor_width_mismatch_panics() {
+        let a = BitMessage::new(1, 4).unwrap();
+        let b = BitMessage::new(1, 8).unwrap();
+        let _ = a.xor(&b);
+    }
+
+    #[test]
+    fn split_and_reconstruct() {
+        let mut rng = Xoshiro256::new(1);
+        let secret = BitMessage::new(0xABC, 12).unwrap();
+        for n in [1usize, 2, 5, 20] {
+            let shares = split_xor(secret, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert_eq!(xor_reconstruct(&shares).unwrap(), secret);
+            assert!(shares.iter().all(|s| s.bits() == 12));
+        }
+    }
+
+    #[test]
+    fn shares_hide_the_secret() {
+        // Any k of k+1 shares are uniformly distributed: check that the
+        // first share alone takes many values across splittings.
+        let mut rng = Xoshiro256::new(2);
+        let secret = BitMessage::new(0x7FF, 12).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(split_xor(secret, 3, &mut rng)[0].value());
+        }
+        assert!(seen.len() > 100, "shares should look random, got {}", seen.len());
+    }
+
+    #[test]
+    fn reconstruct_empty_fails() {
+        assert!(xor_reconstruct(&[]).is_err());
+    }
+
+    #[test]
+    fn bit_share_roundtrip() {
+        let mut rng = Xoshiro256::new(3);
+        for n in [1usize, 2, 7, 21] {
+            for secret in [false, true] {
+                let shares = split_xor_bit(secret, n, &mut rng);
+                assert_eq!(shares.len(), n);
+                assert_eq!(xor_reconstruct_bit(&shares), secret);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_reconstruct(value in 0u64..4096, n in 1usize..24, seed in any::<u64>()) {
+            let mut rng = Xoshiro256::new(seed);
+            let secret = BitMessage::new(value, 12).unwrap();
+            let shares = split_xor(secret, n, &mut rng);
+            prop_assert_eq!(xor_reconstruct(&shares).unwrap(), secret);
+        }
+
+        #[test]
+        fn prop_bits_roundtrip(value in any::<u64>(), bits in 1u32..=64) {
+            let masked = if bits == 64 { value } else { value & ((1 << bits) - 1) };
+            let m = BitMessage::new(masked, bits).unwrap();
+            prop_assert_eq!(BitMessage::from_bits(&m.to_bits()), m);
+        }
+
+        #[test]
+        fn prop_subshare_two_levels(value in 0u64..4096, seed in any::<u64>()) {
+            // Shares of shares still reconstruct: the associativity/
+            // commutativity property the transfer protocol relies on.
+            let mut rng = Xoshiro256::new(seed);
+            let secret = BitMessage::new(value, 12).unwrap();
+            let shares = split_xor(secret, 4, &mut rng);
+            let all_subshares: Vec<BitMessage> = shares
+                .iter()
+                .flat_map(|s| split_xor(*s, 3, &mut rng))
+                .collect();
+            prop_assert_eq!(xor_reconstruct(&all_subshares).unwrap(), secret);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Privacy-budget accounting.
+//!
+//! Differential privacy composes additively: running several ε-DP queries
+//! against the same data spends the sum of their ε values.  DStress
+//! maintains a budget both for the *output* releases (§4.5: the banks
+//! replenish their budget once per year, allowing ≈3 runs) and for the
+//! *edge-privacy* leakage of the transfer protocol (Appendix B).  The
+//! [`PrivacyBudget`] ledger records every charge with a label so the
+//! harness can print an audit trail.
+
+use core::fmt;
+
+/// Errors raised by the budget ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// The requested charge would exceed the remaining budget.
+    Exhausted {
+        /// Epsilon requested by the query.
+        requested: f64,
+        /// Epsilon still available.
+        remaining: f64,
+    },
+    /// A charge with a non-positive ε was requested.
+    InvalidCharge {
+        /// The offending value.
+        epsilon: f64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            BudgetError::InvalidCharge { epsilon } => {
+                write!(f, "privacy charges must be positive, got ε={epsilon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A single recorded expenditure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetCharge {
+    /// Human-readable description of what consumed the budget.
+    pub label: String,
+    /// The ε spent.
+    pub epsilon: f64,
+}
+
+/// An ε-differential-privacy budget ledger.
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    charges: Vec<BudgetCharge>,
+}
+
+impl PrivacyBudget {
+    /// Creates a ledger with the given total ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total is not positive.
+    pub fn new(total_epsilon: f64) -> Self {
+        assert!(total_epsilon > 0.0, "total budget must be positive");
+        PrivacyBudget {
+            total: total_epsilon,
+            charges: Vec::new(),
+        }
+    }
+
+    /// The budget the paper assumes for the systemic-risk deployment:
+    /// ε_max = ln 2, i.e. no adversary may more than double its confidence
+    /// in any fact about the inputs (§4.5).
+    pub fn paper_annual_budget() -> Self {
+        PrivacyBudget::new(2f64.ln())
+    }
+
+    /// Total ε available over the budget period.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.charges.iter().map(|c| c.epsilon).sum()
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent()).max(0.0)
+    }
+
+    /// Attempts to charge `epsilon` against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError::Exhausted`] if the remaining budget is
+    /// insufficient and [`BudgetError::InvalidCharge`] for non-positive ε.
+    pub fn charge(&mut self, label: &str, epsilon: f64) -> Result<(), BudgetError> {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(BudgetError::InvalidCharge { epsilon });
+        }
+        let remaining = self.remaining();
+        // Tolerate floating-point rounding at the boundary.
+        if epsilon > remaining + 1e-12 {
+            return Err(BudgetError::Exhausted {
+                requested: epsilon,
+                remaining,
+            });
+        }
+        self.charges.push(BudgetCharge {
+            label: label.to_string(),
+            epsilon,
+        });
+        Ok(())
+    }
+
+    /// How many identical charges of `epsilon` fit in the *total* budget
+    /// (the paper's "≈3 runs per year" computation).
+    pub fn max_queries(&self, epsilon: f64) -> u32 {
+        assert!(epsilon > 0.0);
+        (self.total / epsilon).floor() as u32
+    }
+
+    /// The audit trail of recorded charges.
+    pub fn charges(&self) -> &[BudgetCharge] {
+        &self.charges
+    }
+
+    /// Resets the ledger (the paper's annual replenishment, justified by
+    /// the banks' mandatory yearly disclosures).
+    pub fn replenish(&mut self) {
+        self.charges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut budget = PrivacyBudget::new(1.0);
+        budget.charge("q1", 0.3).unwrap();
+        budget.charge("q2", 0.4).unwrap();
+        assert!((budget.spent() - 0.7).abs() < 1e-12);
+        assert!((budget.remaining() - 0.3).abs() < 1e-12);
+        assert_eq!(budget.charges().len(), 2);
+        assert_eq!(budget.charges()[0].label, "q1");
+    }
+
+    #[test]
+    fn exhaustion_is_detected() {
+        let mut budget = PrivacyBudget::new(0.5);
+        budget.charge("big", 0.4).unwrap();
+        let err = budget.charge("too much", 0.2).unwrap_err();
+        assert!(matches!(err, BudgetError::Exhausted { .. }));
+        assert!(err.to_string().contains("exhausted"));
+        // The failed charge is not recorded.
+        assert_eq!(budget.charges().len(), 1);
+    }
+
+    #[test]
+    fn invalid_charges_rejected() {
+        let mut budget = PrivacyBudget::new(1.0);
+        assert!(matches!(
+            budget.charge("zero", 0.0).unwrap_err(),
+            BudgetError::InvalidCharge { .. }
+        ));
+        assert!(budget.charge("nan", f64::NAN).is_err());
+        assert!(budget.charge("neg", -0.1).is_err());
+    }
+
+    #[test]
+    fn paper_budget_allows_three_egj_runs() {
+        // §4.5: ε_max = ln 2, ε_query = 0.23 ⇒ 3 runs per year.
+        let budget = PrivacyBudget::paper_annual_budget();
+        assert_eq!(budget.max_queries(0.23), 3);
+        assert!((budget.total() - 0.6931).abs() < 1e-3);
+    }
+
+    #[test]
+    fn replenish_restores_budget() {
+        let mut budget = PrivacyBudget::new(1.0);
+        budget.charge("q", 0.9).unwrap();
+        budget.replenish();
+        assert_eq!(budget.spent(), 0.0);
+        budget.charge("q2", 0.9).unwrap();
+    }
+
+    #[test]
+    fn boundary_charge_is_allowed() {
+        let mut budget = PrivacyBudget::new(0.6931471805599453);
+        for _ in 0..3 {
+            budget.charge("run", 0.23).unwrap();
+        }
+        assert!(budget.charge("fourth", 0.23).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "total budget must be positive")]
+    fn zero_total_panics() {
+        let _ = PrivacyBudget::new(0.0);
+    }
+}

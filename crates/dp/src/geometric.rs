@@ -1,0 +1,195 @@
+//! The two-sided geometric mechanism.
+//!
+//! The message transfer protocol (§3.5, final version) homomorphically
+//! adds an *even* random number drawn from `2 · Geo(α^{2/(k+1)})` to every
+//! forwarded bit-sum, where `Geo(α)` is the discretised Laplace
+//! distribution of Ghosh, Roughgarden and Sundararajan [33]:
+//!
+//! ```text
+//! Pr[Y = d] = (1 - α) / (1 + α) · α^{|d|},   d ∈ ℤ, α ∈ (0, 1)
+//! ```
+//!
+//! Adding `Geo(α^{1/Δ})` noise to a query with sensitivity `Δ` gives
+//! ε-differential privacy with `ε = −ln α` (Appendix B).  The protocol
+//! uses sensitivity `Δ = k + 1` (all block members could flip their bit
+//! shares) and doubles the sample so that parity — the information the
+//! receiving block actually consumes — is preserved.
+
+use dstress_math::rng::DetRng;
+
+/// A two-sided geometric distribution with parameter `alpha ∈ (0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in the open interval (0, 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
+        TwoSidedGeometric { alpha }
+    }
+
+    /// Builds the distribution that gives `epsilon`-DP for a query of the
+    /// given sensitivity: `alpha = exp(-epsilon / sensitivity)`.
+    pub fn for_epsilon(epsilon: f64, sensitivity: f64) -> Self {
+        assert!(epsilon > 0.0 && sensitivity > 0.0);
+        TwoSidedGeometric::new((-epsilon / sensitivity).exp())
+    }
+
+    /// The distribution parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The ε this distribution provides for a sensitivity-1 query
+    /// (`ε = −ln α`).
+    pub fn epsilon(&self) -> f64 {
+        -self.alpha.ln()
+    }
+
+    /// Probability mass at `d`.
+    pub fn pmf(&self, d: i64) -> f64 {
+        (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha.powi(d.unsigned_abs() as i32)
+    }
+
+    /// Probability that a sample falls outside `[-bound, bound]`.
+    ///
+    /// This is the per-transfer decryption-failure probability when the
+    /// discrete-log lookup table covers `2·bound + 1` values (Appendix B's
+    /// `P_fail` before scaling by the number of transfers).
+    pub fn tail_probability(&self, bound: u64) -> f64 {
+        // P(|Y| > bound) = 2 * sum_{d > bound} pmf(d) = 2 * pmf(bound+1) / (1 - alpha) * ... ;
+        // using the geometric series: P = (2 α^{bound+1}) / (1 + α).
+        2.0 * self.alpha.powf(bound as f64 + 1.0) / (1.0 + self.alpha)
+    }
+
+    /// Draws one sample by inverse-CDF sampling.
+    pub fn sample(&self, rng: &mut dyn DetRng) -> i64 {
+        // Sample magnitude ~ geometric, then sign; mass at 0 handled first.
+        let p0 = (1.0 - self.alpha) / (1.0 + self.alpha);
+        let u = rng.next_f64();
+        if u < p0 {
+            return 0;
+        }
+        // Remaining mass is split evenly between the two signs; magnitude m
+        // (m >= 1) has probability proportional to alpha^m.
+        let sign = if rng.next_bool() { 1i64 } else { -1i64 };
+        // Inverse CDF of the (shifted) geometric distribution.
+        let v = rng.next_f64().max(f64::MIN_POSITIVE);
+        let magnitude = (v.ln() / self.alpha.ln()).floor() as i64 + 1;
+        sign * magnitude
+    }
+
+    /// Draws the *even* noise used by the transfer protocol:
+    /// `2 · Geo(α)` (always an even integer, possibly negative).
+    pub fn sample_even(&self, rng: &mut dyn DetRng) -> i64 {
+        2 * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_math::rng::Xoshiro256;
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn invalid_alpha_panics() {
+        let _ = TwoSidedGeometric::new(1.0);
+    }
+
+    #[test]
+    fn epsilon_alpha_roundtrip() {
+        let g = TwoSidedGeometric::for_epsilon(0.5, 1.0);
+        assert!((g.epsilon() - 0.5).abs() < 1e-12);
+        let g = TwoSidedGeometric::for_epsilon(0.5, 20.0);
+        assert!((g.alpha() - (-0.025f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = TwoSidedGeometric::new(0.7);
+        let total: f64 = (-200i64..=200).map(|d| g.pmf(d)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn pmf_is_symmetric_and_decaying() {
+        let g = TwoSidedGeometric::new(0.5);
+        assert_eq!(g.pmf(3), g.pmf(-3));
+        assert!(g.pmf(0) > g.pmf(1));
+        assert!(g.pmf(1) > g.pmf(5));
+    }
+
+    #[test]
+    fn dp_ratio_bound_holds() {
+        // For neighbouring outputs differing by 1, the pmf ratio must stay
+        // within [alpha, 1/alpha] — the defining DP property (Appendix B).
+        let g = TwoSidedGeometric::new(0.8);
+        for d in -20i64..20 {
+            let ratio = g.pmf(d) / g.pmf(d + 1);
+            assert!(ratio >= g.alpha() - 1e-12 && ratio <= 1.0 / g.alpha() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_match_distribution() {
+        let g = TwoSidedGeometric::new(0.6);
+        let mut rng = Xoshiro256::new(5);
+        let n = 50_000;
+        let mut zero_count = 0usize;
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let s = g.sample(&mut rng);
+            if s == 0 {
+                zero_count += 1;
+            }
+            sum += s;
+        }
+        let p0_expected = (1.0 - 0.6) / (1.0 + 0.6);
+        let p0_observed = zero_count as f64 / n as f64;
+        assert!((p0_observed - p0_expected).abs() < 0.01, "p0 = {p0_observed}");
+        assert!((sum as f64 / n as f64).abs() < 0.05, "mean = {}", sum as f64 / n as f64);
+    }
+
+    #[test]
+    fn even_samples_are_even() {
+        let g = TwoSidedGeometric::new(0.9);
+        let mut rng = Xoshiro256::new(9);
+        for _ in 0..1000 {
+            assert_eq!(g.sample_even(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tail_probability_matches_empirical() {
+        let g = TwoSidedGeometric::new(0.8);
+        let bound = 10u64;
+        let analytic = g.tail_probability(bound);
+        let mut rng = Xoshiro256::new(3);
+        let n = 200_000;
+        let outside = (0..n)
+            .filter(|_| g.sample(&mut rng).unsigned_abs() > bound)
+            .count();
+        let empirical = outside as f64 / n as f64;
+        assert!(
+            (analytic - empirical).abs() < 0.005,
+            "analytic {analytic} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn tail_probability_decreases_with_bound() {
+        let g = TwoSidedGeometric::new(0.999);
+        assert!(g.tail_probability(10) > g.tail_probability(100));
+        assert!(g.tail_probability(100) > g.tail_probability(10_000));
+    }
+}

@@ -1,0 +1,150 @@
+//! The Laplace mechanism.
+//!
+//! A deterministic query `q̄` with sensitivity `s` is made ε-differentially
+//! private by releasing `q̄ + Lap(s/ε)` (§3 of the paper).  DStress draws
+//! the noise inside the aggregation MPC from a jointly-contributed seed;
+//! in the reproduction the same sampling code runs either in plaintext (in
+//! the reference executor) or on the seed reconstructed by the aggregation
+//! block (in the DStress runtime), so the two paths produce identical
+//! noise for identical seeds.
+
+use dstress_math::rng::DetRng;
+
+/// The Laplace mechanism with a fixed sensitivity and privacy parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaplaceMechanism {
+    sensitivity: f64,
+    epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism for a query with the given sensitivity and the
+    /// desired ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive (a programming
+    /// error: the paper requires a known finite sensitivity bound, §3.7).
+    pub fn new(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        LaplaceMechanism {
+            sensitivity,
+            epsilon,
+        }
+    }
+
+    /// The scale parameter `b = s / ε` of the Laplace distribution.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// The configured sensitivity.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The configured ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Draws one Laplace noise sample via inverse-CDF sampling.
+    pub fn sample_noise(&self, rng: &mut dyn DetRng) -> f64 {
+        // u uniform in (-0.5, 0.5]; noise = -b * sign(u) * ln(1 - 2|u|).
+        let u = rng.next_f64() - 0.5;
+        let b = self.scale();
+        let magnitude = -b * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+        if u < 0.0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Releases a noised value.
+    pub fn release(&self, true_value: f64, rng: &mut dyn DetRng) -> f64 {
+        true_value + self.sample_noise(rng)
+    }
+
+    /// The symmetric interval half-width within which the noise stays with
+    /// the given (two-sided) confidence: `P(|noise| <= w) = confidence`.
+    pub fn noise_bound(&self, confidence: f64) -> f64 {
+        assert!((0.0..1.0).contains(&confidence), "confidence must be in [0, 1)");
+        -self.scale() * (1.0 - confidence).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_math::rng::Xoshiro256;
+
+    #[test]
+    fn scale_is_sensitivity_over_epsilon() {
+        let m = LaplaceMechanism::new(20.0, 0.23);
+        assert!((m.scale() - 86.9565).abs() < 1e-3);
+        assert_eq!(m.sensitivity(), 20.0);
+        assert_eq!(m.epsilon(), 0.23);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity must be positive")]
+    fn zero_sensitivity_panics() {
+        let _ = LaplaceMechanism::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_panics() {
+        let _ = LaplaceMechanism::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn samples_have_laplace_statistics() {
+        let m = LaplaceMechanism::new(1.0, 1.0); // scale 1
+        let mut rng = Xoshiro256::new(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        // Lap(1) has mean 0 and variance 2.
+        assert!(mean.abs() < 0.05, "mean was {mean}");
+        assert!((var - 2.0).abs() < 0.2, "variance was {var}");
+    }
+
+    #[test]
+    fn noise_scales_with_epsilon() {
+        let mut rng_a = Xoshiro256::new(7);
+        let mut rng_b = Xoshiro256::new(7);
+        let strong = LaplaceMechanism::new(1.0, 0.1); // more noise
+        let weak = LaplaceMechanism::new(1.0, 10.0); // less noise
+        let spread = |m: &LaplaceMechanism, rng: &mut Xoshiro256| {
+            (0..2000).map(|_| m.sample_noise(rng).abs()).sum::<f64>() / 2000.0
+        };
+        assert!(spread(&strong, &mut rng_a) > 10.0 * spread(&weak, &mut rng_b));
+    }
+
+    #[test]
+    fn release_is_reproducible_from_seed() {
+        let m = LaplaceMechanism::new(5.0, 0.5);
+        let a = m.release(100.0, &mut Xoshiro256::new(3));
+        let b = m.release(100.0, &mut Xoshiro256::new(3));
+        assert_eq!(a, b);
+        assert_ne!(a, 100.0);
+    }
+
+    #[test]
+    fn noise_bound_matches_tail() {
+        let m = LaplaceMechanism::new(1.0, 1.0);
+        let bound = m.noise_bound(0.95);
+        // For Lap(1): P(|X| <= w) = 1 - exp(-w), so w = ln 20 ≈ 3.0.
+        assert!((bound - 20f64.ln()).abs() < 1e-9);
+        // Empirically ~95% of samples are inside the bound.
+        let mut rng = Xoshiro256::new(11);
+        let inside = (0..10_000)
+            .filter(|_| m.sample_noise(&mut rng).abs() <= bound)
+            .count();
+        assert!((9300..9700).contains(&inside), "inside = {inside}");
+    }
+}

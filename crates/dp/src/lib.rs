@@ -1,0 +1,32 @@
+//! Differential privacy for the DStress reproduction.
+//!
+//! DStress uses differential privacy in two places:
+//!
+//! 1. **Output privacy** — the final aggregate (the Total Dollar Shortfall
+//!    in the systemic-risk case study) is released through the Laplace
+//!    mechanism; the guarantee is *dollar-differential privacy* (§4.1):
+//!    two input data sets are similar if one can be obtained from the
+//!    other by re-allocating at most `T` dollars in a single portfolio.
+//! 2. **Edge privacy** — the bit-share sums revealed by the message
+//!    transfer protocol are noised with an even two-sided geometric random
+//!    variable, and Appendix B accounts the resulting ε-expenditure
+//!    against a privacy budget.
+//!
+//! The crate provides the mechanisms ([`laplace`], [`geometric`]), the
+//! budget ledger ([`budget`]), the §4.5 utility analysis ([`utility`]) and
+//! the Appendix B edge-privacy accounting ([`edge_privacy`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod edge_privacy;
+pub mod geometric;
+pub mod laplace;
+pub mod utility;
+
+pub use budget::{BudgetError, PrivacyBudget};
+pub use edge_privacy::EdgePrivacyAccounting;
+pub use geometric::TwoSidedGeometric;
+pub use laplace::LaplaceMechanism;
+pub use utility::UtilityAnalysis;

@@ -1,0 +1,138 @@
+//! The §4.5 utility analysis for dollar-differential privacy.
+//!
+//! The paper walks through the policy arithmetic for the systemic-risk
+//! deployment: choose the annual privacy budget `ε_max`, the dollar
+//! granularity `T` that defines similar data sets, the leverage bound `r`
+//! that determines the algorithm sensitivity, and the output precision the
+//! regulator needs; out come the per-query `ε_query` and the number of
+//! stress tests that can be run per year.  [`UtilityAnalysis`] reproduces
+//! that chain so the harness can print the paper's numbers (ε_query ≥
+//! 0.23, ≈3 runs/year) and explore alternatives.
+
+/// Inputs and derived quantities of the §4.5 analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UtilityAnalysis {
+    /// Annual privacy budget ε_max (the paper uses ln 2).
+    pub epsilon_max: f64,
+    /// Dollar granularity `T` protected by similarity, in dollars
+    /// (the paper uses $1 billion).
+    pub granularity_dollars: f64,
+    /// Algorithm sensitivity in multiples of `T` (2/r for EGJ, 1/r for EN).
+    pub sensitivity: f64,
+    /// Required output precision in dollars (the paper uses ±$200 billion).
+    pub precision_dollars: f64,
+    /// Required confidence that the noise stays within the precision
+    /// (the paper uses 95%).
+    pub confidence: f64,
+}
+
+impl UtilityAnalysis {
+    /// The exact configuration of §4.5 (Elliott–Golub–Jackson with the
+    /// Basel III leverage bound r = 0.1).
+    pub fn paper_egj() -> Self {
+        UtilityAnalysis {
+            epsilon_max: 2f64.ln(),
+            granularity_dollars: 1.0e9,
+            sensitivity: 2.0 / 0.1,
+            precision_dollars: 200.0e9,
+            confidence: 0.95,
+        }
+    }
+
+    /// The same analysis for Eisenberg–Noe (sensitivity 1/r).
+    pub fn paper_en() -> Self {
+        UtilityAnalysis {
+            sensitivity: 1.0 / 0.1,
+            ..UtilityAnalysis::paper_egj()
+        }
+    }
+
+    /// The Laplace scale of the released value, in dollars:
+    /// `T · sensitivity / ε_query`.
+    pub fn noise_scale_dollars(&self, epsilon_query: f64) -> f64 {
+        self.granularity_dollars * self.sensitivity / epsilon_query
+    }
+
+    /// The smallest ε_query such that the (one-sided) probability of the
+    /// noise exceeding the precision target is at most `1 - confidence`.
+    ///
+    /// For Laplace noise with scale `b`, `P(noise > t) = exp(-t/b)/2`, so
+    /// the requirement `exp(-t/b)/2 ≤ 1 - confidence` yields
+    /// `ε_query ≥ ln(1 / (2(1-confidence))) · T·s / t`.
+    pub fn required_epsilon_query(&self) -> f64 {
+        let tail = 1.0 - self.confidence;
+        let t_over_ts = self.precision_dollars / (self.granularity_dollars * self.sensitivity);
+        (1.0 / (2.0 * tail)).ln() / t_over_ts
+    }
+
+    /// Number of queries of [`Self::required_epsilon_query`] that fit in
+    /// the annual budget.
+    pub fn runs_per_year(&self) -> u32 {
+        (self.epsilon_max / self.required_epsilon_query()).floor() as u32
+    }
+
+    /// The probability that the released value is within
+    /// `± precision_dollars` of the true value when using `epsilon_query`.
+    pub fn accuracy_probability(&self, epsilon_query: f64) -> f64 {
+        let b = self.noise_scale_dollars(epsilon_query);
+        1.0 - (-self.precision_dollars / b).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_reproduced() {
+        let a = UtilityAnalysis::paper_egj();
+        // Sensitivity 2/r with r = 0.1 is 20.
+        assert_eq!(a.sensitivity, 20.0);
+        // ε_query ≥ 0.23 (the paper rounds to two decimals).
+        let eps = a.required_epsilon_query();
+        assert!((eps - 0.2303).abs() < 0.001, "epsilon_query = {eps}");
+        // Roughly three runs per year.
+        assert_eq!(a.runs_per_year(), 3);
+    }
+
+    #[test]
+    fn en_needs_less_noise_than_egj() {
+        let egj = UtilityAnalysis::paper_egj();
+        let en = UtilityAnalysis::paper_en();
+        assert!(en.required_epsilon_query() < egj.required_epsilon_query());
+        assert!(en.runs_per_year() >= egj.runs_per_year());
+        assert_eq!(en.runs_per_year(), 6);
+    }
+
+    #[test]
+    fn noise_scale_matches_formula() {
+        let a = UtilityAnalysis::paper_egj();
+        // T·Lap(20/ε): at ε = 0.23 the scale is about $87 billion.
+        let scale = a.noise_scale_dollars(0.23);
+        assert!((scale - 86.96e9).abs() < 0.1e9, "scale = {scale}");
+    }
+
+    #[test]
+    fn accuracy_improves_with_epsilon() {
+        let a = UtilityAnalysis::paper_egj();
+        let low = a.accuracy_probability(0.1);
+        let high = a.accuracy_probability(1.0);
+        assert!(high > low);
+        assert!(high > 0.99);
+        // At the derived ε_query, accuracy meets the one-sided 95% target
+        // (the two-sided probability is slightly above 90%).
+        let at_required = a.accuracy_probability(a.required_epsilon_query());
+        assert!(at_required > 0.89, "accuracy = {at_required}");
+    }
+
+    #[test]
+    fn tighter_precision_costs_more_budget() {
+        let loose = UtilityAnalysis::paper_egj();
+        let tight = UtilityAnalysis {
+            precision_dollars: 50.0e9,
+            ..loose
+        };
+        assert!(tight.required_epsilon_query() > loose.required_epsilon_query());
+        assert!(tight.runs_per_year() <= loose.runs_per_year());
+    }
+}

@@ -1,0 +1,194 @@
+//! The Appendix C contagion experiments.
+//!
+//! The paper estimates how many iterations the vertex programs need by
+//! simulating contagion on a stylised 50-bank two-tier network (10 densely
+//! interconnected core banks, 40 peripheral banks linked to one or two
+//! core banks).  Two scenarios are studied: a shock to a set of regional
+//! banks that the core absorbs, and a shock severe enough to take down the
+//! entire core.  The observation is that shocks either escalate rapidly or
+//! not at all, and that `I = log₂ N` iterations are enough for the cascade
+//! to reach its final extent.
+
+use crate::eisenberg_noe::clearing_vector;
+use crate::elliott_golub_jackson::egj_fixpoint;
+use crate::generator::{apply_shock, core_periphery, GeneratorConfig};
+use crate::metrics::ShortfallReport;
+use crate::network::FinancialNetwork;
+use dstress_graph::VertexId;
+use dstress_math::rng::DetRng;
+
+/// Which contagion model a scenario is evaluated under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContagionModel {
+    /// Eisenberg–Noe debt clearing.
+    EisenbergNoe,
+    /// Elliott–Golub–Jackson cross-holdings.
+    ElliottGolubJackson,
+}
+
+/// The outcome of one contagion scenario.
+#[derive(Clone, Debug)]
+pub struct ContagionOutcome {
+    /// Shortfall report at convergence.
+    pub report: ShortfallReport,
+    /// Iterations until the cascade reached its final extent (the set of
+    /// failed banks stopped growing and the shortfall was within 1% of its
+    /// limiting value).
+    pub iterations_to_converge: u32,
+    /// Whether the shock spread beyond the directly shocked banks.
+    pub cascaded: bool,
+}
+
+/// The set of banks with a positive shortfall in a report.
+fn failed_set(report: &ShortfallReport) -> Vec<usize> {
+    report
+        .per_bank
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > 1e-6)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Builds the Appendix C two-tier network.
+pub fn appendix_c_network(rng: &mut dyn DetRng) -> FinancialNetwork {
+    core_periphery(&GeneratorConfig::appendix_c(), rng)
+}
+
+/// Runs a model on a network at increasing iteration counts and reports
+/// the converged outcome.
+pub fn run_contagion(
+    net: &FinancialNetwork,
+    model: ContagionModel,
+    shocked: &[VertexId],
+    max_iterations: u32,
+) -> ContagionOutcome {
+    let evaluate = |iterations: u32| -> ShortfallReport {
+        match model {
+            ContagionModel::EisenbergNoe => clearing_vector(net, iterations),
+            ContagionModel::ElliottGolubJackson => egj_fixpoint(net, iterations),
+        }
+    };
+    let final_report = evaluate(max_iterations);
+    let final_failed = failed_set(&final_report);
+    let mut iterations_to_converge = max_iterations;
+    for iterations in 1..=max_iterations {
+        let report = evaluate(iterations);
+        // "Converged" means the cascade has reached its final extent: the
+        // same set of banks has failed as in the limit, and the total
+        // shortfall is within a few percent of its limiting value (the
+        // geometric tail after that does not change who failed).
+        if failed_set(&report) == final_failed
+            && (report.total_shortfall - final_report.total_shortfall).abs()
+                < 5e-2 * (1.0 + final_report.total_shortfall)
+        {
+            iterations_to_converge = iterations;
+            break;
+        }
+    }
+    let shocked_set: Vec<usize> = shocked.iter().map(|v| v.0).collect();
+    let cascaded = final_report
+        .per_bank
+        .iter()
+        .enumerate()
+        .any(|(i, &s)| s > 1e-6 && !shocked_set.contains(&i));
+    ContagionOutcome {
+        report: final_report,
+        iterations_to_converge,
+        cascaded,
+    }
+}
+
+/// The "absorbed shock" scenario: a handful of peripheral banks lose most
+/// of their assets; the core is large enough to absorb the losses.
+pub fn absorbed_shock_scenario(
+    rng: &mut dyn DetRng,
+    model: ContagionModel,
+) -> (FinancialNetwork, ContagionOutcome) {
+    let mut net = appendix_c_network(rng);
+    let shocked: Vec<VertexId> = (45..50).map(VertexId).collect();
+    apply_shock(&mut net, &shocked, 0.9);
+    let outcome = run_contagion(&net, model, &shocked, 50);
+    (net, outcome)
+}
+
+/// The "cascade" scenario: most of the core loses almost all of its
+/// assets, dragging the remaining core banks (and parts of the periphery)
+/// below water.
+pub fn cascade_scenario(
+    rng: &mut dyn DetRng,
+    model: ContagionModel,
+) -> (FinancialNetwork, ContagionOutcome) {
+    let mut net = appendix_c_network(rng);
+    let shocked: Vec<VertexId> = (0..7).map(VertexId).collect();
+    apply_shock(&mut net, &shocked, 0.99);
+    let outcome = run_contagion(&net, model, &shocked, 50);
+    (net, outcome)
+}
+
+/// The iteration-count rule the paper derives from these simulations:
+/// `I = ceil(log₂ N)`.
+pub fn recommended_iterations(banks: usize) -> u32 {
+    (banks.max(2) as f64).log2().ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_math::rng::Xoshiro256;
+
+    #[test]
+    fn absorbed_shock_stays_contained() {
+        let mut rng = Xoshiro256::new(0xA55);
+        let (_, outcome) = absorbed_shock_scenario(&mut rng, ContagionModel::EisenbergNoe);
+        // Peripheral shortfalls exist but the core does not fail: fewer
+        // than a quarter of the banks are affected.
+        assert!(outcome.report.failed_banks <= 12, "failed = {}", outcome.report.failed_banks);
+        // Either way the damage is bounded: far less than a core collapse.
+        let mut rng = Xoshiro256::new(0xA55);
+        let (_, cascade) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
+        assert!(cascade.report.total_shortfall > 2.0 * outcome.report.total_shortfall);
+    }
+
+    #[test]
+    fn cascade_spreads_beyond_shocked_banks() {
+        let mut rng = Xoshiro256::new(0xCA5);
+        let (_, outcome) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
+        assert!(outcome.cascaded, "core shock should propagate");
+        assert!(outcome.report.failed_banks > 7, "failed = {}", outcome.report.failed_banks);
+        assert!(outcome.report.total_shortfall > 100.0);
+    }
+
+    #[test]
+    fn egj_scenarios_follow_same_pattern() {
+        let mut rng = Xoshiro256::new(0xE6);
+        let (_, absorbed) = absorbed_shock_scenario(&mut rng, ContagionModel::ElliottGolubJackson);
+        let mut rng = Xoshiro256::new(0xE6);
+        let (_, cascade) = cascade_scenario(&mut rng, ContagionModel::ElliottGolubJackson);
+        assert!(cascade.report.total_shortfall > absorbed.report.total_shortfall);
+        assert!(cascade.report.failed_banks >= absorbed.report.failed_banks);
+    }
+
+    #[test]
+    fn convergence_within_log2_n_iterations() {
+        // The Appendix C claim: log2(N) iterations suffice for the cascade
+        // to reach its final extent on two-tier networks.
+        for seed in [1u64, 2, 3] {
+            let mut rng = Xoshiro256::new(seed);
+            let (net, outcome) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
+            let bound = recommended_iterations(net.bank_count());
+            assert!(
+                outcome.iterations_to_converge <= bound + 2,
+                "seed {seed}: converged in {} iterations, bound {bound}",
+                outcome.iterations_to_converge
+            );
+        }
+    }
+
+    #[test]
+    fn recommended_iterations_matches_paper() {
+        assert_eq!(recommended_iterations(50), 6);
+        assert_eq!(recommended_iterations(100), 7);
+        assert_eq!(recommended_iterations(1750), 11);
+    }
+}

@@ -1,0 +1,40 @@
+//! Systemic-risk case study for the DStress reproduction (§4 of the paper).
+//!
+//! The paper's motivating application is measuring *systemic risk* in a
+//! financial network whose edges (interbank debts and equity
+//! cross-holdings) are too sensitive to pool in one place.  This crate
+//! provides everything that case study needs:
+//!
+//! * [`network`] — the financial-network data model: banks with balance
+//!   sheets, directed exposures (debts and cross-holdings) attached to
+//!   graph edges.
+//! * [`generator`] — synthetic network generators following the empirical
+//!   structure the paper's Appendix C relies on (core–periphery à la
+//!   Cocco et al., scale-free, Erdős–Rényi), balance-sheet synthesis under
+//!   a leverage bound, and shock scenarios.
+//! * [`eisenberg_noe`] — the Eisenberg–Noe clearing model (§4.2): a
+//!   classic fixpoint solver, a plaintext vertex program, and the Boolean
+//!   circuit encoding executed by the DStress runtime.
+//! * [`elliott_golub_jackson`] — the Elliott–Golub–Jackson
+//!   cross-holdings model (§4.3) in the same three forms.
+//! * [`metrics`] — the Total Dollar Shortfall metric and the sensitivity
+//!   bounds of §4.4 (`1/r` for EN, `2/r` for EGJ).
+//! * [`contagion`] — the Appendix C experiments: a 50-bank two-tier
+//!   network, absorbed-shock and cascade scenarios, and the empirical
+//!   iteration-count analysis behind the `I = log₂ N` rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contagion;
+pub mod eisenberg_noe;
+pub mod elliott_golub_jackson;
+pub mod generator;
+pub mod metrics;
+pub mod network;
+
+pub use eisenberg_noe::{EisenbergNoeProgram, EisenbergNoeSecure};
+pub use elliott_golub_jackson::{ElliottGolubJacksonProgram, ElliottGolubJacksonSecure};
+pub use generator::{core_periphery, erdos_renyi_financial, scale_free, GeneratorConfig};
+pub use metrics::{sensitivity_bound_egj, sensitivity_bound_en, CircuitParams};
+pub use network::{Bank, Exposure, FinancialNetwork};

@@ -1,0 +1,159 @@
+//! Systemic-risk metrics, sensitivity bounds and circuit encoding
+//! parameters.
+//!
+//! The paper measures systemic risk as the **Total Dollar Shortfall**
+//! (TDS): the amount of money the government would have to inject to
+//! prevent failures (§4.1).  TDS is well suited to dollar-differential
+//! privacy because re-allocating `T` dollars in one portfolio changes it
+//! by at most a bounded amount: the sensitivity is `1/r` for
+//! Eisenberg–Noe and `2/r` for Elliott–Golub–Jackson, where `r` is the
+//! regulatory leverage bound (§4.4, citing Hemenway & Khanna).
+
+use dstress_math::Fixed;
+
+/// Fixed-point encoding parameters shared by the circuit forms of the two
+/// models.
+///
+/// Every money value is encoded as an unsigned `word_bits`-bit integer
+/// with `frac_bits` fractional bits.  The prototype used 12-bit shares;
+/// the reproduction defaults to 16-bit words so that the synthetic
+/// networks (whose values are expressed in billions of dollars) fit
+/// comfortably.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitParams {
+    /// Width of every money word in the circuits.
+    pub word_bits: u32,
+    /// Number of fractional bits within the word.
+    pub frac_bits: u32,
+}
+
+impl CircuitParams {
+    /// Default parameters: 16-bit words with 5 fractional bits (values up
+    /// to 2047 money units with ~0.03-unit resolution).
+    pub fn default_params() -> Self {
+        CircuitParams {
+            word_bits: 16,
+            frac_bits: 5,
+        }
+    }
+
+    /// The largest representable money value.
+    pub fn max_value(&self) -> f64 {
+        ((1u64 << self.word_bits) - 1) as f64 / (1u64 << self.frac_bits) as f64
+    }
+
+    /// Encodes a non-negative [`Fixed`] money value as a circuit word.
+    ///
+    /// Values are clamped into the representable range; the generators are
+    /// expected to produce networks that fit without clamping (checked by
+    /// tests via [`crate::FinancialNetwork::max_value`]).
+    pub fn encode(&self, value: Fixed) -> u64 {
+        let scaled = (value.to_f64() * (1u64 << self.frac_bits) as f64).round();
+        let max = ((1u64 << self.word_bits) - 1) as f64;
+        scaled.clamp(0.0, max) as u64
+    }
+
+    /// Decodes a circuit word back into money units.
+    pub fn decode(&self, raw: u64) -> f64 {
+        raw as f64 / (1u64 << self.frac_bits) as f64
+    }
+
+    /// Encodes the constant one (used for pro-rata fractions).
+    pub fn one(&self) -> u64 {
+        1u64 << self.frac_bits
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams::default_params()
+    }
+}
+
+/// The sensitivity bound of the Eisenberg–Noe total dollar shortfall under
+/// dollar-differential privacy: `1/r` for leverage bound `r` (§4.4).
+pub fn sensitivity_bound_en(leverage_bound: f64) -> f64 {
+    assert!(leverage_bound > 0.0, "leverage bound must be positive");
+    1.0 / leverage_bound
+}
+
+/// The sensitivity bound of the Elliott–Golub–Jackson total dollar
+/// shortfall: `2/r` (§4.4, Hemenway & Khanna).
+pub fn sensitivity_bound_egj(leverage_bound: f64) -> f64 {
+    assert!(leverage_bound > 0.0, "leverage bound must be positive");
+    2.0 / leverage_bound
+}
+
+/// Summary of one contagion computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShortfallReport {
+    /// Total dollar shortfall in money units.
+    pub total_shortfall: f64,
+    /// Number of banks that failed (or fell below their threshold).
+    pub failed_banks: usize,
+    /// Per-bank shortfalls in money units.
+    pub per_bank: Vec<f64>,
+}
+
+impl ShortfallReport {
+    /// Builds a report from per-bank shortfalls.
+    pub fn from_per_bank(per_bank: Vec<f64>) -> Self {
+        let total_shortfall = per_bank.iter().sum();
+        let failed_banks = per_bank.iter().filter(|&&s| s > 1e-9).count();
+        ShortfallReport {
+            total_shortfall,
+            failed_banks,
+            per_bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sensitivities() {
+        // Basel III leverage bound r = 0.1 (§4.5).
+        assert_eq!(sensitivity_bound_en(0.1), 10.0);
+        assert_eq!(sensitivity_bound_egj(0.1), 20.0);
+        assert!(sensitivity_bound_egj(0.1) > sensitivity_bound_en(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "leverage bound must be positive")]
+    fn zero_leverage_panics() {
+        let _ = sensitivity_bound_en(0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = CircuitParams::default_params();
+        for value in [0.0f64, 1.0, 13.25, 512.5, 1000.0] {
+            let encoded = p.encode(Fixed::from_f64(value));
+            let decoded = p.decode(encoded);
+            assert!((decoded - value).abs() <= 1.0 / 32.0, "{value} -> {decoded}");
+        }
+        assert_eq!(p.one(), 32);
+        assert!(p.max_value() > 2000.0);
+    }
+
+    #[test]
+    fn encode_clamps_out_of_range() {
+        let p = CircuitParams {
+            word_bits: 8,
+            frac_bits: 4,
+        };
+        assert_eq!(p.encode(Fixed::from_int(1_000_000)), 255);
+        assert_eq!(p.encode(Fixed::from_int(-5)), 0);
+        assert!((p.max_value() - 255.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shortfall_report_counts_failures() {
+        let report = ShortfallReport::from_per_bank(vec![0.0, 12.5, 0.0, 3.5]);
+        assert_eq!(report.failed_banks, 2);
+        assert!((report.total_shortfall - 16.0).abs() < 1e-9);
+        assert_eq!(report.per_bank.len(), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! The financial-network data model.
+//!
+//! A [`FinancialNetwork`] is a directed graph over banks together with the
+//! data the two systemic-risk models need:
+//!
+//! * every **bank** carries liquid reserves (Eisenberg–Noe), external
+//!   "base" assets, a failure threshold, a failure penalty and an original
+//!   valuation (Elliott–Golub–Jackson);
+//! * every **edge** `(i → j)` carries the debt that `i` owes `j`
+//!   (Eisenberg–Noe) and the fraction of `i`'s equity held by `j`
+//!   (Elliott–Golub–Jackson).
+//!
+//! Edge direction equals message-flow direction in the vertex programs:
+//! `i` reports its shortfall (EN) or valuation discount (EGJ) to `j`.
+//! Money is expressed in abstract units (the generators use "billions of
+//! dollars") small enough to fit the fixed-point circuit encodings.
+
+use dstress_graph::{Graph, GraphError, VertexId};
+use dstress_math::Fixed;
+use std::collections::HashMap;
+
+/// Per-bank balance-sheet data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bank {
+    /// Liquid cash reserves (Eisenberg–Noe).
+    pub cash: Fixed,
+    /// External (non-interbank) assets (Elliott–Golub–Jackson "base").
+    pub external_assets: Fixed,
+    /// Failure threshold: below this valuation the bank is distressed.
+    pub threshold: Fixed,
+    /// Additional value lost when the bank falls below its threshold.
+    pub penalty: Fixed,
+    /// Pre-shock valuation, used to express discounts.
+    pub initial_valuation: Fixed,
+}
+
+impl Bank {
+    /// A bank with all-zero balance sheet (useful as a placeholder before
+    /// the generator fills in values).
+    pub fn empty() -> Self {
+        Bank {
+            cash: Fixed::ZERO,
+            external_assets: Fixed::ZERO,
+            threshold: Fixed::ZERO,
+            penalty: Fixed::ZERO,
+            initial_valuation: Fixed::ZERO,
+        }
+    }
+}
+
+/// Per-edge exposure data for the edge `(debtor → creditor)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Exposure {
+    /// Debt owed by the edge's source to its destination (Eisenberg–Noe).
+    pub debt: Fixed,
+    /// Fraction of the source's equity held by the destination
+    /// (Elliott–Golub–Jackson), in `[0, 1]`.
+    pub holding: Fixed,
+}
+
+/// A directed financial network.
+#[derive(Clone, Debug)]
+pub struct FinancialNetwork {
+    graph: Graph,
+    banks: Vec<Bank>,
+    exposures: HashMap<(usize, usize), Exposure>,
+}
+
+impl FinancialNetwork {
+    /// Creates a network with `banks` isolated banks and the given degree
+    /// bound.
+    pub fn new(banks: usize, degree_bound: usize) -> Self {
+        FinancialNetwork {
+            graph: Graph::new(banks, degree_bound),
+            banks: vec![Bank::empty(); banks],
+            exposures: HashMap::new(),
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Balance sheet of a bank.
+    pub fn bank(&self, v: VertexId) -> &Bank {
+        &self.banks[v.0]
+    }
+
+    /// Mutable balance sheet of a bank.
+    pub fn bank_mut(&mut self, v: VertexId) -> &mut Bank {
+        &mut self.banks[v.0]
+    }
+
+    /// Adds an exposure edge from `debtor` to `creditor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (degree bound, duplicates, self-loops).
+    pub fn add_exposure(
+        &mut self,
+        debtor: VertexId,
+        creditor: VertexId,
+        exposure: Exposure,
+    ) -> Result<(), GraphError> {
+        self.graph.add_edge(debtor, creditor)?;
+        self.exposures.insert((debtor.0, creditor.0), exposure);
+        Ok(())
+    }
+
+    /// The exposure on the edge `(debtor → creditor)`, zero if absent.
+    pub fn exposure(&self, debtor: VertexId, creditor: VertexId) -> Exposure {
+        self.exposures
+            .get(&(debtor.0, creditor.0))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total debt owed by a bank to all its creditors (the EN `totalDebt`).
+    pub fn total_debt(&self, v: VertexId) -> Fixed {
+        self.graph
+            .out_neighbors(v)
+            .iter()
+            .fold(Fixed::ZERO, |acc, &to| acc + self.exposure(v, to).debt)
+    }
+
+    /// Total claims a bank holds against its debtors (the EN `credits`).
+    pub fn total_credits(&self, v: VertexId) -> Fixed {
+        self.graph
+            .in_neighbors(v)
+            .iter()
+            .fold(Fixed::ZERO, |acc, &from| acc + self.exposure(from, v).debt)
+    }
+
+    /// Total interbank assets plus cash of a bank (a rough "total assets"
+    /// figure used to check leverage).
+    pub fn total_assets(&self, v: VertexId) -> Fixed {
+        self.bank(v).cash + self.total_credits(v)
+    }
+
+    /// The largest single value (cash, assets, debts, valuations) in the
+    /// network, used to size the fixed-point circuit encoding.
+    pub fn max_value(&self) -> Fixed {
+        let mut max = Fixed::ZERO;
+        for v in self.graph.vertices() {
+            let b = self.bank(v);
+            for candidate in [
+                b.cash,
+                b.external_assets,
+                b.threshold,
+                b.penalty,
+                b.initial_valuation,
+                self.total_debt(v),
+                self.total_assets(v),
+            ] {
+                max = max.max(candidate);
+            }
+        }
+        max
+    }
+
+    /// Checks that every bank satisfies the leverage bound `r`: equity
+    /// (total assets minus total debt) must be at least `r` times total
+    /// assets.  Returns the ids of the banks that violate it.
+    pub fn leverage_violations(&self, r: f64) -> Vec<VertexId> {
+        self.graph
+            .vertices()
+            .filter(|&v| {
+                let assets = self.total_assets(v).to_f64();
+                let debt = self.total_debt(v).to_f64();
+                assets > 0.0 && (assets - debt) < r * assets - 1e-9
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> FinancialNetwork {
+        // 0 owes 1, 1 owes 2, 2 owes 0.
+        let mut net = FinancialNetwork::new(3, 4);
+        for v in 0..3 {
+            net.bank_mut(VertexId(v)).cash = Fixed::from_int(100);
+        }
+        for (a, b, debt) in [(0, 1, 30), (1, 2, 50), (2, 0, 20)] {
+            net.add_exposure(
+                VertexId(a),
+                VertexId(b),
+                Exposure {
+                    debt: Fixed::from_int(debt),
+                    holding: Fixed::from_f64(0.1),
+                },
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn exposures_and_totals() {
+        let net = triangle();
+        assert_eq!(net.bank_count(), 3);
+        assert_eq!(net.exposure(VertexId(0), VertexId(1)).debt, Fixed::from_int(30));
+        assert_eq!(net.exposure(VertexId(1), VertexId(0)).debt, Fixed::ZERO);
+        assert_eq!(net.total_debt(VertexId(1)), Fixed::from_int(50));
+        assert_eq!(net.total_credits(VertexId(1)), Fixed::from_int(30));
+        assert_eq!(net.total_assets(VertexId(1)), Fixed::from_int(130));
+        assert_eq!(net.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn max_value_covers_all_fields() {
+        let mut net = triangle();
+        // Bank 2 holds cash 100 plus a 50-unit claim on bank 1.
+        assert_eq!(net.max_value(), Fixed::from_int(150));
+        net.bank_mut(VertexId(2)).initial_valuation = Fixed::from_int(900);
+        assert_eq!(net.max_value(), Fixed::from_int(900));
+    }
+
+    #[test]
+    fn leverage_check() {
+        let net = triangle();
+        // Bank 1: assets 130, debt 50, equity 80 = 61% of assets: fine at r = 0.1.
+        assert!(net.leverage_violations(0.1).is_empty());
+        // At r = 0.9 every indebted bank violates.
+        assert_eq!(net.leverage_violations(0.9).len(), 3);
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        let mut net = FinancialNetwork::new(2, 1);
+        net.add_exposure(VertexId(0), VertexId(1), Exposure::default()).unwrap();
+        assert!(net
+            .add_exposure(VertexId(0), VertexId(1), Exposure::default())
+            .is_err());
+        assert!(net
+            .add_exposure(VertexId(1), VertexId(1), Exposure::default())
+            .is_err());
+    }
+
+    #[test]
+    fn empty_bank_is_zeroed() {
+        let b = Bank::empty();
+        assert!(b.cash.is_zero() && b.penalty.is_zero() && b.initial_valuation.is_zero());
+    }
+}

@@ -1,0 +1,290 @@
+//! Directed graphs with degree-bound bookkeeping.
+
+use core::fmt;
+
+/// Identifier of a vertex (and of the participant that owns it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VertexId(pub usize);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors raised by graph construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// A self-loop was added (DStress vertices do not message themselves).
+    SelfLoop {
+        /// The vertex.
+        vertex: usize,
+    },
+    /// Adding the edge would exceed the declared degree bound `D`.
+    DegreeBoundExceeded {
+        /// The vertex whose degree would exceed the bound.
+        vertex: usize,
+        /// The declared bound.
+        bound: usize,
+    },
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Source vertex.
+        from: usize,
+        /// Destination vertex.
+        to: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+            GraphError::DegreeBoundExceeded { vertex, bound } => {
+                write!(f, "vertex {vertex} would exceed degree bound {bound}")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge ({from}, {to})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed graph whose participants each own one vertex.
+///
+/// The graph stores both out- and in-adjacency so the executor can route
+/// messages in either direction; the *degree bound* `D` is the public
+/// upper bound on the number of neighbours (out-edges plus in-edges are
+/// each bounded by `D`, matching the prototype's use of `D` message slots
+/// per direction).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    out_edges: Vec<Vec<VertexId>>,
+    in_edges: Vec<Vec<VertexId>>,
+    degree_bound: usize,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with `vertices` vertices and the public
+    /// degree bound `degree_bound`.
+    pub fn new(vertices: usize, degree_bound: usize) -> Self {
+        Graph {
+            out_edges: vec![Vec::new(); vertices],
+            in_edges: vec![Vec::new(); vertices],
+            degree_bound,
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The public degree bound `D`.
+    pub fn degree_bound(&self) -> usize {
+        self.degree_bound
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertex_count()).map(VertexId)
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for out-of-range endpoints, self-loops,
+    /// duplicates, or edges that would push either endpoint past the
+    /// degree bound.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> Result<(), GraphError> {
+        let n = self.vertex_count();
+        for v in [from.0, to.0] {
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    vertices: n,
+                });
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { vertex: from.0 });
+        }
+        if self.out_edges[from.0].contains(&to) {
+            return Err(GraphError::DuplicateEdge {
+                from: from.0,
+                to: to.0,
+            });
+        }
+        if self.out_edges[from.0].len() >= self.degree_bound {
+            return Err(GraphError::DegreeBoundExceeded {
+                vertex: from.0,
+                bound: self.degree_bound,
+            });
+        }
+        if self.in_edges[to.0].len() >= self.degree_bound {
+            return Err(GraphError::DegreeBoundExceeded {
+                vertex: to.0,
+                bound: self.degree_bound,
+            });
+        }
+        self.out_edges[from.0].push(to);
+        self.in_edges[to.0].push(from);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Adds edges in both directions between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::add_edge`].
+    pub fn add_bidirectional(&mut self, a: VertexId, b: VertexId) -> Result<(), GraphError> {
+        self.add_edge(a, b)?;
+        self.add_edge(b, a)
+    }
+
+    /// Returns `true` if the directed edge exists.
+    pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        self.out_edges
+            .get(from.0)
+            .is_some_and(|edges| edges.contains(&to))
+    }
+
+    /// Out-neighbours of a vertex.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.out_edges[v.0]
+    }
+
+    /// In-neighbours of a vertex.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.in_edges[v.0]
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_edges[v.0].len()
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_edges[v.0].len()
+    }
+
+    /// The maximum out- or in-degree across all vertices (always at most
+    /// the declared bound).
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.out_edges[v].len().max(self.in_edges[v].len()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_small_graph() {
+        let mut g = Graph::new(3, 10);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.add_edge(VertexId(1), VertexId(2)).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+        assert_eq!(g.out_neighbors(VertexId(1)), &[VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(1)), &[VertexId(0)]);
+        assert_eq!(g.out_degree(VertexId(0)), 1);
+        assert_eq!(g.in_degree(VertexId(2)), 1);
+        assert_eq!(g.max_degree(), 1);
+        assert_eq!(g.degree_bound(), 10);
+        assert_eq!(g.vertices().count(), 3);
+    }
+
+    #[test]
+    fn bidirectional_edges() {
+        let mut g = Graph::new(2, 5);
+        g.add_bidirectional(VertexId(0), VertexId(1)).unwrap();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = Graph::new(2, 1);
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(5)).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
+        assert!(matches!(
+            g.add_edge(VertexId(1), VertexId(1)).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        ));
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(1)).unwrap_err(),
+            GraphError::DuplicateEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn degree_bound_is_enforced() {
+        let mut g = Graph::new(4, 2);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.add_edge(VertexId(0), VertexId(2)).unwrap();
+        // Third out-edge from vertex 0 exceeds D = 2.
+        assert!(matches!(
+            g.add_edge(VertexId(0), VertexId(3)).unwrap_err(),
+            GraphError::DegreeBoundExceeded { vertex: 0, bound: 2 }
+        ));
+        // In-degree is bounded as well.
+        let mut g = Graph::new(4, 1);
+        g.add_edge(VertexId(1), VertexId(0)).unwrap();
+        assert!(matches!(
+            g.add_edge(VertexId(2), VertexId(0)).unwrap_err(),
+            GraphError::DegreeBoundExceeded { vertex: 0, bound: 1 }
+        ));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(GraphError::SelfLoop { vertex: 3 }.to_string().contains('3'));
+        assert!(GraphError::DuplicateEdge { from: 1, to: 2 }.to_string().contains("duplicate"));
+        assert!(GraphError::DegreeBoundExceeded { vertex: 0, bound: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(GraphError::VertexOutOfRange { vertex: 9, vertices: 3 }
+            .to_string()
+            .contains("out of range"));
+        assert_eq!(VertexId(4).to_string(), "v4");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, 10);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

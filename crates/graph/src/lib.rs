@@ -1,0 +1,34 @@
+//! Graphs and vertex programs for the DStress reproduction.
+//!
+//! DStress computes over a directed graph that is physically distributed:
+//! each participant owns one vertex, its adjacent edges and its vertex
+//! properties (§2).  The computation itself is expressed as a *vertex
+//! program* (§3.1): per-vertex state, an update function, one message per
+//! out-edge per round (with a no-op message `⊥` for padding), a fixed
+//! iteration count, an aggregation function and a sensitivity bound.
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — the directed graph type with degree-bound bookkeeping
+//!   (the public bound `D` of assumption 4 in §3.2).
+//! * [`program`] — the vertex-program trait in its plaintext form, which
+//!   the finance crate implements for Eisenberg–Noe and
+//!   Elliott–Golub–Jackson.
+//! * [`reference`] — the plaintext reference executor: the "ideal
+//!   functionality" that the secure runtime in `dstress-core` must agree
+//!   with (up to DP noise).
+//! * [`generate`] — generic random-graph generators used to build test
+//!   topologies (the financial core–periphery generator lives in
+//!   `dstress-finance`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod graph;
+pub mod program;
+pub mod reference;
+
+pub use graph::{Graph, GraphError, VertexId};
+pub use program::VertexProgram;
+pub use reference::{execute_reference, ReferenceTrace};

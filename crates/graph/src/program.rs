@@ -1,0 +1,110 @@
+//! The vertex-program abstraction (§3.1 of the paper).
+//!
+//! A DStress program consists of: per-vertex initial state, an update
+//! function invoked once per iteration with the messages received over the
+//! in-edges, a message function producing exactly one message per
+//! out-edge per iteration (the no-op message `⊥` when there is nothing to
+//! say — required so communication patterns leak nothing), a fixed number
+//! of iterations, an aggregation function over the final states and a
+//! sensitivity bound for the Laplace mechanism.
+//!
+//! This trait is the *plaintext* form, used by the reference executor and
+//! by tests.  The secure runtime in `dstress-core` additionally needs a
+//! circuit encoding of the update and aggregation functions; the finance
+//! crate provides both for its two systemic-risk models and tests that
+//! they agree.
+
+use crate::graph::{Graph, VertexId};
+
+/// A vertex program in plaintext form.
+pub trait VertexProgram {
+    /// Per-vertex state.
+    type State: Clone;
+    /// Messages exchanged along edges.
+    type Message: Clone + PartialEq;
+
+    /// The initial state of vertex `v`.
+    fn init(&self, v: VertexId) -> Self::State;
+
+    /// The no-op message `⊥` sent when a vertex has nothing to say.
+    fn no_op(&self) -> Self::Message;
+
+    /// Computes the new state of `v` from its current state and the
+    /// messages received from its in-neighbours this round.
+    fn update(
+        &self,
+        v: VertexId,
+        state: &Self::State,
+        incoming: &[(VertexId, Self::Message)],
+    ) -> Self::State;
+
+    /// The message `v` sends to out-neighbour `to` given its (new) state.
+    fn message(&self, v: VertexId, state: &Self::State, to: VertexId) -> Self::Message;
+
+    /// Combines the final states into the scalar output (before noising).
+    fn aggregate(&self, graph: &Graph, states: &[Self::State]) -> f64;
+
+    /// Number of computation/communication iterations to run.
+    fn iterations(&self) -> u32;
+
+    /// The sensitivity bound `s` supplied by the programmer (§3.1, §4.4).
+    fn sensitivity(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy program: every vertex starts with value `id + 1`, repeatedly
+    /// adds the values of its in-neighbours, and the aggregate is the sum.
+    struct SumProgram {
+        rounds: u32,
+    }
+
+    impl VertexProgram for SumProgram {
+        type State = u64;
+        type Message = u64;
+
+        fn init(&self, v: VertexId) -> u64 {
+            v.0 as u64 + 1
+        }
+
+        fn no_op(&self) -> u64 {
+            0
+        }
+
+        fn update(&self, _v: VertexId, state: &u64, incoming: &[(VertexId, u64)]) -> u64 {
+            state + incoming.iter().map(|(_, m)| m).sum::<u64>()
+        }
+
+        fn message(&self, _v: VertexId, state: &u64, _to: VertexId) -> u64 {
+            *state
+        }
+
+        fn aggregate(&self, _graph: &Graph, states: &[u64]) -> f64 {
+            states.iter().sum::<u64>() as f64
+        }
+
+        fn iterations(&self) -> u32 {
+            self.rounds
+        }
+
+        fn sensitivity(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn trait_is_usable_as_object_free_generic() {
+        let p = SumProgram { rounds: 2 };
+        assert_eq!(p.init(VertexId(3)), 4);
+        assert_eq!(p.no_op(), 0);
+        assert_eq!(p.iterations(), 2);
+        assert_eq!(p.sensitivity(), 1.0);
+        let updated = p.update(VertexId(0), &5, &[(VertexId(1), 3), (VertexId(2), 4)]);
+        assert_eq!(updated, 12);
+        assert_eq!(p.message(VertexId(0), &7, VertexId(1)), 7);
+        let g = Graph::new(2, 4);
+        assert_eq!(p.aggregate(&g, &[1, 2, 3]), 6.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Plaintext reference executor for vertex programs.
+//!
+//! This is the "ideal functionality" of a DStress run: it executes the
+//! vertex program exactly as §3.1 describes — `n` computation steps
+//! interleaved with communication steps, a final computation step, then
+//! aggregation — but on plaintext data with no blocks, MPC or encryption.
+//! The secure runtime in `dstress-core` is required (and tested) to agree
+//! with this executor up to the DP noise it adds.
+
+use crate::graph::{Graph, VertexId};
+use crate::program::VertexProgram;
+
+/// The trace of a reference execution.
+#[derive(Clone, Debug)]
+pub struct ReferenceTrace<S> {
+    /// Final per-vertex states after the last computation step.
+    pub final_states: Vec<S>,
+    /// The aggregate value before noising.
+    pub aggregate: f64,
+    /// Number of computation steps executed (iterations + final step).
+    pub computation_steps: u32,
+    /// Total number of (non-no-op and no-op) messages exchanged.
+    pub messages_sent: u64,
+}
+
+/// Executes a vertex program in plaintext and returns its trace.
+///
+/// The execution follows §3.1 precisely: every vertex performs an update in
+/// every computation step; between computation steps every vertex sends
+/// exactly one message along each out-edge (the program decides whether it
+/// is a real message or `⊥`); after `iterations()` computation and
+/// communication steps a final computation step runs and the aggregation
+/// function combines the final states.
+pub fn execute_reference<P: VertexProgram>(graph: &Graph, program: &P) -> ReferenceTrace<P::State> {
+    let n = graph.vertex_count();
+    let mut states: Vec<P::State> = graph.vertices().map(|v| program.init(v)).collect();
+    // Pending messages for the next computation step, indexed by recipient.
+    let mut inboxes: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); n];
+    let mut messages_sent = 0u64;
+
+    let iterations = program.iterations();
+    for _round in 0..iterations {
+        // Computation step: update every vertex with its inbox.
+        let mut new_states = Vec::with_capacity(n);
+        for v in graph.vertices() {
+            let incoming = std::mem::take(&mut inboxes[v.0]);
+            new_states.push(program.update(v, &states[v.0], &incoming));
+        }
+        states = new_states;
+
+        // Communication step: one message per out-edge.
+        for v in graph.vertices() {
+            for &to in graph.out_neighbors(v) {
+                let msg = program.message(v, &states[v.0], to);
+                inboxes[to.0].push((v, msg));
+                messages_sent += 1;
+            }
+        }
+    }
+
+    // Final computation step consuming the last round of messages.
+    let mut final_states = Vec::with_capacity(n);
+    for v in graph.vertices() {
+        let incoming = std::mem::take(&mut inboxes[v.0]);
+        final_states.push(program.update(v, &states[v.0], &incoming));
+    }
+
+    let aggregate = program.aggregate(graph, &final_states);
+    ReferenceTrace {
+        final_states,
+        aggregate,
+        computation_steps: iterations + 1,
+        messages_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts how many vertices are reachable within `iterations` hops of
+    /// vertex 0 by flooding a "reached" flag.
+    struct Reachability {
+        rounds: u32,
+    }
+
+    impl VertexProgram for Reachability {
+        type State = bool;
+        type Message = bool;
+
+        fn init(&self, v: VertexId) -> bool {
+            v.0 == 0
+        }
+
+        fn no_op(&self) -> bool {
+            false
+        }
+
+        fn update(&self, _v: VertexId, state: &bool, incoming: &[(VertexId, bool)]) -> bool {
+            *state || incoming.iter().any(|(_, m)| *m)
+        }
+
+        fn message(&self, _v: VertexId, state: &bool, _to: VertexId) -> bool {
+            *state
+        }
+
+        fn aggregate(&self, _graph: &Graph, states: &[bool]) -> f64 {
+            states.iter().filter(|&&s| s).count() as f64
+        }
+
+        fn iterations(&self) -> u32 {
+            self.rounds
+        }
+
+        fn sensitivity(&self) -> f64 {
+            1.0
+        }
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n, 4);
+        for i in 0..n - 1 {
+            g.add_edge(VertexId(i), VertexId(i + 1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn flood_reaches_one_hop_per_round() {
+        let g = path_graph(6);
+        for rounds in 0..5u32 {
+            let trace = execute_reference(&g, &Reachability { rounds });
+            // After r communication rounds plus the final update, vertices
+            // 0..=r+? — flooding moves one hop per communication step, and
+            // the final computation step consumes the last messages, so
+            // r rounds reach r+1 vertices... the final step consumes round
+            // r's messages, giving r+1 hops total.
+            assert_eq!(trace.aggregate, (rounds as f64 + 1.0).min(6.0), "rounds={rounds}");
+            assert_eq!(trace.computation_steps, rounds + 1);
+        }
+    }
+
+    #[test]
+    fn message_count_matches_edges_times_rounds() {
+        let g = path_graph(4); // 3 edges
+        let trace = execute_reference(&g, &Reachability { rounds: 5 });
+        assert_eq!(trace.messages_sent, 3 * 5);
+    }
+
+    #[test]
+    fn zero_iterations_still_runs_final_step() {
+        let g = path_graph(3);
+        let trace = execute_reference(&g, &Reachability { rounds: 0 });
+        assert_eq!(trace.computation_steps, 1);
+        assert_eq!(trace.aggregate, 1.0);
+        assert_eq!(trace.final_states, vec![true, false, false]);
+    }
+
+    #[test]
+    fn disconnected_vertices_never_reached() {
+        let mut g = Graph::new(4, 4);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        // Vertices 2 and 3 are isolated.
+        let trace = execute_reference(&g, &Reachability { rounds: 10 });
+        assert_eq!(trace.aggregate, 2.0);
+    }
+}

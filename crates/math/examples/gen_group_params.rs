@@ -1,0 +1,15 @@
+//! Regenerates the safe-prime group parameters embedded in `dstress-crypto`.
+//!
+//! Run with `cargo run -p dstress-math --release --example gen_group_params`.
+
+use dstress_math::prime::find_safe_prime;
+
+fn main() {
+    for (bits, seed, label) in [(64u32, 0xD57E55_u64, "SIM64"), (256, 0xD57E55, "PROD256")] {
+        let sp = find_safe_prime(bits, seed);
+        println!("// {label}: {bits}-bit safe prime group (seed {seed:#x})");
+        println!("p = 0x{}", sp.p.to_hex());
+        println!("q = 0x{}", sp.q.to_hex());
+        println!("g = 0x{}", sp.generator.to_hex());
+    }
+}

@@ -1,0 +1,499 @@
+//! Montgomery-form modular arithmetic over a fixed odd modulus.
+//!
+//! A [`FpCtx`] captures a modulus (the ElGamal prime `p`, or the subgroup
+//! order `q`) together with the pre-computed Montgomery constants.  Field
+//! elements are represented by [`FpElem`], which stores the value in
+//! Montgomery form; all operations take the context explicitly so that
+//! elements stay a single, copyable 256-bit word.
+
+use crate::error::MathError;
+use crate::rng::DetRng;
+use crate::u256::{U256, LIMBS};
+
+/// An element of `Z_m` stored in Montgomery form.
+///
+/// Elements are only meaningful relative to the [`FpCtx`] that produced
+/// them; mixing elements from different contexts produces garbage values
+/// (but never memory unsafety).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FpElem(pub(crate) U256);
+
+/// Montgomery arithmetic context for an odd modulus.
+#[derive(Clone, Debug)]
+pub struct FpCtx {
+    modulus: U256,
+    /// -modulus^{-1} mod 2^64.
+    n0_inv: u64,
+    /// R mod m where R = 2^256 (the Montgomery representation of 1).
+    r_mod_m: U256,
+    /// R^2 mod m, used to convert into Montgomery form.
+    r2_mod_m: U256,
+}
+
+impl FpCtx {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if the modulus is even or zero.
+    pub fn new(modulus: U256) -> Result<Self, MathError> {
+        if modulus.is_zero() || !modulus.is_odd() {
+            return Err(MathError::InvalidModulus);
+        }
+        let n0_inv = inv_2_64(modulus.as_u64()).wrapping_neg();
+        // R mod m: start from 1 and double 256 times modulo m.
+        let one = U256::ONE.rem(&modulus);
+        let mut r_mod_m = one;
+        for _ in 0..256 {
+            r_mod_m = mod_double(&r_mod_m, &modulus);
+        }
+        // R^2 mod m: double R mod m another 256 times.
+        let mut r2_mod_m = r_mod_m;
+        for _ in 0..256 {
+            r2_mod_m = mod_double(&r2_mod_m, &modulus);
+        }
+        Ok(FpCtx {
+            modulus,
+            n0_inv,
+            r_mod_m,
+            r2_mod_m,
+        })
+    }
+
+    /// Returns the modulus.
+    pub fn modulus(&self) -> U256 {
+        self.modulus
+    }
+
+    /// Converts an integer (must be `< modulus`) into Montgomery form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ValueOutOfRange`] if `value >= modulus`.
+    pub fn to_elem(&self, value: U256) -> Result<FpElem, MathError> {
+        if value >= self.modulus {
+            return Err(MathError::ValueOutOfRange {
+                context: "FpCtx::to_elem",
+            });
+        }
+        Ok(FpElem(self.mont_mul(&value, &self.r2_mod_m)))
+    }
+
+    /// Converts an arbitrary integer into Montgomery form, reducing it
+    /// modulo the modulus first.
+    pub fn to_elem_reduced(&self, value: U256) -> FpElem {
+        let reduced = value.rem(&self.modulus);
+        FpElem(self.mont_mul(&reduced, &self.r2_mod_m))
+    }
+
+    /// Converts a `u64` into Montgomery form, reducing if necessary.
+    pub fn elem_from_u64(&self, value: u64) -> FpElem {
+        self.to_elem_reduced(U256::from_u64(value))
+    }
+
+    /// Converts an element back to its canonical integer representation.
+    pub fn to_int(&self, elem: FpElem) -> U256 {
+        self.mont_mul(&elem.0, &U256::ONE)
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> FpElem {
+        FpElem(U256::ZERO)
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> FpElem {
+        FpElem(self.r_mod_m)
+    }
+
+    /// Returns `true` if the element is zero.
+    pub fn is_zero(&self, a: FpElem) -> bool {
+        a.0.is_zero()
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: FpElem, b: FpElem) -> FpElem {
+        FpElem(mod_add(&a.0, &b.0, &self.modulus))
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: FpElem, b: FpElem) -> FpElem {
+        FpElem(mod_sub(&a.0, &b.0, &self.modulus))
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: FpElem) -> FpElem {
+        if a.0.is_zero() {
+            a
+        } else {
+            FpElem(self.modulus.wrapping_sub(&a.0))
+        }
+    }
+
+    /// Modular multiplication.
+    pub fn mul(&self, a: FpElem, b: FpElem) -> FpElem {
+        FpElem(self.mont_mul(&a.0, &b.0))
+    }
+
+    /// Modular squaring.
+    pub fn square(&self, a: FpElem) -> FpElem {
+        self.mul(a, a)
+    }
+
+    /// Modular exponentiation with an arbitrary 256-bit exponent.
+    ///
+    /// The exponent is a plain integer (not a field element).
+    pub fn pow(&self, base: FpElem, exponent: &U256) -> FpElem {
+        let mut result = self.one();
+        let bits = exponent.bits();
+        if bits == 0 {
+            return result;
+        }
+        let mut acc = base;
+        for i in 0..bits {
+            if exponent.bit(i) {
+                result = self.mul(result, acc);
+            }
+            if i + 1 < bits {
+                acc = self.square(acc);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat's little theorem (requires the modulus to
+    /// be prime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotInvertible`] for the zero element.
+    pub fn inv(&self, a: FpElem) -> Result<FpElem, MathError> {
+        if a.0.is_zero() {
+            return Err(MathError::NotInvertible);
+        }
+        let exp = self.modulus.wrapping_sub(&U256::from_u64(2));
+        Ok(self.pow(a, &exp))
+    }
+
+    /// Samples a uniformly random element of `Z_m`.
+    pub fn random(&self, rng: &mut dyn DetRng) -> FpElem {
+        let value = random_below(rng, &self.modulus);
+        self.to_elem(value)
+            .expect("random_below returns a value smaller than the modulus")
+    }
+
+    /// Samples a uniformly random *non-zero* element of `Z_m`.
+    pub fn random_nonzero(&self, rng: &mut dyn DetRng) -> FpElem {
+        loop {
+            let candidate = self.random(rng);
+            if !candidate.0.is_zero() {
+                return candidate;
+            }
+        }
+    }
+
+    /// Montgomery multiplication (CIOS): returns `a * b * R^{-1} mod m`.
+    fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+        let m_limbs = self.modulus.limbs();
+        let mut t = [0u64; LIMBS + 2];
+
+        for i in 0..LIMBS {
+            // t += a * b[i]
+            let mut carry = 0u128;
+            for j in 0..LIMBS {
+                let acc = t[j] as u128 + (a_limbs[j] as u128) * (b_limbs[i] as u128) + carry;
+                t[j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[LIMBS] as u128 + carry;
+            t[LIMBS] = acc as u64;
+            t[LIMBS + 1] = (acc >> 64) as u64;
+
+            // m_factor = t[0] * n0_inv mod 2^64
+            let m_factor = t[0].wrapping_mul(self.n0_inv);
+
+            // t += m_factor * m, then shift right by one limb.
+            let acc = t[0] as u128 + (m_factor as u128) * (m_limbs[0] as u128);
+            let mut carry = acc >> 64;
+            for j in 1..LIMBS {
+                let acc = t[j] as u128 + (m_factor as u128) * (m_limbs[j] as u128) + carry;
+                t[j - 1] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[LIMBS] as u128 + carry;
+            t[LIMBS - 1] = acc as u64;
+            t[LIMBS] = t[LIMBS + 1] + ((acc >> 64) as u64);
+            t[LIMBS + 1] = 0;
+        }
+
+        let mut result = U256::from_limbs([t[0], t[1], t[2], t[3]]);
+        if t[LIMBS] != 0 || result >= self.modulus {
+            result = result.wrapping_sub(&self.modulus);
+        }
+        result
+    }
+}
+
+/// Computes the inverse of an odd `x` modulo 2^64 via Newton iteration.
+fn inv_2_64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1, "modulus must be odd");
+    let mut inv = x;
+    // Each iteration doubles the number of correct low bits (starts at ~5).
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    inv
+}
+
+/// Modular addition of canonical (non-Montgomery) values `< m`.
+fn mod_add(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (sum, carry) = a.overflowing_add(b);
+    if carry || &sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction of canonical values `< m`.
+fn mod_sub(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        diff.wrapping_add(m)
+    } else {
+        diff
+    }
+}
+
+/// Modular doubling of a canonical value `< m`.
+fn mod_double(a: &U256, m: &U256) -> U256 {
+    mod_add(a, a, m)
+}
+
+/// Samples a uniform integer in `[0, bound)` by rejection sampling.
+pub fn random_below(rng: &mut dyn DetRng, bound: &U256) -> U256 {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    let limbs_needed = bits.div_ceil(64) as usize;
+    let top_mask = if bits % 64 == 0 {
+        u64::MAX
+    } else {
+        (1u64 << (bits % 64)) - 1
+    };
+    loop {
+        let mut limbs = [0u64; LIMBS];
+        for (i, limb) in limbs.iter_mut().enumerate().take(limbs_needed) {
+            *limb = rng.next_u64();
+            if i == limbs_needed - 1 {
+                *limb &= top_mask;
+            }
+        }
+        let candidate = U256::from_limbs(limbs);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use proptest::prelude::*;
+
+    /// A small prime that fits in 64 bits, convenient for cross-checking
+    /// against native arithmetic.
+    const SMALL_PRIME: u64 = 0xffff_ffff_0000_0001; // Goldilocks prime 2^64 - 2^32 + 1
+
+    fn small_ctx() -> FpCtx {
+        FpCtx::new(U256::from_u64(SMALL_PRIME)).unwrap()
+    }
+
+    /// A 256-bit prime (the secp256k1 field prime) for full-width checks.
+    fn big_ctx() -> FpCtx {
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        FpCtx::new(p).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_or_zero_modulus() {
+        assert_eq!(
+            FpCtx::new(U256::from_u64(100)).unwrap_err(),
+            MathError::InvalidModulus
+        );
+        assert_eq!(FpCtx::new(U256::ZERO).unwrap_err(), MathError::InvalidModulus);
+    }
+
+    #[test]
+    fn to_elem_range_check() {
+        let ctx = small_ctx();
+        assert!(ctx.to_elem(U256::from_u64(SMALL_PRIME)).is_err());
+        assert!(ctx.to_elem(U256::from_u64(SMALL_PRIME - 1)).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let ctx = small_ctx();
+        for v in [0u64, 1, 2, 12345, SMALL_PRIME - 1] {
+            let elem = ctx.to_elem(U256::from_u64(v)).unwrap();
+            assert_eq!(ctx.to_int(elem).as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn add_mul_match_native() {
+        let ctx = small_ctx();
+        let a = 0x1234_5678_9abc_def0u64 % SMALL_PRIME;
+        let b = 0xfedc_ba98_7654_3210u64 % SMALL_PRIME;
+        let ea = ctx.elem_from_u64(a);
+        let eb = ctx.elem_from_u64(b);
+        let sum = ctx.to_int(ctx.add(ea, eb)).as_u64();
+        let prod = ctx.to_int(ctx.mul(ea, eb)).as_u64();
+        let expected_sum = ((a as u128 + b as u128) % SMALL_PRIME as u128) as u64;
+        let expected_prod = ((a as u128 * b as u128) % SMALL_PRIME as u128) as u64;
+        assert_eq!(sum, expected_sum);
+        assert_eq!(prod, expected_prod);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let ctx = small_ctx();
+        let base = ctx.elem_from_u64(7);
+        let mut acc = ctx.one();
+        for e in 0..20u64 {
+            assert_eq!(ctx.pow(base, &U256::from_u64(e)), acc, "exponent {e}");
+            acc = ctx.mul(acc, base);
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let ctx = big_ctx();
+        let mut rng = SplitMix64::new(7);
+        let a = ctx.random(&mut rng);
+        assert_eq!(ctx.pow(a, &U256::ZERO), ctx.one());
+    }
+
+    #[test]
+    fn fermat_little_theorem_small() {
+        let ctx = small_ctx();
+        let a = ctx.elem_from_u64(123_456_789);
+        let exp = U256::from_u64(SMALL_PRIME - 1);
+        assert_eq!(ctx.pow(a, &exp), ctx.one());
+    }
+
+    #[test]
+    fn fermat_little_theorem_big() {
+        let ctx = big_ctx();
+        let mut rng = SplitMix64::new(99);
+        let a = ctx.random_nonzero(&mut rng);
+        let exp = ctx.modulus().wrapping_sub(&U256::ONE);
+        assert_eq!(ctx.pow(a, &exp), ctx.one());
+    }
+
+    #[test]
+    fn inverse() {
+        let ctx = big_ctx();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10 {
+            let a = ctx.random_nonzero(&mut rng);
+            let inv = ctx.inv(a).unwrap();
+            assert_eq!(ctx.mul(a, inv), ctx.one());
+        }
+        assert_eq!(ctx.inv(ctx.zero()).unwrap_err(), MathError::NotInvertible);
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let ctx = big_ctx();
+        let mut rng = SplitMix64::new(4);
+        let a = ctx.random(&mut rng);
+        assert!(ctx.is_zero(ctx.add(a, ctx.neg(a))));
+        assert_eq!(ctx.neg(ctx.zero()), ctx.zero());
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut rng = SplitMix64::new(11);
+        let bound = U256::from_u64(1000);
+        for _ in 0..200 {
+            let v = random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_range() {
+        let mut rng = SplitMix64::new(12);
+        let bound = U256::from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[random_below(&mut rng, &bound).as_u64() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn subtraction_wraps_correctly() {
+        let ctx = small_ctx();
+        let a = ctx.elem_from_u64(3);
+        let b = ctx.elem_from_u64(5);
+        let diff = ctx.to_int(ctx.sub(a, b)).as_u64();
+        assert_eq!(diff, SMALL_PRIME - 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_mul_matches_native_u64(a in any::<u64>(), b in any::<u64>()) {
+            let ctx = small_ctx();
+            let a = a % SMALL_PRIME;
+            let b = b % SMALL_PRIME;
+            let prod = ctx.to_int(ctx.mul(ctx.elem_from_u64(a), ctx.elem_from_u64(b))).as_u64();
+            let expected = ((a as u128 * b as u128) % SMALL_PRIME as u128) as u64;
+            prop_assert_eq!(prod, expected);
+        }
+
+        #[test]
+        fn prop_field_laws_big(seed in any::<u64>()) {
+            let ctx = big_ctx();
+            let mut rng = SplitMix64::new(seed);
+            let a = ctx.random(&mut rng);
+            let b = ctx.random(&mut rng);
+            let c = ctx.random(&mut rng);
+            // Commutativity.
+            prop_assert_eq!(ctx.add(a, b), ctx.add(b, a));
+            prop_assert_eq!(ctx.mul(a, b), ctx.mul(b, a));
+            // Associativity.
+            prop_assert_eq!(ctx.add(ctx.add(a, b), c), ctx.add(a, ctx.add(b, c)));
+            prop_assert_eq!(ctx.mul(ctx.mul(a, b), c), ctx.mul(a, ctx.mul(b, c)));
+            // Distributivity.
+            prop_assert_eq!(ctx.mul(a, ctx.add(b, c)), ctx.add(ctx.mul(a, b), ctx.mul(a, c)));
+            // Identities.
+            prop_assert_eq!(ctx.add(a, ctx.zero()), a);
+            prop_assert_eq!(ctx.mul(a, ctx.one()), a);
+        }
+
+        #[test]
+        fn prop_pow_addition_law(seed in any::<u64>(), e1 in 0u64..1000, e2 in 0u64..1000) {
+            let ctx = big_ctx();
+            let mut rng = SplitMix64::new(seed);
+            let g = ctx.random_nonzero(&mut rng);
+            let lhs = ctx.mul(ctx.pow(g, &U256::from_u64(e1)), ctx.pow(g, &U256::from_u64(e2)));
+            let rhs = ctx.pow(g, &U256::from_u64(e1 + e2));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_roundtrip_big(seed in any::<u64>()) {
+            let ctx = big_ctx();
+            let mut rng = SplitMix64::new(seed);
+            let v = random_below(&mut rng, &ctx.modulus());
+            prop_assert_eq!(ctx.to_int(ctx.to_elem(v).unwrap()), v);
+        }
+    }
+}

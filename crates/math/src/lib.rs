@@ -1,0 +1,38 @@
+//! Arithmetic substrate for the DStress reproduction.
+//!
+//! The original DStress prototype relied on OpenSSL for its public-key
+//! operations (ElGamal over the NIST P-384 curve).  This crate provides the
+//! arithmetic that our from-scratch cryptography is built on:
+//!
+//! * [`U256`] — a fixed-width 256-bit unsigned integer with constant-size
+//!   limb arithmetic (no heap allocation).
+//! * [`FpCtx`] — Montgomery-form modular arithmetic over an odd modulus,
+//!   used both for the prime field `F_p` of the ElGamal group and for the
+//!   exponent ring `Z_q`.
+//! * [`prime`] — Miller–Rabin primality testing and safe-prime search,
+//!   used to generate the group parameters embedded in `dstress-crypto`.
+//! * [`rng`] — a small deterministic pseudo-random generator family
+//!   (SplitMix64 / Xoshiro256**) so that every simulation in the
+//!   reproduction is reproducible from a seed.
+//! * [`fixed`] — signed fixed-point numbers used by the financial models
+//!   and by the Boolean-circuit encodings of those models.
+//!
+//! Nothing in this crate is intended to be side-channel free; the goal of
+//! the reproduction is functional and *cost-structure* fidelity, not
+//! deployment-grade cryptography (see `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod field;
+pub mod fixed;
+pub mod prime;
+pub mod rng;
+pub mod u256;
+
+pub use error::MathError;
+pub use field::{FpCtx, FpElem};
+pub use fixed::Fixed;
+pub use rng::{DetRng, SplitMix64};
+pub use u256::U256;

@@ -1,0 +1,270 @@
+//! Primality testing and safe-prime generation.
+//!
+//! DStress's message transfer protocol runs over a cyclic group of prime
+//! order `q`.  We instantiate it as the order-`q` subgroup of `Z_p^*` for a
+//! *safe prime* `p = 2q + 1`.  This module provides the Miller–Rabin test
+//! and a deterministic safe-prime search used to derive the group
+//! parameters baked into `dstress-crypto` (and used by its tests to verify
+//! those constants).
+
+use crate::field::{random_below, FpCtx};
+use crate::rng::{DetRng, SplitMix64};
+use crate::u256::U256;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Returns `true` if `n` is divisible by any of the small primes (and is
+/// not itself that prime).
+fn has_small_factor(n: &U256) -> bool {
+    for &p in &SMALL_PRIMES {
+        let p256 = U256::from_u64(p);
+        if n == &p256 {
+            return false;
+        }
+        if n.rem(&p256).is_zero() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// For the 256-bit values used in this crate, 40 rounds give an error
+/// probability far below 2^-80.
+pub fn is_probable_prime(n: &U256, rounds: u32, rng: &mut dyn DetRng) -> bool {
+    if n < &U256::from_u64(2) {
+        return false;
+    }
+    if !n.is_odd() {
+        return n == &U256::from_u64(2);
+    }
+    for &p in &SMALL_PRIMES {
+        let p256 = U256::from_u64(p);
+        if n == &p256 {
+            return true;
+        }
+    }
+    if has_small_factor(n) {
+        return false;
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.wrapping_sub(&U256::ONE);
+    let mut d = n_minus_1;
+    let mut s = 0u32;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    let ctx = FpCtx::new(*n).expect("n is odd and non-zero");
+    let two = U256::from_u64(2);
+    let n_minus_3 = n.wrapping_sub(&U256::from_u64(3));
+
+    'witness: for _ in 0..rounds {
+        // a uniform in [2, n-2].
+        let a = random_below(rng, &n_minus_3).wrapping_add(&two);
+        let a_elem = ctx.to_elem(a).expect("a < n");
+        let mut x = ctx.pow(a_elem, &d);
+        let one = ctx.one();
+        let minus_one = ctx.to_elem(n_minus_1).expect("n-1 < n");
+        if x == one || x == minus_one {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = ctx.square(x);
+            if x == minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Convenience wrapper: Miller–Rabin with a fixed internal seed, suitable
+/// for verification of hard-coded constants.
+pub fn is_prime(n: &U256) -> bool {
+    let mut rng = SplitMix64::new(0x5AFE_5AFE_5AFE_5AFE);
+    is_probable_prime(n, 40, &mut rng)
+}
+
+/// The result of a safe-prime search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafePrime {
+    /// The safe prime `p = 2q + 1`.
+    pub p: U256,
+    /// The Sophie Germain prime `q = (p - 1) / 2`.
+    pub q: U256,
+    /// A generator of the order-`q` subgroup of `Z_p^*`.
+    pub generator: U256,
+}
+
+/// Searches for a safe prime with the given bit length, starting from a
+/// deterministic seed, and returns it together with a generator of its
+/// prime-order subgroup.
+///
+/// The search is deterministic in `seed`, so the group parameters shipped
+/// with `dstress-crypto` can be re-derived and verified by tests.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `[16, 256]`.
+pub fn find_safe_prime(bits: u32, seed: u64) -> SafePrime {
+    assert!((16..=256).contains(&bits), "bits must be in [16, 256]");
+    let mut rng = SplitMix64::new(seed);
+
+    loop {
+        // Draw a random candidate q of (bits - 1) bits with both the top
+        // and bottom bits set, so p = 2q + 1 has exactly `bits` bits.
+        let mut limbs = [0u64; 4];
+        for limb in limbs.iter_mut() {
+            *limb = rng.next_u64();
+        }
+        let mut q = U256::from_limbs(limbs);
+        // Truncate to bits - 1 bits.
+        let shift = 256 - (bits - 1);
+        q = q.shr(shift);
+        // Force top bit and oddness.
+        q = q.bitor(&U256::ONE.shl(bits - 2));
+        q = q.bitor(&U256::ONE);
+
+        if has_small_factor(&q) || !is_probable_prime(&q, 24, &mut rng) {
+            continue;
+        }
+        let p = q.shl(1).wrapping_add(&U256::ONE);
+        if has_small_factor(&p) || !is_probable_prime(&p, 24, &mut rng) {
+            continue;
+        }
+
+        // Find a generator of the order-q subgroup: take h random in
+        // [2, p-2] and set g = h^2 mod p; g generates the subgroup of
+        // quadratic residues, which has prime order q. Reject g == 1.
+        let ctx = FpCtx::new(p).expect("p is odd");
+        loop {
+            let h = random_below(&mut rng, &p.wrapping_sub(&U256::from_u64(3)))
+                .wrapping_add(&U256::from_u64(2));
+            let h_elem = ctx.to_elem(h).expect("h < p");
+            let g = ctx.square(h_elem);
+            if g != ctx.one() {
+                return SafePrime {
+                    p,
+                    q,
+                    generator: ctx.to_int(g),
+                };
+            }
+        }
+    }
+}
+
+/// Verifies that `(p, q, g)` are consistent safe-prime group parameters:
+/// `p = 2q + 1`, both prime, and `g` generates a subgroup of order `q`.
+pub fn verify_group_parameters(p: &U256, q: &U256, g: &U256) -> bool {
+    if q.shl(1).wrapping_add(&U256::ONE) != *p {
+        return false;
+    }
+    if !is_prime(p) || !is_prime(q) {
+        return false;
+    }
+    let ctx = match FpCtx::new(*p) {
+        Ok(ctx) => ctx,
+        Err(_) => return false,
+    };
+    let g_elem = match ctx.to_elem(*g) {
+        Ok(e) => e,
+        Err(_) => return false,
+    };
+    if g_elem == ctx.one() || ctx.is_zero(g_elem) {
+        return false;
+    }
+    // g^q == 1 ensures the order divides q; since q is prime and g != 1,
+    // the order is exactly q.
+    ctx.pow(g_elem, q) == ctx.one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_are_prime() {
+        for &p in &SMALL_PRIMES {
+            assert!(is_prime(&U256::from_u64(p)), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_are_composite() {
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 27, 33, 49, 121, 221, 1001] {
+            assert!(!is_prime(&U256::from_u64(c)), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        // 2^61 - 1 is a Mersenne prime.
+        assert!(is_prime(&U256::from_u64((1u64 << 61) - 1)));
+        // The Goldilocks prime.
+        assert!(is_prime(&U256::from_u64(0xffff_ffff_0000_0001)));
+        // The secp256k1 field prime.
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        assert!(is_prime(&p));
+    }
+
+    #[test]
+    fn known_large_composites() {
+        // A 128-bit composite: product of two 64-bit primes.
+        let a = U256::from_u64(0xffff_ffff_0000_0001);
+        let b = U256::from_u64((1u64 << 61) - 1);
+        let (lo, _) = a.mul_wide(&b);
+        assert!(!is_prime(&lo));
+        // Carmichael number 561 = 3 * 11 * 17 must be rejected.
+        assert!(!is_prime(&U256::from_u64(561)));
+        assert!(!is_prime(&U256::from_u64(41041)));
+    }
+
+    #[test]
+    fn find_small_safe_prime() {
+        let sp = find_safe_prime(32, 1);
+        assert_eq!(sp.p.bits(), 32);
+        assert!(verify_group_parameters(&sp.p, &sp.q, &sp.generator));
+    }
+
+    #[test]
+    fn find_64_bit_safe_prime_is_deterministic() {
+        let a = find_safe_prime(64, 42);
+        let b = find_safe_prime(64, 42);
+        assert_eq!(a, b);
+        assert!(verify_group_parameters(&a.p, &a.q, &a.generator));
+    }
+
+    #[test]
+    fn generator_has_prime_order() {
+        let sp = find_safe_prime(48, 7);
+        let ctx = FpCtx::new(sp.p).unwrap();
+        let g = ctx.to_elem(sp.generator).unwrap();
+        // g^q == 1 but g^1 != 1 and g^2 != 1 (q is odd so 2 does not divide it).
+        assert_eq!(ctx.pow(g, &sp.q), ctx.one());
+        assert_ne!(g, ctx.one());
+    }
+
+    #[test]
+    fn verify_rejects_bad_parameters() {
+        let sp = find_safe_prime(32, 3);
+        // Wrong q.
+        assert!(!verify_group_parameters(
+            &sp.p,
+            &sp.q.wrapping_add(&U256::ONE),
+            &sp.generator
+        ));
+        // Generator 1 is rejected.
+        assert!(!verify_group_parameters(&sp.p, &sp.q, &U256::ONE));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the MPC layer.
+
+use core::fmt;
+use dstress_circuit::CircuitError;
+use dstress_crypto::CryptoError;
+
+/// Errors produced by the GMW engine and its oblivious-transfer providers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// The circuit itself was malformed.
+    Circuit(CircuitError),
+    /// An underlying cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The number of parties is below the minimum (GMW needs at least two;
+    /// DStress blocks need `k + 1 >= 2`).
+    TooFewParties {
+        /// Parties requested.
+        parties: usize,
+    },
+    /// Input shares were not provided for every party, or had the wrong
+    /// length.
+    InputShareMismatch {
+        /// Expected number of input bits per party.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// Output share vectors passed to reconstruction disagree in length.
+    OutputShareMismatch,
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::Circuit(e) => write!(f, "circuit error: {e}"),
+            MpcError::Crypto(e) => write!(f, "crypto error: {e}"),
+            MpcError::TooFewParties { parties } => {
+                write!(f, "GMW requires at least 2 parties, got {parties}")
+            }
+            MpcError::InputShareMismatch { expected, actual } => {
+                write!(f, "expected {expected} input share bits per party, got {actual}")
+            }
+            MpcError::OutputShareMismatch => write!(f, "output share vectors disagree in length"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+impl From<CircuitError> for MpcError {
+    fn from(e: CircuitError) -> Self {
+        MpcError::Circuit(e)
+    }
+}
+
+impl From<CryptoError> for MpcError {
+    fn from(e: CryptoError) -> Self {
+        MpcError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MpcError::TooFewParties { parties: 1 }.to_string().contains('1'));
+        assert!(MpcError::OutputShareMismatch.to_string().contains("disagree"));
+        assert!(MpcError::InputShareMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains('3'));
+        let c: MpcError = CircuitError::InvalidOutput { wire: 2 }.into();
+        assert!(c.to_string().contains("circuit"));
+        let k: MpcError = CryptoError::MalformedCiphertext.into();
+        assert!(k.to_string().contains("crypto"));
+    }
+}

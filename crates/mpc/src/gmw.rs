@@ -1,0 +1,531 @@
+//! The GMW protocol over Boolean circuits.
+//!
+//! In GMW every wire value is XOR-shared among the parties.  XOR and NOT
+//! gates are evaluated locally (for NOT, a designated party flips its
+//! share); each AND gate requires one 1-out-of-4 oblivious transfer per
+//! unordered party pair; the number of sequential communication rounds
+//! equals the circuit's AND depth.  This is exactly the protocol the
+//! DStress prototype runs inside each block (§3.3, §5.1), and its cost
+//! structure — traffic quadratic in the block size overall but linear per
+//! node, time linear in block size because the pairwise work proceeds in
+//! parallel — is what produces the shapes of Figures 3 and 4.
+//!
+//! The executor measures, for every run: per-party bytes sent/received,
+//! the number of OTs and AND gates, and the number of communication
+//! rounds.  Those measurements feed the harness directly.
+
+use crate::error::MpcError;
+use crate::ot::OtProvider;
+use dstress_circuit::{Circuit, CircuitStats, Gate};
+use dstress_crypto::sharing::{split_xor_bit, xor_reconstruct_bit};
+use dstress_math::rng::DetRng;
+use dstress_net::cost::OperationCounts;
+use dstress_net::traffic::{NodeId, TrafficAccountant};
+
+/// Configuration of a GMW execution.
+#[derive(Clone, Debug)]
+pub struct GmwConfig {
+    /// Number of parties (the DStress block size `k + 1`).
+    pub parties: usize,
+    /// Node identities used for traffic accounting, one per party.
+    pub node_ids: Vec<NodeId>,
+}
+
+impl GmwConfig {
+    /// Creates a configuration for `parties` parties with node ids
+    /// `0..parties`.
+    pub fn with_default_ids(parties: usize) -> Self {
+        GmwConfig {
+            parties,
+            node_ids: (0..parties).map(NodeId).collect(),
+        }
+    }
+
+    /// Creates a configuration with explicit node identities.
+    pub fn with_node_ids(node_ids: Vec<NodeId>) -> Self {
+        GmwConfig {
+            parties: node_ids.len(),
+            node_ids,
+        }
+    }
+}
+
+/// Result of a GMW execution.
+#[derive(Clone, Debug)]
+pub struct GmwExecution {
+    /// Output shares, indexed `[party][output bit]`; XORing across parties
+    /// reconstructs each output bit.
+    pub output_shares: Vec<Vec<bool>>,
+    /// Operation counts accumulated during the execution (including the
+    /// OT provider's counts for this run).
+    pub counts: OperationCounts,
+    /// Number of sequential communication rounds (the circuit's AND depth
+    /// plus the output round).
+    pub rounds: u64,
+    /// Per-party bytes sent during this execution.
+    pub bytes_sent_per_party: Vec<u64>,
+}
+
+/// The GMW protocol executor.
+#[derive(Clone, Debug)]
+pub struct GmwProtocol {
+    config: GmwConfig,
+}
+
+impl GmwProtocol {
+    /// Creates an executor for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::TooFewParties`] for fewer than two parties.
+    pub fn new(config: GmwConfig) -> Result<Self, MpcError> {
+        if config.parties < 2 {
+            return Err(MpcError::TooFewParties {
+                parties: config.parties,
+            });
+        }
+        if config.node_ids.len() != config.parties {
+            return Err(MpcError::TooFewParties {
+                parties: config.node_ids.len(),
+            });
+        }
+        Ok(GmwProtocol { config })
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.config.parties
+    }
+
+    /// Executes `circuit` on XOR-shared inputs.
+    ///
+    /// `input_shares[p]` holds party `p`'s share of every input bit (so
+    /// each inner vector has length `circuit.num_inputs()`, and XORing the
+    /// vectors across parties yields the plaintext inputs).  The OT
+    /// provider supplies the pairwise AND-gate transfers; traffic is
+    /// recorded against the configured node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InputShareMismatch`] if the share vectors have
+    /// the wrong shape.
+    pub fn execute(
+        &self,
+        circuit: &Circuit,
+        input_shares: &[Vec<bool>],
+        ot: &mut dyn OtProvider,
+        traffic: &mut TrafficAccountant,
+        rng: &mut dyn DetRng,
+    ) -> Result<GmwExecution, MpcError> {
+        let n = self.config.parties;
+        if input_shares.len() != n {
+            return Err(MpcError::InputShareMismatch {
+                expected: n,
+                actual: input_shares.len(),
+            });
+        }
+        for shares in input_shares {
+            if shares.len() != circuit.num_inputs() {
+                return Err(MpcError::InputShareMismatch {
+                    expected: circuit.num_inputs(),
+                    actual: shares.len(),
+                });
+            }
+        }
+
+        let ot_counts_before = ot.counts();
+        let mut bytes_sent_per_party = vec![0u64; n];
+
+        // Per-session OT-extension setup for every unordered pair.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (sender_bytes, receiver_bytes) = ot.session_setup();
+                bytes_sent_per_party[i] += sender_bytes;
+                bytes_sent_per_party[j] += receiver_bytes;
+                if sender_bytes > 0 {
+                    traffic.record(self.config.node_ids[i], self.config.node_ids[j], sender_bytes);
+                }
+                if receiver_bytes > 0 {
+                    traffic.record(self.config.node_ids[j], self.config.node_ids[i], receiver_bytes);
+                }
+            }
+        }
+
+        // Wire shares, indexed [party][wire].
+        let mut shares: Vec<Vec<bool>> = (0..n)
+            .map(|_| Vec::with_capacity(circuit.len()))
+            .collect();
+        let mut and_gates = 0u64;
+        let mut free_gates = 0u64;
+        // Pairwise traffic accumulated per party for the AND-gate OTs; we
+        // flush it to the accountant once at the end so the hot loop stays
+        // allocation-free.
+        let mut pair_bytes: Vec<u64> = vec![0u64; n];
+
+        for gate in circuit.gates() {
+            match *gate {
+                Gate::Input(idx) => {
+                    for (p, wire_shares) in shares.iter_mut().enumerate() {
+                        wire_shares.push(input_shares[p][idx]);
+                    }
+                }
+                Gate::ConstFalse => {
+                    for wire_shares in shares.iter_mut() {
+                        wire_shares.push(false);
+                    }
+                }
+                Gate::ConstTrue => {
+                    // Party 0 holds the constant; all other shares are zero.
+                    for (p, wire_shares) in shares.iter_mut().enumerate() {
+                        wire_shares.push(p == 0);
+                    }
+                }
+                Gate::Xor(a, b) => {
+                    free_gates += 1;
+                    for wire_shares in shares.iter_mut() {
+                        let v = wire_shares[a] ^ wire_shares[b];
+                        wire_shares.push(v);
+                    }
+                }
+                Gate::Not(a) => {
+                    free_gates += 1;
+                    for (p, wire_shares) in shares.iter_mut().enumerate() {
+                        let v = wire_shares[a] ^ (p == 0);
+                        wire_shares.push(v);
+                    }
+                }
+                Gate::And(a, b) => {
+                    and_gates += 1;
+                    // z_p starts as the local product x_p · y_p.
+                    let mut new_shares: Vec<bool> = (0..n)
+                        .map(|p| shares[p][a] && shares[p][b])
+                        .collect();
+                    // Every unordered pair (i, j) computes shares of
+                    // x_i·y_j ⊕ x_j·y_i with one 1-out-of-4 OT: i is the
+                    // sender with a random mask r, j the receiver choosing
+                    // with (x_j, y_j).
+                    for i in 0..n {
+                        let (x_i, y_i) = (shares[i][a], shares[i][b]);
+                        for j in (i + 1)..n {
+                            let (x_j, y_j) = (shares[j][a], shares[j][b]);
+                            let r = rng.next_bool();
+                            let table = [
+                                r, // (x_j = 0, y_j = 0): contribution 0
+                                r ^ x_i,                 // (0, 1): x_i·y_j
+                                r ^ y_i,                 // (1, 0): y_i·x_j
+                                r ^ x_i ^ y_i,           // (1, 1): both
+                            ];
+                            let outcome = ot.transfer(table, (x_j, y_j));
+                            new_shares[i] ^= r;
+                            new_shares[j] ^= outcome.received;
+                            pair_bytes[i] += outcome.sender_bytes;
+                            pair_bytes[j] += outcome.receiver_bytes;
+                        }
+                    }
+                    for (p, wire_shares) in shares.iter_mut().enumerate() {
+                        wire_shares.push(new_shares[p]);
+                    }
+                }
+            }
+        }
+
+        // Flush the pairwise AND-gate traffic.  Within a block every party
+        // talks to every other party; we attribute each party's bytes as
+        // broadcast-style traffic to its peers, which preserves per-node
+        // totals (the quantity the paper reports).
+        for (p, &bytes) in pair_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            bytes_sent_per_party[p] += bytes;
+            let peers = n as u64 - 1;
+            let per_peer = bytes / peers.max(1);
+            let mut remainder = bytes - per_peer * peers;
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let extra = if remainder > 0 { 1 } else { 0 };
+                remainder = remainder.saturating_sub(1);
+                let amount = per_peer + extra;
+                if amount > 0 {
+                    traffic.record(self.config.node_ids[p], self.config.node_ids[q], amount);
+                }
+            }
+        }
+
+        let stats = CircuitStats::of(circuit);
+        let rounds = stats.and_depth as u64 + 1;
+
+        let output_shares: Vec<Vec<bool>> = (0..n)
+            .map(|p| circuit.outputs().iter().map(|&o| shares[p][o]).collect())
+            .collect();
+
+        let ot_counts_after = ot.counts();
+        let mut counts = OperationCounts {
+            and_gates,
+            free_gates,
+            rounds,
+            bytes_sent: bytes_sent_per_party.iter().sum(),
+            ..OperationCounts::default()
+        };
+        // Fold in what the OT provider did during this execution.
+        let ot_delta = OperationCounts {
+            exponentiations: ot_counts_after.exponentiations - ot_counts_before.exponentiations,
+            group_multiplications: ot_counts_after.group_multiplications
+                - ot_counts_before.group_multiplications,
+            base_ots: ot_counts_after.base_ots - ot_counts_before.base_ots,
+            extended_ots: ot_counts_after.extended_ots - ot_counts_before.extended_ots,
+            and_gates: 0,
+            free_gates: 0,
+            bytes_sent: 0,
+            rounds: 0,
+        };
+        counts.add(&ot_delta);
+
+        Ok(GmwExecution {
+            output_shares,
+            counts,
+            rounds,
+            bytes_sent_per_party,
+        })
+    }
+}
+
+/// Splits plaintext input bits into XOR shares for `parties` parties.
+pub fn share_inputs(inputs: &[bool], parties: usize, rng: &mut dyn DetRng) -> Vec<Vec<bool>> {
+    let mut shares: Vec<Vec<bool>> = vec![Vec::with_capacity(inputs.len()); parties];
+    for &bit in inputs {
+        let bit_shares = split_xor_bit(bit, parties, rng);
+        for (p, share) in bit_shares.into_iter().enumerate() {
+            shares[p].push(share);
+        }
+    }
+    shares
+}
+
+/// Reconstructs plaintext outputs from per-party output shares.
+///
+/// # Errors
+///
+/// Returns [`MpcError::OutputShareMismatch`] if the share vectors disagree
+/// in length or no shares are provided.
+pub fn reconstruct_outputs(output_shares: &[Vec<bool>]) -> Result<Vec<bool>, MpcError> {
+    let first = output_shares.first().ok_or(MpcError::OutputShareMismatch)?;
+    let len = first.len();
+    if output_shares.iter().any(|s| s.len() != len) {
+        return Err(MpcError::OutputShareMismatch);
+    }
+    Ok((0..len)
+        .map(|i| xor_reconstruct_bit(&output_shares.iter().map(|s| s[i]).collect::<Vec<_>>()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ot::{ElGamalOt, SimulatedOtExtension};
+    use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
+    use dstress_circuit::evaluate;
+    use dstress_crypto::group::Group;
+    use dstress_math::rng::Xoshiro256;
+    use proptest::prelude::*;
+
+    fn adder_circuit(width: u32) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(width);
+        let y = b.input_word(width);
+        let s = b.add(&x, &y);
+        b.output_word(&s);
+        b.build().unwrap()
+    }
+
+    fn run_gmw(
+        circuit: &Circuit,
+        inputs: &[bool],
+        parties: usize,
+        seed: u64,
+    ) -> (Vec<bool>, GmwExecution) {
+        let mut rng = Xoshiro256::new(seed);
+        let shares = share_inputs(inputs, parties, &mut rng);
+        let protocol = GmwProtocol::new(GmwConfig::with_default_ids(parties)).unwrap();
+        let mut ot = SimulatedOtExtension::new();
+        let mut traffic = TrafficAccountant::new();
+        let exec = protocol
+            .execute(circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .unwrap();
+        let outputs = reconstruct_outputs(&exec.output_shares).unwrap();
+        (outputs, exec)
+    }
+
+    #[test]
+    fn rejects_single_party() {
+        assert!(matches!(
+            GmwProtocol::new(GmwConfig::with_default_ids(1)).unwrap_err(),
+            MpcError::TooFewParties { parties: 1 }
+        ));
+    }
+
+    #[test]
+    fn matches_plaintext_adder() {
+        let circuit = adder_circuit(16);
+        let mut inputs = encode_word(1234, 16);
+        inputs.extend(encode_word(4321, 16));
+        let expected = evaluate(&circuit, &inputs).unwrap();
+        for parties in [2usize, 3, 5, 8] {
+            let (outputs, _) = run_gmw(&circuit, &inputs, parties, 7);
+            assert_eq!(outputs, expected, "parties = {parties}");
+            assert_eq!(decode_word(&outputs), 5555);
+        }
+    }
+
+    #[test]
+    fn matches_plaintext_on_all_gate_kinds() {
+        // Circuit exercising XOR, AND, NOT, constants and MUX.
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(8);
+        let y = b.input_word(8);
+        let lt = b.lt_unsigned(&x, &y);
+        let mn = b.mux_word(lt, &x, &y);
+        let t = b.const_bit(true);
+        let flipped = b.not(lt);
+        let both = b.and(t, flipped);
+        b.output_word(&mn);
+        b.output(both);
+        let circuit = b.build().unwrap();
+
+        for (a, bb) in [(5u64, 9u64), (9, 5), (7, 7), (0, 255)] {
+            let mut inputs = encode_word(a, 8);
+            inputs.extend(encode_word(bb, 8));
+            let expected = evaluate(&circuit, &inputs).unwrap();
+            let (outputs, _) = run_gmw(&circuit, &inputs, 3, 11);
+            assert_eq!(outputs, expected, "a={a} b={bb}");
+        }
+    }
+
+    #[test]
+    fn works_with_real_elgamal_ot() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let p = b.mul(&x, &y);
+        b.output_word(&p);
+        let circuit = b.build().unwrap();
+
+        let mut inputs = encode_word(5, 4);
+        inputs.extend(encode_word(3, 4));
+        let mut rng = Xoshiro256::new(3);
+        let shares = share_inputs(&inputs, 3, &mut rng);
+        let protocol = GmwProtocol::new(GmwConfig::with_default_ids(3)).unwrap();
+        let mut ot = ElGamalOt::new(Group::sim64(), 99);
+        let mut traffic = TrafficAccountant::new();
+        let exec = protocol
+            .execute(&circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .unwrap();
+        let outputs = reconstruct_outputs(&exec.output_shares).unwrap();
+        assert_eq!(decode_word(&outputs), 15);
+        assert!(exec.counts.exponentiations > 0);
+    }
+
+    #[test]
+    fn input_share_shape_is_checked() {
+        let circuit = adder_circuit(4);
+        let protocol = GmwProtocol::new(GmwConfig::with_default_ids(3)).unwrap();
+        let mut ot = SimulatedOtExtension::new();
+        let mut traffic = TrafficAccountant::new();
+        let mut rng = Xoshiro256::new(1);
+        // Wrong number of parties.
+        let err = protocol
+            .execute(&circuit, &vec![vec![false; 8]; 2], &mut ot, &mut traffic, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, MpcError::InputShareMismatch { .. }));
+        // Wrong number of bits.
+        let err = protocol
+            .execute(&circuit, &vec![vec![false; 7]; 3], &mut ot, &mut traffic, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, MpcError::InputShareMismatch { .. }));
+    }
+
+    #[test]
+    fn counts_scale_with_parties() {
+        let circuit = adder_circuit(16);
+        let mut inputs = encode_word(100, 16);
+        inputs.extend(encode_word(200, 16));
+        let (_, exec_small) = run_gmw(&circuit, &inputs, 4, 5);
+        let (_, exec_large) = run_gmw(&circuit, &inputs, 8, 5);
+        // AND gates are a circuit property, independent of party count.
+        assert_eq!(exec_small.counts.and_gates, exec_large.counts.and_gates);
+        // But OTs scale with the number of pairs: 6 pairs vs 28 pairs.
+        assert_eq!(
+            exec_small.counts.extended_ots * 28 / 6,
+            exec_large.counts.extended_ots
+        );
+        assert!(exec_large.counts.bytes_sent > exec_small.counts.bytes_sent);
+    }
+
+    #[test]
+    fn rounds_equal_and_depth_plus_one() {
+        let circuit = adder_circuit(8);
+        let stats = CircuitStats::of(&circuit);
+        let mut inputs = encode_word(1, 8);
+        inputs.extend(encode_word(2, 8));
+        let (_, exec) = run_gmw(&circuit, &inputs, 3, 9);
+        assert_eq!(exec.rounds, stats.and_depth as u64 + 1);
+    }
+
+    #[test]
+    fn traffic_is_attributed_to_node_ids() {
+        let circuit = adder_circuit(8);
+        let mut inputs = encode_word(3, 8);
+        inputs.extend(encode_word(4, 8));
+        let mut rng = Xoshiro256::new(13);
+        let shares = share_inputs(&inputs, 3, &mut rng);
+        let ids = vec![NodeId(10), NodeId(20), NodeId(30)];
+        let protocol = GmwProtocol::new(GmwConfig::with_node_ids(ids.clone())).unwrap();
+        let mut ot = SimulatedOtExtension::new();
+        let mut traffic = TrafficAccountant::new();
+        let exec = protocol
+            .execute(&circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .unwrap();
+        for &id in &ids {
+            assert!(traffic.node(id).bytes_sent > 0, "node {id} sent nothing");
+        }
+        // Per-party bytes in the execution agree with the accountant.
+        for (p, &id) in ids.iter().enumerate() {
+            assert_eq!(traffic.node(id).bytes_sent, exec.bytes_sent_per_party[p]);
+        }
+    }
+
+    #[test]
+    fn reconstruct_rejects_inconsistent_shares() {
+        assert!(reconstruct_outputs(&[]).is_err());
+        assert!(reconstruct_outputs(&[vec![true], vec![true, false]]).is_err());
+        assert_eq!(
+            reconstruct_outputs(&[vec![true, false], vec![true, true]]).unwrap(),
+            vec![false, true]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_gmw_matches_plaintext(a in 0u64..65536, b in 0u64..65536, seed in any::<u64>()) {
+            let circuit = adder_circuit(16);
+            let mut inputs = encode_word(a, 16);
+            inputs.extend(encode_word(b, 16));
+            let expected = evaluate(&circuit, &inputs).unwrap();
+            let (outputs, _) = run_gmw(&circuit, &inputs, 3, seed);
+            prop_assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn prop_share_reconstruct_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..64), parties in 2usize..10, seed in any::<u64>()) {
+            let mut rng = Xoshiro256::new(seed);
+            let shares = share_inputs(&bits, parties, &mut rng);
+            prop_assert_eq!(shares.len(), parties);
+            let rebuilt = reconstruct_outputs(&shares).unwrap();
+            prop_assert_eq!(rebuilt, bits);
+        }
+    }
+}

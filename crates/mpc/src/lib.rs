@@ -1,0 +1,36 @@
+//! N-party secure computation (GMW) for the DStress reproduction.
+//!
+//! DStress evaluates every vertex-program step inside a *small* multi-party
+//! computation among the `k + 1` members of a block, using the GMW
+//! protocol [34] over Boolean circuits (the paper's prototype used the
+//! Wysteria runtime on top of the Choi et al. GMW implementation).  This
+//! crate reproduces that machinery:
+//!
+//! * [`ot`] — 1-out-of-4 oblivious transfer, the only communication
+//!   primitive GMW needs.  Two providers are included: a real
+//!   public-key OT built on our ElGamal (used by the crypto-level tests
+//!   and microbenchmarks) and a *simulated OT-extension* provider that
+//!   delivers the same values while accounting for the amortised cost of
+//!   IKNP-style extension (used by the large end-to-end simulations, since
+//!   the paper's own prototype relied on OT extension for exactly this
+//!   reason, §5.3).
+//! * [`gmw`] — the GMW engine itself: XOR-shared wires, free XOR/NOT
+//!   gates, one OT per ordered party pair per AND gate, per-party traffic
+//!   and operation accounting, and helpers for sharing inputs and
+//!   reconstructing outputs.
+//! * [`baseline`] — the naïve monolithic-MPC baseline of §5.5: an `N×N`
+//!   fixed-point matrix-multiplication circuit evaluated under GMW, plus
+//!   the extrapolation the paper uses to arrive at its "287 years"
+//!   estimate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod error;
+pub mod gmw;
+pub mod ot;
+
+pub use error::MpcError;
+pub use gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwExecution, GmwProtocol};
+pub use ot::{ElGamalOt, OtProvider, SimulatedOtExtension};

@@ -1,0 +1,223 @@
+//! Calibrated cost model for paper-scale projections.
+//!
+//! Our reproduction executes the real protocol in process, so it measures
+//! *counts* exactly (exponentiations, oblivious transfers, AND gates,
+//! bytes, rounds) but cannot reproduce the wall-clock time of the paper's
+//! EC2 deployment directly.  Following the paper's own §5.5 methodology —
+//! which projects the cost of the full U.S. banking system from
+//! microbenchmark measurements — we convert operation counts to projected
+//! time through a [`CostModel`] whose per-operation constants are
+//! calibrated against the prototype's published microbenchmarks
+//! (Figures 3–5).
+//!
+//! The defaults in [`CostModel::paper_reference`] correspond to a single
+//! m3.xlarge-class core in 2017 and the same-region EC2 network used in
+//! the paper.  The model is deliberately simple (linear in every count);
+//! the paper's own projection makes the same conservative assumption that
+//! nodes do not overlap computations from different blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of the primitive operations performed by a protocol component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperationCounts {
+    /// Modular exponentiations (ElGamal encryptions count two, adjustments
+    /// and key re-randomisations one each).
+    pub exponentiations: u64,
+    /// Group multiplications outside of exponentiations (homomorphic
+    /// ciphertext aggregation).
+    pub group_multiplications: u64,
+    /// Base oblivious transfers (public-key OTs).
+    pub base_ots: u64,
+    /// Extended oblivious transfers (IKNP-style, symmetric crypto only).
+    pub extended_ots: u64,
+    /// AND gates evaluated under GMW (per party: share computation work).
+    pub and_gates: u64,
+    /// XOR/NOT gates evaluated under GMW (negligible but counted).
+    pub free_gates: u64,
+    /// Bytes sent over the network.
+    pub bytes_sent: u64,
+    /// Protocol communication rounds (sequential message exchanges).
+    pub rounds: u64,
+}
+
+impl OperationCounts {
+    /// Adds another set of counts to this one.
+    pub fn add(&mut self, other: &OperationCounts) {
+        self.exponentiations += other.exponentiations;
+        self.group_multiplications += other.group_multiplications;
+        self.base_ots += other.base_ots;
+        self.extended_ots += other.extended_ots;
+        self.and_gates += other.and_gates;
+        self.free_gates += other.free_gates;
+        self.bytes_sent += other.bytes_sent;
+        self.rounds += other.rounds;
+    }
+
+    /// Returns the sum of two sets of counts.
+    pub fn combined(&self, other: &OperationCounts) -> OperationCounts {
+        let mut out = *self;
+        out.add(other);
+        out
+    }
+
+    /// Scales every count by an integer factor (e.g. "per iteration" to
+    /// "per run").
+    pub fn scaled(&self, factor: u64) -> OperationCounts {
+        OperationCounts {
+            exponentiations: self.exponentiations * factor,
+            group_multiplications: self.group_multiplications * factor,
+            base_ots: self.base_ots * factor,
+            extended_ots: self.extended_ots * factor,
+            and_gates: self.and_gates * factor,
+            free_gates: self.free_gates * factor,
+            bytes_sent: self.bytes_sent * factor,
+            rounds: self.rounds * factor,
+        }
+    }
+}
+
+/// Per-operation cost constants (seconds and bytes-per-second).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Seconds per modular exponentiation (384-bit EC scalar mult class).
+    pub seconds_per_exponentiation: f64,
+    /// Seconds per plain group multiplication.
+    pub seconds_per_group_multiplication: f64,
+    /// Seconds per base (public-key) oblivious transfer.
+    pub seconds_per_base_ot: f64,
+    /// Seconds per extended oblivious transfer.
+    pub seconds_per_extended_ot: f64,
+    /// Seconds of local computation per AND gate per party (share updates,
+    /// PRG calls, table lookups).
+    pub seconds_per_and_gate: f64,
+    /// Seconds per free (XOR/NOT) gate.
+    pub seconds_per_free_gate: f64,
+    /// Network bandwidth in bytes per second available to one node.
+    pub bandwidth_bytes_per_second: f64,
+    /// One-way network latency per protocol round, in seconds.
+    pub latency_per_round: f64,
+}
+
+impl CostModel {
+    /// Cost constants calibrated to the paper's prototype environment
+    /// (m3.xlarge instances, same-region EC2, secp384r1, GMW with OT
+    /// extension).  See `EXPERIMENTS.md` for the calibration fit.
+    pub fn paper_reference() -> Self {
+        CostModel {
+            // ~0.9 ms per 384-bit exponentiation (OpenSSL on 2.5 GHz Xeon).
+            seconds_per_exponentiation: 0.9e-3,
+            seconds_per_group_multiplication: 2.0e-6,
+            // Base OTs are a handful of exponentiations.
+            seconds_per_base_ot: 3.0e-3,
+            // OT extension amortises to symmetric crypto per OT (the
+            // prototype's Java implementation, per the Fig. 3 calibration).
+            seconds_per_extended_ot: 20.0e-6,
+            // Per-gate bookkeeping in the GMW engine (Java prototype).
+            seconds_per_and_gate: 200.0e-6,
+            seconds_per_free_gate: 0.4e-6,
+            // ~1 Gbit/s effective within an EC2 region.
+            bandwidth_bytes_per_second: 125.0e6,
+            // Same-region round-trip latency ~0.5 ms one way.
+            latency_per_round: 0.5e-3,
+        }
+    }
+
+    /// Estimates the wall-clock seconds a single node spends executing the
+    /// counted operations, assuming no overlap between computation and
+    /// communication (the paper's own conservative assumption in §5.5).
+    pub fn estimate_seconds(&self, counts: &OperationCounts) -> f64 {
+        let compute = counts.exponentiations as f64 * self.seconds_per_exponentiation
+            + counts.group_multiplications as f64 * self.seconds_per_group_multiplication
+            + counts.base_ots as f64 * self.seconds_per_base_ot
+            + counts.extended_ots as f64 * self.seconds_per_extended_ot
+            + counts.and_gates as f64 * self.seconds_per_and_gate
+            + counts.free_gates as f64 * self.seconds_per_free_gate;
+        let network = counts.bytes_sent as f64 / self.bandwidth_bytes_per_second
+            + counts.rounds as f64 * self.latency_per_round;
+        compute + network
+    }
+
+    /// Estimates only the network component of the cost.
+    pub fn estimate_network_seconds(&self, counts: &OperationCounts) -> f64 {
+        counts.bytes_sent as f64 / self.bandwidth_bytes_per_second
+            + counts.rounds as f64 * self.latency_per_round
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_and_scale() {
+        let a = OperationCounts {
+            exponentiations: 10,
+            bytes_sent: 100,
+            rounds: 2,
+            ..Default::default()
+        };
+        let b = OperationCounts {
+            exponentiations: 5,
+            and_gates: 7,
+            ..Default::default()
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.exponentiations, 15);
+        assert_eq!(c.and_gates, 7);
+        assert_eq!(c.bytes_sent, 100);
+        let s = c.scaled(3);
+        assert_eq!(s.exponentiations, 45);
+        assert_eq!(s.rounds, 6);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_counts() {
+        let model = CostModel::paper_reference();
+        let small = OperationCounts {
+            exponentiations: 10,
+            ..Default::default()
+        };
+        let large = OperationCounts {
+            exponentiations: 1000,
+            ..Default::default()
+        };
+        assert!(model.estimate_seconds(&large) > model.estimate_seconds(&small));
+        assert_eq!(model.estimate_seconds(&OperationCounts::default()), 0.0);
+    }
+
+    #[test]
+    fn exponentiation_cost_matches_constant() {
+        let model = CostModel::paper_reference();
+        let counts = OperationCounts {
+            exponentiations: 1000,
+            ..Default::default()
+        };
+        let t = model.estimate_seconds(&counts);
+        assert!((t - 0.9).abs() < 1e-9, "1000 exponentiations ≈ 0.9 s, got {t}");
+    }
+
+    #[test]
+    fn network_component() {
+        let model = CostModel::paper_reference();
+        let counts = OperationCounts {
+            bytes_sent: 125_000_000,
+            rounds: 1000,
+            ..Default::default()
+        };
+        let net = model.estimate_network_seconds(&counts);
+        assert!((net - 1.5).abs() < 1e-9, "1 s bandwidth + 0.5 s latency, got {net}");
+        assert_eq!(model.estimate_seconds(&counts), net);
+    }
+
+    #[test]
+    fn default_is_paper_reference() {
+        assert_eq!(CostModel::default(), CostModel::paper_reference());
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated network substrate for the DStress reproduction.
+//!
+//! The original DStress prototype ran on up to 100 EC2 instances; its
+//! evaluation reports two quantities per experiment: *computation time*
+//! and *per-node traffic*.  This crate provides the bookkeeping that lets
+//! our in-process reproduction report the same quantities:
+//!
+//! * [`traffic`] — a per-node (and per-pair) byte/message accountant.
+//!   Every protocol component in the workspace records its sends here, so
+//!   the traffic numbers in Figures 4–6 are measured, not estimated.
+//! * [`mailbox`] — a typed, deterministic message-passing facility for
+//!   protocol code that wants to exchange actual values between simulated
+//!   nodes (rather than only account for them).
+//! * [`cost`] — the calibrated cost model used to convert operation counts
+//!   (exponentiations, oblivious transfers, bytes, rounds) into projected
+//!   wall-clock time on the paper's reference hardware, which is how the
+//!   paper-scale projection of Figure 6 is produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod mailbox;
+pub mod traffic;
+
+pub use cost::{CostModel, OperationCounts};
+pub use mailbox::Mailbox;
+pub use traffic::{NodeId, TrafficAccountant, TrafficReport};

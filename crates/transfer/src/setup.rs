@@ -1,0 +1,476 @@
+//! One-time trusted-party setup (§3.4).
+//!
+//! Before a graph can be analysed, a trusted party (the paper suggests the
+//! Federal Reserve for the banking scenario) performs a one-time setup:
+//!
+//! 1. every node submits its public ElGamal keys and `D` freshly chosen
+//!    secret *neighbor keys*;
+//! 2. the TP assigns every node `i` a block `B_i` of `k + 1` members
+//!    (including `i` itself), plus a special aggregation block `B_A`, and
+//!    publishes the signed assignment;
+//! 3. the TP issues `D` *block certificates* per node: the `j`-th
+//!    certificate for node `i` contains the public keys of `B_i`'s members
+//!    re-randomised with `i`'s `j`-th neighbor key, so that the neighbour
+//!    who eventually receives it cannot recognise the members by their
+//!    public keys.
+//!
+//! Node `i` then forwards its `j`-th certificate to its `j`-th neighbour
+//! (discarding leftovers if it has fewer than `D` neighbours).  The TP
+//! never learns the topology and can leave the system.
+//!
+//! Signatures are modelled with a keyed FNV-1a tag: the reproduction's
+//! threat model is honest-but-curious, so the signature only needs to be a
+//! checkable integrity tag, not an unforgeable one (see `DESIGN.md`).
+
+use crate::error::TransferError;
+use dstress_crypto::elgamal::{KeyPair, PublicKey};
+use dstress_crypto::group::Group;
+use dstress_math::rng::DetRng;
+use dstress_math::U256;
+use dstress_net::traffic::NodeId;
+
+/// Secrets held by a single node after key generation.
+#[derive(Clone, Debug)]
+pub struct NodeSecrets {
+    /// One ElGamal key pair per message bit (the Kurosawa multi-recipient
+    /// optimisation of §5.1 needs `L` distinct public keys per recipient).
+    pub bit_keys: Vec<KeyPair>,
+    /// The `D` neighbor keys this node chose (exponents in `Z_q`).
+    pub neighbor_keys: Vec<U256>,
+}
+
+impl NodeSecrets {
+    /// Generates fresh secrets for one node.
+    pub fn generate(group: &Group, message_bits: u32, degree_bound: usize, rng: &mut dyn DetRng) -> Self {
+        NodeSecrets {
+            bit_keys: (0..message_bits)
+                .map(|_| KeyPair::generate(group, rng))
+                .collect(),
+            neighbor_keys: (0..degree_bound)
+                .map(|_| group.random_nonzero_exponent(rng))
+                .collect(),
+        }
+    }
+
+    /// The node's public bit keys (what gets registered with the TP).
+    pub fn public_bit_keys(&self) -> Vec<PublicKey> {
+        self.bit_keys.iter().map(|kp| kp.public).collect()
+    }
+}
+
+/// A block: the `k + 1` nodes that jointly hold one vertex's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The node whose vertex this block serves (a member of the block).
+    pub owner: NodeId,
+    /// All members, including the owner.
+    pub members: Vec<NodeId>,
+}
+
+impl Block {
+    /// Block size (`k + 1`).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Index of a node within the block, if it is a member.
+    pub fn member_index(&self, node: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == node)
+    }
+}
+
+/// A block certificate: the re-randomised public keys of one block,
+/// destined for one of the owner's neighbours.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockCertificate {
+    /// The node whose block these keys belong to.
+    pub block_owner: NodeId,
+    /// Which of the owner's neighbor keys re-randomised the certificate
+    /// (the owner's `j`-th neighbour receives certificate `j`).
+    pub neighbor_index: usize,
+    /// `keys[member][bit]`: the re-randomised public key of each block
+    /// member for each message bit position.
+    pub keys: Vec<Vec<PublicKey>>,
+    /// The trusted party's integrity tag.
+    pub signature: u64,
+}
+
+/// The output of the one-time setup.
+#[derive(Clone, Debug)]
+pub struct SystemSetup {
+    /// The collusion bound `k`.
+    pub collusion_bound: usize,
+    /// The public degree bound `D`.
+    pub degree_bound: usize,
+    /// Message bit width `L`.
+    pub message_bits: u32,
+    /// One block per node, indexed by node id.
+    pub blocks: Vec<Block>,
+    /// The special aggregation block `B_A` (§3.6).
+    pub aggregation_block: Block,
+    /// `certificates[i][j]`: node `i`'s `j`-th block certificate, which
+    /// `i` forwards to its `j`-th neighbour.
+    pub certificates: Vec<Vec<BlockCertificate>>,
+    /// Integrity tag over the block assignment.
+    pub assignment_signature: u64,
+}
+
+impl SystemSetup {
+    /// The block serving node `i`'s vertex.
+    pub fn block_of(&self, node: NodeId) -> &Block {
+        &self.blocks[node.0]
+    }
+
+    /// Number of participating nodes.
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The trusted party.
+///
+/// In a deployment the TP runs once and goes offline; here it is an
+/// ordinary value whose `setup` method performs the whole procedure.
+#[derive(Clone, Debug)]
+pub struct TrustedParty {
+    signing_key: u64,
+}
+
+/// Keyed FNV-1a over a byte stream — the stand-in integrity tag.
+fn tag(signing_key: u64, bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ signing_key;
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TrustedParty {
+    /// Creates a trusted party with a signing key derived from the seed.
+    pub fn new(seed: u64) -> Self {
+        TrustedParty { signing_key: seed }
+    }
+
+    /// Runs the one-time setup for `registrations.len()` nodes.
+    ///
+    /// `registrations[i]` holds node `i`'s public bit keys and neighbor
+    /// keys (the neighbor keys are secrets shared only with the TP, which
+    /// needs them to build the certificates; the TP never learns which
+    /// neighbour each key will be used for).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::NotEnoughNodes`] if fewer than `k + 1`
+    /// nodes registered, and propagates key-shape errors.
+    pub fn setup(
+        &self,
+        group: &Group,
+        registrations: &[(Vec<PublicKey>, Vec<U256>)],
+        collusion_bound: usize,
+        degree_bound: usize,
+        message_bits: u32,
+        rng: &mut dyn DetRng,
+    ) -> Result<SystemSetup, TransferError> {
+        let n = registrations.len();
+        let block_size = collusion_bound + 1;
+        if n < block_size {
+            return Err(TransferError::NotEnoughNodes {
+                nodes: n,
+                block_size,
+            });
+        }
+        for (keys, neighbor_keys) in registrations {
+            if keys.len() != message_bits as usize || neighbor_keys.len() != degree_bound {
+                return Err(TransferError::CertificateShapeMismatch);
+            }
+        }
+
+        // Assign blocks: each node's block contains itself plus k distinct
+        // other nodes chosen uniformly at random.
+        let mut blocks = Vec::with_capacity(n);
+        for i in 0..n {
+            let members = Self::pick_members(i, n, block_size, rng);
+            blocks.push(Block {
+                owner: NodeId(i),
+                members,
+            });
+        }
+        // The aggregation block is owned by no vertex; we record its owner
+        // as its first member for bookkeeping.
+        let agg_members = Self::pick_members(rng.next_below(n as u64) as usize, n, block_size, rng);
+        let aggregation_block = Block {
+            owner: agg_members[0],
+            members: agg_members,
+        };
+
+        let assignment_signature = tag(
+            self.signing_key,
+            blocks
+                .iter()
+                .flat_map(|b| b.members.iter().flat_map(|m| (m.0 as u64).to_le_bytes())),
+        );
+
+        // Build the D certificates for every node's block.
+        let mut certificates = Vec::with_capacity(n);
+        for i in 0..n {
+            let (_, neighbor_keys) = &registrations[i];
+            let mut node_certs = Vec::with_capacity(degree_bound);
+            for (j, neighbor_key) in neighbor_keys.iter().enumerate() {
+                let mut keys = Vec::with_capacity(block_size);
+                for &member in &blocks[i].members {
+                    let member_keys = &registrations[member.0].0;
+                    let rerandomized: Vec<PublicKey> = member_keys
+                        .iter()
+                        .map(|pk| dstress_crypto::elgamal::rerandomize_public_key(group, pk, neighbor_key))
+                        .collect();
+                    keys.push(rerandomized);
+                }
+                let signature = tag(
+                    self.signing_key,
+                    keys.iter().flat_map(|member_keys| {
+                        member_keys
+                            .iter()
+                            .flat_map(|pk| group.elem_to_int(pk.element()).to_be_bytes())
+                    }),
+                );
+                node_certs.push(BlockCertificate {
+                    block_owner: NodeId(i),
+                    neighbor_index: j,
+                    keys,
+                    signature,
+                });
+            }
+            certificates.push(node_certs);
+        }
+
+        Ok(SystemSetup {
+            collusion_bound,
+            degree_bound,
+            message_bits,
+            blocks,
+            aggregation_block,
+            certificates,
+            assignment_signature,
+        })
+    }
+
+    /// Verifies a block certificate's integrity tag.
+    pub fn verify_certificate(&self, group: &Group, cert: &BlockCertificate) -> bool {
+        let expected = tag(
+            self.signing_key,
+            cert.keys.iter().flat_map(|member_keys| {
+                member_keys
+                    .iter()
+                    .flat_map(|pk| group.elem_to_int(pk.element()).to_be_bytes())
+            }),
+        );
+        expected == cert.signature
+    }
+
+    /// Verifies the block-assignment signature of a setup.
+    pub fn verify_assignment(&self, setup: &SystemSetup) -> bool {
+        let expected = tag(
+            self.signing_key,
+            setup
+                .blocks
+                .iter()
+                .flat_map(|b| b.members.iter().flat_map(|m| (m.0 as u64).to_le_bytes())),
+        );
+        expected == setup.assignment_signature
+    }
+
+    fn pick_members(owner: usize, n: usize, block_size: usize, rng: &mut dyn DetRng) -> Vec<NodeId> {
+        let mut members = vec![NodeId(owner)];
+        while members.len() < block_size {
+            let candidate = NodeId(rng.next_below(n as u64) as usize);
+            if !members.contains(&candidate) {
+                members.push(candidate);
+            }
+        }
+        members
+    }
+}
+
+/// Convenience helper used by tests and the runtime: generates secrets for
+/// every node and runs the full setup, returning both.
+///
+/// # Errors
+///
+/// Propagates [`TrustedParty::setup`] errors.
+pub fn generate_system(
+    group: &Group,
+    nodes: usize,
+    collusion_bound: usize,
+    degree_bound: usize,
+    message_bits: u32,
+    rng: &mut dyn DetRng,
+) -> Result<(Vec<NodeSecrets>, SystemSetup), TransferError> {
+    let secrets: Vec<NodeSecrets> = (0..nodes)
+        .map(|_| NodeSecrets::generate(group, message_bits, degree_bound, rng))
+        .collect();
+    let registrations: Vec<(Vec<PublicKey>, Vec<U256>)> = secrets
+        .iter()
+        .map(|s| (s.public_bit_keys(), s.neighbor_keys.clone()))
+        .collect();
+    let tp = TrustedParty::new(0xFED5_EED);
+    let setup = tp.setup(group, &registrations, collusion_bound, degree_bound, message_bits, rng)?;
+    Ok((secrets, setup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_math::rng::Xoshiro256;
+
+    fn small_system() -> (Group, Vec<NodeSecrets>, SystemSetup) {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(42);
+        let (secrets, setup) = generate_system(&group, 10, 3, 4, 12, &mut rng).unwrap();
+        (group, secrets, setup)
+    }
+
+    #[test]
+    fn blocks_have_correct_shape() {
+        let (_, _, setup) = small_system();
+        assert_eq!(setup.node_count(), 10);
+        for (i, block) in setup.blocks.iter().enumerate() {
+            assert_eq!(block.size(), 4, "block of node {i}");
+            assert_eq!(block.owner, NodeId(i));
+            assert!(block.members.contains(&NodeId(i)), "owner must be a member");
+            let mut sorted = block.members.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "members must be distinct");
+            assert_eq!(block.member_index(NodeId(i)).unwrap(), 0);
+        }
+        assert_eq!(setup.aggregation_block.size(), 4);
+        assert_eq!(setup.block_of(NodeId(3)).owner, NodeId(3));
+    }
+
+    #[test]
+    fn certificates_have_correct_shape() {
+        let (_, _, setup) = small_system();
+        for node_certs in &setup.certificates {
+            assert_eq!(node_certs.len(), 4, "D certificates per node");
+            for (j, cert) in node_certs.iter().enumerate() {
+                assert_eq!(cert.neighbor_index, j);
+                assert_eq!(cert.keys.len(), 4, "one key set per member");
+                for member_keys in &cert.keys {
+                    assert_eq!(member_keys.len(), 12, "L keys per member");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certificates_hide_original_keys() {
+        let (_, secrets, setup) = small_system();
+        // The re-randomised keys must differ from every registered public
+        // key (so a colluding neighbour cannot identify block members).
+        let all_public: Vec<_> = secrets
+            .iter()
+            .flat_map(|s| s.public_bit_keys())
+            .map(|pk| pk.element())
+            .collect();
+        for node_certs in &setup.certificates {
+            for cert in node_certs {
+                for member_keys in &cert.keys {
+                    for pk in member_keys {
+                        assert!(!all_public.contains(&pk.element()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerandomized_keys_decrypt_after_adjustment() {
+        let (group, secrets, setup) = small_system();
+        // Node 0's certificate for its first neighbor: encrypt to member 1,
+        // bit 3, adjust with node 0's first neighbor key, decrypt with the
+        // member's original secret key.
+        let cert = &setup.certificates[0][0];
+        let member = setup.blocks[0].members[1];
+        let pk = cert.keys[1][3];
+        let mut rng = Xoshiro256::new(7);
+        let ct = dstress_crypto::elgamal::encrypt_exponent(&group, &pk, 1, &mut rng);
+        let adjusted =
+            dstress_crypto::elgamal::adjust_ciphertext(&group, &ct, &secrets[0].neighbor_keys[0]);
+        let table = dstress_crypto::DlogTable::new(&group, 2);
+        let elem = dstress_crypto::elgamal::decrypt(
+            &group,
+            &secrets[member.0].bit_keys[3].secret,
+            &adjusted,
+        )
+        .unwrap();
+        assert_eq!(table.lookup(&group, elem).unwrap(), 1);
+    }
+
+    #[test]
+    fn signatures_verify_and_detect_tampering() {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(3);
+        let secrets: Vec<NodeSecrets> = (0..6)
+            .map(|_| NodeSecrets::generate(&group, 4, 2, &mut rng))
+            .collect();
+        let registrations: Vec<_> = secrets
+            .iter()
+            .map(|s| (s.public_bit_keys(), s.neighbor_keys.clone()))
+            .collect();
+        let tp = TrustedParty::new(123);
+        let mut setup = tp.setup(&group, &registrations, 2, 2, 4, &mut rng).unwrap();
+        assert!(tp.verify_assignment(&setup));
+        assert!(tp.verify_certificate(&group, &setup.certificates[0][0]));
+        // A different TP key rejects.
+        let other = TrustedParty::new(456);
+        assert!(!other.verify_assignment(&setup));
+        // Tampering with the assignment is detected.
+        setup.blocks[0].members.swap(1, 2);
+        assert!(!tp.verify_assignment(&setup));
+    }
+
+    #[test]
+    fn setup_rejects_bad_inputs() {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(5);
+        let tp = TrustedParty::new(1);
+        // Too few nodes for k = 5.
+        let secrets: Vec<NodeSecrets> = (0..3)
+            .map(|_| NodeSecrets::generate(&group, 4, 2, &mut rng))
+            .collect();
+        let regs: Vec<_> = secrets
+            .iter()
+            .map(|s| (s.public_bit_keys(), s.neighbor_keys.clone()))
+            .collect();
+        assert!(matches!(
+            tp.setup(&group, &regs, 5, 2, 4, &mut rng).unwrap_err(),
+            TransferError::NotEnoughNodes { .. }
+        ));
+        // Wrong number of bit keys.
+        let bad_regs: Vec<_> = secrets
+            .iter()
+            .map(|s| (s.public_bit_keys()[..2].to_vec(), s.neighbor_keys.clone()))
+            .collect();
+        assert!(matches!(
+            tp.setup(&group, &bad_regs, 1, 2, 4, &mut rng).unwrap_err(),
+            TransferError::CertificateShapeMismatch
+        ));
+    }
+
+    #[test]
+    fn setup_is_deterministic_in_seed() {
+        let group = Group::sim64();
+        let run = |seed: u64| {
+            let mut rng = Xoshiro256::new(seed);
+            generate_system(&group, 8, 2, 3, 8, &mut rng).unwrap().1
+        };
+        let a = run(9);
+        let b = run(9);
+        for (ba, bb) in a.blocks.iter().zip(b.blocks.iter()) {
+            assert_eq!(ba.members, bb.members);
+        }
+        let c = run(10);
+        assert!(a.blocks.iter().zip(c.blocks.iter()).any(|(x, y)| x.members != y.members));
+    }
+}

@@ -1,0 +1,80 @@
+//! Projecting DStress to the full U.S. banking system (§5.5 / Figure 6).
+//!
+//! Uses the calibrated scalability model, fed with the real Eisenberg–Noe
+//! circuits, to project end-to-end computation time and per-node traffic
+//! for deployments from 100 to 2,000 banks, and compares the headline
+//! (N = 1,750, D = 100) against the naïve monolithic-MPC baseline.
+//!
+//! Run with `cargo run --release --example cost_projection`.
+
+use dstress::core::ScalabilityModel;
+use dstress_bench::naive_baseline::paper_comparison;
+use dstress_bench::scalability::{en_projection_inputs, fig6_sweep, headline_projection};
+use dstress_bench::{format_bytes, format_seconds};
+
+fn main() {
+    println!("Projected end-to-end cost of an Eisenberg-Noe stress test (block size 20):");
+    println!("{:<8} {:>6} {:>6} {:>14} {:>16}", "N", "D", "iters", "time", "traffic/node");
+    for row in fig6_sweep(&[100, 500, 1000, 1750, 2000], &[10, 40, 100]) {
+        println!(
+            "{:<8} {:>6} {:>6} {:>14} {:>16}",
+            row.nodes,
+            row.degree_bound,
+            row.iterations,
+            format_seconds(row.result.total_seconds),
+            format_bytes(row.result.bytes_per_node)
+        );
+    }
+
+    let headline = headline_projection();
+    println!();
+    println!(
+        "US banking system (N = 1750, D = 100): {} and {} per node",
+        format_seconds(headline.result.total_seconds),
+        format_bytes(headline.result.bytes_per_node)
+    );
+    println!("(the paper projects ~4.8 hours and ~750 MB per node)");
+
+    // Phase breakdown of the headline projection.
+    let b = headline.result.breakdown;
+    println!(
+        "  initialization {:>12}   computation {:>12}   transfers {:>12}   aggregation {:>12}",
+        format_seconds(b.initialization_seconds),
+        format_seconds(b.computation_seconds),
+        format_seconds(b.communication_seconds),
+        format_seconds(b.aggregation_seconds)
+    );
+
+    // The baseline the paper compares against: one monolithic MPC.
+    let baseline = paper_comparison();
+    println!();
+    println!(
+        "naive monolithic MPC for the same system: {} (~{:.0} years) => DStress speedup ~{:.0}x",
+        format_seconds(baseline.full_scale_seconds),
+        baseline.full_scale_years,
+        baseline.speedup
+    );
+
+    // How the iteration rule behaves.
+    println!();
+    println!("iteration rule I = ceil(log2 N):");
+    for n in [50usize, 100, 500, 1750] {
+        println!("  N = {:>5} -> I = {}", n, ScalabilityModel::default_iterations(n));
+    }
+
+    // What changes if regulators demand a smaller collusion bound.
+    let model = ScalabilityModel::paper_reference();
+    let inputs = en_projection_inputs(100);
+    println!();
+    println!("sensitivity to the collusion bound (N = 1750, D = 100):");
+    for k in [7usize, 11, 15, 19] {
+        let r = model.project(&inputs, 1750, 100, k, 11);
+        println!(
+            "  k = {:>2} (blocks of {:>2}): {} and {} per node",
+            k,
+            k + 1,
+            format_seconds(r.total_seconds),
+            format_bytes(r.bytes_per_node)
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Systemic risk on a synthetic banking network (the paper's case study).
+//!
+//! Builds the Appendix C two-tier banking network (10 core banks, 40
+//! peripheral banks), applies a severe shock to most of the core, and
+//! measures the Total Dollar Shortfall three ways:
+//!
+//! 1. the ideal (non-private) Eisenberg–Noe clearing computation,
+//! 2. the Elliott–Golub–Jackson cross-holdings model, and
+//! 3. the full DStress pipeline — blocks, GMW, the message transfer
+//!    protocol and a dollar-differentially-private release.
+//!
+//! Run with `cargo run --release --example systemic_risk`.
+
+use dstress::core::{DStressConfig, DStressRuntime};
+use dstress::finance::contagion::{cascade_scenario, recommended_iterations, ContagionModel};
+use dstress::finance::{CircuitParams, EisenbergNoeSecure, ElliottGolubJacksonSecure};
+use dstress::math::rng::Xoshiro256;
+
+fn main() {
+    // Appendix C cascade scenario: 7 of the 10 core banks lose 99% of
+    // their assets.
+    let mut rng = Xoshiro256::new(0xC0FFEE);
+    let (network, en_outcome) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
+    let mut rng = Xoshiro256::new(0xC0FFEE);
+    let (_, egj_outcome) = cascade_scenario(&mut rng, ContagionModel::ElliottGolubJackson);
+
+    println!("banking network: {} banks, {} exposures", network.bank_count(), network.graph().edge_count());
+    println!();
+    println!("ideal (non-private) contagion results after the core shock:");
+    println!(
+        "  Eisenberg-Noe:          TDS = {:>8.1}  failed banks = {:>2}  converged in {} iterations",
+        en_outcome.report.total_shortfall,
+        en_outcome.report.failed_banks,
+        en_outcome.iterations_to_converge
+    );
+    println!(
+        "  Elliott-Golub-Jackson:  TDS = {:>8.1}  distressed banks = {:>2}  converged in {} iterations",
+        egj_outcome.report.total_shortfall,
+        egj_outcome.report.failed_banks,
+        egj_outcome.iterations_to_converge
+    );
+
+    // Now the same computation the way DStress would actually run it:
+    // nobody sees anyone else's balance sheet, and only the noised TDS is
+    // released.  (Cost-accounted transfers keep the example fast.)
+    let iterations = recommended_iterations(network.bank_count());
+    let leverage_bound = 0.1; // Basel III, as in §4.5
+    let epsilon = 0.23; // allows ~3 stress tests per year
+
+    let mut config = DStressConfig::benchmark(3);
+    config.epsilon = epsilon;
+    let runtime = DStressRuntime::new(config);
+
+    println!();
+    println!("DStress runs (k = 3, epsilon = {epsilon}, I = {iterations}):");
+    let en_program = EisenbergNoeSecure {
+        network: &network,
+        params: CircuitParams::default_params(),
+        iterations,
+        leverage_bound,
+    };
+    let run = runtime
+        .execute(network.graph(), &en_program)
+        .expect("EN run succeeds");
+    println!(
+        "  Eisenberg-Noe:          released TDS = {:>8.1}   (ideal {:>8.1}, Laplace scale {:.1})",
+        run.noised_output,
+        run.ideal_output,
+        1.0 / leverage_bound / epsilon
+    );
+
+    let egj_program = ElliottGolubJacksonSecure {
+        network: &network,
+        params: CircuitParams::default_params(),
+        iterations,
+        leverage_bound,
+    };
+    let run = runtime
+        .execute(network.graph(), &egj_program)
+        .expect("EGJ run succeeds");
+    println!(
+        "  Elliott-Golub-Jackson:  released TDS = {:>8.1}   (ideal {:>8.1}, Laplace scale {:.1})",
+        run.noised_output,
+        run.ideal_output,
+        2.0 / leverage_bound / epsilon
+    );
+
+    println!();
+    println!(
+        "A regulator looking only at the released values still sees an unmistakable cascade;"
+    );
+    println!("no participant learned anything beyond its own books (plus the DP-noised output).");
+}

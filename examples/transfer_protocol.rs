@@ -1,0 +1,98 @@
+//! Anatomy of the message transfer protocol (§3.5).
+//!
+//! Walks through one transfer of a 12-bit message from block `B_i` to
+//! block `B_j` under each protocol revision — the three strawmen and the
+//! final noised protocol — showing that every variant delivers the correct
+//! message while their costs (and the attacks they resist) differ.
+//!
+//! Run with `cargo run --release --example transfer_protocol`.
+
+use dstress::crypto::dlog::DlogTable;
+use dstress::crypto::group::Group;
+use dstress::crypto::sharing::{split_xor, xor_reconstruct, BitMessage};
+use dstress::math::rng::Xoshiro256;
+use dstress::net::traffic::{NodeId, TrafficAccountant};
+use dstress::transfer::protocol::{transfer_message, ProtocolVariant, TransferConfig};
+use dstress::transfer::setup::generate_system;
+
+fn main() {
+    let group = Group::sim64();
+    let mut rng = Xoshiro256::new(0x5EED);
+    let collusion_bound = 3; // blocks of 4 nodes
+    let message_bits = 12;
+
+    // One-time setup: 12 participants register keys with the trusted
+    // party, which assigns blocks and issues re-randomised block
+    // certificates without ever learning the graph.
+    let (secrets, setup) =
+        generate_system(&group, 12, collusion_bound, 4, message_bits, &mut rng).unwrap();
+    println!(
+        "trusted-party setup: {} nodes, block size {}, {} certificates per node",
+        setup.node_count(),
+        setup.blocks[0].size(),
+        setup.degree_bound
+    );
+
+    // The secret message vertex 0 wants to send to its neighbour vertex 1.
+    let message = BitMessage::new(0xABC, message_bits).unwrap();
+    let sender_shares = split_xor(message, setup.blocks[0].size(), &mut rng);
+    println!(
+        "message 0x{:03x} is XOR-shared among B_0 = {:?}",
+        message.value(),
+        setup.blocks[0].members
+    );
+
+    // A signed discrete-log window wide enough both for the whole-share
+    // values the strawmen encrypt (up to 2^12 - 1) and for the noised
+    // bit-sums of the final protocol.
+    let dlog = DlogTable::new_signed(&group, 5_000);
+
+    println!();
+    println!(
+        "{:<12} {:>10} {:>16} {:>12} {:>10}",
+        "variant", "correct?", "exponentiations", "bytes", "rounds"
+    );
+    for (name, variant) in [
+        ("strawman1", ProtocolVariant::Strawman1),
+        ("strawman2", ProtocolVariant::Strawman2),
+        ("strawman3", ProtocolVariant::Strawman3),
+        ("final", ProtocolVariant::Final { alpha: 0.9 }),
+    ] {
+        let config = TransferConfig {
+            variant,
+            message_bits,
+        };
+        let mut traffic = TrafficAccountant::new();
+        let outcome = transfer_message(
+            &group,
+            &config,
+            NodeId(0),
+            NodeId(1),
+            &setup.blocks[0],
+            &setup.blocks[1],
+            &sender_shares,
+            &secrets,
+            &setup.certificates[1][0],
+            &secrets[1].neighbor_keys[0],
+            &dlog,
+            &mut traffic,
+            &mut rng,
+        )
+        .expect("transfer succeeds");
+        let received = xor_reconstruct(&outcome.receiver_shares).unwrap();
+        println!(
+            "{:<12} {:>10} {:>16} {:>12} {:>10}",
+            name,
+            received == message,
+            outcome.counts.exponentiations,
+            outcome.counts.bytes_sent,
+            outcome.counts.rounds
+        );
+    }
+
+    println!();
+    println!("strawman #1 lets a node sitting in both blocks learn two shares;");
+    println!("strawman #2 lets colluders recognise forwarded sub-shares and infer the edge;");
+    println!("strawman #3 still leaks a little through the plaintext bit-sums;");
+    println!("the final protocol noises those sums, making the residual leakage epsilon-DP.");
+}

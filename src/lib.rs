@@ -1,0 +1,84 @@
+//! # DStress — differentially private computations on distributed graphs
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *"DStress: Efficient Differentially Private Computations on Distributed
+//! Data"* (Papadimitriou, Narayan, Haeberlen — EuroSys 2017).  DStress
+//! executes *vertex programs* over a graph whose vertices, edges and
+//! properties are distributed across mutually distrustful participants,
+//! and guarantees value privacy, edge privacy and (ε-differential) output
+//! privacy.
+//!
+//! The facade re-exports the workspace crates under stable module names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `dstress-math` | big integers, Montgomery arithmetic, RNGs, fixed point |
+//! | [`crypto`] | `dstress-crypto` | exponential ElGamal, key re-randomisation, secret sharing |
+//! | [`circuit`] | `dstress-circuit` | Boolean circuits and gadgets |
+//! | [`mpc`] | `dstress-mpc` | the GMW protocol and the monolithic-MPC baseline |
+//! | [`net`] | `dstress-net` | simulated network, traffic accounting, cost model |
+//! | [`dp`] | `dstress-dp` | Laplace/geometric mechanisms, budgets, policy analyses |
+//! | [`transfer`] | `dstress-transfer` | trusted-party setup and the message transfer protocol |
+//! | [`graph`] | `dstress-graph` | graphs, vertex programs, the plaintext reference executor |
+//! | [`core`] | `dstress-core` | the DStress runtime and the scalability projection |
+//! | [`finance`] | `dstress-finance` | the systemic-risk case study (EN, EGJ, generators) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dstress::core::{DStressConfig, DStressRuntime, CounterProgram};
+//! use dstress::graph::generate::ring_with_chords;
+//! use dstress::math::rng::Xoshiro256;
+//!
+//! // A small distributed graph: 6 participants in a ring.
+//! let mut rng = Xoshiro256::new(7);
+//! let graph = ring_with_chords(6, 0, 2, &mut rng);
+//!
+//! // A toy vertex program (each vertex sums what it hears), executed with
+//! // blocks of 3 nodes (collusion bound k = 2) and ε = 0.23.
+//! let program = CounterProgram { width: 8, rounds: 2 };
+//! let mut config = DStressConfig::small_test(2);
+//! config.epsilon = 0.23;
+//! let run = DStressRuntime::new(config).execute(&graph, &program).unwrap();
+//!
+//! // Only the noised aggregate would ever be released.
+//! assert!(run.noised_output.is_finite());
+//! assert!(run.phases.computation.counts.and_gates > 0);
+//! ```
+//!
+//! For the systemic-risk case study and the full evaluation harness see
+//! the `examples/` directory and the `dstress-bench` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Arithmetic substrate (re-export of `dstress-math`).
+pub use dstress_math as math;
+
+/// Cryptographic primitives (re-export of `dstress-crypto`).
+pub use dstress_crypto as crypto;
+
+/// Boolean circuits (re-export of `dstress-circuit`).
+pub use dstress_circuit as circuit;
+
+/// The GMW multi-party computation engine (re-export of `dstress-mpc`).
+pub use dstress_mpc as mpc;
+
+/// Simulated network and cost model (re-export of `dstress-net`).
+pub use dstress_net as net;
+
+/// Differential privacy mechanisms and accounting (re-export of `dstress-dp`).
+pub use dstress_dp as dp;
+
+/// Trusted-party setup and the message transfer protocol (re-export of
+/// `dstress-transfer`).
+pub use dstress_transfer as transfer;
+
+/// Graphs and vertex programs (re-export of `dstress-graph`).
+pub use dstress_graph as graph;
+
+/// The DStress runtime (re-export of `dstress-core`).
+pub use dstress_core as core;
+
+/// The systemic-risk case study (re-export of `dstress-finance`).
+pub use dstress_finance as finance;

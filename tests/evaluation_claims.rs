@@ -1,0 +1,78 @@
+//! Integration tests for the paper's headline evaluation claims.
+//!
+//! These are the "shape" checks the reproduction is accountable for: who
+//! wins, by roughly what factor, and what scales how.  The full series are
+//! produced by the `repro` binary; here we assert the qualitative
+//! conclusions on reduced instances so they are enforced by `cargo test`.
+
+use dstress_bench::mpc_micro::{run_mpc_micro, MpcCircuitKind};
+use dstress_bench::naive_baseline::paper_comparison;
+use dstress_bench::policy::{edge_privacy_summary, utility_table};
+use dstress_bench::scalability::{fig6_sweep, headline_projection};
+use dstress_bench::transfer_micro::block_size_sweep;
+
+/// §5.5 + Figure 6: DStress completes the full-scale stress test in hours,
+/// the monolithic MPC baseline needs centuries, and the gap is four-plus
+/// orders of magnitude.
+#[test]
+fn dstress_beats_the_naive_baseline_by_orders_of_magnitude() {
+    let headline = headline_projection();
+    assert!(headline.result.hours() < 24.0, "{} h", headline.result.hours());
+
+    let baseline = paper_comparison();
+    assert!(baseline.full_scale_years > 50.0, "{} years", baseline.full_scale_years);
+    assert!(baseline.speedup > 10_000.0, "speedup {}", baseline.speedup);
+}
+
+/// Figure 6: projected cost grows with the degree bound, and per-node
+/// traffic stays in the hundreds-of-megabytes regime at full scale.
+#[test]
+fn projection_series_have_paper_shapes() {
+    let rows = fig6_sweep(&[500, 1750], &[10, 100]);
+    let d10 = rows.iter().find(|r| r.degree_bound == 10 && r.nodes == 1750).unwrap();
+    let d100 = rows.iter().find(|r| r.degree_bound == 100 && r.nodes == 1750).unwrap();
+    assert!(d100.result.total_seconds > 3.0 * d10.result.total_seconds);
+    let mb = d100.result.megabytes_per_node();
+    assert!((50.0..5000.0).contains(&mb), "{mb} MB per node");
+}
+
+/// Figure 3/4: the per-step MPC cost ordering (EGJ > EN > initialization)
+/// and the linear-in-block-size traffic shape.
+#[test]
+fn mpc_microbenchmarks_have_paper_ordering() {
+    let init = run_mpc_micro(MpcCircuitKind::Initialization, 4, 10, 50, 1);
+    let en = run_mpc_micro(MpcCircuitKind::EisenbergNoeStep, 4, 10, 50, 1);
+    let egj = run_mpc_micro(MpcCircuitKind::ElliottGolubJacksonStep, 4, 10, 50, 1);
+    assert!(en.projected_seconds > init.projected_seconds);
+    assert!(egj.projected_seconds > en.projected_seconds);
+
+    let en_large_block = run_mpc_micro(MpcCircuitKind::EisenbergNoeStep, 8, 10, 50, 1);
+    assert!(en_large_block.traffic_per_node_bytes > en.traffic_per_node_bytes);
+    assert!(en_large_block.projected_seconds > en.projected_seconds);
+}
+
+/// §5.2: the transfer protocol's completion time lands in the
+/// hundreds-of-milliseconds regime and grows with the block size, far from
+/// dominating the five-hour end-to-end budget.
+#[test]
+fn transfer_latency_is_sub_second() {
+    let rows = block_size_sweep(&[4, 8], 12);
+    assert!(rows.iter().all(|r| r.projected_seconds < 2.0));
+    assert!(rows[1].projected_seconds > rows[0].projected_seconds);
+    // Quadratic fan-in at the sending vertex.
+    assert!(rows[1].vertex_i_received_bytes > 3 * rows[0].vertex_i_received_bytes);
+}
+
+/// §4.5 and Appendix B: the policy numbers the paper derives.
+#[test]
+fn policy_numbers_match_the_paper() {
+    let utility = utility_table();
+    let egj = utility.iter().find(|r| r.model.contains("Elliott")).unwrap();
+    assert_eq!(egj.runs_per_year, 3);
+    assert!((egj.epsilon_query - 0.23).abs() < 0.01);
+
+    let edge = edge_privacy_summary();
+    assert!((edge.budget_per_iteration - 0.0014).abs() < 1e-4);
+    assert!((edge.budget_per_year - 0.0469).abs() < 1e-3);
+    assert!(edge.fraction_of_annual_budget < 0.1);
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate for the DStress reproduction.
+#
+# Mirrors the tier-1 verify command in ROADMAP.md and adds the
+# documentation gate. Runs fully offline: all external dependencies are
+# pinned to the in-tree shims under shims/ (see shims/README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo bench (compile only)"
+cargo bench -p dstress-bench --no-run
+
+echo "CI gate passed."

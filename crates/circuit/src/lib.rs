@@ -18,6 +18,25 @@
 //!   round costs are driven by the number of AND gates and the AND depth,
 //!   so these statistics are what the cost model in `dstress-core`
 //!   consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_circuit::builder::{decode_word, encode_word};
+//! use dstress_circuit::{evaluate, CircuitBuilder};
+//!
+//! // An 8-bit ripple-carry adder, evaluated in the clear.
+//! let mut builder = CircuitBuilder::new();
+//! let a = builder.input_word(8);
+//! let b = builder.input_word(8);
+//! let sum = builder.add(&a, &b);
+//! builder.output_word(&sum);
+//! let circuit = builder.build().unwrap();
+//!
+//! let mut inputs = encode_word(19, 8);
+//! inputs.extend(encode_word(23, 8));
+//! assert_eq!(decode_word(&evaluate(&circuit, &inputs).unwrap()), 42);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

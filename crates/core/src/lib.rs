@@ -25,6 +25,21 @@
 //! * [`projection`] — the analytic cost model that reproduces Figure 6:
 //!   given `(N, D, k, I)` it predicts end-to-end computation time and
 //!   per-node traffic for deployments too large to simulate.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_core::{CounterProgram, DStressConfig, DStressRuntime};
+//! use dstress_graph::generate::ring_with_chords;
+//! use dstress_math::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::new(7);
+//! let graph = ring_with_chords(6, 0, 2, &mut rng);
+//! let program = CounterProgram { width: 8, rounds: 2 };
+//! let config = DStressConfig::small_test(2);
+//! let run = DStressRuntime::new(config).execute(&graph, &program).unwrap();
+//! assert!(run.noised_output.is_finite());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

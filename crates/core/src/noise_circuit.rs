@@ -1,7 +1,7 @@
 //! The distributed noise-generation circuit.
 //!
 //! In the paper, the aggregation block draws the Laplace noise *inside*
-//! MPC, using the circuit construction of Dwork et al. [23], so that no
+//! MPC, using the circuit construction of Dwork et al. \[23\], so that no
 //! single node ever learns the noise value.  Our runtime accounts for that
 //! circuit's cost (it is one of the five MPC microbenchmarks in Figures 3
 //! and 4) by building a concrete noising circuit and, in the engine,

@@ -13,7 +13,7 @@
 //!   is raised to the same `r` (the *adjust* step of the transfer protocol).
 //!
 //! The module also implements the multi-recipient optimisation of
-//! Kurosawa [44] used by the prototype (§5.1): when a sender encrypts the
+//! Kurosawa \[44\] used by the prototype (§5.1): when a sender encrypts the
 //! `L` bits of a sub-share to the same recipient, a single ephemeral key is
 //! reused across all `L` bits, at the cost of the recipient providing `L`
 //! distinct public keys.

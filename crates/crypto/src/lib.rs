@@ -19,6 +19,27 @@
 //! * [`sharing`] — XOR secret sharing, sub-share splitting and bit
 //!   decomposition: the `⊕`-sharing substrate used by the blocks and the
 //!   message transfer protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_crypto::elgamal::{decrypt, encrypt, homomorphic_add};
+//! use dstress_crypto::{Group, KeyPair};
+//! use dstress_math::rng::Xoshiro256;
+//!
+//! let group = Group::sim64();
+//! let mut rng = Xoshiro256::new(7);
+//! let kp = KeyPair::generate(&group, &mut rng);
+//!
+//! // Exponential ElGamal is additively homomorphic.
+//! let ca = encrypt(&group, &kp.public, group.encode_exponent(21), &mut rng);
+//! let cb = encrypt(&group, &kp.public, group.encode_exponent(21), &mut rng);
+//! let sum = homomorphic_add(&group, &ca, &cb);
+//! assert_eq!(
+//!     decrypt(&group, &kp.secret, &sum).unwrap(),
+//!     group.encode_exponent(42),
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 //! The message transfer protocol (§3.5, final version) homomorphically
 //! adds an *even* random number drawn from `2 · Geo(α^{2/(k+1)})` to every
 //! forwarded bit-sum, where `Geo(α)` is the discretised Laplace
-//! distribution of Ghosh, Roughgarden and Sundararajan [33]:
+//! distribution of Ghosh, Roughgarden and Sundararajan \[33\]:
 //!
 //! ```text
 //! Pr[Y = d] = (1 - α) / (1 + α) · α^{|d|},   d ∈ ℤ, α ∈ (0, 1)

@@ -15,6 +15,21 @@
 //! The crate provides the mechanisms ([`laplace`], [`geometric`]), the
 //! budget ledger ([`budget`]), the §4.5 utility analysis ([`utility`]) and
 //! the Appendix B edge-privacy accounting ([`edge_privacy`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_dp::LaplaceMechanism;
+//! use dstress_math::rng::Xoshiro256;
+//!
+//! // The paper's running example: sensitivity 20, ε = 0.23.
+//! let mechanism = LaplaceMechanism::new(20.0, 0.23);
+//! assert!((mechanism.scale() - 20.0 / 0.23).abs() < 1e-9);
+//!
+//! let mut rng = Xoshiro256::new(9);
+//! let noised = 1000.0 + mechanism.sample_noise(&mut rng);
+//! assert!(noised.is_finite());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

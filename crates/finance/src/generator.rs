@@ -5,7 +5,7 @@
 //! on synthetic networks whose structure follows the empirical literature:
 //! a small, densely connected *core* of large institutions surrounded by a
 //! *periphery* of smaller banks each linked to one or two core banks
-//! (Cocco et al. [18]), or a scale-free topology where centrality follows
+//! (Cocco et al. \[18\]), or a scale-free topology where centrality follows
 //! a power law.  This module generates those topologies together with
 //! balance sheets that respect a leverage bound `r`, plus shock scenarios
 //! that reduce selected banks' assets.
@@ -127,7 +127,7 @@ fn finish_balance_sheets(net: &mut FinancialNetwork, config: &GeneratorConfig) {
     }
 }
 
-/// Generates a core–periphery network in the style of Cocco et al. [18]:
+/// Generates a core–periphery network in the style of Cocco et al. \[18\]:
 /// a densely connected core of large banks and peripheral banks attached
 /// to one or two core banks.
 pub fn core_periphery(config: &GeneratorConfig, rng: &mut dyn DetRng) -> FinancialNetwork {

@@ -22,6 +22,21 @@
 //! * [`contagion`] — the Appendix C experiments: a 50-bank two-tier
 //!   network, absorbed-shock and cascade scenarios, and the empirical
 //!   iteration-count analysis behind the `I = log₂ N` rule.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_finance::eisenberg_noe::clearing_vector;
+//! use dstress_finance::{core_periphery, GeneratorConfig};
+//! use dstress_math::rng::Xoshiro256;
+//!
+//! // A small core–periphery interbank network with no shock applied:
+//! // the clearing vector exists and no bank is in shortfall.
+//! let mut rng = Xoshiro256::new(3);
+//! let net = core_periphery(&GeneratorConfig::small(8, 3), &mut rng);
+//! let report = clearing_vector(&net, net.bank_count() as u32);
+//! assert_eq!(report.per_bank.len(), 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

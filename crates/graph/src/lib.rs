@@ -14,12 +14,25 @@
 //! * [`program`] — the vertex-program trait in its plaintext form, which
 //!   the finance crate implements for Eisenberg–Noe and
 //!   Elliott–Golub–Jackson.
-//! * [`reference`] — the plaintext reference executor: the "ideal
+//! * [`reference`](mod@reference) — the plaintext reference executor: the "ideal
 //!   functionality" that the secure runtime in `dstress-core` must agree
 //!   with (up to DP noise).
 //! * [`generate`] — generic random-graph generators used to build test
 //!   topologies (the financial core–periphery generator lives in
 //!   `dstress-finance`).
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_graph::generate::ring_with_chords;
+//! use dstress_math::rng::Xoshiro256;
+//!
+//! // 8 participants in a ring with one extra chord, degree bound 3.
+//! let mut rng = Xoshiro256::new(7);
+//! let graph = ring_with_chords(8, 1, 3, &mut rng);
+//! assert_eq!(graph.vertex_count(), 8);
+//! assert!(graph.edge_count() >= 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

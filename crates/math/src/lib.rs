@@ -20,6 +20,22 @@
 //! Nothing in this crate is intended to be side-channel free; the goal of
 //! the reproduction is functional and *cost-structure* fidelity, not
 //! deployment-grade cryptography (see `DESIGN.md`).
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_math::{Fixed, U256};
+//!
+//! // 256-bit limb arithmetic.
+//! let a = U256::from_u64(7);
+//! let b = U256::from_u64(5);
+//! assert_eq!(a.wrapping_add(&b), U256::from_u64(12));
+//!
+//! // Signed fixed point, as used by the financial circuits.
+//! let x = Fixed::from_f64(3.5);
+//! let y = Fixed::from_f64(1.25);
+//! assert_eq!((x + y).to_f64(), 4.75);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,7 @@
 //!
 //! DStress evaluates every vertex-program step inside a *small* multi-party
 //! computation among the `k + 1` members of a block, using the GMW
-//! protocol [34] over Boolean circuits (the paper's prototype used the
+//! protocol \[34\] over Boolean circuits (the paper's prototype used the
 //! Wysteria runtime on top of the Choi et al. GMW implementation).  This
 //! crate reproduces that machinery:
 //!
@@ -22,6 +22,20 @@
 //!   fixed-point matrix-multiplication circuit evaluated under GMW, plus
 //!   the extrapolation the paper uses to arrive at its "287 years"
 //!   estimate.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_math::rng::Xoshiro256;
+//! use dstress_mpc::{reconstruct_outputs, share_inputs};
+//!
+//! // XOR-share a bit vector among 3 parties and reconstruct it.
+//! let mut rng = Xoshiro256::new(1);
+//! let bits = vec![true, false, true, true];
+//! let shares = share_inputs(&bits, 3, &mut rng);
+//! assert_eq!(shares.len(), 3);
+//! assert_eq!(reconstruct_outputs(&shares).unwrap(), bits);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,6 +15,18 @@
 //!   (exponentiations, oblivious transfers, bytes, rounds) into projected
 //!   wall-clock time on the paper's reference hardware, which is how the
 //!   paper-scale projection of Figure 6 is produced.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_net::{NodeId, TrafficAccountant};
+//!
+//! let mut traffic = TrafficAccountant::new();
+//! traffic.record(NodeId(0), NodeId(1), 128);
+//! traffic.record(NodeId(1), NodeId(0), 64);
+//! assert_eq!(traffic.node(NodeId(0)).total_bytes(), 192);
+//! assert_eq!(traffic.report().total_bytes, 192);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

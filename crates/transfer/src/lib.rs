@@ -17,6 +17,27 @@
 //!   final protocol with even geometric noise), so the ablation benches
 //!   can compare their costs and tests can demonstrate exactly which
 //!   attack each revision closes.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_crypto::Group;
+//! use dstress_math::rng::Xoshiro256;
+//! use dstress_transfer::setup::generate_system;
+//! use dstress_transfer::TransferConfig;
+//!
+//! // Trusted-party setup for 6 nodes with collusion bound k = 2:
+//! // every block has k + 1 = 3 members and a verifiable certificate.
+//! let group = Group::sim64();
+//! let mut rng = Xoshiro256::new(42);
+//! let (secrets, setup) = generate_system(&group, 6, 2, 2, 8, &mut rng).unwrap();
+//! assert_eq!(secrets.len(), 6);
+//! assert!(setup.blocks.iter().all(|b| b.size() == 3));
+//!
+//! // The deployed protocol variant with noise parameter α = 0.6.
+//! let config = TransferConfig::final_protocol(8, 0.6);
+//! assert_eq!(config.message_bits, 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

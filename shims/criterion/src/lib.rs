@@ -1,0 +1,227 @@
+//! Offline shim for `criterion` — see `shims/README.md`.
+//!
+//! Implements the subset of the criterion 0.5 API used by the benches in
+//! `crates/bench/benches/`: benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up once, then timed for a fixed number of iterations chosen
+//! from `sample_size`, and a single `mean / min / max` wall-clock line is
+//! printed. No statistics, plots, or HTML reports — swap in the real
+//! crate for those.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` on top of the stable
+/// `std::hint` version.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark: a function name plus a
+/// displayable parameter, rendered as `name/parameter` like criterion does.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// The timing callback handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark (criterion's
+    /// sample count; the shim uses it directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; accepted for source compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark identified by a plain string.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, |b| {
+            routine(b);
+        });
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, O, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I) -> O,
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Finish the group (no-op beyond a trailing blank line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, sample_size, |b| {
+            routine(b);
+        });
+        self
+    }
+
+    fn run_one(&mut self, label: &str, iters: usize, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: iters as u64,
+            samples: Vec::with_capacity(iters),
+        };
+        routine(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label:<48} mean {:>12} min {:>12} max {:>12} ({} iters)",
+            format_duration(mean),
+            format_duration(min),
+            format_duration(max),
+            samples.len(),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Mirror of `criterion_group!`: bundles bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the entry point for `harness = false`
+/// bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

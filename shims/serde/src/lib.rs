@@ -1,0 +1,13 @@
+//! Offline shim for `serde` — see `shims/README.md`.
+//!
+//! Mirrors the name layout of the real crate with the `derive` feature:
+//! `serde::Serialize` and `serde::Deserialize` resolve to a trait in the
+//! type namespace and a derive macro in the macro namespace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive` — see `shims/README.md`.
+//!
+//! The derives are deliberately no-ops: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations on
+//! plain-old-data config structs, and nothing yet consumes the trait
+//! bounds. A real serialisation backend arrives with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

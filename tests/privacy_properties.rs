@@ -15,7 +15,7 @@ use dstress::dp::geometric::TwoSidedGeometric;
 use dstress::dp::laplace::LaplaceMechanism;
 use dstress::math::rng::{DetRng, Xoshiro256};
 use dstress::net::traffic::{NodeId, TrafficAccountant};
-use dstress::transfer::protocol::{transfer_message, ProtocolVariant, TransferConfig};
+use dstress::transfer::protocol::{transfer_message, TransferConfig};
 use dstress::transfer::setup::generate_system;
 
 /// Any `k` of the `k + 1` shares of a value are (statistically)

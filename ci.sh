@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The full CI gate for the DStress reproduction.
 #
-# Mirrors the tier-1 verify command in ROADMAP.md and adds the
-# documentation gate. Runs fully offline: all external dependencies are
-# pinned to the in-tree shims under shims/ (see shims/README.md).
+# Mirrors the tier-1 verify command in ROADMAP.md and adds the lint,
+# formatting, documentation and determinism gates. Runs fully offline:
+# all external dependencies are pinned to the in-tree shims under shims/
+# (see shims/README.md). The rustfmt/clippy steps skip gracefully when
+# those toolchain components are not installed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,8 +15,30 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt unavailable; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint check"
+fi
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> determinism suite under --release (SimTransport == ThreadedTransport)"
+cargo test --release -q -p dstress-mpc --test transport_determinism
+cargo test --release -q -p dstress-core concurrency_mode_does_not_change_results
+cargo test --release -q -p dstress-bench concurrency_modes_agree_on_small_point
+
+echo "==> threaded speedup check (asserts >= 2x only on >= 4 cores)"
+cargo test --release -q -p dstress-bench threaded_is_at_least_twice_as_fast_at_64_nodes -- --ignored
 
 echo "==> cargo bench (compile only)"
 cargo bench -p dstress-bench --no-run

@@ -9,13 +9,14 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_end_to_end");
     group.sample_size(10);
     let network = fig5_network(16, 4, 0xF15);
-    for (name, alg) in [("EN", Algorithm::EisenbergNoe), ("EGJ", Algorithm::ElliottGolubJackson)] {
+    for (name, alg) in [
+        ("EN", Algorithm::EisenbergNoe),
+        ("EGJ", Algorithm::ElliottGolubJackson),
+    ] {
         for block_size in [4usize, 6] {
-            group.bench_with_input(
-                BenchmarkId::new(name, block_size),
-                &block_size,
-                |b, &bs| b.iter(|| run_end_to_end(alg, &network, 3, bs, 0xF15)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, block_size), &block_size, |b, &bs| {
+                b.iter(|| run_end_to_end(alg, &network, 3, bs, 0xF15))
+            });
         }
     }
     group.finish();

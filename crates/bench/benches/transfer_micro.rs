@@ -9,9 +9,13 @@ fn bench_transfer(c: &mut Criterion) {
     let mut group = c.benchmark_group("transfer_micro");
     group.sample_size(10);
     for block_size in [4usize, 8, 12] {
-        group.bench_with_input(BenchmarkId::new("final", block_size), &block_size, |b, &bs| {
-            b.iter(|| run_transfer_micro(ProtocolVariant::Final { alpha: 0.9 }, bs, 12, 0x7B))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("final", block_size),
+            &block_size,
+            |b, &bs| {
+                b.iter(|| run_transfer_micro(ProtocolVariant::Final { alpha: 0.9 }, bs, 12, 0x7B))
+            },
+        );
     }
     group.finish();
 }

@@ -6,39 +6,69 @@
 //! ```text
 //! cargo run -p dstress-bench --release --bin repro -- all
 //! cargo run -p dstress-bench --release --bin repro -- fig5-time --full
+//! cargo run -p dstress-bench --release --bin repro -- all --full --threads 8
 //! ```
 //!
 //! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
 //! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
-//! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`, `all`.
-//! The `--full` flag switches the measured experiments from the quick
-//! parameters to the paper's parameters (much slower).
+//! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`,
+//! `concurrency`, `all`.  The `--full` flag switches the measured
+//! experiments from the quick parameters to the paper's parameters (much
+//! slower).  The measured sweeps fan their points out over a worker pool;
+//! `--threads N` sets the pool size (default: one worker per core).
+//! Concurrent points contend for cores, so per-point `measured` columns
+//! are noisier than a `--threads 1` run; the `projected` columns come
+//! from operation counts and are unaffected by contention.
+//!
+//! Every run also writes `BENCH_results.json` — per-sweep-point wall
+//! seconds and operation counts — so the performance trajectory is
+//! machine-readable across commits.
 
-use dstress_bench::end_to_end::{fig5_sweep, EndToEndParams};
-use dstress_bench::mpc_micro::{block_size_sweep, parameter_sweep};
+use dstress_bench::end_to_end::{fig5_sweep_with_threads, EndToEndParams};
+use dstress_bench::mpc_micro::{
+    block_size_sweep_with_threads, parameter_sweep_with_threads, MpcMicroRow,
+};
 use dstress_bench::naive_baseline::{baseline_comparison, paper_comparison};
 use dstress_bench::policy::{edge_privacy_summary, utility_table};
-use dstress_bench::scalability::{fig6_sweep, headline_projection, validation_point};
+use dstress_bench::results::BenchResults;
+use dstress_bench::scalability::{
+    concurrency_comparison, fig6_sweep, headline_projection, validation_point,
+};
 use dstress_bench::transfer_micro::{
-    block_size_sweep as transfer_sweep, variant_sweep as transfer_variants,
+    block_size_sweep_with_threads as transfer_sweep, variant_sweep as transfer_variants,
 };
 use dstress_bench::{contagion_study, format_bytes, format_seconds};
+use dstress_net::pool::default_threads;
 
 fn header(title: &str) {
     println!();
     println!("=== {title} ===");
 }
 
-fn fig3_left(full: bool) {
-    header("Figure 3 (left): MPC computation time vs block size");
-    let (blocks, d, n): (&[usize], usize, usize) = if full {
+/// The block-size sweep parameters shared by Figure 3 (left) and
+/// Figure 4, and the sweep itself — run once, rendered as both tables.
+fn fig3_fig4_params(full: bool) -> (&'static [usize], usize, usize) {
+    if full {
         (&[8, 12, 16, 20], 100, 100)
     } else {
         (&[4, 8, 12], 20, 100)
-    };
+    }
+}
+
+fn fig3_fig4_rows(full: bool, threads: usize) -> Vec<MpcMicroRow> {
+    let (blocks, d, n) = fig3_fig4_params(full);
+    block_size_sweep_with_threads(blocks, d, n, threads)
+}
+
+fn fig3_left(rows: &[MpcMicroRow], full: bool, results: &mut BenchResults) {
+    header("Figure 3 (left): MPC computation time vs block size");
+    let (_, d, n) = fig3_fig4_params(full);
     println!("(degree bound D = {d}, aggregation over N = {n} states)");
-    println!("{:<16} {:>6} {:>10} {:>14} {:>14}", "circuit", "block", "AND gates", "measured", "projected");
-    for row in block_size_sweep(blocks, d, n) {
+    println!(
+        "{:<16} {:>6} {:>10} {:>14} {:>14}",
+        "circuit", "block", "AND gates", "measured", "projected"
+    );
+    for row in rows {
         println!(
             "{:<16} {:>6} {:>10} {:>14} {:>14}",
             row.kind.label(),
@@ -47,10 +77,18 @@ fn fig3_left(full: bool) {
             format_seconds(row.measured_seconds),
             format_seconds(row.projected_seconds),
         );
+        results
+            .point(
+                "fig3-left",
+                &format!("{} block={}", row.kind.label(), row.block_size),
+            )
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra("projected_seconds", row.projected_seconds);
     }
 }
 
-fn fig3_right(full: bool) {
+fn fig3_right(full: bool, threads: usize, results: &mut BenchResults) {
     header("Figure 3 (right): MPC computation time vs degree bound / node count");
     let (block, degrees, nodes): (usize, &[usize], &[usize]) = if full {
         (20, &[10, 40, 70, 100], &[50, 100, 150, 200])
@@ -58,8 +96,11 @@ fn fig3_right(full: bool) {
         (8, &[10, 40], &[50, 100])
     };
     println!("(block size {block})");
-    println!("{:<16} {:>6} {:>6} {:>10} {:>14} {:>14}", "circuit", "D", "N", "AND gates", "measured", "projected");
-    for row in parameter_sweep(block, degrees, nodes) {
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>14} {:>14}",
+        "circuit", "D", "N", "AND gates", "measured", "projected"
+    );
+    for row in parameter_sweep_with_threads(block, degrees, nodes, threads) {
         println!(
             "{:<16} {:>6} {:>6} {:>10} {:>14} {:>14}",
             row.kind.label(),
@@ -69,50 +110,71 @@ fn fig3_right(full: bool) {
             format_seconds(row.measured_seconds),
             format_seconds(row.projected_seconds),
         );
+        results
+            .point(
+                "fig3-right",
+                &format!(
+                    "{} D={} N={}",
+                    row.kind.label(),
+                    row.degree_bound,
+                    row.vertices
+                ),
+            )
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra("projected_seconds", row.projected_seconds);
     }
 }
 
-fn fig4(full: bool) {
+fn fig4(rows: &[MpcMicroRow], results: &mut BenchResults) {
     header("Figure 4: per-node traffic of the MPC circuits vs block size");
-    let (blocks, d, n): (&[usize], usize, usize) = if full {
-        (&[8, 12, 16, 20], 100, 100)
-    } else {
-        (&[4, 8, 12], 20, 100)
-    };
     println!("{:<16} {:>6} {:>16}", "circuit", "block", "traffic/node");
-    for row in block_size_sweep(blocks, d, n) {
+    for row in rows {
         println!(
             "{:<16} {:>6} {:>16}",
             row.kind.label(),
             row.block_size,
             format_bytes(row.traffic_per_node_bytes),
         );
+        // Wall seconds and counts for these points are recorded under
+        // `fig3-left` (same sweep); only the traffic series is new here.
+        results
+            .point(
+                "fig4",
+                &format!("{} block={}", row.kind.label(), row.block_size),
+            )
+            .extra("traffic_per_node_bytes", row.traffic_per_node_bytes);
     }
 }
 
-fn transfer_time(full: bool) {
+fn transfer_time(full: bool, threads: usize, results: &mut BenchResults) {
     header("§5.2: message-transfer completion time vs block size (12-bit message)");
     let blocks: &[usize] = if full { &[8, 12, 16, 20] } else { &[4, 8, 12] };
     println!("{:<8} {:>14} {:>14}", "block", "measured", "projected");
-    for row in transfer_sweep(blocks, 12) {
+    for row in transfer_sweep(blocks, 12, threads) {
         println!(
             "{:<8} {:>14} {:>14}",
             row.block_size,
             format_seconds(row.measured_seconds),
             format_seconds(row.projected_seconds),
         );
+        results
+            .point("transfer-time", &format!("block={}", row.block_size))
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra("projected_seconds", row.projected_seconds);
     }
     println!("(paper: 285 ms at block size 8, 610 ms at block size 20)");
 }
 
-fn transfer_traffic(full: bool) {
+fn transfer_traffic(full: bool, threads: usize, results: &mut BenchResults) {
     header("§5.3: message-transfer traffic per role");
     let blocks: &[usize] = if full { &[8, 12, 16, 20] } else { &[4, 8, 12] };
     println!(
         "{:<8} {:>18} {:>18} {:>18}",
         "block", "vertex i recv", "B_i member sent", "B_j member recv"
     );
-    for row in transfer_sweep(blocks, 12) {
+    for row in transfer_sweep(blocks, 12, threads) {
         println!(
             "{:<8} {:>18} {:>18} {:>18}",
             row.block_size,
@@ -120,11 +182,19 @@ fn transfer_traffic(full: bool) {
             format_bytes(row.sender_member_sent_bytes as f64),
             format_bytes(row.receiver_member_received_bytes as f64),
         );
+        results
+            .point("transfer-traffic", &format!("block={}", row.block_size))
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra(
+                "vertex_i_received_bytes",
+                row.vertex_i_received_bytes as f64,
+            );
     }
     println!("(paper, 48-byte group elements: 97-595 kB, <=29 kB, ~1.4 kB)");
 }
 
-fn transfer_ablation() {
+fn transfer_ablation(results: &mut BenchResults) {
     header("Protocol ablation: strawman #1-#3 vs the final protocol (block size 8)");
     println!(
         "{:<14} {:>16} {:>14} {:>12}",
@@ -138,10 +208,15 @@ fn transfer_ablation() {
             format_seconds(row.projected_seconds),
             format_bytes(row.counts.bytes_sent as f64),
         );
+        results
+            .point("transfer-ablation", &format!("{:?}", row.variant))
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra("projected_seconds", row.projected_seconds);
     }
 }
 
-fn fig5(full: bool) {
+fn fig5(full: bool, threads: usize, results: &mut BenchResults) {
     let params = if full {
         EndToEndParams::paper()
     } else {
@@ -154,9 +229,17 @@ fn fig5(full: bool) {
     );
     println!(
         "{:<5} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "alg", "block", "init", "compute", "transfer", "agg+noise", "total", "traffic/node", "sim wall"
+        "alg",
+        "block",
+        "init",
+        "compute",
+        "transfer",
+        "agg+noise",
+        "total",
+        "traffic/node",
+        "sim wall"
     );
-    for row in fig5_sweep(&params) {
+    for row in fig5_sweep_with_threads(&params, threads) {
         let p = row.projected_phase_seconds;
         println!(
             "{:<5} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
@@ -170,17 +253,29 @@ fn fig5(full: bool) {
             format_bytes(row.traffic_per_node_bytes),
             format_seconds(row.measured_seconds),
         );
+        results
+            .point(
+                "fig5",
+                &format!("{} block={}", row.algorithm.label(), row.block_size),
+            )
+            .wall_seconds(row.measured_seconds)
+            .counts(row.total_counts)
+            .extra("projected_total_seconds", row.projected_total_seconds())
+            .extra("traffic_per_node_bytes", row.traffic_per_node_bytes);
     }
 }
 
-fn fig6(full: bool) {
+fn fig6(full: bool, results: &mut BenchResults) {
     header("Figure 6: projected cost at scale (Eisenberg-Noe, block size 20)");
     let (nodes, degrees): (&[usize], &[usize]) = if full {
         (&[100, 250, 500, 1000, 1500, 1750, 2000], &[10, 40, 70, 100])
     } else {
         (&[100, 500, 1000, 1750], &[10, 100])
     };
-    println!("{:<6} {:>6} {:>5} {:>14} {:>16}", "N", "D", "iter", "time", "traffic/node");
+    println!(
+        "{:<6} {:>6} {:>5} {:>14} {:>16}",
+        "N", "D", "iter", "time", "traffic/node"
+    );
     for row in fig6_sweep(nodes, degrees) {
         println!(
             "{:<6} {:>6} {:>5} {:>14} {:>16}",
@@ -190,6 +285,10 @@ fn fig6(full: bool) {
             format_seconds(row.result.total_seconds),
             format_bytes(row.result.bytes_per_node),
         );
+        results
+            .point("fig6", &format!("N={} D={}", row.nodes, row.degree_bound))
+            .extra("projected_seconds", row.result.total_seconds)
+            .extra("projected_bytes_per_node", row.result.bytes_per_node);
     }
     let headline = headline_projection();
     println!(
@@ -211,14 +310,56 @@ fn fig6(full: bool) {
     );
 }
 
-fn naive(full: bool) {
+fn concurrency(full: bool, threads: usize, results: &mut BenchResults) {
+    header("Concurrency: sequential vs threaded node runtime (ConcurrencyMode)");
+    let node_counts: &[usize] = if full { &[16, 32, 64, 128] } else { &[16, 64] };
+    println!(
+        "(worker pool: {threads} threads, {} hardware threads available)",
+        default_threads()
+    );
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>9} {:>11}",
+        "nodes", "block", "sequential", "threaded", "speedup", "identical"
+    );
+    for &nodes in node_counts {
+        let cmp = concurrency_comparison(nodes, threads);
+        println!(
+            "{:<8} {:>8} {:>14} {:>14} {:>8.2}x {:>11}",
+            cmp.nodes,
+            cmp.block_size,
+            format_seconds(cmp.sequential_seconds),
+            format_seconds(cmp.threaded_seconds),
+            cmp.speedup(),
+            cmp.outputs_identical && cmp.accounting_identical,
+        );
+        results
+            .point("concurrency", &format!("N={nodes} threads={threads}"))
+            .wall_seconds(cmp.threaded_seconds)
+            .extra("sequential_seconds", cmp.sequential_seconds)
+            .extra("speedup", cmp.speedup())
+            .extra(
+                "identical",
+                if cmp.outputs_identical && cmp.accounting_identical {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+    }
+    println!("(threaded runs are bit-identical to sequential; only wall-clock changes)");
+}
+
+fn naive(full: bool, results: &mut BenchResults) {
     header("§5.5: naive monolithic-MPC baseline vs DStress");
     let comparison = if full {
         baseline_comparison(&[4, 6, 8], &[10, 25], 11)
     } else {
         paper_comparison()
     };
-    println!("{:<6} {:>10} {:>12} {:>14} {:>14}", "N", "executed", "AND gates", "measured", "projected");
+    println!(
+        "{:<6} {:>10} {:>12} {:>14} {:>14}",
+        "N", "executed", "AND gates", "measured", "projected"
+    );
     for row in &comparison.rows {
         println!(
             "{:<6} {:>10} {:>12} {:>14} {:>14}",
@@ -228,6 +369,11 @@ fn naive(full: bool) {
             format_seconds(row.measured_seconds),
             format_seconds(row.projected_seconds),
         );
+        results
+            .point("naive-baseline", &format!("N={}", row.n))
+            .wall_seconds(row.measured_seconds)
+            .extra("and_gates", row.and_gates as f64)
+            .extra("projected_seconds", row.projected_seconds);
     }
     println!(
         "Full scale (N=1750, 11 multiplications): {} ({:.0} years; paper: ~287 years)",
@@ -268,10 +414,22 @@ fn edge_privacy() {
     println!("total transfers N_q:          {:.3e}", s.total_transfers);
     println!("paper epsilon per transfer:   {:.3e}", s.paper_epsilon);
     println!("minimum feasible epsilon:     {:.3e}", s.minimum_epsilon);
-    println!("failure probability P_fail:   {:.3e}", s.failure_probability);
-    println!("budget per iteration:         {:.4}   (paper: 0.0014)", s.budget_per_iteration);
-    println!("budget per year:              {:.4}   (paper: 0.0469)", s.budget_per_year);
-    println!("fraction of ln 2 budget:      {:.2}%", s.fraction_of_annual_budget * 100.0);
+    println!(
+        "failure probability P_fail:   {:.3e}",
+        s.failure_probability
+    );
+    println!(
+        "budget per iteration:         {:.4}   (paper: 0.0014)",
+        s.budget_per_iteration
+    );
+    println!(
+        "budget per year:              {:.4}   (paper: 0.0469)",
+        s.budget_per_year
+    );
+    println!(
+        "fraction of ln 2 budget:      {:.2}%",
+        s.fraction_of_annual_budget * 100.0
+    );
 }
 
 fn contagion() {
@@ -304,36 +462,40 @@ fn contagion() {
     );
 }
 
-fn run(experiment: &str, full: bool) -> bool {
+fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults) -> bool {
     match experiment {
-        "fig3-left" => fig3_left(full),
-        "fig3-right" => fig3_right(full),
-        "fig4" => fig4(full),
-        "transfer-time" => transfer_time(full),
-        "transfer-traffic" => transfer_traffic(full),
-        "transfer-ablation" => transfer_ablation(),
-        "fig5-time" | "fig5-traffic" | "fig5" => fig5(full),
-        "fig6" => fig6(full),
-        "naive-baseline" => naive(full),
+        "fig3-left" => fig3_left(&fig3_fig4_rows(full, threads), full, results),
+        "fig3-right" => fig3_right(full, threads, results),
+        "fig4" => fig4(&fig3_fig4_rows(full, threads), results),
+        "transfer-time" => transfer_time(full, threads, results),
+        "transfer-traffic" => transfer_traffic(full, threads, results),
+        "transfer-ablation" => transfer_ablation(results),
+        "fig5-time" | "fig5-traffic" | "fig5" => fig5(full, threads, results),
+        "fig6" => fig6(full, results),
+        "concurrency" => concurrency(full, threads, results),
+        "naive-baseline" => naive(full, results),
         "utility" => utility(),
         "edge-privacy" => edge_privacy(),
         "contagion" => contagion(),
         "all" => {
+            // Figures 3 (left) and 4 share one sweep; run it once.
+            let rows = fig3_fig4_rows(full, threads);
+            fig3_left(&rows, full, results);
+            fig3_right(full, threads, results);
+            fig4(&rows, results);
             for exp in [
-                "fig3-left",
-                "fig3-right",
-                "fig4",
                 "transfer-time",
                 "transfer-traffic",
                 "transfer-ablation",
                 "fig5",
                 "fig6",
+                "concurrency",
                 "naive-baseline",
                 "utility",
                 "edge-privacy",
                 "contagion",
             ] {
-                run(exp, full);
+                run(exp, full, threads, results);
             }
         }
         _ => return false,
@@ -344,17 +506,40 @@ fn run(experiment: &str, full: bool) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => n.max(1),
+            None => {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(1);
+            }
+        },
+        None => default_threads(),
+    };
     let experiment = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || args[i - 1] != "--threads")
+        .find(|(_, a)| !a.starts_with("--"))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
-    if !run(&experiment, full) {
+    let mut results = BenchResults::new(threads, full);
+    if !run(&experiment, full, threads, &mut results) {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation fig5 fig6 naive-baseline utility edge-privacy contagion all"
+             transfer-ablation fig5 fig6 concurrency naive-baseline utility \
+             edge-privacy contagion all"
         );
         std::process::exit(1);
+    }
+    let path = std::path::Path::new("BENCH_results.json");
+    match results.write_to(path) {
+        Ok(()) => println!(
+            "\nwrote {} points to {}",
+            results.points.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
     }
 }

@@ -33,7 +33,10 @@ pub struct ScenarioRow {
 /// Runs the two scenarios under both models.
 pub fn scenario_table(seed: u64) -> Vec<ScenarioRow> {
     let mut rows = Vec::new();
-    for model in [ContagionModel::EisenbergNoe, ContagionModel::ElliottGolubJackson] {
+    for model in [
+        ContagionModel::EisenbergNoe,
+        ContagionModel::ElliottGolubJackson,
+    ] {
         let mut rng = Xoshiro256::new(seed);
         let (net, outcome) = absorbed_shock_scenario(&mut rng, model);
         rows.push(ScenarioRow {
@@ -139,7 +142,11 @@ mod tests {
         let row = noised_cascade_run(0xBEEF);
         assert!(row.ideal_output > 100.0, "ideal = {}", row.ideal_output);
         assert!(row.noised_output > 50.0, "noised = {}", row.noised_output);
-        assert!(row.relative_error < 1.0, "relative error = {}", row.relative_error);
+        assert!(
+            row.relative_error < 1.0,
+            "relative error = {}",
+            row.relative_error
+        );
         assert!((row.noise_scale - 10.0 / 0.23).abs() < 1e-9);
     }
 }

@@ -19,7 +19,8 @@ use dstress_finance::{
 };
 use dstress_graph::VertexId;
 use dstress_math::rng::Xoshiro256;
-use dstress_net::cost::CostModel;
+use dstress_net::cost::{CostModel, OperationCounts};
+use dstress_net::pool::parallel_map;
 use std::time::Instant;
 
 /// Which systemic-risk algorithm an end-to-end run executes.
@@ -105,6 +106,8 @@ pub struct EndToEndRow {
     pub noised_output: f64,
     /// The pre-noise aggregate (evaluation only).
     pub ideal_output: f64,
+    /// Total operation counts measured across all phases.
+    pub total_counts: OperationCounts,
 }
 
 impl EndToEndRow {
@@ -187,25 +190,29 @@ pub fn run_end_to_end(
         traffic_per_node_bytes: run.mean_bytes_per_node(),
         noised_output: run.noised_output,
         ideal_output: run.ideal_output,
+        total_counts: run.phases.total_counts(),
     }
 }
 
 /// The full Figure 5 sweep for both algorithms.
 pub fn fig5_sweep(params: &EndToEndParams) -> Vec<EndToEndRow> {
+    fig5_sweep_with_threads(params, 1)
+}
+
+/// [`fig5_sweep`] with the (algorithm, block size) points fanned out over
+/// a worker pool.  Every point is an independent seeded run, so the rows
+/// are identical to the sequential sweep.
+pub fn fig5_sweep_with_threads(params: &EndToEndParams, threads: usize) -> Vec<EndToEndRow> {
     let network = fig5_network(params.banks, params.degree_bound, 0xF15);
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &algorithm in &[Algorithm::EisenbergNoe, Algorithm::ElliottGolubJackson] {
         for &block_size in params.blocks() {
-            rows.push(run_end_to_end(
-                algorithm,
-                &network,
-                params.iterations,
-                block_size,
-                0xF15,
-            ));
+            points.push((algorithm, block_size));
         }
     }
-    rows
+    parallel_map(points, threads, |_idx, (algorithm, block_size)| {
+        run_end_to_end(algorithm, &network, params.iterations, block_size, 0xF15)
+    })
 }
 
 #[cfg(test)]

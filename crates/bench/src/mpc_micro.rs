@@ -19,8 +19,9 @@ use dstress_finance::{
 };
 use dstress_math::rng::Xoshiro256;
 use dstress_mpc::gmw::{share_inputs, GmwConfig, GmwProtocol};
-use dstress_mpc::ot::SimulatedOtExtension;
-use dstress_net::cost::CostModel;
+use dstress_mpc::party::OtConfig;
+use dstress_net::cost::{CostModel, OperationCounts};
+use dstress_net::pool::parallel_map;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 use std::time::Instant;
 
@@ -82,6 +83,8 @@ pub struct MpcMicroRow {
     pub projected_seconds: f64,
     /// Mean bytes sent per block member (Figure 4's quantity).
     pub traffic_per_node_bytes: f64,
+    /// Operation counts measured during the execution.
+    pub counts: OperationCounts,
 }
 
 /// A dummy network whose only purpose is to carry a degree bound for
@@ -154,12 +157,17 @@ pub fn run_mpc_micro(
     let shares = share_inputs(&inputs, block_size, &mut rng);
     let protocol = GmwProtocol::new(GmwConfig::with_default_ids(block_size))
         .expect("block size is at least 2");
-    let mut ot = SimulatedOtExtension::new();
     let mut traffic = TrafficAccountant::new();
 
     let start = Instant::now();
     let exec = protocol
-        .execute(&circuit, &shares, &mut ot, &mut traffic, &mut rng)
+        .execute(
+            &circuit,
+            &shares,
+            &OtConfig::extension(),
+            &mut traffic,
+            &mut rng,
+        )
         .expect("microbenchmark circuits execute");
     let measured_seconds = start.elapsed().as_secs_f64();
 
@@ -179,18 +187,37 @@ pub fn run_mpc_micro(
         measured_seconds,
         projected_seconds,
         traffic_per_node_bytes,
+        counts: exec.counts,
     }
 }
 
 /// Figure 3 (left) / Figure 4: all five circuits across block sizes.
-pub fn block_size_sweep(block_sizes: &[usize], degree_bound: usize, vertices: usize) -> Vec<MpcMicroRow> {
-    let mut rows = Vec::new();
+pub fn block_size_sweep(
+    block_sizes: &[usize],
+    degree_bound: usize,
+    vertices: usize,
+) -> Vec<MpcMicroRow> {
+    block_size_sweep_with_threads(block_sizes, degree_bound, vertices, 1)
+}
+
+/// [`block_size_sweep`] with the points fanned out over a worker pool.
+/// Every point is an independent seeded run, so the rows are identical to
+/// the sequential sweep — only the wall-clock changes.
+pub fn block_size_sweep_with_threads(
+    block_sizes: &[usize],
+    degree_bound: usize,
+    vertices: usize,
+    threads: usize,
+) -> Vec<MpcMicroRow> {
+    let mut points = Vec::new();
     for &kind in &MpcCircuitKind::all() {
         for &block_size in block_sizes {
-            rows.push(run_mpc_micro(kind, block_size, degree_bound, vertices, 0xF13));
+            points.push((kind, block_size));
         }
     }
-    rows
+    parallel_map(points, threads, |_idx, (kind, block_size)| {
+        run_mpc_micro(kind, block_size, degree_bound, vertices, 0xF13)
+    })
 }
 
 /// Figure 3 (right): the step circuits across degree bounds and the
@@ -200,20 +227,32 @@ pub fn parameter_sweep(
     degree_bounds: &[usize],
     node_counts: &[usize],
 ) -> Vec<MpcMicroRow> {
-    let mut rows = Vec::new();
+    parameter_sweep_with_threads(block_size, degree_bounds, node_counts, 1)
+}
+
+/// [`parameter_sweep`] with the points fanned out over a worker pool.
+pub fn parameter_sweep_with_threads(
+    block_size: usize,
+    degree_bounds: &[usize],
+    node_counts: &[usize],
+    threads: usize,
+) -> Vec<MpcMicroRow> {
+    let mut points = Vec::new();
     for &d in degree_bounds {
         for kind in [
             MpcCircuitKind::Initialization,
             MpcCircuitKind::EisenbergNoeStep,
             MpcCircuitKind::ElliottGolubJacksonStep,
         ] {
-            rows.push(run_mpc_micro(kind, block_size, d, 100, 0xF14));
+            points.push((kind, d, 100, 0xF14));
         }
     }
     for &n in node_counts {
-        rows.push(run_mpc_micro(MpcCircuitKind::Aggregation, block_size, 10, n, 0xF15));
+        points.push((MpcCircuitKind::Aggregation, 10, n, 0xF15));
     }
-    rows
+    parallel_map(points, threads, |_idx, (kind, d, n, seed)| {
+        run_mpc_micro(kind, block_size, d, n, seed)
+    })
 }
 
 #[cfg(test)]

@@ -94,7 +94,11 @@ pub fn run_baseline_point(n: usize, execute: bool, seed: u64) -> BaselineRow {
 /// Produces the §5.5 comparison: measured/counted baseline points, the
 /// cubic extrapolation to N = 1750 with `iterations` chained
 /// multiplications, and the speedup over DStress's projected cost.
-pub fn baseline_comparison(executed_ns: &[usize], counted_ns: &[usize], iterations: u32) -> BaselineComparison {
+pub fn baseline_comparison(
+    executed_ns: &[usize],
+    counted_ns: &[usize],
+    iterations: u32,
+) -> BaselineComparison {
     let mut rows = Vec::new();
     for &n in executed_ns {
         rows.push(run_baseline_point(n, true, 0xBA5E));
@@ -140,8 +144,14 @@ mod tests {
         let n25 = comparison.rows.iter().find(|r| r.n == 25).unwrap();
         let n10_minutes = n10.projected_seconds / 60.0;
         let n25_minutes = n25.projected_seconds / 60.0;
-        assert!((0.6..6.0).contains(&n10_minutes), "N=10 projected {n10_minutes} min");
-        assert!((13.0..120.0).contains(&n25_minutes), "N=25 projected {n25_minutes} min");
+        assert!(
+            (0.6..6.0).contains(&n10_minutes),
+            "N=10 projected {n10_minutes} min"
+        );
+        assert!(
+            (13.0..120.0).contains(&n25_minutes),
+            "N=25 projected {n25_minutes} min"
+        );
         // Cubic growth between the two points.
         let ratio = n25.projected_seconds / n10.projected_seconds;
         assert!((8.0..25.0).contains(&ratio), "N=10→25 ratio {ratio}");
@@ -156,7 +166,11 @@ mod tests {
             comparison.full_scale_years
         );
         // DStress is faster by many orders of magnitude.
-        assert!(comparison.speedup > 10_000.0, "speedup {}", comparison.speedup);
+        assert!(
+            comparison.speedup > 10_000.0,
+            "speedup {}",
+            comparison.speedup
+        );
         assert!(comparison.dstress_seconds < 24.0 * 3600.0);
     }
 
@@ -165,8 +179,10 @@ mod tests {
         let executed = run_baseline_point(3, true, 1);
         let counted = run_baseline_point(3, false, 1);
         assert_eq!(executed.and_gates, counted.and_gates);
-        assert!((executed.projected_seconds - counted.projected_seconds).abs()
-            < 0.05 * counted.projected_seconds);
+        assert!(
+            (executed.projected_seconds - counted.projected_seconds).abs()
+                < 0.05 * counted.projected_seconds
+        );
         assert!(executed.measured_seconds > 0.0);
         assert!(!counted.executed);
     }

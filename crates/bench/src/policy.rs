@@ -70,8 +70,8 @@ pub struct EdgePrivacySummary {
 /// Produces the Appendix B summary with the paper's concrete parameters.
 pub fn edge_privacy_summary() -> EdgePrivacySummary {
     let accounting = EdgePrivacyAccounting::paper_example();
-    let paper_epsilon = 2.34e-7;
-    let alpha = (-paper_epsilon as f64).exp();
+    let paper_epsilon = 2.34e-7_f64;
+    let alpha = (-paper_epsilon).exp();
     let per_year = accounting.budget_per_year(paper_epsilon);
     EdgePrivacySummary {
         sensitivity: accounting.sensitivity(),
@@ -104,7 +104,10 @@ mod tests {
         // the same precision target (the noise scale at the required ε is
         // the same by construction: it is pinned by the precision target).
         assert!(en.epsilon_query < egj.epsilon_query);
-        assert!((en.noise_scale_dollars - egj.noise_scale_dollars).abs() < 1e-3 * egj.noise_scale_dollars);
+        assert!(
+            (en.noise_scale_dollars - egj.noise_scale_dollars).abs()
+                < 1e-3 * egj.noise_scale_dollars
+        );
     }
 
     #[test]

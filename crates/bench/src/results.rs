@@ -1,0 +1,253 @@
+//! Machine-readable benchmark results.
+//!
+//! The `repro` binary records one [`BenchPoint`] per sweep point — wall
+//! seconds, measured operation counts and any experiment-specific extras
+//! — and writes them as `BENCH_results.json` so future changes can track
+//! the performance trajectory without parsing the printed tables.  The
+//! JSON is hand-rolled: the workspace's `serde` is an offline no-op shim,
+//! and the schema is flat enough that a tiny escaping writer is all
+//! that's needed.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_bench::results::BenchResults;
+//!
+//! let mut results = BenchResults::new(4, false);
+//! results
+//!     .point("fig5", "EN block=8")
+//!     .wall_seconds(1.25)
+//!     .extra("traffic_per_node_bytes", 1024.0);
+//! let json = results.to_json();
+//! assert!(json.contains("\"experiment\": \"fig5\""));
+//! assert!(json.contains("\"wall_seconds\": 1.25"));
+//! ```
+
+use dstress_net::cost::OperationCounts;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One recorded sweep point.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// Experiment name (e.g. `fig5`, `concurrency`).
+    pub experiment: String,
+    /// Point label (e.g. `EN block=8`).
+    pub label: String,
+    /// Wall-clock seconds of the in-process run, if measured.
+    pub wall_seconds: Option<f64>,
+    /// Operation counts of the run, if measured.
+    pub counts: Option<OperationCounts>,
+    /// Experiment-specific numeric extras (projected seconds, traffic…).
+    pub extras: Vec<(String, f64)>,
+}
+
+impl BenchPoint {
+    /// Sets the measured wall-clock seconds.
+    pub fn wall_seconds(&mut self, seconds: f64) -> &mut Self {
+        self.wall_seconds = Some(seconds);
+        self
+    }
+
+    /// Attaches the measured operation counts.
+    pub fn counts(&mut self, counts: OperationCounts) -> &mut Self {
+        self.counts = Some(counts);
+        self
+    }
+
+    /// Adds a named numeric extra.
+    pub fn extra(&mut self, key: &str, value: f64) -> &mut Self {
+        self.extras.push((key.to_string(), value));
+        self
+    }
+}
+
+/// The collected results of one `repro` invocation.
+#[derive(Clone, Debug)]
+pub struct BenchResults {
+    /// Worker threads the sweeps ran with.
+    pub threads: usize,
+    /// Whether the paper-scale (`--full`) parameters were used.
+    pub full: bool,
+    /// All recorded points, in execution order.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchResults {
+    /// Creates an empty result set.
+    pub fn new(threads: usize, full: bool) -> Self {
+        BenchResults {
+            threads,
+            full,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records a new point and returns it for chained field setting.
+    pub fn point(&mut self, experiment: &str, label: &str) -> &mut BenchPoint {
+        self.points.push(BenchPoint {
+            experiment: experiment.to_string(),
+            label: label.to_string(),
+            wall_seconds: None,
+            counts: None,
+            extras: Vec::new(),
+        });
+        self.points.last_mut().expect("just pushed")
+    }
+
+    /// Serialises the results as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"full\": {},", self.full);
+        out.push_str("  \"points\": [\n");
+        for (i, point) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(
+                out,
+                "      \"experiment\": {},",
+                json_string(&point.experiment)
+            );
+            let _ = writeln!(out, "      \"label\": {},", json_string(&point.label));
+            if let Some(seconds) = point.wall_seconds {
+                let _ = writeln!(out, "      \"wall_seconds\": {},", json_number(seconds));
+            }
+            if let Some(counts) = &point.counts {
+                out.push_str("      \"counts\": {\n");
+                let fields = [
+                    ("exponentiations", counts.exponentiations),
+                    ("group_multiplications", counts.group_multiplications),
+                    ("base_ots", counts.base_ots),
+                    ("extended_ots", counts.extended_ots),
+                    ("and_gates", counts.and_gates),
+                    ("free_gates", counts.free_gates),
+                    ("bytes_sent", counts.bytes_sent),
+                    ("rounds", counts.rounds),
+                ];
+                for (j, (name, value)) in fields.iter().enumerate() {
+                    let comma = if j + 1 < fields.len() { "," } else { "" };
+                    let _ = writeln!(out, "        \"{name}\": {value}{comma}");
+                }
+                out.push_str("      },\n");
+            }
+            out.push_str("      \"extras\": {");
+            for (j, (key, value)) in point.extras.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(key), json_number(*value));
+            }
+            out.push_str("}\n");
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string as a JSON string literal (the labels are ASCII table
+/// headers, so only quotes/backslashes/control characters matter).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number.  JSON has no NaN/Infinity, and a
+/// fabricated `0` would be indistinguishable from a real measurement, so
+/// non-finite values become `null`.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        // `{}` on a whole f64 prints without a decimal point, which is
+        // still a valid JSON number.
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_expected_shape() {
+        let mut results = BenchResults::new(2, true);
+        results
+            .point("fig3", "EN step block=8")
+            .wall_seconds(0.5)
+            .counts(OperationCounts {
+                and_gates: 12,
+                bytes_sent: 99,
+                ..OperationCounts::default()
+            })
+            .extra("projected_seconds", 1.5);
+        results
+            .point("fig6", "N=1750 D=100")
+            .extra("projected_seconds", 17000.0);
+        let json = results.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"full\": true"));
+        assert!(json.contains("\"and_gates\": 12"));
+        assert!(json.contains("\"bytes_sent\": 99"));
+        assert!(json.contains("\"projected_seconds\": 1.5"));
+        assert!(json.contains("\"label\": \"N=1750 D=100\""));
+        // Two points, one comma between them.
+        assert_eq!(json.matches("\"experiment\"").count(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_stay_valid_json() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn write_to_creates_the_file() {
+        let mut results = BenchResults::new(1, false);
+        results.point("smoke", "p0").wall_seconds(0.1);
+        let path = std::env::temp_dir().join("dstress_bench_results_test.json");
+        results.write_to(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"experiment\": \"smoke\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -61,8 +61,9 @@ pub fn run_transfer_micro(
     let collusion_bound = block_size - 1;
     // A minimal system with enough nodes for distinct blocks.
     let nodes = (3 * block_size).max(8);
-    let (secrets, setup) = generate_system(&group, nodes, collusion_bound, 2, message_bits, &mut rng)
-        .expect("setup succeeds for benchmark parameters");
+    let (secrets, setup) =
+        generate_system(&group, nodes, collusion_bound, 2, message_bits, &mut rng)
+            .expect("setup succeeds for benchmark parameters");
     let dlog = DlogTable::new_signed(&group, 4 * (1 << message_bits.min(14)) as u64 + 200);
 
     let config = TransferConfig {
@@ -136,10 +137,18 @@ pub fn run_transfer_micro(
 
 /// The §5.2 sweep: the final protocol across block sizes.
 pub fn block_size_sweep(block_sizes: &[usize], message_bits: u32) -> Vec<TransferRow> {
-    block_sizes
-        .iter()
-        .map(|&b| run_transfer_micro(ProtocolVariant::Final { alpha: 0.9 }, b, message_bits, 0x7B))
-        .collect()
+    block_size_sweep_with_threads(block_sizes, message_bits, 1)
+}
+
+/// [`block_size_sweep`] with the points fanned out over a worker pool.
+pub fn block_size_sweep_with_threads(
+    block_sizes: &[usize],
+    message_bits: u32,
+    threads: usize,
+) -> Vec<TransferRow> {
+    dstress_net::pool::parallel_map(block_sizes.to_vec(), threads, |_idx, b| {
+        run_transfer_micro(ProtocolVariant::Final { alpha: 0.9 }, b, message_bits, 0x7B)
+    })
 }
 
 /// The protocol ablation: all four variants at a fixed block size.
@@ -178,11 +187,18 @@ mod tests {
         // sender members' volume linear, and the receiver members' volume
         // constant.
         let rows = block_size_sweep(&[8, 16], 12);
-        let quad_ratio = rows[1].vertex_i_received_bytes as f64 / rows[0].vertex_i_received_bytes as f64;
-        assert!((3.0..5.0).contains(&quad_ratio), "vertex-i ratio {quad_ratio}");
+        let quad_ratio =
+            rows[1].vertex_i_received_bytes as f64 / rows[0].vertex_i_received_bytes as f64;
+        assert!(
+            (3.0..5.0).contains(&quad_ratio),
+            "vertex-i ratio {quad_ratio}"
+        );
         let lin_ratio =
             rows[1].sender_member_sent_bytes as f64 / rows[0].sender_member_sent_bytes as f64;
-        assert!((1.5..3.0).contains(&lin_ratio), "sender-member ratio {lin_ratio}");
+        assert!(
+            (1.5..3.0).contains(&lin_ratio),
+            "sender-member ratio {lin_ratio}"
+        );
         let const_ratio = rows[1].receiver_member_received_bytes as f64
             / rows[0].receiver_member_received_bytes as f64;
         assert!(const_ratio < 1.6, "receiver-member ratio {const_ratio}");

@@ -49,7 +49,11 @@ impl CircuitBuilder {
     /// A constant bit.
     pub fn const_bit(&mut self, value: bool) -> WireId {
         let id = self.gates.len();
-        self.gates.push(if value { Gate::ConstTrue } else { Gate::ConstFalse });
+        self.gates.push(if value {
+            Gate::ConstTrue
+        } else {
+            Gate::ConstFalse
+        });
         id
     }
 
@@ -113,7 +117,10 @@ impl CircuitBuilder {
     /// Bitwise XOR of two words.
     pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
         assert_eq!(a.len(), b.len(), "xor_word width mismatch");
-        a.iter().zip(b.iter()).map(|(&x, &y)| self.xor(x, y)).collect()
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.xor(x, y))
+            .collect()
     }
 
     /// Bitwise NOT of a word.
@@ -326,9 +333,9 @@ impl CircuitBuilder {
             quotient_bits.push(ge);
         }
         quotient_bits.reverse(); // now LSB first, total_bits wide
-        // Saturate on division by zero: quotient would be all ones anyway
-        // because remainder >= 0 == divisor at every step, which is the
-        // documented saturation behaviour.
+                                 // Saturate on division by zero: quotient would be all ones anyway
+                                 // because remainder >= 0 == divisor at every step, which is the
+                                 // documented saturation behaviour.
         self.truncate(&quotient_bits, width as u32)
     }
 
@@ -462,7 +469,10 @@ mod tests {
     #[test]
     fn multiplication() {
         assert_eq!(run_binop(|b, x, y| b.mul(x, y), 123, 456), 123 * 456);
-        assert_eq!(run_binop(|b, x, y| b.mul(x, y), 300, 300), (300 * 300) & 0xFFFF);
+        assert_eq!(
+            run_binop(|b, x, y| b.mul(x, y), 300, 300),
+            (300 * 300) & 0xFFFF
+        );
     }
 
     #[test]
@@ -577,7 +587,12 @@ mod tests {
 
     #[test]
     fn or_gate_truth_table() {
-        for (a, b, expect) in [(false, false, false), (true, false, true), (false, true, true), (true, true, true)] {
+        for (a, b, expect) in [
+            (false, false, false),
+            (true, false, true),
+            (false, true, true),
+            (true, true, true),
+        ] {
             let mut builder = CircuitBuilder::new();
             let wa = builder.input();
             let wb = builder.input();

@@ -98,7 +98,10 @@ mod tests {
         let c = b.build().unwrap();
         assert!(matches!(
             evaluate(&c, &[]).unwrap_err(),
-            CircuitError::InputCountMismatch { expected: 1, actual: 0 }
+            CircuitError::InputCountMismatch {
+                expected: 1,
+                actual: 0
+            }
         ));
         assert!(evaluate(&c, &[true, false]).is_err());
     }

@@ -186,7 +186,10 @@ mod tests {
     fn forward_reference_is_rejected() {
         let gates = vec![Gate::Input(0), Gate::And(0, 5)];
         let err = Circuit::new(gates, 1, vec![1]).unwrap_err();
-        assert!(matches!(err, CircuitError::ForwardReference { gate: 1, wire: 5 }));
+        assert!(matches!(
+            err,
+            CircuitError::ForwardReference { gate: 1, wire: 5 }
+        ));
     }
 
     #[test]
@@ -209,7 +212,9 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains('4'));
-        assert!(CircuitError::InvalidOutput { wire: 9 }.to_string().contains('9'));
+        assert!(CircuitError::InvalidOutput { wire: 9 }
+            .to_string()
+            .contains('9'));
         assert!(CircuitError::ForwardReference { gate: 1, wire: 2 }
             .to_string()
             .contains("undefined"));

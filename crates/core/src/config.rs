@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use dstress_crypto::group::GroupKind;
+use dstress_net::pool::default_threads;
 
 /// How the communication steps execute their cryptography.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +16,57 @@ pub enum TransferMode {
     /// that wall-clock time stays manageable; a unit test pins the counts
     /// of the two modes against each other.
     Accounted,
+}
+
+/// How the runtime schedules the independent blocks of a phase.
+///
+/// A DStress deployment runs every block's MPC *concurrently* — per-node
+/// cost, not summed cost, is what the paper's wall-clock figures report.
+/// `Threaded` reproduces that: the computation steps of a round (one GMW
+/// per vertex) and the message transfers of a round are independent
+/// tasks, sharded across a worker pool.  Results are bit-identical to
+/// `Sequential` — every task draws from its own deterministically derived
+/// seed and accounts into its own counters, merged in task order at phase
+/// end — so the knob only changes wall-clock, never outputs.
+///
+/// ## Example
+///
+/// ```
+/// use dstress_core::config::ConcurrencyMode;
+///
+/// assert_eq!(ConcurrencyMode::Sequential.worker_threads(), 1);
+/// assert_eq!(ConcurrencyMode::Threaded { threads: 8 }.worker_threads(), 8);
+/// assert!(ConcurrencyMode::threaded().worker_threads() >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConcurrencyMode {
+    /// Execute blocks one after another on the calling thread (the
+    /// deterministic reference schedule).
+    Sequential,
+    /// Shard independent block executions across a worker pool of the
+    /// given size.
+    Threaded {
+        /// Worker count (values below one are treated as one).
+        threads: usize,
+    },
+}
+
+impl ConcurrencyMode {
+    /// `Threaded` with one worker per available core
+    /// ([`std::thread::available_parallelism`]).
+    pub fn threaded() -> Self {
+        ConcurrencyMode::Threaded {
+            threads: default_threads(),
+        }
+    }
+
+    /// The worker-pool size this mode implies (1 for `Sequential`).
+    pub fn worker_threads(&self) -> usize {
+        match *self {
+            ConcurrencyMode::Sequential => 1,
+            ConcurrencyMode::Threaded { threads } => threads.max(1),
+        }
+    }
 }
 
 /// Configuration of a DStress execution.
@@ -37,6 +89,8 @@ pub struct DStressConfig {
     /// Whether communication steps run real cryptography or cost-accounted
     /// plaintext sharing.
     pub transfer_mode: TransferMode,
+    /// How the independent blocks of a phase are scheduled.
+    pub concurrency: ConcurrencyMode,
     /// Seed for all randomness in the run (setup, sharing, noise).
     pub seed: u64,
 }
@@ -53,6 +107,7 @@ impl DStressConfig {
             dlog_window: 2_000,
             group: GroupKind::Sim64,
             transfer_mode: TransferMode::RealCrypto,
+            concurrency: ConcurrencyMode::Sequential,
             seed: 0xD57E55,
         }
     }
@@ -69,6 +124,12 @@ impl DStressConfig {
     /// The block size `k + 1`.
     pub fn block_size(&self) -> usize {
         self.collusion_bound + 1
+    }
+
+    /// Switches the configuration to the given concurrency mode.
+    pub fn with_concurrency(mut self, concurrency: ConcurrencyMode) -> Self {
+        self.concurrency = concurrency;
+        self
     }
 }
 
@@ -87,5 +148,16 @@ mod tests {
         assert_eq!(b.transfer_mode, TransferMode::Accounted);
         assert!(b.epsilon > 0.0);
         assert!(b.edge_noise_alpha > 0.0 && b.edge_noise_alpha < 1.0);
+        assert_eq!(b.concurrency, ConcurrencyMode::Sequential);
+    }
+
+    #[test]
+    fn concurrency_mode_resolves_workers() {
+        assert_eq!(ConcurrencyMode::Sequential.worker_threads(), 1);
+        assert_eq!(ConcurrencyMode::Threaded { threads: 0 }.worker_threads(), 1);
+        assert_eq!(ConcurrencyMode::Threaded { threads: 6 }.worker_threads(), 6);
+        assert!(ConcurrencyMode::threaded().worker_threads() >= 1);
+        let cfg = DStressConfig::benchmark(2).with_concurrency(ConcurrencyMode::threaded());
+        assert_ne!(cfg.concurrency, ConcurrencyMode::Sequential);
     }
 }

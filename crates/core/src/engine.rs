@@ -33,9 +33,10 @@ use dstress_dp::laplace::LaplaceMechanism;
 use dstress_graph::{Graph, VertexId};
 use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
 use dstress_mpc::gmw::{reconstruct_outputs, GmwConfig, GmwProtocol};
-use dstress_mpc::ot::SimulatedOtExtension;
+use dstress_mpc::party::{derive_seed, OtConfig};
 use dstress_mpc::MpcError;
 use dstress_net::cost::OperationCounts;
+use dstress_net::pool::parallel_map;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 use dstress_transfer::protocol::{transfer_message, TransferConfig};
 use dstress_transfer::setup::{generate_system, NodeSecrets, SystemSetup};
@@ -205,7 +206,9 @@ impl DStressRuntime {
             &mut rng,
         )?;
         let dlog = match self.config.transfer_mode {
-            TransferMode::RealCrypto => Some(DlogTable::new_signed(&group, self.config.dlog_window)),
+            TransferMode::RealCrypto => {
+                Some(DlogTable::new_signed(&group, self.config.dlog_window))
+            }
             TransferMode::Accounted => None,
         };
         let mut traffic = TrafficAccountant::new();
@@ -237,7 +240,10 @@ impl DStressRuntime {
             }
             init_counts.rounds += 1;
             state_shares.push(shares);
-            inbox_shares.push(vec![vec![vec![false; message_bits]; block_size]; degree_bound]);
+            inbox_shares.push(vec![
+                vec![vec![false; message_bits]; block_size];
+                degree_bound
+            ]);
         }
         let initialization = PhaseCosts {
             counts: init_counts,
@@ -245,36 +251,24 @@ impl DStressRuntime {
         };
 
         // ---- Iterations ---------------------------------------------------
+        //
+        // Within one round, every vertex's computation step is an
+        // independent MPC among its own block, and every edge's message
+        // transfer is an independent protocol run — exactly the
+        // concurrency a real deployment exploits.  Each task derives its
+        // own seed from a per-phase master and accounts into its own
+        // counters; the merge below happens in task order, so Sequential
+        // and Threaded modes produce bit-identical runs.
         let update_circuit = program.update_circuit(degree_bound);
         let mut computation = PhaseCosts::default();
         let mut communication = PhaseCosts::default();
         let iterations = program.iterations();
-
-        for _round in 0..iterations {
-            // Computation step for every vertex.
-            let comp_start = Instant::now();
-            let mut outgoing: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(n);
-            for v in graph.vertices() {
-                let (new_state, out_msgs, counts) = self.run_update_step(
-                    &update_circuit,
-                    &setup,
-                    v,
-                    &state_shares[v.0],
-                    &inbox_shares[v.0],
-                    state_bits,
-                    message_bits,
-                    degree_bound,
-                    &mut traffic,
-                    &mut rng,
-                )?;
-                state_shares[v.0] = new_state;
-                outgoing.push(out_msgs);
-                computation.counts.add(&counts);
-            }
-            computation.wall_seconds += comp_start.elapsed().as_secs_f64();
-
-            // Communication step for every edge.
-            let comm_start = Instant::now();
+        let threads = self.config.concurrency.worker_threads();
+        let message_width = program.message_bits();
+        // The edge topology — (source, outgoing slot, target, receiver
+        // inbox slot) — is round-invariant; compute it once.
+        let edge_topology: Vec<(VertexId, usize, VertexId, usize)> = {
+            let mut edges = Vec::new();
             for v in graph.vertices() {
                 for (out_slot, &to) in graph.out_neighbors(v).iter().enumerate() {
                     let in_slot = graph
@@ -282,52 +276,93 @@ impl DStressRuntime {
                         .iter()
                         .position(|&src| src == v)
                         .expect("out-edge implies matching in-edge");
+                    edges.push((v, out_slot, to, in_slot));
+                }
+            }
+            edges
+        };
+
+        for round in 0..=iterations {
+            // Computation step for every vertex (the final pass, at
+            // `round == iterations`, consumes the last round of messages
+            // and produces no outgoing traffic).
+            let comp_start = Instant::now();
+            let phase_seed = rng.next_u64();
+            let vertices: Vec<VertexId> = graph.vertices().collect();
+            let step_results = {
+                let state_shares = &state_shares;
+                let inbox_shares = &inbox_shares;
+                parallel_map(vertices, threads, |idx, v| {
+                    let mut local_rng = Xoshiro256::new(task_seed(phase_seed, idx as u64));
+                    let mut local_traffic = TrafficAccountant::new();
+                    self.run_update_step(
+                        &update_circuit,
+                        &setup,
+                        v,
+                        &state_shares[v.0],
+                        &inbox_shares[v.0],
+                        state_bits,
+                        message_bits,
+                        degree_bound,
+                        &mut local_traffic,
+                        &mut local_rng,
+                    )
+                    .map(|(state, out, counts)| (state, out, counts, local_traffic))
+                })
+            };
+            let mut outgoing: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(n);
+            for (v, result) in step_results.into_iter().enumerate() {
+                let (new_state, out_msgs, counts, local_traffic) = result?;
+                state_shares[v] = new_state;
+                outgoing.push(out_msgs);
+                computation.counts.merge(&counts);
+                traffic.merge(&local_traffic);
+            }
+            computation.wall_seconds += comp_start.elapsed().as_secs_f64();
+            if round == iterations {
+                break;
+            }
+
+            // Communication step for every edge.
+            let comm_start = Instant::now();
+            let phase_seed = rng.next_u64();
+            let edges: Vec<(VertexId, VertexId, usize, Vec<BitMessage>)> = edge_topology
+                .iter()
+                .map(|&(v, out_slot, to, in_slot)| {
                     let message_shares: Vec<BitMessage> = outgoing[v.0][out_slot]
                         .iter()
                         .map(|bits| BitMessage::from_bits(bits))
                         .collect();
-                    let (new_shares, counts) = self.run_transfer(
-                        &group,
-                        &setup,
-                        &secrets,
-                        dlog.as_ref(),
-                        program.message_bits(),
-                        v,
-                        to,
-                        in_slot,
-                        &message_shares,
-                        &mut traffic,
-                        &mut rng,
-                    )?;
-                    inbox_shares[to.0][in_slot] = new_shares
-                        .iter()
-                        .map(|share| share.to_bits())
-                        .collect();
-                    communication.counts.add(&counts);
-                }
+                    (v, to, in_slot, message_shares)
+                })
+                .collect();
+            let transfer_results = parallel_map(edges, threads, |idx, (v, to, in_slot, shares)| {
+                let mut local_rng = Xoshiro256::new(task_seed(phase_seed, idx as u64));
+                let mut local_traffic = TrafficAccountant::new();
+                self.run_transfer(
+                    &group,
+                    &setup,
+                    &secrets,
+                    dlog.as_ref(),
+                    message_width,
+                    v,
+                    to,
+                    in_slot,
+                    &shares,
+                    &mut local_traffic,
+                    &mut local_rng,
+                )
+                .map(|(new_shares, counts)| (to, in_slot, new_shares, counts, local_traffic))
+            });
+            for result in transfer_results {
+                let (to, in_slot, new_shares, counts, local_traffic) = result?;
+                inbox_shares[to.0][in_slot] =
+                    new_shares.iter().map(|share| share.to_bits()).collect();
+                communication.counts.merge(&counts);
+                traffic.merge(&local_traffic);
             }
             communication.wall_seconds += comm_start.elapsed().as_secs_f64();
         }
-
-        // Final computation step (consumes the last round of messages).
-        let comp_start = Instant::now();
-        for v in graph.vertices() {
-            let (new_state, _out, counts) = self.run_update_step(
-                &update_circuit,
-                &setup,
-                v,
-                &state_shares[v.0],
-                &inbox_shares[v.0],
-                state_bits,
-                message_bits,
-                degree_bound,
-                &mut traffic,
-                &mut rng,
-            )?;
-            state_shares[v.0] = new_state;
-            computation.counts.add(&counts);
-        }
-        computation.wall_seconds += comp_start.elapsed().as_secs_f64();
 
         // ---- Aggregation + noising ----------------------------------------
         let agg_start = Instant::now();
@@ -366,14 +401,9 @@ impl DStressRuntime {
         let agg_circuit = program.aggregation_circuit(n);
         let agg_node_ids = agg_block.members.clone();
         let protocol = GmwProtocol::new(GmwConfig::with_node_ids(agg_node_ids.clone()))?;
-        let mut ot = SimulatedOtExtension::new();
-        let agg_exec = protocol.execute(
-            &agg_circuit,
-            &agg_input_shares,
-            &mut ot,
-            &mut traffic,
-            &mut rng,
-        )?;
+        let ot = OtConfig::extension();
+        let agg_exec =
+            protocol.execute(&agg_circuit, &agg_input_shares, &ot, &mut traffic, &mut rng)?;
         agg_counts.add(&agg_exec.counts);
         let aggregate_bits = reconstruct_outputs(&agg_exec.output_shares)?;
         let ideal_output = program.decode_aggregate(&aggregate_bits);
@@ -385,15 +415,14 @@ impl DStressRuntime {
         // `DESIGN.md` for the substitution note).
         let noise_circ = noising_circuit(program.aggregate_bits(), 64, 0);
         let noise_inputs: Vec<Vec<bool>> = (0..block_size)
-            .map(|_| (0..noise_circ.num_inputs()).map(|_| rng.next_bool()).collect())
+            .map(|_| {
+                (0..noise_circ.num_inputs())
+                    .map(|_| rng.next_bool())
+                    .collect()
+            })
             .collect();
-        let noise_exec = protocol.execute(
-            &noise_circ,
-            &noise_inputs,
-            &mut ot,
-            &mut traffic,
-            &mut rng,
-        )?;
+        let noise_exec =
+            protocol.execute(&noise_circ, &noise_inputs, &ot, &mut traffic, &mut rng)?;
         agg_counts.add(&noise_exec.counts);
 
         // Joint seed: one contribution per aggregation-block member.
@@ -442,8 +471,7 @@ impl DStressRuntime {
         let block_size = block.size();
         let mut input_shares: Vec<Vec<bool>> = Vec::with_capacity(block_size);
         for m_idx in 0..block_size {
-            let mut member_inputs =
-                Vec::with_capacity(state_bits + degree_bound * message_bits);
+            let mut member_inputs = Vec::with_capacity(state_bits + degree_bound * message_bits);
             member_inputs.extend_from_slice(&state[m_idx]);
             for slot in inbox.iter() {
                 member_inputs.extend_from_slice(&slot[m_idx]);
@@ -451,16 +479,21 @@ impl DStressRuntime {
             input_shares.push(member_inputs);
         }
         let protocol = GmwProtocol::new(GmwConfig::with_node_ids(block.members.clone()))?;
-        let mut ot = SimulatedOtExtension::new();
-        let exec = protocol.execute(update_circuit, &input_shares, &mut ot, traffic, rng)?;
+        let exec = protocol.execute(
+            update_circuit,
+            &input_shares,
+            &OtConfig::extension(),
+            traffic,
+            rng,
+        )?;
 
         let mut new_state = Vec::with_capacity(block_size);
         let mut outgoing = vec![vec![Vec::new(); block_size]; degree_bound];
         for (m_idx, member_outputs) in exec.output_shares.iter().enumerate() {
             new_state.push(member_outputs[..state_bits].to_vec());
-            for slot in 0..degree_bound {
+            for (slot, per_member) in outgoing.iter_mut().enumerate() {
                 let start = state_bits + slot * message_bits;
-                outgoing[slot][m_idx] = member_outputs[start..start + message_bits].to_vec();
+                per_member[m_idx] = member_outputs[start..start + message_bits].to_vec();
             }
         }
         Ok((new_state, outgoing, exec.counts))
@@ -486,10 +519,8 @@ impl DStressRuntime {
         let receiver_block = setup.block_of(NodeId(to.0));
         match self.config.transfer_mode {
             TransferMode::RealCrypto => {
-                let config = TransferConfig::final_protocol(
-                    message_bits,
-                    self.config.edge_noise_alpha,
-                );
+                let config =
+                    TransferConfig::final_protocol(message_bits, self.config.edge_noise_alpha);
                 let outcome = transfer_message(
                     group,
                     &config,
@@ -521,6 +552,18 @@ impl DStressRuntime {
         }
     }
 }
+
+/// Derives the seed of one phase task (a vertex's computation step or an
+/// edge's transfer) from the phase master seed and the task's position.
+/// Stable across concurrency modes, which is what makes `Sequential` and
+/// `Threaded` runs bit-identical.
+fn task_seed(phase_seed: u64, index: u64) -> u64 {
+    derive_seed(phase_seed, ENGINE_TASK_TAG, index)
+}
+
+/// Domain tag separating engine task streams from the party/pair streams
+/// that [`derive_seed`] also serves.
+const ENGINE_TASK_TAG: u64 = 0x656e_6769_6e65_3a74; // "engine:t"
 
 /// Splits a bit vector into `n` XOR shares (per-bit sharing).
 fn share_bits(bits: &[bool], n: usize, rng: &mut dyn DetRng) -> Vec<Vec<bool>> {
@@ -636,7 +679,10 @@ mod tests {
     #[test]
     fn run_matches_plaintext_reference_real_crypto() {
         let graph = ring_graph(5);
-        let program = CounterProgram { width: 8, rounds: 2 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
         let expected = counter_reference(&graph, 8, 2);
 
         let mut config = DStressConfig::small_test(2);
@@ -654,7 +700,10 @@ mod tests {
     #[test]
     fn run_matches_plaintext_reference_accounted() {
         let graph = ring_graph(6);
-        let program = CounterProgram { width: 8, rounds: 3 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 3,
+        };
         let expected = counter_reference(&graph, 8, 3);
         let mut config = DStressConfig::benchmark(3);
         config.message_bits = 8;
@@ -666,15 +715,22 @@ mod tests {
     #[test]
     fn transfer_modes_account_identically() {
         let graph = ring_graph(4);
-        let program = CounterProgram { width: 8, rounds: 1 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
 
         let mut real_cfg = DStressConfig::small_test(2);
         real_cfg.message_bits = 8;
         let mut acc_cfg = DStressConfig::benchmark(2);
         acc_cfg.message_bits = 8;
 
-        let real = DStressRuntime::new(real_cfg).execute(&graph, &program).unwrap();
-        let accounted = DStressRuntime::new(acc_cfg).execute(&graph, &program).unwrap();
+        let real = DStressRuntime::new(real_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let accounted = DStressRuntime::new(acc_cfg)
+            .execute(&graph, &program)
+            .unwrap();
 
         let r = real.phases.communication.counts;
         let a = accounted.phases.communication.counts;
@@ -692,10 +748,15 @@ mod tests {
     #[test]
     fn phases_report_nonzero_costs() {
         let graph = ring_graph(4);
-        let program = CounterProgram { width: 8, rounds: 1 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
         let mut config = DStressConfig::benchmark(2);
         config.message_bits = 8;
-        let run = DStressRuntime::new(config).execute(&graph, &program).unwrap();
+        let run = DStressRuntime::new(config)
+            .execute(&graph, &program)
+            .unwrap();
         assert!(run.phases.initialization.counts.bytes_sent > 0);
         assert!(run.phases.computation.counts.and_gates > 0);
         assert!(run.phases.communication.counts.bytes_sent > 0);
@@ -708,13 +769,20 @@ mod tests {
     #[test]
     fn traffic_grows_with_block_size() {
         let graph = ring_graph(6);
-        let program = CounterProgram { width: 8, rounds: 1 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
         let mut small_cfg = DStressConfig::benchmark(2);
         small_cfg.message_bits = 8;
         let mut large_cfg = DStressConfig::benchmark(4);
         large_cfg.message_bits = 8;
-        let small = DStressRuntime::new(small_cfg).execute(&graph, &program).unwrap();
-        let large = DStressRuntime::new(large_cfg).execute(&graph, &program).unwrap();
+        let small = DStressRuntime::new(small_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let large = DStressRuntime::new(large_cfg)
+            .execute(&graph, &program)
+            .unwrap();
         assert!(large.traffic.report().total_bytes > small.traffic.report().total_bytes);
         assert!(large.mean_bytes_per_node() > small.mean_bytes_per_node());
         // The ideal output is unchanged by the block size.
@@ -722,12 +790,65 @@ mod tests {
     }
 
     #[test]
+    fn concurrency_mode_does_not_change_results() {
+        use crate::config::ConcurrencyMode;
+        let graph = ring_graph(6);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut seq_cfg = DStressConfig::benchmark(3);
+        seq_cfg.message_bits = 8;
+        let thr_cfg = seq_cfg
+            .clone()
+            .with_concurrency(ConcurrencyMode::Threaded { threads: 4 });
+
+        let seq = DStressRuntime::new(seq_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let thr = DStressRuntime::new(thr_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+
+        // Bit-identical runs: outputs, counts, and traffic all agree.
+        assert_eq!(seq.noised_output, thr.noised_output);
+        assert_eq!(seq.ideal_output, thr.ideal_output);
+        assert_eq!(seq.phases.total_counts(), thr.phases.total_counts());
+        assert_eq!(seq.traffic.report(), thr.traffic.report());
+
+        // Same holds under real transfer cryptography.
+        let mut real_seq = DStressConfig::small_test(2);
+        real_seq.message_bits = 8;
+        let real_thr = real_seq
+            .clone()
+            .with_concurrency(ConcurrencyMode::Threaded { threads: 3 });
+        let graph = ring_graph(4);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let a = DStressRuntime::new(real_seq)
+            .execute(&graph, &program)
+            .unwrap();
+        let b = DStressRuntime::new(real_thr)
+            .execute(&graph, &program)
+            .unwrap();
+        assert_eq!(a.noised_output, b.noised_output);
+        assert_eq!(a.traffic.report(), b.traffic.report());
+    }
+
+    #[test]
     fn noised_output_is_reproducible_from_seed() {
         let graph = ring_graph(4);
-        let program = CounterProgram { width: 8, rounds: 1 };
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
         let mut cfg = DStressConfig::benchmark(2);
         cfg.message_bits = 8;
-        let a = DStressRuntime::new(cfg.clone()).execute(&graph, &program).unwrap();
+        let a = DStressRuntime::new(cfg.clone())
+            .execute(&graph, &program)
+            .unwrap();
         let b = DStressRuntime::new(cfg).execute(&graph, &program).unwrap();
         assert_eq!(a.noised_output, b.noised_output);
         assert_eq!(a.ideal_output, b.ideal_output);

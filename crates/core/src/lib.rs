@@ -50,7 +50,7 @@ pub mod noise_circuit;
 pub mod program;
 pub mod projection;
 
-pub use config::{DStressConfig, TransferMode};
+pub use config::{ConcurrencyMode, DStressConfig, TransferMode};
 pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts};
 pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
 pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};

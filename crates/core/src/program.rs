@@ -77,23 +77,24 @@ pub fn execute_plaintext<P: SecureVertexProgram>(graph: &Graph, program: &P) -> 
         .collect();
     let mut inboxes: Vec<Vec<Vec<bool>>> = vec![vec![vec![false; message_bits]; d]; n];
 
-    let run_update = |states: &mut Vec<Vec<bool>>, inboxes: &Vec<Vec<Vec<bool>>>| -> Vec<Vec<Vec<bool>>> {
-        let mut outgoing = vec![vec![vec![false; message_bits]; d]; n];
-        for v in graph.vertices() {
-            let mut inputs = states[v.0].clone();
-            for slot in &inboxes[v.0] {
-                inputs.extend_from_slice(slot);
+    let run_update =
+        |states: &mut Vec<Vec<bool>>, inboxes: &Vec<Vec<Vec<bool>>>| -> Vec<Vec<Vec<bool>>> {
+            let mut outgoing = vec![vec![vec![false; message_bits]; d]; n];
+            for v in graph.vertices() {
+                let mut inputs = states[v.0].clone();
+                for slot in &inboxes[v.0] {
+                    inputs.extend_from_slice(slot);
+                }
+                let outputs = dstress_circuit::evaluate(&update, &inputs)
+                    .expect("program circuits accept their own encoding");
+                states[v.0] = outputs[..state_bits].to_vec();
+                for (slot, out) in outgoing[v.0].iter_mut().enumerate() {
+                    let start = state_bits + slot * message_bits;
+                    *out = outputs[start..start + message_bits].to_vec();
+                }
             }
-            let outputs = dstress_circuit::evaluate(&update, &inputs)
-                .expect("program circuits accept their own encoding");
-            states[v.0] = outputs[..state_bits].to_vec();
-            for slot in 0..d {
-                let start = state_bits + slot * message_bits;
-                outgoing[v.0][slot] = outputs[start..start + message_bits].to_vec();
-            }
-        }
-        outgoing
-    };
+            outgoing
+        };
 
     for _ in 0..program.iterations() {
         let outgoing = run_update(&mut states, &inboxes);
@@ -170,7 +171,9 @@ mod counter_impl {
         fn update_circuit(&self, degree_bound: usize) -> Circuit {
             let mut b = CircuitBuilder::new();
             let state = b.input_word(self.width);
-            let incoming: Vec<_> = (0..degree_bound).map(|_| b.input_word(self.width)).collect();
+            let incoming: Vec<_> = (0..degree_bound)
+                .map(|_| b.input_word(self.width))
+                .collect();
             let mut new_state = state.clone();
             for msg in &incoming {
                 new_state = b.add(&new_state, msg);
@@ -208,7 +211,10 @@ mod tests {
 
     #[test]
     fn counter_update_circuit_has_expected_shape() {
-        let p = CounterProgram { width: 8, rounds: 2 };
+        let p = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
         let c = p.update_circuit(3);
         assert_eq!(c.num_inputs(), 8 + 3 * 8);
         assert_eq!(c.outputs().len(), 8 + 3 * 8);
@@ -225,7 +231,10 @@ mod tests {
 
     #[test]
     fn counter_aggregation_circuit_sums() {
-        let p = CounterProgram { width: 8, rounds: 1 };
+        let p = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
         let c = p.aggregation_circuit(3);
         assert_eq!(c.num_inputs(), 24);
         let mut inputs = Vec::new();

@@ -50,7 +50,8 @@ impl ProjectionInputs {
         ProjectionInputs {
             update_and_gates: u.and_gates as u64,
             update_free_gates: (u.xor_gates + u.not_gates) as u64,
-            aggregation_and_gates_per_vertex: (a.and_gates as u64).div_ceil(aggregated_vertices.max(1)),
+            aggregation_and_gates_per_vertex: (a.and_gates as u64)
+                .div_ceil(aggregated_vertices.max(1)),
             noising_and_gates: n.and_gates as u64,
             state_bits,
             message_bits,
@@ -161,8 +162,7 @@ impl ScalabilityModel {
         // --- Initialization ------------------------------------------------
         // Share distribution to k block members plus the per-session OT
         // setup for the first computation step's sessions.
-        let init_bytes_per_node =
-            (inputs.state_bits as f64 + d as f64 * l) / 8.0 * k as f64;
+        let init_bytes_per_node = (inputs.state_bits as f64 + d as f64 * l) / 8.0 * k as f64;
         let init_seconds = block
             * (kappa * pairs_per_node * c.seconds_per_base_ot
                 + init_bytes_per_node / c.bandwidth_bytes_per_second);
@@ -174,9 +174,11 @@ impl ScalabilityModel {
         let updates = (iterations + 1) as f64;
         let computation_seconds = block
             * updates
-            * mpc_node_seconds(inputs.update_and_gates as f64, inputs.update_free_gates as f64);
-        let computation_bytes =
-            block * updates * mpc_node_bytes(inputs.update_and_gates as f64);
+            * mpc_node_seconds(
+                inputs.update_and_gates as f64,
+                inputs.update_free_gates as f64,
+            );
+        let computation_bytes = block * updates * mpc_node_bytes(inputs.update_and_gates as f64);
 
         // --- Communication steps --------------------------------------------
         // Per iteration, a node acts as: a sender-block member for D edges
@@ -194,15 +196,19 @@ impl ScalabilityModel {
         let per_iteration_transfer_seconds = block * d as f64 * member_encrypt_seconds
             + d as f64 * (vertex_i_seconds + vertex_j_seconds)
             + block * d as f64 * member_decrypt_seconds;
-        let per_iteration_transfer_bytes = block * d as f64 * member_encrypt_bytes
-            + d as f64 * (vertex_i_bytes + vertex_j_bytes);
+        let per_iteration_transfer_bytes =
+            block * d as f64 * member_encrypt_bytes + d as f64 * (vertex_i_bytes + vertex_j_bytes);
         let communication_seconds = iterations as f64 * per_iteration_transfer_seconds;
         let communication_bytes = iterations as f64 * per_iteration_transfer_bytes;
 
         // --- Aggregation -----------------------------------------------------
         // Two-level tree of aggregation blocks with the configured fan-in;
         // a node participates in at most one group per level.
-        let levels = if n as u64 <= self.aggregation_tree_degree { 1 } else { 2 };
+        let levels = if n as u64 <= self.aggregation_tree_degree {
+            1
+        } else {
+            2
+        };
         let group_size = (n as u64).min(self.aggregation_tree_degree) as f64;
         let agg_and_gates = inputs.aggregation_and_gates_per_vertex as f64 * group_size
             + inputs.noising_and_gates as f64;
@@ -240,6 +246,7 @@ impl ScalabilityModel {
 /// bucket), so most banks run much smaller circuits.  This function
 /// projects both deployments — single bound vs two buckets — and returns
 /// the per-node times `(single_bound_seconds, bucketed_seconds)`.
+#[allow(clippy::too_many_arguments)]
 pub fn project_degree_buckets(
     model: &ScalabilityModel,
     small_inputs: &ProjectionInputs,
@@ -258,7 +265,8 @@ pub fn project_degree_buckets(
     // A node's expected cost under bucketing: with probability
     // `fraction_large` it sits in (and serves blocks of) the high-degree
     // bucket, otherwise the low-degree one.
-    let bucketed = fraction_large * large.total_seconds + (1.0 - fraction_large) * small.total_seconds;
+    let bucketed =
+        fraction_large * large.total_seconds + (1.0 - fraction_large) * small.total_seconds;
     (single.total_seconds, bucketed)
 }
 
@@ -346,8 +354,20 @@ mod tests {
         // iteration count and the aggregation tree (Fig. 6's gentle slope).
         let model = ScalabilityModel::paper_reference();
         let inputs = synthetic_inputs(40);
-        let small = model.project(&inputs, 200, 40, 19, ScalabilityModel::default_iterations(200));
-        let large = model.project(&inputs, 2000, 40, 19, ScalabilityModel::default_iterations(2000));
+        let small = model.project(
+            &inputs,
+            200,
+            40,
+            19,
+            ScalabilityModel::default_iterations(200),
+        );
+        let large = model.project(
+            &inputs,
+            2000,
+            40,
+            19,
+            ScalabilityModel::default_iterations(2000),
+        );
         assert!(large.total_seconds > small.total_seconds);
         assert!(large.total_seconds < 3.0 * small.total_seconds);
     }
@@ -371,7 +391,10 @@ mod tests {
             19,
             11,
         );
-        assert!(bucketed < 0.4 * single, "bucketed {bucketed} vs single {single}");
+        assert!(
+            bucketed < 0.4 * single,
+            "bucketed {bucketed} vs single {single}"
+        );
         // Degenerate fractions recover the single-bucket cases.
         let (single_again, all_large) = project_degree_buckets(
             &model,

@@ -207,7 +207,9 @@ mod tests {
         let neg = group.inv(group.encode_exponent(3)).unwrap();
         assert!(table.lookup(&group, neg).is_err());
         // Out of range either way.
-        assert!(table.lookup_signed(&group, group.encode_exponent(51)).is_err());
+        assert!(table
+            .lookup_signed(&group, group.encode_exponent(51))
+            .is_err());
     }
 
     #[test]

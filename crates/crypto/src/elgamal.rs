@@ -129,12 +129,7 @@ pub fn decrypt(group: &Group, sk: &SecretKey, ct: &Ciphertext) -> Result<GroupEl
 
 /// Encrypts the small non-negative integer `m` as `g^m` (exponential
 /// ElGamal).  The result supports [`homomorphic_add`].
-pub fn encrypt_exponent(
-    group: &Group,
-    pk: &PublicKey,
-    m: u64,
-    rng: &mut dyn DetRng,
-) -> Ciphertext {
+pub fn encrypt_exponent(group: &Group, pk: &PublicKey, m: u64, rng: &mut dyn DetRng) -> Ciphertext {
     encrypt(group, pk, group.encode_exponent(m), rng)
 }
 
@@ -316,7 +311,9 @@ mod tests {
     fn multi_recipient_encryption() {
         let (group, _, mut rng) = setup();
         let table = DlogTable::new(&group, 2);
-        let keys: Vec<KeyPair> = (0..12).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let keys: Vec<KeyPair> = (0..12)
+            .map(|_| KeyPair::generate(&group, &mut rng))
+            .collect();
         let pks: Vec<PublicKey> = keys.iter().map(|k| k.public).collect();
         let bits: Vec<bool> = (0..12).map(|i| i % 3 == 0).collect();
         let cts = encrypt_bits_multi_recipient(&group, &pks, &bits, &mut rng).unwrap();
@@ -332,9 +329,8 @@ mod tests {
     #[test]
     fn multi_recipient_length_mismatch() {
         let (group, kp, mut rng) = setup();
-        let err =
-            encrypt_bits_multi_recipient(&group, &[kp.public], &[true, false], &mut rng)
-                .unwrap_err();
+        let err = encrypt_bits_multi_recipient(&group, &[kp.public], &[true, false], &mut rng)
+            .unwrap_err();
         assert!(matches!(err, CryptoError::ShareCountMismatch { .. }));
     }
 

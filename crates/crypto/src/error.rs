@@ -69,14 +69,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CryptoError::MalformedCiphertext.to_string().contains("malformed"));
-        assert!(CryptoError::DlogOutOfRange { searched: 7 }.to_string().contains('7'));
-        assert!(CryptoError::ShareCountMismatch { expected: 3, actual: 2 }
+        assert!(CryptoError::MalformedCiphertext
             .to_string()
-            .contains('3'));
-        assert!(CryptoError::MessageTooWide { bits: 12, value: 99999 }
+            .contains("malformed"));
+        assert!(CryptoError::DlogOutOfRange { searched: 7 }
             .to_string()
-            .contains("12"));
+            .contains('7'));
+        assert!(CryptoError::ShareCountMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(CryptoError::MessageTooWide {
+            bits: 12,
+            value: 99999
+        }
+        .to_string()
+        .contains("12"));
         let wrapped: CryptoError = MathError::InvalidModulus.into();
         assert!(wrapped.to_string().contains("arithmetic"));
     }

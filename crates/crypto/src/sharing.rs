@@ -32,7 +32,7 @@ impl BitMessage {
     ///
     /// Returns [`CryptoError::MessageTooWide`] if it does not.
     pub fn new(value: u64, bits: u32) -> Result<Self, CryptoError> {
-        assert!(bits >= 1 && bits <= 64, "width must be in [1, 64]");
+        assert!((1..=64).contains(&bits), "width must be in [1, 64]");
         if bits < 64 && value >> bits != 0 {
             return Err(CryptoError::MessageTooWide { bits, value });
         }
@@ -81,7 +81,10 @@ impl BitMessage {
     ///
     /// Panics if the widths differ (an internal protocol invariant).
     pub fn xor(&self, other: &BitMessage) -> BitMessage {
-        assert_eq!(self.bits, other.bits, "cannot XOR messages of different widths");
+        assert_eq!(
+            self.bits, other.bits,
+            "cannot XOR messages of different widths"
+        );
         BitMessage {
             value: self.value ^ other.value,
             bits: self.bits,
@@ -165,7 +168,10 @@ mod tests {
         assert!(BitMessage::new(4095, 12).is_ok());
         assert!(matches!(
             BitMessage::new(4096, 12).unwrap_err(),
-            CryptoError::MessageTooWide { bits: 12, value: 4096 }
+            CryptoError::MessageTooWide {
+                bits: 12,
+                value: 4096
+            }
         ));
         assert!(BitMessage::new(u64::MAX, 64).is_ok());
     }
@@ -225,7 +231,11 @@ mod tests {
         for _ in 0..200 {
             seen.insert(split_xor(secret, 3, &mut rng)[0].value());
         }
-        assert!(seen.len() > 100, "shares should look random, got {}", seen.len());
+        assert!(
+            seen.len() > 100,
+            "shares should look random, got {}",
+            seen.len()
+        );
     }
 
     #[test]

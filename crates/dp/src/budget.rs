@@ -184,7 +184,7 @@ mod tests {
         // §4.5: ε_max = ln 2, ε_query = 0.23 ⇒ 3 runs per year.
         let budget = PrivacyBudget::paper_annual_budget();
         assert_eq!(budget.max_queries(0.23), 3);
-        assert!((budget.total() - 0.6931).abs() < 1e-3);
+        assert!((budget.total() - std::f64::consts::LN_2).abs() < 1e-3);
     }
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn boundary_charge_is_allowed() {
-        let mut budget = PrivacyBudget::new(0.6931471805599453);
+        let mut budget = PrivacyBudget::new(std::f64::consts::LN_2);
         for _ in 0..3 {
             budget.charge("run", 0.23).unwrap();
         }

@@ -158,7 +158,10 @@ mod tests {
         let per_iter = acc.budget_per_iteration(eps);
         let per_year = acc.budget_per_year(eps);
         // Appendix B: 0.0014 per iteration, 0.0469 per year.
-        assert!((per_iter - 0.0014).abs() < 1e-4, "per-iteration = {per_iter}");
+        assert!(
+            (per_iter - 0.0014).abs() < 1e-4,
+            "per-iteration = {per_iter}"
+        );
         assert!((per_year - 0.0469).abs() < 1e-3, "per-year = {per_year}");
     }
 
@@ -167,7 +170,10 @@ mod tests {
         let acc = EdgePrivacyAccounting::paper_example();
         let loose = acc.failure_probability((-1e-7f64).exp());
         let tight = acc.failure_probability((-1e-6f64).exp());
-        assert!(loose > tight, "more noise (alpha closer to 1) fails more often");
+        assert!(
+            loose > tight,
+            "more noise (alpha closer to 1) fails more often"
+        );
     }
 
     #[test]

@@ -156,8 +156,15 @@ mod tests {
         }
         let p0_expected = (1.0 - 0.6) / (1.0 + 0.6);
         let p0_observed = zero_count as f64 / n as f64;
-        assert!((p0_observed - p0_expected).abs() < 0.01, "p0 = {p0_observed}");
-        assert!((sum as f64 / n as f64).abs() < 0.05, "mean = {}", sum as f64 / n as f64);
+        assert!(
+            (p0_observed - p0_expected).abs() < 0.01,
+            "p0 = {p0_observed}"
+        );
+        assert!(
+            (sum as f64 / n as f64).abs() < 0.05,
+            "mean = {}",
+            sum as f64 / n as f64
+        );
     }
 
     #[test]

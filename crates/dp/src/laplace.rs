@@ -70,7 +70,10 @@ impl LaplaceMechanism {
     /// The symmetric interval half-width within which the noise stays with
     /// the given (two-sided) confidence: `P(|noise| <= w) = confidence`.
     pub fn noise_bound(&self, confidence: f64) -> f64 {
-        assert!((0.0..1.0).contains(&confidence), "confidence must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&confidence),
+            "confidence must be in [0, 1)"
+        );
         -self.scale() * (1.0 - confidence).ln()
     }
 }

@@ -143,7 +143,11 @@ mod tests {
         let (_, outcome) = absorbed_shock_scenario(&mut rng, ContagionModel::EisenbergNoe);
         // Peripheral shortfalls exist but the core does not fail: fewer
         // than a quarter of the banks are affected.
-        assert!(outcome.report.failed_banks <= 12, "failed = {}", outcome.report.failed_banks);
+        assert!(
+            outcome.report.failed_banks <= 12,
+            "failed = {}",
+            outcome.report.failed_banks
+        );
         // Either way the damage is bounded: far less than a core collapse.
         let mut rng = Xoshiro256::new(0xA55);
         let (_, cascade) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
@@ -155,7 +159,11 @@ mod tests {
         let mut rng = Xoshiro256::new(0xCA5);
         let (_, outcome) = cascade_scenario(&mut rng, ContagionModel::EisenbergNoe);
         assert!(outcome.cascaded, "core shock should propagate");
-        assert!(outcome.report.failed_banks > 7, "failed = {}", outcome.report.failed_banks);
+        assert!(
+            outcome.report.failed_banks > 7,
+            "failed = {}",
+            outcome.report.failed_banks
+        );
         assert!(outcome.report.total_shortfall > 100.0);
     }
 

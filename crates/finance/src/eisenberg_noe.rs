@@ -35,8 +35,12 @@ use dstress_math::Fixed;
 pub fn clearing_vector(net: &FinancialNetwork, max_iterations: u32) -> ShortfallReport {
     let n = net.bank_count();
     let graph = net.graph();
-    let total_debt: Vec<f64> = (0..n).map(|i| net.total_debt(VertexId(i)).to_f64()).collect();
-    let cash: Vec<f64> = (0..n).map(|i| net.bank(VertexId(i)).cash.to_f64()).collect();
+    let total_debt: Vec<f64> = (0..n)
+        .map(|i| net.total_debt(VertexId(i)).to_f64())
+        .collect();
+    let cash: Vec<f64> = (0..n)
+        .map(|i| net.bank(VertexId(i)).cash.to_f64())
+        .collect();
     // Payments start at full obligations.
     let mut payments = total_debt.clone();
     for _ in 0..max_iterations {
@@ -67,7 +71,9 @@ pub fn clearing_vector(net: &FinancialNetwork, max_iterations: u32) -> Shortfall
             break;
         }
     }
-    let per_bank: Vec<f64> = (0..n).map(|i| (total_debt[i] - payments[i]).max(0.0)).collect();
+    let per_bank: Vec<f64> = (0..n)
+        .map(|i| (total_debt[i] - payments[i]).max(0.0))
+        .collect();
     ShortfallReport::from_per_bank(per_bank)
 }
 
@@ -131,9 +137,7 @@ impl VertexProgram for EisenbergNoeProgram<'_> {
     fn aggregate(&self, graph: &Graph, states: &[EnState]) -> f64 {
         graph
             .vertices()
-            .map(|v| {
-                self.network.total_debt(v).to_f64() * (1.0 - states[v.0].prorate.to_f64())
-            })
+            .map(|v| self.network.total_debt(v).to_f64() * (1.0 - states[v.0].prorate.to_f64()))
             .sum()
     }
 
@@ -193,10 +197,16 @@ impl SecureVertexProgram for EisenbergNoeSecure<'_> {
         let w = self.params.word_bits;
         let d = self.degree_bound();
         let mut bits = Vec::with_capacity(self.state_bits() as usize);
-        bits.extend(encode_word(self.params.encode(self.network.bank(v).cash), w));
-        bits.extend(encode_word(self.params.encode(self.network.total_debt(v)), w));
+        bits.extend(encode_word(
+            self.params.encode(self.network.bank(v).cash),
+            w,
+        ));
+        bits.extend(encode_word(
+            self.params.encode(self.network.total_debt(v)),
+            w,
+        ));
         bits.extend(encode_word(self.params.one(), w)); // prorate = 1
-        // Debts to out-neighbours, in slot order, padded with zeros.
+                                                        // Debts to out-neighbours, in slot order, padded with zeros.
         for slot in 0..d {
             let value = graph
                 .out_neighbors(v)
@@ -287,7 +297,8 @@ impl SecureVertexProgram for EisenbergNoeSecure<'_> {
     }
 
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
-        self.params.decode(dstress_circuit::builder::decode_word(bits))
+        self.params
+            .decode(dstress_circuit::builder::decode_word(bits))
     }
 }
 
@@ -315,7 +326,11 @@ mod tests {
         let net = core_periphery(&config, &mut rng);
         let report = clearing_vector(&net, net.bank_count() as u32);
         // Generated banks hold more cash than debt, so everyone pays in full.
-        assert!(report.total_shortfall < 1e-6, "TDS = {}", report.total_shortfall);
+        assert!(
+            report.total_shortfall < 1e-6,
+            "TDS = {}",
+            report.total_shortfall
+        );
         assert_eq!(report.failed_banks, 0);
     }
 
@@ -323,7 +338,11 @@ mod tests {
     fn shock_creates_shortfall() {
         let net = shocked_network(7);
         let report = clearing_vector(&net, net.bank_count() as u32);
-        assert!(report.total_shortfall > 1.0, "TDS = {}", report.total_shortfall);
+        assert!(
+            report.total_shortfall > 1.0,
+            "TDS = {}",
+            report.total_shortfall
+        );
         assert!(report.failed_banks >= 1);
         assert_eq!(report.per_bank.len(), 12);
     }

@@ -33,7 +33,7 @@ pub fn egj_fixpoint(net: &FinancialNetwork, iterations: u32) -> ShortfallReport 
         .collect();
     for _ in 0..iterations {
         let mut next = vec![0.0; n];
-        for i in 0..n {
+        for (i, slot) in next.iter_mut().enumerate() {
             let v = VertexId(i);
             let bank = net.bank(v);
             let mut value = bank.external_assets.to_f64();
@@ -45,7 +45,7 @@ pub fn egj_fixpoint(net: &FinancialNetwork, iterations: u32) -> ShortfallReport 
             if value < bank.threshold.to_f64() {
                 value -= bank.penalty.to_f64();
             }
-            next[i] = value.max(0.0);
+            *slot = value.max(0.0);
         }
         values = next;
     }
@@ -220,7 +220,10 @@ impl SecureVertexProgram for ElliottGolubJacksonSecure<'_> {
             let value = graph
                 .in_neighbors(v)
                 .get(slot)
-                .map(|&from| self.params.encode(self.network.bank(from).initial_valuation))
+                .map(|&from| {
+                    self.params
+                        .encode(self.network.bank(from).initial_valuation)
+                })
                 .unwrap_or(0);
             bits.extend(encode_word(value, w));
         }
@@ -246,7 +249,10 @@ impl SecureVertexProgram for ElliottGolubJacksonSecure<'_> {
 
         // value = base + Σ_d holdings[d] · (1 − discount[d]) · neighborOrig[d]
         let mut value = base.clone();
-        for ((holding, orig), msg) in holdings.iter().zip(neighbor_orig.iter()).zip(messages.iter())
+        for ((holding, orig), msg) in holdings
+            .iter()
+            .zip(neighbor_orig.iter())
+            .zip(messages.iter())
         {
             let kept = b.sub(&one, msg);
             let neighbor_value = b.mul_fixed(&kept, orig, f);
@@ -310,7 +316,8 @@ impl SecureVertexProgram for ElliottGolubJacksonSecure<'_> {
     }
 
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
-        self.params.decode(dstress_circuit::builder::decode_word(bits))
+        self.params
+            .decode(dstress_circuit::builder::decode_word(bits))
     }
 }
 
@@ -336,14 +343,22 @@ mod tests {
         let mut rng = Xoshiro256::new(2);
         let net = core_periphery(&config, &mut rng);
         let report = egj_fixpoint(&net, 20);
-        assert!(report.total_shortfall < 1e-6, "TDS = {}", report.total_shortfall);
+        assert!(
+            report.total_shortfall < 1e-6,
+            "TDS = {}",
+            report.total_shortfall
+        );
     }
 
     #[test]
     fn severe_shock_causes_distress() {
         let net = shocked_network(5, 0.9);
         let report = egj_fixpoint(&net, 20);
-        assert!(report.total_shortfall > 1.0, "TDS = {}", report.total_shortfall);
+        assert!(
+            report.total_shortfall > 1.0,
+            "TDS = {}",
+            report.total_shortfall
+        );
         assert!(report.failed_banks >= 1);
     }
 
@@ -359,7 +374,8 @@ mod tests {
         };
         let trace = execute_reference(net.graph(), &program);
         assert!(
-            (trace.aggregate - reference.total_shortfall).abs() < 0.05 * (1.0 + reference.total_shortfall),
+            (trace.aggregate - reference.total_shortfall).abs()
+                < 0.05 * (1.0 + reference.total_shortfall),
             "vertex program {} vs fixpoint {}",
             trace.aggregate,
             reference.total_shortfall

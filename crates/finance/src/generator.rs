@@ -105,7 +105,7 @@ fn finish_balance_sheets(net: &mut FinancialNetwork, config: &GeneratorConfig) {
         .collect();
     for _ in 0..30 {
         let mut next = vec![0.0; n];
-        for i in 0..n {
+        for (i, slot) in next.iter_mut().enumerate() {
             let v = VertexId(i);
             let mut value = net.bank(v).external_assets.to_f64();
             for &holder in net.graph().in_neighbors(v) {
@@ -113,13 +113,13 @@ fn finish_balance_sheets(net: &mut FinancialNetwork, config: &GeneratorConfig) {
                 let holding = net.exposure(holder, v).holding.to_f64();
                 value += holding * values[holder.0];
             }
-            next[i] = value;
+            *slot = value;
         }
         values = next;
     }
-    for i in 0..n {
+    for (i, &value) in values.iter().enumerate().take(n) {
         let v = VertexId(i);
-        let valuation = Fixed::from_f64(values[i]);
+        let valuation = Fixed::from_f64(value);
         let bank = net.bank_mut(v);
         bank.initial_valuation = valuation;
         bank.threshold = Fixed::from_f64(values[i] * config.threshold_fraction);
@@ -222,8 +222,8 @@ pub fn scale_free(config: &GeneratorConfig, rng: &mut dyn DetRng) -> FinancialNe
     let mut degree = vec![0usize; config.banks];
     for a in 0..seed {
         for b in 0..seed {
-            if a != b {
-                if net
+            if a != b
+                && net
                     .add_exposure(
                         VertexId(a),
                         VertexId(b),
@@ -233,10 +233,9 @@ pub fn scale_free(config: &GeneratorConfig, rng: &mut dyn DetRng) -> FinancialNe
                         },
                     )
                     .is_ok()
-                {
-                    degree[a] += 1;
-                    degree[b] += 1;
-                }
+            {
+                degree[a] += 1;
+                degree[b] += 1;
             }
         }
     }
@@ -259,7 +258,10 @@ pub fn scale_free(config: &GeneratorConfig, rng: &mut dyn DetRng) -> FinancialNe
                 debt: Fixed::from_f64(jitter(config.periphery_exposure, rng)),
                 holding: Fixed::from_f64(0.02 + 0.03 * rng.next_f64()),
             };
-            if net.add_exposure(VertexId(new), VertexId(chosen), exposure).is_ok() {
+            if net
+                .add_exposure(VertexId(new), VertexId(chosen), exposure)
+                .is_ok()
+            {
                 degree[new] += 1;
                 degree[chosen] += 1;
             }
@@ -267,7 +269,10 @@ pub fn scale_free(config: &GeneratorConfig, rng: &mut dyn DetRng) -> FinancialNe
                 debt: Fixed::from_f64(jitter(config.periphery_exposure, rng)),
                 holding: Fixed::from_f64(0.02 + 0.03 * rng.next_f64()),
             };
-            if net.add_exposure(VertexId(chosen), VertexId(new), back).is_ok() {
+            if net
+                .add_exposure(VertexId(chosen), VertexId(new), back)
+                .is_ok()
+            {
                 degree[new] += 1;
                 degree[chosen] += 1;
             }
@@ -314,7 +319,10 @@ pub fn erdos_renyi_financial(
 /// Applies a shock: each bank in `banks` loses `severity` (in `[0, 1]`) of
 /// its cash and external assets.
 pub fn apply_shock(net: &mut FinancialNetwork, banks: &[VertexId], severity: f64) {
-    assert!((0.0..=1.0).contains(&severity), "severity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&severity),
+        "severity must be in [0, 1]"
+    );
     let keep = Fixed::from_f64(1.0 - severity);
     for &v in banks {
         let bank = net.bank_mut(v);
@@ -363,7 +371,9 @@ mod tests {
             assert!(b.penalty.to_f64() > 0.0);
         }
         // Values stay within the default circuit encoding range.
-        assert!(net.max_value().to_f64() < crate::metrics::CircuitParams::default_params().max_value());
+        assert!(
+            net.max_value().to_f64() < crate::metrics::CircuitParams::default_params().max_value()
+        );
     }
 
     #[test]
@@ -377,7 +387,11 @@ mod tests {
         assert!(net.leverage_violations(config.leverage_bound).len() <= 3);
         // And nobody is insolvent before a shock is applied.
         let report = crate::eisenberg_noe::clearing_vector(&net, 50);
-        assert!(report.total_shortfall < 1e-6, "pre-shock TDS = {}", report.total_shortfall);
+        assert!(
+            report.total_shortfall < 1e-6,
+            "pre-shock TDS = {}",
+            report.total_shortfall
+        );
     }
 
     #[test]
@@ -414,7 +428,10 @@ mod tests {
         let after = net.bank(VertexId(0)).cash;
         assert!((after.to_f64() - before.to_f64() * 0.25).abs() < 1e-6);
         // Unshocked banks are untouched.
-        assert_eq!(net.bank(VertexId(1)).cash, net.bank(VertexId(1)).external_assets);
+        assert_eq!(
+            net.bank(VertexId(1)).cash,
+            net.bank(VertexId(1)).external_assets
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
         for value in [0.0f64, 1.0, 13.25, 512.5, 1000.0] {
             let encoded = p.encode(Fixed::from_f64(value));
             let decoded = p.decode(encoded);
-            assert!((decoded - value).abs() <= 1.0 / 32.0, "{value} -> {decoded}");
+            assert!(
+                (decoded - value).abs() <= 1.0 / 32.0,
+                "{value} -> {decoded}"
+            );
         }
         assert_eq!(p.one(), 32);
         assert!(p.max_value() > 2000.0);

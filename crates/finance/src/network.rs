@@ -207,7 +207,10 @@ mod tests {
     fn exposures_and_totals() {
         let net = triangle();
         assert_eq!(net.bank_count(), 3);
-        assert_eq!(net.exposure(VertexId(0), VertexId(1)).debt, Fixed::from_int(30));
+        assert_eq!(
+            net.exposure(VertexId(0), VertexId(1)).debt,
+            Fixed::from_int(30)
+        );
         assert_eq!(net.exposure(VertexId(1), VertexId(0)).debt, Fixed::ZERO);
         assert_eq!(net.total_debt(VertexId(1)), Fixed::from_int(50));
         assert_eq!(net.total_credits(VertexId(1)), Fixed::from_int(30));
@@ -236,7 +239,8 @@ mod tests {
     #[test]
     fn graph_errors_propagate() {
         let mut net = FinancialNetwork::new(2, 1);
-        net.add_exposure(VertexId(0), VertexId(1), Exposure::default()).unwrap();
+        net.add_exposure(VertexId(0), VertexId(1), Exposure::default())
+            .unwrap();
         assert!(net
             .add_exposure(VertexId(0), VertexId(1), Exposure::default())
             .is_err());

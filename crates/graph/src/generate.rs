@@ -28,7 +28,12 @@ pub fn erdos_renyi(n: usize, p: f64, degree_bound: usize, rng: &mut dyn DetRng) 
 
 /// Generates a directed ring with `extra` random chords per vertex,
 /// producing a connected graph with a small, predictable degree.
-pub fn ring_with_chords(n: usize, extra: usize, degree_bound: usize, rng: &mut dyn DetRng) -> Graph {
+pub fn ring_with_chords(
+    n: usize,
+    extra: usize,
+    degree_bound: usize,
+    rng: &mut dyn DetRng,
+) -> Graph {
     assert!(n >= 2, "need at least two vertices");
     let mut g = Graph::new(n, degree_bound);
     for i in 0..n {
@@ -54,7 +59,10 @@ pub fn fixed_out_degree(n: usize, degree: usize, rng: &mut dyn DetRng) -> Graph 
     // In-degree is not strictly bounded by `degree` in this construction,
     // so allow head-room while keeping the declared bound tight enough for
     // benchmarks (2·degree is ample for uniform targets).
-    let mut g = Graph::new(n, (2 * degree).max(degree + 1).min(n.saturating_sub(1)).max(1));
+    let mut g = Graph::new(
+        n,
+        (2 * degree).max(degree + 1).min(n.saturating_sub(1)).max(1),
+    );
     for i in 0..n {
         let mut added = 0;
         let mut guard = 0;

@@ -47,7 +47,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {vertices} vertices)"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
             GraphError::DegreeBoundExceeded { vertex, bound } => {
@@ -257,27 +260,41 @@ mod tests {
         // Third out-edge from vertex 0 exceeds D = 2.
         assert!(matches!(
             g.add_edge(VertexId(0), VertexId(3)).unwrap_err(),
-            GraphError::DegreeBoundExceeded { vertex: 0, bound: 2 }
+            GraphError::DegreeBoundExceeded {
+                vertex: 0,
+                bound: 2
+            }
         ));
         // In-degree is bounded as well.
         let mut g = Graph::new(4, 1);
         g.add_edge(VertexId(1), VertexId(0)).unwrap();
         assert!(matches!(
             g.add_edge(VertexId(2), VertexId(0)).unwrap_err(),
-            GraphError::DegreeBoundExceeded { vertex: 0, bound: 1 }
+            GraphError::DegreeBoundExceeded {
+                vertex: 0,
+                bound: 1
+            }
         ));
     }
 
     #[test]
     fn error_messages() {
         assert!(GraphError::SelfLoop { vertex: 3 }.to_string().contains('3'));
-        assert!(GraphError::DuplicateEdge { from: 1, to: 2 }.to_string().contains("duplicate"));
-        assert!(GraphError::DegreeBoundExceeded { vertex: 0, bound: 7 }
+        assert!(GraphError::DuplicateEdge { from: 1, to: 2 }
             .to_string()
-            .contains('7'));
-        assert!(GraphError::VertexOutOfRange { vertex: 9, vertices: 3 }
-            .to_string()
-            .contains("out of range"));
+            .contains("duplicate"));
+        assert!(GraphError::DegreeBoundExceeded {
+            vertex: 0,
+            bound: 7
+        }
+        .to_string()
+        .contains('7'));
+        assert!(GraphError::VertexOutOfRange {
+            vertex: 9,
+            vertices: 3
+        }
+        .to_string()
+        .contains("out of range"));
         assert_eq!(VertexId(4).to_string(), "v4");
     }
 

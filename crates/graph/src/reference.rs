@@ -135,7 +135,11 @@ mod tests {
             // the final computation step consumes the last messages, so
             // r rounds reach r+1 vertices... the final step consumes round
             // r's messages, giving r+1 hops total.
-            assert_eq!(trace.aggregate, (rounds as f64 + 1.0).min(6.0), "rounds={rounds}");
+            assert_eq!(
+                trace.aggregate,
+                (rounds as f64 + 1.0).min(6.0),
+                "rounds={rounds}"
+            );
             assert_eq!(trace.computation_steps, rounds + 1);
         }
     }

@@ -53,7 +53,9 @@ mod tests {
         assert!(MathError::InvalidModulus.to_string().contains("odd"));
         assert!(MathError::NotInvertible.to_string().contains("invertible"));
         assert!(MathError::InvalidHex.to_string().contains("hex"));
-        assert!(MathError::FixedOverflow { op: "mul" }.to_string().contains("mul"));
+        assert!(MathError::FixedOverflow { op: "mul" }
+            .to_string()
+            .contains("mul"));
         assert!(MathError::DivisionByZero.to_string().contains("division"));
     }
 

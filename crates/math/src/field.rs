@@ -8,7 +8,7 @@
 
 use crate::error::MathError;
 use crate::rng::DetRng;
-use crate::u256::{U256, LIMBS};
+use crate::u256::{LIMBS, U256};
 
 /// An element of `Z_m` stored in Montgomery form.
 ///
@@ -193,6 +193,7 @@ impl FpCtx {
     }
 
     /// Montgomery multiplication (CIOS): returns `a * b * R^{-1} mod m`.
+    #[allow(clippy::needless_range_loop)] // lockstep limb indexing
     fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
         let a_limbs = a.limbs();
         let b_limbs = b.limbs();
@@ -324,7 +325,10 @@ mod tests {
             FpCtx::new(U256::from_u64(100)).unwrap_err(),
             MathError::InvalidModulus
         );
-        assert_eq!(FpCtx::new(U256::ZERO).unwrap_err(), MathError::InvalidModulus);
+        assert_eq!(
+            FpCtx::new(U256::ZERO).unwrap_err(),
+            MathError::InvalidModulus
+        );
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Fixed {
     ///
     /// Returns [`MathError::FixedOverflow`] if the result does not fit.
     pub fn checked_mul(self, rhs: Fixed) -> Result<Fixed, MathError> {
-        let wide = (self.raw as i128) * (rhs.raw as i128) >> FRAC_BITS;
+        let wide = ((self.raw as i128) * (rhs.raw as i128)) >> FRAC_BITS;
         i64::try_from(wide)
             .map(Fixed::from_raw)
             .map_err(|_| MathError::FixedOverflow { op: "mul" })
@@ -176,7 +176,7 @@ impl Fixed {
 
     /// Saturating multiplication.
     pub fn saturating_mul(self, rhs: Fixed) -> Fixed {
-        let wide = (self.raw as i128) * (rhs.raw as i128) >> FRAC_BITS;
+        let wide = ((self.raw as i128) * (rhs.raw as i128)) >> FRAC_BITS;
         Fixed {
             raw: wide.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
         }

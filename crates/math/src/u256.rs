@@ -6,6 +6,10 @@
 //! widening multiplication, comparisons, shifts, bit access and
 //! hex/decimal conversion.  Modular arithmetic lives in [`crate::field`].
 
+// Limb arithmetic reads clearest with explicit indices; iterator forms of
+// the carry/borrow loops obscure the lockstep access to both operands.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::MathError;
 use core::cmp::Ordering;
 use core::fmt;
@@ -23,7 +27,9 @@ impl U256 {
     /// The value zero.
     pub const ZERO: U256 = U256 { limbs: [0; LIMBS] };
     /// The value one.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum representable value (2^256 - 1).
     pub const MAX: U256 = U256 {
         limbs: [u64::MAX; LIMBS],
@@ -166,9 +172,8 @@ impl U256 {
         for i in 0..LIMBS {
             let mut carry = 0u128;
             for j in 0..LIMBS {
-                let acc = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let acc =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }

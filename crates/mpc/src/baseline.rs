@@ -14,7 +14,7 @@
 
 use crate::error::MpcError;
 use crate::gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwProtocol};
-use crate::ot::SimulatedOtExtension;
+use crate::party::OtConfig;
 use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
 use dstress_circuit::{Circuit, CircuitStats};
 use dstress_math::rng::DetRng;
@@ -72,6 +72,7 @@ pub struct BaselineMeasurement {
 /// # Errors
 ///
 /// Propagates GMW configuration/sharing errors.
+#[allow(clippy::too_many_arguments)]
 pub fn run_matrix_multiply(
     n: usize,
     width: u32,
@@ -93,9 +94,8 @@ pub fn run_matrix_multiply(
     }
     let shares = share_inputs(&inputs, parties, rng);
     let protocol = GmwProtocol::new(GmwConfig::with_default_ids(parties))?;
-    let mut ot = SimulatedOtExtension::new();
     let mut traffic = TrafficAccountant::new();
-    let exec = protocol.execute(&circuit, &shares, &mut ot, &mut traffic, rng)?;
+    let exec = protocol.execute(&circuit, &shares, &OtConfig::extension(), &mut traffic, rng)?;
     let output_bits = reconstruct_outputs(&exec.output_shares)?;
     let product: Vec<u64> = output_bits
         .chunks(width as usize)
@@ -187,8 +187,17 @@ mod tests {
         let a = vec![16u64, 32, 0, 16]; // [[1, 2], [0, 1]]
         let b = vec![16u64, 0, 16, 16]; // [[1, 0], [1, 1]]
         let mut rng = Xoshiro256::new(1);
-        let m = run_matrix_multiply(n, width, frac, 3, &a, &b, &CostModel::paper_reference(), &mut rng)
-            .unwrap();
+        let m = run_matrix_multiply(
+            n,
+            width,
+            frac,
+            3,
+            &a,
+            &b,
+            &CostModel::paper_reference(),
+            &mut rng,
+        )
+        .unwrap();
         let expected = plaintext_matrix_multiply(n, frac, &a, &b);
         assert_eq!(m.product.as_deref().unwrap(), expected.as_slice());
         // [[1,2],[0,1]] * [[1,0],[1,1]] = [[3,2],[1,1]]
@@ -241,7 +250,10 @@ mod tests {
         // multiplications gives (1750/25)^3 * 40 * 11 minutes ≈ 287 years.
         let seconds = extrapolate_full_scale(40.0 * 60.0, 25, 1750, 11);
         let years = seconds / (365.25 * 24.0 * 3600.0);
-        assert!((250.0..320.0).contains(&years), "extrapolated {years} years");
+        assert!(
+            (250.0..320.0).contains(&years),
+            "extrapolated {years} years"
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum MpcError {
     },
     /// Output share vectors passed to reconstruction disagree in length.
     OutputShareMismatch,
+    /// The transport driving the per-party state machines stalled (a
+    /// protocol bug: every unfinished party idle with no message in
+    /// flight).
+    Transport(dstress_net::transport::TransportError),
 }
 
 impl fmt::Display for MpcError {
@@ -38,9 +42,13 @@ impl fmt::Display for MpcError {
                 write!(f, "GMW requires at least 2 parties, got {parties}")
             }
             MpcError::InputShareMismatch { expected, actual } => {
-                write!(f, "expected {expected} input share bits per party, got {actual}")
+                write!(
+                    f,
+                    "expected {expected} input share bits per party, got {actual}"
+                )
             }
             MpcError::OutputShareMismatch => write!(f, "output share vectors disagree in length"),
+            MpcError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
@@ -65,14 +73,26 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MpcError::TooFewParties { parties: 1 }.to_string().contains('1'));
-        assert!(MpcError::OutputShareMismatch.to_string().contains("disagree"));
-        assert!(MpcError::InputShareMismatch { expected: 3, actual: 2 }
+        assert!(MpcError::TooFewParties { parties: 1 }
             .to_string()
-            .contains('3'));
+            .contains('1'));
+        assert!(MpcError::OutputShareMismatch
+            .to_string()
+            .contains("disagree"));
+        assert!(MpcError::InputShareMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
         let c: MpcError = CircuitError::InvalidOutput { wire: 2 }.into();
         assert!(c.to_string().contains("circuit"));
         let k: MpcError = CryptoError::MalformedCiphertext.into();
         assert!(k.to_string().contains("crypto"));
+        let t = MpcError::Transport(dstress_net::transport::TransportError::Stalled {
+            done: 1,
+            actors: 3,
+        });
+        assert!(t.to_string().contains("stalled"));
     }
 }

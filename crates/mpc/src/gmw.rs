@@ -10,17 +10,27 @@
 //! node, time linear in block size because the pairwise work proceeds in
 //! parallel — is what produces the shapes of Figures 3 and 4.
 //!
+//! The protocol is implemented as per-party state machines
+//! ([`crate::party::GmwParty`]) driven by a
+//! [`dstress_net::transport::Transport`]: the same parties run
+//! deterministically in process ([`SimTransport`]) or genuinely
+//! concurrently across a worker pool
+//! ([`dstress_net::ThreadedTransport`]), with bit-identical results.
+//! [`GmwProtocol::execute`] is the convenience entry point over the
+//! deterministic backend.
+//!
 //! The executor measures, for every run: per-party bytes sent/received,
 //! the number of OTs and AND gates, and the number of communication
 //! rounds.  Those measurements feed the harness directly.
 
 use crate::error::MpcError;
-use crate::ot::OtProvider;
-use dstress_circuit::{Circuit, CircuitStats, Gate};
+use crate::party::{GmwMessage, GmwParty, OtConfig};
+use dstress_circuit::{Circuit, CircuitStats};
 use dstress_crypto::sharing::{split_xor_bit, xor_reconstruct_bit};
 use dstress_math::rng::DetRng;
 use dstress_net::cost::OperationCounts;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
+use dstress_net::transport::{NodeActor, SimTransport, Transport};
 
 /// Configuration of a GMW execution.
 #[derive(Clone, Debug)]
@@ -97,13 +107,15 @@ impl GmwProtocol {
         self.config.parties
     }
 
-    /// Executes `circuit` on XOR-shared inputs.
+    /// Executes `circuit` on XOR-shared inputs with the deterministic
+    /// in-process transport ([`SimTransport`]).
     ///
     /// `input_shares[p]` holds party `p`'s share of every input bit (so
     /// each inner vector has length `circuit.num_inputs()`, and XORing the
-    /// vectors across parties yields the plaintext inputs).  The OT
-    /// provider supplies the pairwise AND-gate transfers; traffic is
-    /// recorded against the configured node ids.
+    /// vectors across parties yields the plaintext inputs).  The
+    /// [`OtConfig`] selects the provider each party pair instantiates for
+    /// its AND-gate transfers; traffic is recorded against the configured
+    /// node ids.
     ///
     /// # Errors
     ///
@@ -113,9 +125,55 @@ impl GmwProtocol {
         &self,
         circuit: &Circuit,
         input_shares: &[Vec<bool>],
-        ot: &mut dyn OtProvider,
+        ot: &OtConfig,
         traffic: &mut TrafficAccountant,
         rng: &mut dyn DetRng,
+    ) -> Result<GmwExecution, MpcError> {
+        self.execute_on(&SimTransport, circuit, input_shares, ot, traffic, rng)
+    }
+
+    /// Executes `circuit` on the given transport backend, drawing the
+    /// master seed from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InputShareMismatch`] for malformed share
+    /// vectors and [`MpcError::Transport`] if the transport stalls.
+    pub fn execute_on(
+        &self,
+        transport: &dyn Transport<GmwMessage>,
+        circuit: &Circuit,
+        input_shares: &[Vec<bool>],
+        ot: &OtConfig,
+        traffic: &mut TrafficAccountant,
+        rng: &mut dyn DetRng,
+    ) -> Result<GmwExecution, MpcError> {
+        let master_seed = rng.next_u64();
+        self.execute_seeded(transport, circuit, input_shares, ot, traffic, master_seed)
+    }
+
+    /// Executes `circuit` on the given transport backend with an explicit
+    /// master seed.
+    ///
+    /// Every party's randomness and every pair's OT provider derive
+    /// deterministically from `master_seed`, so the same seed produces
+    /// bit-identical output shares and identical [`OperationCounts`] on
+    /// every backend — the invariant the workspace's determinism suite
+    /// asserts across [`SimTransport`] and
+    /// [`dstress_net::ThreadedTransport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InputShareMismatch`] for malformed share
+    /// vectors and [`MpcError::Transport`] if the transport stalls.
+    pub fn execute_seeded(
+        &self,
+        transport: &dyn Transport<GmwMessage>,
+        circuit: &Circuit,
+        input_shares: &[Vec<bool>],
+        ot: &OtConfig,
+        traffic: &mut TrafficAccountant,
+        master_seed: u64,
     ) -> Result<GmwExecution, MpcError> {
         let n = self.config.parties;
         if input_shares.len() != n {
@@ -133,155 +191,50 @@ impl GmwProtocol {
             }
         }
 
-        let ot_counts_before = ot.counts();
-        let mut bytes_sent_per_party = vec![0u64; n];
-
-        // Per-session OT-extension setup for every unordered pair.
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (sender_bytes, receiver_bytes) = ot.session_setup();
-                bytes_sent_per_party[i] += sender_bytes;
-                bytes_sent_per_party[j] += receiver_bytes;
-                if sender_bytes > 0 {
-                    traffic.record(self.config.node_ids[i], self.config.node_ids[j], sender_bytes);
-                }
-                if receiver_bytes > 0 {
-                    traffic.record(self.config.node_ids[j], self.config.node_ids[i], receiver_bytes);
-                }
-            }
-        }
-
-        // Wire shares, indexed [party][wire].
-        let mut shares: Vec<Vec<bool>> = (0..n)
-            .map(|_| Vec::with_capacity(circuit.len()))
+        let mut parties: Vec<GmwParty> = (0..n)
+            .map(|p| {
+                GmwParty::new(
+                    circuit,
+                    p,
+                    self.config.node_ids.clone(),
+                    input_shares[p].clone(),
+                    ot,
+                    master_seed,
+                )
+            })
             .collect();
-        let mut and_gates = 0u64;
-        let mut free_gates = 0u64;
-        // Pairwise traffic accumulated per party for the AND-gate OTs; we
-        // flush it to the accountant once at the end so the hot loop stays
-        // allocation-free.
-        let mut pair_bytes: Vec<u64> = vec![0u64; n];
-
-        for gate in circuit.gates() {
-            match *gate {
-                Gate::Input(idx) => {
-                    for (p, wire_shares) in shares.iter_mut().enumerate() {
-                        wire_shares.push(input_shares[p][idx]);
-                    }
-                }
-                Gate::ConstFalse => {
-                    for wire_shares in shares.iter_mut() {
-                        wire_shares.push(false);
-                    }
-                }
-                Gate::ConstTrue => {
-                    // Party 0 holds the constant; all other shares are zero.
-                    for (p, wire_shares) in shares.iter_mut().enumerate() {
-                        wire_shares.push(p == 0);
-                    }
-                }
-                Gate::Xor(a, b) => {
-                    free_gates += 1;
-                    for wire_shares in shares.iter_mut() {
-                        let v = wire_shares[a] ^ wire_shares[b];
-                        wire_shares.push(v);
-                    }
-                }
-                Gate::Not(a) => {
-                    free_gates += 1;
-                    for (p, wire_shares) in shares.iter_mut().enumerate() {
-                        let v = wire_shares[a] ^ (p == 0);
-                        wire_shares.push(v);
-                    }
-                }
-                Gate::And(a, b) => {
-                    and_gates += 1;
-                    // z_p starts as the local product x_p · y_p.
-                    let mut new_shares: Vec<bool> = (0..n)
-                        .map(|p| shares[p][a] && shares[p][b])
-                        .collect();
-                    // Every unordered pair (i, j) computes shares of
-                    // x_i·y_j ⊕ x_j·y_i with one 1-out-of-4 OT: i is the
-                    // sender with a random mask r, j the receiver choosing
-                    // with (x_j, y_j).
-                    for i in 0..n {
-                        let (x_i, y_i) = (shares[i][a], shares[i][b]);
-                        for j in (i + 1)..n {
-                            let (x_j, y_j) = (shares[j][a], shares[j][b]);
-                            let r = rng.next_bool();
-                            let table = [
-                                r, // (x_j = 0, y_j = 0): contribution 0
-                                r ^ x_i,                 // (0, 1): x_i·y_j
-                                r ^ y_i,                 // (1, 0): y_i·x_j
-                                r ^ x_i ^ y_i,           // (1, 1): both
-                            ];
-                            let outcome = ot.transfer(table, (x_j, y_j));
-                            new_shares[i] ^= r;
-                            new_shares[j] ^= outcome.received;
-                            pair_bytes[i] += outcome.sender_bytes;
-                            pair_bytes[j] += outcome.receiver_bytes;
-                        }
-                    }
-                    for (p, wire_shares) in shares.iter_mut().enumerate() {
-                        wire_shares.push(new_shares[p]);
-                    }
-                }
-            }
+        {
+            let mut actors: Vec<&mut dyn NodeActor<GmwMessage>> = parties
+                .iter_mut()
+                .map(|p| p as &mut dyn NodeActor<GmwMessage>)
+                .collect();
+            transport.run(&mut actors).map_err(MpcError::Transport)?;
         }
 
-        // Flush the pairwise AND-gate traffic.  Within a block every party
-        // talks to every other party; we attribute each party's bytes as
-        // broadcast-style traffic to its peers, which preserves per-node
-        // totals (the quantity the paper reports).
-        for (p, &bytes) in pair_bytes.iter().enumerate() {
-            if bytes == 0 {
-                continue;
-            }
-            bytes_sent_per_party[p] += bytes;
-            let peers = n as u64 - 1;
-            let per_peer = bytes / peers.max(1);
-            let mut remainder = bytes - per_peer * peers;
-            for q in 0..n {
-                if q == p {
-                    continue;
-                }
-                let extra = if remainder > 0 { 1 } else { 0 };
-                remainder = remainder.saturating_sub(1);
-                let amount = per_peer + extra;
-                if amount > 0 {
-                    traffic.record(self.config.node_ids[p], self.config.node_ids[q], amount);
-                }
-            }
+        // Merge the per-party accounting.  Each pair's flows live in
+        // exactly one party's accountant, so the merge is exact; counts
+        // are sums and therefore order-independent.
+        let mut merged_traffic = TrafficAccountant::with_pair_tracking();
+        let mut counts = OperationCounts::default();
+        for party in &parties {
+            merged_traffic.merge(party.traffic());
+            counts.merge(party.counts());
         }
-
         let stats = CircuitStats::of(circuit);
         let rounds = stats.and_depth as u64 + 1;
-
-        let output_shares: Vec<Vec<bool>> = (0..n)
-            .map(|p| circuit.outputs().iter().map(|&o| shares[p][o]).collect())
+        counts.and_gates += stats.and_gates as u64;
+        counts.free_gates += (stats.xor_gates + stats.not_gates) as u64;
+        counts.rounds += rounds;
+        let bytes_sent_per_party: Vec<u64> = self
+            .config
+            .node_ids
+            .iter()
+            .map(|&id| merged_traffic.node(id).bytes_sent)
             .collect();
+        counts.bytes_sent += bytes_sent_per_party.iter().sum::<u64>();
 
-        let ot_counts_after = ot.counts();
-        let mut counts = OperationCounts {
-            and_gates,
-            free_gates,
-            rounds,
-            bytes_sent: bytes_sent_per_party.iter().sum(),
-            ..OperationCounts::default()
-        };
-        // Fold in what the OT provider did during this execution.
-        let ot_delta = OperationCounts {
-            exponentiations: ot_counts_after.exponentiations - ot_counts_before.exponentiations,
-            group_multiplications: ot_counts_after.group_multiplications
-                - ot_counts_before.group_multiplications,
-            base_ots: ot_counts_after.base_ots - ot_counts_before.base_ots,
-            extended_ots: ot_counts_after.extended_ots - ot_counts_before.extended_ots,
-            and_gates: 0,
-            free_gates: 0,
-            bytes_sent: 0,
-            rounds: 0,
-        };
-        counts.add(&ot_delta);
+        let output_shares: Vec<Vec<bool>> = parties.iter().map(GmwParty::output_share).collect();
+        traffic.merge(&merged_traffic);
 
         Ok(GmwExecution {
             output_shares,
@@ -324,10 +277,9 @@ pub fn reconstruct_outputs(output_shares: &[Vec<bool>]) -> Result<Vec<bool>, Mpc
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ot::{ElGamalOt, SimulatedOtExtension};
     use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
     use dstress_circuit::evaluate;
-    use dstress_crypto::group::Group;
+    use dstress_crypto::group::GroupKind;
     use dstress_math::rng::Xoshiro256;
     use proptest::prelude::*;
 
@@ -349,10 +301,15 @@ mod tests {
         let mut rng = Xoshiro256::new(seed);
         let shares = share_inputs(inputs, parties, &mut rng);
         let protocol = GmwProtocol::new(GmwConfig::with_default_ids(parties)).unwrap();
-        let mut ot = SimulatedOtExtension::new();
         let mut traffic = TrafficAccountant::new();
         let exec = protocol
-            .execute(circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .execute(
+                circuit,
+                &shares,
+                &OtConfig::extension(),
+                &mut traffic,
+                &mut rng,
+            )
             .unwrap();
         let outputs = reconstruct_outputs(&exec.output_shares).unwrap();
         (outputs, exec)
@@ -417,10 +374,15 @@ mod tests {
         let mut rng = Xoshiro256::new(3);
         let shares = share_inputs(&inputs, 3, &mut rng);
         let protocol = GmwProtocol::new(GmwConfig::with_default_ids(3)).unwrap();
-        let mut ot = ElGamalOt::new(Group::sim64(), 99);
         let mut traffic = TrafficAccountant::new();
         let exec = protocol
-            .execute(&circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .execute(
+                &circuit,
+                &shares,
+                &OtConfig::elgamal(GroupKind::Sim64),
+                &mut traffic,
+                &mut rng,
+            )
             .unwrap();
         let outputs = reconstruct_outputs(&exec.output_shares).unwrap();
         assert_eq!(decode_word(&outputs), 15);
@@ -431,17 +393,29 @@ mod tests {
     fn input_share_shape_is_checked() {
         let circuit = adder_circuit(4);
         let protocol = GmwProtocol::new(GmwConfig::with_default_ids(3)).unwrap();
-        let mut ot = SimulatedOtExtension::new();
+        let ot = OtConfig::extension();
         let mut traffic = TrafficAccountant::new();
         let mut rng = Xoshiro256::new(1);
         // Wrong number of parties.
         let err = protocol
-            .execute(&circuit, &vec![vec![false; 8]; 2], &mut ot, &mut traffic, &mut rng)
+            .execute(
+                &circuit,
+                &vec![vec![false; 8]; 2],
+                &ot,
+                &mut traffic,
+                &mut rng,
+            )
             .unwrap_err();
         assert!(matches!(err, MpcError::InputShareMismatch { .. }));
         // Wrong number of bits.
         let err = protocol
-            .execute(&circuit, &vec![vec![false; 7]; 3], &mut ot, &mut traffic, &mut rng)
+            .execute(
+                &circuit,
+                &vec![vec![false; 7]; 3],
+                &ot,
+                &mut traffic,
+                &mut rng,
+            )
             .unwrap_err();
         assert!(matches!(err, MpcError::InputShareMismatch { .. }));
     }
@@ -482,10 +456,15 @@ mod tests {
         let shares = share_inputs(&inputs, 3, &mut rng);
         let ids = vec![NodeId(10), NodeId(20), NodeId(30)];
         let protocol = GmwProtocol::new(GmwConfig::with_node_ids(ids.clone())).unwrap();
-        let mut ot = SimulatedOtExtension::new();
         let mut traffic = TrafficAccountant::new();
         let exec = protocol
-            .execute(&circuit, &shares, &mut ot, &mut traffic, &mut rng)
+            .execute(
+                &circuit,
+                &shares,
+                &OtConfig::extension(),
+                &mut traffic,
+                &mut rng,
+            )
             .unwrap();
         for &id in &ids {
             assert!(traffic.node(id).bytes_sent > 0, "node {id} sent nothing");

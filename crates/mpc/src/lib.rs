@@ -14,10 +14,16 @@
 //!   IKNP-style extension (used by the large end-to-end simulations, since
 //!   the paper's own prototype relied on OT extension for exactly this
 //!   reason, §5.3).
-//! * [`gmw`] — the GMW engine itself: XOR-shared wires, free XOR/NOT
-//!   gates, one OT per ordered party pair per AND gate, per-party traffic
-//!   and operation accounting, and helpers for sharing inputs and
-//!   reconstructing outputs.
+//! * [`party`] — the per-party GMW state machine
+//!   ([`party::GmwParty`]): a [`dstress_net::NodeActor`] that evaluates
+//!   free gates locally and exchanges one OT per AND gate with each peer
+//!   through a [`dstress_net::Transport`], so a block's parties can run
+//!   deterministically in process or one-per-thread with bit-identical
+//!   results.
+//! * [`gmw`] — the GMW engine driving those parties: XOR-shared wires,
+//!   free XOR/NOT gates, one OT per unordered party pair per AND gate,
+//!   per-party traffic and operation accounting, and helpers for sharing
+//!   inputs and reconstructing outputs.
 //! * [`baseline`] — the naïve monolithic-MPC baseline of §5.5: an `N×N`
 //!   fixed-point matrix-multiplication circuit evaluated under GMW, plus
 //!   the extrapolation the paper uses to arrive at its "287 years"
@@ -44,7 +50,9 @@ pub mod baseline;
 pub mod error;
 pub mod gmw;
 pub mod ot;
+pub mod party;
 
 pub use error::MpcError;
 pub use gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwExecution, GmwProtocol};
 pub use ot::{ElGamalOt, OtProvider, SimulatedOtExtension};
+pub use party::{GmwMessage, GmwParty, OtConfig};

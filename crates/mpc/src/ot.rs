@@ -115,7 +115,8 @@ impl OtProvider for ElGamalOt {
         // Sender: encrypt each message bit under the matching key.
         let mut cts = Vec::with_capacity(4);
         for (idx, pk) in public_keys.iter().enumerate() {
-            let ct = elgamal::encrypt_exponent(&self.group, pk, messages[idx] as u64, &mut self.rng);
+            let ct =
+                elgamal::encrypt_exponent(&self.group, pk, messages[idx] as u64, &mut self.rng);
             self.counts.exponentiations += 2;
             cts.push(ct);
         }
@@ -237,12 +238,7 @@ impl OtProvider for SimulatedOtExtension {
 /// providers and available to downstream crates' tests.
 pub fn check_ot_correctness(provider: &mut dyn OtProvider) -> bool {
     for mask in 0u32..16 {
-        let messages = [
-            mask & 1 != 0,
-            mask & 2 != 0,
-            mask & 4 != 0,
-            mask & 8 != 0,
-        ];
+        let messages = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0, mask & 8 != 0];
         for c in 0..4usize {
             let choice = (c & 2 != 0, c & 1 != 0);
             let outcome = provider.transfer(messages, choice);

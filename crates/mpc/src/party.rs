@@ -1,0 +1,514 @@
+//! The per-party GMW state machine.
+//!
+//! A [`GmwParty`] is one party's half of the GMW protocol, written as a
+//! resumable [`NodeActor`]: it evaluates free gates locally, and at every
+//! AND gate exchanges one oblivious transfer with each peer through the
+//! transport.  Because each party is a self-contained actor, a block's
+//! parties can run round-robin on one thread
+//! ([`dstress_net::SimTransport`]) or genuinely concurrently, one node
+//! per worker ([`dstress_net::ThreadedTransport`]) — with bit-identical
+//! results, since parties consume messages in a protocol-fixed per-peer
+//! order and draw randomness from their own seeded streams.
+//!
+//! ## Wire protocol
+//!
+//! For every AND gate, each unordered party pair `(i, j)` with `i < j`
+//! performs one 1-out-of-4 OT in which `i` is the sender:
+//!
+//! 1. `j` sends [`GmwMessage::Choice`] (its shares of the gate inputs).
+//! 2. `i` runs the pair's [`OtProvider`], masks with a fresh random bit
+//!    from its own stream, and answers with [`GmwMessage::Response`].
+//!
+//! The lower-indexed party owns the pair's OT provider and accounts the
+//! pair's operation counts and traffic (both directions) in its own
+//! [`TrafficAccountant`]; merging every party's accountant therefore
+//! yields each flow exactly once.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
+//! use dstress_math::rng::Xoshiro256;
+//! use dstress_mpc::gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwProtocol};
+//! use dstress_mpc::party::OtConfig;
+//! use dstress_net::{SimTransport, ThreadedTransport, TrafficAccountant};
+//!
+//! let mut b = CircuitBuilder::new();
+//! let x = b.input_word(8);
+//! let y = b.input_word(8);
+//! let s = b.add(&x, &y);
+//! b.output_word(&s);
+//! let circuit = b.build().unwrap();
+//!
+//! let mut inputs = encode_word(20, 8);
+//! inputs.extend(encode_word(22, 8));
+//! let mut rng = Xoshiro256::new(7);
+//! let shares = share_inputs(&inputs, 3, &mut rng);
+//! let protocol = GmwProtocol::new(GmwConfig::with_default_ids(3)).unwrap();
+//!
+//! // The same parties run on the deterministic backend or a worker pool.
+//! let mut traffic = TrafficAccountant::new();
+//! let sim = protocol
+//!     .execute_seeded(&SimTransport, &circuit, &shares, &OtConfig::extension(), &mut traffic, 99)
+//!     .unwrap();
+//! let mut traffic = TrafficAccountant::new();
+//! let threaded = protocol
+//!     .execute_seeded(
+//!         &ThreadedTransport::with_threads(2),
+//!         &circuit,
+//!         &shares,
+//!         &OtConfig::extension(),
+//!         &mut traffic,
+//!         99,
+//!     )
+//!     .unwrap();
+//!
+//! assert_eq!(sim.output_shares, threaded.output_shares);
+//! assert_eq!(sim.counts, threaded.counts);
+//! assert_eq!(decode_word(&reconstruct_outputs(&sim.output_shares).unwrap()), 42);
+//! ```
+
+use crate::ot::{ElGamalOt, OtProvider, SimulatedOtExtension};
+use dstress_circuit::{Circuit, Gate};
+use dstress_crypto::group::{Group, GroupKind};
+use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
+use dstress_net::cost::OperationCounts;
+use dstress_net::traffic::{NodeId, TrafficAccountant};
+use dstress_net::transport::{ActorStatus, Endpoint, NodeActor};
+
+/// A GMW protocol message, routed between parties by a transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GmwMessage {
+    /// OT receiver → sender: the receiver's shares of the AND-gate inputs
+    /// (its 1-out-of-4 choice).  Flows from the higher-indexed to the
+    /// lower-indexed party of a pair.
+    Choice {
+        /// Sequence number of the AND gate, for in-order delivery checks.
+        gate: u32,
+        /// The receiver's share of the gate's left input.
+        x: bool,
+        /// The receiver's share of the gate's right input.
+        y: bool,
+    },
+    /// OT sender → receiver: the masked table entry the receiver chose.
+    Response {
+        /// Sequence number of the AND gate.
+        gate: u32,
+        /// The received bit.
+        bit: bool,
+    },
+}
+
+/// Which oblivious-transfer provider the parties instantiate per pair.
+///
+/// This replaces the old pattern of threading a single shared
+/// `&mut dyn OtProvider` through a monolithic executor: with per-party
+/// state machines, each unordered pair owns an independent provider
+/// (held by the lower-indexed party), so parties can run on different
+/// threads without sharing mutable state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OtConfig {
+    /// Simulated IKNP-style OT extension with the given statistical
+    /// security parameter κ (the paper's prototype used κ = 80).
+    Extension {
+        /// The statistical security parameter.
+        security_parameter: u32,
+    },
+    /// Real public-key OT over ElGamal in the given group (slow; used by
+    /// crypto-level tests and microbenchmarks).
+    ElGamal {
+        /// The group to instantiate.
+        group: GroupKind,
+    },
+}
+
+impl OtConfig {
+    /// The default provider: OT extension with the paper's κ = 80.
+    pub fn extension() -> Self {
+        OtConfig::Extension {
+            security_parameter: 80,
+        }
+    }
+
+    /// Real ElGamal OT over the given group.
+    pub fn elgamal(group: GroupKind) -> Self {
+        OtConfig::ElGamal { group }
+    }
+
+    /// Instantiates a provider for one party pair.
+    pub fn provider(&self, seed: u64) -> Box<dyn OtProvider + Send> {
+        match *self {
+            OtConfig::Extension { security_parameter } => Box::new(
+                SimulatedOtExtension::with_security_parameter(security_parameter),
+            ),
+            OtConfig::ElGamal { group } => Box::new(ElGamalOt::new(Group::new(group), seed)),
+        }
+    }
+}
+
+impl Default for OtConfig {
+    fn default() -> Self {
+        OtConfig::extension()
+    }
+}
+
+/// Domain tags for [`derive_seed`] streams.
+const TAG_PARTY_RNG: u64 = 0x7061_7274_795F_726E; // "party_rn"
+const TAG_PAIR_OT: u64 = 0x7061_6972_5F6F_745F; // "pair_ot_"
+
+/// Derives an independent sub-seed from a master seed, a domain tag and
+/// an index; used to give every party and every pair its own stream.
+pub fn derive_seed(master: u64, tag: u64, index: u64) -> u64 {
+    let mut sm =
+        SplitMix64::new(master ^ tag.rotate_left(17) ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+    sm.next_u64()
+}
+
+/// In-flight state of the AND gate a party is currently evaluating.
+#[derive(Clone, Copy, Debug)]
+struct AndGateState {
+    /// Left input wire.
+    a: usize,
+    /// Right input wire.
+    b: usize,
+    /// The party's accumulating share of the gate output.
+    share: bool,
+    /// Whether the choice messages to lower-indexed peers went out.
+    choices_sent: bool,
+    /// Next higher-indexed peer whose Choice this party (as OT sender)
+    /// still has to serve.
+    next_sender_peer: usize,
+    /// Next lower-indexed peer whose Response this party (as OT
+    /// receiver) still awaits.
+    next_receiver_peer: usize,
+}
+
+/// One party of a GMW execution, runnable on any transport backend.
+pub struct GmwParty<'c> {
+    circuit: &'c Circuit,
+    index: usize,
+    parties: usize,
+    node_ids: Vec<NodeId>,
+    rng: Xoshiro256,
+    /// OT provider for every pair this party owns (peers with a larger
+    /// index); `None` for peers whose pair the peer owns.
+    ots: Vec<Option<Box<dyn OtProvider + Send>>>,
+    input_share: Vec<bool>,
+    wires: Vec<bool>,
+    counts: OperationCounts,
+    traffic: TrafficAccountant,
+    gate_index: usize,
+    and_seq: u32,
+    and_state: Option<AndGateState>,
+    setup_done: bool,
+    finished: bool,
+}
+
+impl<'c> GmwParty<'c> {
+    /// Creates party `index` of `node_ids.len()` parties.
+    ///
+    /// `input_share` is this party's XOR share of every circuit input.
+    /// All party and pair randomness derives from `master_seed`, so a
+    /// fixed seed yields bit-identical executions on every backend.
+    pub fn new(
+        circuit: &'c Circuit,
+        index: usize,
+        node_ids: Vec<NodeId>,
+        input_share: Vec<bool>,
+        ot: &OtConfig,
+        master_seed: u64,
+    ) -> Self {
+        let parties = node_ids.len();
+        let rng = Xoshiro256::new(derive_seed(master_seed, TAG_PARTY_RNG, index as u64));
+        let ots = (0..parties)
+            .map(|peer| {
+                (peer > index).then(|| {
+                    let pair = (index * parties + peer) as u64;
+                    ot.provider(derive_seed(master_seed, TAG_PAIR_OT, pair))
+                })
+            })
+            .collect();
+        GmwParty {
+            circuit,
+            index,
+            parties,
+            node_ids,
+            rng,
+            ots,
+            input_share,
+            wires: Vec::with_capacity(circuit.len()),
+            counts: OperationCounts::default(),
+            // Pair tracking is cheap at block scale and keeps per-pair
+            // byte flows available to callers that merge into a
+            // pair-tracking accountant.
+            traffic: TrafficAccountant::with_pair_tracking(),
+            gate_index: 0,
+            and_seq: 0,
+            and_state: None,
+            setup_done: false,
+            finished: false,
+        }
+    }
+
+    /// This party's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether the party has completed its protocol role.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The operation counts this party accounted (pair owners account
+    /// their pairs' OT work; gate and round counts are added once at the
+    /// execution level).
+    pub fn counts(&self) -> &OperationCounts {
+        &self.counts
+    }
+
+    /// The traffic this party accounted (each flow of a pair appears in
+    /// exactly one party's accountant).
+    pub fn traffic(&self) -> &TrafficAccountant {
+        &self.traffic
+    }
+
+    /// This party's share of every circuit output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the party has not finished.
+    pub fn output_share(&self) -> Vec<bool> {
+        assert!(self.finished, "party {} has not finished", self.index);
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&wire| self.wires[wire])
+            .collect()
+    }
+
+    /// Charges the per-pair OT session setup for every pair this party
+    /// owns (no messages carry values here; the costs are what matters).
+    fn session_setup(&mut self) {
+        let me = self.node_ids[self.index];
+        for peer in (self.index + 1)..self.parties {
+            let provider = self.ots[peer].as_mut().expect("pair owner has a provider");
+            let before = provider.counts();
+            let (sender_bytes, receiver_bytes) = provider.session_setup();
+            let after = provider.counts();
+            absorb_provider_delta(&mut self.counts, &before, &after);
+            let peer_id = self.node_ids[peer];
+            if sender_bytes > 0 {
+                self.traffic.record(me, peer_id, sender_bytes);
+            }
+            if receiver_bytes > 0 {
+                self.traffic.record(peer_id, me, receiver_bytes);
+            }
+        }
+    }
+
+    /// Drives the in-flight AND gate as far as possible; returns `true`
+    /// when the gate completed and its output share was pushed.
+    fn advance_and_gate(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> bool {
+        let mut st = self.and_state.take().expect("an AND gate is in flight");
+        let x = self.wires[st.a];
+        let y = self.wires[st.b];
+
+        // As OT receiver: announce the choice to every pair owner.
+        if !st.choices_sent {
+            if self.index > 0 {
+                let gate = self.and_seq;
+                let batch: Vec<(usize, GmwMessage)> = (0..self.index)
+                    .map(|owner| (owner, GmwMessage::Choice { gate, x, y }))
+                    .collect();
+                endpoint.send_many(batch);
+            }
+            st.choices_sent = true;
+        }
+
+        // As OT sender (pair owner): serve every higher-indexed peer in
+        // index order.
+        while st.next_sender_peer < self.parties {
+            let peer = st.next_sender_peer;
+            let Some(message) = endpoint.try_recv_from(peer) else {
+                self.and_state = Some(st);
+                return false;
+            };
+            let GmwMessage::Choice { gate, x: xj, y: yj } = message else {
+                panic!(
+                    "party {peer} must send Choice messages to party {}",
+                    self.index
+                );
+            };
+            debug_assert_eq!(gate, self.and_seq, "AND-gate choice out of order");
+            // The sender's mask; the pair's cross terms x_i·y_j ⊕ x_j·y_i
+            // are encoded in the table, indexed by the receiver's choice.
+            let r = self.rng.next_bool();
+            let table = [r, r ^ x, r ^ y, r ^ x ^ y];
+            let provider = self.ots[peer].as_mut().expect("pair owner has a provider");
+            let before = provider.counts();
+            let outcome = provider.transfer(table, (xj, yj));
+            let after = provider.counts();
+            absorb_provider_delta(&mut self.counts, &before, &after);
+            endpoint.send(
+                peer,
+                GmwMessage::Response {
+                    gate: self.and_seq,
+                    bit: outcome.received,
+                },
+            );
+            st.share ^= r;
+            let me = self.node_ids[self.index];
+            let peer_id = self.node_ids[peer];
+            if outcome.sender_bytes > 0 {
+                self.traffic.record(me, peer_id, outcome.sender_bytes);
+            }
+            if outcome.receiver_bytes > 0 {
+                self.traffic.record(peer_id, me, outcome.receiver_bytes);
+            }
+            st.next_sender_peer += 1;
+        }
+
+        // As OT receiver: collect every owner's response in index order.
+        while st.next_receiver_peer < self.index {
+            let owner = st.next_receiver_peer;
+            let Some(message) = endpoint.try_recv_from(owner) else {
+                self.and_state = Some(st);
+                return false;
+            };
+            let GmwMessage::Response { gate, bit } = message else {
+                panic!(
+                    "party {owner} must send Response messages to party {}",
+                    self.index
+                );
+            };
+            debug_assert_eq!(gate, self.and_seq, "AND-gate response out of order");
+            st.share ^= bit;
+            st.next_receiver_peer += 1;
+        }
+
+        self.wires.push(st.share);
+        true
+    }
+}
+
+/// Folds the compute-side delta of an OT provider's counts into a
+/// party's counts.  Bytes and rounds are excluded: bytes are accounted at
+/// the transport boundary via the traffic accountant, and the round
+/// structure is a circuit property added once per execution.
+fn absorb_provider_delta(
+    counts: &mut OperationCounts,
+    before: &OperationCounts,
+    after: &OperationCounts,
+) {
+    counts.exponentiations += after.exponentiations - before.exponentiations;
+    counts.group_multiplications += after.group_multiplications - before.group_multiplications;
+    counts.base_ots += after.base_ots - before.base_ots;
+    counts.extended_ots += after.extended_ots - before.extended_ots;
+}
+
+impl NodeActor<GmwMessage> for GmwParty<'_> {
+    fn poll(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> ActorStatus {
+        if self.finished {
+            return ActorStatus::Done;
+        }
+        if !self.setup_done {
+            self.session_setup();
+            self.setup_done = true;
+        }
+        loop {
+            if self.and_state.is_some() && !self.advance_and_gate(endpoint) {
+                return ActorStatus::Idle;
+            }
+            while self.gate_index < self.circuit.len() {
+                let gate = self.circuit.gates()[self.gate_index];
+                self.gate_index += 1;
+                match gate {
+                    Gate::Input(i) => self.wires.push(self.input_share[i]),
+                    Gate::ConstFalse => self.wires.push(false),
+                    // Party 0 holds constants and NOT flips; all other
+                    // parties' shares are zero.
+                    Gate::ConstTrue => self.wires.push(self.index == 0),
+                    Gate::Xor(a, b) => {
+                        let v = self.wires[a] ^ self.wires[b];
+                        self.wires.push(v);
+                    }
+                    Gate::Not(a) => {
+                        let v = self.wires[a] ^ (self.index == 0);
+                        self.wires.push(v);
+                    }
+                    Gate::And(a, b) => {
+                        self.and_seq = self.and_seq.wrapping_add(1);
+                        self.and_state = Some(AndGateState {
+                            a,
+                            b,
+                            share: self.wires[a] && self.wires[b],
+                            choices_sent: false,
+                            next_sender_peer: self.index + 1,
+                            next_receiver_peer: 0,
+                        });
+                        break;
+                    }
+                }
+            }
+            if self.and_state.is_none() {
+                break;
+            }
+        }
+        self.finished = true;
+        ActorStatus::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_circuit::builder::CircuitBuilder;
+
+    fn tiny_and_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.and(x, y);
+        b.output(z);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ot_config_builds_providers() {
+        let mut ext = OtConfig::extension().provider(1);
+        let outcome = ext.transfer([true, false, true, false], (false, false));
+        assert!(outcome.received);
+        let mut eg = OtConfig::elgamal(GroupKind::Sim64).provider(2);
+        let outcome = eg.transfer([false, true, false, false], (false, true));
+        assert!(outcome.received);
+        assert_eq!(OtConfig::default(), OtConfig::extension());
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(1, TAG_PARTY_RNG, 0);
+        let b = derive_seed(1, TAG_PARTY_RNG, 1);
+        let c = derive_seed(1, TAG_PAIR_OT, 0);
+        let d = derive_seed(2, TAG_PARTY_RNG, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, derive_seed(1, TAG_PARTY_RNG, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "has not finished")]
+    fn output_share_requires_completion() {
+        let circuit = tiny_and_circuit();
+        let party = GmwParty::new(
+            &circuit,
+            0,
+            vec![NodeId(0), NodeId(1)],
+            vec![false, true],
+            &OtConfig::extension(),
+            7,
+        );
+        let _ = party.output_share();
+    }
+}

@@ -1,0 +1,152 @@
+//! The repo's core invariant, proven for the concurrent runtime: GMW
+//! executions are bit-identical across transport backends.
+//!
+//! For random circuits, inputs and seeds, running the same per-party
+//! state machines on the deterministic [`SimTransport`] and on the
+//! multi-threaded [`ThreadedTransport`] must produce identical output
+//! shares, identical [`OperationCounts`], identical per-party byte totals
+//! and identical traffic reports — concurrency may only change
+//! wall-clock, never results.
+
+use dstress_circuit::builder::CircuitBuilder;
+use dstress_circuit::{evaluate, Circuit, WireId};
+use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
+use dstress_mpc::gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwProtocol};
+use dstress_mpc::party::OtConfig;
+use dstress_mpc::GmwExecution;
+use dstress_net::traffic::TrafficAccountant;
+use dstress_net::transport::{SimTransport, ThreadedTransport, Transport};
+use proptest::prelude::*;
+
+/// Builds a random circuit mixing AND / XOR / NOT / MUX gates over a
+/// growing wire pool, with a handful of outputs.
+fn random_circuit(seed: u64, inputs: usize, extra_gates: usize) -> Circuit {
+    let mut rng = SplitMix64::new(seed);
+    let mut builder = CircuitBuilder::new();
+    let mut pool: Vec<WireId> = (0..inputs).map(|_| builder.input()).collect();
+    for _ in 0..extra_gates {
+        let a = pool[rng.next_below(pool.len() as u64) as usize];
+        let b = pool[rng.next_below(pool.len() as u64) as usize];
+        let wire = match rng.next_below(4) {
+            0 => builder.and(a, b),
+            1 => builder.xor(a, b),
+            2 => builder.not(a),
+            _ => {
+                let sel = pool[rng.next_below(pool.len() as u64) as usize];
+                builder.mux(sel, a, b)
+            }
+        };
+        pool.push(wire);
+    }
+    for &wire in pool.iter().rev().take(4) {
+        builder.output(wire);
+    }
+    builder
+        .build()
+        .expect("random circuits are topologically valid")
+}
+
+fn run_on(
+    transport: &dyn Transport<dstress_mpc::GmwMessage>,
+    circuit: &Circuit,
+    shares: &[Vec<bool>],
+    parties: usize,
+    ot: &OtConfig,
+    master_seed: u64,
+) -> (GmwExecution, TrafficAccountant) {
+    let protocol = GmwProtocol::new(GmwConfig::with_default_ids(parties)).unwrap();
+    let mut traffic = TrafficAccountant::new();
+    let exec = protocol
+        .execute_seeded(transport, circuit, shares, ot, &mut traffic, master_seed)
+        .expect("execution succeeds");
+    (exec, traffic)
+}
+
+fn assert_backends_agree(seed: u64, parties: usize, ot: &OtConfig, threads: usize) {
+    let circuit = random_circuit(seed, 3 + (seed % 6) as usize, 12 + (seed % 20) as usize);
+    let mut input_rng = SplitMix64::new(seed ^ 0xC1C0);
+    let inputs: Vec<bool> = (0..circuit.num_inputs())
+        .map(|_| input_rng.next_bool())
+        .collect();
+    let mut share_rng = Xoshiro256::new(seed ^ 0x5EED);
+    let shares = share_inputs(&inputs, parties, &mut share_rng);
+    let master_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+    let (sim, sim_traffic) = run_on(&SimTransport, &circuit, &shares, parties, ot, master_seed);
+    let (thr, thr_traffic) = run_on(
+        &ThreadedTransport::with_threads(threads),
+        &circuit,
+        &shares,
+        parties,
+        ot,
+        master_seed,
+    );
+
+    // Bit-identical shares, not merely identical reconstructions.
+    assert_eq!(sim.output_shares, thr.output_shares, "seed {seed}");
+    assert_eq!(sim.counts, thr.counts, "seed {seed}");
+    assert_eq!(sim.rounds, thr.rounds, "seed {seed}");
+    assert_eq!(
+        sim.bytes_sent_per_party, thr.bytes_sent_per_party,
+        "seed {seed}"
+    );
+    assert_eq!(sim_traffic.report(), thr_traffic.report(), "seed {seed}");
+
+    // Both must also be *correct*: reconstruction equals the plaintext
+    // evaluation.
+    let expected = evaluate(&circuit, &inputs).unwrap();
+    assert_eq!(reconstruct_outputs(&sim.output_shares).unwrap(), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_sim_and_threaded_backends_are_bit_identical(
+        seed in any::<u64>(),
+        parties in 2usize..6,
+        threads in 1usize..5,
+    ) {
+        assert_backends_agree(seed, parties, &OtConfig::extension(), threads);
+    }
+}
+
+#[test]
+fn backends_agree_with_real_elgamal_ot() {
+    assert_backends_agree(
+        0xE16A,
+        3,
+        &OtConfig::elgamal(dstress_crypto::group::GroupKind::Sim64),
+        2,
+    );
+}
+
+#[test]
+fn same_seed_reproduces_across_repeated_threaded_runs() {
+    let circuit = random_circuit(42, 6, 24);
+    let mut input_rng = SplitMix64::new(43);
+    let inputs: Vec<bool> = (0..circuit.num_inputs())
+        .map(|_| input_rng.next_bool())
+        .collect();
+    let mut share_rng = Xoshiro256::new(44);
+    let shares = share_inputs(&inputs, 4, &mut share_rng);
+    let ot = OtConfig::extension();
+    let (a, _) = run_on(
+        &ThreadedTransport::with_threads(4),
+        &circuit,
+        &shares,
+        4,
+        &ot,
+        99,
+    );
+    let (b, _) = run_on(
+        &ThreadedTransport::with_threads(2),
+        &circuit,
+        &shares,
+        4,
+        &ot,
+        99,
+    );
+    assert_eq!(a.output_shares, b.output_shares);
+    assert_eq!(a.counts, b.counts);
+}

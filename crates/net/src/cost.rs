@@ -54,6 +54,16 @@ impl OperationCounts {
         self.rounds += other.rounds;
     }
 
+    /// Merges another set of counts into this one.
+    ///
+    /// Counts are pure sums, so merging is order-independent — the
+    /// property the concurrent runtime relies on when each worker thread
+    /// accounts its own operations and the totals are merged at phase
+    /// end without a global lock.
+    pub fn merge(&mut self, other: &OperationCounts) {
+        self.add(other);
+    }
+
     /// Returns the sum of two sets of counts.
     pub fn combined(&self, other: &OperationCounts) -> OperationCounts {
         let mut out = *self;
@@ -200,7 +210,10 @@ mod tests {
             ..Default::default()
         };
         let t = model.estimate_seconds(&counts);
-        assert!((t - 0.9).abs() < 1e-9, "1000 exponentiations ≈ 0.9 s, got {t}");
+        assert!(
+            (t - 0.9).abs() < 1e-9,
+            "1000 exponentiations ≈ 0.9 s, got {t}"
+        );
     }
 
     #[test]
@@ -212,7 +225,10 @@ mod tests {
             ..Default::default()
         };
         let net = model.estimate_network_seconds(&counts);
-        assert!((net - 1.5).abs() < 1e-9, "1 s bandwidth + 0.5 s latency, got {net}");
+        assert!(
+            (net - 1.5).abs() < 1e-9,
+            "1 s bandwidth + 0.5 s latency, got {net}"
+        );
         assert_eq!(model.estimate_seconds(&counts), net);
     }
 

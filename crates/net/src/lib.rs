@@ -10,7 +10,14 @@
 //!   the traffic numbers in Figures 4–6 are measured, not estimated.
 //! * [`mailbox`] — a typed, deterministic message-passing facility for
 //!   protocol code that wants to exchange actual values between simulated
-//!   nodes (rather than only account for them).
+//!   nodes (rather than only account for them).  It is the queue behind
+//!   [`transport::SimTransport`].
+//! * [`transport`] — the [`transport::Transport`] abstraction: protocol
+//!   code written as per-node actors runs unchanged on the deterministic
+//!   in-process backend ([`transport::SimTransport`]) or on a real worker
+//!   pool with per-node channels ([`transport::ThreadedTransport`]).
+//! * [`pool`] — the worker pool used to execute independent simulation
+//!   tasks (blocks, sweep points) concurrently with deterministic results.
 //! * [`cost`] — the calibrated cost model used to convert operation counts
 //!   (exponentiations, oblivious transfers, bytes, rounds) into projected
 //!   wall-clock time on the paper's reference hardware, which is how the
@@ -33,8 +40,13 @@
 
 pub mod cost;
 pub mod mailbox;
+pub mod pool;
 pub mod traffic;
+pub mod transport;
 
 pub use cost::{CostModel, OperationCounts};
 pub use mailbox::Mailbox;
 pub use traffic::{NodeId, TrafficAccountant, TrafficReport};
+pub use transport::{
+    ActorStatus, Endpoint, NodeActor, SimTransport, ThreadedTransport, Transport, TransportError,
+};

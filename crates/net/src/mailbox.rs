@@ -42,9 +42,26 @@ impl<T> Mailbox<T> {
         self.delivered += 1;
     }
 
+    /// Sends a batch of messages from `from` in one call — the batch
+    /// entry point used by the transport layer to queue a whole protocol
+    /// round at once.
+    pub fn send_many<I: IntoIterator<Item = (NodeId, T)>>(&mut self, from: NodeId, batch: I) {
+        for (to, message) in batch {
+            self.send(from, to, message);
+        }
+    }
+
     /// Receives the oldest pending message for `node`, if any.
     pub fn recv(&mut self, node: NodeId) -> Option<(NodeId, T)> {
         self.queues[node.0].pop_front()
+    }
+
+    /// Receives the oldest pending message for `node` that was sent by
+    /// `from`, preserving per-sender FIFO order.
+    pub fn recv_from(&mut self, node: NodeId, from: NodeId) -> Option<T> {
+        let queue = &mut self.queues[node.0];
+        let position = queue.iter().position(|(sender, _)| *sender == from)?;
+        queue.remove(position).map(|(_, message)| message)
     }
 
     /// Drains every pending message for `node`.
@@ -102,6 +119,32 @@ mod tests {
         assert_eq!(mb.total_delivered(), 2);
         assert_eq!(mb.nodes(), 2);
         assert!(!mb.is_idle());
+    }
+
+    #[test]
+    fn send_many_batches() {
+        let mut mb: Mailbox<u8> = Mailbox::new(3);
+        mb.send_many(
+            NodeId(0),
+            [(NodeId(1), 1u8), (NodeId(2), 2), (NodeId(1), 3)],
+        );
+        assert_eq!(mb.total_delivered(), 3);
+        assert_eq!(mb.drain(NodeId(1)), vec![(NodeId(0), 1), (NodeId(0), 3)]);
+        assert_eq!(mb.recv(NodeId(2)), Some((NodeId(0), 2)));
+    }
+
+    #[test]
+    fn recv_from_is_per_sender_fifo() {
+        let mut mb: Mailbox<u8> = Mailbox::new(3);
+        mb.send(NodeId(1), NodeId(0), 10);
+        mb.send(NodeId(2), NodeId(0), 20);
+        mb.send(NodeId(1), NodeId(0), 11);
+        // Skips node 2's message, preserves node 1's order.
+        assert_eq!(mb.recv_from(NodeId(0), NodeId(1)), Some(10));
+        assert_eq!(mb.recv_from(NodeId(0), NodeId(1)), Some(11));
+        assert_eq!(mb.recv_from(NodeId(0), NodeId(1)), None);
+        assert_eq!(mb.recv_from(NodeId(0), NodeId(2)), Some(20));
+        assert!(mb.is_idle());
     }
 
     #[test]

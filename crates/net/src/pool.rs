@@ -1,0 +1,108 @@
+//! A minimal worker pool for embarrassingly-parallel simulation work.
+//!
+//! The engine uses this to execute independent blocks concurrently and the
+//! benchmark harness uses it to fan figure sweeps out over parameter
+//! points.  The pool is deliberately tiny: scoped threads, a shared work
+//! queue, results returned in input order so that callers stay
+//! deterministic regardless of scheduling.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_net::pool::{default_threads, parallel_map};
+//!
+//! let squares = parallel_map((0u64..8).collect(), 4, |_idx, x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! assert!(default_threads() >= 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One worker per available hardware thread (at least one).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` workers and returns
+/// the results in input order.
+///
+/// `f` receives `(index, item)` so callers can derive per-task seeds from
+/// the input position.  With `threads <= 1` (or a single item) everything
+/// runs inline on the calling thread — the deterministic "sequential"
+/// mode is literally the same code path with a pool of one.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("pool queue poisoned").pop_front();
+                let Some((index, item)) = job else { break };
+                let result = f(index, item);
+                results.lock().expect("pool results poisoned")[index] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("pool results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every slot filled by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..100u64).collect(), 8, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_when_single_threaded() {
+        let out = parallel_map(vec![1, 2, 3], 1, |_i, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |_i, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], 4, |_i, x| x), vec![7]);
+    }
+
+    #[test]
+    fn matches_sequential_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq = parallel_map(items.clone(), 1, |i, x| x.wrapping_mul(i as u64 + 1));
+        let par = parallel_map(items, 4, |i, x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(seq, par);
+    }
+}

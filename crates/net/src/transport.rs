@@ -1,0 +1,623 @@
+//! The transport abstraction: how simulated nodes exchange protocol
+//! messages.
+//!
+//! Protocol components in this workspace are written as *node actors*:
+//! resumable state machines that make as much progress as they can, send
+//! messages through an [`Endpoint`], and yield ([`ActorStatus::Idle`])
+//! whenever they are waiting for a message that has not arrived yet.  A
+//! [`Transport`] takes a set of actors (one per simulated node, addressed
+//! by dense local indices `0..n`) and drives them to completion.
+//!
+//! Two backends are provided:
+//!
+//! * [`SimTransport`] — the deterministic in-process backend.  All actors
+//!   run on the calling thread, round-robin, with messages queued in a
+//!   [`Mailbox`].  This is the reference backend: its schedule is fully
+//!   deterministic, and a stalled protocol (every actor idle with no
+//!   message in flight) is reported as [`TransportError::Stalled`] rather
+//!   than deadlocking.
+//! * [`ThreadedTransport`] — real concurrency.  Nodes are sharded across
+//!   a worker pool (sized by [`std::thread::available_parallelism`] by
+//!   default) and exchange messages over per-node [`std::sync::mpsc`]
+//!   channels.
+//!
+//! Actors must be written so that their *outputs* do not depend on the
+//! schedule: they may only consume messages via
+//! [`Endpoint::try_recv_from`] (per-peer FIFO order, which both backends
+//! guarantee), never on cross-peer arrival order.  Under that discipline
+//! the two backends produce bit-identical results — the property the
+//! workspace's determinism suite asserts for the GMW engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_net::transport::{
+//!     ActorStatus, Endpoint, NodeActor, SimTransport, ThreadedTransport, Transport,
+//! };
+//!
+//! /// Node 0 sends a number to node 1, which doubles and echoes it back.
+//! struct Pinger(Option<u64>);
+//! struct Echoer(bool);
+//!
+//! impl NodeActor<u64> for Pinger {
+//!     fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+//!         if self.0.is_none() {
+//!             ep.send(1, 21);
+//!             match ep.try_recv_from(1) {
+//!                 Some(v) => self.0 = Some(v),
+//!                 None => return ActorStatus::Idle,
+//!             }
+//!         }
+//!         ActorStatus::Done
+//!     }
+//! }
+//!
+//! impl NodeActor<u64> for Echoer {
+//!     fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+//!         match ep.try_recv_from(0) {
+//!             Some(v) => {
+//!                 ep.send(0, 2 * v);
+//!                 self.0 = true;
+//!                 ActorStatus::Done
+//!             }
+//!             None => ActorStatus::Idle,
+//!         }
+//!     }
+//! }
+//!
+//! for transport in [
+//!     Box::new(SimTransport) as Box<dyn Transport<u64>>,
+//!     Box::new(ThreadedTransport::with_threads(2)),
+//! ] {
+//!     let mut pinger = Pinger(None);
+//!     let mut echoer = Echoer(false);
+//!     {
+//!         let mut actors: Vec<&mut dyn NodeActor<u64>> = vec![&mut pinger, &mut echoer];
+//!         transport.run(&mut actors).unwrap();
+//!     }
+//!     assert_eq!(pinger.0, Some(42));
+//! }
+//! ```
+
+use crate::mailbox::Mailbox;
+use crate::traffic::NodeId;
+use core::fmt;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// What an actor reports after a [`NodeActor::poll`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActorStatus {
+    /// The actor is blocked waiting for a message that has not arrived.
+    Idle,
+    /// The actor has finished its protocol role; it will not be polled
+    /// again.
+    Done,
+}
+
+/// A resumable protocol state machine bound to one simulated node.
+///
+/// `poll` must make as much progress as possible: process every available
+/// message, send everything it can, and return [`ActorStatus::Idle`] only
+/// when genuinely blocked on a missing message.  Implementations must be
+/// schedule-independent: consume messages only through
+/// [`Endpoint::try_recv_from`] in an order fixed by the protocol itself.
+pub trait NodeActor<M>: Send {
+    /// Advances the actor as far as it can go.
+    fn poll(&mut self, endpoint: &mut dyn Endpoint<M>) -> ActorStatus;
+}
+
+/// A node's handle onto the transport: send to peers, receive from a
+/// specific peer.
+///
+/// Nodes are addressed by dense local indices `0..nodes()`; mapping local
+/// indices to global [`NodeId`]s (for traffic accounting) is the actor's
+/// business, which keeps the transport payload-agnostic.
+pub trait Endpoint<M> {
+    /// Number of nodes attached to this transport run.
+    fn nodes(&self) -> usize;
+
+    /// Sends `message` to local node `to`.  Sends never block.
+    fn send(&mut self, to: usize, message: M);
+
+    /// Sends a batch of messages in one call (the batch entry point used
+    /// by round-structured protocols to queue a whole round at once).
+    fn send_many(&mut self, batch: Vec<(usize, M)>) {
+        for (to, message) in batch {
+            self.send(to, message);
+        }
+    }
+
+    /// Receives the oldest undelivered message *from `peer`*, if any.
+    ///
+    /// Messages from one peer are always delivered in the order they were
+    /// sent; ordering across different peers is unspecified (and actors
+    /// must not depend on it).
+    fn try_recv_from(&mut self, peer: usize) -> Option<M>;
+}
+
+/// Errors reported by a transport run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// Every unfinished actor is idle and no message is in flight (a
+    /// protocol bug: the run can never complete).
+    Stalled {
+        /// Actors that had finished when the stall was detected.
+        done: usize,
+        /// Total actors in the run.
+        actors: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Stalled { done, actors } => write!(
+                f,
+                "transport stalled: {done}/{actors} actors done, rest idle with no messages in flight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A backend that drives a set of node actors to completion.
+pub trait Transport<M: Send> {
+    /// Short backend name, for logs and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs every actor until all are [`ActorStatus::Done`].
+    ///
+    /// Actor `i` is local node `i`.  The actors are borrowed, not
+    /// consumed, so the caller can extract their results afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Stalled`] if the protocol can never
+    /// complete (all remaining actors idle, no messages in flight).
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError>;
+}
+
+// ---------------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------------
+
+/// The deterministic single-threaded backend, built on [`Mailbox`].
+///
+/// Actors are polled round-robin in index order; messages go through a
+/// `Mailbox` (per-recipient FIFO queues).  The schedule — and therefore
+/// every observable of a run — is fully deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimTransport;
+
+struct SimEndpoint<'a, M> {
+    node: usize,
+    mailbox: &'a mut Mailbox<M>,
+    /// Sends plus successful receives, used for stall detection.
+    activity: &'a mut u64,
+}
+
+impl<M> Endpoint<M> for SimEndpoint<'_, M> {
+    fn nodes(&self) -> usize {
+        self.mailbox.nodes()
+    }
+
+    fn send(&mut self, to: usize, message: M) {
+        *self.activity += 1;
+        self.mailbox.send(NodeId(self.node), NodeId(to), message);
+    }
+
+    fn send_many(&mut self, batch: Vec<(usize, M)>) {
+        *self.activity += batch.len() as u64;
+        self.mailbox.send_many(
+            NodeId(self.node),
+            batch.into_iter().map(|(to, m)| (NodeId(to), m)),
+        );
+    }
+
+    fn try_recv_from(&mut self, peer: usize) -> Option<M> {
+        let message = self.mailbox.recv_from(NodeId(self.node), NodeId(peer));
+        if message.is_some() {
+            *self.activity += 1;
+        }
+        message
+    }
+}
+
+impl<M: Send> Transport<M> for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError> {
+        let n = actors.len();
+        let mut mailbox: Mailbox<M> = Mailbox::new(n);
+        let mut done = vec![false; n];
+        let mut done_count = 0usize;
+        while done_count < n {
+            let mut activity = 0u64;
+            for (i, actor) in actors.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let mut endpoint = SimEndpoint {
+                    node: i,
+                    mailbox: &mut mailbox,
+                    activity: &mut activity,
+                };
+                if actor.poll(&mut endpoint) == ActorStatus::Done {
+                    done[i] = true;
+                    done_count += 1;
+                    activity += 1;
+                }
+            }
+            if activity == 0 {
+                return Err(TransportError::Stalled {
+                    done: done_count,
+                    actors: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedTransport
+// ---------------------------------------------------------------------------
+
+/// The multi-threaded backend: per-node mpsc channels, nodes sharded
+/// across a worker pool.
+///
+/// Workers poll their shard of actors in a loop; an actor whose messages
+/// have not arrived yet simply yields until they do.  With actors that
+/// follow the [`NodeActor`] schedule-independence discipline, the results
+/// are bit-identical to [`SimTransport`] — only the wall-clock differs.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedTransport {
+    threads: usize,
+}
+
+impl ThreadedTransport {
+    /// A pool with one worker per available core.
+    pub fn new() -> Self {
+        ThreadedTransport {
+            threads: crate::pool::default_threads(),
+        }
+    }
+
+    /// A pool with an explicit worker count (at least one is used).
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadedTransport {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ThreadedTransport {
+    fn default() -> Self {
+        ThreadedTransport::new()
+    }
+}
+
+/// How long a worker tolerates zero progress across its whole shard
+/// before declaring the run stalled.  Generous: it only matters for
+/// protocol bugs, which the deterministic [`SimTransport`] surfaces first
+/// in any well-tested code path.
+const STALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct ThreadedEndpoint<M> {
+    node: usize,
+    peers: Vec<mpsc::Sender<(usize, M)>>,
+    inbox: mpsc::Receiver<(usize, M)>,
+    /// Per-peer reorder buffers: the mpsc channel interleaves senders, but
+    /// `try_recv_from` must expose per-peer FIFO streams.
+    buffers: Vec<VecDeque<M>>,
+    activity: u64,
+}
+
+impl<M> Endpoint<M> for ThreadedEndpoint<M> {
+    fn nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: usize, message: M) {
+        self.activity += 1;
+        // A closed peer channel means that actor already finished; its
+        // protocol role no longer needs the message.
+        let _ = self.peers[to].send((self.node, message));
+    }
+
+    fn try_recv_from(&mut self, peer: usize) -> Option<M> {
+        while let Ok((from, message)) = self.inbox.try_recv() {
+            self.buffers[from].push_back(message);
+        }
+        let message = self.buffers[peer].pop_front();
+        if message.is_some() {
+            self.activity += 1;
+        }
+        message
+    }
+}
+
+/// Consecutive no-progress polling passes a worker tolerates before it
+/// backs off from `yield_now` spinning to millisecond sleeps (so a peer
+/// worker stuck in a long computation — or a stall running out the
+/// timeout — does not burn a core).
+const SPIN_PASSES_BEFORE_SLEEP: u32 = 256;
+
+/// State shared by the workers of one run, used for *global* stall
+/// detection: a run is declared stalled only when every worker is parked
+/// idle (or has finished its shard) and no progress event has happened
+/// anywhere for [`STALL_TIMEOUT`].  A single busy worker — e.g. one
+/// actor deep in a long computation — keeps the whole run alive.
+struct WorkerShared {
+    /// Progress events (sends, receives, completions) across all workers.
+    progress: AtomicU64,
+    /// Workers currently parked idle, plus workers that finished.
+    idle_workers: AtomicUsize,
+    /// Total workers in the run.
+    workers: usize,
+    /// Set when a stall was detected; all workers bail out.
+    failed: AtomicBool,
+}
+
+fn run_worker<M>(
+    shard: &mut [&mut dyn NodeActor<M>],
+    mut endpoints: Vec<ThreadedEndpoint<M>>,
+    shared: &WorkerShared,
+) -> usize {
+    let mut done = vec![false; shard.len()];
+    let mut remaining = shard.len();
+    let mut parked_idle = false;
+    let mut idle_passes = 0u32;
+    let mut seen_progress = shared.progress.load(Ordering::Relaxed);
+    let mut last_global_change = Instant::now();
+    while remaining > 0 {
+        if shared.failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut progress = false;
+        for (k, endpoint) in endpoints.iter_mut().enumerate() {
+            if done[k] {
+                continue;
+            }
+            let before = endpoint.activity;
+            if shard[k].poll(endpoint) == ActorStatus::Done {
+                done[k] = true;
+                remaining -= 1;
+                progress = true;
+            } else if endpoint.activity != before {
+                progress = true;
+            }
+        }
+        if progress {
+            shared.progress.fetch_add(1, Ordering::Relaxed);
+            if parked_idle {
+                shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
+                parked_idle = false;
+            }
+            idle_passes = 0;
+        } else {
+            if !parked_idle {
+                shared.idle_workers.fetch_add(1, Ordering::Relaxed);
+                parked_idle = true;
+            }
+            let now_progress = shared.progress.load(Ordering::Relaxed);
+            if now_progress != seen_progress {
+                seen_progress = now_progress;
+                last_global_change = Instant::now();
+            } else if shared.idle_workers.load(Ordering::Relaxed) == shared.workers
+                && last_global_change.elapsed() > STALL_TIMEOUT
+            {
+                shared.failed.store(true, Ordering::Relaxed);
+                break;
+            }
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes > SPIN_PASSES_BEFORE_SLEEP {
+                std::thread::sleep(Duration::from_millis(1));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    // A finished worker counts as idle so that peers blocked on a true
+    // deadlock can still see "everyone idle" and time out.
+    if !parked_idle {
+        shared.idle_workers.fetch_add(1, Ordering::Relaxed);
+    }
+    shard.len() - remaining
+}
+
+impl<M: Send> Transport<M> for ThreadedTransport {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError> {
+        let n = actors.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<(usize, M)>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut endpoints: Vec<ThreadedEndpoint<M>> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(node, inbox)| ThreadedEndpoint {
+                node,
+                peers: senders.clone(),
+                inbox,
+                buffers: (0..n).map(|_| VecDeque::new()).collect(),
+                activity: 0,
+            })
+            .collect();
+        // Drop the template senders so channels close once all endpoints
+        // are gone.
+        drop(senders);
+
+        let workers = self.threads.clamp(1, n);
+        let shard_size = n.div_ceil(workers);
+        let shared = WorkerShared {
+            progress: AtomicU64::new(0),
+            idle_workers: AtomicUsize::new(0),
+            workers: n.div_ceil(shard_size),
+            failed: AtomicBool::new(false),
+        };
+        let completed: usize = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut rest: &mut [&mut dyn NodeActor<M>] = actors;
+            while !rest.is_empty() {
+                let take = shard_size.min(rest.len());
+                let (shard, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                let shard_endpoints: Vec<_> = endpoints.drain(..take).collect();
+                let shared = &shared;
+                handles.push(scope.spawn(move || run_worker(shard, shard_endpoints, shared)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transport worker panicked"))
+                .sum()
+        });
+        if shared.failed.load(Ordering::Relaxed) {
+            return Err(TransportError::Stalled {
+                done: completed,
+                actors: n,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node sends its index to every other node, then sums what it
+    /// receives from each peer in index order.
+    struct Summer {
+        node: usize,
+        nodes: usize,
+        sent: bool,
+        next_peer: usize,
+        sum: u64,
+    }
+
+    impl Summer {
+        fn new(node: usize, nodes: usize) -> Self {
+            Summer {
+                node,
+                nodes,
+                sent: false,
+                next_peer: 0,
+                sum: 0,
+            }
+        }
+    }
+
+    impl NodeActor<u64> for Summer {
+        fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+            if !self.sent {
+                let batch: Vec<(usize, u64)> = (0..self.nodes)
+                    .filter(|&p| p != self.node)
+                    .map(|p| (p, self.node as u64))
+                    .collect();
+                ep.send_many(batch);
+                self.sent = true;
+            }
+            while self.next_peer < self.nodes {
+                if self.next_peer == self.node {
+                    self.next_peer += 1;
+                    continue;
+                }
+                match ep.try_recv_from(self.next_peer) {
+                    Some(v) => {
+                        self.sum += v;
+                        self.next_peer += 1;
+                    }
+                    None => return ActorStatus::Idle,
+                }
+            }
+            ActorStatus::Done
+        }
+    }
+
+    fn run_summers(transport: &dyn Transport<u64>, n: usize) -> Vec<u64> {
+        let mut actors: Vec<Summer> = (0..n).map(|i| Summer::new(i, n)).collect();
+        {
+            let mut refs: Vec<&mut dyn NodeActor<u64>> = actors
+                .iter_mut()
+                .map(|a| a as &mut dyn NodeActor<u64>)
+                .collect();
+            transport.run(&mut refs).unwrap();
+        }
+        actors.iter().map(|a| a.sum).collect()
+    }
+
+    #[test]
+    fn sim_all_to_all_sums() {
+        let sums = run_summers(&SimTransport, 5);
+        // Each node receives 0+1+2+3+4 minus its own index.
+        for (i, sum) in sums.iter().enumerate() {
+            assert_eq!(*sum, 10 - i as u64);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sim() {
+        for threads in [1, 2, 4] {
+            let threaded = run_summers(&ThreadedTransport::with_threads(threads), 6);
+            let sim = run_summers(&SimTransport, 6);
+            assert_eq!(threaded, sim, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_run_completes() {
+        let mut refs: Vec<&mut dyn NodeActor<u64>> = Vec::new();
+        assert!(SimTransport.run(&mut refs).is_ok());
+        assert!(ThreadedTransport::new().run(&mut refs).is_ok());
+        assert!(ThreadedTransport::default().threads() >= 1);
+        assert_eq!(<SimTransport as Transport<u64>>::name(&SimTransport), "sim");
+        assert_eq!(
+            <ThreadedTransport as Transport<u64>>::name(&ThreadedTransport::new()),
+            "threaded"
+        );
+    }
+
+    /// An actor that waits forever for a message nobody sends.
+    struct Starved;
+
+    impl NodeActor<u64> for Starved {
+        fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+            match ep.try_recv_from(0) {
+                Some(_) => ActorStatus::Done,
+                None => ActorStatus::Idle,
+            }
+        }
+    }
+
+    #[test]
+    fn sim_detects_stall() {
+        let mut a = Starved;
+        let mut b = Starved;
+        let mut refs: Vec<&mut dyn NodeActor<u64>> = vec![&mut a, &mut b];
+        let err = SimTransport.run(&mut refs).unwrap_err();
+        assert_eq!(err, TransportError::Stalled { done: 0, actors: 2 });
+        assert!(err.to_string().contains("stalled"));
+    }
+}

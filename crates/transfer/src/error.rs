@@ -51,7 +51,10 @@ impl fmt::Display for TransferError {
                 write!(f, "block certificate has the wrong shape")
             }
             TransferError::DecryptionFailure => {
-                write!(f, "noised sum fell outside the discrete-log window (P_fail event)")
+                write!(
+                    f,
+                    "noised sum fell outside the discrete-log window (P_fail event)"
+                )
             }
             TransferError::BadSignature => write!(f, "trusted-party signature check failed"),
         }
@@ -78,15 +81,27 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(TransferError::DecryptionFailure.to_string().contains("P_fail"));
-        assert!(TransferError::BadSignature.to_string().contains("signature"));
-        assert!(TransferError::NotEnoughNodes { nodes: 3, block_size: 8 }
+        assert!(TransferError::DecryptionFailure
             .to_string()
-            .contains('8'));
-        assert!(TransferError::BlockSizeMismatch { expected: 4, actual: 2 }
+            .contains("P_fail"));
+        assert!(TransferError::BadSignature
             .to_string()
-            .contains('4'));
-        assert!(TransferError::CertificateShapeMismatch.to_string().contains("shape"));
+            .contains("signature"));
+        assert!(TransferError::NotEnoughNodes {
+            nodes: 3,
+            block_size: 8
+        }
+        .to_string()
+        .contains('8'));
+        assert!(TransferError::BlockSizeMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(TransferError::CertificateShapeMismatch
+            .to_string()
+            .contains("shape"));
         let e: TransferError = CryptoError::MalformedCiphertext.into();
         assert!(e.to_string().contains("crypto"));
         let e: TransferError = MathError::InvalidHex.into();

@@ -37,6 +37,7 @@ use dstress_dp::geometric::TwoSidedGeometric;
 use dstress_math::rng::DetRng;
 use dstress_math::U256;
 use dstress_net::cost::OperationCounts;
+use dstress_net::mailbox::Mailbox;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 
 /// Which revision of the transfer protocol to run.
@@ -153,28 +154,71 @@ pub fn transfer_message(
             actual: receiver_block.size(),
         });
     }
-    if certificate.keys.len() != block_size
-        || certificate.keys.iter().any(|k| k.len() != bits)
-    {
+    if certificate.keys.len() != block_size || certificate.keys.iter().any(|k| k.len() != bits) {
         return Err(TransferError::CertificateShapeMismatch);
     }
 
     match config.variant {
         ProtocolVariant::Strawman1 => strawman1(
-            group, config, sender_vertex, receiver_vertex, sender_block, receiver_block,
-            sender_shares, node_secrets, certificate, neighbor_key, dlog, traffic, rng,
+            group,
+            config,
+            sender_vertex,
+            receiver_vertex,
+            sender_block,
+            receiver_block,
+            sender_shares,
+            node_secrets,
+            certificate,
+            neighbor_key,
+            dlog,
+            traffic,
+            rng,
         ),
         ProtocolVariant::Strawman2 => strawman2(
-            group, config, sender_vertex, receiver_vertex, sender_block, receiver_block,
-            sender_shares, node_secrets, certificate, neighbor_key, dlog, traffic, rng,
+            group,
+            config,
+            sender_vertex,
+            receiver_vertex,
+            sender_block,
+            receiver_block,
+            sender_shares,
+            node_secrets,
+            certificate,
+            neighbor_key,
+            dlog,
+            traffic,
+            rng,
         ),
         ProtocolVariant::Strawman3 => bitwise_protocol(
-            group, config, None, sender_vertex, receiver_vertex, sender_block, receiver_block,
-            sender_shares, node_secrets, certificate, neighbor_key, dlog, traffic, rng,
+            group,
+            config,
+            None,
+            sender_vertex,
+            receiver_vertex,
+            sender_block,
+            receiver_block,
+            sender_shares,
+            node_secrets,
+            certificate,
+            neighbor_key,
+            dlog,
+            traffic,
+            rng,
         ),
         ProtocolVariant::Final { alpha } => bitwise_protocol(
-            group, config, Some(alpha), sender_vertex, receiver_vertex, sender_block,
-            receiver_block, sender_shares, node_secrets, certificate, neighbor_key, dlog, traffic,
+            group,
+            config,
+            Some(alpha),
+            sender_vertex,
+            receiver_vertex,
+            sender_block,
+            receiver_block,
+            sender_shares,
+            node_secrets,
+            certificate,
+            neighbor_key,
+            dlog,
+            traffic,
             rng,
         ),
     }
@@ -237,9 +281,8 @@ fn strawman1(
         let value = dlog
             .lookup(group, elem)
             .map_err(|_| TransferError::DecryptionFailure)?;
-        receiver_shares.push(
-            BitMessage::new(value, config.message_bits).map_err(TransferError::Crypto)?,
-        );
+        receiver_shares
+            .push(BitMessage::new(value, config.message_bits).map_err(TransferError::Crypto)?);
     }
     counts.rounds += 3;
 
@@ -311,9 +354,8 @@ fn strawman2(
             let value = dlog
                 .lookup(group, elem)
                 .map_err(|_| TransferError::DecryptionFailure)?;
-            share = share.xor(
-                &BitMessage::new(value, config.message_bits).map_err(TransferError::Crypto)?,
-            );
+            share = share
+                .xor(&BitMessage::new(value, config.message_bits).map_err(TransferError::Crypto)?);
         }
         receiver_shares.push(share);
     }
@@ -325,8 +367,61 @@ fn strawman2(
     })
 }
 
+/// A message of the bitwise transfer protocol, routed between the
+/// participants through the simulated network's [`Mailbox`] (the same
+/// queue that backs `dstress_net`'s `SimTransport`).
+enum TransferMsg {
+    /// Sender member → vertex `i`: the encrypted, bit-decomposed
+    /// sub-share destined for receiver member `receiver` (shared
+    /// ephemeral, one ciphertext per bit).
+    SubShares {
+        /// Index of the receiver-block member this bundle is for.
+        receiver: usize,
+        /// One ciphertext per message bit.
+        bits: Vec<Ciphertext>,
+    },
+    /// Vertex `i` → vertex `j`: the homomorphically aggregated (and, in
+    /// the final protocol, noised) ciphertexts, per receiver member and
+    /// bit.
+    Aggregated(Vec<Vec<Ciphertext>>),
+    /// Vertex `j` → receiver member: that member's adjusted ciphertexts,
+    /// one per bit.
+    Adjusted(Vec<Ciphertext>),
+}
+
+/// Local mailbox addresses of the transfer participants: sender-block
+/// members first, then the two edge endpoints, then the receiver-block
+/// members.  (Global [`NodeId`]s are only used for traffic accounting;
+/// blocks may contain arbitrary node ids, so the in-flight messages use
+/// dense local indices.)
+struct TransferAddresses {
+    block_size: usize,
+}
+
+impl TransferAddresses {
+    fn sender_member(&self, x: usize) -> NodeId {
+        NodeId(x)
+    }
+    fn vertex_i(&self) -> NodeId {
+        NodeId(self.block_size)
+    }
+    fn vertex_j(&self) -> NodeId {
+        NodeId(self.block_size + 1)
+    }
+    fn receiver_member(&self, y: usize) -> NodeId {
+        NodeId(self.block_size + 2 + y)
+    }
+    fn nodes(&self) -> usize {
+        2 * self.block_size + 2
+    }
+}
+
 /// Strawmen #3 and the final protocol: bit decomposition, homomorphic
 /// aggregation at `i`, optional geometric noise.
+///
+/// The ciphertexts genuinely flow `B_i → i → j → B_j` through a
+/// [`Mailbox`]; every hop is a `send`/`recv` on the queue, with the
+/// analytic wire-format sizes recorded against the real node ids.
 #[allow(clippy::too_many_arguments)]
 fn bitwise_protocol(
     group: &Group,
@@ -348,18 +443,20 @@ fn bitwise_protocol(
     let bits = config.message_bits as usize;
     let elem_bytes = group.element_bytes() as u64;
     let mut counts = OperationCounts::default();
+    let addresses = TransferAddresses { block_size };
+    let mut network: Mailbox<TransferMsg> = Mailbox::new(addresses.nodes());
 
     // Step 1+2: every sender member splits its share into sub-shares (one
-    // per receiver member), bit-decomposes each sub-share and encrypts the
-    // bits with the Kurosawa single-ephemeral optimisation.
-    //
-    // encrypted[y][x][l] = ciphertext of bit l of x's sub-share for y.
-    let mut encrypted: Vec<Vec<Vec<Ciphertext>>> = vec![Vec::with_capacity(block_size); block_size];
+    // per receiver member), bit-decomposes each sub-share, encrypts the
+    // bits with the Kurosawa single-ephemeral optimisation, and sends the
+    // whole batch to its vertex `i`.
     for (x_idx, &x_node) in sender_block.members.iter().enumerate() {
         let subshares = split_xor(sender_shares[x_idx], block_size, rng);
+        let mut batch = Vec::with_capacity(block_size);
         for (y_idx, subshare) in subshares.iter().enumerate() {
             let bit_values = subshare.to_bits();
-            let cts = encrypt_bits_multi_recipient(group, &certificate.keys[y_idx], &bit_values, rng)?;
+            let cts =
+                encrypt_bits_multi_recipient(group, &certificate.keys[y_idx], &bit_values, rng)?;
             // One ephemeral exponentiation plus one per bit for the key
             // term; the message bits are folded in with multiplications.
             counts.exponentiations += bits as u64 + 1;
@@ -369,14 +466,30 @@ fn bitwise_protocol(
             let bytes = (bits as u64 + 1) * elem_bytes;
             traffic.record(x_node, sender_vertex, bytes);
             counts.bytes_sent += bytes;
-            encrypted[y_idx].push(cts);
+            batch.push((
+                addresses.vertex_i(),
+                TransferMsg::SubShares {
+                    receiver: y_idx,
+                    bits: cts,
+                },
+            ));
         }
-        let _ = x_idx;
+        network.send_many(addresses.sender_member(x_idx), batch);
     }
 
-    // Step 3: vertex i homomorphically aggregates, per receiver member and
-    // bit position, the ciphertexts from all sender members, and (final
-    // protocol only) folds in even geometric noise.
+    // Step 3: vertex i drains its inbox (per-sender FIFO keeps the
+    // bundles in member order), homomorphically aggregates per receiver
+    // member and bit position, and (final protocol only) folds in even
+    // geometric noise.
+    //
+    // encrypted[y][x][l] = ciphertext of bit l of x's sub-share for y.
+    let mut encrypted: Vec<Vec<Vec<Ciphertext>>> = vec![Vec::with_capacity(block_size); block_size];
+    while let Some((_, message)) = network.recv(addresses.vertex_i()) {
+        let TransferMsg::SubShares { receiver, bits } = message else {
+            unreachable!("vertex i only receives sub-share bundles");
+        };
+        encrypted[receiver].push(bits);
+    }
     let noise = noise_alpha.map(|alpha| {
         // Sensitivity of the bit-sum query is the block size k + 1; the
         // protocol therefore samples from Geo(alpha^{2/(k+1)}) and doubles.
@@ -408,21 +521,47 @@ fn bitwise_protocol(
     let forwarded_bytes = (block_size * bits) as u64 * 2 * elem_bytes;
     traffic.record(sender_vertex, receiver_vertex, forwarded_bytes);
     counts.bytes_sent += forwarded_bytes;
+    network.send(
+        addresses.vertex_i(),
+        addresses.vertex_j(),
+        TransferMsg::Aggregated(aggregated),
+    );
 
-    // Step 4: j adjusts the ephemeral keys with its neighbor key for i and
-    // forwards each receiver member its L ciphertexts.
-    let mut receiver_shares = Vec::with_capacity(block_size);
-    for (y_idx, &y_node) in receiver_block.members.iter().enumerate() {
+    // Step 4: j adjusts the ephemeral keys with its neighbor key for i
+    // and forwards each receiver member its L ciphertexts.
+    let Some((_, TransferMsg::Aggregated(aggregated))) = network.recv(addresses.vertex_j()) else {
+        unreachable!("vertex j receives exactly one aggregate from i");
+    };
+    for (y_idx, (&y_node, per_bit)) in receiver_block.members.iter().zip(aggregated).enumerate() {
         let member_bytes = bits as u64 * 2 * elem_bytes;
         traffic.record(receiver_vertex, y_node, member_bytes);
         counts.bytes_sent += member_bytes;
+        let adjusted: Vec<Ciphertext> = per_bit
+            .iter()
+            .map(|ct| {
+                counts.exponentiations += 1;
+                adjust_ciphertext(group, ct, neighbor_key)
+            })
+            .collect();
+        network.send(
+            addresses.vertex_j(),
+            addresses.receiver_member(y_idx),
+            TransferMsg::Adjusted(adjusted),
+        );
+    }
 
+    // Step 5: every receiver member decrypts its bits and assembles its
+    // fresh share.
+    let mut receiver_shares = Vec::with_capacity(block_size);
+    for (y_idx, &y_node) in receiver_block.members.iter().enumerate() {
+        let Some((_, TransferMsg::Adjusted(cts))) = network.recv(addresses.receiver_member(y_idx))
+        else {
+            unreachable!("every receiver member gets exactly one bundle from j");
+        };
         let mut bit_shares = Vec::with_capacity(bits);
-        for (l, ct) in aggregated[y_idx].iter().enumerate() {
-            let adjusted = adjust_ciphertext(group, ct, neighbor_key);
-            counts.exponentiations += 1;
+        for (l, ct) in cts.iter().enumerate() {
             let secret = &node_secrets[y_node.0].bit_keys[l].secret;
-            let elem = decrypt(group, secret, &adjusted)?;
+            let elem = decrypt(group, secret, ct)?;
             counts.exponentiations += 2;
             let sum = dlog
                 .lookup_signed(group, elem)
@@ -433,6 +572,7 @@ fn bitwise_protocol(
         }
         receiver_shares.push(BitMessage::from_bits(&bit_shares));
     }
+    debug_assert!(network.is_idle(), "every transfer message was consumed");
     counts.rounds += 3;
 
     Ok(TransferOutcome {
@@ -475,7 +615,12 @@ mod tests {
 
     /// Runs a transfer of `value` over the edge (0, 1) and returns the
     /// outcome plus the reconstructed received value.
-    fn run_transfer(fx: &Fixture, variant: ProtocolVariant, value: u64, seed: u64) -> (TransferOutcome, u64) {
+    fn run_transfer(
+        fx: &Fixture,
+        variant: ProtocolVariant,
+        value: u64,
+        seed: u64,
+    ) -> (TransferOutcome, u64) {
         let config = TransferConfig {
             variant,
             message_bits: BITS,
@@ -557,10 +702,7 @@ mod tests {
         )
         .unwrap();
         assert_ne!(outcome.receiver_shares, sender_shares);
-        assert_eq!(
-            xor_reconstruct(&outcome.receiver_shares).unwrap(),
-            message
-        );
+        assert_eq!(xor_reconstruct(&outcome.receiver_shares).unwrap(), message);
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub struct NodeSecrets {
 
 impl NodeSecrets {
     /// Generates fresh secrets for one node.
-    pub fn generate(group: &Group, message_bits: u32, degree_bound: usize, rng: &mut dyn DetRng) -> Self {
+    pub fn generate(
+        group: &Group,
+        message_bits: u32,
+        degree_bound: usize,
+        rng: &mut dyn DetRng,
+    ) -> Self {
         NodeSecrets {
             bit_keys: (0..message_bits)
                 .map(|_| KeyPair::generate(group, rng))
@@ -222,7 +227,9 @@ impl TrustedParty {
                     let member_keys = &registrations[member.0].0;
                     let rerandomized: Vec<PublicKey> = member_keys
                         .iter()
-                        .map(|pk| dstress_crypto::elgamal::rerandomize_public_key(group, pk, neighbor_key))
+                        .map(|pk| {
+                            dstress_crypto::elgamal::rerandomize_public_key(group, pk, neighbor_key)
+                        })
                         .collect();
                     keys.push(rerandomized);
                 }
@@ -280,7 +287,12 @@ impl TrustedParty {
         expected == setup.assignment_signature
     }
 
-    fn pick_members(owner: usize, n: usize, block_size: usize, rng: &mut dyn DetRng) -> Vec<NodeId> {
+    fn pick_members(
+        owner: usize,
+        n: usize,
+        block_size: usize,
+        rng: &mut dyn DetRng,
+    ) -> Vec<NodeId> {
         let mut members = vec![NodeId(owner)];
         while members.len() < block_size {
             let candidate = NodeId(rng.next_below(n as u64) as usize);
@@ -313,8 +325,15 @@ pub fn generate_system(
         .iter()
         .map(|s| (s.public_bit_keys(), s.neighbor_keys.clone()))
         .collect();
-    let tp = TrustedParty::new(0xFED5_EED);
-    let setup = tp.setup(group, &registrations, collusion_bound, degree_bound, message_bits, rng)?;
+    let tp = TrustedParty::new(0x0FED_5EED);
+    let setup = tp.setup(
+        group,
+        &registrations,
+        collusion_bound,
+        degree_bound,
+        message_bits,
+        rng,
+    )?;
     Ok((secrets, setup))
 }
 
@@ -471,6 +490,10 @@ mod tests {
             assert_eq!(ba.members, bb.members);
         }
         let c = run(10);
-        assert!(a.blocks.iter().zip(c.blocks.iter()).any(|(x, y)| x.members != y.members));
+        assert!(a
+            .blocks
+            .iter()
+            .zip(c.blocks.iter())
+            .any(|(x, y)| x.members != y.members));
     }
 }

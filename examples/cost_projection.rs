@@ -14,7 +14,10 @@ use dstress_bench::{format_bytes, format_seconds};
 
 fn main() {
     println!("Projected end-to-end cost of an Eisenberg-Noe stress test (block size 20):");
-    println!("{:<8} {:>6} {:>6} {:>14} {:>16}", "N", "D", "iters", "time", "traffic/node");
+    println!(
+        "{:<8} {:>6} {:>6} {:>14} {:>16}",
+        "N", "D", "iters", "time", "traffic/node"
+    );
     for row in fig6_sweep(&[100, 500, 1000, 1750, 2000], &[10, 40, 100]) {
         println!(
             "{:<8} {:>6} {:>6} {:>14} {:>16}",
@@ -59,7 +62,11 @@ fn main() {
     println!();
     println!("iteration rule I = ceil(log2 N):");
     for n in [50usize, 100, 500, 1750] {
-        println!("  N = {:>5} -> I = {}", n, ScalabilityModel::default_iterations(n));
+        println!(
+            "  N = {:>5} -> I = {}",
+            n,
+            ScalabilityModel::default_iterations(n)
+        );
     }
 
     // What changes if regulators demand a smaller collusion bound.

@@ -58,7 +58,9 @@ impl SecureVertexProgram for DegreeSum {
         // The state is already the answer; messages are all no-ops.
         let mut b = CircuitBuilder::new();
         let state = b.input_word(self.width);
-        let _incoming: Vec<_> = (0..degree_bound).map(|_| b.input_word(self.width)).collect();
+        let _incoming: Vec<_> = (0..degree_bound)
+            .map(|_| b.input_word(self.width))
+            .collect();
         b.output_word(&state);
         let zero = b.const_word(0, self.width);
         for _ in 0..degree_bound {
@@ -70,7 +72,10 @@ impl SecureVertexProgram for DegreeSum {
     fn aggregation_circuit(&self, vertices: usize) -> Circuit {
         let mut b = CircuitBuilder::new();
         let states: Vec<_> = (0..vertices).map(|_| b.input_word(self.width)).collect();
-        let wide: Vec<_> = states.iter().map(|s| b.zero_extend(s, 2 * self.width)).collect();
+        let wide: Vec<_> = states
+            .iter()
+            .map(|s| b.zero_extend(s, 2 * self.width))
+            .collect();
         let total = b.sum(&wide);
         b.output_word(&total);
         b.build().expect("builder circuits are well formed")
@@ -103,7 +108,6 @@ fn main() {
     );
     println!(
         "MPC work: {} AND gates; transfer work: {} exponentiations",
-        run.phases.computation.counts.and_gates,
-        run.phases.communication.counts.exponentiations
+        run.phases.computation.counts.and_gates, run.phases.communication.counts.exponentiations
     );
 }

@@ -26,7 +26,10 @@ fn main() {
     );
 
     // The program: 8-bit counters, 3 iterations, sensitivity 1.
-    let program = CounterProgram { width: 8, rounds: 3 };
+    let program = CounterProgram {
+        width: 8,
+        rounds: 3,
+    };
 
     // Runtime configuration: collusion bound k = 2 (blocks of 3 nodes),
     // real cryptography for the message transfers, ε = 0.5.
@@ -53,12 +56,14 @@ fn main() {
     );
     println!(
         "  message transfers: {} exponentiations, {} bytes",
-        run.phases.communication.counts.exponentiations,
-        run.phases.communication.counts.bytes_sent
+        run.phases.communication.counts.exponentiations, run.phases.communication.counts.bytes_sent
     );
     println!(
         "  aggregation+noise: {} AND gates under GMW",
         run.phases.aggregation.counts.and_gates
     );
-    println!("per-node traffic: {:.1} kB", run.mean_bytes_per_node() / 1e3);
+    println!(
+        "per-node traffic: {:.1} kB",
+        run.mean_bytes_per_node() / 1e3
+    );
 }

@@ -24,7 +24,11 @@ fn main() {
     let mut rng = Xoshiro256::new(0xC0FFEE);
     let (_, egj_outcome) = cascade_scenario(&mut rng, ContagionModel::ElliottGolubJackson);
 
-    println!("banking network: {} banks, {} exposures", network.bank_count(), network.graph().edge_count());
+    println!(
+        "banking network: {} banks, {} exposures",
+        network.bank_count(),
+        network.graph().edge_count()
+    );
     println!();
     println!("ideal (non-private) contagion results after the core shock:");
     println!(
@@ -86,8 +90,6 @@ fn main() {
     );
 
     println!();
-    println!(
-        "A regulator looking only at the released values still sees an unmistakable cascade;"
-    );
+    println!("A regulator looking only at the released values still sees an unmistakable cascade;");
     println!("no participant learned anything beyond its own books (plus the DP-noised output).");
 }

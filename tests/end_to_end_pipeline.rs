@@ -23,7 +23,10 @@ use dstress::math::rng::Xoshiro256;
 fn engine_matches_circuit_plaintext_for_counter_program() {
     let mut rng = Xoshiro256::new(11);
     let graph = ring_with_chords(7, 1, 4, &mut rng);
-    let program = CounterProgram { width: 8, rounds: 3 };
+    let program = CounterProgram {
+        width: 8,
+        rounds: 3,
+    };
     let ideal = execute_plaintext(&graph, &program);
 
     for collusion_bound in [2usize, 4] {
@@ -120,12 +123,19 @@ fn elliott_golub_jackson_pipeline_matches_reference() {
 fn runs_are_reproducible_and_noise_is_seeded() {
     let mut rng = Xoshiro256::new(5);
     let graph = ring_with_chords(5, 0, 2, &mut rng);
-    let program = CounterProgram { width: 8, rounds: 2 };
+    let program = CounterProgram {
+        width: 8,
+        rounds: 2,
+    };
 
     let mut config = DStressConfig::benchmark(2);
     config.seed = 1234;
-    let a = DStressRuntime::new(config.clone()).execute(&graph, &program).unwrap();
-    let b = DStressRuntime::new(config.clone()).execute(&graph, &program).unwrap();
+    let a = DStressRuntime::new(config.clone())
+        .execute(&graph, &program)
+        .unwrap();
+    let b = DStressRuntime::new(config.clone())
+        .execute(&graph, &program)
+        .unwrap();
     assert_eq!(a.noised_output, b.noised_output);
     assert_eq!(
         a.traffic.report().total_bytes,
@@ -133,7 +143,9 @@ fn runs_are_reproducible_and_noise_is_seeded() {
     );
 
     config.seed = 5678;
-    let c = DStressRuntime::new(config).execute(&graph, &program).unwrap();
+    let c = DStressRuntime::new(config)
+        .execute(&graph, &program)
+        .unwrap();
     assert_eq!(a.ideal_output, c.ideal_output);
     assert_ne!(a.noised_output, c.noised_output);
 }
@@ -144,7 +156,10 @@ fn runs_are_reproducible_and_noise_is_seeded() {
 fn block_size_affects_cost_not_correctness() {
     let mut rng = Xoshiro256::new(9);
     let graph = ring_with_chords(6, 1, 4, &mut rng);
-    let program = CounterProgram { width: 8, rounds: 2 };
+    let program = CounterProgram {
+        width: 8,
+        rounds: 2,
+    };
 
     let mut previous_bytes = 0u64;
     let mut ideal = None;
@@ -157,7 +172,10 @@ fn block_size_affects_cost_not_correctness() {
             Some(v) => assert_eq!(run.ideal_output, v),
         }
         let bytes = run.traffic.report().total_bytes;
-        assert!(bytes > previous_bytes, "traffic must grow with the block size");
+        assert!(
+            bytes > previous_bytes,
+            "traffic must grow with the block size"
+        );
         previous_bytes = bytes;
     }
 }

@@ -17,10 +17,18 @@ use dstress_bench::transfer_micro::block_size_sweep;
 #[test]
 fn dstress_beats_the_naive_baseline_by_orders_of_magnitude() {
     let headline = headline_projection();
-    assert!(headline.result.hours() < 24.0, "{} h", headline.result.hours());
+    assert!(
+        headline.result.hours() < 24.0,
+        "{} h",
+        headline.result.hours()
+    );
 
     let baseline = paper_comparison();
-    assert!(baseline.full_scale_years > 50.0, "{} years", baseline.full_scale_years);
+    assert!(
+        baseline.full_scale_years > 50.0,
+        "{} years",
+        baseline.full_scale_years
+    );
     assert!(baseline.speedup > 10_000.0, "speedup {}", baseline.speedup);
 }
 
@@ -29,8 +37,14 @@ fn dstress_beats_the_naive_baseline_by_orders_of_magnitude() {
 #[test]
 fn projection_series_have_paper_shapes() {
     let rows = fig6_sweep(&[500, 1750], &[10, 100]);
-    let d10 = rows.iter().find(|r| r.degree_bound == 10 && r.nodes == 1750).unwrap();
-    let d100 = rows.iter().find(|r| r.degree_bound == 100 && r.nodes == 1750).unwrap();
+    let d10 = rows
+        .iter()
+        .find(|r| r.degree_bound == 10 && r.nodes == 1750)
+        .unwrap();
+    let d100 = rows
+        .iter()
+        .find(|r| r.degree_bound == 100 && r.nodes == 1750)
+        .unwrap();
     assert!(d100.result.total_seconds > 3.0 * d10.result.total_seconds);
     let mb = d100.result.megabytes_per_node();
     assert!((50.0..5000.0).contains(&mb), "{mb} MB per node");
@@ -67,7 +81,10 @@ fn transfer_latency_is_sub_second() {
 #[test]
 fn policy_numbers_match_the_paper() {
     let utility = utility_table();
-    let egj = utility.iter().find(|r| r.model.contains("Elliott")).unwrap();
+    let egj = utility
+        .iter()
+        .find(|r| r.model.contains("Elliott"))
+        .unwrap();
     assert_eq!(egj.runs_per_year, 3);
     assert!((egj.epsilon_query - 0.23).abs() < 0.01);
 

@@ -151,7 +151,7 @@ fn mechanisms_have_their_documented_distributions() {
     let geo = TwoSidedGeometric::new(0.85);
     for d in -30i64..30 {
         let ratio = geo.pmf(d) / geo.pmf(d + 1);
-        assert!(ratio <= 1.0 / 0.85 + 1e-9 && ratio >= 0.85 - 1e-9);
+        assert!((0.85 - 1e-9..=1.0 / 0.85 + 1e-9).contains(&ratio));
     }
 
     // Laplace: about 95% of samples fall inside the 95% bound.
@@ -196,5 +196,8 @@ fn laplace_release_depends_only_on_seed_and_value() {
     // Unbiased around the true value, spread on the order of the scale.
     assert!((mean - 500.0).abs() < 15.0, "mean = {mean}");
     let spread = outputs.iter().map(|v| (v - 500.0).abs()).sum::<f64>() / outputs.len() as f64;
-    assert!((20.0..90.0).contains(&spread), "mean absolute noise = {spread}");
+    assert!(
+        (20.0..90.0).contains(&spread),
+        "mean absolute noise = {spread}"
+    );
 }

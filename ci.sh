@@ -33,9 +33,15 @@ echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> determinism suite under --release (SimTransport == ThreadedTransport)"
+# The suite covers both GmwBatching modes (named backends_agree_batched_mode /
+# backends_agree_per_gate_mode tests plus 2x2 mode-crossing proptests).
 cargo test --release -q -p dstress-mpc --test transport_determinism
 cargo test --release -q -p dstress-core concurrency_mode_does_not_change_results
+cargo test --release -q -p dstress-core gmw_batching_modes_agree_end_to_end
 cargo test --release -q -p dstress-bench concurrency_modes_agree_on_small_point
+
+echo "==> round model: batched rounds scale with depth, not AND-gate count"
+cargo test --release -q -p dstress-mpc batched_rounds_scale_with_depth_not_gate_count
 
 echo "==> threaded speedup check (asserts >= 2x only on >= 4 cores)"
 cargo test --release -q -p dstress-bench threaded_is_at_least_twice_as_fast_at_64_nodes -- --ignored

@@ -12,7 +12,7 @@
 //! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
 //! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
 //! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`,
-//! `concurrency`, `all`.  The `--full` flag switches the measured
+//! `concurrency`, `rounds`, `all`.  The `--full` flag switches the measured
 //! experiments from the quick parameters to the paper's parameters (much
 //! slower).  The measured sweeps fan their points out over a worker pool;
 //! `--threads N` sets the pool size (default: one worker per core).
@@ -26,7 +26,8 @@
 
 use dstress_bench::end_to_end::{fig5_sweep_with_threads, EndToEndParams};
 use dstress_bench::mpc_micro::{
-    block_size_sweep_with_threads, parameter_sweep_with_threads, MpcMicroRow,
+    block_size_sweep_with_threads, parameter_sweep_with_threads, run_mpc_micro_with,
+    MpcCircuitKind, MpcMicroRow,
 };
 use dstress_bench::naive_baseline::{baseline_comparison, paper_comparison};
 use dstress_bench::policy::{edge_privacy_summary, utility_table};
@@ -38,6 +39,7 @@ use dstress_bench::transfer_micro::{
     block_size_sweep_with_threads as transfer_sweep, variant_sweep as transfer_variants,
 };
 use dstress_bench::{contagion_study, format_bytes, format_seconds};
+use dstress_mpc::GmwBatching;
 use dstress_net::pool::default_threads;
 
 fn header(title: &str) {
@@ -84,6 +86,7 @@ fn fig3_left(rows: &[MpcMicroRow], full: bool, results: &mut BenchResults) {
             )
             .wall_seconds(row.measured_seconds)
             .counts(row.counts)
+            .extra("rounds_per_pair", row.rounds as f64)
             .extra("projected_seconds", row.projected_seconds);
     }
 }
@@ -122,6 +125,7 @@ fn fig3_right(full: bool, threads: usize, results: &mut BenchResults) {
             )
             .wall_seconds(row.measured_seconds)
             .counts(row.counts)
+            .extra("rounds_per_pair", row.rounds as f64)
             .extra("projected_seconds", row.projected_seconds);
     }
 }
@@ -349,6 +353,39 @@ fn concurrency(full: bool, threads: usize, results: &mut BenchResults) {
     println!("(threaded runs are bit-identical to sequential; only wall-clock changes)");
 }
 
+fn rounds(full: bool, results: &mut BenchResults) {
+    header("GMW round batching: rounds per pair, layer-batched vs per-gate");
+    let (block, d, n) = if full { (8, 20, 100) } else { (4, 10, 50) };
+    println!("(block size {block}, D = {d}, N = {n}; rounds are one-way message hops per pair)");
+    println!(
+        "{:<16} {:>10} {:>8} {:>14} {:>14} {:>10}",
+        "circuit", "AND gates", "depth", "rounds/pair", "per-gate", "reduction"
+    );
+    for kind in MpcCircuitKind::all() {
+        let batched = run_mpc_micro_with(kind, block, d, n, 0xF16, GmwBatching::Layered);
+        let per_gate = run_mpc_micro_with(kind, block, d, n, 0xF16, GmwBatching::PerGate);
+        let reduction = per_gate.rounds as f64 / batched.rounds as f64;
+        println!(
+            "{:<16} {:>10} {:>8} {:>14} {:>14} {:>9.1}x",
+            kind.label(),
+            batched.and_gates,
+            batched.and_layers,
+            batched.rounds,
+            per_gate.rounds,
+            reduction,
+        );
+        results
+            .point("rounds", kind.label())
+            .counts(batched.counts)
+            .extra("rounds_batched", batched.rounds as f64)
+            .extra("rounds_per_gate", per_gate.rounds as f64)
+            .extra("and_gates", batched.and_gates as f64)
+            .extra("and_depth", batched.and_layers as f64)
+            .extra("round_reduction", reduction);
+    }
+    println!("(batched rounds scale with circuit depth; per-gate rounds with AND-gate count)");
+}
+
 fn naive(full: bool, results: &mut BenchResults) {
     header("§5.5: naive monolithic-MPC baseline vs DStress");
     let comparison = if full {
@@ -473,6 +510,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "fig5-time" | "fig5-traffic" | "fig5" => fig5(full, threads, results),
         "fig6" => fig6(full, results),
         "concurrency" => concurrency(full, threads, results),
+        "rounds" => rounds(full, results),
         "naive-baseline" => naive(full, results),
         "utility" => utility(),
         "edge-privacy" => edge_privacy(),
@@ -490,6 +528,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "fig5",
                 "fig6",
                 "concurrency",
+                "rounds",
                 "naive-baseline",
                 "utility",
                 "edge-privacy",
@@ -528,7 +567,7 @@ fn main() {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation fig5 fig6 concurrency naive-baseline utility \
+             transfer-ablation fig5 fig6 concurrency rounds naive-baseline utility \
              edge-privacy contagion all"
         );
         std::process::exit(1);

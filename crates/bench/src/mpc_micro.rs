@@ -11,7 +11,7 @@
 //! wall-clock time, projected prototype-scale time (via the calibrated
 //! cost model), and the measured per-node traffic.
 
-use dstress_circuit::{Circuit, CircuitBuilder, CircuitStats};
+use dstress_circuit::{Circuit, CircuitBuilder, CircuitLayers, CircuitStats};
 use dstress_core::noise_circuit::noising_circuit;
 use dstress_core::SecureVertexProgram;
 use dstress_finance::{
@@ -19,7 +19,7 @@ use dstress_finance::{
 };
 use dstress_math::rng::Xoshiro256;
 use dstress_mpc::gmw::{share_inputs, GmwConfig, GmwProtocol};
-use dstress_mpc::party::OtConfig;
+use dstress_mpc::party::{GmwBatching, OtConfig};
 use dstress_net::cost::{CostModel, OperationCounts};
 use dstress_net::pool::parallel_map;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
@@ -77,6 +77,10 @@ pub struct MpcMicroRow {
     pub vertices: usize,
     /// AND gates of the circuit.
     pub and_gates: usize,
+    /// AND depth of the circuit (layers over all gates).
+    pub and_layers: usize,
+    /// Measured communication rounds per party pair of the execution.
+    pub rounds: u64,
     /// Wall-clock seconds of the in-process GMW execution.
     pub measured_seconds: f64,
     /// Projected seconds on the paper's prototype hardware (cost model).
@@ -141,7 +145,7 @@ pub fn build_circuit(
 }
 
 /// Runs one circuit under GMW with the given block size and returns the
-/// measured row.
+/// measured row (layer-batched rounds, the default).
 pub fn run_mpc_micro(
     kind: MpcCircuitKind,
     block_size: usize,
@@ -149,14 +153,36 @@ pub fn run_mpc_micro(
     vertices: usize,
     seed: u64,
 ) -> MpcMicroRow {
+    run_mpc_micro_with(
+        kind,
+        block_size,
+        degree_bound,
+        vertices,
+        seed,
+        GmwBatching::Layered,
+    )
+}
+
+/// [`run_mpc_micro`] with an explicit [`GmwBatching`] mode, used by the
+/// round-reduction A/B experiment.
+pub fn run_mpc_micro_with(
+    kind: MpcCircuitKind,
+    block_size: usize,
+    degree_bound: usize,
+    vertices: usize,
+    seed: u64,
+    batching: GmwBatching,
+) -> MpcMicroRow {
     let params = CircuitParams::default_params();
     let circuit = build_circuit(kind, degree_bound, vertices, params);
     let stats = CircuitStats::of(&circuit);
+    let layers = CircuitLayers::of(&circuit);
     let mut rng = Xoshiro256::new(seed);
     let inputs = vec![false; circuit.num_inputs()];
     let shares = share_inputs(&inputs, block_size, &mut rng);
-    let protocol = GmwProtocol::new(GmwConfig::with_default_ids(block_size))
-        .expect("block size is at least 2");
+    let protocol =
+        GmwProtocol::new(GmwConfig::with_default_ids(block_size).with_batching(batching))
+            .expect("block size is at least 2");
     let mut traffic = TrafficAccountant::new();
 
     let start = Instant::now();
@@ -184,6 +210,8 @@ pub fn run_mpc_micro(
         degree_bound,
         vertices,
         and_gates: stats.and_gates,
+        and_layers: layers.rounds(),
+        rounds: exec.rounds,
         measured_seconds,
         projected_seconds,
         traffic_per_node_bytes,
@@ -288,6 +316,34 @@ mod tests {
             "traffic ratio for doubled block size was {ratio}"
         );
         assert_eq!(small.and_gates, large.and_gates);
+    }
+
+    #[test]
+    fn batching_cuts_rounds_from_gates_to_depth() {
+        let batched = run_mpc_micro_with(
+            MpcCircuitKind::EisenbergNoeStep,
+            4,
+            10,
+            100,
+            4,
+            GmwBatching::Layered,
+        );
+        let per_gate = run_mpc_micro_with(
+            MpcCircuitKind::EisenbergNoeStep,
+            4,
+            10,
+            100,
+            4,
+            GmwBatching::PerGate,
+        );
+        // Measured rounds reconcile with the analytical model in each
+        // mode: setup (2) + 2 per layer/gate + output (1).
+        assert_eq!(batched.rounds, 2 * batched.and_layers as u64 + 3);
+        assert_eq!(per_gate.rounds, 2 * per_gate.and_gates as u64 + 3);
+        assert!(batched.rounds < per_gate.rounds);
+        // Same work and traffic; only the round structure differs.
+        assert_eq!(batched.counts.bytes_sent, per_gate.counts.bytes_sent);
+        assert_eq!(batched.counts.extended_ots, per_gate.counts.extended_ots);
     }
 
     #[test]

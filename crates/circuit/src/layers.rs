@@ -1,0 +1,333 @@
+//! Depth layering of circuits for round-batched GMW.
+//!
+//! GMW's wide-area cost is dominated by protocol *rounds*: every AND gate
+//! needs one oblivious-transfer interaction per party pair, but AND gates
+//! that do not depend on each other can share a single message exchange.
+//! [`CircuitLayers`] partitions a flat, topologically ordered gate list
+//! into *AND layers* — maximal sets of AND gates whose inputs are all
+//! available before the layer runs — plus a schedule placing every free
+//! gate (XOR/NOT/input/constant) into the earliest gap between layers at
+//! which its inputs exist.  A round-batched evaluator then needs exactly
+//! one exchange per pair per layer, so its round count is the circuit's
+//! AND depth instead of its AND-gate count.
+//!
+//! The layer of a wire is defined inductively: inputs and constants sit at
+//! layer 0, XOR/NOT inherit the maximum layer of their inputs, and an AND
+//! gate sits one layer above the maximum layer of its inputs.  Layers are
+//! computed over *all* gates (not only those reachable from an output),
+//! because the GMW engine evaluates every gate in the list.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstress_circuit::{evaluate_layered, evaluate_wires, CircuitBuilder, CircuitLayers};
+//!
+//! // Two independent ANDs share a layer; the third depends on both.
+//! let mut b = CircuitBuilder::new();
+//! let (w, x) = (b.input(), b.input());
+//! let (y, z) = (b.input(), b.input());
+//! let p = b.and(w, x);
+//! let q = b.and(y, z);
+//! let r = b.and(p, q);
+//! b.output(r);
+//! let circuit = b.build().unwrap();
+//!
+//! let layers = CircuitLayers::of(&circuit);
+//! assert_eq!(layers.rounds(), 2); // 3 AND gates, but only 2 layers
+//! assert_eq!(layers.and_layers()[0], vec![p, q]);
+//! assert_eq!(layers.and_layers()[1], vec![r]);
+//!
+//! // The layered schedule computes the same wire values as the flat walk.
+//! let inputs = [true, true, true, false];
+//! assert_eq!(
+//!     evaluate_layered(&circuit, &layers, &inputs).unwrap(),
+//!     evaluate_wires(&circuit, &inputs).unwrap(),
+//! );
+//! ```
+
+use crate::ir::{Circuit, CircuitError, Gate, WireId};
+
+/// The depth layering of a circuit: AND gates grouped into rounds, free
+/// gates scheduled into the gaps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitLayers {
+    /// `and_layers[r]` holds the AND-gate wires of round `r + 1`, in
+    /// ascending (topological) wire order.  Every layer is non-empty.
+    and_layers: Vec<Vec<WireId>>,
+    /// `free_schedule[r]` holds the non-AND gates that become computable
+    /// once AND round `r` has completed (`r = 0` means "before any
+    /// round"), in ascending wire order.  Has `rounds() + 1` entries.
+    free_schedule: Vec<Vec<WireId>>,
+}
+
+impl CircuitLayers {
+    /// Computes the layering of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let gates = circuit.gates();
+        // layer[w] = number of AND gates on the longest path ending at w,
+        // counting w itself if it is an AND gate.
+        let mut layer = vec![0usize; gates.len()];
+        let mut and_layers: Vec<Vec<WireId>> = Vec::new();
+        for (i, gate) in gates.iter().enumerate() {
+            let l = match *gate {
+                Gate::Input(_) | Gate::ConstFalse | Gate::ConstTrue => 0,
+                Gate::Xor(a, b) => layer[a].max(layer[b]),
+                Gate::Not(a) => layer[a],
+                Gate::And(a, b) => layer[a].max(layer[b]) + 1,
+            };
+            layer[i] = l;
+            if matches!(gate, Gate::And(_, _)) {
+                if and_layers.len() < l {
+                    and_layers.resize_with(l, Vec::new);
+                }
+                and_layers[l - 1].push(i);
+            }
+        }
+        let rounds = and_layers.len();
+        let mut free_schedule = vec![Vec::new(); rounds + 1];
+        for (i, gate) in gates.iter().enumerate() {
+            if !matches!(gate, Gate::And(_, _)) {
+                // A free gate's layer never exceeds the deepest AND layer.
+                free_schedule[layer[i]].push(i);
+            }
+        }
+        CircuitLayers {
+            and_layers,
+            free_schedule,
+        }
+    }
+
+    /// Number of AND rounds (the circuit's AND depth over all gates).
+    pub fn rounds(&self) -> usize {
+        self.and_layers.len()
+    }
+
+    /// The AND gates of each round, ascending wire order within a round.
+    pub fn and_layers(&self) -> &[Vec<WireId>] {
+        &self.and_layers
+    }
+
+    /// The free-gate schedule: entry `r` lists the gates computable after
+    /// AND round `r` (entry 0 before any round).  Always `rounds() + 1`
+    /// entries.
+    pub fn free_schedule(&self) -> &[Vec<WireId>] {
+        &self.free_schedule
+    }
+
+    /// Total AND gates across all layers.
+    pub fn and_gates(&self) -> usize {
+        self.and_layers.iter().map(Vec::len).sum()
+    }
+
+    /// Size of the widest AND layer (the per-round batching factor).
+    pub fn widest_layer(&self) -> usize {
+        self.and_layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Evaluates a circuit by the layered schedule and returns the value on
+/// every wire.
+///
+/// This is the plaintext reference for the round-batched GMW evaluator:
+/// free gates run in schedule order, each AND layer runs as one batch.
+/// The result must always equal [`crate::eval::evaluate_wires`] on the
+/// flat gate walk (a property test in this module asserts it on random
+/// circuits).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InputCountMismatch`] if the number of inputs is
+/// wrong.
+pub fn evaluate_layered(
+    circuit: &Circuit,
+    layers: &CircuitLayers,
+    inputs: &[bool],
+) -> Result<Vec<bool>, CircuitError> {
+    if inputs.len() != circuit.num_inputs() {
+        return Err(CircuitError::InputCountMismatch {
+            expected: circuit.num_inputs(),
+            actual: inputs.len(),
+        });
+    }
+    let gates = circuit.gates();
+    let mut values = vec![false; gates.len()];
+    let eval_free = |values: &mut Vec<bool>, w: WireId| {
+        values[w] = match gates[w] {
+            Gate::Input(n) => inputs[n],
+            Gate::ConstFalse => false,
+            Gate::ConstTrue => true,
+            Gate::Xor(a, b) => values[a] ^ values[b],
+            Gate::Not(a) => !values[a],
+            Gate::And(_, _) => unreachable!("AND gates are not in the free schedule"),
+        };
+    };
+    for round in 0..=layers.rounds() {
+        for &w in &layers.free_schedule()[round] {
+            eval_free(&mut values, w);
+        }
+        if round < layers.rounds() {
+            for &w in &layers.and_layers()[round] {
+                let Gate::And(a, b) = gates[w] else {
+                    unreachable!("AND layers hold only AND gates");
+                };
+                values[w] = values[a] && values[b];
+            }
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::eval::evaluate_wires;
+    use proptest::prelude::*;
+
+    #[test]
+    fn independent_ands_share_a_layer() {
+        // 32 independent AND gates: one layer of 32 gates.
+        let mut b = CircuitBuilder::new();
+        let mut outs = Vec::new();
+        for _ in 0..32 {
+            let x = b.input();
+            let y = b.input();
+            outs.push(b.and(x, y));
+        }
+        for o in outs {
+            b.output(o);
+        }
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert_eq!(layers.rounds(), 1);
+        assert_eq!(layers.widest_layer(), 32);
+        assert_eq!(layers.and_gates(), 32);
+        assert_eq!(layers.free_schedule().len(), 2);
+    }
+
+    #[test]
+    fn dependent_ands_stack_into_layers() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let mut acc = b.input();
+        for _ in 0..5 {
+            acc = b.and(acc, x);
+        }
+        b.output(acc);
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert_eq!(layers.rounds(), 5);
+        assert_eq!(layers.widest_layer(), 1);
+    }
+
+    #[test]
+    fn free_gates_between_layers_are_scheduled_late_enough() {
+        // x XOR (a AND b) can only run after round 1.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let a = b.input();
+        let bb = b.input();
+        let and = b.and(a, bb);
+        let xor = b.xor(x, and);
+        b.output(xor);
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert_eq!(layers.rounds(), 1);
+        assert!(layers.free_schedule()[0].contains(&x));
+        assert!(layers.free_schedule()[1].contains(&xor));
+    }
+
+    #[test]
+    fn layers_cover_unreachable_gates() {
+        // A deep AND chain that never feeds an output still gets layers:
+        // the GMW engine evaluates every gate in the list.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let dead1 = b.and(x, y);
+        let _dead2 = b.and(dead1, y);
+        let live = b.xor(x, y);
+        b.output(live);
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert_eq!(layers.rounds(), 2);
+        assert_eq!(layers.and_gates(), 2);
+    }
+
+    #[test]
+    fn xor_only_circuit_has_zero_rounds() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let o = b.xor(x, y);
+        b.output(o);
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert_eq!(layers.rounds(), 0);
+        assert_eq!(layers.free_schedule().len(), 1);
+        let wires = evaluate_layered(&circuit, &layers, &[true, false]).unwrap();
+        assert_eq!(wires, evaluate_wires(&circuit, &[true, false]).unwrap());
+    }
+
+    #[test]
+    fn input_count_is_checked() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        b.output(x);
+        let circuit = b.build().unwrap();
+        let layers = CircuitLayers::of(&circuit);
+        assert!(evaluate_layered(&circuit, &layers, &[]).is_err());
+    }
+
+    /// A deterministic gate-soup circuit driven by proptest-chosen words:
+    /// each word encodes one AND / XOR / NOT / MUX op over earlier wires.
+    fn soup_circuit(inputs: usize, ops: &[u64]) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut pool: Vec<WireId> = (0..inputs).map(|_| b.input()).collect();
+        for &op in ops {
+            let (kind, i, j, k) = (op & 0xFF, op >> 8 & 0xFFFF, op >> 24 & 0xFFFF, op >> 40);
+            let a = pool[i as usize % pool.len()];
+            let c = pool[j as usize % pool.len()];
+            let wire = match kind % 4 {
+                0 => b.and(a, c),
+                1 => b.xor(a, c),
+                2 => b.not(a),
+                _ => {
+                    let sel = pool[k as usize % pool.len()];
+                    b.mux(sel, a, c)
+                }
+            };
+            pool.push(wire);
+        }
+        for &w in pool.iter().rev().take(3) {
+            b.output(w);
+        }
+        b.build().expect("soup circuits are topologically valid")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tentpole invariant: layered evaluation equals the flat
+        /// topological walk on every wire of random circuits.
+        #[test]
+        fn prop_layered_evaluation_matches_flat(
+            inputs in 2usize..8,
+            ops in proptest::collection::vec(any::<u64>(), 1..60),
+            bits in any::<u64>(),
+        ) {
+            let circuit = soup_circuit(inputs, &ops);
+            let input_bits: Vec<bool> =
+                (0..circuit.num_inputs()).map(|n| bits >> (n % 64) & 1 == 1).collect();
+            let layers = CircuitLayers::of(&circuit);
+            // Every AND gate appears in exactly one layer.
+            prop_assert_eq!(layers.and_gates(), circuit.and_gates());
+            let scheduled: usize =
+                layers.free_schedule().iter().map(Vec::len).sum::<usize>() + layers.and_gates();
+            prop_assert_eq!(scheduled, circuit.len());
+            let flat = evaluate_wires(&circuit, &input_bits).unwrap();
+            let layered = evaluate_layered(&circuit, &layers, &input_bits).unwrap();
+            prop_assert_eq!(flat, layered);
+        }
+    }
+}

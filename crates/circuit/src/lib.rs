@@ -18,6 +18,11 @@
 //!   round costs are driven by the number of AND gates and the AND depth,
 //!   so these statistics are what the cost model in `dstress-core`
 //!   consumes.
+//! * [`layers`] — the depth layering pass: AND gates partitioned into
+//!   independent rounds, free gates scheduled into the gaps.  This is what
+//!   lets the GMW engine batch a whole layer of OTs into one message
+//!   exchange per party pair, making round counts scale with circuit
+//!   depth instead of AND-gate count.
 //!
 //! ## Example
 //!
@@ -44,9 +49,11 @@
 pub mod builder;
 pub mod eval;
 pub mod ir;
+pub mod layers;
 pub mod stats;
 
 pub use builder::{CircuitBuilder, Word};
-pub use eval::evaluate;
+pub use eval::{evaluate, evaluate_wires};
 pub use ir::{Circuit, CircuitError, Gate, WireId};
+pub use layers::{evaluate_layered, CircuitLayers};
 pub use stats::CircuitStats;

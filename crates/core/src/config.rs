@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use dstress_crypto::group::GroupKind;
+use dstress_mpc::GmwBatching;
 use dstress_net::pool::default_threads;
 
 /// How the communication steps execute their cryptography.
@@ -91,6 +92,11 @@ pub struct DStressConfig {
     pub transfer_mode: TransferMode,
     /// How the independent blocks of a phase are scheduled.
     pub concurrency: ConcurrencyMode,
+    /// How the block MPCs group their AND-gate OTs into messages
+    /// (layer-batched by default; per-gate kept for A/B round
+    /// measurements).  Both modes are bit-identical in outputs and
+    /// traffic; only the measured round counts differ.
+    pub gmw_batching: GmwBatching,
     /// Seed for all randomness in the run (setup, sharing, noise).
     pub seed: u64,
 }
@@ -108,6 +114,7 @@ impl DStressConfig {
             group: GroupKind::Sim64,
             transfer_mode: TransferMode::RealCrypto,
             concurrency: ConcurrencyMode::Sequential,
+            gmw_batching: GmwBatching::Layered,
             seed: 0xD57E55,
         }
     }
@@ -129,6 +136,12 @@ impl DStressConfig {
     /// Switches the configuration to the given concurrency mode.
     pub fn with_concurrency(mut self, concurrency: ConcurrencyMode) -> Self {
         self.concurrency = concurrency;
+        self
+    }
+
+    /// Switches the GMW AND-gate batching mode.
+    pub fn with_gmw_batching(mut self, batching: GmwBatching) -> Self {
+        self.gmw_batching = batching;
         self
     }
 }

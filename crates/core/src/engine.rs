@@ -238,13 +238,16 @@ impl DStressRuntime {
                     init_counts.bytes_sent += per_member_bytes;
                 }
             }
-            init_counts.rounds += 1;
             state_shares.push(shares);
             inbox_shares.push(vec![
                 vec![vec![false; message_bits]; block_size];
                 degree_bound
             ]);
         }
+        // Every vertex distributes its shares concurrently, so the whole
+        // step is one communication round — charging one per vertex would
+        // make the latency estimate scale with N instead of depth.
+        init_counts.rounds += 1;
         let initialization = PhaseCosts {
             counts: init_counts,
             wall_seconds: init_start.elapsed().as_secs_f64(),
@@ -311,13 +314,21 @@ impl DStressRuntime {
                 })
             };
             let mut outgoing: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(n);
+            // All vertex MPCs of a step run concurrently: their compute
+            // and byte counts sum, but the step's *rounds* are the
+            // critical path — the deepest block MPC — not the sum over
+            // blocks (which the per-gate accounting used to charge).
+            let mut step_rounds = 0u64;
             for (v, result) in step_results.into_iter().enumerate() {
-                let (new_state, out_msgs, counts, local_traffic) = result?;
+                let (new_state, out_msgs, mut counts, local_traffic) = result?;
                 state_shares[v] = new_state;
                 outgoing.push(out_msgs);
+                step_rounds = step_rounds.max(counts.rounds);
+                counts.rounds = 0;
                 computation.counts.merge(&counts);
                 traffic.merge(&local_traffic);
             }
+            computation.counts.rounds += step_rounds;
             computation.wall_seconds += comp_start.elapsed().as_secs_f64();
             if round == iterations {
                 break;
@@ -354,13 +365,19 @@ impl DStressRuntime {
                 )
                 .map(|(new_shares, counts)| (to, in_slot, new_shares, counts, local_traffic))
             });
+            // Edge transfers of a step are likewise concurrent: rounds
+            // are the per-step maximum, not edge-count × 3.
+            let mut step_rounds = 0u64;
             for result in transfer_results {
-                let (to, in_slot, new_shares, counts, local_traffic) = result?;
+                let (to, in_slot, new_shares, mut counts, local_traffic) = result?;
                 inbox_shares[to.0][in_slot] =
                     new_shares.iter().map(|share| share.to_bits()).collect();
+                step_rounds = step_rounds.max(counts.rounds);
+                counts.rounds = 0;
                 communication.counts.merge(&counts);
                 traffic.merge(&local_traffic);
             }
+            communication.counts.rounds += step_rounds;
             communication.wall_seconds += comm_start.elapsed().as_secs_f64();
         }
 
@@ -400,7 +417,9 @@ impl DStressRuntime {
         // Aggregation MPC.
         let agg_circuit = program.aggregation_circuit(n);
         let agg_node_ids = agg_block.members.clone();
-        let protocol = GmwProtocol::new(GmwConfig::with_node_ids(agg_node_ids.clone()))?;
+        let protocol = GmwProtocol::new(
+            GmwConfig::with_node_ids(agg_node_ids.clone()).with_batching(self.config.gmw_batching),
+        )?;
         let ot = OtConfig::extension();
         let agg_exec =
             protocol.execute(&agg_circuit, &agg_input_shares, &ot, &mut traffic, &mut rng)?;
@@ -478,7 +497,9 @@ impl DStressRuntime {
             }
             input_shares.push(member_inputs);
         }
-        let protocol = GmwProtocol::new(GmwConfig::with_node_ids(block.members.clone()))?;
+        let protocol = GmwProtocol::new(
+            GmwConfig::with_node_ids(block.members.clone()).with_batching(self.config.gmw_batching),
+        )?;
         let exec = protocol.execute(
             update_circuit,
             &input_shares,
@@ -835,6 +856,86 @@ mod tests {
             .unwrap();
         assert_eq!(a.noised_output, b.noised_output);
         assert_eq!(a.traffic.report(), b.traffic.report());
+    }
+
+    #[test]
+    fn phase_rounds_scale_with_depth_not_graph_size() {
+        // Independent blocks run concurrently, so the init/compute/
+        // transfer round counts depend on the program's circuit depth and
+        // iteration count — not on how many vertices or edges the graph
+        // has.  (Aggregation rounds may differ: that circuit grows with
+        // N.)
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut small_cfg = DStressConfig::benchmark(2);
+        small_cfg.message_bits = 8;
+        let large_cfg = small_cfg.clone();
+        let small = DStressRuntime::new(small_cfg)
+            .execute(&ring_graph(4), &program)
+            .unwrap();
+        let large = DStressRuntime::new(large_cfg)
+            .execute(&ring_graph(8), &program)
+            .unwrap();
+        assert_eq!(
+            small.phases.initialization.counts.rounds,
+            large.phases.initialization.counts.rounds
+        );
+        assert_eq!(small.phases.initialization.counts.rounds, 1);
+        assert_eq!(
+            small.phases.computation.counts.rounds,
+            large.phases.computation.counts.rounds
+        );
+        assert_eq!(
+            small.phases.communication.counts.rounds,
+            large.phases.communication.counts.rounds
+        );
+        // 3 transfer rounds per iteration, independent of edge count.
+        assert_eq!(small.phases.communication.counts.rounds, 3 * 2);
+        // But the graph with twice the vertices moves ~twice the bytes.
+        assert!(
+            large.phases.computation.counts.bytes_sent > small.phases.computation.counts.bytes_sent
+        );
+    }
+
+    #[test]
+    fn gmw_batching_modes_agree_end_to_end() {
+        use dstress_mpc::GmwBatching;
+        let graph = ring_graph(5);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut layered_cfg = DStressConfig::benchmark(2);
+        layered_cfg.message_bits = 8;
+        let per_gate_cfg = layered_cfg.clone().with_gmw_batching(GmwBatching::PerGate);
+        assert_eq!(layered_cfg.gmw_batching, GmwBatching::Layered);
+
+        let layered = DStressRuntime::new(layered_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let per_gate = DStressRuntime::new(per_gate_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+
+        // Same outputs, same byte traffic, same work — batching only
+        // shrinks the number of messages (report.total_messages) and the
+        // round count.
+        assert_eq!(layered.noised_output, per_gate.noised_output);
+        assert_eq!(layered.ideal_output, per_gate.ideal_output);
+        let lr = layered.traffic.report();
+        let pr = per_gate.traffic.report();
+        assert_eq!(lr.total_bytes, pr.total_bytes);
+        assert_eq!(lr.max_node_bytes, pr.max_node_bytes);
+        assert_eq!(lr.active_nodes, pr.active_nodes);
+        assert!(lr.total_messages < pr.total_messages);
+        let mut l = layered.phases.total_counts();
+        let mut p = per_gate.phases.total_counts();
+        assert!(l.rounds < p.rounds);
+        l.rounds = 0;
+        p.rounds = 0;
+        assert_eq!(l, p);
     }
 
     #[test]

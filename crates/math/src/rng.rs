@@ -60,6 +60,19 @@ pub trait DetRng {
     }
 }
 
+/// The SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijective 64-bit
+/// mixer with full avalanche — every input bit flips each output bit with
+/// probability ≈ ½.
+///
+/// This is the mixing step of [`SplitMix64`], exposed on its own for
+/// keyed seed derivation (domain-separated sub-seeds, per-gate masks)
+/// where a pure function of the inputs is needed instead of a stream.
+pub fn splitmix64_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The SplitMix64 generator (Steele, Lea, Flood 2014).
 ///
 /// Small state, excellent for seeding other generators and for components
@@ -79,10 +92,7 @@ impl SplitMix64 {
 impl DetRng for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64_finalize(self.state)
     }
 }
 

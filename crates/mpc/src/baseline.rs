@@ -123,6 +123,7 @@ pub fn measure_matrix_multiply_counts(
 ) -> BaselineMeasurement {
     let circuit = matrix_multiply_circuit(n, width, frac_bits);
     let stats = CircuitStats::of(&circuit);
+    let layers = dstress_circuit::CircuitLayers::of(&circuit);
     let pairs = (parties * (parties - 1) / 2) as u64;
     let kappa = 80u64;
     let counts = OperationCounts {
@@ -132,7 +133,10 @@ pub fn measure_matrix_multiply_counts(
         and_gates: stats.and_gates as u64,
         free_gates: (stats.xor_gates + stats.not_gates) as u64,
         bytes_sent: stats.and_gates as u64 * pairs * 11 + kappa * pairs * 128,
-        rounds: stats.and_depth as u64 + 1,
+        // The layer-batched round model: 2 setup rounds, 2 per AND
+        // layer, 1 output round (matches the executed engine's measured
+        // rounds under GmwBatching::Layered).
+        rounds: 2 * layers.rounds() as u64 + 3,
         ..OperationCounts::default()
     };
     BaselineMeasurement {

@@ -3,12 +3,19 @@
 //! In GMW every wire value is XOR-shared among the parties.  XOR and NOT
 //! gates are evaluated locally (for NOT, a designated party flips its
 //! share); each AND gate requires one 1-out-of-4 oblivious transfer per
-//! unordered party pair; the number of sequential communication rounds
-//! equals the circuit's AND depth.  This is exactly the protocol the
-//! DStress prototype runs inside each block (§3.3, §5.1), and its cost
-//! structure — traffic quadratic in the block size overall but linear per
-//! node, time linear in block size because the pairwise work proceeds in
-//! parallel — is what produces the shapes of Figures 3 and 4.
+//! unordered party pair.  All OTs of one circuit *layer* are independent,
+//! so the engine batches them into a single message exchange per pair per
+//! layer ([`GmwBatching::Layered`], the default): the number of
+//! sequential communication rounds scales with the circuit's AND depth,
+//! not its AND-gate count — the amortisation that makes the paper's
+//! wide-area deployment viable (§5.1).  The historical one-exchange-per-
+//! gate path remains available ([`GmwBatching::PerGate`]) for A/B round
+//! measurements and is bit-identical in everything but rounds.  This is
+//! exactly the protocol the DStress prototype runs inside each block
+//! (§3.3, §5.1), and its cost structure — traffic quadratic in the block
+//! size overall but linear per node, time linear in block size because
+//! the pairwise work proceeds in parallel — is what produces the shapes
+//! of Figures 3 and 4.
 //!
 //! The protocol is implemented as per-party state machines
 //! ([`crate::party::GmwParty`]) driven by a
@@ -24,8 +31,8 @@
 //! rounds.  Those measurements feed the harness directly.
 
 use crate::error::MpcError;
-use crate::party::{GmwMessage, GmwParty, OtConfig};
-use dstress_circuit::{Circuit, CircuitStats};
+use crate::party::{GmwBatching, GmwMessage, GmwParty, OtConfig};
+use dstress_circuit::{Circuit, CircuitLayers, CircuitStats};
 use dstress_crypto::sharing::{split_xor_bit, xor_reconstruct_bit};
 use dstress_math::rng::DetRng;
 use dstress_net::cost::OperationCounts;
@@ -39,6 +46,9 @@ pub struct GmwConfig {
     pub parties: usize,
     /// Node identities used for traffic accounting, one per party.
     pub node_ids: Vec<NodeId>,
+    /// How AND-gate OTs are grouped into messages (layer-batched by
+    /// default; per-gate kept for A/B round measurements).
+    pub batching: GmwBatching,
 }
 
 impl GmwConfig {
@@ -48,6 +58,7 @@ impl GmwConfig {
         GmwConfig {
             parties,
             node_ids: (0..parties).map(NodeId).collect(),
+            batching: GmwBatching::default(),
         }
     }
 
@@ -56,7 +67,14 @@ impl GmwConfig {
         GmwConfig {
             parties: node_ids.len(),
             node_ids,
+            batching: GmwBatching::default(),
         }
+    }
+
+    /// Selects the AND-gate batching mode.
+    pub fn with_batching(mut self, batching: GmwBatching) -> Self {
+        self.batching = batching;
+        self
     }
 }
 
@@ -69,8 +87,11 @@ pub struct GmwExecution {
     /// Operation counts accumulated during the execution (including the
     /// OT provider's counts for this run).
     pub counts: OperationCounts,
-    /// Number of sequential communication rounds (the circuit's AND depth
-    /// plus the output round).
+    /// Measured sequential one-way communication rounds per party pair
+    /// (pairs exchange in parallel, so this is the critical path, not a
+    /// sum over pairs): the OT session setup, two rounds per AND layer
+    /// ([`GmwBatching::Layered`]) or per AND gate
+    /// ([`GmwBatching::PerGate`]), plus the output-reconstruction round.
     pub rounds: u64,
     /// Per-party bytes sent during this execution.
     pub bytes_sent_per_party: Vec<u64>,
@@ -191,15 +212,19 @@ impl GmwProtocol {
             }
         }
 
+        // One layering pass per execution, shared by every party.
+        let layers = CircuitLayers::of(circuit);
         let mut parties: Vec<GmwParty> = (0..n)
             .map(|p| {
                 GmwParty::new(
                     circuit,
+                    &layers,
                     p,
                     self.config.node_ids.clone(),
                     input_shares[p].clone(),
                     ot,
                     master_seed,
+                    self.config.batching,
                 )
             })
             .collect();
@@ -221,7 +246,11 @@ impl GmwProtocol {
             counts.merge(party.counts());
         }
         let stats = CircuitStats::of(circuit);
-        let rounds = stats.and_depth as u64 + 1;
+        // Rounds are *measured* from the parties' exchange counters, not
+        // derived from circuit statistics: every pair exchanges in
+        // parallel, so the critical path is the per-pair maximum plus the
+        // final output-reconstruction round.
+        let rounds = parties.iter().map(GmwParty::rounds).max().unwrap_or(0) + 1;
         counts.and_gates += stats.and_gates as u64;
         counts.free_gates += (stats.xor_gates + stats.not_gates) as u64;
         counts.rounds += rounds;
@@ -437,14 +466,107 @@ mod tests {
         assert!(exec_large.counts.bytes_sent > exec_small.counts.bytes_sent);
     }
 
+    fn run_gmw_with(
+        circuit: &Circuit,
+        inputs: &[bool],
+        parties: usize,
+        seed: u64,
+        batching: GmwBatching,
+    ) -> GmwExecution {
+        let mut rng = Xoshiro256::new(seed);
+        let shares = share_inputs(inputs, parties, &mut rng);
+        let protocol =
+            GmwProtocol::new(GmwConfig::with_default_ids(parties).with_batching(batching)).unwrap();
+        let mut traffic = TrafficAccountant::new();
+        protocol
+            .execute(
+                circuit,
+                &shares,
+                &OtConfig::extension(),
+                &mut traffic,
+                &mut rng,
+            )
+            .unwrap()
+    }
+
+    /// A wide, shallow circuit: `width` independent AND gates, depth 1.
+    fn wide_shallow_circuit(width: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut outs = Vec::new();
+        for _ in 0..width {
+            let x = b.input();
+            let y = b.input();
+            outs.push(b.and(x, y));
+        }
+        for o in outs {
+            b.output(o);
+        }
+        b.build().unwrap()
+    }
+
     #[test]
-    fn rounds_equal_and_depth_plus_one() {
+    fn batched_rounds_match_layering_analysis() {
+        // The measured round count of a batched run reconciles with the
+        // analytical estimate from the circuit layering: 2 setup rounds
+        // (base OTs) + 2 per AND layer + 1 output round.
         let circuit = adder_circuit(8);
-        let stats = CircuitStats::of(&circuit);
+        let layers = dstress_circuit::CircuitLayers::of(&circuit);
         let mut inputs = encode_word(1, 8);
         inputs.extend(encode_word(2, 8));
         let (_, exec) = run_gmw(&circuit, &inputs, 3, 9);
-        assert_eq!(exec.rounds, stats.and_depth as u64 + 1);
+        assert_eq!(exec.rounds, 2 + 2 * layers.rounds() as u64 + 1);
+        assert_eq!(exec.counts.rounds, exec.rounds);
+        // The layering covers *all* gates (GMW evaluates them all), so it
+        // can only be at least the output-reachable AND depth.
+        let stats = CircuitStats::of(&circuit);
+        assert!(layers.rounds() >= stats.and_depth);
+    }
+
+    #[test]
+    fn batched_rounds_scale_with_depth_not_gate_count() {
+        // The acceptance criterion: on a wide shallow circuit (many
+        // independent AND gates, depth 1), batched rounds stay constant
+        // while per-gate rounds grow with the gate count.
+        let narrow = wide_shallow_circuit(4);
+        let wide = wide_shallow_circuit(64);
+        let narrow_inputs = vec![true; narrow.num_inputs()];
+        let wide_inputs = vec![true; wide.num_inputs()];
+
+        let narrow_batched = run_gmw_with(&narrow, &narrow_inputs, 3, 5, GmwBatching::Layered);
+        let wide_batched = run_gmw_with(&wide, &wide_inputs, 3, 5, GmwBatching::Layered);
+        // 16x the AND gates, same depth: identical round count (2 setup
+        // + 2 for the single layer + 1 output).
+        assert_eq!(narrow_batched.rounds, 5);
+        assert_eq!(wide_batched.rounds, 5);
+        assert_eq!(wide_batched.counts.and_gates, 64);
+
+        let narrow_per_gate = run_gmw_with(&narrow, &narrow_inputs, 3, 5, GmwBatching::PerGate);
+        let wide_per_gate = run_gmw_with(&wide, &wide_inputs, 3, 5, GmwBatching::PerGate);
+        assert_eq!(narrow_per_gate.rounds, 2 + 2 * 4 + 1);
+        assert_eq!(wide_per_gate.rounds, 2 + 2 * 64 + 1);
+        assert!(wide_batched.rounds < wide_per_gate.rounds);
+    }
+
+    #[test]
+    fn batching_modes_are_bit_identical_except_rounds() {
+        // Layer batching regroups the same OT payloads into fewer
+        // messages: output shares, traffic and every non-round count are
+        // bit-identical; only the round count drops.
+        let circuit = adder_circuit(16);
+        let mut inputs = encode_word(40_000, 16);
+        inputs.extend(encode_word(1_234, 16));
+        for parties in [2usize, 3, 5] {
+            let batched = run_gmw_with(&circuit, &inputs, parties, 77, GmwBatching::Layered);
+            let per_gate = run_gmw_with(&circuit, &inputs, parties, 77, GmwBatching::PerGate);
+            assert_eq!(batched.output_shares, per_gate.output_shares);
+            assert_eq!(batched.bytes_sent_per_party, per_gate.bytes_sent_per_party);
+            let mut b = batched.counts;
+            let mut p = per_gate.counts;
+            assert!(b.rounds < p.rounds, "parties = {parties}");
+            b.rounds = 0;
+            p.rounds = 0;
+            assert_eq!(b, p, "parties = {parties}");
+        }
     }
 
     #[test]

@@ -16,14 +16,17 @@
 //!   reason, §5.3).
 //! * [`party`] — the per-party GMW state machine
 //!   ([`party::GmwParty`]): a [`dstress_net::NodeActor`] that evaluates
-//!   free gates locally and exchanges one OT per AND gate with each peer
-//!   through a [`dstress_net::Transport`], so a block's parties can run
-//!   deterministically in process or one-per-thread with bit-identical
-//!   results.
+//!   free gates locally and batches all of a circuit layer's AND-gate OTs
+//!   into one message exchange with each peer through a
+//!   [`dstress_net::Transport`] ([`party::GmwBatching`]), so a block's
+//!   parties can run deterministically in process or one-per-thread with
+//!   bit-identical results and round counts that scale with circuit
+//!   depth.
 //! * [`gmw`] — the GMW engine driving those parties: XOR-shared wires,
-//!   free XOR/NOT gates, one OT per unordered party pair per AND gate,
-//!   per-party traffic and operation accounting, and helpers for sharing
-//!   inputs and reconstructing outputs.
+//!   free XOR/NOT gates, one OT per unordered party pair per AND gate
+//!   (grouped per layer on the wire), per-party traffic and operation
+//!   accounting, and helpers for sharing inputs and reconstructing
+//!   outputs.
 //! * [`baseline`] — the naïve monolithic-MPC baseline of §5.5: an `N×N`
 //!   fixed-point matrix-multiplication circuit evaluated under GMW, plus
 //!   the extrapolation the paper uses to arrive at its "287 years"
@@ -55,4 +58,4 @@ pub mod party;
 pub use error::MpcError;
 pub use gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwExecution, GmwProtocol};
 pub use ot::{ElGamalOt, OtProvider, SimulatedOtExtension};
-pub use party::{GmwMessage, GmwParty, OtConfig};
+pub use party::{GmwBatching, GmwMessage, GmwParty, OtConfig};

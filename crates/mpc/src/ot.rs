@@ -40,11 +40,52 @@ pub struct OtOutcome {
     pub receiver_bytes: u64,
 }
 
+/// The result of a batch of oblivious transfers performed in one message
+/// exchange (one circuit layer's worth for a round-batched evaluator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchOtOutcome {
+    /// The bit the receiver learned from each transfer, in request order.
+    pub received: Vec<bool>,
+    /// Total bytes sent by the sender across the batch.
+    pub sender_bytes: u64,
+    /// Total bytes sent by the receiver across the batch.
+    pub receiver_bytes: u64,
+}
+
+/// One batched-transfer request: the sender's four messages and the
+/// receiver's two-bit choice.
+pub type OtRequest = ([bool; 4], (bool, bool));
+
 /// A provider of 1-out-of-4 oblivious transfers.
 pub trait OtProvider {
     /// Performs one 1-out-of-4 OT.  `messages[m]` is indexed by
     /// `m = 2·choice.0 + choice.1`.
     fn transfer(&mut self, messages: [bool; 4], choice: (bool, bool)) -> OtOutcome;
+
+    /// Performs a batch of OTs that share one message exchange, as when a
+    /// whole circuit layer's transfers ride in a single round.
+    ///
+    /// The default implementation loops [`OtProvider::transfer`], so the
+    /// accounted totals are *identical* to per-gate execution — batching
+    /// changes the round structure, never the work.  Providers with
+    /// amortisable per-call overhead (OT extension) override this with a
+    /// vectorised path charging the same totals in one pass.
+    fn transfer_many(&mut self, requests: &[OtRequest]) -> BatchOtOutcome {
+        let mut received = Vec::with_capacity(requests.len());
+        let mut sender_bytes = 0;
+        let mut receiver_bytes = 0;
+        for &(messages, choice) in requests {
+            let outcome = self.transfer(messages, choice);
+            received.push(outcome.received);
+            sender_bytes += outcome.sender_bytes;
+            receiver_bytes += outcome.receiver_bytes;
+        }
+        BatchOtOutcome {
+            received,
+            sender_bytes,
+            receiver_bytes,
+        }
+    }
 
     /// Charges the per-session setup cost for one party pair (base OTs for
     /// extension providers; nothing for public-key OT).  Returns the bytes
@@ -213,6 +254,27 @@ impl OtProvider for SimulatedOtExtension {
         }
     }
 
+    /// The amortised batch path: one extension-matrix exchange serves the
+    /// whole layer.  Totals are bit-identical to looping [`Self::transfer`]
+    /// (a unit test pins them against each other); what the batch saves is
+    /// per-call overhead and, at the protocol level, message rounds.
+    fn transfer_many(&mut self, requests: &[OtRequest]) -> BatchOtOutcome {
+        let n = requests.len() as u64;
+        let received = requests
+            .iter()
+            .map(|&(messages, choice)| messages[choice_index(choice)])
+            .collect();
+        let receiver_bytes = n * (self.security_parameter as u64).div_ceil(8);
+        let sender_bytes = n;
+        self.counts.extended_ots += n;
+        self.counts.bytes_sent += receiver_bytes + sender_bytes;
+        BatchOtOutcome {
+            received,
+            sender_bytes,
+            receiver_bytes,
+        }
+    }
+
     fn session_setup(&mut self) -> (u64, u64) {
         // κ base OTs, each transferring two group elements of key material
         // in each direction (Bellare–Micali style).
@@ -305,6 +367,45 @@ mod tests {
         }
         assert!(ot.counts().exponentiations >= 4 * 10);
         assert_eq!(ot.session_setup(), (0, 0));
+    }
+
+    #[test]
+    fn batched_transfers_match_per_transfer_totals() {
+        let requests: Vec<OtRequest> = (0u32..48)
+            .map(|i| {
+                let m = [i & 1 != 0, i & 2 != 0, i & 4 != 0, i & 8 != 0];
+                (m, (i & 16 != 0, i & 32 != 0))
+            })
+            .collect();
+
+        // The extension provider's vectorised path charges exactly what the
+        // per-transfer loop charges.
+        let mut batched = SimulatedOtExtension::new();
+        let mut looped = SimulatedOtExtension::new();
+        let outcome = batched.transfer_many(&requests);
+        let mut expected_bits = Vec::new();
+        let mut sender_bytes = 0;
+        let mut receiver_bytes = 0;
+        for &(messages, choice) in &requests {
+            let o = looped.transfer(messages, choice);
+            expected_bits.push(o.received);
+            sender_bytes += o.sender_bytes;
+            receiver_bytes += o.receiver_bytes;
+        }
+        assert_eq!(outcome.received, expected_bits);
+        assert_eq!(outcome.sender_bytes, sender_bytes);
+        assert_eq!(outcome.receiver_bytes, receiver_bytes);
+        assert_eq!(batched.counts(), looped.counts());
+
+        // The default (looping) implementation serves providers without a
+        // vectorised path, e.g. ElGamal OT.
+        let mut eg = ElGamalOt::new(Group::sim64(), 9);
+        let small = &requests[..4];
+        let outcome = eg.transfer_many(small);
+        for (bit, &(messages, choice)) in outcome.received.iter().zip(small) {
+            assert_eq!(*bit, messages[choice_index(choice)]);
+        }
+        assert!(outcome.sender_bytes > 0 && outcome.receiver_bytes > 0);
     }
 
     #[test]

@@ -1,23 +1,42 @@
 //! The per-party GMW state machine.
 //!
 //! A [`GmwParty`] is one party's half of the GMW protocol, written as a
-//! resumable [`NodeActor`]: it evaluates free gates locally, and at every
-//! AND gate exchanges one oblivious transfer with each peer through the
-//! transport.  Because each party is a self-contained actor, a block's
-//! parties can run round-robin on one thread
-//! ([`dstress_net::SimTransport`]) or genuinely concurrently, one node
-//! per worker ([`dstress_net::ThreadedTransport`]) — with bit-identical
-//! results, since parties consume messages in a protocol-fixed per-peer
-//! order and draw randomness from their own seeded streams.
+//! resumable [`NodeActor`]: it evaluates free gates locally and performs
+//! the AND-gate oblivious transfers with each peer through the transport.
+//! Because each party is a self-contained actor, a block's parties can run
+//! round-robin on one thread ([`dstress_net::SimTransport`]) or genuinely
+//! concurrently, one node per worker ([`dstress_net::ThreadedTransport`])
+//! — with bit-identical results, since parties consume messages in a
+//! protocol-fixed per-peer order and derive all randomness from their own
+//! seeded streams.
 //!
 //! ## Wire protocol
 //!
 //! For every AND gate, each unordered party pair `(i, j)` with `i < j`
-//! performs one 1-out-of-4 OT in which `i` is the sender:
+//! performs one 1-out-of-4 OT in which `i` is the sender.  How those OTs
+//! map onto messages is the [`GmwBatching`] knob:
 //!
-//! 1. `j` sends [`GmwMessage::Choice`] (its shares of the gate inputs).
-//! 2. `i` runs the pair's [`OtProvider`], masks with a fresh random bit
-//!    from its own stream, and answers with [`GmwMessage::Response`].
+//! * [`GmwBatching::Layered`] (the default) — the circuit is partitioned
+//!   into AND layers ([`dstress_circuit::CircuitLayers`]) and all of a
+//!   layer's OTs ride in **one** message pair per peer:
+//!   1. `j` sends [`GmwMessage::Choices`] (its shares of every gate input
+//!      in the layer).
+//!   2. `i` serves the whole layer through the pair's
+//!      [`OtProvider::transfer_many`] and answers with one
+//!      [`GmwMessage::Responses`].
+//!
+//!   Rounds per pair therefore scale with the circuit's AND *depth*, the
+//!   dominant wide-area cost in the paper's model.
+//! * [`GmwBatching::PerGate`] — the historical path, one
+//!   [`GmwMessage::Choice`]/[`GmwMessage::Response`] exchange per AND
+//!   gate, kept for A/B round measurements.  Rounds scale with the AND
+//!   *gate count*.
+//!
+//! The two modes exchange the same OT payloads in a different grouping:
+//! every AND-gate mask is derived from the pair `(wire, peer)` rather than
+//! drawn from a sequential stream, so output shares, operation counts and
+//! traffic totals are bit-identical across modes (and across transport
+//! backends); only the measured round count differs.
 //!
 //! The lower-indexed party owns the pair's OT provider and accounts the
 //! pair's operation counts and traffic (both directions) in its own
@@ -68,44 +87,73 @@
 //! assert_eq!(decode_word(&reconstruct_outputs(&sim.output_shares).unwrap()), 42);
 //! ```
 
-use crate::ot::{ElGamalOt, OtProvider, SimulatedOtExtension};
-use dstress_circuit::{Circuit, Gate};
+use crate::ot::{ElGamalOt, OtProvider, OtRequest, SimulatedOtExtension};
+use dstress_circuit::{Circuit, CircuitLayers, Gate};
 use dstress_crypto::group::{Group, GroupKind};
-use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
 use dstress_net::cost::OperationCounts;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 use dstress_net::transport::{ActorStatus, Endpoint, NodeActor};
 
 /// A GMW protocol message, routed between parties by a transport.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GmwMessage {
-    /// OT receiver → sender: the receiver's shares of the AND-gate inputs
-    /// (its 1-out-of-4 choice).  Flows from the higher-indexed to the
-    /// lower-indexed party of a pair.
+    /// Per-gate mode, OT receiver → sender: the receiver's shares of one
+    /// AND gate's inputs (its 1-out-of-4 choice).  Flows from the
+    /// higher-indexed to the lower-indexed party of a pair.
     Choice {
-        /// Sequence number of the AND gate, for in-order delivery checks.
+        /// Wire id of the AND gate, for in-order delivery checks.
         gate: u32,
         /// The receiver's share of the gate's left input.
         x: bool,
         /// The receiver's share of the gate's right input.
         y: bool,
     },
-    /// OT sender → receiver: the masked table entry the receiver chose.
+    /// Per-gate mode, OT sender → receiver: the masked table entry the
+    /// receiver chose.
     Response {
-        /// Sequence number of the AND gate.
+        /// Wire id of the AND gate.
         gate: u32,
         /// The received bit.
         bit: bool,
     },
+    /// Layered mode, OT receiver → sender: the receiver's input shares for
+    /// *every* AND gate of one circuit layer, in layer order — a whole
+    /// round's worth of choices in one message.
+    Choices {
+        /// Index of the AND layer, for in-order delivery checks.
+        layer: u32,
+        /// `(x, y)` input shares per gate of the layer.
+        pairs: Vec<(bool, bool)>,
+    },
+    /// Layered mode, OT sender → receiver: the masked table entries for
+    /// every AND gate of one circuit layer.
+    Responses {
+        /// Index of the AND layer.
+        layer: u32,
+        /// The received bit per gate of the layer.
+        bits: Vec<bool>,
+    },
+}
+
+/// How a party groups its AND-gate OTs into messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GmwBatching {
+    /// One message exchange per AND gate per pair: rounds scale with the
+    /// AND-gate count.  Kept for A/B measurements against the paper's
+    /// round model.
+    PerGate,
+    /// One message exchange per AND *layer* per pair: rounds scale with
+    /// the circuit's AND depth (the paper's §5.1 amortisation).  The
+    /// default.
+    #[default]
+    Layered,
 }
 
 /// Which oblivious-transfer provider the parties instantiate per pair.
 ///
-/// This replaces the old pattern of threading a single shared
-/// `&mut dyn OtProvider` through a monolithic executor: with per-party
-/// state machines, each unordered pair owns an independent provider
-/// (held by the lower-indexed party), so parties can run on different
-/// threads without sharing mutable state.
+/// With per-party state machines, each unordered pair owns an independent
+/// provider (held by the lower-indexed party), so parties can run on
+/// different threads without sharing mutable state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OtConfig {
     /// Simulated IKNP-style OT extension with the given statistical
@@ -155,18 +203,43 @@ impl Default for OtConfig {
 /// Domain tags for [`derive_seed`] streams.
 const TAG_PARTY_RNG: u64 = 0x7061_7274_795F_726E; // "party_rn"
 const TAG_PAIR_OT: u64 = 0x7061_6972_5F6F_745F; // "pair_ot_"
+const TAG_AND_MASK: u64 = 0x616e_645f_6d61_736b; // "and_mask"
 
 /// Derives an independent sub-seed from a master seed, a domain tag and
-/// an index; used to give every party and every pair its own stream.
+/// an index; used to give every party, every pair and every AND-gate mask
+/// its own stream.
+///
+/// Each input passes through its own
+/// [`splitmix64_finalize`](dstress_math::rng::splitmix64_finalize) round
+/// before the next is folded in, so no linear relation between
+/// `(master, tag, index)` tuples survives into the output.  (The previous
+/// implementation XOR-ed the three inputs into a single SplitMix64 step,
+/// which left adjacent pair indices with correlated — and occasionally
+/// colliding — streams.)
 pub fn derive_seed(master: u64, tag: u64, index: u64) -> u64 {
-    let mut sm =
-        SplitMix64::new(master ^ tag.rotate_left(17) ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
-    sm.next_u64()
+    use dstress_math::rng::splitmix64_finalize as mix;
+    let mut h = mix(master.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    h = mix(h ^ tag);
+    mix(h ^ index)
 }
 
-/// In-flight state of the AND gate a party is currently evaluating.
+/// The OT-sender mask for one AND gate toward one peer, derived from the
+/// party's mask stream.
+///
+/// Keying the mask by `(wire, peer)` — instead of drawing from a
+/// sequential stream — makes the mask independent of the order in which
+/// gates are processed, which is what keeps [`GmwBatching::Layered`] and
+/// [`GmwBatching::PerGate`] executions bit-identical in their output
+/// shares.
+fn mask_bit(mask_seed: u64, parties: usize, wire: usize, peer: usize) -> bool {
+    derive_seed(mask_seed, TAG_AND_MASK, (wire * parties + peer) as u64) & 1 == 1
+}
+
+/// In-flight state of the AND gate a party is evaluating (per-gate mode).
 #[derive(Clone, Copy, Debug)]
 struct AndGateState {
+    /// The gate's wire id.
+    wire: usize,
     /// Left input wire.
     a: usize,
     /// Right input wire.
@@ -183,23 +256,53 @@ struct AndGateState {
     next_receiver_peer: usize,
 }
 
+/// In-flight state of the AND layer a party is evaluating (layered mode).
+#[derive(Clone, Debug)]
+struct LayerState {
+    /// Index of the layer in the circuit's [`CircuitLayers`].
+    layer: usize,
+    /// The party's accumulating output share per gate of the layer.
+    shares: Vec<bool>,
+    /// Whether the batched choices to lower-indexed peers went out.
+    choices_sent: bool,
+    /// Next higher-indexed peer whose Choices this party still serves.
+    next_sender_peer: usize,
+    /// Next lower-indexed peer whose Responses this party still awaits.
+    next_receiver_peer: usize,
+}
+
 /// One party of a GMW execution, runnable on any transport backend.
 pub struct GmwParty<'c> {
     circuit: &'c Circuit,
+    /// The circuit's depth layering, computed once per execution and
+    /// shared by every party (it depends only on the circuit).
+    layers: &'c CircuitLayers,
+    batching: GmwBatching,
     index: usize,
     parties: usize,
     node_ids: Vec<NodeId>,
-    rng: Xoshiro256,
+    /// Seed of this party's AND-mask stream (see [`mask_bit`]).
+    mask_seed: u64,
     /// OT provider for every pair this party owns (peers with a larger
     /// index); `None` for peers whose pair the peer owns.
     ots: Vec<Option<Box<dyn OtProvider + Send>>>,
     input_share: Vec<bool>,
+    /// Wire values, indexed by wire id (filled as the schedule runs).
     wires: Vec<bool>,
     counts: OperationCounts,
     traffic: TrafficAccountant,
+    /// Measured one-way message rounds this party participated in per
+    /// pair: session setup, then 2 per exchange (choices out, responses
+    /// back).  All pairs run in parallel, so this is the sequential
+    /// critical path, not a sum over pairs.
+    protocol_rounds: u64,
+    // Per-gate mode cursor.
     gate_index: usize,
-    and_seq: u32,
     and_state: Option<AndGateState>,
+    // Layered mode cursor.
+    round: usize,
+    free_done: bool,
+    layer_state: Option<LayerState>,
     setup_done: bool,
     finished: bool,
 }
@@ -207,19 +310,25 @@ pub struct GmwParty<'c> {
 impl<'c> GmwParty<'c> {
     /// Creates party `index` of `node_ids.len()` parties.
     ///
-    /// `input_share` is this party's XOR share of every circuit input.
-    /// All party and pair randomness derives from `master_seed`, so a
-    /// fixed seed yields bit-identical executions on every backend.
+    /// `input_share` is this party's XOR share of every circuit input,
+    /// and `layers` is the circuit's [`CircuitLayers`] (computed once by
+    /// the caller and shared across the block's parties).  All party and
+    /// pair randomness derives from `master_seed`, so a fixed seed yields
+    /// bit-identical executions on every backend — and, because AND masks
+    /// are keyed by `(wire, peer)`, across both [`GmwBatching`] modes.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         circuit: &'c Circuit,
+        layers: &'c CircuitLayers,
         index: usize,
         node_ids: Vec<NodeId>,
         input_share: Vec<bool>,
         ot: &OtConfig,
         master_seed: u64,
+        batching: GmwBatching,
     ) -> Self {
         let parties = node_ids.len();
-        let rng = Xoshiro256::new(derive_seed(master_seed, TAG_PARTY_RNG, index as u64));
+        let mask_seed = derive_seed(master_seed, TAG_PARTY_RNG, index as u64);
         let ots = (0..parties)
             .map(|peer| {
                 (peer > index).then(|| {
@@ -230,21 +339,26 @@ impl<'c> GmwParty<'c> {
             .collect();
         GmwParty {
             circuit,
+            layers,
+            batching,
             index,
             parties,
             node_ids,
-            rng,
+            mask_seed,
             ots,
             input_share,
-            wires: Vec::with_capacity(circuit.len()),
+            wires: vec![false; circuit.len()],
             counts: OperationCounts::default(),
             // Pair tracking is cheap at block scale and keeps per-pair
             // byte flows available to callers that merge into a
             // pair-tracking accountant.
             traffic: TrafficAccountant::with_pair_tracking(),
+            protocol_rounds: 0,
             gate_index: 0,
-            and_seq: 0,
             and_state: None,
+            round: 0,
+            free_done: false,
+            layer_state: None,
             setup_done: false,
             finished: false,
         }
@@ -273,6 +387,14 @@ impl<'c> GmwParty<'c> {
         &self.traffic
     }
 
+    /// Measured sequential message rounds this party took part in (its
+    /// pairwise exchanges run in parallel, so this counts exchanges, not
+    /// exchanges × pairs): the OT session setup plus two one-way rounds
+    /// per AND layer (layered mode) or per AND gate (per-gate mode).
+    pub fn rounds(&self) -> u64 {
+        self.protocol_rounds
+    }
+
     /// This party's share of every circuit output.
     ///
     /// # Panics
@@ -289,13 +411,17 @@ impl<'c> GmwParty<'c> {
 
     /// Charges the per-pair OT session setup for every pair this party
     /// owns (no messages carry values here; the costs are what matters).
+    /// The pairs' setups run in parallel, so the measured rounds take the
+    /// maximum — not the sum — of the providers' setup exchanges.
     fn session_setup(&mut self) {
         let me = self.node_ids[self.index];
+        let mut setup_rounds = 0;
         for peer in (self.index + 1)..self.parties {
             let provider = self.ots[peer].as_mut().expect("pair owner has a provider");
             let before = provider.counts();
             let (sender_bytes, receiver_bytes) = provider.session_setup();
             let after = provider.counts();
+            setup_rounds = setup_rounds.max(after.rounds - before.rounds);
             absorb_provider_delta(&mut self.counts, &before, &after);
             let peer_id = self.node_ids[peer];
             if sender_bytes > 0 {
@@ -305,21 +431,49 @@ impl<'c> GmwParty<'c> {
                 self.traffic.record(peer_id, me, receiver_bytes);
             }
         }
+        self.protocol_rounds += setup_rounds;
     }
 
+    /// Evaluates one non-AND gate locally.
+    fn eval_free_gate(&mut self, w: usize) {
+        self.wires[w] = match self.circuit.gates()[w] {
+            Gate::Input(i) => self.input_share[i],
+            Gate::ConstFalse => false,
+            // Party 0 holds constants and NOT flips; all other parties'
+            // shares are zero.
+            Gate::ConstTrue => self.index == 0,
+            Gate::Xor(a, b) => self.wires[a] ^ self.wires[b],
+            Gate::Not(a) => self.wires[a] ^ (self.index == 0),
+            Gate::And(_, _) => unreachable!("AND gates go through the OT path"),
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // Per-gate mode
+    // ------------------------------------------------------------------
+
     /// Drives the in-flight AND gate as far as possible; returns `true`
-    /// when the gate completed and its output share was pushed.
+    /// when the gate completed and its output share was committed.
     fn advance_and_gate(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> bool {
         let mut st = self.and_state.take().expect("an AND gate is in flight");
         let x = self.wires[st.a];
         let y = self.wires[st.b];
+        let gate_tag = st.wire as u32;
 
         // As OT receiver: announce the choice to every pair owner.
         if !st.choices_sent {
             if self.index > 0 {
-                let gate = self.and_seq;
                 let batch: Vec<(usize, GmwMessage)> = (0..self.index)
-                    .map(|owner| (owner, GmwMessage::Choice { gate, x, y }))
+                    .map(|owner| {
+                        (
+                            owner,
+                            GmwMessage::Choice {
+                                gate: gate_tag,
+                                x,
+                                y,
+                            },
+                        )
+                    })
                     .collect();
                 endpoint.send_many(batch);
             }
@@ -340,10 +494,10 @@ impl<'c> GmwParty<'c> {
                     self.index
                 );
             };
-            debug_assert_eq!(gate, self.and_seq, "AND-gate choice out of order");
+            debug_assert_eq!(gate, gate_tag, "AND-gate choice out of order");
             // The sender's mask; the pair's cross terms x_i·y_j ⊕ x_j·y_i
             // are encoded in the table, indexed by the receiver's choice.
-            let r = self.rng.next_bool();
+            let r = mask_bit(self.mask_seed, self.parties, st.wire, peer);
             let table = [r, r ^ x, r ^ y, r ^ x ^ y];
             let provider = self.ots[peer].as_mut().expect("pair owner has a provider");
             let before = provider.counts();
@@ -353,7 +507,7 @@ impl<'c> GmwParty<'c> {
             endpoint.send(
                 peer,
                 GmwMessage::Response {
-                    gate: self.and_seq,
+                    gate: gate_tag,
                     bit: outcome.received,
                 },
             );
@@ -382,20 +536,225 @@ impl<'c> GmwParty<'c> {
                     self.index
                 );
             };
-            debug_assert_eq!(gate, self.and_seq, "AND-gate response out of order");
+            debug_assert_eq!(gate, gate_tag, "AND-gate response out of order");
             st.share ^= bit;
             st.next_receiver_peer += 1;
         }
 
-        self.wires.push(st.share);
+        self.wires[st.wire] = st.share;
+        // One gate = one choice/response exchange = two one-way rounds,
+        // identical for every pair (they run in parallel).
+        self.protocol_rounds += 2;
         true
+    }
+
+    fn poll_per_gate(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> ActorStatus {
+        loop {
+            if self.and_state.is_some() && !self.advance_and_gate(endpoint) {
+                return ActorStatus::Idle;
+            }
+            while self.gate_index < self.circuit.len() {
+                let w = self.gate_index;
+                self.gate_index += 1;
+                match self.circuit.gates()[w] {
+                    Gate::And(a, b) => {
+                        self.and_state = Some(AndGateState {
+                            wire: w,
+                            a,
+                            b,
+                            share: self.wires[a] && self.wires[b],
+                            choices_sent: false,
+                            next_sender_peer: self.index + 1,
+                            next_receiver_peer: 0,
+                        });
+                        break;
+                    }
+                    _ => self.eval_free_gate(w),
+                }
+            }
+            if self.and_state.is_none() {
+                break;
+            }
+        }
+        self.finished = true;
+        ActorStatus::Done
+    }
+
+    // ------------------------------------------------------------------
+    // Layered mode
+    // ------------------------------------------------------------------
+
+    /// Drives the in-flight AND layer as far as possible; returns `true`
+    /// when the whole layer completed and its output shares were
+    /// committed.
+    fn advance_layer(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> bool {
+        let mut st = self.layer_state.take().expect("a layer is in flight");
+        let circuit = self.circuit;
+        let parties = self.parties;
+        let mask_seed = self.mask_seed;
+        let layer_tag = st.layer as u32;
+
+        // As OT receiver: announce the whole layer's choices to every
+        // pair owner in one message each.
+        if !st.choices_sent {
+            if self.index > 0 {
+                let gates = &self.layers.and_layers()[st.layer];
+                let pairs: Vec<(bool, bool)> = gates
+                    .iter()
+                    .map(|&w| {
+                        let Gate::And(a, b) = circuit.gates()[w] else {
+                            unreachable!("AND layers hold only AND gates");
+                        };
+                        (self.wires[a], self.wires[b])
+                    })
+                    .collect();
+                let batch: Vec<(usize, GmwMessage)> = (0..self.index)
+                    .map(|owner| {
+                        (
+                            owner,
+                            GmwMessage::Choices {
+                                layer: layer_tag,
+                                pairs: pairs.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                endpoint.send_many(batch);
+            }
+            st.choices_sent = true;
+        }
+
+        // As OT sender (pair owner): serve each higher-indexed peer's
+        // whole layer through one batched transfer and one response
+        // message.
+        while st.next_sender_peer < parties {
+            let peer = st.next_sender_peer;
+            let Some(message) = endpoint.try_recv_from(peer) else {
+                self.layer_state = Some(st);
+                return false;
+            };
+            let GmwMessage::Choices { layer, pairs } = message else {
+                panic!(
+                    "party {peer} must send Choices messages to party {}",
+                    self.index
+                );
+            };
+            debug_assert_eq!(layer, layer_tag, "layer choices out of order");
+            let gates = &self.layers.and_layers()[st.layer];
+            debug_assert_eq!(pairs.len(), gates.len(), "peer batched a different layer");
+            let mut requests: Vec<OtRequest> = Vec::with_capacity(gates.len());
+            for (slot, &w) in gates.iter().enumerate() {
+                let Gate::And(a, b) = circuit.gates()[w] else {
+                    unreachable!("AND layers hold only AND gates");
+                };
+                let (x, y) = (self.wires[a], self.wires[b]);
+                let r = mask_bit(mask_seed, parties, w, peer);
+                requests.push(([r, r ^ x, r ^ y, r ^ x ^ y], pairs[slot]));
+                st.shares[slot] ^= r;
+            }
+            let provider = self.ots[peer].as_mut().expect("pair owner has a provider");
+            let before = provider.counts();
+            let outcome = provider.transfer_many(&requests);
+            let after = provider.counts();
+            absorb_provider_delta(&mut self.counts, &before, &after);
+            endpoint.send(
+                peer,
+                GmwMessage::Responses {
+                    layer: layer_tag,
+                    bits: outcome.received,
+                },
+            );
+            let me = self.node_ids[self.index];
+            let peer_id = self.node_ids[peer];
+            if outcome.sender_bytes > 0 {
+                self.traffic.record(me, peer_id, outcome.sender_bytes);
+            }
+            if outcome.receiver_bytes > 0 {
+                self.traffic.record(peer_id, me, outcome.receiver_bytes);
+            }
+            st.next_sender_peer += 1;
+        }
+
+        // As OT receiver: fold in each owner's batched responses in index
+        // order.
+        while st.next_receiver_peer < self.index {
+            let owner = st.next_receiver_peer;
+            let Some(message) = endpoint.try_recv_from(owner) else {
+                self.layer_state = Some(st);
+                return false;
+            };
+            let GmwMessage::Responses { layer, bits } = message else {
+                panic!(
+                    "party {owner} must send Responses messages to party {}",
+                    self.index
+                );
+            };
+            debug_assert_eq!(layer, layer_tag, "layer responses out of order");
+            debug_assert_eq!(bits.len(), st.shares.len(), "response batch size");
+            for (share, bit) in st.shares.iter_mut().zip(bits) {
+                *share ^= bit;
+            }
+            st.next_receiver_peer += 1;
+        }
+
+        // Commit the layer's output shares and advance the schedule.
+        let gates = &self.layers.and_layers()[st.layer];
+        for (slot, &w) in gates.iter().enumerate() {
+            self.wires[w] = st.shares[slot];
+        }
+        // One layer = one choices/responses exchange = two one-way
+        // rounds, regardless of how many gates it carried.
+        self.protocol_rounds += 2;
+        self.round = st.layer + 1;
+        self.free_done = false;
+        true
+    }
+
+    fn poll_layered(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> ActorStatus {
+        loop {
+            if self.layer_state.is_some() && !self.advance_layer(endpoint) {
+                return ActorStatus::Idle;
+            }
+            if !self.free_done {
+                let layers = self.layers;
+                for &w in &layers.free_schedule()[self.round] {
+                    self.eval_free_gate(w);
+                }
+                self.free_done = true;
+            }
+            if self.round == self.layers.rounds() {
+                break;
+            }
+            // Start the next layer: seed each gate's share with the
+            // party's local cross term x_i · y_i.
+            let gates = &self.layers.and_layers()[self.round];
+            let shares: Vec<bool> = gates
+                .iter()
+                .map(|&w| {
+                    let Gate::And(a, b) = self.circuit.gates()[w] else {
+                        unreachable!("AND layers hold only AND gates");
+                    };
+                    self.wires[a] && self.wires[b]
+                })
+                .collect();
+            self.layer_state = Some(LayerState {
+                layer: self.round,
+                shares,
+                choices_sent: false,
+                next_sender_peer: self.index + 1,
+                next_receiver_peer: 0,
+            });
+        }
+        self.finished = true;
+        ActorStatus::Done
     }
 }
 
 /// Folds the compute-side delta of an OT provider's counts into a
 /// party's counts.  Bytes and rounds are excluded: bytes are accounted at
-/// the transport boundary via the traffic accountant, and the round
-/// structure is a circuit property added once per execution.
+/// the transport boundary via the traffic accountant, and rounds are
+/// measured by the party's own exchange counter (the provider's internal
+/// round notion would double-count the exchanges its messages ride on).
 fn absorb_provider_delta(
     counts: &mut OperationCounts,
     before: &OperationCounts,
@@ -416,47 +775,10 @@ impl NodeActor<GmwMessage> for GmwParty<'_> {
             self.session_setup();
             self.setup_done = true;
         }
-        loop {
-            if self.and_state.is_some() && !self.advance_and_gate(endpoint) {
-                return ActorStatus::Idle;
-            }
-            while self.gate_index < self.circuit.len() {
-                let gate = self.circuit.gates()[self.gate_index];
-                self.gate_index += 1;
-                match gate {
-                    Gate::Input(i) => self.wires.push(self.input_share[i]),
-                    Gate::ConstFalse => self.wires.push(false),
-                    // Party 0 holds constants and NOT flips; all other
-                    // parties' shares are zero.
-                    Gate::ConstTrue => self.wires.push(self.index == 0),
-                    Gate::Xor(a, b) => {
-                        let v = self.wires[a] ^ self.wires[b];
-                        self.wires.push(v);
-                    }
-                    Gate::Not(a) => {
-                        let v = self.wires[a] ^ (self.index == 0);
-                        self.wires.push(v);
-                    }
-                    Gate::And(a, b) => {
-                        self.and_seq = self.and_seq.wrapping_add(1);
-                        self.and_state = Some(AndGateState {
-                            a,
-                            b,
-                            share: self.wires[a] && self.wires[b],
-                            choices_sent: false,
-                            next_sender_peer: self.index + 1,
-                            next_receiver_peer: 0,
-                        });
-                        break;
-                    }
-                }
-            }
-            if self.and_state.is_none() {
-                break;
-            }
+        match self.batching {
+            GmwBatching::PerGate => self.poll_per_gate(endpoint),
+            GmwBatching::Layered => self.poll_layered(endpoint),
         }
-        self.finished = true;
-        ActorStatus::Done
     }
 }
 
@@ -464,6 +786,7 @@ impl NodeActor<GmwMessage> for GmwParty<'_> {
 mod tests {
     use super::*;
     use dstress_circuit::builder::CircuitBuilder;
+    use std::collections::HashSet;
 
     fn tiny_and_circuit() -> Circuit {
         let mut b = CircuitBuilder::new();
@@ -483,6 +806,7 @@ mod tests {
         let outcome = eg.transfer([false, true, false, false], (false, true));
         assert!(outcome.received);
         assert_eq!(OtConfig::default(), OtConfig::extension());
+        assert_eq!(GmwBatching::default(), GmwBatching::Layered);
     }
 
     #[test]
@@ -498,16 +822,76 @@ mod tests {
     }
 
     #[test]
+    fn derive_seed_has_no_collisions_across_streams() {
+        // Adjacent indices under every domain tag, several masters: no
+        // collisions anywhere in the cross product.
+        let mut seen = HashSet::new();
+        for master in [0u64, 1, 2, 0x9E37_79B9_7F4A_7C15] {
+            for tag in [TAG_PARTY_RNG, TAG_PAIR_OT, TAG_AND_MASK] {
+                for index in 0..2048u64 {
+                    assert!(
+                        seen.insert(derive_seed(master, tag, index)),
+                        "collision at master={master:#x} tag={tag:#x} index={index}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_avalanches_on_single_bit_flips() {
+        // Flipping any single input bit (of the index or the master)
+        // flips about half the output bits on average.
+        let mut total = 0u64;
+        let mut samples = 0u64;
+        for index in 0..32u64 {
+            let base = derive_seed(7, TAG_PAIR_OT, index);
+            for bit in 0..64 {
+                total +=
+                    (base ^ derive_seed(7, TAG_PAIR_OT, index ^ (1 << bit))).count_ones() as u64;
+                total +=
+                    (base ^ derive_seed(7 ^ (1 << bit), TAG_PAIR_OT, index)).count_ones() as u64;
+                samples += 2;
+            }
+        }
+        let mean = total as f64 / samples as f64;
+        assert!((28.0..36.0).contains(&mean), "mean avalanche {mean}");
+        // In particular, adjacent pair indices share no visible structure.
+        for index in 0..64u64 {
+            let a = derive_seed(9, TAG_PAIR_OT, index);
+            let b = derive_seed(9, TAG_PAIR_OT, index + 1);
+            assert!((a ^ b).count_ones() >= 10, "index {index}");
+        }
+    }
+
+    #[test]
+    fn masks_are_order_independent() {
+        // The mask of a gate/peer pair is a pure function — it does not
+        // depend on how many masks were drawn before it.
+        let a = mask_bit(42, 4, 17, 2);
+        let _ = mask_bit(42, 4, 3, 1);
+        let _ = mask_bit(42, 4, 99, 3);
+        assert_eq!(a, mask_bit(42, 4, 17, 2));
+        // Different parties draw from different streams.
+        let bits_a: Vec<bool> = (0..64).map(|w| mask_bit(1, 4, w, 2)).collect();
+        let bits_b: Vec<bool> = (0..64).map(|w| mask_bit(2, 4, w, 2)).collect();
+        assert_ne!(bits_a, bits_b);
+    }
+
+    #[test]
     #[should_panic(expected = "has not finished")]
     fn output_share_requires_completion() {
         let circuit = tiny_and_circuit();
+        let layers = CircuitLayers::of(&circuit);
         let party = GmwParty::new(
             &circuit,
+            &layers,
             0,
             vec![NodeId(0), NodeId(1)],
             vec![false, true],
             &OtConfig::extension(),
             7,
+            GmwBatching::Layered,
         );
         let _ = party.output_share();
     }

@@ -1,18 +1,23 @@
-//! The repo's core invariant, proven for the concurrent runtime: GMW
-//! executions are bit-identical across transport backends.
+//! The repo's core invariants, proven for the concurrent runtime:
 //!
-//! For random circuits, inputs and seeds, running the same per-party
-//! state machines on the deterministic [`SimTransport`] and on the
-//! multi-threaded [`ThreadedTransport`] must produce identical output
-//! shares, identical [`OperationCounts`], identical per-party byte totals
-//! and identical traffic reports — concurrency may only change
-//! wall-clock, never results.
+//! 1. GMW executions are bit-identical across transport backends.  For
+//!    random circuits, inputs and seeds, running the same per-party state
+//!    machines on the deterministic [`SimTransport`] and on the
+//!    multi-threaded [`ThreadedTransport`] must produce identical output
+//!    shares, identical `OperationCounts`, identical per-party byte
+//!    totals and identical traffic reports — concurrency may only change
+//!    wall-clock, never results.
+//! 2. GMW executions are bit-identical across [`GmwBatching`] modes in
+//!    everything except the round structure: layer batching regroups the
+//!    same OT payloads into fewer messages, so output shares and byte
+//!    totals match the per-gate path exactly while rounds drop from
+//!    O(AND gates) to O(depth) and the message count shrinks.
 
 use dstress_circuit::builder::CircuitBuilder;
 use dstress_circuit::{evaluate, Circuit, WireId};
 use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
 use dstress_mpc::gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwProtocol};
-use dstress_mpc::party::OtConfig;
+use dstress_mpc::party::{GmwBatching, OtConfig};
 use dstress_mpc::GmwExecution;
 use dstress_net::traffic::TrafficAccountant;
 use dstress_net::transport::{SimTransport, ThreadedTransport, Transport};
@@ -53,8 +58,10 @@ fn run_on(
     parties: usize,
     ot: &OtConfig,
     master_seed: u64,
+    batching: GmwBatching,
 ) -> (GmwExecution, TrafficAccountant) {
-    let protocol = GmwProtocol::new(GmwConfig::with_default_ids(parties)).unwrap();
+    let protocol =
+        GmwProtocol::new(GmwConfig::with_default_ids(parties).with_batching(batching)).unwrap();
     let mut traffic = TrafficAccountant::new();
     let exec = protocol
         .execute_seeded(transport, circuit, shares, ot, &mut traffic, master_seed)
@@ -62,7 +69,9 @@ fn run_on(
     (exec, traffic)
 }
 
-fn assert_backends_agree(seed: u64, parties: usize, ot: &OtConfig, threads: usize) {
+/// Shared fixture: circuit, plaintext inputs, shares and master seed for
+/// one deterministic scenario.
+fn scenario(seed: u64, parties: usize) -> (Circuit, Vec<bool>, Vec<Vec<bool>>, u64) {
     let circuit = random_circuit(seed, 3 + (seed % 6) as usize, 12 + (seed % 20) as usize);
     let mut input_rng = SplitMix64::new(seed ^ 0xC1C0);
     let inputs: Vec<bool> = (0..circuit.num_inputs())
@@ -71,8 +80,27 @@ fn assert_backends_agree(seed: u64, parties: usize, ot: &OtConfig, threads: usiz
     let mut share_rng = Xoshiro256::new(seed ^ 0x5EED);
     let shares = share_inputs(&inputs, parties, &mut share_rng);
     let master_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (circuit, inputs, shares, master_seed)
+}
 
-    let (sim, sim_traffic) = run_on(&SimTransport, &circuit, &shares, parties, ot, master_seed);
+fn assert_backends_agree(
+    seed: u64,
+    parties: usize,
+    ot: &OtConfig,
+    threads: usize,
+    batching: GmwBatching,
+) {
+    let (circuit, inputs, shares, master_seed) = scenario(seed, parties);
+
+    let (sim, sim_traffic) = run_on(
+        &SimTransport,
+        &circuit,
+        &shares,
+        parties,
+        ot,
+        master_seed,
+        batching,
+    );
     let (thr, thr_traffic) = run_on(
         &ThreadedTransport::with_threads(threads),
         &circuit,
@@ -80,6 +108,7 @@ fn assert_backends_agree(seed: u64, parties: usize, ot: &OtConfig, threads: usiz
         parties,
         ot,
         master_seed,
+        batching,
     );
 
     // Bit-identical shares, not merely identical reconstructions.
@@ -98,6 +127,55 @@ fn assert_backends_agree(seed: u64, parties: usize, ot: &OtConfig, threads: usiz
     assert_eq!(reconstruct_outputs(&sim.output_shares).unwrap(), expected);
 }
 
+/// Batched vs per-gate GMW on the *same* backend: identical output
+/// shares and byte totals, fewer rounds and messages when batching.
+fn assert_batching_modes_agree(
+    seed: u64,
+    parties: usize,
+    transport: &dyn Transport<dstress_mpc::GmwMessage>,
+) {
+    let (circuit, _, shares, master_seed) = scenario(seed, parties);
+    let ot = OtConfig::extension();
+    let (batched, batched_traffic) = run_on(
+        transport,
+        &circuit,
+        &shares,
+        parties,
+        &ot,
+        master_seed,
+        GmwBatching::Layered,
+    );
+    let (per_gate, per_gate_traffic) = run_on(
+        transport,
+        &circuit,
+        &shares,
+        parties,
+        &ot,
+        master_seed,
+        GmwBatching::PerGate,
+    );
+
+    assert_eq!(batched.output_shares, per_gate.output_shares, "seed {seed}");
+    assert_eq!(
+        batched.bytes_sent_per_party, per_gate.bytes_sent_per_party,
+        "seed {seed}"
+    );
+    let br = batched_traffic.report();
+    let pr = per_gate_traffic.report();
+    assert_eq!(br.total_bytes, pr.total_bytes, "seed {seed}");
+    assert_eq!(br.max_node_bytes, pr.max_node_bytes, "seed {seed}");
+    // Identical work; only the round structure changes.
+    let mut b = batched.counts;
+    let mut p = per_gate.counts;
+    assert!(b.rounds <= p.rounds, "seed {seed}");
+    if circuit.and_gates() > 0 {
+        assert!(br.total_messages <= pr.total_messages, "seed {seed}");
+    }
+    b.rounds = 0;
+    p.rounds = 0;
+    assert_eq!(b, p, "seed {seed}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -106,9 +184,34 @@ proptest! {
         seed in any::<u64>(),
         parties in 2usize..6,
         threads in 1usize..5,
+        batched in any::<bool>(),
     ) {
-        assert_backends_agree(seed, parties, &OtConfig::extension(), threads);
+        let batching = if batched { GmwBatching::Layered } else { GmwBatching::PerGate };
+        assert_backends_agree(seed, parties, &OtConfig::extension(), threads, batching);
     }
+
+    #[test]
+    fn prop_batched_and_per_gate_gmw_are_bit_identical(
+        seed in any::<u64>(),
+        parties in 2usize..6,
+        threaded in any::<bool>(),
+    ) {
+        if threaded {
+            assert_batching_modes_agree(seed, parties, &ThreadedTransport::with_threads(2));
+        } else {
+            assert_batching_modes_agree(seed, parties, &SimTransport);
+        }
+    }
+}
+
+#[test]
+fn backends_agree_batched_mode() {
+    assert_backends_agree(0xBA7C, 4, &OtConfig::extension(), 3, GmwBatching::Layered);
+}
+
+#[test]
+fn backends_agree_per_gate_mode() {
+    assert_backends_agree(0xBA7C, 4, &OtConfig::extension(), 3, GmwBatching::PerGate);
 }
 
 #[test]
@@ -118,6 +221,7 @@ fn backends_agree_with_real_elgamal_ot() {
         3,
         &OtConfig::elgamal(dstress_crypto::group::GroupKind::Sim64),
         2,
+        GmwBatching::Layered,
     );
 }
 
@@ -138,6 +242,7 @@ fn same_seed_reproduces_across_repeated_threaded_runs() {
         4,
         &ot,
         99,
+        GmwBatching::Layered,
     );
     let (b, _) = run_on(
         &ThreadedTransport::with_threads(2),
@@ -146,6 +251,7 @@ fn same_seed_reproduces_across_repeated_threaded_runs() {
         4,
         &ot,
         99,
+        GmwBatching::Layered,
     );
     assert_eq!(a.output_shares, b.output_shares);
     assert_eq!(a.counts, b.counts);

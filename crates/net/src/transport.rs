@@ -84,7 +84,7 @@ use crate::traffic::NodeId;
 use core::fmt;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// What an actor reports after a [`NodeActor::poll`] call.
@@ -279,6 +279,7 @@ impl<M: Send> Transport<M> for SimTransport {
 #[derive(Clone, Copy, Debug)]
 pub struct ThreadedTransport {
     threads: usize,
+    stall_timeout: Duration,
 }
 
 impl ThreadedTransport {
@@ -286,6 +287,7 @@ impl ThreadedTransport {
     pub fn new() -> Self {
         ThreadedTransport {
             threads: crate::pool::default_threads(),
+            stall_timeout: STALL_TIMEOUT,
         }
     }
 
@@ -293,7 +295,16 @@ impl ThreadedTransport {
     pub fn with_threads(threads: usize) -> Self {
         ThreadedTransport {
             threads: threads.max(1),
+            stall_timeout: STALL_TIMEOUT,
         }
+    }
+
+    /// Overrides the stall timeout (how long the run tolerates global
+    /// quiescence — every worker parked, no message in any queue — before
+    /// failing).  Mostly useful to make stall tests fast.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
     }
 
     /// The configured worker count.
@@ -308,11 +319,52 @@ impl Default for ThreadedTransport {
     }
 }
 
-/// How long a worker tolerates zero progress across its whole shard
-/// before declaring the run stalled.  Generous: it only matters for
-/// protocol bugs, which the deterministic [`SimTransport`] surfaces first
-/// in any well-tested code path.
+/// How long a run tolerates global quiescence before declaring a stall.
+/// Generous: it only matters for protocol bugs, which the deterministic
+/// [`SimTransport`] surfaces first in any well-tested code path.
 const STALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-node queue counters shared by a run's endpoints: how many messages
+/// were pushed into each node's channel and how many its endpoint has
+/// drained out.  `sent == drained` for every node means no message is in
+/// flight anywhere — the quiescence half of stall detection.  (Counting
+/// per node rather than globally keeps the counters useful for
+/// diagnostics and avoids a single hot cacheline under fan-in.)
+struct QueueCounters {
+    sent: Vec<AtomicU64>,
+    drained: Vec<AtomicU64>,
+    /// Set once a node's actor is [`ActorStatus::Done`].  A finished
+    /// node's channel may never be drained again (its worker may already
+    /// have exited), so messages addressed to it are protocol garbage
+    /// and must not count as traffic in flight — otherwise one late send
+    /// to a finished node would disable stall detection and turn every
+    /// genuine stall into an unbounded hang.
+    finished: Vec<AtomicBool>,
+}
+
+impl QueueCounters {
+    fn new(nodes: usize) -> Self {
+        QueueCounters {
+            sent: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            drained: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            finished: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Whether every message ever sent to a still-running node has been
+    /// drained by its recipient.  Racy reads are fine: a message sent
+    /// concurrently with this check implies progress, which independently
+    /// resets the stall clock.
+    fn quiescent(&self) -> bool {
+        self.sent
+            .iter()
+            .zip(&self.drained)
+            .zip(&self.finished)
+            .all(|((s, d), f)| {
+                f.load(Ordering::Relaxed) || s.load(Ordering::Relaxed) == d.load(Ordering::Relaxed)
+            })
+    }
+}
 
 struct ThreadedEndpoint<M> {
     node: usize,
@@ -321,7 +373,27 @@ struct ThreadedEndpoint<M> {
     /// Per-peer reorder buffers: the mpsc channel interleaves senders, but
     /// `try_recv_from` must expose per-peer FIFO streams.
     buffers: Vec<VecDeque<M>>,
+    counters: Arc<QueueCounters>,
     activity: u64,
+}
+
+impl<M> ThreadedEndpoint<M> {
+    /// Moves everything from the channel into the per-peer buffers,
+    /// updating the drained counter; returns how many messages moved.
+    /// Workers call this for their whole shard before parking idle, so a
+    /// batched message that is still sitting in a channel is never
+    /// mistaken for quiescence.
+    fn drain_inbox(&mut self) -> u64 {
+        let mut moved = 0;
+        while let Ok((from, message)) = self.inbox.try_recv() {
+            self.buffers[from].push_back(message);
+            moved += 1;
+        }
+        if moved > 0 {
+            self.counters.drained[self.node].fetch_add(moved, Ordering::Relaxed);
+        }
+        moved
+    }
 }
 
 impl<M> Endpoint<M> for ThreadedEndpoint<M> {
@@ -331,15 +403,22 @@ impl<M> Endpoint<M> for ThreadedEndpoint<M> {
 
     fn send(&mut self, to: usize, message: M) {
         self.activity += 1;
+        self.counters.sent[to].fetch_add(1, Ordering::Relaxed);
         // A closed peer channel means that actor already finished; its
         // protocol role no longer needs the message.
         let _ = self.peers[to].send((self.node, message));
     }
 
-    fn try_recv_from(&mut self, peer: usize) -> Option<M> {
-        while let Ok((from, message)) = self.inbox.try_recv() {
-            self.buffers[from].push_back(message);
+    fn send_many(&mut self, batch: Vec<(usize, M)>) {
+        self.activity += batch.len() as u64;
+        for (to, message) in batch {
+            self.counters.sent[to].fetch_add(1, Ordering::Relaxed);
+            let _ = self.peers[to].send((self.node, message));
         }
+    }
+
+    fn try_recv_from(&mut self, peer: usize) -> Option<M> {
+        self.drain_inbox();
         let message = self.buffers[peer].pop_front();
         if message.is_some() {
             self.activity += 1;
@@ -355,10 +434,13 @@ impl<M> Endpoint<M> for ThreadedEndpoint<M> {
 const SPIN_PASSES_BEFORE_SLEEP: u32 = 256;
 
 /// State shared by the workers of one run, used for *global* stall
-/// detection: a run is declared stalled only when every worker is parked
-/// idle (or has finished its shard) and no progress event has happened
-/// anywhere for [`STALL_TIMEOUT`].  A single busy worker — e.g. one
-/// actor deep in a long computation — keeps the whole run alive.
+/// detection.  A run is declared stalled only when the system is provably
+/// quiescent: every worker is parked idle (or has finished its shard), no
+/// message is in flight in any node's queue ([`QueueCounters`]), and no
+/// progress event has happened anywhere for the stall timeout.  A single
+/// busy worker — e.g. one actor deep in a long computation between
+/// batched rounds — keeps the whole run alive, because workers unpark
+/// *before* each polling pass, not after it.
 struct WorkerShared {
     /// Progress events (sends, receives, completions) across all workers.
     progress: AtomicU64,
@@ -366,6 +448,10 @@ struct WorkerShared {
     idle_workers: AtomicUsize,
     /// Total workers in the run.
     workers: usize,
+    /// Per-node sent/drained message counters for the quiescence check.
+    counters: Arc<QueueCounters>,
+    /// How long global quiescence is tolerated before failing the run.
+    stall_timeout: Duration,
     /// Set when a stall was detected; all workers bail out.
     failed: AtomicBool,
 }
@@ -385,6 +471,13 @@ fn run_worker<M>(
         if shared.failed.load(Ordering::Relaxed) {
             break;
         }
+        // Unpark *before* polling: while this worker is inside a pass
+        // (possibly a long batched-layer computation), the run must not
+        // look globally idle to the other workers.
+        if parked_idle {
+            shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
+            parked_idle = false;
+        }
         let mut progress = false;
         for (k, endpoint) in endpoints.iter_mut().enumerate() {
             if done[k] {
@@ -395,28 +488,40 @@ fn run_worker<M>(
                 done[k] = true;
                 remaining -= 1;
                 progress = true;
+                // From here on nobody may ever drain this node again (in
+                // particular once this worker's whole shard finishes and
+                // the worker exits), so exclude it from the quiescence
+                // check instead of letting late messages to it block
+                // stall detection forever.
+                shared.counters.finished[endpoint.node].store(true, Ordering::Relaxed);
             } else if endpoint.activity != before {
                 progress = true;
             }
         }
+        if !progress {
+            // Sweep the shard's channels (including finished actors', so
+            // late messages to them do not read as traffic in flight
+            // forever).  Anything moved may unblock an actor, so a
+            // non-empty sweep counts as progress.
+            let drained: u64 = endpoints
+                .iter_mut()
+                .map(ThreadedEndpoint::drain_inbox)
+                .sum();
+            progress = drained > 0;
+        }
         if progress {
             shared.progress.fetch_add(1, Ordering::Relaxed);
-            if parked_idle {
-                shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
-                parked_idle = false;
-            }
             idle_passes = 0;
         } else {
-            if !parked_idle {
-                shared.idle_workers.fetch_add(1, Ordering::Relaxed);
-                parked_idle = true;
-            }
+            shared.idle_workers.fetch_add(1, Ordering::Relaxed);
+            parked_idle = true;
             let now_progress = shared.progress.load(Ordering::Relaxed);
             if now_progress != seen_progress {
                 seen_progress = now_progress;
                 last_global_change = Instant::now();
             } else if shared.idle_workers.load(Ordering::Relaxed) == shared.workers
-                && last_global_change.elapsed() > STALL_TIMEOUT
+                && shared.counters.quiescent()
+                && last_global_change.elapsed() > shared.stall_timeout
             {
                 shared.failed.store(true, Ordering::Relaxed);
                 break;
@@ -447,6 +552,7 @@ impl<M: Send> Transport<M> for ThreadedTransport {
         if n == 0 {
             return Ok(());
         }
+        let counters = Arc::new(QueueCounters::new(n));
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -462,6 +568,7 @@ impl<M: Send> Transport<M> for ThreadedTransport {
                 peers: senders.clone(),
                 inbox,
                 buffers: (0..n).map(|_| VecDeque::new()).collect(),
+                counters: Arc::clone(&counters),
                 activity: 0,
             })
             .collect();
@@ -475,6 +582,8 @@ impl<M: Send> Transport<M> for ThreadedTransport {
             progress: AtomicU64::new(0),
             idle_workers: AtomicUsize::new(0),
             workers: n.div_ceil(shard_size),
+            counters,
+            stall_timeout: self.stall_timeout,
             failed: AtomicBool::new(false),
         };
         let completed: usize = std::thread::scope(|scope| {
@@ -619,5 +728,180 @@ mod tests {
         let err = SimTransport.run(&mut refs).unwrap_err();
         assert_eq!(err, TransportError::Stalled { done: 0, actors: 2 });
         assert!(err.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn threaded_detects_genuine_stall() {
+        // Two actors each waiting for a message nobody sends: the system
+        // is quiescent (no message in any queue), every worker parks, and
+        // the timeout fires.
+        let mut a = Starved;
+        let mut b = Starved;
+        let mut refs: Vec<&mut dyn NodeActor<u64>> = vec![&mut a, &mut b];
+        let transport =
+            ThreadedTransport::with_threads(2).with_stall_timeout(Duration::from_millis(50));
+        let err = transport.run(&mut refs).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Stalled { done: 0, actors: 2 }
+        ));
+    }
+
+    /// Node 2 kicks node 0; node 0 then "computes" for longer than the
+    /// stall timeout before emitting a large batched payload to node 1;
+    /// node 1 consumes the batch.
+    enum Batcher {
+        Kicker,
+        SlowProducer {
+            batch: usize,
+            payload: usize,
+        },
+        Consumer {
+            received: usize,
+            expected: usize,
+            sum: u64,
+        },
+    }
+
+    impl NodeActor<Vec<u64>> for Batcher {
+        fn poll(&mut self, ep: &mut dyn Endpoint<Vec<u64>>) -> ActorStatus {
+            match self {
+                Batcher::Kicker => {
+                    ep.send(0, vec![1]);
+                    ActorStatus::Done
+                }
+                Batcher::SlowProducer { batch, payload } => {
+                    if ep.try_recv_from(2).is_none() {
+                        return ActorStatus::Idle;
+                    }
+                    // A long computation between rounds: the run must not
+                    // be declared stalled while this worker is busy, even
+                    // though every *other* worker is parked idle.
+                    std::thread::sleep(Duration::from_millis(150));
+                    let messages: Vec<(usize, Vec<u64>)> = (0..*batch)
+                        .map(|i| (1usize, vec![i as u64; *payload]))
+                        .collect();
+                    ep.send_many(messages);
+                    ActorStatus::Done
+                }
+                Batcher::Consumer {
+                    received,
+                    expected,
+                    sum,
+                } => {
+                    while *received < *expected {
+                        match ep.try_recv_from(0) {
+                            Some(payload) => {
+                                *sum += payload.iter().sum::<u64>();
+                                *received += 1;
+                            }
+                            None => return ActorStatus::Idle,
+                        }
+                    }
+                    ActorStatus::Done
+                }
+            }
+        }
+    }
+
+    /// Regression test for spurious stalls: with the old idle accounting
+    /// (workers unparked only *after* a pass with progress), a worker
+    /// stuck in a long computation still counted as idle, so the timeout
+    /// could fire with batched messages still in flight.  The quiescence
+    /// check plus unpark-before-pass must ride out a computation much
+    /// longer than the stall timeout.
+    #[test]
+    fn large_batched_payloads_do_not_trip_stall_detection() {
+        let (batch, payload) = (64usize, 4096usize);
+        let mut producer = Batcher::SlowProducer { batch, payload };
+        let mut consumer = Batcher::Consumer {
+            received: 0,
+            expected: batch,
+            sum: 0,
+        };
+        let mut kicker = Batcher::Kicker;
+        let mut refs: Vec<&mut dyn NodeActor<Vec<u64>>> =
+            vec![&mut producer, &mut consumer, &mut kicker];
+        let transport =
+            ThreadedTransport::with_threads(3).with_stall_timeout(Duration::from_millis(40));
+        transport.run(&mut refs).unwrap();
+        let Batcher::Consumer { received, sum, .. } = consumer else {
+            unreachable!();
+        };
+        assert_eq!(received, batch);
+        // sum of i * payload for i in 0..batch
+        let expected: u64 = (0..batch as u64).map(|i| i * payload as u64).sum();
+        assert_eq!(sum, expected);
+    }
+
+    /// A message sent to a node whose worker has already *exited* (so
+    /// nobody can ever drain its channel again) must not count as
+    /// traffic in flight, or a genuine stall would hang forever instead
+    /// of timing out.
+    #[test]
+    fn messages_to_exited_workers_do_not_hang_stall_detection() {
+        /// Node 1: finishes on its very first poll, so its worker exits.
+        struct InstantDone;
+        impl NodeActor<u64> for InstantDone {
+            fn poll(&mut self, _ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+                ActorStatus::Done
+            }
+        }
+        /// Node 0: sends to the long-gone node 1, then waits forever for
+        /// a reply nobody will send.
+        struct SendThenStarve {
+            sent: bool,
+        }
+        impl NodeActor<u64> for SendThenStarve {
+            fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+                if !self.sent {
+                    // Give node 1's worker time to exit first, so the
+                    // message lands in a channel nobody will ever drain.
+                    std::thread::sleep(Duration::from_millis(20));
+                    ep.send(1, 99);
+                    self.sent = true;
+                }
+                match ep.try_recv_from(1) {
+                    Some(_) => ActorStatus::Done,
+                    None => ActorStatus::Idle,
+                }
+            }
+        }
+        let mut starver = SendThenStarve { sent: false };
+        let mut instant = InstantDone;
+        let mut refs: Vec<&mut dyn NodeActor<u64>> = vec![&mut starver, &mut instant];
+        let transport =
+            ThreadedTransport::with_threads(2).with_stall_timeout(Duration::from_millis(50));
+        let err = transport.run(&mut refs).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Stalled { done: 1, actors: 2 }
+        ));
+    }
+
+    /// A message that its recipient will never consume must not be read
+    /// as "in flight" forever — the idle sweep drains it into the reorder
+    /// buffers so a genuinely stalled run still times out.
+    #[test]
+    fn unconsumed_messages_do_not_mask_a_stall() {
+        struct FireAndForget;
+        impl NodeActor<u64> for FireAndForget {
+            fn poll(&mut self, ep: &mut dyn Endpoint<u64>) -> ActorStatus {
+                ep.send(0, 7);
+                ActorStatus::Done
+            }
+        }
+        // Node 0 only ever waits on a message from itself, so node 1's
+        // message sits in node 0's buffers unconsumed.
+        let mut starved = Starved;
+        let mut sender = FireAndForget;
+        let mut refs: Vec<&mut dyn NodeActor<u64>> = vec![&mut starved, &mut sender];
+        let transport =
+            ThreadedTransport::with_threads(2).with_stall_timeout(Duration::from_millis(50));
+        let err = transport.run(&mut refs).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Stalled { done: 1, actors: 2 }
+        ));
     }
 }

@@ -43,6 +43,19 @@ cargo test --release -q -p dstress-bench concurrency_modes_agree_on_small_point
 echo "==> round model: batched rounds scale with depth, not AND-gate count"
 cargo test --release -q -p dstress-mpc batched_rounds_scale_with_depth_not_gate_count
 
+echo "==> wire format: round-trip, rejection and golden byte-layout suites"
+# Primitive layouts and the per-crate message codecs (GMW, transfer, engine).
+cargo test -q -p dstress-net --test wire_golden
+cargo test -q -p dstress-net wire::
+cargo test -q -p dstress-mpc wire::
+cargo test -q -p dstress-transfer wire::
+cargo test -q -p dstress-core wire::
+
+echo "==> wire bytes: release-mode byte determinism + measured/modeled reconciliation"
+cargo test --release -q -p dstress-mpc --test transport_determinism measured_wire_bytes_bit_identical_across_the_2x2
+cargo test --release -q -p dstress-mpc --test transport_determinism batched_choices_payload_is_bit_packed_on_the_wire
+cargo test --release -q -p dstress-bench --test byte_reconciliation
+
 echo "==> threaded speedup check (asserts >= 2x only on >= 4 cores)"
 cargo test --release -q -p dstress-bench threaded_is_at_least_twice_as_fast_at_64_nodes -- --ignored
 

@@ -12,7 +12,10 @@
 //! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
 //! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
 //! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`,
-//! `concurrency`, `rounds`, `all`.  The `--full` flag switches the measured
+//! `concurrency`, `rounds`, `bytes`, `all`.  The `bytes` experiment prints
+//! the measured-vs-modeled byte reconciliation (encoded wire messages
+//! against the analytical cost model) per benchmark circuit, plus the
+//! batched-vs-per-gate framing saving.  The `--full` flag switches the measured
 //! experiments from the quick parameters to the paper's parameters (much
 //! slower).  The measured sweeps fan their points out over a worker pool;
 //! `--threads N` sets the pool size (default: one worker per core).
@@ -386,6 +389,69 @@ fn rounds(full: bool, results: &mut BenchResults) {
     println!("(batched rounds scale with circuit depth; per-gate rounds with AND-gate count)");
 }
 
+fn bytes(full: bool, threads: usize, results: &mut BenchResults) {
+    header("Wire bytes: measured (encoded messages) vs modeled (cost model) reconciliation");
+    let (block, d, n) = if full { (8, 20, 100) } else { (4, 10, 50) };
+    println!(
+        "(block size {block}, D = {d}, N = {n}; ratio = measured / modeled, \
+         saving = per-gate measured / batched measured)"
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>7} {:>14} {:>8}",
+        "circuit", "modeled", "measured", "ratio", "per-gate meas.", "saving"
+    );
+    for kind in MpcCircuitKind::all() {
+        let batched = run_mpc_micro_with(kind, block, d, n, 0xF17, GmwBatching::Layered);
+        let per_gate = run_mpc_micro_with(kind, block, d, n, 0xF17, GmwBatching::PerGate);
+        let modeled = batched.counts.bytes_sent;
+        let measured = batched.counts.wire_bytes;
+        let ratio = measured as f64 / modeled as f64;
+        let saving = per_gate.counts.wire_bytes as f64 / measured as f64;
+        println!(
+            "{:<16} {:>14} {:>14} {:>7.3} {:>14} {:>7.2}x",
+            kind.label(),
+            format_bytes(modeled as f64),
+            format_bytes(measured as f64),
+            ratio,
+            format_bytes(per_gate.counts.wire_bytes as f64),
+            saving,
+        );
+        results
+            .point("bytes", kind.label())
+            .counts(batched.counts)
+            .extra("measured_bytes", measured as f64)
+            .extra("modeled_bytes", modeled as f64)
+            .extra("measured_over_modeled", ratio)
+            .extra("per_gate_measured_bytes", per_gate.counts.wire_bytes as f64)
+            .extra("framing_saving", saving);
+    }
+    // The transfer protocol's ElGamal hops cross the same wire layer.
+    for row in transfer_sweep(&[block], 12, threads) {
+        let modeled = row.counts.bytes_sent;
+        let measured = row.counts.wire_bytes;
+        let ratio = measured as f64 / modeled as f64;
+        println!(
+            "{:<16} {:>14} {:>14} {:>7.3} {:>14} {:>8}",
+            format!("transfer k+1={}", row.block_size),
+            format_bytes(modeled as f64),
+            format_bytes(measured as f64),
+            ratio,
+            "-",
+            "-",
+        );
+        results
+            .point("bytes", &format!("transfer block={}", row.block_size))
+            .counts(row.counts)
+            .extra("measured_bytes", measured as f64)
+            .extra("modeled_bytes", modeled as f64)
+            .extra("measured_over_modeled", ratio);
+    }
+    println!(
+        "(measured > modeled comes from per-message framing; batched measured < per-gate \
+         measured because a layer pays one header where the per-gate path pays one per gate)"
+    );
+}
+
 fn naive(full: bool, results: &mut BenchResults) {
     header("§5.5: naive monolithic-MPC baseline vs DStress");
     let comparison = if full {
@@ -511,6 +577,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "fig6" => fig6(full, results),
         "concurrency" => concurrency(full, threads, results),
         "rounds" => rounds(full, results),
+        "bytes" => bytes(full, threads, results),
         "naive-baseline" => naive(full, results),
         "utility" => utility(),
         "edge-privacy" => edge_privacy(),
@@ -529,6 +596,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "fig6",
                 "concurrency",
                 "rounds",
+                "bytes",
                 "naive-baseline",
                 "utility",
                 "edge-privacy",
@@ -567,7 +635,7 @@ fn main() {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation fig5 fig6 concurrency rounds naive-baseline utility \
+             transfer-ablation fig5 fig6 concurrency rounds bytes naive-baseline utility \
              edge-privacy contagion all"
         );
         std::process::exit(1);

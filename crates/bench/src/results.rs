@@ -125,6 +125,7 @@ impl BenchResults {
                     ("and_gates", counts.and_gates),
                     ("free_gates", counts.free_gates),
                     ("bytes_sent", counts.bytes_sent),
+                    ("wire_bytes", counts.wire_bytes),
                     ("rounds", counts.rounds),
                 ];
                 for (j, (name, value)) in fields.iter().enumerate() {
@@ -206,6 +207,7 @@ mod tests {
             .counts(OperationCounts {
                 and_gates: 12,
                 bytes_sent: 99,
+                wire_bytes: 101,
                 ..OperationCounts::default()
             })
             .extra("projected_seconds", 1.5);
@@ -218,6 +220,7 @@ mod tests {
         assert!(json.contains("\"full\": true"));
         assert!(json.contains("\"and_gates\": 12"));
         assert!(json.contains("\"bytes_sent\": 99"));
+        assert!(json.contains("\"wire_bytes\": 101"));
         assert!(json.contains("\"projected_seconds\": 1.5"));
         assert!(json.contains("\"label\": \"N=1750 D=100\""));
         // Two points, one comma between them.

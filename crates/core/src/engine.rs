@@ -24,6 +24,7 @@
 use crate::config::{DStressConfig, TransferMode};
 use crate::noise_circuit::noising_circuit;
 use crate::program::SecureVertexProgram;
+use crate::wire::EngineMsg;
 use core::fmt;
 use dstress_circuit::CircuitError;
 use dstress_crypto::dlog::DlogTable;
@@ -38,6 +39,7 @@ use dstress_mpc::MpcError;
 use dstress_net::cost::OperationCounts;
 use dstress_net::pool::parallel_map;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
+use dstress_net::wire::{Wire, WireError};
 use dstress_transfer::protocol::{transfer_message, TransferConfig};
 use dstress_transfer::setup::{generate_system, NodeSecrets, SystemSetup};
 use dstress_transfer::TransferError;
@@ -59,6 +61,8 @@ pub enum RuntimeError {
         /// The offending vertex.
         vertex: usize,
     },
+    /// An engine control message failed to decode from its wire bytes.
+    Wire(WireError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -70,6 +74,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DegreeBoundViolated { vertex } => {
                 write!(f, "vertex {vertex} exceeds the declared degree bound")
             }
+            RuntimeError::Wire(e) => write!(f, "engine wire format error: {e}"),
         }
     }
 }
@@ -91,6 +96,12 @@ impl From<MpcError> for RuntimeError {
 impl From<CircuitError> for RuntimeError {
     fn from(e: CircuitError) -> Self {
         RuntimeError::Circuit(e)
+    }
+}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
     }
 }
 
@@ -226,23 +237,39 @@ impl DStressRuntime {
             }
             let initial = program.encode_initial_state(graph, v);
             debug_assert_eq!(initial.len(), state_bits, "program state encoding width");
-            let shares = share_bits(&initial, block_size, &mut rng);
+            let mut shares = share_bits(&initial, block_size, &mut rng);
+            let mut inbox = vec![vec![vec![false; message_bits]; block_size]; degree_bound];
             // Each member other than the owner receives its state share and
-            // D no-op message shares.
+            // D no-op message shares — as a real bit-packed wire message,
+            // whose decoded copy is the share the member actually uses.
             let block = setup.block_of(NodeId(v.0));
             let per_member_bytes =
                 (state_bits as u64 + (degree_bound * message_bits) as u64).div_ceil(8);
-            for &member in &block.members {
-                if member != NodeId(v.0) {
-                    traffic.record(NodeId(v.0), member, per_member_bytes);
-                    init_counts.bytes_sent += per_member_bytes;
+            for (m_idx, &member) in block.members.iter().enumerate() {
+                if member == NodeId(v.0) {
+                    continue;
+                }
+                traffic.record(NodeId(v.0), member, per_member_bytes);
+                init_counts.bytes_sent += per_member_bytes;
+                let message = EngineMsg::InitShare {
+                    state: std::mem::take(&mut shares[m_idx]),
+                    inbox: vec![false; degree_bound * message_bits],
+                };
+                let encoded = message.encode();
+                traffic.record_wire(NodeId(v.0), member, encoded.len() as u64);
+                init_counts.wire_bytes += encoded.len() as u64;
+                let EngineMsg::InitShare { state, inbox: noop } =
+                    EngineMsg::decode_exact(&encoded)?
+                else {
+                    unreachable!("an InitShare was encoded");
+                };
+                shares[m_idx] = state;
+                for (slot, chunk) in noop.chunks(message_bits).enumerate() {
+                    inbox[slot][m_idx].copy_from_slice(chunk);
                 }
             }
             state_shares.push(shares);
-            inbox_shares.push(vec![
-                vec![vec![false; message_bits]; block_size];
-                degree_bound
-            ]);
+            inbox_shares.push(inbox);
         }
         // Every vertex distributes its shares concurrently, so the whole
         // step is one communication round — charging one per vertex would
@@ -397,15 +424,29 @@ impl DStressRuntime {
             let mut ba_shares = vec![vec![false; state_bits]; block_size];
             let share_bytes = (state_bits as u64).div_ceil(8);
             for (m_idx, &member) in block.members.iter().enumerate() {
+                // sub[ba_idx][bit]: this member's sub-share toward each
+                // aggregation-block member.
+                let mut sub = vec![vec![false; state_bits]; block_size];
                 for (bit, &value) in state_shares[v.0][m_idx].iter().enumerate() {
                     let subshares = split_xor_bit(value, block_size, &mut rng);
-                    for (ba_idx, sub) in subshares.into_iter().enumerate() {
-                        ba_shares[ba_idx][bit] ^= sub;
+                    for (ba_idx, s) in subshares.into_iter().enumerate() {
+                        sub[ba_idx][bit] = s;
                     }
                 }
-                for &ba_member in &agg_block.members {
+                // One bit-packed wire message per aggregation-block
+                // member; the decoded copy is what gets folded in.
+                for (ba_idx, (&ba_member, bits)) in agg_block.members.iter().zip(sub).enumerate() {
                     traffic.record(member, ba_member, share_bytes);
                     agg_counts.bytes_sent += share_bytes;
+                    let encoded = EngineMsg::AggShare { bits }.encode();
+                    traffic.record_wire(member, ba_member, encoded.len() as u64);
+                    agg_counts.wire_bytes += encoded.len() as u64;
+                    let EngineMsg::AggShare { bits } = EngineMsg::decode_exact(&encoded)? else {
+                        unreachable!("an AggShare was encoded");
+                    };
+                    for (bit, b) in bits.into_iter().enumerate() {
+                        ba_shares[ba_idx][bit] ^= b;
+                    }
                 }
             }
             for (ba_idx, share) in ba_shares.into_iter().enumerate() {
@@ -600,7 +641,9 @@ fn share_bits(bits: &[bool], n: usize, rng: &mut dyn DetRng) -> Vec<Vec<bool>> {
 /// Cost-accounted message transfer: moves the shares in plaintext while
 /// recording exactly the operation counts and traffic that
 /// [`transfer_message`] with [`dstress_transfer::ProtocolVariant::Final`]
-/// would generate.  A unit test pins the two against each other.
+/// would generate — including the *measured* wire bytes, reproduced from
+/// the closed-form encoded lengths in [`dstress_transfer::wire`].  A unit
+/// test pins the two modes against each other field by field.
 #[allow(clippy::too_many_arguments)]
 fn accounted_transfer(
     group: &Group,
@@ -621,12 +664,16 @@ fn accounted_transfer(
     // Sub-share encryption: every sender member encrypts k+1 sub-shares of
     // L bits each with a shared ephemeral key.
     for &x_node in &sender_block.members {
-        for _y in 0..block_size {
+        for y in 0..block_size {
             counts.exponentiations += bits + 1;
             counts.group_multiplications += bits;
             let bytes = (bits + 1) * elem_bytes;
             traffic.record(x_node, sender_vertex, bytes);
             counts.bytes_sent += bytes;
+            let wire =
+                dstress_transfer::wire::subshares_wire_len(y, bits as usize, elem_bytes as usize);
+            traffic.record_wire(x_node, sender_vertex, wire);
+            counts.wire_bytes += wire;
         }
     }
     // Homomorphic aggregation and noise folding at vertex i.
@@ -638,12 +685,19 @@ fn accounted_transfer(
     let forwarded = block_size as u64 * bits * 2 * elem_bytes;
     traffic.record(sender_vertex, receiver_vertex, forwarded);
     counts.bytes_sent += forwarded;
+    let wire =
+        dstress_transfer::wire::aggregated_wire_len(block_size, bits as usize, elem_bytes as usize);
+    traffic.record_wire(sender_vertex, receiver_vertex, wire);
+    counts.wire_bytes += wire;
 
     // j adjusts, distributes, members decrypt.
     for &y_node in &receiver_block.members {
         let member_bytes = bits * 2 * elem_bytes;
         traffic.record(receiver_vertex, y_node, member_bytes);
         counts.bytes_sent += member_bytes;
+        let wire = dstress_transfer::wire::adjusted_wire_len(bits as usize, elem_bytes as usize);
+        traffic.record_wire(receiver_vertex, y_node, wire);
+        counts.wire_bytes += wire;
         counts.exponentiations += bits; // adjust
         counts.exponentiations += 2 * bits; // decrypt
     }
@@ -758,6 +812,10 @@ mod tests {
         assert_eq!(r.exponentiations, a.exponentiations);
         assert_eq!(r.group_multiplications, a.group_multiplications);
         assert_eq!(r.bytes_sent, a.bytes_sent);
+        // The accounted mode reproduces even the *measured* wire bytes of
+        // the real hops, via the closed-form encoded lengths.
+        assert_eq!(r.wire_bytes, a.wire_bytes);
+        assert!(r.wire_bytes > 0);
         assert_eq!(r.rounds, a.rounds);
         // The rest of the pipeline is identical code, so totals agree too.
         assert_eq!(
@@ -783,6 +841,12 @@ mod tests {
         assert!(run.phases.communication.counts.bytes_sent > 0);
         assert!(run.phases.aggregation.counts.and_gates > 0);
         assert!(run.phases.total_counts().bytes_sent > 0);
+        // Every phase moves real encoded bytes through the wire format.
+        assert!(run.phases.initialization.counts.wire_bytes > 0);
+        assert!(run.phases.computation.counts.wire_bytes > 0);
+        assert!(run.phases.communication.counts.wire_bytes > 0);
+        assert!(run.phases.aggregation.counts.wire_bytes > 0);
+        assert!(run.traffic.report().total_wire_bytes > 0);
         assert!(run.phases.total_wall_seconds() > 0.0);
         assert!(run.mean_bytes_per_node() > 0.0);
     }
@@ -933,8 +997,13 @@ mod tests {
         let mut l = layered.phases.total_counts();
         let mut p = per_gate.phases.total_counts();
         assert!(l.rounds < p.rounds);
+        // Measured wire bytes shrink under batching (one header per
+        // layer instead of one per gate); everything else is identical.
+        assert!(l.wire_bytes < p.wire_bytes);
         l.rounds = 0;
         p.rounds = 0;
+        l.wire_bytes = 0;
+        p.wire_bytes = 0;
         assert_eq!(l, p);
     }
 

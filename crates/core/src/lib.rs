@@ -49,6 +49,7 @@ pub mod engine;
 pub mod noise_circuit;
 pub mod program;
 pub mod projection;
+pub mod wire;
 
 pub use config::{ConcurrencyMode, DStressConfig, TransferMode};
 pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts};

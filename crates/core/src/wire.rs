@@ -1,0 +1,168 @@
+//! Wire encoding of the engine's control messages.
+//!
+//! The runtime's two non-protocol message flows — the initialization
+//! step's share distribution and the aggregation step's re-sharing into
+//! the aggregation block — route their payloads through these encodings,
+//! so the bytes charged for them are measured from real bit-packed
+//! buffers rather than assumed.
+//!
+//! ## Layouts
+//!
+//! | message | layout |
+//! |---|---|
+//! | `InitShare` | `0x00` · uvarint(state bits) · uvarint(inbox bits) · state-plane · inbox-plane |
+//! | `AggShare`  | `0x01` · uvarint(bits) · bit-plane |
+//!
+//! Bit planes pack LSB-first with zero padding (see
+//! [`dstress_net::wire`]); an `InitShare` therefore costs
+//! `⌈state/8⌉ + ⌈D·L/8⌉` bytes plus a few header bytes — the analytical
+//! model's `⌈(state + D·L)/8⌉` figure plus at most one byte of padding
+//! per plane and the header.
+
+use dstress_net::wire::{self, Wire, WireError};
+
+/// Message tags.
+const TAG_INIT_SHARE: u8 = 0x00;
+const TAG_AGG_SHARE: u8 = 0x01;
+
+/// A control message of the DStress engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineMsg {
+    /// Initialization: one block member's XOR share of a vertex's initial
+    /// state plus its `D` no-op inbox message slots.
+    InitShare {
+        /// The member's share of the state bits.
+        state: Vec<bool>,
+        /// The member's share of all `D · L` inbox bits, slot-major.
+        inbox: Vec<bool>,
+    },
+    /// Aggregation: one block member's sub-share of a vertex state,
+    /// destined for one aggregation-block member.
+    AggShare {
+        /// The sub-share bits.
+        bits: Vec<bool>,
+    },
+}
+
+impl Wire for EngineMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            EngineMsg::InitShare { state, inbox } => {
+                wire::put_u8(out, TAG_INIT_SHARE);
+                wire::put_uvarint(out, state.len() as u64);
+                wire::put_uvarint(out, inbox.len() as u64);
+                wire::put_bits(out, state);
+                wire::put_bits(out, inbox);
+            }
+            EngineMsg::AggShare { bits } => {
+                wire::put_u8(out, TAG_AGG_SHARE);
+                wire::put_uvarint(out, bits.len() as u64);
+                wire::put_bits(out, bits);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match wire::get_u8(buf)? {
+            TAG_INIT_SHARE => {
+                let state_len = wire::get_uvarint(buf)? as usize;
+                let inbox_len = wire::get_uvarint(buf)? as usize;
+                Ok(EngineMsg::InitShare {
+                    state: wire::get_bits(buf, state_len)?,
+                    inbox: wire::get_bits(buf, inbox_len)?,
+                })
+            }
+            TAG_AGG_SHARE => {
+                let len = wire::get_uvarint(buf)? as usize;
+                Ok(EngineMsg::AggShare {
+                    bits: wire::get_bits(buf, len)?,
+                })
+            }
+            tag => Err(WireError::BadTag {
+                tag,
+                what: "EngineMsg",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_net::wire::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn both_variants_round_trip() {
+        let init = EngineMsg::InitShare {
+            state: vec![true, false, true],
+            inbox: vec![false; 10],
+        };
+        assert_eq!(EngineMsg::decode_exact(&init.encode()).unwrap(), init);
+        let agg = EngineMsg::AggShare {
+            bits: vec![true; 9],
+        };
+        assert_eq!(EngineMsg::decode_exact(&agg.encode()).unwrap(), agg);
+    }
+
+    #[test]
+    fn golden_encodings() {
+        let init = EngineMsg::InitShare {
+            state: vec![true, false, true],
+            inbox: vec![true, true, false, false, true, false, false, false, true],
+        };
+        // tag 00 · state bits 03 · inbox bits 09 · state plane (1,0,1)=05 ·
+        // inbox planes 0b10011 = 13, then bit 8 set = 01
+        assert_eq!(hex(&init.encode()), "000309051301");
+        let agg = EngineMsg::AggShare {
+            bits: vec![false, true],
+        };
+        // tag 01 · bits 02 · plane (0,1) = 02
+        assert_eq!(hex(&agg.encode()), "010202");
+    }
+
+    #[test]
+    fn truncation_trailing_and_bad_tags_error_not_panic() {
+        for msg in [
+            EngineMsg::InitShare {
+                state: vec![true; 12],
+                inbox: vec![false; 24],
+            },
+            EngineMsg::AggShare {
+                bits: vec![true, false, true],
+            },
+        ] {
+            let encoded = msg.encode();
+            for cut in 0..encoded.len() {
+                assert!(EngineMsg::decode_exact(&encoded[..cut]).is_err());
+            }
+            let mut trailing = encoded;
+            trailing.push(0xFF);
+            assert!(EngineMsg::decode_exact(&trailing).is_err());
+        }
+        assert!(matches!(
+            EngineMsg::decode_exact(&[0x05]),
+            Err(WireError::BadTag { .. })
+        ));
+        // Dirty padding bits in the plane are rejected.
+        assert!(matches!(
+            EngineMsg::decode_exact(&[TAG_AGG_SHARE, 0x02, 0xFF]),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_engine_messages_round_trip(
+            state in proptest::collection::vec(any::<bool>(), 0..64),
+            inbox in proptest::collection::vec(any::<bool>(), 0..128),
+        ) {
+            let init = EngineMsg::InitShare { state: state.clone(), inbox };
+            prop_assert_eq!(EngineMsg::decode_exact(&init.encode()).unwrap(), init);
+            let agg = EngineMsg::AggShare { bits: state };
+            prop_assert_eq!(EngineMsg::decode_exact(&agg.encode()).unwrap(), agg);
+        }
+    }
+}

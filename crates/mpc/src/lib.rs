@@ -27,6 +27,9 @@
 //!   (grouped per layer on the wire), per-party traffic and operation
 //!   accounting, and helpers for sharing inputs and reconstructing
 //!   outputs.
+//! * [`wire`] — the wire encoding of every [`party::GmwMessage`]:
+//!   bit-packed choice/share planes plus the OT payloads, measured by the
+//!   transports so byte totals come from real encodings.
 //! * [`baseline`] — the naïve monolithic-MPC baseline of §5.5: an `N×N`
 //!   fixed-point matrix-multiplication circuit evaluated under GMW, plus
 //!   the extrapolation the paper uses to arrive at its "287 years"
@@ -54,6 +57,7 @@ pub mod error;
 pub mod gmw;
 pub mod ot;
 pub mod party;
+pub mod wire;
 
 pub use error::MpcError;
 pub use gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwExecution, GmwProtocol};

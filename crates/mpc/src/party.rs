@@ -32,11 +32,21 @@
 //!   gate, kept for A/B round measurements.  Rounds scale with the AND
 //!   *gate count*.
 //!
+//! Before any gate traffic, every pair exchanges one
+//! [`GmwMessage::OtSetup`] message in each direction carrying the base-OT
+//! key material of the pair's session (sized by the provider's analytic
+//! setup cost; skipped for providers with no setup).  Each choice message
+//! additionally carries the OT receiver-side payload (extension-matrix
+//! columns or public keys) and each response the sender-side payload, so
+//! the *measured* encoded bytes of a run reconcile with the analytic
+//! model; see [`crate::wire`] for the exact layouts.
+//!
 //! The two modes exchange the same OT payloads in a different grouping:
 //! every AND-gate mask is derived from the pair `(wire, peer)` rather than
 //! drawn from a sequential stream, so output shares, operation counts and
-//! traffic totals are bit-identical across modes (and across transport
-//! backends); only the measured round count differs.
+//! modeled traffic totals are bit-identical across modes (and across
+//! transport backends); only the measured round count and the measured
+//! per-message framing bytes differ.
 //!
 //! The lower-indexed party owns the pair's OT provider and accounts the
 //! pair's operation counts and traffic (both directions) in its own
@@ -95,8 +105,25 @@ use dstress_net::traffic::{NodeId, TrafficAccountant};
 use dstress_net::transport::{ActorStatus, Endpoint, NodeActor};
 
 /// A GMW protocol message, routed between parties by a transport.
+///
+/// Every variant has a hand-rolled wire encoding (see [`crate::wire`]):
+/// the per-gate and batched choice/share bits are bit-packed (one bit
+/// each), and the `ot_payload` fields carry the oblivious-transfer
+/// traffic that rides in the same round — base-OT key material at setup,
+/// extension-matrix columns with the choices, masked messages with the
+/// responses.  The payload *sizes* are protocol-faithful (they match the
+/// provider's analytic per-OT costs, so the measured wire bytes reconcile
+/// with the cost model); the payload *content* is deterministic filler,
+/// because the simulated OT providers deliver their outputs in-process.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GmwMessage {
+    /// Per-pair OT session setup (both directions): the base-OT key
+    /// material of the pair's extension session.  Empty for providers
+    /// with no per-session setup (public-key OT).
+    OtSetup {
+        /// Key-material filler sized by the provider's setup cost.
+        ot_payload: Vec<u8>,
+    },
     /// Per-gate mode, OT receiver → sender: the receiver's shares of one
     /// AND gate's inputs (its 1-out-of-4 choice).  Flows from the
     /// higher-indexed to the lower-indexed party of a pair.
@@ -107,6 +134,9 @@ pub enum GmwMessage {
         x: bool,
         /// The receiver's share of the gate's right input.
         y: bool,
+        /// This OT's receiver-side payload (extension-matrix column or
+        /// the four ElGamal public keys), sized by the provider.
+        ot_payload: Vec<u8>,
     },
     /// Per-gate mode, OT sender → receiver: the masked table entry the
     /// receiver chose.
@@ -115,23 +145,30 @@ pub enum GmwMessage {
         gate: u32,
         /// The received bit.
         bit: bool,
+        /// This OT's sender-side payload (masked messages or the four
+        /// ElGamal ciphertexts), sized by the provider.
+        ot_payload: Vec<u8>,
     },
     /// Layered mode, OT receiver → sender: the receiver's input shares for
     /// *every* AND gate of one circuit layer, in layer order — a whole
-    /// round's worth of choices in one message.
+    /// round's worth of choices in one message, two bit-packed planes.
     Choices {
         /// Index of the AND layer, for in-order delivery checks.
         layer: u32,
         /// `(x, y)` input shares per gate of the layer.
         pairs: Vec<(bool, bool)>,
+        /// The layer's batched receiver-side OT payload.
+        ot_payload: Vec<u8>,
     },
     /// Layered mode, OT sender → receiver: the masked table entries for
-    /// every AND gate of one circuit layer.
+    /// every AND gate of one circuit layer, one bit-packed plane.
     Responses {
         /// Index of the AND layer.
         layer: u32,
         /// The received bit per gate of the layer.
         bits: Vec<bool>,
+        /// The layer's batched sender-side OT payload.
+        ot_payload: Vec<u8>,
     },
 }
 
@@ -190,6 +227,44 @@ impl OtConfig {
                 SimulatedOtExtension::with_security_parameter(security_parameter),
             ),
             OtConfig::ElGamal { group } => Box::new(ElGamalOt::new(Group::new(group), seed)),
+        }
+    }
+
+    /// Wire bytes the OT *receiver* contributes per transfer: the κ-bit
+    /// extension-matrix column (IKNP) or the four public keys (ElGamal).
+    /// Matches the provider's analytic `receiver_bytes` per transfer, so
+    /// the measured wire traffic reconciles with the cost model (a unit
+    /// test pins the two together).
+    pub fn wire_receiver_bytes_per_ot(&self) -> usize {
+        match *self {
+            OtConfig::Extension { security_parameter } => (security_parameter as usize).div_ceil(8),
+            OtConfig::ElGamal { group } => 4 * Group::new(group).element_bytes(),
+        }
+    }
+
+    /// Wire bytes the OT *sender* contributes per transfer: the masked
+    /// message bits padded to a byte (IKNP) or the four ciphertexts
+    /// (ElGamal).  Matches the provider's analytic `sender_bytes`.
+    pub fn wire_sender_bytes_per_ot(&self) -> usize {
+        match *self {
+            OtConfig::Extension { .. } => 1,
+            OtConfig::ElGamal { group } => 4 * 2 * Group::new(group).element_bytes(),
+        }
+    }
+
+    /// Wire bytes of the per-pair session setup as
+    /// `(owner_to_peer, peer_to_owner)`: κ base OTs worth of key material
+    /// each way for extension providers, nothing for public-key OT.
+    /// Matches the provider's analytic `session_setup` byte totals.
+    pub fn wire_setup_bytes(&self) -> (usize, usize) {
+        match *self {
+            OtConfig::Extension { security_parameter } => {
+                // Two 32-byte group elements per base OT in each
+                // direction (see `SimulatedOtExtension::session_setup`).
+                let each = security_parameter as usize * 2 * 32;
+                (each, each)
+            }
+            OtConfig::ElGamal { .. } => (0, 0),
         }
     }
 }
@@ -286,6 +361,12 @@ pub struct GmwParty<'c> {
     /// OT provider for every pair this party owns (peers with a larger
     /// index); `None` for peers whose pair the peer owns.
     ots: Vec<Option<Box<dyn OtProvider + Send>>>,
+    /// Receiver-side wire payload per OT (cached from the [`OtConfig`]).
+    ot_recv_payload: usize,
+    /// Sender-side wire payload per OT.
+    ot_send_payload: usize,
+    /// Session-setup wire payloads `(owner_to_peer, peer_to_owner)`.
+    ot_setup_payload: (usize, usize),
     input_share: Vec<bool>,
     /// Wire values, indexed by wire id (filled as the schedule runs).
     wires: Vec<bool>,
@@ -303,6 +384,11 @@ pub struct GmwParty<'c> {
     round: usize,
     free_done: bool,
     layer_state: Option<LayerState>,
+    /// Whether this party's setup costs were charged and its OtSetup
+    /// messages went out.
+    setup_sent: bool,
+    /// Next peer whose OtSetup message this party still awaits.
+    setup_recv_peer: usize,
     setup_done: bool,
     finished: bool,
 }
@@ -346,6 +432,9 @@ impl<'c> GmwParty<'c> {
             node_ids,
             mask_seed,
             ots,
+            ot_recv_payload: ot.wire_receiver_bytes_per_ot(),
+            ot_send_payload: ot.wire_sender_bytes_per_ot(),
+            ot_setup_payload: ot.wire_setup_bytes(),
             input_share,
             wires: vec![false; circuit.len()],
             counts: OperationCounts::default(),
@@ -359,6 +448,8 @@ impl<'c> GmwParty<'c> {
             round: 0,
             free_done: false,
             layer_state: None,
+            setup_sent: false,
+            setup_recv_peer: 0,
             setup_done: false,
             finished: false,
         }
@@ -460,7 +551,8 @@ impl<'c> GmwParty<'c> {
         let y = self.wires[st.b];
         let gate_tag = st.wire as u32;
 
-        // As OT receiver: announce the choice to every pair owner.
+        // As OT receiver: announce the choice to every pair owner, each
+        // message carrying one OT's worth of receiver-side payload.
         if !st.choices_sent {
             if self.index > 0 {
                 let batch: Vec<(usize, GmwMessage)> = (0..self.index)
@@ -471,6 +563,7 @@ impl<'c> GmwParty<'c> {
                                 gate: gate_tag,
                                 x,
                                 y,
+                                ot_payload: vec![0; self.ot_recv_payload],
                             },
                         )
                     })
@@ -488,12 +581,19 @@ impl<'c> GmwParty<'c> {
                 self.and_state = Some(st);
                 return false;
             };
-            let GmwMessage::Choice { gate, x: xj, y: yj } = message else {
+            let GmwMessage::Choice {
+                gate,
+                x: xj,
+                y: yj,
+                ot_payload,
+            } = message
+            else {
                 panic!(
                     "party {peer} must send Choice messages to party {}",
                     self.index
                 );
             };
+            debug_assert_eq!(ot_payload.len(), self.ot_recv_payload, "OT payload size");
             debug_assert_eq!(gate, gate_tag, "AND-gate choice out of order");
             // The sender's mask; the pair's cross terms x_i·y_j ⊕ x_j·y_i
             // are encoded in the table, indexed by the receiver's choice.
@@ -509,6 +609,7 @@ impl<'c> GmwParty<'c> {
                 GmwMessage::Response {
                     gate: gate_tag,
                     bit: outcome.received,
+                    ot_payload: vec![0; self.ot_send_payload],
                 },
             );
             st.share ^= r;
@@ -530,7 +631,12 @@ impl<'c> GmwParty<'c> {
                 self.and_state = Some(st);
                 return false;
             };
-            let GmwMessage::Response { gate, bit } = message else {
+            let GmwMessage::Response {
+                gate,
+                bit,
+                ot_payload: _,
+            } = message
+            else {
                 panic!(
                     "party {owner} must send Response messages to party {}",
                     self.index
@@ -615,6 +721,7 @@ impl<'c> GmwParty<'c> {
                             GmwMessage::Choices {
                                 layer: layer_tag,
                                 pairs: pairs.clone(),
+                                ot_payload: vec![0; pairs.len() * self.ot_recv_payload],
                             },
                         )
                     })
@@ -633,13 +740,23 @@ impl<'c> GmwParty<'c> {
                 self.layer_state = Some(st);
                 return false;
             };
-            let GmwMessage::Choices { layer, pairs } = message else {
+            let GmwMessage::Choices {
+                layer,
+                pairs,
+                ot_payload,
+            } = message
+            else {
                 panic!(
                     "party {peer} must send Choices messages to party {}",
                     self.index
                 );
             };
             debug_assert_eq!(layer, layer_tag, "layer choices out of order");
+            debug_assert_eq!(
+                ot_payload.len(),
+                pairs.len() * self.ot_recv_payload,
+                "batched OT payload size"
+            );
             let gates = &self.layers.and_layers()[st.layer];
             debug_assert_eq!(pairs.len(), gates.len(), "peer batched a different layer");
             let mut requests: Vec<OtRequest> = Vec::with_capacity(gates.len());
@@ -657,11 +774,13 @@ impl<'c> GmwParty<'c> {
             let outcome = provider.transfer_many(&requests);
             let after = provider.counts();
             absorb_provider_delta(&mut self.counts, &before, &after);
+            let batch_len = outcome.received.len();
             endpoint.send(
                 peer,
                 GmwMessage::Responses {
                     layer: layer_tag,
                     bits: outcome.received,
+                    ot_payload: vec![0; batch_len * self.ot_send_payload],
                 },
             );
             let me = self.node_ids[self.index];
@@ -683,7 +802,12 @@ impl<'c> GmwParty<'c> {
                 self.layer_state = Some(st);
                 return false;
             };
-            let GmwMessage::Responses { layer, bits } = message else {
+            let GmwMessage::Responses {
+                layer,
+                bits,
+                ot_payload: _,
+            } = message
+            else {
                 panic!(
                     "party {owner} must send Responses messages to party {}",
                     self.index
@@ -766,13 +890,74 @@ fn absorb_provider_delta(
     counts.extended_ots += after.extended_ots - before.extended_ots;
 }
 
+impl GmwParty<'_> {
+    /// Drives the session-setup message exchange: charge the setup costs,
+    /// send the base-OT key material to every peer, and wait until every
+    /// peer's material arrived.  Returns `false` while still waiting.
+    ///
+    /// Providers with no per-session setup (both payloads empty) skip the
+    /// exchange entirely, matching their analytic model of zero setup
+    /// messages.
+    fn advance_setup(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> bool {
+        let (owner_to_peer, peer_to_owner) = self.ot_setup_payload;
+        if !self.setup_sent {
+            self.session_setup();
+            if owner_to_peer > 0 || peer_to_owner > 0 {
+                let batch: Vec<(usize, GmwMessage)> = (0..self.parties)
+                    .filter(|&peer| peer != self.index)
+                    .map(|peer| {
+                        // Pair owners (lower index) send the sender-side
+                        // key material; the peer answers with the
+                        // receiver side.
+                        let len = if peer > self.index {
+                            owner_to_peer
+                        } else {
+                            peer_to_owner
+                        };
+                        (
+                            peer,
+                            GmwMessage::OtSetup {
+                                ot_payload: vec![0; len],
+                            },
+                        )
+                    })
+                    .collect();
+                endpoint.send_many(batch);
+            }
+            self.setup_sent = true;
+        }
+        if owner_to_peer > 0 || peer_to_owner > 0 {
+            while self.setup_recv_peer < self.parties {
+                let peer = self.setup_recv_peer;
+                if peer == self.index {
+                    self.setup_recv_peer += 1;
+                    continue;
+                }
+                let Some(message) = endpoint.try_recv_from(peer) else {
+                    return false;
+                };
+                let GmwMessage::OtSetup { .. } = message else {
+                    panic!(
+                        "party {peer} must open toward party {} with an OtSetup message",
+                        self.index
+                    );
+                };
+                self.setup_recv_peer += 1;
+            }
+        }
+        true
+    }
+}
+
 impl NodeActor<GmwMessage> for GmwParty<'_> {
     fn poll(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> ActorStatus {
         if self.finished {
             return ActorStatus::Done;
         }
         if !self.setup_done {
-            self.session_setup();
+            if !self.advance_setup(endpoint) {
+                return ActorStatus::Idle;
+            }
             self.setup_done = true;
         }
         match self.batching {

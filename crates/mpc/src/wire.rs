@@ -1,0 +1,390 @@
+//! Wire encoding of the GMW protocol messages.
+//!
+//! Every [`GmwMessage`] is encoded by hand on top of the primitives in
+//! [`dstress_net::wire`]; both transport backends route each send through
+//! this codec, so the byte totals in a run's
+//! [`dstress_net::wire::WireTally`] are measured from these layouts.
+//!
+//! ## Layouts
+//!
+//! | message | layout |
+//! |---|---|
+//! | `OtSetup`   | `0x00` · bytes(ot_payload) |
+//! | `Choice`    | `0x01` · uvarint(gate) · packed{bit0 = x, bit1 = y} · bytes(ot_payload) |
+//! | `Response`  | `0x02` · uvarint(gate) · packed{bit0 = bit} · bytes(ot_payload) |
+//! | `Choices`   | `0x03` · uvarint(layer) · uvarint(w) · x-plane⌈w/8⌉ · y-plane⌈w/8⌉ · bytes(ot_payload) |
+//! | `Responses` | `0x04` · uvarint(layer) · uvarint(w) · bit-plane⌈w/8⌉ · bytes(ot_payload) |
+//!
+//! `bytes(…)` is a varint length followed by raw bytes; bit planes pack
+//! LSB-first with zero padding (the decoder rejects dirty padding bits).
+//! The batched choice and share bits therefore cost **one bit each** on
+//! the wire — `⌈w/8⌉` bytes per plane for a `w`-gate layer — instead of
+//! the byte-or-more the per-gate messages pay in headers.
+
+use crate::party::GmwMessage;
+use dstress_net::wire::{self, Wire, WireError};
+
+/// Message tags (the first byte of every encoding).
+const TAG_OT_SETUP: u8 = 0x00;
+const TAG_CHOICE: u8 = 0x01;
+const TAG_RESPONSE: u8 = 0x02;
+const TAG_CHOICES: u8 = 0x03;
+const TAG_RESPONSES: u8 = 0x04;
+
+/// Upper bound on the header bytes of a batched `Choices`/`Responses`
+/// encoding: the tag, two worst-case `u32` varints (layer, count) and the
+/// varint length of an empty OT payload.  The regression tests assert a
+/// `w`-gate `Choices` message costs at most `2·⌈w/8⌉` bit-plane bytes
+/// (one bit per choice bit, two planes) plus this header.
+pub const BATCH_HEADER_MAX: usize = 1 + 5 + 5 + 1;
+
+impl Wire for GmwMessage {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            GmwMessage::OtSetup { ot_payload } => {
+                wire::put_u8(out, TAG_OT_SETUP);
+                wire::put_bytes(out, ot_payload);
+            }
+            GmwMessage::Choice {
+                gate,
+                x,
+                y,
+                ot_payload,
+            } => {
+                wire::put_u8(out, TAG_CHOICE);
+                wire::put_uvarint(out, u64::from(*gate));
+                wire::put_bits(out, &[*x, *y]);
+                wire::put_bytes(out, ot_payload);
+            }
+            GmwMessage::Response {
+                gate,
+                bit,
+                ot_payload,
+            } => {
+                wire::put_u8(out, TAG_RESPONSE);
+                wire::put_uvarint(out, u64::from(*gate));
+                wire::put_bits(out, &[*bit]);
+                wire::put_bytes(out, ot_payload);
+            }
+            GmwMessage::Choices {
+                layer,
+                pairs,
+                ot_payload,
+            } => {
+                wire::put_u8(out, TAG_CHOICES);
+                wire::put_uvarint(out, u64::from(*layer));
+                wire::put_uvarint(out, pairs.len() as u64);
+                let xs: Vec<bool> = pairs.iter().map(|&(x, _)| x).collect();
+                let ys: Vec<bool> = pairs.iter().map(|&(_, y)| y).collect();
+                wire::put_bits(out, &xs);
+                wire::put_bits(out, &ys);
+                wire::put_bytes(out, ot_payload);
+            }
+            GmwMessage::Responses {
+                layer,
+                bits,
+                ot_payload,
+            } => {
+                wire::put_u8(out, TAG_RESPONSES);
+                wire::put_uvarint(out, u64::from(*layer));
+                wire::put_uvarint(out, bits.len() as u64);
+                wire::put_bits(out, bits);
+                wire::put_bytes(out, ot_payload);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let what = "GmwMessage";
+        let gate_or_layer = |buf: &mut &[u8]| -> Result<u32, WireError> {
+            u32::try_from(wire::get_uvarint(buf)?).map_err(|_| WireError::Invalid { what })
+        };
+        match wire::get_u8(buf)? {
+            TAG_OT_SETUP => Ok(GmwMessage::OtSetup {
+                ot_payload: wire::get_bytes(buf)?,
+            }),
+            TAG_CHOICE => {
+                let gate = gate_or_layer(buf)?;
+                let bits = wire::get_bits(buf, 2)?;
+                Ok(GmwMessage::Choice {
+                    gate,
+                    x: bits[0],
+                    y: bits[1],
+                    ot_payload: wire::get_bytes(buf)?,
+                })
+            }
+            TAG_RESPONSE => {
+                let gate = gate_or_layer(buf)?;
+                let bits = wire::get_bits(buf, 1)?;
+                Ok(GmwMessage::Response {
+                    gate,
+                    bit: bits[0],
+                    ot_payload: wire::get_bytes(buf)?,
+                })
+            }
+            TAG_CHOICES => {
+                let layer = gate_or_layer(buf)?;
+                let count = wire::get_uvarint(buf)? as usize;
+                let xs = wire::get_bits(buf, count)?;
+                let ys = wire::get_bits(buf, count)?;
+                Ok(GmwMessage::Choices {
+                    layer,
+                    pairs: xs.into_iter().zip(ys).collect(),
+                    ot_payload: wire::get_bytes(buf)?,
+                })
+            }
+            TAG_RESPONSES => {
+                let layer = gate_or_layer(buf)?;
+                let count = wire::get_uvarint(buf)? as usize;
+                Ok(GmwMessage::Responses {
+                    layer,
+                    bits: wire::get_bits(buf, count)?,
+                    ot_payload: wire::get_bytes(buf)?,
+                })
+            }
+            tag => Err(WireError::BadTag { tag, what }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_net::wire::hex;
+    use proptest::prelude::*;
+
+    fn sample_messages() -> Vec<GmwMessage> {
+        vec![
+            GmwMessage::OtSetup {
+                ot_payload: vec![0, 1, 2],
+            },
+            GmwMessage::Choice {
+                gate: 300,
+                x: true,
+                y: false,
+                ot_payload: vec![0xAA; 10],
+            },
+            GmwMessage::Response {
+                gate: 7,
+                bit: true,
+                ot_payload: vec![],
+            },
+            GmwMessage::Choices {
+                layer: 2,
+                pairs: vec![(true, false), (false, false), (true, true)],
+                ot_payload: vec![0x55; 30],
+            },
+            GmwMessage::Responses {
+                layer: 2,
+                bits: vec![false, true, true],
+                ot_payload: vec![1, 2, 3],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for message in sample_messages() {
+            let encoded = message.encode();
+            assert_eq!(
+                GmwMessage::decode_exact(&encoded).unwrap(),
+                message,
+                "{message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected_not_panics() {
+        for message in sample_messages() {
+            let encoded = message.encode();
+            for cut in 0..encoded.len() {
+                assert!(
+                    GmwMessage::decode_exact(&encoded[..cut]).is_err(),
+                    "{message:?} truncated to {cut} bytes decoded"
+                );
+            }
+            let mut trailing = encoded;
+            trailing.push(0x00);
+            assert_eq!(
+                GmwMessage::decode_exact(&trailing),
+                Err(WireError::Trailing { remaining: 1 }),
+                "{message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_dirty_padding_are_rejected() {
+        assert_eq!(
+            GmwMessage::decode_exact(&[0x07]),
+            Err(WireError::BadTag {
+                tag: 0x07,
+                what: "GmwMessage"
+            })
+        );
+        // A Choice whose packed byte sets bits above bit 1.
+        let mut bad = Vec::new();
+        wire::put_u8(&mut bad, 0x01);
+        wire::put_uvarint(&mut bad, 3);
+        bad.push(0b0000_0100);
+        wire::put_bytes(&mut bad, &[]);
+        assert!(matches!(
+            GmwMessage::decode_exact(&bad),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    /// Golden byte-layout fixtures: one canonical encoding per message
+    /// type.  A failure here means the wire format changed — bump these
+    /// deliberately, never silently.
+    #[test]
+    fn golden_encodings() {
+        let cases: Vec<(GmwMessage, &str)> = vec![
+            (
+                GmwMessage::OtSetup {
+                    ot_payload: vec![0xAB, 0xCD],
+                },
+                "0002abcd",
+            ),
+            (
+                GmwMessage::Choice {
+                    gate: 300,
+                    x: true,
+                    y: false,
+                    ot_payload: vec![0xEE],
+                },
+                // tag 01 · varint 300 = ac02 · packed x=1,y=0 = 01 · len 1 · ee
+                "01ac020101ee",
+            ),
+            (
+                GmwMessage::Response {
+                    gate: 7,
+                    bit: true,
+                    ot_payload: vec![],
+                },
+                "02070100",
+            ),
+            (
+                GmwMessage::Choices {
+                    layer: 1,
+                    pairs: vec![(true, false), (true, true), (false, true)],
+                    ot_payload: vec![0x11, 0x22],
+                },
+                // tag 03 · layer 01 · count 03 · x-plane (1,1,0) = 03 ·
+                // y-plane (0,1,1) = 06 · len 02 · 1122
+                "0301030306021122",
+            ),
+            (
+                GmwMessage::Responses {
+                    layer: 4,
+                    bits: vec![true, true, false, false, true],
+                    ot_payload: vec![0xFF],
+                },
+                // tag 04 · layer 04 · count 05 · plane 0b10011 = 13 ·
+                // len 01 · ff
+                "0404051301ff",
+            ),
+        ];
+        for (message, expected) in cases {
+            assert_eq!(hex(&message.encode()), expected, "{message:?}");
+        }
+    }
+
+    #[test]
+    fn batched_choices_are_bit_packed() {
+        // The satellite regression: a w-wide layer's Choices payload is
+        // two 1-bit-per-gate planes — at most 2·⌈w/8⌉ bytes plus the
+        // bounded header — and Responses is one plane.
+        for w in [1usize, 7, 8, 9, 64, 333] {
+            let choices = GmwMessage::Choices {
+                layer: u32::MAX,
+                pairs: vec![(true, false); w],
+                ot_payload: vec![],
+            };
+            assert!(
+                choices.encode().len() <= 2 * w.div_ceil(8) + BATCH_HEADER_MAX,
+                "choices for w = {w}"
+            );
+            let responses = GmwMessage::Responses {
+                layer: u32::MAX,
+                bits: vec![true; w],
+                ot_payload: vec![],
+            };
+            assert!(
+                responses.encode().len() <= w.div_ceil(8) + BATCH_HEADER_MAX,
+                "responses for w = {w}"
+            );
+        }
+    }
+
+    /// Every variant built from one random draw, so the proptests cover
+    /// the whole message space.
+    fn messages_from(
+        tag: u32,
+        x_bits: &[bool],
+        y_bits: &[bool],
+        payload: &[u8],
+    ) -> Vec<GmwMessage> {
+        vec![
+            GmwMessage::OtSetup {
+                ot_payload: payload.to_vec(),
+            },
+            GmwMessage::Choice {
+                gate: tag,
+                x: x_bits.first().copied().unwrap_or(false),
+                y: y_bits.first().copied().unwrap_or(true),
+                ot_payload: payload.to_vec(),
+            },
+            GmwMessage::Response {
+                gate: tag,
+                bit: x_bits.last().copied().unwrap_or(false),
+                ot_payload: payload.to_vec(),
+            },
+            GmwMessage::Choices {
+                layer: tag,
+                pairs: x_bits.iter().copied().zip(y_bits.iter().copied()).collect(),
+                ot_payload: payload.to_vec(),
+            },
+            GmwMessage::Responses {
+                layer: tag,
+                bits: y_bits.to_vec(),
+                ot_payload: payload.to_vec(),
+            },
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_gmw_messages_round_trip(
+            tag in any::<u32>(),
+            x_bits in proptest::collection::vec(any::<bool>(), 0..80),
+            y_bits in proptest::collection::vec(any::<bool>(), 0..80),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            for message in messages_from(tag, &x_bits, &y_bits, &payload) {
+                let encoded = message.encode();
+                prop_assert_eq!(GmwMessage::decode_exact(&encoded).unwrap(), message);
+            }
+        }
+
+        #[test]
+        fn prop_truncations_error(
+            tag in any::<u32>(),
+            x_bits in proptest::collection::vec(any::<bool>(), 0..40),
+            y_bits in proptest::collection::vec(any::<bool>(), 0..40),
+            payload in proptest::collection::vec(any::<u8>(), 0..32),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            for message in messages_from(tag, &x_bits, &y_bits, &payload) {
+                let encoded = message.encode();
+                let cut = ((encoded.len() as f64) * cut_frac) as usize;
+                if cut < encoded.len() {
+                    prop_assert!(GmwMessage::decode_exact(&encoded[..cut]).is_err());
+                }
+            }
+        }
+    }
+}

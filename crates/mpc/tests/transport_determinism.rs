@@ -119,6 +119,13 @@ fn assert_backends_agree(
         sim.bytes_sent_per_party, thr.bytes_sent_per_party,
         "seed {seed}"
     );
+    // Measured wire bytes — the encoded sizes of the actual messages —
+    // are as deterministic as the modeled totals.
+    assert_eq!(
+        sim.wire_bytes_per_party, thr.wire_bytes_per_party,
+        "seed {seed}"
+    );
+    assert_eq!(sim.counts.wire_bytes, thr.counts.wire_bytes, "seed {seed}");
     assert_eq!(sim_traffic.report(), thr_traffic.report(), "seed {seed}");
 
     // Both must also be *correct*: reconstruction equals the plaintext
@@ -164,15 +171,24 @@ fn assert_batching_modes_agree(
     let pr = per_gate_traffic.report();
     assert_eq!(br.total_bytes, pr.total_bytes, "seed {seed}");
     assert_eq!(br.max_node_bytes, pr.max_node_bytes, "seed {seed}");
-    // Identical work; only the round structure changes.
+    // Identical work; only the round structure and the measured message
+    // *framing* change (batching pays one header per layer where the
+    // per-gate path pays one per gate, so the measured wire bytes differ
+    // even though every modeled count matches).
     let mut b = batched.counts;
     let mut p = per_gate.counts;
     assert!(b.rounds <= p.rounds, "seed {seed}");
     if circuit.and_gates() > 0 {
         assert!(br.total_messages <= pr.total_messages, "seed {seed}");
+    } else {
+        // With no AND gates neither mode exchanges OT messages, so even
+        // the measured wire bytes are identical.
+        assert_eq!(b.wire_bytes, p.wire_bytes, "seed {seed}");
     }
     b.rounds = 0;
     p.rounds = 0;
+    b.wire_bytes = 0;
+    p.wire_bytes = 0;
     assert_eq!(b, p, "seed {seed}");
 }
 
@@ -223,6 +239,110 @@ fn backends_agree_with_real_elgamal_ot() {
         2,
         GmwBatching::Layered,
     );
+}
+
+/// Measured byte totals across the full Sim/Threaded × Layered/PerGate
+/// 2×2: within each batching mode the two backends must agree bit for
+/// bit, and the batched framing must never exceed the per-gate framing.
+#[test]
+fn measured_wire_bytes_bit_identical_across_the_2x2() {
+    let parties = 4;
+    let (circuit, _, shares, master_seed) = scenario(0x2B17, parties);
+    let ot = OtConfig::extension();
+    let mut grid = Vec::new();
+    for batching in [GmwBatching::Layered, GmwBatching::PerGate] {
+        let (sim, sim_traffic) = run_on(
+            &SimTransport,
+            &circuit,
+            &shares,
+            parties,
+            &ot,
+            master_seed,
+            batching,
+        );
+        let (thr, thr_traffic) = run_on(
+            &ThreadedTransport::with_threads(3),
+            &circuit,
+            &shares,
+            parties,
+            &ot,
+            master_seed,
+            batching,
+        );
+        assert_eq!(sim.counts.wire_bytes, thr.counts.wire_bytes, "{batching:?}");
+        assert_eq!(
+            sim.wire_bytes_per_party, thr.wire_bytes_per_party,
+            "{batching:?}"
+        );
+        assert_eq!(
+            sim_traffic.report().total_wire_bytes,
+            thr_traffic.report().total_wire_bytes,
+            "{batching:?}"
+        );
+        assert!(sim.counts.wire_bytes > 0, "{batching:?}");
+        grid.push(sim.counts.wire_bytes);
+    }
+    let (layered, per_gate) = (grid[0], grid[1]);
+    assert!(layered <= per_gate, "batched framing must not cost more");
+}
+
+/// The satellite regression: on a `w`-wide single-AND-layer circuit the
+/// batched `Choices` message is two bit-packed planes — at most
+/// `2·⌈w/8⌉` bytes plus a bounded header — where the per-gate path pays
+/// a whole headed message per gate.  Run with κ = 0 so no OT payload
+/// rides along and the framing itself is what gets measured.
+#[test]
+fn batched_choices_payload_is_bit_packed_on_the_wire() {
+    let w = 64usize;
+    let mut builder = CircuitBuilder::new();
+    let mut outs = Vec::new();
+    for _ in 0..w {
+        let x = builder.input();
+        let y = builder.input();
+        outs.push(builder.and(x, y));
+    }
+    for o in outs {
+        builder.output(o);
+    }
+    let circuit = builder.build().unwrap();
+    let mut share_rng = Xoshiro256::new(0xB17);
+    let shares = share_inputs(&vec![true; circuit.num_inputs()], 2, &mut share_rng);
+    let ot = OtConfig::Extension {
+        security_parameter: 0,
+    };
+
+    let (batched, _) = run_on(
+        &SimTransport,
+        &circuit,
+        &shares,
+        2,
+        &ot,
+        9,
+        GmwBatching::Layered,
+    );
+    // Party 1 (the OT receiver toward pair owner 0) sends exactly one
+    // Choices message: two w-bit planes plus the header.
+    let header_max = dstress_mpc::wire::BATCH_HEADER_MAX as u64;
+    assert!(
+        batched.wire_bytes_per_party[1] <= (2 * w.div_ceil(8)) as u64 + header_max,
+        "batched choices cost {} bytes for w = {w}",
+        batched.wire_bytes_per_party[1]
+    );
+
+    let (per_gate, _) = run_on(
+        &SimTransport,
+        &circuit,
+        &shares,
+        2,
+        &ot,
+        9,
+        GmwBatching::PerGate,
+    );
+    // Per-gate framing pays at least tag + gate id + packed byte +
+    // payload length per AND gate — measurably more than the bit-packed
+    // batch.
+    assert!(per_gate.wire_bytes_per_party[1] >= (3 * w) as u64);
+    assert!(batched.wire_bytes_per_party[1] * 4 < per_gate.wire_bytes_per_party[1]);
 }
 
 #[test]

@@ -35,8 +35,14 @@ pub struct OperationCounts {
     pub and_gates: u64,
     /// XOR/NOT gates evaluated under GMW (negligible but counted).
     pub free_gates: u64,
-    /// Bytes sent over the network.
+    /// Bytes sent over the network according to the *analytical* model
+    /// (per-primitive wire-cost formulas; what the cost projection uses).
     pub bytes_sent: u64,
+    /// Bytes *measured* on the simulated wire: the summed lengths of the
+    /// actual message encodings produced by the [`crate::wire`] layer.
+    /// Reconciling this against `bytes_sent` is what `repro -- bytes`
+    /// reports.
+    pub wire_bytes: u64,
     /// Protocol communication rounds (sequential message exchanges).
     pub rounds: u64,
 }
@@ -51,6 +57,7 @@ impl OperationCounts {
         self.and_gates += other.and_gates;
         self.free_gates += other.free_gates;
         self.bytes_sent += other.bytes_sent;
+        self.wire_bytes += other.wire_bytes;
         self.rounds += other.rounds;
     }
 
@@ -82,6 +89,7 @@ impl OperationCounts {
             and_gates: self.and_gates * factor,
             free_gates: self.free_gates * factor,
             bytes_sent: self.bytes_sent * factor,
+            wire_bytes: self.wire_bytes * factor,
             rounds: self.rounds * factor,
         }
     }
@@ -170,6 +178,7 @@ mod tests {
         let a = OperationCounts {
             exponentiations: 10,
             bytes_sent: 100,
+            wire_bytes: 90,
             rounds: 2,
             ..Default::default()
         };
@@ -182,8 +191,10 @@ mod tests {
         assert_eq!(c.exponentiations, 15);
         assert_eq!(c.and_gates, 7);
         assert_eq!(c.bytes_sent, 100);
+        assert_eq!(c.wire_bytes, 90);
         let s = c.scaled(3);
         assert_eq!(s.exponentiations, 45);
+        assert_eq!(s.wire_bytes, 270);
         assert_eq!(s.rounds, 6);
     }
 

@@ -16,6 +16,10 @@
 //!   code written as per-node actors runs unchanged on the deterministic
 //!   in-process backend ([`transport::SimTransport`]) or on a real worker
 //!   pool with per-node channels ([`transport::ThreadedTransport`]).
+//! * [`wire`] — the hand-rolled wire format ([`wire::Wire`], varints,
+//!   bit-packed planes).  Both transport backends route every send
+//!   through `encode → bytes → decode` and return a [`wire::WireTally`]
+//!   of the *measured* encoded bytes per node pair.
 //! * [`pool`] — the worker pool used to execute independent simulation
 //!   tasks (blocks, sweep points) concurrently with deterministic results.
 //! * [`cost`] — the calibrated cost model used to convert operation counts
@@ -43,6 +47,7 @@ pub mod mailbox;
 pub mod pool;
 pub mod traffic;
 pub mod transport;
+pub mod wire;
 
 pub use cost::{CostModel, OperationCounts};
 pub use mailbox::Mailbox;
@@ -50,3 +55,4 @@ pub use traffic::{NodeId, TrafficAccountant, TrafficReport};
 pub use transport::{
     ActorStatus, Endpoint, NodeActor, SimTransport, ThreadedTransport, Transport, TransportError,
 };
+pub use wire::{Wire, WireError, WireTally};

@@ -81,11 +81,27 @@
 
 use crate::mailbox::Mailbox;
 use crate::traffic::NodeId;
+use crate::wire::{Wire, WireTally};
 use core::fmt;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Encodes a message through the wire format, measures the encoding, and
+/// decodes it back — the boundary every transport send passes through.
+/// Both backends deliver the *decoded* copy, so a message type whose
+/// codec cannot round-trip fails loudly in any test that exchanges it.
+///
+/// A decode failure here is an encoder/decoder mismatch in the message
+/// type itself (never data-dependent), so it panics rather than poisoning
+/// the run.
+fn through_wire<M: Wire>(message: M) -> (M, u64) {
+    let bytes = message.encode();
+    let decoded = M::decode_exact(&bytes)
+        .expect("wire round-trip failed: the message type's encoder and decoder disagree");
+    (decoded, bytes.len() as u64)
+}
 
 /// What an actor reports after a [`NodeActor::poll`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,11 +181,16 @@ impl fmt::Display for TransportError {
 impl std::error::Error for TransportError {}
 
 /// A backend that drives a set of node actors to completion.
-pub trait Transport<M: Send> {
+///
+/// Messages must implement [`Wire`]: every send is routed through
+/// `encode → byte buffer → decode`, and the run returns a [`WireTally`]
+/// of the measured encoded bytes per `(from, to)` pair.
+pub trait Transport<M: Wire + Send> {
     /// Short backend name, for logs and benchmark tables.
     fn name(&self) -> &'static str;
 
-    /// Runs every actor until all are [`ActorStatus::Done`].
+    /// Runs every actor until all are [`ActorStatus::Done`], returning
+    /// the measured wire traffic of the run.
     ///
     /// Actor `i` is local node `i`.  The actors are borrowed, not
     /// consumed, so the caller can extract their results afterwards.
@@ -178,7 +199,7 @@ pub trait Transport<M: Send> {
     ///
     /// Returns [`TransportError::Stalled`] if the protocol can never
     /// complete (all remaining actors idle, no messages in flight).
-    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError>;
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<WireTally, TransportError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -196,25 +217,34 @@ pub struct SimTransport;
 struct SimEndpoint<'a, M> {
     node: usize,
     mailbox: &'a mut Mailbox<M>,
+    tally: &'a mut WireTally,
     /// Sends plus successful receives, used for stall detection.
     activity: &'a mut u64,
 }
 
-impl<M> Endpoint<M> for SimEndpoint<'_, M> {
+impl<M: Wire> Endpoint<M> for SimEndpoint<'_, M> {
     fn nodes(&self) -> usize {
         self.mailbox.nodes()
     }
 
     fn send(&mut self, to: usize, message: M) {
         *self.activity += 1;
-        self.mailbox.send(NodeId(self.node), NodeId(to), message);
+        let (decoded, bytes) = through_wire(message);
+        self.tally.record(self.node, to, bytes);
+        self.mailbox.send(NodeId(self.node), NodeId(to), decoded);
     }
 
     fn send_many(&mut self, batch: Vec<(usize, M)>) {
         *self.activity += batch.len() as u64;
+        let node = self.node;
+        let tally = &mut *self.tally;
         self.mailbox.send_many(
-            NodeId(self.node),
-            batch.into_iter().map(|(to, m)| (NodeId(to), m)),
+            NodeId(node),
+            batch.into_iter().map(|(to, m)| {
+                let (decoded, bytes) = through_wire(m);
+                tally.record(node, to, bytes);
+                (NodeId(to), decoded)
+            }),
         );
     }
 
@@ -227,14 +257,15 @@ impl<M> Endpoint<M> for SimEndpoint<'_, M> {
     }
 }
 
-impl<M: Send> Transport<M> for SimTransport {
+impl<M: Wire + Send> Transport<M> for SimTransport {
     fn name(&self) -> &'static str {
         "sim"
     }
 
-    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError> {
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<WireTally, TransportError> {
         let n = actors.len();
         let mut mailbox: Mailbox<M> = Mailbox::new(n);
+        let mut tally = WireTally::new(n);
         let mut done = vec![false; n];
         let mut done_count = 0usize;
         while done_count < n {
@@ -246,6 +277,7 @@ impl<M: Send> Transport<M> for SimTransport {
                 let mut endpoint = SimEndpoint {
                     node: i,
                     mailbox: &mut mailbox,
+                    tally: &mut tally,
                     activity: &mut activity,
                 };
                 if actor.poll(&mut endpoint) == ActorStatus::Done {
@@ -261,7 +293,7 @@ impl<M: Send> Transport<M> for SimTransport {
                 });
             }
         }
-        Ok(())
+        Ok(tally)
     }
 }
 
@@ -366,6 +398,48 @@ impl QueueCounters {
     }
 }
 
+/// Lock-free per-pair wire counters shared by a threaded run's endpoints;
+/// folded into a plain [`WireTally`] once every worker has joined.
+struct SharedTally {
+    nodes: usize,
+    bytes: Vec<AtomicU64>,
+    messages: Vec<AtomicU64>,
+}
+
+impl SharedTally {
+    fn new(nodes: usize) -> Self {
+        SharedTally {
+            nodes,
+            bytes: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, from: usize, to: usize, bytes: u64) {
+        let idx = from * self.nodes + to;
+        self.bytes[idx].fetch_add(bytes, Ordering::Relaxed);
+        self.messages[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot after all workers joined (the join is the happens-before
+    /// edge that makes the relaxed counters complete).
+    fn collect(&self) -> WireTally {
+        let mut tally = WireTally::new(self.nodes);
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                let idx = from * self.nodes + to;
+                tally.add(
+                    from,
+                    to,
+                    self.bytes[idx].load(Ordering::Relaxed),
+                    self.messages[idx].load(Ordering::Relaxed),
+                );
+            }
+        }
+        tally
+    }
+}
+
 struct ThreadedEndpoint<M> {
     node: usize,
     peers: Vec<mpsc::Sender<(usize, M)>>,
@@ -374,6 +448,7 @@ struct ThreadedEndpoint<M> {
     /// `try_recv_from` must expose per-peer FIFO streams.
     buffers: Vec<VecDeque<M>>,
     counters: Arc<QueueCounters>,
+    wire: Arc<SharedTally>,
     activity: u64,
 }
 
@@ -396,24 +471,28 @@ impl<M> ThreadedEndpoint<M> {
     }
 }
 
-impl<M> Endpoint<M> for ThreadedEndpoint<M> {
+impl<M: Wire> Endpoint<M> for ThreadedEndpoint<M> {
     fn nodes(&self) -> usize {
         self.peers.len()
     }
 
     fn send(&mut self, to: usize, message: M) {
         self.activity += 1;
+        let (decoded, bytes) = through_wire(message);
+        self.wire.record(self.node, to, bytes);
         self.counters.sent[to].fetch_add(1, Ordering::Relaxed);
         // A closed peer channel means that actor already finished; its
         // protocol role no longer needs the message.
-        let _ = self.peers[to].send((self.node, message));
+        let _ = self.peers[to].send((self.node, decoded));
     }
 
     fn send_many(&mut self, batch: Vec<(usize, M)>) {
         self.activity += batch.len() as u64;
         for (to, message) in batch {
+            let (decoded, bytes) = through_wire(message);
+            self.wire.record(self.node, to, bytes);
             self.counters.sent[to].fetch_add(1, Ordering::Relaxed);
-            let _ = self.peers[to].send((self.node, message));
+            let _ = self.peers[to].send((self.node, decoded));
         }
     }
 
@@ -456,7 +535,7 @@ struct WorkerShared {
     failed: AtomicBool,
 }
 
-fn run_worker<M>(
+fn run_worker<M: Wire>(
     shard: &mut [&mut dyn NodeActor<M>],
     mut endpoints: Vec<ThreadedEndpoint<M>>,
     shared: &WorkerShared,
@@ -542,17 +621,18 @@ fn run_worker<M>(
     shard.len() - remaining
 }
 
-impl<M: Send> Transport<M> for ThreadedTransport {
+impl<M: Wire + Send> Transport<M> for ThreadedTransport {
     fn name(&self) -> &'static str {
         "threaded"
     }
 
-    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<(), TransportError> {
+    fn run(&self, actors: &mut [&mut dyn NodeActor<M>]) -> Result<WireTally, TransportError> {
         let n = actors.len();
         if n == 0 {
-            return Ok(());
+            return Ok(WireTally::new(0));
         }
         let counters = Arc::new(QueueCounters::new(n));
+        let wire = Arc::new(SharedTally::new(n));
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -569,6 +649,7 @@ impl<M: Send> Transport<M> for ThreadedTransport {
                 inbox,
                 buffers: (0..n).map(|_| VecDeque::new()).collect(),
                 counters: Arc::clone(&counters),
+                wire: Arc::clone(&wire),
                 activity: 0,
             })
             .collect();
@@ -608,7 +689,7 @@ impl<M: Send> Transport<M> for ThreadedTransport {
                 actors: n,
             });
         }
-        Ok(())
+        Ok(wire.collect())
     }
 }
 
@@ -693,6 +774,29 @@ mod tests {
             let sim = run_summers(&SimTransport, 6);
             assert_eq!(threaded, sim, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn tally_measures_encoded_bytes_identically_on_both_backends() {
+        // Every Summer message is one u64 = 8 encoded bytes; n = 5 nodes
+        // send to every peer exactly once.
+        let run_tally = |transport: &dyn Transport<u64>| {
+            let mut actors: Vec<Summer> = (0..5).map(|i| Summer::new(i, 5)).collect();
+            let mut refs: Vec<&mut dyn NodeActor<u64>> = actors
+                .iter_mut()
+                .map(|a| a as &mut dyn NodeActor<u64>)
+                .collect();
+            transport.run(&mut refs).unwrap()
+        };
+        let sim = run_tally(&SimTransport);
+        let threaded = run_tally(&ThreadedTransport::with_threads(3));
+        assert_eq!(sim, threaded);
+        assert_eq!(sim.total_messages(), 5 * 4);
+        assert_eq!(sim.total_bytes(), 5 * 4 * 8);
+        assert_eq!(sim.bytes_between(0, 1), 8);
+        assert_eq!(sim.bytes_between(0, 0), 0);
+        assert_eq!(sim.sent_bytes(2), 4 * 8);
+        assert_eq!(sim.received_bytes(2), 4 * 8);
     }
 
     #[test]

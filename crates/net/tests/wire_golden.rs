@@ -1,0 +1,61 @@
+//! Golden byte-layout fixtures for the wire-format primitives.
+//!
+//! Each test pins the exact hex encoding of one canonical value, so any
+//! accidental change to the wire layout — endianness, varint rules, bit
+//! order, length prefixes — fails loudly here before it silently breaks
+//! cross-version compatibility.  The protocol crates keep equivalent
+//! golden fixtures for their own message types (GMW, transfer, engine).
+
+use dstress_net::wire::{self, hex, Wire};
+
+#[test]
+fn golden_fixed_width_integers_are_little_endian() {
+    assert_eq!(hex(&0xABu8.encode()), "ab");
+    assert_eq!(hex(&0x1234_5678u32.encode()), "78563412");
+    assert_eq!(hex(&0x0102_0304_0506_0708u64.encode()), "0807060504030201");
+}
+
+#[test]
+fn golden_bools_are_single_bytes() {
+    assert_eq!(hex(&false.encode()), "00");
+    assert_eq!(hex(&true.encode()), "01");
+}
+
+#[test]
+fn golden_varints_are_leb128() {
+    let enc = |v: u64| {
+        let mut out = Vec::new();
+        wire::put_uvarint(&mut out, v);
+        hex(&out)
+    };
+    assert_eq!(enc(0), "00");
+    assert_eq!(enc(127), "7f");
+    assert_eq!(enc(128), "8001");
+    assert_eq!(enc(300), "ac02");
+    assert_eq!(enc(u64::MAX), "ffffffffffffffffff01");
+}
+
+#[test]
+fn golden_byte_strings_are_length_prefixed() {
+    let mut out = Vec::new();
+    wire::put_bytes(&mut out, &[0xDE, 0xAD]);
+    assert_eq!(hex(&out), "02dead");
+}
+
+#[test]
+fn golden_bit_planes_pack_lsb_first() {
+    let mut out = Vec::new();
+    // Bits 0, 3, 8 set out of 9: byte 0 = 0b0000_1001, byte 1 = 0b0000_0001.
+    wire::put_bits(
+        &mut out,
+        &[true, false, false, true, false, false, false, false, true],
+    );
+    assert_eq!(hex(&out), "0901");
+}
+
+#[test]
+fn golden_vectors_prefix_a_varint_count() {
+    let v: Vec<u32> = vec![1, 2];
+    assert_eq!(hex(&v.encode()), "020100000002000000");
+    assert_eq!(hex(&Vec::<u64>::new().encode()), "00");
+}

@@ -3,6 +3,7 @@
 use core::fmt;
 use dstress_crypto::CryptoError;
 use dstress_math::MathError;
+use dstress_net::wire::WireError;
 
 /// Errors produced by the trusted-party setup or the transfer protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +35,8 @@ pub enum TransferError {
     DecryptionFailure,
     /// A certificate or block list failed signature verification.
     BadSignature,
+    /// A protocol hop could not be decoded from its wire bytes.
+    WireFormat(WireError),
 }
 
 impl fmt::Display for TransferError {
@@ -57,6 +60,7 @@ impl fmt::Display for TransferError {
                 )
             }
             TransferError::BadSignature => write!(f, "trusted-party signature check failed"),
+            TransferError::WireFormat(e) => write!(f, "wire format error: {e}"),
         }
     }
 }
@@ -72,6 +76,12 @@ impl From<CryptoError> for TransferError {
 impl From<MathError> for TransferError {
     fn from(e: MathError) -> Self {
         TransferError::Math(e)
+    }
+}
+
+impl From<WireError> for TransferError {
+    fn from(e: WireError) -> Self {
+        TransferError::WireFormat(e)
     }
 }
 
@@ -106,5 +116,7 @@ mod tests {
         assert!(e.to_string().contains("crypto"));
         let e: TransferError = MathError::InvalidHex.into();
         assert!(e.to_string().contains("math"));
+        let e: TransferError = WireError::VarintOverflow.into();
+        assert!(e.to_string().contains("wire format"));
     }
 }

@@ -45,7 +45,9 @@
 pub mod error;
 pub mod protocol;
 pub mod setup;
+pub mod wire;
 
 pub use error::TransferError;
 pub use protocol::{transfer_message, ProtocolVariant, TransferConfig, TransferOutcome};
 pub use setup::{Block, BlockCertificate, NodeSecrets, SystemSetup, TrustedParty};
+pub use wire::TransferWire;

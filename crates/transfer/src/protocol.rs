@@ -26,6 +26,7 @@
 
 use crate::error::TransferError;
 use crate::setup::{Block, BlockCertificate, NodeSecrets};
+use crate::wire::TransferWire;
 use dstress_crypto::dlog::DlogTable;
 use dstress_crypto::elgamal::{
     adjust_ciphertext, decrypt, encrypt_bits_multi_recipient, encrypt_with_ephemeral,
@@ -39,6 +40,25 @@ use dstress_math::U256;
 use dstress_net::cost::OperationCounts;
 use dstress_net::mailbox::Mailbox;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
+use dstress_net::wire::Wire;
+
+/// Routes a ciphertext bundle through the wire format: encode, record
+/// the *measured* bytes of the hop, decode, and hand the decoded copy
+/// back — so every hop's values genuinely pass through the codec and a
+/// broken encoding fails the transfer instead of going unnoticed.
+fn wire_hop_cts(
+    group: &Group,
+    traffic: &mut TrafficAccountant,
+    counts: &mut OperationCounts,
+    from: NodeId,
+    to: NodeId,
+    cts: Vec<Ciphertext>,
+) -> Result<Vec<Ciphertext>, TransferError> {
+    let encoded = TransferWire::adjusted(group, &cts).encode();
+    traffic.record_wire(from, to, encoded.len() as u64);
+    counts.wire_bytes += encoded.len() as u64;
+    TransferWire::decode_exact(&encoded)?.into_adjusted(group)
+}
 
 /// Which revision of the transfer protocol to run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -261,12 +281,23 @@ fn strawman1(
         counts.exponentiations += 3;
         traffic.record(x_node, sender_vertex, ct_bytes);
         counts.bytes_sent += ct_bytes;
+        let ct = wire_hop_cts(group, traffic, &mut counts, x_node, sender_vertex, vec![ct])?
+            .pop()
+            .expect("one ciphertext in, one out");
         forwarded.push(ct);
     }
 
     // i forwards everything to j.
     traffic.record(sender_vertex, receiver_vertex, block_size as u64 * ct_bytes);
     counts.bytes_sent += block_size as u64 * ct_bytes;
+    let forwarded = wire_hop_cts(
+        group,
+        traffic,
+        &mut counts,
+        sender_vertex,
+        receiver_vertex,
+        forwarded,
+    )?;
 
     // j adjusts and distributes one ciphertext to each member of B_j.
     let mut receiver_shares = Vec::with_capacity(block_size);
@@ -275,6 +306,16 @@ fn strawman1(
         counts.exponentiations += 1;
         traffic.record(receiver_vertex, y_node, ct_bytes);
         counts.bytes_sent += ct_bytes;
+        let adjusted = wire_hop_cts(
+            group,
+            traffic,
+            &mut counts,
+            receiver_vertex,
+            y_node,
+            vec![adjusted],
+        )?
+        .pop()
+        .expect("one ciphertext in, one out");
         let secret = &node_secrets[y_node.0].bit_keys[0].secret;
         let elem = decrypt(group, secret, &adjusted)?;
         counts.exponentiations += 2;
@@ -318,6 +359,7 @@ fn strawman2(
     let mut subshare_cts: Vec<Vec<Ciphertext>> = vec![Vec::with_capacity(block_size); block_size];
     for (x_idx, &x_node) in sender_block.members.iter().enumerate() {
         let subshares = split_xor(sender_shares[x_idx], block_size, rng);
+        let mut row = Vec::with_capacity(block_size);
         for (y_idx, subshare) in subshares.iter().enumerate() {
             let pk = certificate.keys[y_idx][0];
             let ephemeral = group.random_nonzero_exponent(rng);
@@ -330,6 +372,11 @@ fn strawman2(
             counts.exponentiations += 3;
             traffic.record(x_node, sender_vertex, ct_bytes);
             counts.bytes_sent += ct_bytes;
+            row.push(ct);
+        }
+        // One wire hop per member: its k+1 encrypted sub-shares to i.
+        let row = wire_hop_cts(group, traffic, &mut counts, x_node, sender_vertex, row)?;
+        for (y_idx, ct) in row.into_iter().enumerate() {
             subshare_cts[y_idx].push(ct);
         }
     }
@@ -338,14 +385,35 @@ fn strawman2(
     let forwarded_bytes = (block_size * block_size) as u64 * ct_bytes;
     traffic.record(sender_vertex, receiver_vertex, forwarded_bytes);
     counts.bytes_sent += forwarded_bytes;
+    let flat: Vec<Ciphertext> = subshare_cts.iter().flatten().copied().collect();
+    let flat = wire_hop_cts(
+        group,
+        traffic,
+        &mut counts,
+        sender_vertex,
+        receiver_vertex,
+        flat,
+    )?;
+    let mut flat = flat.into_iter();
+    let subshare_cts: Vec<Vec<Ciphertext>> = (0..block_size)
+        .map(|_| flat.by_ref().take(block_size).collect())
+        .collect();
 
     // j adjusts everything and hands each receiver its k+1 sub-shares.
     let mut receiver_shares = Vec::with_capacity(block_size);
     for (y_idx, &y_node) in receiver_block.members.iter().enumerate() {
         traffic.record(receiver_vertex, y_node, block_size as u64 * ct_bytes);
         counts.bytes_sent += block_size as u64 * ct_bytes;
+        let bundle = wire_hop_cts(
+            group,
+            traffic,
+            &mut counts,
+            receiver_vertex,
+            y_node,
+            subshare_cts[y_idx].clone(),
+        )?;
         let mut share = BitMessage::zero(config.message_bits);
-        for ct in &subshare_cts[y_idx] {
+        for ct in &bundle {
             let adjusted = adjust_ciphertext(group, ct, neighbor_key);
             counts.exponentiations += 1;
             let secret = &node_secrets[y_node.0].bit_keys[0].secret;
@@ -461,16 +529,24 @@ fn bitwise_protocol(
             // term; the message bits are folded in with multiplications.
             counts.exponentiations += bits as u64 + 1;
             counts.group_multiplications += bits as u64;
-            // Wire format: the shared ephemeral component plus one masked
-            // element per bit.
+            // Analytic wire size: the shared ephemeral component plus one
+            // masked element per bit.
             let bytes = (bits as u64 + 1) * elem_bytes;
             traffic.record(x_node, sender_vertex, bytes);
             counts.bytes_sent += bytes;
+            // The measured hop: the bundle crosses the wire as a
+            // SubShares message (ephemeral encoded once), and the
+            // decoded copy is what travels on.
+            let encoded = TransferWire::subshares(group, y_idx, &cts).encode();
+            traffic.record_wire(x_node, sender_vertex, encoded.len() as u64);
+            counts.wire_bytes += encoded.len() as u64;
+            let (receiver, decoded) =
+                TransferWire::decode_exact(&encoded)?.into_subshares(group)?;
             batch.push((
                 addresses.vertex_i(),
                 TransferMsg::SubShares {
-                    receiver: y_idx,
-                    bits: cts,
+                    receiver,
+                    bits: decoded,
                 },
             ));
         }
@@ -521,6 +597,10 @@ fn bitwise_protocol(
     let forwarded_bytes = (block_size * bits) as u64 * 2 * elem_bytes;
     traffic.record(sender_vertex, receiver_vertex, forwarded_bytes);
     counts.bytes_sent += forwarded_bytes;
+    let encoded = TransferWire::aggregated(group, &aggregated).encode();
+    traffic.record_wire(sender_vertex, receiver_vertex, encoded.len() as u64);
+    counts.wire_bytes += encoded.len() as u64;
+    let aggregated = TransferWire::decode_exact(&encoded)?.into_aggregated(group)?;
     network.send(
         addresses.vertex_i(),
         addresses.vertex_j(),
@@ -543,6 +623,14 @@ fn bitwise_protocol(
                 adjust_ciphertext(group, ct, neighbor_key)
             })
             .collect();
+        let adjusted = wire_hop_cts(
+            group,
+            traffic,
+            &mut counts,
+            receiver_vertex,
+            y_node,
+            adjusted,
+        )?;
         network.send(
             addresses.vertex_j(),
             addresses.receiver_member(y_idx),
@@ -809,6 +897,64 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, TransferError::BlockSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn measured_wire_bytes_reconcile_with_the_analytic_model() {
+        // Every hop routes its ciphertexts through the wire codec, so
+        // `wire_bytes` is measured from real encodings.  For the final
+        // protocol the SubShares hop encodes the shared ephemeral once —
+        // the analytic model's (L+1)-element figure — so measured lands
+        // within [1.0, 1.1]× of modeled: equal payloads plus per-message
+        // headers (tag, width, varints).
+        let fx = fixture(3);
+        for variant in [
+            ProtocolVariant::Strawman3,
+            ProtocolVariant::Final { alpha: 0.5 },
+        ] {
+            let (outcome, _) = run_transfer(&fx, variant, 0x21, 5);
+            assert!(outcome.counts.wire_bytes > 0);
+            let ratio = outcome.counts.wire_bytes as f64 / outcome.counts.bytes_sent as f64;
+            assert!(
+                (1.0..1.1).contains(&ratio),
+                "{variant:?}: measured/modeled = {ratio}"
+            );
+        }
+        // The whole-share strawmen cross the wire too (their hops are
+        // measured as plain ciphertext bundles).
+        let (s1, _) = run_transfer(&fx, ProtocolVariant::Strawman1, 0x21, 5);
+        assert!(s1.counts.wire_bytes > s1.counts.bytes_sent);
+    }
+
+    #[test]
+    fn wire_traffic_is_recorded_per_node() {
+        let fx = fixture(3);
+        let config = TransferConfig::final_protocol(BITS, 0.5);
+        let mut rng = Xoshiro256::new(8);
+        let message = BitMessage::new(0x4D, BITS).unwrap();
+        let sender_shares = split_xor(message, 4, &mut rng);
+        let mut traffic = TrafficAccountant::new();
+        transfer_message(
+            &fx.group,
+            &config,
+            NodeId(0),
+            NodeId(1),
+            &fx.setup.blocks[0],
+            &fx.setup.blocks[1],
+            &sender_shares,
+            &fx.secrets,
+            &fx.setup.certificates[1][0],
+            &fx.secrets[1].neighbor_keys[0],
+            &fx.dlog,
+            &mut traffic,
+            &mut rng,
+        )
+        .unwrap();
+        // Vertex i (node 0) received the measured sub-share bundles and
+        // forwarded the measured aggregate to j.
+        assert!(traffic.node(NodeId(0)).wire_bytes_received > 0);
+        assert!(traffic.node(NodeId(0)).wire_bytes_sent > 0);
+        assert!(traffic.report().total_wire_bytes > 0);
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Wire encoding of the message-transfer protocol's ElGamal hops.
+//!
+//! Every hop of the transfer protocol (`B_i → i → j → B_j`, §3.5) routes
+//! its ciphertexts through these encodings: the sender converts group
+//! elements to bytes, the byte buffer is measured (that is the hop's
+//! *measured* wire traffic), and the receiver decodes and re-validates
+//! the elements against the group.
+//!
+//! ## Layouts
+//!
+//! Group elements are fixed-width little-endian integers; the element
+//! width in bytes appears once per message (8 for the 64-bit simulation
+//! group, 32 for the production group), so measured sizes track the
+//! group exactly like the analytical cost model does.
+//!
+//! | message | layout |
+//! |---|---|
+//! | `SubShares`  | `0x00` · width · uvarint(receiver) · uvarint(L) · ephemeral · L masked elements |
+//! | `Aggregated` | `0x01` · width · uvarint(members) · per member ( uvarint(L) · L·(c1, c2) ) |
+//! | `Adjusted`   | `0x02` · width · uvarint(L) · L·(c1, c2) |
+//!
+//! `SubShares` exploits the Kurosawa shared-ephemeral optimisation the
+//! protocol actually uses ([`dstress_crypto::elgamal::encrypt_bits_multi_recipient`]):
+//! the ephemeral component `g^y` is encoded **once** for the whole
+//! bundle, so a bundle costs `(L + 1)` elements on the wire — exactly
+//! the analytical model's figure.  After homomorphic aggregation the
+//! ephemerals differ per bit, so `Aggregated`/`Adjusted` carry full
+//! `(c1, c2)` pairs.
+
+use crate::error::TransferError;
+use dstress_crypto::elgamal::Ciphertext;
+use dstress_crypto::group::Group;
+use dstress_math::U256;
+use dstress_net::wire::{self, Wire, WireError};
+
+/// Message tags.
+const TAG_SUB_SHARES: u8 = 0x00;
+const TAG_AGGREGATED: u8 = 0x01;
+const TAG_ADJUSTED: u8 = 0x02;
+
+/// The wire form of one transfer-protocol hop.  Elements are raw
+/// integers here — group membership is re-checked when converting back
+/// to [`Ciphertext`]s with the `into_*` helpers
+/// ([`TransferWire::into_adjusted`] and friends), because a context-free
+/// decoder cannot know the group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferWire {
+    /// Sender-block member → vertex `i`: one bit-decomposed sub-share
+    /// bundle under a shared ephemeral.
+    SubShares {
+        /// Element width in bytes.
+        width: u8,
+        /// Index of the receiver-block member the bundle is for.
+        receiver: u32,
+        /// The shared ephemeral component `g^y`.
+        ephemeral: U256,
+        /// One masked element per message bit.
+        masked: Vec<U256>,
+    },
+    /// Vertex `i` → vertex `j`: the aggregated (and noised) ciphertexts,
+    /// one full pair per receiver member and bit.
+    Aggregated {
+        /// Element width in bytes.
+        width: u8,
+        /// `per_member[y][l]` = `(c1, c2)` of bit `l` for member `y`.
+        per_member: Vec<Vec<(U256, U256)>>,
+    },
+    /// Vertex `j` → receiver member: that member's adjusted ciphertexts.
+    Adjusted {
+        /// Element width in bytes.
+        width: u8,
+        /// `(c1, c2)` per message bit.
+        pairs: Vec<(U256, U256)>,
+    },
+}
+
+/// Writes the low `width` bytes of `v` little-endian.  The caller
+/// guarantees `v` fits (group elements are reduced mod `p < 2^(8·width)`).
+fn put_elem(out: &mut Vec<u8>, v: &U256, width: usize) {
+    let limbs = v.limbs();
+    debug_assert!(
+        (width..32).all(|i| limbs[i / 8] >> (8 * (i % 8)) & 0xFF == 0),
+        "element does not fit the declared width"
+    );
+    for i in 0..width {
+        out.push((limbs[i / 8] >> (8 * (i % 8))) as u8);
+    }
+}
+
+/// Reads a `width`-byte little-endian integer.
+fn get_elem(buf: &mut &[u8], width: usize) -> Result<U256, WireError> {
+    let bytes = wire::take(buf, width)?;
+    let mut limbs = [0u64; 4];
+    for (i, &b) in bytes.iter().enumerate() {
+        limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+    }
+    Ok(U256::from_limbs(limbs))
+}
+
+fn get_width(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let width = wire::get_u8(buf)?;
+    if (1..=32).contains(&width) {
+        Ok(width)
+    } else {
+        Err(WireError::Invalid {
+            what: "element width",
+        })
+    }
+}
+
+/// Decodes a varint count whose elements each cost at least `unit` bytes,
+/// guarding the subsequent allocation against a lying prefix.
+fn get_count(buf: &mut &[u8], unit: usize) -> Result<usize, WireError> {
+    let count = wire::get_uvarint(buf)? as usize;
+    let needed = count.saturating_mul(unit.max(1));
+    if needed > buf.len() {
+        return Err(WireError::Truncated {
+            needed,
+            available: buf.len(),
+        });
+    }
+    Ok(count)
+}
+
+impl Wire for TransferWire {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            TransferWire::SubShares {
+                width,
+                receiver,
+                ephemeral,
+                masked,
+            } => {
+                wire::put_u8(out, TAG_SUB_SHARES);
+                wire::put_u8(out, *width);
+                wire::put_uvarint(out, u64::from(*receiver));
+                wire::put_uvarint(out, masked.len() as u64);
+                put_elem(out, ephemeral, *width as usize);
+                for m in masked {
+                    put_elem(out, m, *width as usize);
+                }
+            }
+            TransferWire::Aggregated { width, per_member } => {
+                wire::put_u8(out, TAG_AGGREGATED);
+                wire::put_u8(out, *width);
+                wire::put_uvarint(out, per_member.len() as u64);
+                for per_bit in per_member {
+                    wire::put_uvarint(out, per_bit.len() as u64);
+                    for (c1, c2) in per_bit {
+                        put_elem(out, c1, *width as usize);
+                        put_elem(out, c2, *width as usize);
+                    }
+                }
+            }
+            TransferWire::Adjusted { width, pairs } => {
+                wire::put_u8(out, TAG_ADJUSTED);
+                wire::put_u8(out, *width);
+                wire::put_uvarint(out, pairs.len() as u64);
+                for (c1, c2) in pairs {
+                    put_elem(out, c1, *width as usize);
+                    put_elem(out, c2, *width as usize);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match wire::get_u8(buf)? {
+            TAG_SUB_SHARES => {
+                let width = get_width(buf)?;
+                let receiver =
+                    wire::get_uvarint(buf)?
+                        .try_into()
+                        .map_err(|_| WireError::Invalid {
+                            what: "receiver index",
+                        })?;
+                let count = get_count(buf, width as usize)?;
+                let ephemeral = get_elem(buf, width as usize)?;
+                let mut masked = Vec::with_capacity(count);
+                for _ in 0..count {
+                    masked.push(get_elem(buf, width as usize)?);
+                }
+                Ok(TransferWire::SubShares {
+                    width,
+                    receiver,
+                    ephemeral,
+                    masked,
+                })
+            }
+            TAG_AGGREGATED => {
+                let width = get_width(buf)?;
+                let members = get_count(buf, 1)?;
+                let mut per_member = Vec::with_capacity(members);
+                for _ in 0..members {
+                    let count = get_count(buf, 2 * width as usize)?;
+                    let mut per_bit = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let c1 = get_elem(buf, width as usize)?;
+                        let c2 = get_elem(buf, width as usize)?;
+                        per_bit.push((c1, c2));
+                    }
+                    per_member.push(per_bit);
+                }
+                Ok(TransferWire::Aggregated { width, per_member })
+            }
+            TAG_ADJUSTED => {
+                let width = get_width(buf)?;
+                let count = get_count(buf, 2 * width as usize)?;
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let c1 = get_elem(buf, width as usize)?;
+                    let c2 = get_elem(buf, width as usize)?;
+                    pairs.push((c1, c2));
+                }
+                Ok(TransferWire::Adjusted { width, pairs })
+            }
+            tag => Err(WireError::BadTag {
+                tag,
+                what: "TransferWire",
+            }),
+        }
+    }
+}
+
+impl TransferWire {
+    /// Builds the sub-share bundle for a ciphertext batch that shares one
+    /// ephemeral component (as produced by
+    /// [`dstress_crypto::elgamal::encrypt_bits_multi_recipient`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or the ciphertexts do not share their
+    /// ephemeral (an internal protocol bug, never data-dependent).
+    pub fn subshares(group: &Group, receiver: usize, cts: &[Ciphertext]) -> Self {
+        let first = cts
+            .first()
+            .expect("a sub-share bundle has at least one bit");
+        assert!(
+            cts.iter().all(|ct| ct.c1 == first.c1),
+            "sub-share bundle must share its ephemeral component"
+        );
+        TransferWire::SubShares {
+            width: group.element_bytes() as u8,
+            receiver: receiver as u32,
+            ephemeral: group.elem_to_int(first.c1),
+            masked: cts.iter().map(|ct| group.elem_to_int(ct.c2)).collect(),
+        }
+    }
+
+    /// Builds the aggregated-hop message.
+    pub fn aggregated(group: &Group, per_member: &[Vec<Ciphertext>]) -> Self {
+        TransferWire::Aggregated {
+            width: group.element_bytes() as u8,
+            per_member: per_member
+                .iter()
+                .map(|per_bit| {
+                    per_bit
+                        .iter()
+                        .map(|ct| (group.elem_to_int(ct.c1), group.elem_to_int(ct.c2)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the adjusted-hop message (also used to measure the
+    /// whole-share strawman hops, which move plain ciphertext bundles).
+    pub fn adjusted(group: &Group, cts: &[Ciphertext]) -> Self {
+        TransferWire::Adjusted {
+            width: group.element_bytes() as u8,
+            pairs: cts
+                .iter()
+                .map(|ct| (group.elem_to_int(ct.c1), group.elem_to_int(ct.c2)))
+                .collect(),
+        }
+    }
+
+    /// Converts a sub-share bundle back to ciphertexts, re-validating
+    /// every element against the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::WireFormat`] on a width mismatch and
+    /// [`TransferError::Crypto`] for out-of-group elements.
+    pub fn into_subshares(self, group: &Group) -> Result<(usize, Vec<Ciphertext>), TransferError> {
+        let TransferWire::SubShares {
+            width,
+            receiver,
+            ephemeral,
+            masked,
+        } = self
+        else {
+            return Err(TransferError::WireFormat(WireError::Invalid {
+                what: "expected a SubShares hop",
+            }));
+        };
+        check_width(group, width)?;
+        let c1 = group.elem_from_int(ephemeral)?;
+        let cts = masked
+            .into_iter()
+            .map(|m| {
+                Ok(Ciphertext {
+                    c1,
+                    c2: group.elem_from_int(m)?,
+                })
+            })
+            .collect::<Result<_, TransferError>>()?;
+        Ok((receiver as usize, cts))
+    }
+
+    /// Converts an aggregated hop back to per-member ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransferWire::into_subshares`].
+    pub fn into_aggregated(self, group: &Group) -> Result<Vec<Vec<Ciphertext>>, TransferError> {
+        let TransferWire::Aggregated { width, per_member } = self else {
+            return Err(TransferError::WireFormat(WireError::Invalid {
+                what: "expected an Aggregated hop",
+            }));
+        };
+        check_width(group, width)?;
+        per_member
+            .into_iter()
+            .map(|per_bit| per_bit.into_iter().map(|p| pair_to_ct(group, p)).collect())
+            .collect()
+    }
+
+    /// Converts an adjusted hop back to ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransferWire::into_subshares`].
+    pub fn into_adjusted(self, group: &Group) -> Result<Vec<Ciphertext>, TransferError> {
+        let TransferWire::Adjusted { width, pairs } = self else {
+            return Err(TransferError::WireFormat(WireError::Invalid {
+                what: "expected an Adjusted hop",
+            }));
+        };
+        check_width(group, width)?;
+        pairs.into_iter().map(|p| pair_to_ct(group, p)).collect()
+    }
+}
+
+fn check_width(group: &Group, width: u8) -> Result<(), TransferError> {
+    if width as usize == group.element_bytes() {
+        Ok(())
+    } else {
+        Err(TransferError::WireFormat(WireError::Invalid {
+            what: "element width",
+        }))
+    }
+}
+
+fn pair_to_ct(group: &Group, (c1, c2): (U256, U256)) -> Result<Ciphertext, TransferError> {
+    Ok(Ciphertext {
+        c1: group.elem_from_int(c1)?,
+        c2: group.elem_from_int(c2)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form encoded lengths
+// ---------------------------------------------------------------------------
+//
+// The engine's cost-accounted transfer mode reproduces the measured wire
+// bytes of the real-crypto mode without encrypting anything; these
+// formulas must therefore match the encoders byte for byte (a test in
+// `dstress-core` pins the two modes against each other).
+
+/// Encoded length of a [`TransferWire::SubShares`] bundle.
+pub fn subshares_wire_len(receiver: usize, bits: usize, elem_bytes: usize) -> u64 {
+    (2 + wire::uvarint_len(receiver as u64)
+        + wire::uvarint_len(bits as u64)
+        + (bits + 1) * elem_bytes) as u64
+}
+
+/// Encoded length of a [`TransferWire::Aggregated`] message.
+pub fn aggregated_wire_len(members: usize, bits: usize, elem_bytes: usize) -> u64 {
+    (2 + wire::uvarint_len(members as u64)
+        + members * (wire::uvarint_len(bits as u64) + bits * 2 * elem_bytes)) as u64
+}
+
+/// Encoded length of a [`TransferWire::Adjusted`] message.
+pub fn adjusted_wire_len(bits: usize, elem_bytes: usize) -> u64 {
+    (2 + wire::uvarint_len(bits as u64) + bits * 2 * elem_bytes) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstress_crypto::elgamal::{encrypt_bits_multi_recipient, KeyPair};
+    use dstress_math::rng::Xoshiro256;
+    use dstress_net::wire::hex;
+    use proptest::prelude::*;
+
+    fn sample_bundle(group: &Group, bits: usize, seed: u64) -> Vec<Ciphertext> {
+        let mut rng = Xoshiro256::new(seed);
+        let keys: Vec<KeyPair> = (0..bits)
+            .map(|_| KeyPair::generate(group, &mut rng))
+            .collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public).collect();
+        let values: Vec<bool> = (0..bits).map(|i| i % 3 == 0).collect();
+        encrypt_bits_multi_recipient(group, &pks, &values, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn subshares_round_trip_and_share_the_ephemeral() {
+        let group = Group::sim64();
+        let cts = sample_bundle(&group, 8, 7);
+        let msg = TransferWire::subshares(&group, 3, &cts);
+        let encoded = msg.encode();
+        // (L + 1) elements: the shared ephemeral is encoded exactly once.
+        assert_eq!(encoded.len() as u64, subshares_wire_len(3, 8, 8));
+        let (receiver, decoded) = TransferWire::decode_exact(&encoded)
+            .unwrap()
+            .into_subshares(&group)
+            .unwrap();
+        assert_eq!(receiver, 3);
+        assert_eq!(decoded, cts);
+    }
+
+    #[test]
+    fn aggregated_and_adjusted_round_trip() {
+        let group = Group::sim64();
+        let per_member: Vec<Vec<Ciphertext>> =
+            (0..3).map(|m| sample_bundle(&group, 4, 100 + m)).collect();
+        let msg = TransferWire::aggregated(&group, &per_member);
+        let encoded = msg.encode();
+        assert_eq!(encoded.len() as u64, aggregated_wire_len(3, 4, 8));
+        let decoded = TransferWire::decode_exact(&encoded)
+            .unwrap()
+            .into_aggregated(&group)
+            .unwrap();
+        assert_eq!(decoded, per_member);
+
+        let cts = sample_bundle(&group, 5, 42);
+        let msg = TransferWire::adjusted(&group, &cts);
+        let encoded = msg.encode();
+        assert_eq!(encoded.len() as u64, adjusted_wire_len(5, 8));
+        let decoded = TransferWire::decode_exact(&encoded)
+            .unwrap()
+            .into_adjusted(&group)
+            .unwrap();
+        assert_eq!(decoded, cts);
+    }
+
+    #[test]
+    fn element_width_follows_the_group() {
+        let small = Group::sim64();
+        let large = Group::prod256();
+        let cts_small = sample_bundle(&small, 4, 1);
+        let cts_large = sample_bundle(&large, 4, 1);
+        let len_small = TransferWire::adjusted(&small, &cts_small).encode().len();
+        let len_large = TransferWire::adjusted(&large, &cts_large).encode().len();
+        assert_eq!(len_small as u64, adjusted_wire_len(4, 8));
+        assert_eq!(len_large as u64, adjusted_wire_len(4, 32));
+        // A message encoded for one group is rejected by the other.
+        let cross = TransferWire::adjusted(&small, &cts_small);
+        assert!(matches!(
+            cross.into_adjusted(&large),
+            Err(TransferError::WireFormat(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_trailing_and_bad_tags_error_not_panic() {
+        let group = Group::sim64();
+        let cts = sample_bundle(&group, 6, 9);
+        for msg in [
+            TransferWire::subshares(&group, 1, &cts),
+            TransferWire::aggregated(&group, &[cts.clone(), cts.clone()]),
+            TransferWire::adjusted(&group, &cts),
+        ] {
+            let encoded = msg.encode();
+            for cut in 0..encoded.len() {
+                assert!(
+                    TransferWire::decode_exact(&encoded[..cut]).is_err(),
+                    "{msg:?} truncated to {cut}"
+                );
+            }
+            let mut trailing = encoded;
+            trailing.push(0);
+            assert_eq!(
+                TransferWire::decode_exact(&trailing),
+                Err(WireError::Trailing { remaining: 1 })
+            );
+        }
+        assert!(matches!(
+            TransferWire::decode_exact(&[0x09]),
+            Err(WireError::BadTag { .. })
+        ));
+        // A lying length prefix near usize::MAX must error, not overflow
+        // the needed-bytes computation or allocate.
+        let mut lying = vec![TAG_ADJUSTED, 8];
+        dstress_net::wire::put_uvarint(&mut lying, 1 << 62);
+        assert!(matches!(
+            TransferWire::decode_exact(&lying),
+            Err(WireError::Truncated { .. })
+        ));
+        // Width 0 and width 33 are both invalid.
+        for width in [0u8, 33] {
+            assert!(matches!(
+                TransferWire::decode_exact(&[TAG_ADJUSTED, width, 0]),
+                Err(WireError::Invalid { .. })
+            ));
+        }
+    }
+
+    /// Golden byte-layout fixture: one canonical encoding per hop type
+    /// over the deterministic 64-bit simulation group.
+    #[test]
+    fn golden_encodings() {
+        let group = Group::sim64();
+        // Hand-built elements with known integer values.
+        let e = |v: u64| group.elem_from_int(U256::from_u64(v)).unwrap();
+        let sub = TransferWire::SubShares {
+            width: 8,
+            receiver: 2,
+            ephemeral: U256::from_u64(0x0102),
+            masked: vec![U256::from_u64(0xAA), U256::from_u64(0xBB)],
+        };
+        assert_eq!(
+            hex(&sub.encode()),
+            // tag 00 · width 08 · receiver 02 · L 02 · ephemeral · 2 masked
+            "000802020201000000000000aa00000000000000bb00000000000000"
+        );
+        let adj = TransferWire::adjusted(&group, &[Ciphertext { c1: e(3), c2: e(4) }]);
+        assert_eq!(
+            hex(&adj.encode()),
+            // tag 02 · width 08 · L 01 · c1 = 3 · c2 = 4
+            "02080103000000000000000400000000000000"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_hops_round_trip(bits in 1usize..12, members in 1usize..5, seed in any::<u64>()) {
+            let group = Group::sim64();
+            let per_member: Vec<Vec<Ciphertext>> = (0..members)
+                .map(|m| sample_bundle(&group, bits, seed ^ m as u64))
+                .collect();
+            let agg = TransferWire::aggregated(&group, &per_member);
+            prop_assert_eq!(
+                TransferWire::decode_exact(&agg.encode()).unwrap().into_aggregated(&group).unwrap(),
+                per_member.clone()
+            );
+            let sub = TransferWire::subshares(&group, members - 1, &per_member[0]);
+            let (receiver, cts) = TransferWire::decode_exact(&sub.encode())
+                .unwrap()
+                .into_subshares(&group)
+                .unwrap();
+            prop_assert_eq!(receiver, members - 1);
+            prop_assert_eq!(cts, per_member[0].clone());
+        }
+    }
+}

@@ -56,6 +56,29 @@ cargo test --release -q -p dstress-mpc --test transport_determinism measured_wir
 cargo test --release -q -p dstress-mpc --test transport_determinism batched_choices_payload_is_bit_packed_on_the_wire
 cargo test --release -q -p dstress-bench --test byte_reconciliation
 
+echo "==> streaming generators: streaming build == materialised build, degree bounds, determinism"
+cargo test -q -p dstress-graph stream::
+cargo test -q -p dstress-graph csr_
+cargo test -q -p dstress-finance streaming_core_periphery
+
+echo "==> block-streaming execution: streaming == materialised, Sequential == Threaded"
+cargo test --release -q -p dstress-core streaming_execution_matches_materialised
+cargo test --release -q -p dstress-core streaming_sequential_and_threaded_agree
+cargo test --release -q -p dstress-core streaming_runs_csr_graphs_from_edge_streams
+
+echo "==> lazy OT setup: zero-AND circuits charge no setup rounds or bytes"
+cargo test -q -p dstress-mpc zero_and_circuit_pays_no_ot_setup
+cargo test -q -p dstress-mpc ot_payload_content_is_seed_derived_and_replayable
+cargo test -q -p dstress-mpc wire_payload_content_is_derived_from_the_pair_seed
+
+echo "==> scale acceptance: measured streaming point past the 2,000-vertex wall"
+# Measured n > 2000 on streamed CSR graphs, Sequential == Threaded at n = 2100,
+# peak memory sub-linear in edges and below the materialised schedule.
+cargo test --release -q -p dstress-bench --test streaming_scale -- --ignored
+
+echo "==> repro -- scale smoke (quick sweep includes a measured N = 2500 point)"
+cargo run --release -q -p dstress-bench --bin repro -- scale --threads 2 > /dev/null
+
 echo "==> threaded speedup check (asserts >= 2x only on >= 4 cores)"
 cargo test --release -q -p dstress-bench threaded_is_at_least_twice_as_fast_at_64_nodes -- --ignored
 

@@ -11,11 +11,16 @@
 //!
 //! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
 //! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
-//! `fig6`, `naive-baseline`, `utility`, `edge-privacy`, `contagion`,
-//! `concurrency`, `rounds`, `bytes`, `all`.  The `bytes` experiment prints
-//! the measured-vs-modeled byte reconciliation (encoded wire messages
-//! against the analytical cost model) per benchmark circuit, plus the
-//! batched-vs-per-gate framing saving.  The `--full` flag switches the measured
+//! `fig6`, `scale`, `naive-baseline`, `utility`, `edge-privacy`,
+//! `contagion`, `concurrency`, `rounds`, `bytes`, `all`.  The `bytes`
+//! experiment prints the measured-vs-modeled byte reconciliation (encoded
+//! wire messages against the analytical cost model) per benchmark
+//! circuit, plus the batched-vs-per-gate framing saving.  The `scale`
+//! experiment runs the *measured* streaming sweep past the old
+//! 2,000-vertex materialisation wall (streaming generators, CSR graphs,
+//! block-streaming execution) with per-point peak-memory figures, and
+//! labels its model-only continuation points explicitly.  The `--full`
+//! flag switches the measured
 //! experiments from the quick parameters to the paper's parameters (much
 //! slower).  The measured sweeps fan their points out over a worker pool;
 //! `--threads N` sets the pool size (default: one worker per core).
@@ -36,8 +41,9 @@ use dstress_bench::naive_baseline::{baseline_comparison, paper_comparison};
 use dstress_bench::policy::{edge_privacy_summary, utility_table};
 use dstress_bench::results::BenchResults;
 use dstress_bench::scalability::{
-    concurrency_comparison, fig6_sweep, headline_projection, validation_point,
+    concurrency_comparison, fig6_node_counts, fig6_sweep, headline_projection, validation_point,
 };
+use dstress_bench::streaming_scale::{scale_sweep, streaming_determinism_check, ScaleTopology};
 use dstress_bench::transfer_micro::{
     block_size_sweep_with_threads as transfer_sweep, variant_sweep as transfer_variants,
 };
@@ -274,11 +280,9 @@ fn fig5(full: bool, threads: usize, results: &mut BenchResults) {
 
 fn fig6(full: bool, results: &mut BenchResults) {
     header("Figure 6: projected cost at scale (Eisenberg-Noe, block size 20)");
-    let (nodes, degrees): (&[usize], &[usize]) = if full {
-        (&[100, 250, 500, 1000, 1500, 1750, 2000], &[10, 40, 70, 100])
-    } else {
-        (&[100, 500, 1000, 1750], &[10, 100])
-    };
+    let nodes = fig6_node_counts(full);
+    let degrees: &[usize] = if full { &[10, 40, 70, 100] } else { &[10, 100] };
+    println!("(all rows are model-only projections; `repro -- scale` has the measured sweep)");
     println!(
         "{:<6} {:>6} {:>5} {:>14} {:>16}",
         "N", "D", "iter", "time", "traffic/node"
@@ -295,7 +299,8 @@ fn fig6(full: bool, results: &mut BenchResults) {
         results
             .point("fig6", &format!("N={} D={}", row.nodes, row.degree_bound))
             .extra("projected_seconds", row.result.total_seconds)
-            .extra("projected_bytes_per_node", row.result.bytes_per_node);
+            .extra("projected_bytes_per_node", row.result.bytes_per_node)
+            .extra("model_only", 1.0);
     }
     let headline = headline_projection();
     println!(
@@ -452,6 +457,81 @@ fn bytes(full: bool, threads: usize, results: &mut BenchResults) {
     );
 }
 
+fn scale(full: bool, threads: usize, results: &mut BenchResults) {
+    header("Scale: measured streaming sweep past the 2,000-vertex materialisation wall");
+    let measured_nodes: &[usize] = if full {
+        &[500, 1000, 2500, 5000, 10_000]
+    } else {
+        &[500, 2500]
+    };
+    let model_nodes: &[usize] = if full { &[25_000, 100_000] } else { &[10_000] };
+    println!(
+        "(streaming generators -> CSR graphs -> block-streaming engine; counter program, \
+         block size 3, I = 2, accounted transfers, {threads} worker threads)"
+    );
+    println!(
+        "{:<16} {:>8} {:>9} {:>4} {:>12} {:>10} {:>12} {:>14} {:>9}",
+        "topology", "N", "edges", "D", "wall", "gen", "peak mem", "traffic/node", "measured"
+    );
+    // The sweep runs its points sequentially so each one's peak-memory
+    // figure is clean.
+    for point in scale_sweep(measured_nodes, model_nodes, threads) {
+        if point.measured {
+            println!(
+                "{:<16} {:>8} {:>9} {:>4} {:>12} {:>10} {:>12} {:>14} {:>9}",
+                point.topology,
+                point.nodes,
+                point.edges,
+                point.degree_bound,
+                format_seconds(point.wall_seconds),
+                format_seconds(point.generation_seconds),
+                format_bytes(point.peak_alloc_bytes as f64),
+                format_bytes(point.bytes_per_node),
+                "yes",
+            );
+            results
+                .point("scale", &format!("{} N={}", point.topology, point.nodes))
+                .wall_seconds(point.wall_seconds)
+                .counts(point.counts)
+                .extra("measured", 1.0)
+                .extra("model_only", 0.0)
+                .extra("edges", point.edges as f64)
+                .extra("degree_bound", point.degree_bound as f64)
+                .extra("generation_seconds", point.generation_seconds)
+                .extra("peak_alloc_bytes", point.peak_alloc_bytes as f64)
+                .extra("traffic_per_node_bytes", point.bytes_per_node);
+        } else {
+            println!(
+                "{:<16} {:>8} {:>9} {:>4} {:>12} {:>10} {:>12} {:>14} {:>9}",
+                point.topology,
+                point.nodes,
+                "-",
+                point.degree_bound,
+                format_seconds(point.wall_seconds),
+                "-",
+                "-",
+                format_bytes(point.bytes_per_node),
+                "no (model)",
+            );
+            results
+                .point("scale", &format!("model N={}", point.nodes))
+                .extra("measured", 0.0)
+                .extra("model_only", 1.0)
+                .extra("projected_seconds", point.wall_seconds)
+                .extra("projected_bytes_per_node", point.bytes_per_node);
+        }
+    }
+    // The streaming determinism pin, at a point past the old wall.
+    let check_n = if full { 2500 } else { 2200 };
+    let identical =
+        streaming_determinism_check(ScaleTopology::ScaleFree { m: 2 }, check_n, threads);
+    println!("Sequential vs threaded streaming at N = {check_n}: bit-identical = {identical}");
+    results
+        .point("scale", &format!("determinism N={check_n}"))
+        .extra("identical", if identical { 1.0 } else { 0.0 });
+    assert!(identical, "streaming execution must be schedule-invariant");
+}
+
 fn naive(full: bool, results: &mut BenchResults) {
     header("§5.5: naive monolithic-MPC baseline vs DStress");
     let comparison = if full {
@@ -575,6 +655,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "transfer-ablation" => transfer_ablation(results),
         "fig5-time" | "fig5-traffic" | "fig5" => fig5(full, threads, results),
         "fig6" => fig6(full, results),
+        "scale" => scale(full, threads, results),
         "concurrency" => concurrency(full, threads, results),
         "rounds" => rounds(full, results),
         "bytes" => bytes(full, threads, results),
@@ -594,6 +675,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "transfer-ablation",
                 "fig5",
                 "fig6",
+                "scale",
                 "concurrency",
                 "rounds",
                 "bytes",
@@ -635,7 +717,7 @@ fn main() {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation fig5 fig6 concurrency rounds bytes naive-baseline utility \
+             transfer-ablation fig5 fig6 scale concurrency rounds bytes naive-baseline utility \
              edge-privacy contagion all"
         );
         std::process::exit(1);

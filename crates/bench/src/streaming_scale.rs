@@ -1,0 +1,319 @@
+//! The `scale` experiment: *measured* runs past the materialisation wall.
+//!
+//! The seed reproduction stopped measuring at ~2,000 vertices — beyond
+//! that, Figure 6 was projection-only.  With streaming generators
+//! ([`dstress_graph::stream`]), compact CSR topologies and the engine's
+//! block-streaming schedule
+//! ([`DStressRuntime::execute_streaming`]), sweeps keep *measuring*
+//! where the old path had to switch to the model.  Every point reports
+//! wall seconds **and peak heap bytes** (via [`crate::alloc`]), so the
+//! bounded-memory claim is a number in `BENCH_results.json`, not prose;
+//! points continue to arbitrary `N` as explicitly labelled model-only
+//! projections.
+//!
+//! Two topology scenarios are swept:
+//!
+//! * **scale-free** — Barabási–Albert preferential attachment with
+//!   degree clamping (hub-bounded interbank webs);
+//! * **core–periphery** — the streaming two-tier generator from
+//!   `dstress-finance` at sizes its materialised sibling never reached.
+//!
+//! The workload is the counter program (the smallest circuit that
+//! exercises every phase), cost-accounted transfers, block size `k + 1 =
+//! 3`, two iterations — chosen so a 10,000-vertex run stays in seconds
+//! while every phase (init, per-block MPC, per-edge transfer,
+//! aggregation) is really executed and measured.
+
+use crate::alloc;
+use dstress_core::{ConcurrencyMode, CounterProgram, DStressConfig, DStressRun, DStressRuntime};
+use dstress_finance::{CorePeripheryStream, CorePeripheryStreamConfig};
+use dstress_graph::stream::{BarabasiAlbertStream, EdgeStream};
+use dstress_graph::Graph;
+use dstress_net::cost::OperationCounts;
+use std::time::Instant;
+
+/// Seed of every scale run (graph generation and execution).
+const SCALE_SEED: u64 = 0x5CA1_E5EE;
+
+/// Which streaming topology a scale point runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleTopology {
+    /// Barabási–Albert scale-free attachment, `m` edges per vertex.
+    ScaleFree {
+        /// Out-edges attached per new vertex.
+        m: usize,
+    },
+    /// The streaming two-tier core–periphery generator.
+    CorePeriphery,
+}
+
+impl ScaleTopology {
+    /// The two scenarios of the sweep.
+    pub fn all() -> [ScaleTopology; 2] {
+        [
+            ScaleTopology::ScaleFree { m: 2 },
+            ScaleTopology::CorePeriphery,
+        ]
+    }
+
+    /// Short label used in tables and result files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScaleTopology::ScaleFree { .. } => "scale-free",
+            ScaleTopology::CorePeriphery => "core-periphery",
+        }
+    }
+
+    /// The public degree bound the scenario declares.
+    pub fn degree_bound(&self, n: usize) -> usize {
+        match self {
+            ScaleTopology::ScaleFree { m } => (4 * m).max(8),
+            // The two-tier generator needs head-room for the core hubs.
+            ScaleTopology::CorePeriphery => {
+                if n >= 2_000 {
+                    48
+                } else {
+                    32
+                }
+            }
+        }
+    }
+
+    /// Builds the scenario's graph in compact CSR form from its stream.
+    pub fn build_graph(&self, n: usize, seed: u64) -> Graph {
+        let d = self.degree_bound(n);
+        let mut stream: Box<dyn EdgeStream> = match *self {
+            ScaleTopology::ScaleFree { m } => Box::new(BarabasiAlbertStream::new(n, m, d, seed)),
+            ScaleTopology::CorePeriphery => Box::new(CorePeripheryStream::new(
+                CorePeripheryStreamConfig::scaled(n, d, seed),
+            )),
+        };
+        Graph::from_edge_stream(stream.as_mut()).expect("streaming generators emit valid edges")
+    }
+}
+
+/// One measured (or model-only) point of the scale sweep.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Scenario label.
+    pub topology: &'static str,
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Directed edges of the generated graph (0 for model-only points).
+    pub edges: usize,
+    /// Degree bound `D` of the scenario at this size.
+    pub degree_bound: usize,
+    /// Whether the point was *measured* (a real engine run) or projected
+    /// from the cost model.
+    pub measured: bool,
+    /// Wall-clock seconds of the engine run alone (model-only points:
+    /// the projected per-node seconds), comparable with the other
+    /// measured experiments.
+    pub wall_seconds: f64,
+    /// Wall-clock seconds of streaming generation + CSR construction
+    /// (measured points only), reported separately so graph build time
+    /// never pollutes the execution number.
+    pub generation_seconds: f64,
+    /// Peak heap bytes across graph build + run (measured points only —
+    /// the bounded-memory claim covers the whole streaming path).
+    pub peak_alloc_bytes: usize,
+    /// Operation counts of the run (measured points only).
+    pub counts: OperationCounts,
+    /// Mean bytes sent per node.
+    pub bytes_per_node: f64,
+    /// The pre-noise aggregate (evaluation handle for determinism checks).
+    pub ideal_output: f64,
+}
+
+/// The workload configuration of every measured scale point.
+fn scale_config(threads: usize) -> DStressConfig {
+    let mut config = DStressConfig::benchmark(2);
+    config.message_bits = 8;
+    config.seed = SCALE_SEED;
+    if threads > 1 {
+        config = config.with_concurrency(ConcurrencyMode::Threaded { threads });
+    }
+    config
+}
+
+/// The counter workload: 2 iterations, 8-bit words.
+fn scale_program() -> CounterProgram {
+    CounterProgram {
+        width: 8,
+        rounds: 2,
+    }
+}
+
+/// Runs one *measured* scale point: stream → CSR graph → block-streaming
+/// execution, with peak heap bytes captured around the whole build + run.
+pub fn run_scale_point(topology: ScaleTopology, n: usize, threads: usize) -> ScalePoint {
+    let program = scale_program();
+    let runtime = DStressRuntime::new(scale_config(threads));
+    let baseline = alloc::reset_peak();
+    let gen_start = Instant::now();
+    let graph = topology.build_graph(n, SCALE_SEED);
+    let generation_seconds = gen_start.elapsed().as_secs_f64();
+    let run_start = Instant::now();
+    let run = runtime
+        .execute_streaming(&graph, &program)
+        .expect("scale run succeeds");
+    let wall_seconds = run_start.elapsed().as_secs_f64();
+    let peak = alloc::peak_bytes_since_reset().saturating_sub(baseline);
+    ScalePoint {
+        topology: topology.label(),
+        nodes: n,
+        edges: graph.edge_count(),
+        degree_bound: graph.degree_bound(),
+        measured: true,
+        wall_seconds,
+        generation_seconds,
+        peak_alloc_bytes: peak,
+        counts: run.phases.total_counts(),
+        bytes_per_node: run.mean_bytes_per_node(),
+        ideal_output: run.ideal_output,
+    }
+}
+
+/// The degree bound of the model-only continuation points.
+pub const MODEL_DEGREE_BOUND: usize = 8;
+
+/// A model-only continuation point: the Figure 6 projection machinery at
+/// an `N` beyond the measured sweep, explicitly labelled as such.
+pub fn model_only_point(n: usize, degree_bound: usize) -> ScalePoint {
+    let rows = crate::scalability::fig6_sweep(&[n], &[degree_bound]);
+    let row = &rows[0];
+    ScalePoint {
+        topology: "model",
+        nodes: n,
+        edges: 0,
+        degree_bound,
+        measured: false,
+        wall_seconds: row.result.total_seconds,
+        generation_seconds: 0.0,
+        peak_alloc_bytes: 0,
+        counts: OperationCounts::default(),
+        bytes_per_node: row.result.bytes_per_node,
+        ideal_output: f64::NAN,
+    }
+}
+
+/// The full sweep: measured points for every scenario at every `n`
+/// (sequentially, so the per-point peak-memory figures do not bleed into
+/// each other), then the model-only continuation at
+/// [`MODEL_DEGREE_BOUND`].  This is exactly what `repro -- scale`
+/// prints and records.
+pub fn scale_sweep(
+    measured_nodes: &[usize],
+    model_nodes: &[usize],
+    threads: usize,
+) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for topology in ScaleTopology::all() {
+        for &n in measured_nodes {
+            points.push(run_scale_point(topology, n, threads));
+        }
+    }
+    for &n in model_nodes {
+        points.push(model_only_point(n, MODEL_DEGREE_BOUND));
+    }
+    points
+}
+
+/// Runs the same scale point under `Sequential` and `Threaded` streaming
+/// execution and reports whether they were bit-identical (they must be).
+pub fn streaming_determinism_check(topology: ScaleTopology, n: usize, threads: usize) -> bool {
+    let program = scale_program();
+    let graph = topology.build_graph(n, SCALE_SEED);
+    let sequential = DStressRuntime::new(scale_config(1))
+        .execute_streaming(&graph, &program)
+        .expect("sequential scale run succeeds");
+    let threaded = DStressRuntime::new(scale_config(threads.max(2)))
+        .execute_streaming(&graph, &program)
+        .expect("threaded scale run succeeds");
+    runs_identical(&sequential, &threaded)
+}
+
+/// Bit-identity of two runs: outputs, counts and traffic.
+pub fn runs_identical(a: &DStressRun, b: &DStressRun) -> bool {
+    a.noised_output == b.noised_output
+        && a.ideal_output == b.ideal_output
+        && a.phases.total_counts() == b.phases.total_counts()
+        && a.traffic.report() == b.traffic.report()
+}
+
+/// Measures peak heap bytes of the materialised (`execute`) vs streaming
+/// (`execute_streaming`) schedule on the same graph; returns
+/// `(materialised_peak, streaming_peak)`.  Runs sequentially for a clean
+/// measurement.
+pub fn peak_memory_comparison(topology: ScaleTopology, n: usize) -> (usize, usize) {
+    let program = scale_program();
+    let runtime = DStressRuntime::new(scale_config(1));
+    let graph = topology.build_graph(n, SCALE_SEED);
+
+    let baseline = alloc::reset_peak();
+    let materialised = runtime
+        .execute(&graph, &program)
+        .expect("materialised run succeeds");
+    let materialised_peak = alloc::peak_bytes_since_reset().saturating_sub(baseline);
+    drop(materialised);
+
+    let baseline = alloc::reset_peak();
+    let streaming = runtime
+        .execute_streaming(&graph, &program)
+        .expect("streaming run succeeds");
+    let streaming_peak = alloc::peak_bytes_since_reset().saturating_sub(baseline);
+    drop(streaming);
+
+    (materialised_peak, streaming_peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_points_measure_real_runs_at_small_n() {
+        for topology in ScaleTopology::all() {
+            let point = run_scale_point(topology, 150, 2);
+            assert!(point.measured);
+            assert_eq!(point.nodes, 150);
+            assert!(point.edges > 0);
+            assert!(point.counts.and_gates > 0, "{}", point.topology);
+            assert!(point.bytes_per_node > 0.0);
+            assert!(point.peak_alloc_bytes > 0);
+            assert!(point.wall_seconds > 0.0);
+            assert!(point.ideal_output.is_finite());
+        }
+    }
+
+    #[test]
+    fn scale_points_are_reproducible() {
+        let topology = ScaleTopology::ScaleFree { m: 2 };
+        let a = run_scale_point(topology, 120, 1);
+        let b = run_scale_point(topology, 120, 2);
+        // Concurrency changes wall-clock and peak memory, never results.
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.ideal_output, b.ideal_output);
+        assert_eq!(a.bytes_per_node, b.bytes_per_node);
+    }
+
+    #[test]
+    fn model_points_are_labelled() {
+        let point = model_only_point(10_000, 8);
+        assert!(!point.measured);
+        assert_eq!(point.topology, "model");
+        assert!(point.wall_seconds > 0.0);
+        assert!(point.bytes_per_node > 0.0);
+        assert_eq!(point.edges, 0);
+    }
+
+    #[test]
+    fn small_determinism_check_passes() {
+        assert!(streaming_determinism_check(
+            ScaleTopology::CorePeriphery,
+            90,
+            3
+        ));
+    }
+}

@@ -28,6 +28,15 @@ fn measured_bytes_reconcile_with_the_cost_model_on_quick_circuits() {
         let row = run_mpc_micro_with(kind, 4, 10, 50, 0xBEC0, GmwBatching::Layered);
         let measured = row.counts.wire_bytes as f64;
         let modeled = row.counts.bytes_sent as f64;
+        if row.and_gates == 0 {
+            // OT-extension setup is charged lazily at the first AND
+            // layer, so a circuit that never reaches one (the identity
+            // Initialization circuit) moves no bytes at all — measured
+            // and modeled agree on exactly zero.
+            assert_eq!(measured, 0.0, "{kind:?}");
+            assert_eq!(modeled, 0.0, "{kind:?}");
+            continue;
+        }
         assert!(measured > 0.0 && modeled > 0.0, "{kind:?}");
         let ratio = measured / modeled;
         assert!(

@@ -20,6 +20,23 @@
 //! The engine measures, per phase, the operation counts, bytes on the
 //! simulated wire and wall-clock time, which is exactly the breakdown
 //! reported in Figure 5 of the paper.
+//!
+//! ## Block-streaming execution
+//!
+//! Both entry points drive the same windowed pipeline: a phase's
+//! independent blocks are walked window by window, every task seeded by
+//! its *global* index.  [`DStressRuntime::execute`] uses a single window
+//! (everything in flight at once); [`DStressRuntime::execute_streaming`]
+//! bounds the window by the worker count ([`BLOCKS_PER_WORKER`] blocks
+//! per worker), materialises only the in-flight blocks' GMW state and
+//! outgoing shares, and drops them as soon as the window's transfers are
+//! delivered.  Persistent per-vertex state is bit-packed (`PackedRows`
+//! internally): the state shares plus one inbox slot per *actual*
+//! in-edge, double-buffered across rounds.  The two schedules — and both
+//! [`crate::config::ConcurrencyMode`]s — are bit-identical in outputs,
+//! counts and traffic; only peak memory and wall-clock differ, which is
+//! what lets measured sweeps continue past the old full-materialisation
+//! wall.
 
 use crate::config::{DStressConfig, TransferMode};
 use crate::noise_circuit::noising_circuit;
@@ -37,11 +54,13 @@ use dstress_mpc::gmw::{reconstruct_outputs, GmwConfig, GmwProtocol};
 use dstress_mpc::party::{derive_seed, OtConfig};
 use dstress_mpc::MpcError;
 use dstress_net::cost::OperationCounts;
-use dstress_net::pool::parallel_map;
+use dstress_net::pool::{parallel_map, windowed};
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 use dstress_net::wire::{Wire, WireError};
 use dstress_transfer::protocol::{transfer_message, TransferConfig};
-use dstress_transfer::setup::{generate_system, NodeSecrets, SystemSetup};
+use dstress_transfer::setup::{
+    generate_block_assignment, generate_system, NodeSecrets, SystemSetup,
+};
 use dstress_transfer::TransferError;
 use std::time::Instant;
 
@@ -191,6 +210,11 @@ impl DStressRuntime {
 
     /// Executes `program` over `graph` and returns the run record.
     ///
+    /// This is the fully materialised schedule: every block of a phase is
+    /// in flight at once (a single window).  See
+    /// [`Self::execute_streaming`] for the bounded-memory schedule; the
+    /// two are bit-identical for the same configuration and graph.
+    ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if setup, any MPC, or any transfer fails.
@@ -198,6 +222,97 @@ impl DStressRuntime {
         &self,
         graph: &Graph,
         program: &P,
+    ) -> Result<DStressRun, RuntimeError> {
+        self.run_windowed(graph, program, usize::MAX)
+    }
+
+    /// Executes `program` over `graph` with the *block-streaming*
+    /// schedule: per phase, only a bounded window of blocks —
+    /// [`ConcurrencyMode::worker_threads`](crate::config::ConcurrencyMode)
+    /// × [`BLOCKS_PER_WORKER`] — is materialised at a time.  Each
+    /// window's vertex MPCs run, their out-edge transfers are delivered,
+    /// and the window's working state (GMW wires, outgoing message
+    /// shares) is dropped before the next window starts; the only
+    /// per-vertex state that persists across rounds is the bit-packed
+    /// share store (state plus one inbox slot per actual in-edge).
+    ///
+    /// Every block and edge task derives its seed from its *global*
+    /// index, so the result — outputs, operation counts, traffic — is
+    /// bit-identical to [`Self::execute`] and invariant across
+    /// [`crate::config::ConcurrencyMode`]s; only peak memory and
+    /// wall-clock change.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if setup, any MPC, or any transfer fails.
+    pub fn execute_streaming<P: SecureVertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+    ) -> Result<DStressRun, RuntimeError> {
+        let window = self
+            .config
+            .concurrency
+            .worker_threads()
+            .saturating_mul(BLOCKS_PER_WORKER);
+        self.run_windowed(graph, program, window)
+    }
+
+    /// One-time setup, sized to the transfer mode: real-crypto runs need
+    /// every node's key material and `D` certificates per node
+    /// (`O(N · D · L)` group elements); cost-accounted runs only need the
+    /// block assignment (`O(N · k)` node ids), so that is all they build.
+    fn build_setup(
+        &self,
+        group: &Group,
+        n: usize,
+        degree_bound: usize,
+        message_bits: u32,
+        rng: &mut dyn DetRng,
+    ) -> Result<(Vec<NodeSecrets>, SystemSetup), RuntimeError> {
+        match self.config.transfer_mode {
+            TransferMode::RealCrypto => Ok(generate_system(
+                group,
+                n,
+                self.config.collusion_bound,
+                degree_bound,
+                message_bits,
+                rng,
+            )?),
+            TransferMode::Accounted => Ok((
+                Vec::new(),
+                generate_block_assignment(
+                    n,
+                    self.config.collusion_bound,
+                    degree_bound,
+                    message_bits,
+                    rng,
+                )?,
+            )),
+        }
+    }
+
+    /// The windowed execution pipeline behind both entry points.
+    ///
+    /// Within one round, every vertex's computation step is an
+    /// independent MPC among its own block, and every edge's message
+    /// transfer is an independent protocol run — exactly the concurrency
+    /// a real deployment exploits.  The schedule walks those independent
+    /// blocks window by window ([`dstress_net::pool::windowed`]); each
+    /// task derives its seed from the per-phase master and its *global*
+    /// index and accounts into its own counters, merged in index order —
+    /// so the window size and the [`crate::config::ConcurrencyMode`]
+    /// change peak memory and wall-clock, never a single output bit.
+    ///
+    /// Message transfers write into a double-buffered inbox
+    /// (`inbox_next`), swapped at the end of the round, which is what
+    /// lets a window's transfers run before later windows of the same
+    /// round have computed.
+    fn run_windowed<P: SecureVertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+        window: usize,
     ) -> Result<DStressRun, RuntimeError> {
         let n = graph.vertex_count();
         let degree_bound = graph.degree_bound();
@@ -208,14 +323,8 @@ impl DStressRuntime {
         let mut rng = Xoshiro256::new(self.config.seed);
 
         // ---- One-time setup --------------------------------------------
-        let (secrets, setup) = generate_system(
-            &group,
-            n,
-            self.config.collusion_bound,
-            degree_bound,
-            program.message_bits(),
-            &mut rng,
-        )?;
+        let (secrets, setup) =
+            self.build_setup(&group, n, degree_bound, program.message_bits(), &mut rng)?;
         let dlog = match self.config.transfer_mode {
             TransferMode::RealCrypto => {
                 Some(DlogTable::new_signed(&group, self.config.dlog_window))
@@ -224,21 +333,31 @@ impl DStressRuntime {
         };
         let mut traffic = TrafficAccountant::new();
 
-        // ---- Initialization step ----------------------------------------
-        let init_start = Instant::now();
-        let mut init_counts = OperationCounts::default();
-        // state_shares[vertex][member][bit]
-        let mut state_shares: Vec<Vec<Vec<bool>>> = Vec::with_capacity(n);
-        // inbox_shares[vertex][slot][member][bit]
-        let mut inbox_shares: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(n);
+        // Per-vertex offsets into the packed inbox: one slot per *actual*
+        // in-edge (slots past the in-degree hold the all-zero no-op share
+        // forever and are padded in on demand, never stored).
+        let mut in_offset = vec![0usize; n + 1];
         for v in graph.vertices() {
             if graph.out_degree(v) > degree_bound || graph.in_degree(v) > degree_bound {
                 return Err(RuntimeError::DegreeBoundViolated { vertex: v.0 });
             }
+            in_offset[v.0 + 1] = in_offset[v.0] + graph.in_degree(v);
+        }
+        let inbox_rows = in_offset[n] * block_size;
+
+        // ---- Initialization step ----------------------------------------
+        let init_start = Instant::now();
+        let mut init_counts = OperationCounts::default();
+        // Bit-packed persistent share state: row (v · block + member).
+        let mut state_store = PackedRows::new(n * block_size, state_bits);
+        // Bit-packed inboxes, double-buffered: row
+        // ((in_offset[v] + slot) · block + member).
+        let mut inbox_store = PackedRows::new(inbox_rows, message_bits);
+        let mut inbox_next = PackedRows::new(inbox_rows, message_bits);
+        for v in graph.vertices() {
             let initial = program.encode_initial_state(graph, v);
             debug_assert_eq!(initial.len(), state_bits, "program state encoding width");
             let mut shares = share_bits(&initial, block_size, &mut rng);
-            let mut inbox = vec![vec![vec![false; message_bits]; block_size]; degree_bound];
             // Each member other than the owner receives its state share and
             // D no-op message shares — as a real bit-packed wire message,
             // whose decoded copy is the share the member actually uses.
@@ -264,12 +383,13 @@ impl DStressRuntime {
                     unreachable!("an InitShare was encoded");
                 };
                 shares[m_idx] = state;
-                for (slot, chunk) in noop.chunks(message_bits).enumerate() {
-                    inbox[slot][m_idx].copy_from_slice(chunk);
-                }
+                // The decoded no-op shares are all-zero, which is exactly
+                // what the zero-initialised packed inbox already holds.
+                debug_assert!(noop.iter().all(|&bit| !bit));
             }
-            state_shares.push(shares);
-            inbox_shares.push(inbox);
+            for (m_idx, share) in shares.iter().enumerate() {
+                state_store.write(v.0 * block_size + m_idx, share);
+            }
         }
         // Every vertex distributes its shares concurrently, so the whole
         // step is one communication round — charging one per vertex would
@@ -281,131 +401,167 @@ impl DStressRuntime {
         };
 
         // ---- Iterations ---------------------------------------------------
-        //
-        // Within one round, every vertex's computation step is an
-        // independent MPC among its own block, and every edge's message
-        // transfer is an independent protocol run — exactly the
-        // concurrency a real deployment exploits.  Each task derives its
-        // own seed from a per-phase master and accounts into its own
-        // counters; the merge below happens in task order, so Sequential
-        // and Threaded modes produce bit-identical runs.
         let update_circuit = program.update_circuit(degree_bound);
         let mut computation = PhaseCosts::default();
         let mut communication = PhaseCosts::default();
         let iterations = program.iterations();
         let threads = self.config.concurrency.worker_threads();
         let message_width = program.message_bits();
-        // The edge topology — (source, outgoing slot, target, receiver
-        // inbox slot) — is round-invariant; compute it once.
-        let edge_topology: Vec<(VertexId, usize, VertexId, usize)> = {
-            let mut edges = Vec::new();
-            for v in graph.vertices() {
-                for (out_slot, &to) in graph.out_neighbors(v).iter().enumerate() {
-                    let in_slot = graph
+        let window = window.max(1);
+        // The receiver inbox slot of every edge, in vertex-major (global
+        // edge index) order — round-invariant, so the in-neighbour scans
+        // happen once per run instead of once per edge per round.  A flat
+        // `usize` per edge, the same memory class as the topology itself.
+        let edge_in_slots: Vec<usize> = graph
+            .vertices()
+            .flat_map(|v| {
+                graph.out_neighbors(v).iter().map(move |&to| {
+                    graph
                         .in_neighbors(to)
                         .iter()
                         .position(|&src| src == v)
-                        .expect("out-edge implies matching in-edge");
-                    edges.push((v, out_slot, to, in_slot));
-                }
-            }
-            edges
-        };
+                        .expect("out-edge implies matching in-edge")
+                })
+            })
+            .collect();
 
         for round in 0..=iterations {
-            // Computation step for every vertex (the final pass, at
-            // `round == iterations`, consumes the last round of messages
-            // and produces no outgoing traffic).
-            let comp_start = Instant::now();
-            let phase_seed = rng.next_u64();
-            let vertices: Vec<VertexId> = graph.vertices().collect();
-            let step_results = {
-                let state_shares = &state_shares;
-                let inbox_shares = &inbox_shares;
-                parallel_map(vertices, threads, |idx, v| {
-                    let mut local_rng = Xoshiro256::new(task_seed(phase_seed, idx as u64));
-                    let mut local_traffic = TrafficAccountant::new();
-                    self.run_update_step(
-                        &update_circuit,
-                        &setup,
-                        v,
-                        &state_shares[v.0],
-                        &inbox_shares[v.0],
-                        state_bits,
-                        message_bits,
-                        degree_bound,
-                        &mut local_traffic,
-                        &mut local_rng,
-                    )
-                    .map(|(state, out, counts)| (state, out, counts, local_traffic))
-                })
-            };
-            let mut outgoing: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(n);
-            // All vertex MPCs of a step run concurrently: their compute
-            // and byte counts sum, but the step's *rounds* are the
-            // critical path — the deepest block MPC — not the sum over
-            // blocks (which the per-gate accounting used to charge).
-            let mut step_rounds = 0u64;
-            for (v, result) in step_results.into_iter().enumerate() {
-                let (new_state, out_msgs, mut counts, local_traffic) = result?;
-                state_shares[v] = new_state;
-                outgoing.push(out_msgs);
-                step_rounds = step_rounds.max(counts.rounds);
-                counts.rounds = 0;
-                computation.counts.merge(&counts);
-                traffic.merge(&local_traffic);
-            }
-            computation.counts.rounds += step_rounds;
-            computation.wall_seconds += comp_start.elapsed().as_secs_f64();
-            if round == iterations {
-                break;
+            // Per-phase master seeds, drawn in the same order as the
+            // phases themselves run (computation, then communication).
+            let comp_seed = rng.next_u64();
+            let comm_seed = (round < iterations).then(|| rng.next_u64());
+            let mut comp_rounds = 0u64;
+            let mut comm_rounds = 0u64;
+            // Global edge index in vertex-major order, continued across
+            // windows, so edge task seeds are window-invariant.
+            let mut edge_index = 0u64;
+
+            for span in windowed(n, window) {
+                // Computation step for the window's blocks (the final
+                // pass, at `round == iterations`, consumes the last round
+                // of messages and produces no outgoing traffic).
+                let comp_start = Instant::now();
+                let vertices: Vec<VertexId> = span.clone().map(VertexId).collect();
+                let step_results = {
+                    let state_store = &state_store;
+                    let inbox_store = &inbox_store;
+                    let in_offset = &in_offset;
+                    parallel_map(vertices, threads, |_off, v| {
+                        let mut local_rng = Xoshiro256::new(task_seed(comp_seed, v.0 as u64));
+                        let mut local_traffic = TrafficAccountant::new();
+                        let inputs = gather_block_inputs(
+                            graph,
+                            v,
+                            state_store,
+                            inbox_store,
+                            in_offset,
+                            block_size,
+                            degree_bound,
+                            state_bits,
+                            message_bits,
+                        );
+                        self.run_block_step(
+                            &update_circuit,
+                            &setup,
+                            v,
+                            inputs,
+                            graph.out_degree(v),
+                            state_bits,
+                            message_bits,
+                            &mut local_traffic,
+                            &mut local_rng,
+                        )
+                        .map(|(state, out, counts)| (state, out, counts, local_traffic))
+                    })
+                };
+                // The window's outgoing message shares, dropped as soon as
+                // its transfers have been delivered: only in-flight blocks
+                // are ever materialised.
+                let mut window_out: Vec<Vec<Vec<Vec<bool>>>> = Vec::with_capacity(span.len());
+                // All vertex MPCs of a step run concurrently: their compute
+                // and byte counts sum, but the step's *rounds* are the
+                // critical path — the deepest block MPC — not the sum over
+                // blocks.
+                for (off, result) in step_results.into_iter().enumerate() {
+                    let (new_state, out_msgs, mut counts, local_traffic) = result?;
+                    let v = span.start + off;
+                    for (m_idx, share) in new_state.iter().enumerate() {
+                        state_store.write(v * block_size + m_idx, share);
+                    }
+                    window_out.push(out_msgs);
+                    comp_rounds = comp_rounds.max(counts.rounds);
+                    counts.rounds = 0;
+                    computation.counts.merge(&counts);
+                    traffic.merge(&local_traffic);
+                }
+                computation.wall_seconds += comp_start.elapsed().as_secs_f64();
+                let Some(comm_seed) = comm_seed else {
+                    continue;
+                };
+
+                // Communication step for the window's out-edges, delivered
+                // into the next round's inbox buffer.
+                let comm_start = Instant::now();
+                let mut edges: Vec<(u64, VertexId, VertexId, usize, Vec<BitMessage>)> = Vec::new();
+                for (off, out_msgs) in window_out.iter().enumerate() {
+                    let v = VertexId(span.start + off);
+                    for (out_slot, &to) in graph.out_neighbors(v).iter().enumerate() {
+                        let in_slot = edge_in_slots[edge_index as usize];
+                        let message_shares: Vec<BitMessage> = out_msgs[out_slot]
+                            .iter()
+                            .map(|bits| BitMessage::from_bits(bits))
+                            .collect();
+                        edges.push((edge_index, v, to, in_slot, message_shares));
+                        edge_index += 1;
+                    }
+                }
+                let transfer_results =
+                    parallel_map(edges, threads, |_off, (gidx, v, to, in_slot, shares)| {
+                        let mut local_rng = Xoshiro256::new(task_seed(comm_seed, gidx));
+                        let mut local_traffic = TrafficAccountant::new();
+                        self.run_transfer(
+                            &group,
+                            &setup,
+                            &secrets,
+                            dlog.as_ref(),
+                            message_width,
+                            v,
+                            to,
+                            in_slot,
+                            &shares,
+                            &mut local_traffic,
+                            &mut local_rng,
+                        )
+                        .map(|(new_shares, counts)| {
+                            (to, in_slot, new_shares, counts, local_traffic)
+                        })
+                    });
+                // Edge transfers of a step are likewise concurrent: rounds
+                // are the per-step maximum, not edge-count × 3.
+                for result in transfer_results {
+                    let (to, in_slot, new_shares, mut counts, local_traffic) = result?;
+                    let base = (in_offset[to.0] + in_slot) * block_size;
+                    for (m_idx, share) in new_shares.iter().enumerate() {
+                        inbox_next.write(base + m_idx, &share.to_bits());
+                    }
+                    comm_rounds = comm_rounds.max(counts.rounds);
+                    counts.rounds = 0;
+                    communication.counts.merge(&counts);
+                    traffic.merge(&local_traffic);
+                }
+                communication.wall_seconds += comm_start.elapsed().as_secs_f64();
+                // `window_out` (and the per-edge share clones) die here:
+                // the next window starts from persistent packed state only.
             }
 
-            // Communication step for every edge.
-            let comm_start = Instant::now();
-            let phase_seed = rng.next_u64();
-            let edges: Vec<(VertexId, VertexId, usize, Vec<BitMessage>)> = edge_topology
-                .iter()
-                .map(|&(v, out_slot, to, in_slot)| {
-                    let message_shares: Vec<BitMessage> = outgoing[v.0][out_slot]
-                        .iter()
-                        .map(|bits| BitMessage::from_bits(bits))
-                        .collect();
-                    (v, to, in_slot, message_shares)
-                })
-                .collect();
-            let transfer_results = parallel_map(edges, threads, |idx, (v, to, in_slot, shares)| {
-                let mut local_rng = Xoshiro256::new(task_seed(phase_seed, idx as u64));
-                let mut local_traffic = TrafficAccountant::new();
-                self.run_transfer(
-                    &group,
-                    &setup,
-                    &secrets,
-                    dlog.as_ref(),
-                    message_width,
-                    v,
-                    to,
-                    in_slot,
-                    &shares,
-                    &mut local_traffic,
-                    &mut local_rng,
-                )
-                .map(|(new_shares, counts)| (to, in_slot, new_shares, counts, local_traffic))
-            });
-            // Edge transfers of a step are likewise concurrent: rounds
-            // are the per-step maximum, not edge-count × 3.
-            let mut step_rounds = 0u64;
-            for result in transfer_results {
-                let (to, in_slot, new_shares, mut counts, local_traffic) = result?;
-                inbox_shares[to.0][in_slot] =
-                    new_shares.iter().map(|share| share.to_bits()).collect();
-                step_rounds = step_rounds.max(counts.rounds);
-                counts.rounds = 0;
-                communication.counts.merge(&counts);
-                traffic.merge(&local_traffic);
+            computation.counts.rounds += comp_rounds;
+            if comm_seed.is_none() {
+                break;
             }
-            communication.counts.rounds += step_rounds;
-            communication.wall_seconds += comm_start.elapsed().as_secs_f64();
+            communication.counts.rounds += comm_rounds;
+            // Every in-slot with an edge was overwritten by a transfer, so
+            // the swap is a complete hand-over to the next round.
+            std::mem::swap(&mut inbox_store, &mut inbox_next);
         }
 
         // ---- Aggregation + noising ----------------------------------------
@@ -426,8 +582,9 @@ impl DStressRuntime {
             for (m_idx, &member) in block.members.iter().enumerate() {
                 // sub[ba_idx][bit]: this member's sub-share toward each
                 // aggregation-block member.
+                let member_state = state_store.read(v.0 * block_size + m_idx);
                 let mut sub = vec![vec![false; state_bits]; block_size];
-                for (bit, &value) in state_shares[v.0][m_idx].iter().enumerate() {
+                for (bit, &value) in member_state.iter().enumerate() {
                     let subshares = split_xor_bit(value, block_size, &mut rng);
                     for (ba_idx, s) in subshares.into_iter().enumerate() {
                         sub[ba_idx][bit] = s;
@@ -511,33 +668,26 @@ impl DStressRuntime {
         })
     }
 
-    /// Runs one vertex's computation step under GMW and splits the outputs
-    /// into new state shares and outgoing message shares.
+    /// Runs one block's computation step under GMW on pre-gathered input
+    /// shares and splits the outputs into new state shares and outgoing
+    /// message shares (one slot per *actual* out-edge — the circuit's
+    /// remaining `D - out_degree` padded slots go nowhere and are
+    /// dropped).
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
-    fn run_update_step(
+    fn run_block_step(
         &self,
         update_circuit: &dstress_circuit::Circuit,
         setup: &SystemSetup,
         v: VertexId,
-        state: &[Vec<bool>],
-        inbox: &[Vec<Vec<bool>>],
+        input_shares: Vec<Vec<bool>>,
+        out_slots: usize,
         state_bits: usize,
         message_bits: usize,
-        degree_bound: usize,
         traffic: &mut TrafficAccountant,
         rng: &mut dyn DetRng,
     ) -> Result<(Vec<Vec<bool>>, Vec<Vec<Vec<bool>>>, OperationCounts), RuntimeError> {
         let block = setup.block_of(NodeId(v.0));
         let block_size = block.size();
-        let mut input_shares: Vec<Vec<bool>> = Vec::with_capacity(block_size);
-        for m_idx in 0..block_size {
-            let mut member_inputs = Vec::with_capacity(state_bits + degree_bound * message_bits);
-            member_inputs.extend_from_slice(&state[m_idx]);
-            for slot in inbox.iter() {
-                member_inputs.extend_from_slice(&slot[m_idx]);
-            }
-            input_shares.push(member_inputs);
-        }
         let protocol = GmwProtocol::new(
             GmwConfig::with_node_ids(block.members.clone()).with_batching(self.config.gmw_batching),
         )?;
@@ -550,7 +700,7 @@ impl DStressRuntime {
         )?;
 
         let mut new_state = Vec::with_capacity(block_size);
-        let mut outgoing = vec![vec![Vec::new(); block_size]; degree_bound];
+        let mut outgoing = vec![vec![Vec::new(); block_size]; out_slots];
         for (m_idx, member_outputs) in exec.output_shares.iter().enumerate() {
             new_state.push(member_outputs[..state_bits].to_vec());
             for (slot, per_member) in outgoing.iter_mut().enumerate() {
@@ -613,6 +763,98 @@ impl DStressRuntime {
             )),
         }
     }
+}
+
+/// Blocks each worker keeps in flight under the streaming schedule: the
+/// window of [`DStressRuntime::execute_streaming`] is
+/// `worker_threads × BLOCKS_PER_WORKER`, so peak per-round
+/// materialisation is bounded by the concurrency level, not the graph.
+pub const BLOCKS_PER_WORKER: usize = 4;
+
+/// Fixed-width bit-packed row store — the persistent share state of the
+/// streaming engine.  One row is one member's share vector (state or one
+/// inbox slot); packing costs one bit per share bit instead of the byte
+/// (plus `Vec` header) of the nested-`Vec` representation the
+/// materialised engine used to hold for every vertex at once.
+#[derive(Clone, Debug)]
+struct PackedRows {
+    width: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl PackedRows {
+    /// Creates a zeroed store of `rows` rows of `width` bits each.
+    fn new(rows: usize, width: usize) -> Self {
+        let words_per_row = width.div_ceil(64);
+        PackedRows {
+            width,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Unpacks one row.
+    fn read(&self, row: usize) -> Vec<bool> {
+        let base = row * self.words_per_row;
+        (0..self.width)
+            .map(|bit| (self.words[base + bit / 64] >> (bit % 64)) & 1 == 1)
+            .collect()
+    }
+
+    /// Unpacks one row onto the end of `out`.
+    fn read_into(&self, row: usize, out: &mut Vec<bool>) {
+        let base = row * self.words_per_row;
+        out.extend((0..self.width).map(|bit| (self.words[base + bit / 64] >> (bit % 64)) & 1 == 1));
+    }
+
+    /// Overwrites one row.
+    fn write(&mut self, row: usize, bits: &[bool]) {
+        debug_assert_eq!(bits.len(), self.width, "row width");
+        let base = row * self.words_per_row;
+        self.words[base..base + self.words_per_row].fill(0);
+        for (bit, &b) in bits.iter().enumerate() {
+            if b {
+                self.words[base + bit / 64] |= 1 << (bit % 64);
+            }
+        }
+    }
+}
+
+/// Gathers one block's GMW input shares from the packed stores: each
+/// member's state row followed by its `D` inbox slots — the slots past
+/// the vertex's in-degree hold the all-zero no-op share and are padded in
+/// here rather than stored.
+#[allow(clippy::too_many_arguments)]
+fn gather_block_inputs(
+    graph: &Graph,
+    v: VertexId,
+    state_store: &PackedRows,
+    inbox_store: &PackedRows,
+    in_offset: &[usize],
+    block_size: usize,
+    degree_bound: usize,
+    state_bits: usize,
+    message_bits: usize,
+) -> Vec<Vec<bool>> {
+    let in_degree = graph.in_degree(v);
+    (0..block_size)
+        .map(|m_idx| {
+            let mut member_inputs = Vec::with_capacity(state_bits + degree_bound * message_bits);
+            state_store.read_into(v.0 * block_size + m_idx, &mut member_inputs);
+            for slot in 0..degree_bound {
+                if slot < in_degree {
+                    inbox_store.read_into(
+                        (in_offset[v.0] + slot) * block_size + m_idx,
+                        &mut member_inputs,
+                    );
+                } else {
+                    member_inputs.extend(std::iter::repeat(false).take(message_bits));
+                }
+            }
+            member_inputs
+        })
+        .collect()
 }
 
 /// Derives the seed of one phase task (a vertex's computation step or an
@@ -1005,6 +1247,104 @@ mod tests {
         l.wire_bytes = 0;
         p.wire_bytes = 0;
         assert_eq!(l, p);
+    }
+
+    /// Two runs must agree bit-for-bit: outputs, counts, and traffic.
+    fn assert_runs_identical(a: &DStressRun, b: &DStressRun, what: &str) {
+        assert_eq!(a.noised_output, b.noised_output, "{what}");
+        assert_eq!(a.ideal_output, b.ideal_output, "{what}");
+        assert_eq!(a.phases.total_counts(), b.phases.total_counts(), "{what}");
+        assert_eq!(a.traffic.report(), b.traffic.report(), "{what}");
+        assert_eq!(
+            a.phases.computation.counts.rounds, b.phases.computation.counts.rounds,
+            "{what}"
+        );
+        assert_eq!(
+            a.phases.communication.counts.rounds, b.phases.communication.counts.rounds,
+            "{what}"
+        );
+    }
+
+    #[test]
+    fn streaming_execution_matches_materialised() {
+        // The block-streaming schedule bounds in-flight state per window;
+        // it must not change a single bit of the run — under either
+        // transfer mode.
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let graph = ring_graph(7);
+        let mut acc = DStressConfig::benchmark(2);
+        acc.message_bits = 8;
+        let runtime = DStressRuntime::new(acc);
+        let materialised = runtime.execute(&graph, &program).unwrap();
+        let streaming = runtime.execute_streaming(&graph, &program).unwrap();
+        assert_runs_identical(&materialised, &streaming, "accounted");
+
+        let graph = ring_graph(4);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let mut real = DStressConfig::small_test(2);
+        real.message_bits = 8;
+        let runtime = DStressRuntime::new(real);
+        let materialised = runtime.execute(&graph, &program).unwrap();
+        let streaming = runtime.execute_streaming(&graph, &program).unwrap();
+        assert_runs_identical(&materialised, &streaming, "real crypto");
+    }
+
+    #[test]
+    fn streaming_sequential_and_threaded_agree() {
+        // The streaming determinism pin: under the bounded-window
+        // schedule, Sequential and Threaded runs stay bit-identical (the
+        // window is derived from the worker count, so the two modes even
+        // use different windows — the global task indexing makes that
+        // invisible).
+        use crate::config::ConcurrencyMode;
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let graph = ring_graph(9);
+        let mut seq_cfg = DStressConfig::benchmark(2);
+        seq_cfg.message_bits = 8;
+        let thr_cfg = seq_cfg
+            .clone()
+            .with_concurrency(ConcurrencyMode::Threaded { threads: 4 });
+        let seq = DStressRuntime::new(seq_cfg)
+            .execute_streaming(&graph, &program)
+            .unwrap();
+        let thr = DStressRuntime::new(thr_cfg)
+            .execute_streaming(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&seq, &thr, "sequential vs threaded streaming");
+    }
+
+    #[test]
+    fn streaming_runs_csr_graphs_from_edge_streams() {
+        // The full streaming path: a seeded generator feeds a compact CSR
+        // graph, which the bounded-memory schedule executes; the run is
+        // reproducible and matches the plaintext reference.
+        use crate::program::execute_plaintext;
+        use dstress_graph::stream::BarabasiAlbertStream;
+        let graph = Graph::from_edge_stream(&mut BarabasiAlbertStream::new(24, 2, 6, 5)).unwrap();
+        assert!(graph.is_csr());
+        let program = CounterProgram {
+            width: 10,
+            rounds: 2,
+        };
+        let mut cfg = DStressConfig::benchmark(2);
+        cfg.message_bits = 10;
+        let runtime = DStressRuntime::new(cfg);
+        let a = runtime.execute_streaming(&graph, &program).unwrap();
+        let b = runtime.execute_streaming(&graph, &program).unwrap();
+        assert_runs_identical(&a, &b, "csr reproducibility");
+        assert_eq!(a.ideal_output, execute_plaintext(&graph, &program));
+        // And the materialised schedule agrees on the CSR graph too.
+        let c = runtime.execute(&graph, &program).unwrap();
+        assert_runs_identical(&a, &c, "csr streaming vs materialised");
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod projection;
 pub mod wire;
 
 pub use config::{ConcurrencyMode, DStressConfig, TransferMode};
-pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts};
+pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts, BLOCKS_PER_WORKER};
 pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
 pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};

@@ -50,6 +50,9 @@ pub mod network;
 
 pub use eisenberg_noe::{EisenbergNoeProgram, EisenbergNoeSecure};
 pub use elliott_golub_jackson::{ElliottGolubJacksonProgram, ElliottGolubJacksonSecure};
-pub use generator::{core_periphery, erdos_renyi_financial, scale_free, GeneratorConfig};
+pub use generator::{
+    core_periphery, core_periphery_streamed, erdos_renyi_financial, scale_free,
+    CorePeripheryStream, CorePeripheryStreamConfig, GeneratorConfig,
+};
 pub use metrics::{sensitivity_bound_egj, sensitivity_bound_en, CircuitParams};
 pub use network::{Bank, Exposure, FinancialNetwork};

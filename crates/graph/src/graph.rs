@@ -1,5 +1,23 @@
 //! Directed graphs with degree-bound bookkeeping.
+//!
+//! Two storage layouts back a [`Graph`]:
+//!
+//! * **adjacency lists** — one `Vec` of neighbours per vertex in each
+//!   direction, grown edge by edge through [`Graph::add_edge`].  This is
+//!   the mutable layout used by hand-built test graphs and the
+//!   exposure-carrying financial networks.
+//! * **CSR** (compressed sparse row) — two flat offset/target arrays per
+//!   direction, built in one shot from an [`EdgeStream`] by
+//!   [`Graph::from_edge_stream`].  This is the compact, cache-friendly
+//!   layout the streaming generators produce: no per-vertex `Vec`
+//!   headers, no growth slack, just `O(V + E)` words.  CSR graphs are
+//!   frozen — [`Graph::add_edge`] reports
+//!   [`GraphError::FrozenTopology`].
+//!
+//! Both layouts answer every query through the same API, so the engine
+//! and the vertex programs never care which one they were handed.
 
+use crate::stream::EdgeStream;
 use core::fmt;
 
 /// Identifier of a vertex (and of the participant that owns it).
@@ -41,6 +59,8 @@ pub enum GraphError {
         /// Destination vertex.
         to: usize,
     },
+    /// The graph uses the frozen CSR layout and cannot accept new edges.
+    FrozenTopology,
 }
 
 impl fmt::Display for GraphError {
@@ -59,11 +79,34 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge { from, to } => {
                 write!(f, "duplicate edge ({from}, {to})")
             }
+            GraphError::FrozenTopology => {
+                write!(
+                    f,
+                    "CSR-backed graphs are frozen; build edges through the stream"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+/// Adjacency storage: mutable per-vertex lists or frozen CSR arrays.
+#[derive(Clone, Debug)]
+enum Storage {
+    /// One neighbour list per vertex per direction (mutable).
+    Lists {
+        out: Vec<Vec<VertexId>>,
+        inn: Vec<Vec<VertexId>>,
+    },
+    /// Compressed sparse row in both directions (frozen).
+    Csr {
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<VertexId>,
+    },
+}
 
 /// A directed graph whose participants each own one vertex.
 ///
@@ -74,27 +117,143 @@ impl std::error::Error for GraphError {}
 /// per direction).
 #[derive(Clone, Debug)]
 pub struct Graph {
-    out_edges: Vec<Vec<VertexId>>,
-    in_edges: Vec<Vec<VertexId>>,
+    storage: Storage,
     degree_bound: usize,
     edges: usize,
 }
 
 impl Graph {
-    /// Creates an empty graph with `vertices` vertices and the public
-    /// degree bound `degree_bound`.
+    /// Creates an empty list-backed graph with `vertices` vertices and the
+    /// public degree bound `degree_bound`.
     pub fn new(vertices: usize, degree_bound: usize) -> Self {
         Graph {
-            out_edges: vec![Vec::new(); vertices],
-            in_edges: vec![Vec::new(); vertices],
+            storage: Storage::Lists {
+                out: vec![Vec::new(); vertices],
+                inn: vec![Vec::new(); vertices],
+            },
             degree_bound,
             edges: 0,
         }
     }
 
+    /// Builds a compact CSR-backed graph from an edge stream without ever
+    /// materialising per-vertex `Vec`s: one counting pass sizes the
+    /// offset arrays, a second (replayed) pass fills the flat target and
+    /// source arrays.  Peak transient memory is `O(V)` beyond the final
+    /// `O(V + E)` arrays, so arbitrarily large sparse topologies can be
+    /// built without an adjacency-list blow-up.
+    ///
+    /// In-neighbour slots are assigned in stream-arrival order, exactly
+    /// as [`Graph::add_edge`] assigns them in call order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for out-of-range endpoints, self-loops,
+    /// duplicate edges, or degree-bound violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream violates the [`EdgeStream`] contract by
+    /// emitting a different edge sequence after [`EdgeStream::restart`].
+    pub fn from_edge_stream(stream: &mut dyn EdgeStream) -> Result<Self, GraphError> {
+        let n = stream.vertex_count();
+        let degree_bound = stream.degree_bound();
+        // Pass 1: count degrees and validate everything countable.
+        let mut out_degree = vec![0usize; n];
+        let mut in_degree = vec![0usize; n];
+        let mut edges = 0usize;
+        while let Some((from, to)) = stream.next_edge() {
+            for v in [from.0, to.0] {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: v,
+                        vertices: n,
+                    });
+                }
+            }
+            if from == to {
+                return Err(GraphError::SelfLoop { vertex: from.0 });
+            }
+            if out_degree[from.0] >= degree_bound {
+                return Err(GraphError::DegreeBoundExceeded {
+                    vertex: from.0,
+                    bound: degree_bound,
+                });
+            }
+            if in_degree[to.0] >= degree_bound {
+                return Err(GraphError::DegreeBoundExceeded {
+                    vertex: to.0,
+                    bound: degree_bound,
+                });
+            }
+            out_degree[from.0] += 1;
+            in_degree[to.0] += 1;
+            edges += 1;
+        }
+
+        // Prefix sums → offsets; the degree arrays become fill cursors.
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut in_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            out_offsets[v + 1] = out_offsets[v] + out_degree[v];
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut out_cursor = out_offsets[..n].to_vec();
+        let mut in_cursor = in_offsets[..n].to_vec();
+        let mut out_targets = vec![VertexId(0); edges];
+        let mut in_sources = vec![VertexId(0); edges];
+
+        // Pass 2: replay the stream and fill the flat arrays.  Duplicate
+        // detection scans the already-filled slice of the source's out
+        // list — O(D) per edge, no extra memory.
+        stream.restart();
+        let mut filled = 0usize;
+        while let Some((from, to)) = stream.next_edge() {
+            assert!(
+                filled < edges && from.0 < n && to.0 < n,
+                "EdgeStream contract violated: restart() replayed a different edge sequence"
+            );
+            let start = out_offsets[from.0];
+            if out_targets[start..out_cursor[from.0]].contains(&to) {
+                return Err(GraphError::DuplicateEdge {
+                    from: from.0,
+                    to: to.0,
+                });
+            }
+            out_targets[out_cursor[from.0]] = to;
+            out_cursor[from.0] += 1;
+            in_sources[in_cursor[to.0]] = from;
+            in_cursor[to.0] += 1;
+            filled += 1;
+        }
+        assert_eq!(
+            filled, edges,
+            "EdgeStream contract violated: restart() replayed a different edge count"
+        );
+
+        Ok(Graph {
+            storage: Storage::Csr {
+                out_offsets,
+                out_targets,
+                in_offsets,
+                in_sources,
+            },
+            degree_bound,
+            edges,
+        })
+    }
+
+    /// Whether the graph uses the frozen CSR layout.
+    pub fn is_csr(&self) -> bool {
+        matches!(self.storage, Storage::Csr { .. })
+    }
+
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.out_edges.len()
+        match &self.storage {
+            Storage::Lists { out, .. } => out.len(),
+            Storage::Csr { out_offsets, .. } => out_offsets.len() - 1,
+        }
     }
 
     /// Number of directed edges.
@@ -112,15 +271,19 @@ impl Graph {
         (0..self.vertex_count()).map(VertexId)
     }
 
-    /// Adds a directed edge.
+    /// Adds a directed edge (list-backed graphs only).
     ///
     /// # Errors
     ///
     /// Returns a [`GraphError`] for out-of-range endpoints, self-loops,
-    /// duplicates, or edges that would push either endpoint past the
-    /// degree bound.
+    /// duplicates, edges that would push either endpoint past the degree
+    /// bound, or a frozen CSR topology.
     pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> Result<(), GraphError> {
         let n = self.vertex_count();
+        let bound = self.degree_bound;
+        let Storage::Lists { out, inn } = &mut self.storage else {
+            return Err(GraphError::FrozenTopology);
+        };
         for v in [from.0, to.0] {
             if v >= n {
                 return Err(GraphError::VertexOutOfRange {
@@ -132,26 +295,26 @@ impl Graph {
         if from == to {
             return Err(GraphError::SelfLoop { vertex: from.0 });
         }
-        if self.out_edges[from.0].contains(&to) {
+        if out[from.0].contains(&to) {
             return Err(GraphError::DuplicateEdge {
                 from: from.0,
                 to: to.0,
             });
         }
-        if self.out_edges[from.0].len() >= self.degree_bound {
+        if out[from.0].len() >= bound {
             return Err(GraphError::DegreeBoundExceeded {
                 vertex: from.0,
-                bound: self.degree_bound,
+                bound,
             });
         }
-        if self.in_edges[to.0].len() >= self.degree_bound {
+        if inn[to.0].len() >= bound {
             return Err(GraphError::DegreeBoundExceeded {
                 vertex: to.0,
-                bound: self.degree_bound,
+                bound,
             });
         }
-        self.out_edges[from.0].push(to);
-        self.in_edges[to.0].push(from);
+        out[from.0].push(to);
+        inn[to.0].push(from);
         self.edges += 1;
         Ok(())
     }
@@ -168,36 +331,48 @@ impl Graph {
 
     /// Returns `true` if the directed edge exists.
     pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
-        self.out_edges
-            .get(from.0)
-            .is_some_and(|edges| edges.contains(&to))
+        from.0 < self.vertex_count() && self.out_neighbors(from).contains(&to)
     }
 
     /// Out-neighbours of a vertex.
     pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.out_edges[v.0]
+        match &self.storage {
+            Storage::Lists { out, .. } => &out[v.0],
+            Storage::Csr {
+                out_offsets,
+                out_targets,
+                ..
+            } => &out_targets[out_offsets[v.0]..out_offsets[v.0 + 1]],
+        }
     }
 
     /// In-neighbours of a vertex.
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.in_edges[v.0]
+        match &self.storage {
+            Storage::Lists { inn, .. } => &inn[v.0],
+            Storage::Csr {
+                in_offsets,
+                in_sources,
+                ..
+            } => &in_sources[in_offsets[v.0]..in_offsets[v.0 + 1]],
+        }
     }
 
     /// Out-degree of a vertex.
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.out_edges[v.0].len()
+        self.out_neighbors(v).len()
     }
 
     /// In-degree of a vertex.
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.in_edges[v.0].len()
+        self.in_neighbors(v).len()
     }
 
     /// The maximum out- or in-degree across all vertices (always at most
     /// the declared bound).
     pub fn max_degree(&self) -> usize {
-        (0..self.vertex_count())
-            .map(|v| self.out_edges[v].len().max(self.in_edges[v].len()))
+        self.vertices()
+            .map(|v| self.out_degree(v).max(self.in_degree(v)))
             .max()
             .unwrap_or(0)
     }
@@ -206,6 +381,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::GraphEdgeStream;
 
     #[test]
     fn builds_small_graph() {
@@ -223,6 +399,7 @@ mod tests {
         assert_eq!(g.max_degree(), 1);
         assert_eq!(g.degree_bound(), 10);
         assert_eq!(g.vertices().count(), 3);
+        assert!(!g.is_csr());
     }
 
     #[test]
@@ -295,6 +472,7 @@ mod tests {
         }
         .to_string()
         .contains("out of range"));
+        assert!(GraphError::FrozenTopology.to_string().contains("frozen"));
         assert_eq!(VertexId(4).to_string(), "v4");
     }
 
@@ -303,5 +481,97 @@ mod tests {
         let g = Graph::new(0, 10);
         assert_eq!(g.vertex_count(), 0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn csr_from_stream_matches_list_build() {
+        let mut g = Graph::new(5, 4);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.add_edge(VertexId(0), VertexId(3)).unwrap();
+        g.add_edge(VertexId(2), VertexId(0)).unwrap();
+        g.add_edge(VertexId(4), VertexId(2)).unwrap();
+        g.add_edge(VertexId(2), VertexId(4)).unwrap();
+
+        let csr = Graph::from_edge_stream(&mut GraphEdgeStream::new(&g)).unwrap();
+        assert!(csr.is_csr());
+        assert_eq!(csr.vertex_count(), 5);
+        assert_eq!(csr.edge_count(), 5);
+        assert_eq!(csr.degree_bound(), 4);
+        for v in g.vertices() {
+            assert_eq!(csr.out_neighbors(v), g.out_neighbors(v), "{v}");
+            // GraphEdgeStream emits in vertex-major order, which is the
+            // order the list build added the edges here, so even the
+            // in-neighbour slots match.
+            assert_eq!(csr.in_neighbors(v), g.in_neighbors(v), "{v}");
+        }
+        assert_eq!(csr.max_degree(), g.max_degree());
+        assert!(csr.has_edge(VertexId(2), VertexId(4)));
+        assert!(!csr.has_edge(VertexId(4), VertexId(0)));
+    }
+
+    #[test]
+    fn csr_graphs_are_frozen() {
+        let mut g = Graph::new(3, 2);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        let mut csr = Graph::from_edge_stream(&mut GraphEdgeStream::new(&g)).unwrap();
+        assert_eq!(
+            csr.add_edge(VertexId(1), VertexId(2)).unwrap_err(),
+            GraphError::FrozenTopology
+        );
+        assert_eq!(csr.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_stream_rejects_bad_streams() {
+        use crate::stream::EdgeStream;
+
+        /// Replays a fixed edge list (test helper for invalid inputs).
+        struct FixedStream {
+            n: usize,
+            bound: usize,
+            edges: Vec<(usize, usize)>,
+            pos: usize,
+        }
+        impl EdgeStream for FixedStream {
+            fn vertex_count(&self) -> usize {
+                self.n
+            }
+            fn degree_bound(&self) -> usize {
+                self.bound
+            }
+            fn next_edge(&mut self) -> Option<(VertexId, VertexId)> {
+                let e = self.edges.get(self.pos)?;
+                self.pos += 1;
+                Some((VertexId(e.0), VertexId(e.1)))
+            }
+            fn restart(&mut self) {
+                self.pos = 0;
+            }
+        }
+        let mk = |edges: Vec<(usize, usize)>, bound| FixedStream {
+            n: 3,
+            bound,
+            edges,
+            pos: 0,
+        };
+        assert!(matches!(
+            Graph::from_edge_stream(&mut mk(vec![(0, 7)], 4)).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 7, .. }
+        ));
+        assert!(matches!(
+            Graph::from_edge_stream(&mut mk(vec![(1, 1)], 4)).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        ));
+        assert!(matches!(
+            Graph::from_edge_stream(&mut mk(vec![(0, 1), (0, 2)], 1)).unwrap_err(),
+            GraphError::DegreeBoundExceeded {
+                vertex: 0,
+                bound: 1
+            }
+        ));
+        assert!(matches!(
+            Graph::from_edge_stream(&mut mk(vec![(0, 1), (0, 1)], 4)).unwrap_err(),
+            GraphError::DuplicateEdge { from: 0, to: 1 }
+        ));
     }
 }

@@ -518,6 +518,60 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// A circuit with no AND gates: XOR/NOT/constants only.
+    fn xor_only_circuit(width: u32) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(width);
+        let y = b.input_word(width);
+        let z = b.xor_word(&x, &y);
+        let flipped = b.not(z[0]);
+        b.output_word(&z);
+        b.output(flipped);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_and_circuit_pays_no_ot_setup() {
+        // The lazy-setup regression: a session that never reaches an AND
+        // gate performs no oblivious transfers, so it must not be charged
+        // OT-extension setup — no OtSetup exchange, no wire bytes, no
+        // base OTs, no setup rounds.  Only the output-reconstruction
+        // round remains.
+        let circuit = xor_only_circuit(8);
+        let mut inputs = encode_word(0xA5, 8);
+        inputs.extend(encode_word(0x3C, 8));
+        let expected = evaluate(&circuit, &inputs).unwrap();
+        for batching in [GmwBatching::Layered, GmwBatching::PerGate] {
+            for parties in [2usize, 4] {
+                let exec = run_gmw_with(&circuit, &inputs, parties, 21, batching);
+                assert_eq!(
+                    reconstruct_outputs(&exec.output_shares).unwrap(),
+                    expected,
+                    "{batching:?} parties={parties}"
+                );
+                assert_eq!(exec.counts.base_ots, 0, "{batching:?} parties={parties}");
+                assert_eq!(exec.counts.extended_ots, 0);
+                assert_eq!(exec.counts.exponentiations, 0);
+                assert_eq!(exec.counts.bytes_sent, 0, "no modeled setup bytes");
+                assert_eq!(exec.counts.wire_bytes, 0, "no measured setup bytes");
+                assert_eq!(exec.rounds, 1, "only the output round remains");
+            }
+        }
+
+        // Sanity: the moment one AND gate appears, the lazy setup fires
+        // exactly once per pair with the full κ = 80 base-OT charge.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.and(x, y);
+        b.output(z);
+        let with_and = b.build().unwrap();
+        let exec = run_gmw_with(&with_and, &[true, true], 3, 21, GmwBatching::Layered);
+        assert_eq!(exec.counts.base_ots, 80 * 3, "3 pairs x kappa base OTs");
+        assert!(exec.counts.wire_bytes > 0);
+        assert_eq!(exec.rounds, 2 + 2 + 1, "setup + one layer + output");
+    }
+
     #[test]
     fn batched_rounds_match_layering_analysis() {
         // The measured round count of a batched run reconciles with the

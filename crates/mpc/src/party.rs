@@ -32,14 +32,20 @@
 //!   gate, kept for A/B round measurements.  Rounds scale with the AND
 //!   *gate count*.
 //!
-//! Before any gate traffic, every pair exchanges one
-//! [`GmwMessage::OtSetup`] message in each direction carrying the base-OT
-//! key material of the pair's session (sized by the provider's analytic
-//! setup cost; skipped for providers with no setup).  Each choice message
-//! additionally carries the OT receiver-side payload (extension-matrix
-//! columns or public keys) and each response the sender-side payload, so
-//! the *measured* encoded bytes of a run reconcile with the analytic
-//! model; see [`crate::wire`] for the exact layouts.
+//! At its first AND layer (or AND gate, in per-gate mode) — and only
+//! then — every pair exchanges one [`GmwMessage::OtSetup`] message in
+//! each direction carrying the base-OT key material of the pair's
+//! session (sized by the provider's analytic setup cost; skipped for
+//! providers with no setup).  The exchange is charged *lazily*: a
+//! circuit with no AND gates performs no oblivious transfers and
+//! therefore pays no setup rounds, bytes or base OTs.  Each choice
+//! message additionally carries the OT receiver-side payload
+//! (extension-matrix columns or public keys) and each response the
+//! sender-side payload, so the *measured* encoded bytes of a run
+//! reconcile with the analytic model; see [`crate::wire`] for the exact
+//! layouts.  Payload *content* is derived from the pair's seed
+//! ([`crate::wire::ot_payload`]), so transcripts are replayable and
+//! byte-identical across backends by construction.
 //!
 //! The two modes exchange the same OT payloads in a different grouping:
 //! every AND-gate mask is derived from the pair `(wire, peer)` rather than
@@ -113,15 +119,20 @@ use dstress_net::transport::{ActorStatus, Endpoint, NodeActor};
 /// extension-matrix columns with the choices, masked messages with the
 /// responses.  The payload *sizes* are protocol-faithful (they match the
 /// provider's analytic per-OT costs, so the measured wire bytes reconcile
-/// with the cost model); the payload *content* is deterministic filler,
-/// because the simulated OT providers deliver their outputs in-process.
+/// with the cost model); the payload *content* is derived from the pair's
+/// seed by [`crate::wire::ot_payload`] — the simulated OT providers
+/// deliver their outputs in-process, but the bytes on the wire are a pure
+/// function of the execution seed, so transcripts replay byte-identically
+/// on every backend.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GmwMessage {
-    /// Per-pair OT session setup (both directions): the base-OT key
-    /// material of the pair's extension session.  Empty for providers
-    /// with no per-session setup (public-key OT).
+    /// Per-pair OT session setup (both directions), exchanged lazily at
+    /// the pair's first AND layer: the base-OT key material of the
+    /// pair's extension session.  Never sent for circuits without AND
+    /// gates, nor for providers with no per-session setup (public-key
+    /// OT).
     OtSetup {
-        /// Key-material filler sized by the provider's setup cost.
+        /// Seed-derived key material sized by the provider's setup cost.
         ot_payload: Vec<u8>,
     },
     /// Per-gate mode, OT receiver → sender: the receiver's shares of one
@@ -279,6 +290,7 @@ impl Default for OtConfig {
 const TAG_PARTY_RNG: u64 = 0x7061_7274_795F_726E; // "party_rn"
 const TAG_PAIR_OT: u64 = 0x7061_6972_5F6F_745F; // "pair_ot_"
 const TAG_AND_MASK: u64 = 0x616e_645f_6d61_736b; // "and_mask"
+const TAG_PAIR_PAYLOAD: u64 = 0x7061_6972_5F70_6179; // "pair_pay"
 
 /// Derives an independent sub-seed from a master seed, a domain tag and
 /// an index; used to give every party, every pair and every AND-gate mask
@@ -361,6 +373,10 @@ pub struct GmwParty<'c> {
     /// OT provider for every pair this party owns (peers with a larger
     /// index); `None` for peers whose pair the peer owns.
     ots: Vec<Option<Box<dyn OtProvider + Send>>>,
+    /// Per-peer payload-stream seed, identical at both ends of a pair, so
+    /// the simulated OT payload *content* on the wire is replayable by
+    /// construction (see [`crate::wire::ot_payload`]).
+    pair_payload_seed: Vec<u64>,
     /// Receiver-side wire payload per OT (cached from the [`OtConfig`]).
     ot_recv_payload: usize,
     /// Sender-side wire payload per OT.
@@ -423,6 +439,14 @@ impl<'c> GmwParty<'c> {
                 })
             })
             .collect();
+        // Keyed by the unordered pair (lower index first), so both ends
+        // derive the same payload stream.
+        let pair_payload_seed = (0..parties)
+            .map(|peer| {
+                let (lo, hi) = (index.min(peer), index.max(peer));
+                derive_seed(master_seed, TAG_PAIR_PAYLOAD, (lo * parties + hi) as u64)
+            })
+            .collect();
         GmwParty {
             circuit,
             layers,
@@ -432,6 +456,7 @@ impl<'c> GmwParty<'c> {
             node_ids,
             mask_seed,
             ots,
+            pair_payload_seed,
             ot_recv_payload: ot.wire_receiver_bytes_per_ot(),
             ot_send_payload: ot.wire_sender_bytes_per_ot(),
             ot_setup_payload: ot.wire_setup_bytes(),
@@ -563,7 +588,12 @@ impl<'c> GmwParty<'c> {
                                 gate: gate_tag,
                                 x,
                                 y,
-                                ot_payload: vec![0; self.ot_recv_payload],
+                                ot_payload: crate::wire::ot_payload(
+                                    self.pair_payload_seed[owner],
+                                    crate::wire::PAYLOAD_RECEIVER,
+                                    u64::from(gate_tag),
+                                    self.ot_recv_payload,
+                                ),
                             },
                         )
                     })
@@ -609,7 +639,12 @@ impl<'c> GmwParty<'c> {
                 GmwMessage::Response {
                     gate: gate_tag,
                     bit: outcome.received,
-                    ot_payload: vec![0; self.ot_send_payload],
+                    ot_payload: crate::wire::ot_payload(
+                        self.pair_payload_seed[peer],
+                        crate::wire::PAYLOAD_SENDER,
+                        u64::from(gate_tag),
+                        self.ot_send_payload,
+                    ),
                 },
             );
             st.share ^= r;
@@ -661,9 +696,17 @@ impl<'c> GmwParty<'c> {
             }
             while self.gate_index < self.circuit.len() {
                 let w = self.gate_index;
-                self.gate_index += 1;
                 match self.circuit.gates()[w] {
                     Gate::And(a, b) => {
+                        // Lazy OT setup at the first AND gate; the gate
+                        // cursor only advances once setup completed.
+                        if !self.setup_done {
+                            if !self.advance_setup(endpoint) {
+                                return ActorStatus::Idle;
+                            }
+                            self.setup_done = true;
+                        }
+                        self.gate_index += 1;
                         self.and_state = Some(AndGateState {
                             wire: w,
                             a,
@@ -675,7 +718,10 @@ impl<'c> GmwParty<'c> {
                         });
                         break;
                     }
-                    _ => self.eval_free_gate(w),
+                    _ => {
+                        self.gate_index += 1;
+                        self.eval_free_gate(w);
+                    }
                 }
             }
             if self.and_state.is_none() {
@@ -721,7 +767,12 @@ impl<'c> GmwParty<'c> {
                             GmwMessage::Choices {
                                 layer: layer_tag,
                                 pairs: pairs.clone(),
-                                ot_payload: vec![0; pairs.len() * self.ot_recv_payload],
+                                ot_payload: crate::wire::ot_payload(
+                                    self.pair_payload_seed[owner],
+                                    crate::wire::PAYLOAD_RECEIVER,
+                                    u64::from(layer_tag),
+                                    pairs.len() * self.ot_recv_payload,
+                                ),
                             },
                         )
                     })
@@ -780,7 +831,12 @@ impl<'c> GmwParty<'c> {
                 GmwMessage::Responses {
                     layer: layer_tag,
                     bits: outcome.received,
-                    ot_payload: vec![0; batch_len * self.ot_send_payload],
+                    ot_payload: crate::wire::ot_payload(
+                        self.pair_payload_seed[peer],
+                        crate::wire::PAYLOAD_SENDER,
+                        u64::from(layer_tag),
+                        batch_len * self.ot_send_payload,
+                    ),
                 },
             );
             let me = self.node_ids[self.index];
@@ -849,6 +905,16 @@ impl<'c> GmwParty<'c> {
             if self.round == self.layers.rounds() {
                 break;
             }
+            // Lazy OT setup: the first AND layer is each pair's first
+            // transfer, so the session setup (and its key-material
+            // exchange) is charged here — a circuit with no AND layers
+            // never pays it.
+            if !self.setup_done {
+                if !self.advance_setup(endpoint) {
+                    return ActorStatus::Idle;
+                }
+                self.setup_done = true;
+            }
             // Start the next layer: seed each gate's share with the
             // party's local cross term x_i · y_i.
             let gates = &self.layers.and_layers()[self.round];
@@ -895,8 +961,15 @@ impl GmwParty<'_> {
     /// send the base-OT key material to every peer, and wait until every
     /// peer's material arrived.  Returns `false` while still waiting.
     ///
+    /// The exchange is *lazy*: it runs at a pair's first AND layer (or
+    /// AND gate, in per-gate mode), never up front — and since every pair
+    /// serves every AND layer in GMW, that is the circuit's first AND
+    /// work.  A circuit with no AND gates therefore never reaches this
+    /// path and pays **zero** setup rounds, bytes and base OTs, matching
+    /// a session that never needs an oblivious transfer.
+    ///
     /// Providers with no per-session setup (both payloads empty) skip the
-    /// exchange entirely, matching their analytic model of zero setup
+    /// message exchange, matching their analytic model of zero setup
     /// messages.
     fn advance_setup(&mut self, endpoint: &mut dyn Endpoint<GmwMessage>) -> bool {
         let (owner_to_peer, peer_to_owner) = self.ot_setup_payload;
@@ -909,15 +982,20 @@ impl GmwParty<'_> {
                         // Pair owners (lower index) send the sender-side
                         // key material; the peer answers with the
                         // receiver side.
-                        let len = if peer > self.index {
-                            owner_to_peer
+                        let (len, direction) = if peer > self.index {
+                            (owner_to_peer, crate::wire::PAYLOAD_SETUP_FROM_OWNER)
                         } else {
-                            peer_to_owner
+                            (peer_to_owner, crate::wire::PAYLOAD_SETUP_FROM_PEER)
                         };
                         (
                             peer,
                             GmwMessage::OtSetup {
-                                ot_payload: vec![0; len],
+                                ot_payload: crate::wire::ot_payload(
+                                    self.pair_payload_seed[peer],
+                                    direction,
+                                    0,
+                                    len,
+                                ),
                             },
                         )
                     })
@@ -954,12 +1032,8 @@ impl NodeActor<GmwMessage> for GmwParty<'_> {
         if self.finished {
             return ActorStatus::Done;
         }
-        if !self.setup_done {
-            if !self.advance_setup(endpoint) {
-                return ActorStatus::Idle;
-            }
-            self.setup_done = true;
-        }
+        // The OT session setup is charged lazily inside the gate
+        // schedules, at the first AND layer/gate — never here.
         match self.batching {
             GmwBatching::PerGate => self.poll_per_gate(endpoint),
             GmwBatching::Layered => self.poll_layered(endpoint),
@@ -1061,6 +1135,119 @@ mod tests {
         let bits_a: Vec<bool> = (0..64).map(|w| mask_bit(1, 4, w, 2)).collect();
         let bits_b: Vec<bool> = (0..64).map(|w| mask_bit(2, 4, w, 2)).collect();
         assert_ne!(bits_a, bits_b);
+    }
+
+    /// A loop-back endpoint for driving a single party by hand: captures
+    /// everything the party sends and feeds it scripted messages.
+    struct ScriptedEndpoint {
+        nodes: usize,
+        sent: Vec<(usize, GmwMessage)>,
+        inbox: Vec<Vec<GmwMessage>>,
+    }
+
+    impl ScriptedEndpoint {
+        fn new(nodes: usize) -> Self {
+            ScriptedEndpoint {
+                nodes,
+                sent: Vec::new(),
+                inbox: (0..nodes).map(|_| Vec::new()).collect(),
+            }
+        }
+
+        fn feed(&mut self, from: usize, message: GmwMessage) {
+            self.inbox[from].push(message);
+        }
+    }
+
+    impl Endpoint<GmwMessage> for ScriptedEndpoint {
+        fn nodes(&self) -> usize {
+            self.nodes
+        }
+        fn send(&mut self, to: usize, message: GmwMessage) {
+            self.sent.push((to, message));
+        }
+        fn try_recv_from(&mut self, peer: usize) -> Option<GmwMessage> {
+            if self.inbox[peer].is_empty() {
+                None
+            } else {
+                Some(self.inbox[peer].remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn wire_payload_content_is_derived_from_the_pair_seed() {
+        // Drive party 1 of a 2-party single-AND execution by hand and pin
+        // the exact payload bytes it puts on the wire against the
+        // documented derivation — the "replayable by construction" claim.
+        let circuit = tiny_and_circuit();
+        let layers = CircuitLayers::of(&circuit);
+        let master = 0xFEED;
+        let ot = OtConfig::extension();
+        let mut party = GmwParty::new(
+            &circuit,
+            &layers,
+            1,
+            vec![NodeId(0), NodeId(1)],
+            vec![true, false],
+            &ot,
+            master,
+            GmwBatching::Layered,
+        );
+        let pair_seed = derive_seed(master, TAG_PAIR_PAYLOAD, 1);
+        let mut endpoint = ScriptedEndpoint::new(2);
+
+        // First poll: party 1 sends its OtSetup (peer side) and waits for
+        // the owner's.
+        assert_eq!(party.poll(&mut endpoint), ActorStatus::Idle);
+        let (to, setup) = &endpoint.sent[0];
+        assert_eq!(*to, 0);
+        let GmwMessage::OtSetup { ot_payload } = setup else {
+            panic!("first message must be the lazy OtSetup");
+        };
+        let (_, peer_to_owner) = ot.wire_setup_bytes();
+        assert_eq!(
+            ot_payload,
+            &crate::wire::ot_payload(
+                pair_seed,
+                crate::wire::PAYLOAD_SETUP_FROM_PEER,
+                0,
+                peer_to_owner
+            )
+        );
+
+        // Feed the owner's OtSetup; the party then sends its layer-0
+        // Choices with the receiver-side payload from the same stream.
+        let (owner_to_peer, _) = ot.wire_setup_bytes();
+        endpoint.feed(
+            0,
+            GmwMessage::OtSetup {
+                ot_payload: crate::wire::ot_payload(
+                    pair_seed,
+                    crate::wire::PAYLOAD_SETUP_FROM_OWNER,
+                    0,
+                    owner_to_peer,
+                ),
+            },
+        );
+        assert_eq!(party.poll(&mut endpoint), ActorStatus::Idle);
+        let (to, choices) = endpoint.sent.last().unwrap();
+        assert_eq!(*to, 0);
+        let GmwMessage::Choices {
+            layer, ot_payload, ..
+        } = choices
+        else {
+            panic!("after setup the party batches its layer-0 choices");
+        };
+        assert_eq!(*layer, 0);
+        let expected = crate::wire::ot_payload(
+            pair_seed,
+            crate::wire::PAYLOAD_RECEIVER,
+            0,
+            ot.wire_receiver_bytes_per_ot(),
+        );
+        assert_eq!(ot_payload, &expected);
+        assert!(expected.iter().any(|&b| b != 0), "payload is key material");
     }
 
     #[test]

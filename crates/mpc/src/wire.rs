@@ -21,7 +21,8 @@
 //! the wire — `⌈w/8⌉` bytes per plane for a `w`-gate layer — instead of
 //! the byte-or-more the per-gate messages pay in headers.
 
-use crate::party::GmwMessage;
+use crate::party::{derive_seed, GmwMessage};
+use dstress_math::rng::{DetRng, SplitMix64};
 use dstress_net::wire::{self, Wire, WireError};
 
 /// Message tags (the first byte of every encoding).
@@ -30,6 +31,33 @@ const TAG_CHOICE: u8 = 0x01;
 const TAG_RESPONSE: u8 = 0x02;
 const TAG_CHOICES: u8 = 0x03;
 const TAG_RESPONSES: u8 = 0x04;
+
+/// Domain tag of the base-OT key material a pair *owner* sends at setup.
+pub const PAYLOAD_SETUP_FROM_OWNER: u64 = 0x7365_7475_703A_6F77; // "setup:ow"
+/// Domain tag of the base-OT key material the *peer* answers with.
+pub const PAYLOAD_SETUP_FROM_PEER: u64 = 0x7365_7475_703A_7065; // "setup:pe"
+/// Domain tag of the receiver-side per-OT payload (extension-matrix
+/// columns or public keys), carried by `Choice`/`Choices` messages.
+pub const PAYLOAD_RECEIVER: u64 = 0x6F74_3A72_6563_6569; // "ot:recei"
+/// Domain tag of the sender-side per-OT payload (masked messages or
+/// ciphertexts), carried by `Response`/`Responses` messages.
+pub const PAYLOAD_SENDER: u64 = 0x6F74_3A73_656E_6465; // "ot:sende"
+
+/// Derives the simulated OT payload *content* for one message from the
+/// pair seed, a direction tag and the gate/layer index.
+///
+/// Both ends of a pair derive the same seed from the execution's master
+/// seed, so every OT payload byte on the wire is a pure function of
+/// `(master seed, pair, direction, index)`: transcripts are replayable
+/// and byte-identical across transport backends *by construction*, not
+/// merely size-faithful (the sizes still match the provider's analytic
+/// per-OT costs — see [`crate::party::OtConfig`]).
+pub fn ot_payload(pair_seed: u64, direction: u64, index: u64, len: usize) -> Vec<u8> {
+    let mut stream = SplitMix64::new(derive_seed(pair_seed, direction, index));
+    let mut bytes = vec![0u8; len];
+    stream.fill_bytes(&mut bytes);
+    bytes
+}
 
 /// Upper bound on the header bytes of a batched `Choices`/`Responses`
 /// encoding: the tag, two worst-case `u32` varints (layer, count) and the
@@ -180,6 +208,29 @@ mod tests {
                 ot_payload: vec![1, 2, 3],
             },
         ]
+    }
+
+    #[test]
+    fn ot_payload_content_is_seed_derived_and_replayable() {
+        // Same (pair seed, direction, index) => same bytes, every time.
+        let a = ot_payload(42, PAYLOAD_RECEIVER, 7, 33);
+        let b = ot_payload(42, PAYLOAD_RECEIVER, 7, 33);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 33);
+        // The content is pseudorandom key material, not filler.
+        assert!(a.iter().any(|&byte| byte != 0));
+        // Any coordinate change yields a different stream.
+        assert_ne!(a, ot_payload(43, PAYLOAD_RECEIVER, 7, 33));
+        assert_ne!(a, ot_payload(42, PAYLOAD_SENDER, 7, 33));
+        assert_ne!(a, ot_payload(42, PAYLOAD_RECEIVER, 8, 33));
+        // A shorter request is a prefix of the same stream.
+        assert_eq!(a[..16], ot_payload(42, PAYLOAD_RECEIVER, 7, 16)[..]);
+        // Setup directions are distinct streams too.
+        assert_ne!(
+            ot_payload(5, PAYLOAD_SETUP_FROM_OWNER, 0, 64),
+            ot_payload(5, PAYLOAD_SETUP_FROM_PEER, 0, 64)
+        );
+        assert!(ot_payload(5, PAYLOAD_SENDER, 0, 0).is_empty());
     }
 
     #[test]

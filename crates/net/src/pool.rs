@@ -17,7 +17,42 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::Mutex;
+
+/// Splits `0..total` into consecutive index windows of at most `window`
+/// elements — the block-scheduling primitive of the streaming engine:
+/// each window is the set of blocks materialised in flight at once, so
+/// `window` directly bounds peak working memory while the global index
+/// order (and therefore every derived task seed) stays identical to a
+/// single-window run.
+///
+/// A `window` of zero is treated as one; `usize::MAX` yields a single
+/// window (the fully materialised schedule).
+///
+/// ## Example
+///
+/// ```
+/// use dstress_net::pool::windowed;
+///
+/// let spans: Vec<_> = windowed(7, 3).collect();
+/// assert_eq!(spans, vec![0..3, 3..6, 6..7]);
+/// assert_eq!(windowed(7, usize::MAX).count(), 1);
+/// assert_eq!(windowed(0, 4).count(), 0);
+/// ```
+pub fn windowed(total: usize, window: usize) -> impl Iterator<Item = Range<usize>> {
+    let window = window.max(1);
+    let mut start = 0;
+    std::iter::from_fn(move || {
+        if start >= total {
+            return None;
+        }
+        let end = start.saturating_add(window).min(total);
+        let span = start..end;
+        start = end;
+        Some(span)
+    })
+}
 
 /// One worker per available hardware thread (at least one).
 pub fn default_threads() -> usize {
@@ -96,6 +131,21 @@ mod tests {
         let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |_i, x| x);
         assert!(empty.is_empty());
         assert_eq!(parallel_map(vec![7], 4, |_i, x| x), vec![7]);
+    }
+
+    #[test]
+    fn windows_partition_the_range_in_order() {
+        assert_eq!(windowed(10, 4).collect::<Vec<_>>(), vec![0..4, 4..8, 8..10]);
+        assert_eq!(windowed(4, 4).collect::<Vec<_>>(), vec![0..4]);
+        assert_eq!(windowed(3, 0).count(), 3, "window 0 behaves as 1");
+        assert_eq!(windowed(5, usize::MAX).collect::<Vec<_>>(), vec![0..5]);
+        assert_eq!(windowed(0, 1).count(), 0);
+        // Windows tile the range exactly once, in order.
+        let mut seen = Vec::new();
+        for span in windowed(23, 5) {
+            seen.extend(span);
+        }
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
     }
 
     #[test]

@@ -191,30 +191,8 @@ impl TrustedParty {
             }
         }
 
-        // Assign blocks: each node's block contains itself plus k distinct
-        // other nodes chosen uniformly at random.
-        let mut blocks = Vec::with_capacity(n);
-        for i in 0..n {
-            let members = Self::pick_members(i, n, block_size, rng);
-            blocks.push(Block {
-                owner: NodeId(i),
-                members,
-            });
-        }
-        // The aggregation block is owned by no vertex; we record its owner
-        // as its first member for bookkeeping.
-        let agg_members = Self::pick_members(rng.next_below(n as u64) as usize, n, block_size, rng);
-        let aggregation_block = Block {
-            owner: agg_members[0],
-            members: agg_members,
-        };
-
-        let assignment_signature = tag(
-            self.signing_key,
-            blocks
-                .iter()
-                .flat_map(|b| b.members.iter().flat_map(|m| (m.0 as u64).to_le_bytes())),
-        );
+        let (blocks, aggregation_block, assignment_signature) =
+            self.assign_blocks(n, block_size, rng);
 
         // Build the D certificates for every node's block.
         let mut certificates = Vec::with_capacity(n);
@@ -287,6 +265,43 @@ impl TrustedParty {
         expected == setup.assignment_signature
     }
 
+    /// Assigns every node its block plus the aggregation block and signs
+    /// the assignment — the part of [`TrustedParty::setup`] that needs no
+    /// key material.  Exposed through [`generate_block_assignment`] for
+    /// cost-accounted runs that never decrypt anything.
+    fn assign_blocks(
+        &self,
+        n: usize,
+        block_size: usize,
+        rng: &mut dyn DetRng,
+    ) -> (Vec<Block>, Block, u64) {
+        // Assign blocks: each node's block contains itself plus k distinct
+        // other nodes chosen uniformly at random.
+        let mut blocks = Vec::with_capacity(n);
+        for i in 0..n {
+            let members = Self::pick_members(i, n, block_size, rng);
+            blocks.push(Block {
+                owner: NodeId(i),
+                members,
+            });
+        }
+        // The aggregation block is owned by no vertex; we record its owner
+        // as its first member for bookkeeping.
+        let agg_members = Self::pick_members(rng.next_below(n as u64) as usize, n, block_size, rng);
+        let aggregation_block = Block {
+            owner: agg_members[0],
+            members: agg_members,
+        };
+
+        let assignment_signature = tag(
+            self.signing_key,
+            blocks
+                .iter()
+                .flat_map(|b| b.members.iter().flat_map(|m| (m.0 as u64).to_le_bytes())),
+        );
+        (blocks, aggregation_block, assignment_signature)
+    }
+
     fn pick_members(
         owner: usize,
         n: usize,
@@ -302,6 +317,43 @@ impl TrustedParty {
         }
         members
     }
+}
+
+/// Block-assignment-only setup for cost-accounted runs: assigns blocks
+/// and the aggregation block exactly as [`TrustedParty::setup`] does (the
+/// same RNG draws, so a seed maps to the same assignment) but generates
+/// **no** key material and **no** certificates — both are `O(N · D · L)`
+/// group elements that an accounted execution never touches.  This is
+/// what keeps the streaming engine's setup memory `O(N · k)` instead of
+/// scaling with the edge count.
+///
+/// # Errors
+///
+/// Returns [`TransferError::NotEnoughNodes`] if fewer than `k + 1` nodes
+/// participate.
+pub fn generate_block_assignment(
+    nodes: usize,
+    collusion_bound: usize,
+    degree_bound: usize,
+    message_bits: u32,
+    rng: &mut dyn DetRng,
+) -> Result<SystemSetup, TransferError> {
+    let block_size = collusion_bound + 1;
+    if nodes < block_size {
+        return Err(TransferError::NotEnoughNodes { nodes, block_size });
+    }
+    let tp = TrustedParty::new(0x0FED_5EED);
+    let (blocks, aggregation_block, assignment_signature) =
+        tp.assign_blocks(nodes, block_size, rng);
+    Ok(SystemSetup {
+        collusion_bound,
+        degree_bound,
+        message_bits,
+        blocks,
+        aggregation_block,
+        certificates: Vec::new(),
+        assignment_signature,
+    })
 }
 
 /// Convenience helper used by tests and the runtime: generates secrets for
@@ -474,6 +526,38 @@ mod tests {
         assert!(matches!(
             tp.setup(&group, &bad_regs, 1, 2, 4, &mut rng).unwrap_err(),
             TransferError::CertificateShapeMismatch
+        ));
+    }
+
+    #[test]
+    fn block_assignment_only_setup_matches_full_setup() {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(77);
+        let (_, full) = generate_system(&group, 12, 3, 4, 8, &mut rng).unwrap();
+
+        // Position a fresh RNG past the same secret-generation draws, then
+        // run the assignment-only path: the block picks must coincide.
+        let mut rng = Xoshiro256::new(77);
+        for _ in 0..12 {
+            let _ = NodeSecrets::generate(&group, 8, 4, &mut rng);
+        }
+        let light = generate_block_assignment(12, 3, 4, 8, &mut rng).unwrap();
+        assert_eq!(light.blocks.len(), full.blocks.len());
+        for (a, b) in light.blocks.iter().zip(&full.blocks) {
+            assert_eq!(a.members, b.members);
+        }
+        assert_eq!(
+            light.aggregation_block.members,
+            full.aggregation_block.members
+        );
+        assert_eq!(light.assignment_signature, full.assignment_signature);
+        // No key material, no certificates — that is the point.
+        assert!(light.certificates.is_empty());
+        assert!(TrustedParty::new(0x0FED_5EED).verify_assignment(&light));
+        // Too few nodes still rejected.
+        assert!(matches!(
+            generate_block_assignment(2, 5, 4, 8, &mut rng).unwrap_err(),
+            TransferError::NotEnoughNodes { .. }
         ));
     }
 

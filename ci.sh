@@ -32,9 +32,11 @@ fi
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-echo "==> determinism suite under --release (SimTransport == ThreadedTransport)"
+echo "==> determinism suite under --release (Sim == Threaded == Socket, three-way)"
 # The suite covers both GmwBatching modes (named backends_agree_batched_mode /
-# backends_agree_per_gate_mode tests plus 2x2 mode-crossing proptests).
+# backends_agree_per_gate_mode tests plus mode-crossing proptests), with the
+# real-TCP SocketTransport held to the same bit-identity contract as the
+# in-process backends.
 cargo test --release -q -p dstress-mpc --test transport_determinism
 cargo test --release -q -p dstress-core concurrency_mode_does_not_change_results
 cargo test --release -q -p dstress-core gmw_batching_modes_agree_end_to_end
@@ -50,9 +52,10 @@ cargo test -q -p dstress-net wire::
 cargo test -q -p dstress-mpc wire::
 cargo test -q -p dstress-transfer wire::
 cargo test -q -p dstress-core wire::
+cargo test -q -p dstress-deploy proto::
 
 echo "==> wire bytes: release-mode byte determinism + measured/modeled reconciliation"
-cargo test --release -q -p dstress-mpc --test transport_determinism measured_wire_bytes_bit_identical_across_the_2x2
+cargo test --release -q -p dstress-mpc --test transport_determinism measured_wire_bytes_bit_identical_across_the_grid
 cargo test --release -q -p dstress-mpc --test transport_determinism batched_choices_payload_is_bit_packed_on_the_wire
 cargo test --release -q -p dstress-bench --test byte_reconciliation
 
@@ -78,6 +81,26 @@ cargo test --release -q -p dstress-bench --test streaming_scale -- --ignored
 
 echo "==> repro -- scale smoke (quick sweep includes a measured N = 2500 point)"
 cargo run --release -q -p dstress-bench --bin repro -- scale --threads 2 > /dev/null
+
+echo "==> socket frame layer: fault injection errors cleanly, never hangs"
+# Torn/partial frames, trailing garbage, oversized length prefixes,
+# mid-message disconnects and silent peers all surface as typed
+# TransportErrors within the stall timeout.
+cargo test -q -p dstress-net --test socket_faults
+cargo test -q -p dstress-net frame::
+cargo test -q -p dstress-net socket::
+
+echo "==> deployment: engine-level transport invariance + master/worker units"
+cargo test --release -q -p dstress-core transport_kind_does_not_change_results
+cargo test -q -p dstress-deploy --lib
+
+echo "==> loopback deployment e2e (master + 3 workers, release mode)"
+# Spawns the built dstress-master and dstress-node binaries on 127.0.0.1
+# and pins the released value bit-for-bit against the in-process run.
+cargo test --release -q -p dstress-deploy --test loopback
+
+echo "==> repro -- sockets smoke (Sim vs Socket measured/modeled into BENCH_results.json)"
+cargo run --release -q -p dstress-bench --bin repro -- sockets --threads 2 > /dev/null
 
 echo "==> threaded speedup check (asserts >= 2x only on >= 4 cores)"
 cargo test --release -q -p dstress-bench threaded_is_at_least_twice_as_fast_at_64_nodes -- --ignored

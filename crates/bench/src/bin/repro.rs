@@ -12,7 +12,11 @@
 //! Experiments: `fig3-left`, `fig3-right`, `fig4`, `transfer-time`,
 //! `transfer-traffic`, `transfer-ablation`, `fig5-time`, `fig5-traffic`,
 //! `fig6`, `scale`, `naive-baseline`, `utility`, `edge-privacy`,
-//! `contagion`, `concurrency`, `rounds`, `bytes`, `all`.  The `bytes`
+//! `contagion`, `concurrency`, `sockets`, `rounds`, `bytes`, `all`.
+//! The `sockets` experiment runs the same end-to-end deployment on the
+//! in-process and the real-TCP transport backends, asserts they are
+//! bit-identical, and records measured wall time against the cost
+//! model's network projection.  The `bytes`
 //! experiment prints the measured-vs-modeled byte reconciliation (encoded
 //! wire messages against the analytical cost model) per benchmark
 //! circuit, plus the batched-vs-per-gate framing saving.  The `scale`
@@ -361,6 +365,68 @@ fn concurrency(full: bool, threads: usize, results: &mut BenchResults) {
     println!("(threaded runs are bit-identical to sequential; only wall-clock changes)");
 }
 
+fn sockets(full: bool, threads: usize, results: &mut BenchResults) {
+    use dstress_core::{CounterProgram, DStressConfig, DStressRuntime, TransportKind};
+    use dstress_finance::generator::{core_periphery, GeneratorConfig};
+    use dstress_net::cost::CostModel;
+
+    header("Sockets: end-to-end run, Sim vs Socket transport (measured vs modeled)");
+    let (banks, degree, rounds) = if full { (24, 4, 2) } else { (10, 3, 1) };
+    let mut rng = dstress_math::rng::Xoshiro256::new(5);
+    let network = core_periphery(&GeneratorConfig::small(banks, degree), &mut rng);
+    let graph = network.graph();
+    let program = CounterProgram { width: 8, rounds };
+    let mut config = DStressConfig::benchmark(2)
+        .with_concurrency(dstress_core::ConcurrencyMode::Threaded { threads });
+    config.message_bits = 8;
+    println!("(N = {banks}, D = {degree}, k = 2, {rounds} iterations, {threads} worker threads)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>16} {:>14}",
+        "transport", "measured", "modeled net", "wire bytes", "identical"
+    );
+
+    let mut baseline: Option<(u64, u64)> = None;
+    let model = CostModel::paper_reference();
+    for (label, transport) in [
+        ("sim", TransportKind::Sim),
+        ("socket", TransportKind::Socket),
+    ] {
+        let runtime = DStressRuntime::new(config.clone().with_transport(transport));
+        let start = std::time::Instant::now();
+        let run = runtime
+            .execute(graph, &program)
+            .expect("socket smoke run succeeds");
+        let wall = start.elapsed().as_secs_f64();
+        let counts = run.phases.total_counts();
+        let modeled_net = model.estimate_network_seconds(&counts);
+        // The transport must be bit-invisible: identical released value
+        // and identical measured wire bytes across backends.
+        let identical = match baseline {
+            None => {
+                baseline = Some((run.noised_output.to_bits(), counts.wire_bytes));
+                true
+            }
+            Some((bits, wire)) => bits == run.noised_output.to_bits() && wire == counts.wire_bytes,
+        };
+        assert!(identical, "socket backend diverged from sim");
+        println!(
+            "{:<10} {:>12} {:>14} {:>16} {:>14}",
+            label,
+            format_seconds(wall),
+            format_seconds(modeled_net),
+            format_bytes(counts.wire_bytes as f64),
+            identical,
+        );
+        results
+            .point("sockets", &format!("N={banks} transport={label}"))
+            .wall_seconds(wall)
+            .counts(counts)
+            .extra("modeled_network_seconds", modeled_net)
+            .extra("identical", if identical { 1.0 } else { 0.0 });
+    }
+    println!("(socket runs move every GMW message over real loopback TCP frames)");
+}
+
 fn rounds(full: bool, results: &mut BenchResults) {
     header("GMW round batching: rounds per pair, layer-batched vs per-gate");
     let (block, d, n) = if full { (8, 20, 100) } else { (4, 10, 50) };
@@ -657,6 +723,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "fig6" => fig6(full, results),
         "scale" => scale(full, threads, results),
         "concurrency" => concurrency(full, threads, results),
+        "sockets" => sockets(full, threads, results),
         "rounds" => rounds(full, results),
         "bytes" => bytes(full, threads, results),
         "naive-baseline" => naive(full, results),
@@ -677,6 +744,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "fig6",
                 "scale",
                 "concurrency",
+                "sockets",
                 "rounds",
                 "bytes",
                 "naive-baseline",
@@ -717,8 +785,8 @@ fn main() {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation fig5 fig6 scale concurrency rounds bytes naive-baseline utility \
-             edge-privacy contagion all"
+             transfer-ablation fig5 fig6 scale concurrency sockets rounds bytes naive-baseline \
+             utility edge-privacy contagion all"
         );
         std::process::exit(1);
     }

@@ -19,6 +19,26 @@ pub enum TransferMode {
     Accounted,
 }
 
+/// Which [`dstress_net::Transport`] backend carries the GMW messages of
+/// every block MPC (computation steps, aggregation, noising).
+///
+/// All backends are bit-identical in outputs, operation counts and
+/// measured `wire_bytes` — the three-way determinism suite pins this — so
+/// the knob only changes *how* the messages move: through in-process
+/// queues, or over real loopback TCP connections with length-prefixed
+/// frames.  `Socket` is what a [`crate::exec::StepExecutor`] deployment
+/// worker uses so its node actors exchange bytes over real connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The deterministic in-process queue backend
+    /// ([`dstress_net::SimTransport`]).
+    #[default]
+    Sim,
+    /// Real TCP loopback connections with length-prefixed frames
+    /// ([`dstress_net::SocketTransport`]).
+    Socket,
+}
+
 /// How the runtime schedules the independent blocks of a phase.
 ///
 /// A DStress deployment runs every block's MPC *concurrently* — per-node
@@ -92,6 +112,10 @@ pub struct DStressConfig {
     pub transfer_mode: TransferMode,
     /// How the independent blocks of a phase are scheduled.
     pub concurrency: ConcurrencyMode,
+    /// Which transport backend carries the GMW messages of every block
+    /// MPC.  `Sim` is the in-process default; `Socket` moves the same
+    /// messages over real TCP loopback connections, bit-identically.
+    pub transport: TransportKind,
     /// How the block MPCs group their AND-gate OTs into messages
     /// (layer-batched by default; per-gate kept for A/B round
     /// measurements).  Both modes are bit-identical in outputs and
@@ -114,6 +138,7 @@ impl DStressConfig {
             group: GroupKind::Sim64,
             transfer_mode: TransferMode::RealCrypto,
             concurrency: ConcurrencyMode::Sequential,
+            transport: TransportKind::Sim,
             gmw_batching: GmwBatching::Layered,
             seed: 0xD57E55,
         }
@@ -144,6 +169,12 @@ impl DStressConfig {
         self.gmw_batching = batching;
         self
     }
+
+    /// Switches the transport backend carrying the GMW messages.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +193,11 @@ mod tests {
         assert!(b.epsilon > 0.0);
         assert!(b.edge_noise_alpha > 0.0 && b.edge_noise_alpha < 1.0);
         assert_eq!(b.concurrency, ConcurrencyMode::Sequential);
+        assert_eq!(b.transport, TransportKind::Sim);
+        assert_eq!(
+            b.with_transport(TransportKind::Socket).transport,
+            TransportKind::Socket
+        );
     }
 
     #[test]

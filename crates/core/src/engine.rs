@@ -39,6 +39,9 @@
 //! wall.
 
 use crate::config::{DStressConfig, TransferMode};
+use crate::exec::{
+    mpc_transport, BlockStepTask, LocalExecutor, StepContext, StepExecutor, TransferTask,
+};
 use crate::noise_circuit::noising_circuit;
 use crate::program::SecureVertexProgram;
 use crate::wire::EngineMsg;
@@ -46,7 +49,7 @@ use core::fmt;
 use dstress_circuit::CircuitError;
 use dstress_crypto::dlog::DlogTable;
 use dstress_crypto::group::Group;
-use dstress_crypto::sharing::{split_xor, split_xor_bit, xor_reconstruct, BitMessage};
+use dstress_crypto::sharing::split_xor_bit;
 use dstress_dp::laplace::LaplaceMechanism;
 use dstress_graph::{Graph, VertexId};
 use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
@@ -54,10 +57,9 @@ use dstress_mpc::gmw::{reconstruct_outputs, GmwConfig, GmwProtocol};
 use dstress_mpc::party::{derive_seed, OtConfig};
 use dstress_mpc::MpcError;
 use dstress_net::cost::OperationCounts;
-use dstress_net::pool::{parallel_map, windowed};
+use dstress_net::pool::windowed;
 use dstress_net::traffic::{NodeId, TrafficAccountant};
 use dstress_net::wire::{Wire, WireError};
-use dstress_transfer::protocol::{transfer_message, TransferConfig};
 use dstress_transfer::setup::{
     generate_block_assignment, generate_system, NodeSecrets, SystemSetup,
 };
@@ -82,6 +84,11 @@ pub enum RuntimeError {
     },
     /// An engine control message failed to decode from its wire bytes.
     Wire(WireError),
+    /// A deployment executor failed: a worker connection broke, a worker
+    /// returned malformed results, or the placement cannot run the
+    /// configured mode (remote workers hold no key material, so
+    /// real-crypto transfers are local-only).
+    Deploy(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -94,6 +101,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "vertex {vertex} exceeds the declared degree bound")
             }
             RuntimeError::Wire(e) => write!(f, "engine wire format error: {e}"),
+            RuntimeError::Deploy(context) => write!(f, "deployment error: {context}"),
         }
     }
 }
@@ -223,7 +231,26 @@ impl DStressRuntime {
         graph: &Graph,
         program: &P,
     ) -> Result<DStressRun, RuntimeError> {
-        self.run_windowed(graph, program, usize::MAX)
+        self.run_windowed(graph, program, usize::MAX, &LocalExecutor)
+    }
+
+    /// Executes `program` over `graph` with the fully materialised
+    /// schedule, placing each window's independent tasks through the
+    /// given [`StepExecutor`] — the entry point the master/worker
+    /// deployment layer drives.  Placement cannot change results: a
+    /// conforming executor is bit-identical to [`Self::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if setup, any MPC, any transfer, or the
+    /// executor fails.
+    pub fn execute_with<P: SecureVertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+        executor: &dyn StepExecutor,
+    ) -> Result<DStressRun, RuntimeError> {
+        self.run_windowed(graph, program, usize::MAX, executor)
     }
 
     /// Executes `program` over `graph` with the *block-streaming*
@@ -255,7 +282,7 @@ impl DStressRuntime {
             .concurrency
             .worker_threads()
             .saturating_mul(BLOCKS_PER_WORKER);
-        self.run_windowed(graph, program, window)
+        self.run_windowed(graph, program, window, &LocalExecutor)
     }
 
     /// One-time setup, sized to the transfer mode: real-crypto runs need
@@ -313,6 +340,7 @@ impl DStressRuntime {
         graph: &Graph,
         program: &P,
         window: usize,
+        executor: &dyn StepExecutor,
     ) -> Result<DStressRun, RuntimeError> {
         let n = graph.vertex_count();
         let degree_bound = graph.degree_bound();
@@ -405,9 +433,18 @@ impl DStressRuntime {
         let mut computation = PhaseCosts::default();
         let mut communication = PhaseCosts::default();
         let iterations = program.iterations();
-        let threads = self.config.concurrency.worker_threads();
-        let message_width = program.message_bits();
         let window = window.max(1);
+        let ctx = StepContext {
+            config: &self.config,
+            update_circuit: &update_circuit,
+            state_bits,
+            message_bits,
+            message_width: program.message_bits(),
+            group: &group,
+            setup: &setup,
+            secrets: &secrets,
+            dlog: dlog.as_ref(),
+        };
         // The receiver inbox slot of every edge, in vertex-major (global
         // edge index) order — round-invariant, so the in-neighbour scans
         // happen once per run instead of once per edge per round.  A flat
@@ -441,39 +478,32 @@ impl DStressRuntime {
                 // pass, at `round == iterations`, consumes the last round
                 // of messages and produces no outgoing traffic).
                 let comp_start = Instant::now();
-                let vertices: Vec<VertexId> = span.clone().map(VertexId).collect();
-                let step_results = {
-                    let state_store = &state_store;
-                    let inbox_store = &inbox_store;
-                    let in_offset = &in_offset;
-                    parallel_map(vertices, threads, |_off, v| {
-                        let mut local_rng = Xoshiro256::new(task_seed(comp_seed, v.0 as u64));
-                        let mut local_traffic = TrafficAccountant::new();
-                        let inputs = gather_block_inputs(
+                // Task building is sequential and rng-free, so the tasks —
+                // and therefore the outcomes any conforming executor
+                // computes from them — are bit-identical across window
+                // sizes, concurrency modes and placements.
+                let tasks: Vec<BlockStepTask> = span
+                    .clone()
+                    .map(VertexId)
+                    .map(|v| BlockStepTask {
+                        vertex: v.0 as u64,
+                        seed: task_seed(comp_seed, v.0 as u64),
+                        members: setup.block_of(NodeId(v.0)).members.clone(),
+                        out_slots: graph.out_degree(v) as u64,
+                        input_shares: gather_block_inputs(
                             graph,
                             v,
-                            state_store,
-                            inbox_store,
-                            in_offset,
+                            &state_store,
+                            &inbox_store,
+                            &in_offset,
                             block_size,
                             degree_bound,
                             state_bits,
                             message_bits,
-                        );
-                        self.run_block_step(
-                            &update_circuit,
-                            &setup,
-                            v,
-                            inputs,
-                            graph.out_degree(v),
-                            state_bits,
-                            message_bits,
-                            &mut local_traffic,
-                            &mut local_rng,
-                        )
-                        .map(|(state, out, counts)| (state, out, counts, local_traffic))
+                        ),
                     })
-                };
+                    .collect();
+                let outcomes = executor.run_block_steps(&ctx, tasks)?;
                 // The window's outgoing message shares, dropped as soon as
                 // its transfers have been delivered: only in-flight blocks
                 // are ever materialised.
@@ -482,17 +512,19 @@ impl DStressRuntime {
                 // and byte counts sum, but the step's *rounds* are the
                 // critical path — the deepest block MPC — not the sum over
                 // blocks.
-                for (off, result) in step_results.into_iter().enumerate() {
-                    let (new_state, out_msgs, mut counts, local_traffic) = result?;
+                for (off, outcome) in outcomes.into_iter().enumerate() {
                     let v = span.start + off;
-                    for (m_idx, share) in new_state.iter().enumerate() {
+                    for (m_idx, share) in outcome.new_state.iter().enumerate() {
                         state_store.write(v * block_size + m_idx, share);
                     }
-                    window_out.push(out_msgs);
-                    comp_rounds = comp_rounds.max(counts.rounds);
+                    window_out.push(outcome.outgoing);
+                    comp_rounds = comp_rounds.max(outcome.counts.rounds);
+                    let mut counts = outcome.counts;
                     counts.rounds = 0;
                     computation.counts.merge(&counts);
-                    traffic.merge(&local_traffic);
+                    for (id, t) in &outcome.traffic {
+                        traffic.add_node_traffic(*id, t);
+                    }
                 }
                 computation.wall_seconds += comp_start.elapsed().as_secs_f64();
                 let Some(comm_seed) = comm_seed else {
@@ -502,52 +534,40 @@ impl DStressRuntime {
                 // Communication step for the window's out-edges, delivered
                 // into the next round's inbox buffer.
                 let comm_start = Instant::now();
-                let mut edges: Vec<(u64, VertexId, VertexId, usize, Vec<BitMessage>)> = Vec::new();
+                let mut tasks: Vec<TransferTask> = Vec::new();
                 for (off, out_msgs) in window_out.iter().enumerate() {
                     let v = VertexId(span.start + off);
                     for (out_slot, &to) in graph.out_neighbors(v).iter().enumerate() {
                         let in_slot = edge_in_slots[edge_index as usize];
-                        let message_shares: Vec<BitMessage> = out_msgs[out_slot]
-                            .iter()
-                            .map(|bits| BitMessage::from_bits(bits))
-                            .collect();
-                        edges.push((edge_index, v, to, in_slot, message_shares));
+                        tasks.push(TransferTask {
+                            edge_index,
+                            seed: task_seed(comm_seed, edge_index),
+                            from: v.0 as u64,
+                            to: to.0 as u64,
+                            in_slot: in_slot as u64,
+                            sender_members: setup.block_of(NodeId(v.0)).members.clone(),
+                            receiver_members: setup.block_of(NodeId(to.0)).members.clone(),
+                            shares: out_msgs[out_slot].clone(),
+                        });
                         edge_index += 1;
                     }
                 }
-                let transfer_results =
-                    parallel_map(edges, threads, |_off, (gidx, v, to, in_slot, shares)| {
-                        let mut local_rng = Xoshiro256::new(task_seed(comm_seed, gidx));
-                        let mut local_traffic = TrafficAccountant::new();
-                        self.run_transfer(
-                            &group,
-                            &setup,
-                            &secrets,
-                            dlog.as_ref(),
-                            message_width,
-                            v,
-                            to,
-                            in_slot,
-                            &shares,
-                            &mut local_traffic,
-                            &mut local_rng,
-                        )
-                        .map(|(new_shares, counts)| {
-                            (to, in_slot, new_shares, counts, local_traffic)
-                        })
-                    });
+                let outcomes = executor.run_transfers(&ctx, tasks)?;
                 // Edge transfers of a step are likewise concurrent: rounds
                 // are the per-step maximum, not edge-count × 3.
-                for result in transfer_results {
-                    let (to, in_slot, new_shares, mut counts, local_traffic) = result?;
-                    let base = (in_offset[to.0] + in_slot) * block_size;
-                    for (m_idx, share) in new_shares.iter().enumerate() {
-                        inbox_next.write(base + m_idx, &share.to_bits());
+                for outcome in outcomes {
+                    let base =
+                        (in_offset[outcome.to as usize] + outcome.in_slot as usize) * block_size;
+                    for (m_idx, share) in outcome.receiver_shares.iter().enumerate() {
+                        inbox_next.write(base + m_idx, share);
                     }
-                    comm_rounds = comm_rounds.max(counts.rounds);
+                    comm_rounds = comm_rounds.max(outcome.counts.rounds);
+                    let mut counts = outcome.counts;
                     counts.rounds = 0;
                     communication.counts.merge(&counts);
-                    traffic.merge(&local_traffic);
+                    for (id, t) in &outcome.traffic {
+                        traffic.add_node_traffic(*id, t);
+                    }
                 }
                 communication.wall_seconds += comm_start.elapsed().as_secs_f64();
                 // `window_out` (and the per-edge share clones) die here:
@@ -619,8 +639,17 @@ impl DStressRuntime {
             GmwConfig::with_node_ids(agg_node_ids.clone()).with_batching(self.config.gmw_batching),
         )?;
         let ot = OtConfig::extension();
-        let agg_exec =
-            protocol.execute(&agg_circuit, &agg_input_shares, &ot, &mut traffic, &mut rng)?;
+        // The aggregation and noising MPCs run on the configured transport
+        // backend, like every block MPC: the backend is bit-invisible.
+        let transport = mpc_transport(self.config.transport);
+        let agg_exec = protocol.execute_on(
+            &*transport,
+            &agg_circuit,
+            &agg_input_shares,
+            &ot,
+            &mut traffic,
+            &mut rng,
+        )?;
         agg_counts.add(&agg_exec.counts);
         let aggregate_bits = reconstruct_outputs(&agg_exec.output_shares)?;
         let ideal_output = program.decode_aggregate(&aggregate_bits);
@@ -638,8 +667,14 @@ impl DStressRuntime {
                     .collect()
             })
             .collect();
-        let noise_exec =
-            protocol.execute(&noise_circ, &noise_inputs, &ot, &mut traffic, &mut rng)?;
+        let noise_exec = protocol.execute_on(
+            &*transport,
+            &noise_circ,
+            &noise_inputs,
+            &ot,
+            &mut traffic,
+            &mut rng,
+        )?;
         agg_counts.add(&noise_exec.counts);
 
         // Joint seed: one contribution per aggregation-block member.
@@ -666,102 +701,6 @@ impl DStressRuntime {
             iterations,
             block_size,
         })
-    }
-
-    /// Runs one block's computation step under GMW on pre-gathered input
-    /// shares and splits the outputs into new state shares and outgoing
-    /// message shares (one slot per *actual* out-edge — the circuit's
-    /// remaining `D - out_degree` padded slots go nowhere and are
-    /// dropped).
-    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
-    fn run_block_step(
-        &self,
-        update_circuit: &dstress_circuit::Circuit,
-        setup: &SystemSetup,
-        v: VertexId,
-        input_shares: Vec<Vec<bool>>,
-        out_slots: usize,
-        state_bits: usize,
-        message_bits: usize,
-        traffic: &mut TrafficAccountant,
-        rng: &mut dyn DetRng,
-    ) -> Result<(Vec<Vec<bool>>, Vec<Vec<Vec<bool>>>, OperationCounts), RuntimeError> {
-        let block = setup.block_of(NodeId(v.0));
-        let block_size = block.size();
-        let protocol = GmwProtocol::new(
-            GmwConfig::with_node_ids(block.members.clone()).with_batching(self.config.gmw_batching),
-        )?;
-        let exec = protocol.execute(
-            update_circuit,
-            &input_shares,
-            &OtConfig::extension(),
-            traffic,
-            rng,
-        )?;
-
-        let mut new_state = Vec::with_capacity(block_size);
-        let mut outgoing = vec![vec![Vec::new(); block_size]; out_slots];
-        for (m_idx, member_outputs) in exec.output_shares.iter().enumerate() {
-            new_state.push(member_outputs[..state_bits].to_vec());
-            for (slot, per_member) in outgoing.iter_mut().enumerate() {
-                let start = state_bits + slot * message_bits;
-                per_member[m_idx] = member_outputs[start..start + message_bits].to_vec();
-            }
-        }
-        Ok((new_state, outgoing, exec.counts))
-    }
-
-    /// Runs one message transfer (real crypto or cost-accounted).
-    #[allow(clippy::too_many_arguments)]
-    fn run_transfer(
-        &self,
-        group: &Group,
-        setup: &SystemSetup,
-        secrets: &[NodeSecrets],
-        dlog: Option<&DlogTable>,
-        message_bits: u32,
-        from: VertexId,
-        to: VertexId,
-        in_slot: usize,
-        message_shares: &[BitMessage],
-        traffic: &mut TrafficAccountant,
-        rng: &mut dyn DetRng,
-    ) -> Result<(Vec<BitMessage>, OperationCounts), RuntimeError> {
-        let sender_block = setup.block_of(NodeId(from.0));
-        let receiver_block = setup.block_of(NodeId(to.0));
-        match self.config.transfer_mode {
-            TransferMode::RealCrypto => {
-                let config =
-                    TransferConfig::final_protocol(message_bits, self.config.edge_noise_alpha);
-                let outcome = transfer_message(
-                    group,
-                    &config,
-                    NodeId(from.0),
-                    NodeId(to.0),
-                    sender_block,
-                    receiver_block,
-                    message_shares,
-                    secrets,
-                    &setup.certificates[to.0][in_slot],
-                    &secrets[to.0].neighbor_keys[in_slot],
-                    dlog.expect("real-crypto mode builds a lookup table"),
-                    traffic,
-                    rng,
-                )?;
-                Ok((outcome.receiver_shares, outcome.counts))
-            }
-            TransferMode::Accounted => Ok(accounted_transfer(
-                group,
-                message_bits,
-                NodeId(from.0),
-                NodeId(to.0),
-                sender_block,
-                receiver_block,
-                message_shares,
-                traffic,
-                rng,
-            )),
-        }
     }
 }
 
@@ -878,77 +817,6 @@ fn share_bits(bits: &[bool], n: usize, rng: &mut dyn DetRng) -> Vec<Vec<bool>> {
         }
     }
     shares
-}
-
-/// Cost-accounted message transfer: moves the shares in plaintext while
-/// recording exactly the operation counts and traffic that
-/// [`transfer_message`] with [`dstress_transfer::ProtocolVariant::Final`]
-/// would generate — including the *measured* wire bytes, reproduced from
-/// the closed-form encoded lengths in [`dstress_transfer::wire`].  A unit
-/// test pins the two modes against each other field by field.
-#[allow(clippy::too_many_arguments)]
-fn accounted_transfer(
-    group: &Group,
-    message_bits: u32,
-    sender_vertex: NodeId,
-    receiver_vertex: NodeId,
-    sender_block: &dstress_transfer::Block,
-    receiver_block: &dstress_transfer::Block,
-    sender_shares: &[BitMessage],
-    traffic: &mut TrafficAccountant,
-    rng: &mut dyn DetRng,
-) -> (Vec<BitMessage>, OperationCounts) {
-    let block_size = sender_block.size();
-    let bits = message_bits as u64;
-    let elem_bytes = group.element_bytes() as u64;
-    let mut counts = OperationCounts::default();
-
-    // Sub-share encryption: every sender member encrypts k+1 sub-shares of
-    // L bits each with a shared ephemeral key.
-    for &x_node in &sender_block.members {
-        for y in 0..block_size {
-            counts.exponentiations += bits + 1;
-            counts.group_multiplications += bits;
-            let bytes = (bits + 1) * elem_bytes;
-            traffic.record(x_node, sender_vertex, bytes);
-            counts.bytes_sent += bytes;
-            let wire =
-                dstress_transfer::wire::subshares_wire_len(y, bits as usize, elem_bytes as usize);
-            traffic.record_wire(x_node, sender_vertex, wire);
-            counts.wire_bytes += wire;
-        }
-    }
-    // Homomorphic aggregation and noise folding at vertex i.
-    counts.group_multiplications += (block_size as u64) * bits * 2 * (block_size as u64 - 1);
-    counts.exponentiations += block_size as u64 * bits; // noise encodings
-    counts.group_multiplications += block_size as u64 * bits;
-
-    // i -> j.
-    let forwarded = block_size as u64 * bits * 2 * elem_bytes;
-    traffic.record(sender_vertex, receiver_vertex, forwarded);
-    counts.bytes_sent += forwarded;
-    let wire =
-        dstress_transfer::wire::aggregated_wire_len(block_size, bits as usize, elem_bytes as usize);
-    traffic.record_wire(sender_vertex, receiver_vertex, wire);
-    counts.wire_bytes += wire;
-
-    // j adjusts, distributes, members decrypt.
-    for &y_node in &receiver_block.members {
-        let member_bytes = bits * 2 * elem_bytes;
-        traffic.record(receiver_vertex, y_node, member_bytes);
-        counts.bytes_sent += member_bytes;
-        let wire = dstress_transfer::wire::adjusted_wire_len(bits as usize, elem_bytes as usize);
-        traffic.record_wire(receiver_vertex, y_node, wire);
-        counts.wire_bytes += wire;
-        counts.exponentiations += bits; // adjust
-        counts.exponentiations += 2 * bits; // decrypt
-    }
-    counts.rounds += 3;
-
-    // Correct, fresh re-sharing of the message for the receiving block.
-    let message = xor_reconstruct(sender_shares).expect("sender shares are non-empty");
-    let receiver_shares = split_xor(message, block_size, rng);
-    (receiver_shares, counts)
 }
 
 #[cfg(test)]
@@ -1345,6 +1213,31 @@ mod tests {
         // And the materialised schedule agrees on the CSR graph too.
         let c = runtime.execute(&graph, &program).unwrap();
         assert_runs_identical(&a, &c, "csr streaming vs materialised");
+    }
+
+    #[test]
+    fn transport_kind_does_not_change_results() {
+        // The GMW transport backend is bit-invisible: a run whose block,
+        // aggregation and noising MPCs exchange their messages over real
+        // loopback TCP matches the in-process run in outputs, counts —
+        // including measured wire bytes — and traffic.
+        use crate::config::TransportKind;
+        let graph = ring_graph(5);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let mut sim_cfg = DStressConfig::benchmark(2);
+        sim_cfg.message_bits = 8;
+        let sock_cfg = sim_cfg.clone().with_transport(TransportKind::Socket);
+        let sim = DStressRuntime::new(sim_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let sock = DStressRuntime::new(sock_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&sim, &sock, "sim vs socket transport");
+        assert!(sim.phases.total_counts().wire_bytes > 0);
     }
 
     #[test]

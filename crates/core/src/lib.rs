@@ -46,12 +46,17 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod noise_circuit;
 pub mod program;
 pub mod projection;
 pub mod wire;
 
-pub use config::{ConcurrencyMode, DStressConfig, TransferMode};
+pub use config::{ConcurrencyMode, DStressConfig, TransferMode, TransportKind};
 pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts, BLOCKS_PER_WORKER};
+pub use exec::{
+    BlockStepOutcome, BlockStepTask, LocalExecutor, StepContext, StepExecutor, TransferOutcome,
+    TransferTask,
+};
 pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
 pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};

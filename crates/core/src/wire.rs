@@ -19,6 +19,9 @@
 //! model's `⌈(state + D·L)/8⌉` figure plus at most one byte of padding
 //! per plane and the header.
 
+use crate::exec::{BlockStepOutcome, BlockStepTask, TransferOutcome, TransferTask};
+use dstress_net::cost::OperationCounts;
+use dstress_net::traffic::{NodeId, NodeTraffic};
 use dstress_net::wire::{self, Wire, WireError};
 
 /// Message tags.
@@ -83,6 +86,166 @@ impl Wire for EngineMsg {
                 what: "EngineMsg",
             }),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor task and outcome encodings
+// ---------------------------------------------------------------------------
+//
+// These are the payloads the master/worker deployment layer ships inside
+// its framed messages.  Layout building blocks: uvarints for all counts
+// and indices, `u64` little-endian for the (uniformly random) task seeds,
+// and LSB-first bit planes for share vectors.
+
+/// Writes a list of bit vectors: uvarint count, then per vector a uvarint
+/// bit length and the packed plane.
+fn put_bit_vecs(out: &mut Vec<u8>, vecs: &[Vec<bool>]) {
+    wire::put_uvarint(out, vecs.len() as u64);
+    for bits in vecs {
+        wire::put_uvarint(out, bits.len() as u64);
+        wire::put_bits(out, bits);
+    }
+}
+
+/// Reads a list written by [`put_bit_vecs`].
+fn get_bit_vecs(buf: &mut &[u8]) -> Result<Vec<Vec<bool>>, WireError> {
+    let count = wire::get_uvarint(buf)? as usize;
+    let mut vecs = Vec::new();
+    for _ in 0..count {
+        let len = wire::get_uvarint(buf)? as usize;
+        vecs.push(wire::get_bits(buf, len)?);
+    }
+    Ok(vecs)
+}
+
+/// Writes a node-id list: uvarint count, then one uvarint per id.
+fn put_node_ids(out: &mut Vec<u8>, ids: &[NodeId]) {
+    wire::put_uvarint(out, ids.len() as u64);
+    for id in ids {
+        id.encode_into(out);
+    }
+}
+
+/// Reads a list written by [`put_node_ids`].
+fn get_node_ids(buf: &mut &[u8]) -> Result<Vec<NodeId>, WireError> {
+    let count = wire::get_uvarint(buf)? as usize;
+    let mut ids = Vec::new();
+    for _ in 0..count {
+        ids.push(NodeId::decode(buf)?);
+    }
+    Ok(ids)
+}
+
+/// Writes per-node traffic entries: uvarint count, then id · counters.
+fn put_traffic_entries(out: &mut Vec<u8>, entries: &[(NodeId, NodeTraffic)]) {
+    wire::put_uvarint(out, entries.len() as u64);
+    for (id, t) in entries {
+        id.encode_into(out);
+        t.encode_into(out);
+    }
+}
+
+/// Reads a list written by [`put_traffic_entries`].
+fn get_traffic_entries(buf: &mut &[u8]) -> Result<Vec<(NodeId, NodeTraffic)>, WireError> {
+    let count = wire::get_uvarint(buf)? as usize;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        entries.push((NodeId::decode(buf)?, NodeTraffic::decode(buf)?));
+    }
+    Ok(entries)
+}
+
+impl Wire for BlockStepTask {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_uvarint(out, self.vertex);
+        wire::put_u64_le(out, self.seed);
+        put_node_ids(out, &self.members);
+        wire::put_uvarint(out, self.out_slots);
+        put_bit_vecs(out, &self.input_shares);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BlockStepTask {
+            vertex: wire::get_uvarint(buf)?,
+            seed: wire::get_u64_le(buf)?,
+            members: get_node_ids(buf)?,
+            out_slots: wire::get_uvarint(buf)?,
+            input_shares: get_bit_vecs(buf)?,
+        })
+    }
+}
+
+impl Wire for BlockStepOutcome {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_bit_vecs(out, &self.new_state);
+        wire::put_uvarint(out, self.outgoing.len() as u64);
+        for slot in &self.outgoing {
+            put_bit_vecs(out, slot);
+        }
+        self.counts.encode_into(out);
+        put_traffic_entries(out, &self.traffic);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let new_state = get_bit_vecs(buf)?;
+        let slots = wire::get_uvarint(buf)? as usize;
+        let mut outgoing = Vec::new();
+        for _ in 0..slots {
+            outgoing.push(get_bit_vecs(buf)?);
+        }
+        Ok(BlockStepOutcome {
+            new_state,
+            outgoing,
+            counts: OperationCounts::decode(buf)?,
+            traffic: get_traffic_entries(buf)?,
+        })
+    }
+}
+
+impl Wire for TransferTask {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_uvarint(out, self.edge_index);
+        wire::put_u64_le(out, self.seed);
+        wire::put_uvarint(out, self.from);
+        wire::put_uvarint(out, self.to);
+        wire::put_uvarint(out, self.in_slot);
+        put_node_ids(out, &self.sender_members);
+        put_node_ids(out, &self.receiver_members);
+        put_bit_vecs(out, &self.shares);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TransferTask {
+            edge_index: wire::get_uvarint(buf)?,
+            seed: wire::get_u64_le(buf)?,
+            from: wire::get_uvarint(buf)?,
+            to: wire::get_uvarint(buf)?,
+            in_slot: wire::get_uvarint(buf)?,
+            sender_members: get_node_ids(buf)?,
+            receiver_members: get_node_ids(buf)?,
+            shares: get_bit_vecs(buf)?,
+        })
+    }
+}
+
+impl Wire for TransferOutcome {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_uvarint(out, self.to);
+        wire::put_uvarint(out, self.in_slot);
+        put_bit_vecs(out, &self.receiver_shares);
+        self.counts.encode_into(out);
+        put_traffic_entries(out, &self.traffic);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TransferOutcome {
+            to: wire::get_uvarint(buf)?,
+            in_slot: wire::get_uvarint(buf)?,
+            receiver_shares: get_bit_vecs(buf)?,
+            counts: OperationCounts::decode(buf)?,
+            traffic: get_traffic_entries(buf)?,
+        })
     }
 }
 
@@ -163,6 +326,153 @@ mod tests {
             prop_assert_eq!(EngineMsg::decode_exact(&init.encode()).unwrap(), init);
             let agg = EngineMsg::AggShare { bits: state };
             prop_assert_eq!(EngineMsg::decode_exact(&agg.encode()).unwrap(), agg);
+        }
+    }
+
+    fn sample_block_step_task() -> BlockStepTask {
+        BlockStepTask {
+            vertex: 2,
+            seed: 0x0102_0304_0506_0708,
+            members: vec![NodeId(2), NodeId(5)],
+            out_slots: 1,
+            input_shares: vec![vec![true, false], vec![false, true]],
+        }
+    }
+
+    fn sample_transfer_task() -> TransferTask {
+        TransferTask {
+            edge_index: 7,
+            seed: 0x11,
+            from: 0,
+            to: 1,
+            in_slot: 0,
+            sender_members: vec![NodeId(0), NodeId(2)],
+            receiver_members: vec![NodeId(1), NodeId(3)],
+            shares: vec![vec![true], vec![true]],
+        }
+    }
+
+    #[test]
+    fn executor_task_golden_encodings() {
+        // vertex 02 · seed LE · ids [02 05] · slots 01 · 2 planes of 2 bits
+        assert_eq!(
+            hex(&sample_block_step_task().encode()),
+            "020807060504030201020205010202010202"
+        );
+        // edge 07 · seed LE · from 00 · to 01 · slot 00 · senders [00 02] ·
+        // receivers [01 03] · 2 planes of 1 bit
+        assert_eq!(
+            hex(&sample_transfer_task().encode()),
+            "0711000000000000000001000200020201030201010101"
+        );
+    }
+
+    #[test]
+    fn executor_outcome_golden_encodings() {
+        let step = BlockStepOutcome {
+            new_state: vec![vec![true], vec![false]],
+            outgoing: vec![vec![vec![true, true], vec![false, false]]],
+            counts: OperationCounts {
+                and_gates: 1,
+                rounds: 2,
+                ..Default::default()
+            },
+            traffic: vec![(
+                NodeId(1),
+                NodeTraffic {
+                    bytes_sent: 3,
+                    ..Default::default()
+                },
+            )],
+        };
+        // states · 1 slot of 2 planes · 9 count uvarints · 1 entry
+        assert_eq!(
+            hex(&step.encode()),
+            "02010101000102020302000000000001000000020101030000000000"
+        );
+        let transfer = TransferOutcome {
+            to: 1,
+            in_slot: 0,
+            receiver_shares: vec![vec![false]],
+            counts: OperationCounts::default(),
+            traffic: Vec::new(),
+        };
+        assert_eq!(hex(&transfer.encode()), "010001010000000000000000000000");
+    }
+
+    #[test]
+    fn executor_messages_reject_truncation_and_trailing_bytes() {
+        let task = sample_block_step_task().encode();
+        for cut in 0..task.len() {
+            assert!(BlockStepTask::decode_exact(&task[..cut]).is_err());
+        }
+        let mut trailing = task;
+        trailing.push(0x00);
+        assert!(BlockStepTask::decode_exact(&trailing).is_err());
+
+        let transfer = sample_transfer_task().encode();
+        for cut in 0..transfer.len() {
+            assert!(TransferTask::decode_exact(&transfer[..cut]).is_err());
+        }
+        let mut trailing = transfer;
+        trailing.push(0x00);
+        assert!(TransferTask::decode_exact(&trailing).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_executor_tasks_round_trip(
+            vertex in any::<u64>(),
+            seed in any::<u64>(),
+            members in proptest::collection::vec(0usize..1000, 1..6),
+            shares in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 0..48), 0..6),
+        ) {
+            let task = BlockStepTask {
+                vertex,
+                seed,
+                members: members.iter().copied().map(NodeId).collect(),
+                out_slots: shares.len() as u64,
+                input_shares: shares.clone(),
+            };
+            prop_assert_eq!(BlockStepTask::decode_exact(&task.encode()).unwrap(), task);
+            let transfer = TransferTask {
+                edge_index: vertex,
+                seed,
+                from: vertex / 2,
+                to: vertex / 3,
+                in_slot: vertex % 7,
+                sender_members: members.iter().copied().map(NodeId).collect(),
+                receiver_members: members.iter().copied().map(|m| NodeId(m + 1)).collect(),
+                shares: shares.clone(),
+            };
+            prop_assert_eq!(TransferTask::decode_exact(&transfer.encode()).unwrap(), transfer);
+            let outcome = BlockStepOutcome {
+                new_state: shares.clone(),
+                outgoing: vec![shares.clone(), shares.clone()],
+                counts: OperationCounts { and_gates: vertex, ..Default::default() },
+                traffic: members
+                    .iter()
+                    .map(|&m| (NodeId(m), NodeTraffic { bytes_sent: seed, ..Default::default() }))
+                    .collect(),
+            };
+            prop_assert_eq!(
+                BlockStepOutcome::decode_exact(&outcome.encode()).unwrap(),
+                outcome
+            );
+            let delivered = TransferOutcome {
+                to: vertex,
+                in_slot: vertex % 5,
+                receiver_shares: shares,
+                counts: OperationCounts::default(),
+                traffic: Vec::new(),
+            };
+            prop_assert_eq!(
+                TransferOutcome::decode_exact(&delivered.encode()).unwrap(),
+                delivered
+            );
         }
     }
 }

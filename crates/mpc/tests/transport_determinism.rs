@@ -2,11 +2,14 @@
 //!
 //! 1. GMW executions are bit-identical across transport backends.  For
 //!    random circuits, inputs and seeds, running the same per-party state
-//!    machines on the deterministic [`SimTransport`] and on the
-//!    multi-threaded [`ThreadedTransport`] must produce identical output
-//!    shares, identical `OperationCounts`, identical per-party byte
-//!    totals and identical traffic reports — concurrency may only change
-//!    wall-clock, never results.
+//!    machines on the deterministic [`SimTransport`], on the
+//!    multi-threaded [`ThreadedTransport`] and on the real-TCP
+//!    [`SocketTransport`] must produce identical output shares, identical
+//!    `OperationCounts`, identical per-party byte totals and identical
+//!    traffic reports — concurrency and real sockets may only change
+//!    wall-clock, never results.  This three-way contract is what lets
+//!    the deployment layer place block MPCs on remote workers without
+//!    changing a bit of any run.
 //! 2. GMW executions are bit-identical across [`GmwBatching`] modes in
 //!    everything except the round structure: layer batching regroups the
 //!    same OT payloads into fewer messages, so output shares and byte
@@ -19,6 +22,7 @@ use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
 use dstress_mpc::gmw::{reconstruct_outputs, share_inputs, GmwConfig, GmwProtocol};
 use dstress_mpc::party::{GmwBatching, OtConfig};
 use dstress_mpc::GmwExecution;
+use dstress_net::socket::SocketTransport;
 use dstress_net::traffic::TrafficAccountant;
 use dstress_net::transport::{SimTransport, ThreadedTransport, Transport};
 use proptest::prelude::*;
@@ -110,23 +114,48 @@ fn assert_backends_agree(
         master_seed,
         batching,
     );
+    let (sock, sock_traffic) = run_on(
+        &SocketTransport::with_threads(threads),
+        &circuit,
+        &shares,
+        parties,
+        ot,
+        master_seed,
+        batching,
+    );
 
-    // Bit-identical shares, not merely identical reconstructions.
-    assert_eq!(sim.output_shares, thr.output_shares, "seed {seed}");
-    assert_eq!(sim.counts, thr.counts, "seed {seed}");
-    assert_eq!(sim.rounds, thr.rounds, "seed {seed}");
-    assert_eq!(
-        sim.bytes_sent_per_party, thr.bytes_sent_per_party,
-        "seed {seed}"
-    );
-    // Measured wire bytes — the encoded sizes of the actual messages —
-    // are as deterministic as the modeled totals.
-    assert_eq!(
-        sim.wire_bytes_per_party, thr.wire_bytes_per_party,
-        "seed {seed}"
-    );
-    assert_eq!(sim.counts.wire_bytes, thr.counts.wire_bytes, "seed {seed}");
-    assert_eq!(sim_traffic.report(), thr_traffic.report(), "seed {seed}");
+    for (label, other, other_traffic) in [
+        ("threaded", &thr, &thr_traffic),
+        ("socket", &sock, &sock_traffic),
+    ] {
+        // Bit-identical shares, not merely identical reconstructions.
+        assert_eq!(
+            sim.output_shares, other.output_shares,
+            "{label} seed {seed}"
+        );
+        assert_eq!(sim.counts, other.counts, "{label} seed {seed}");
+        assert_eq!(sim.rounds, other.rounds, "{label} seed {seed}");
+        assert_eq!(
+            sim.bytes_sent_per_party, other.bytes_sent_per_party,
+            "{label} seed {seed}"
+        );
+        // Measured wire bytes — the encoded sizes of the actual messages
+        // — are as deterministic as the modeled totals, even when the
+        // messages crossed real TCP frames.
+        assert_eq!(
+            sim.wire_bytes_per_party, other.wire_bytes_per_party,
+            "{label} seed {seed}"
+        );
+        assert_eq!(
+            sim.counts.wire_bytes, other.counts.wire_bytes,
+            "{label} seed {seed}"
+        );
+        assert_eq!(
+            sim_traffic.report(),
+            other_traffic.report(),
+            "{label} seed {seed}"
+        );
+    }
 
     // Both must also be *correct*: reconstruction equals the plaintext
     // evaluation.
@@ -196,7 +225,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn prop_sim_and_threaded_backends_are_bit_identical(
+    fn prop_all_three_backends_are_bit_identical(
         seed in any::<u64>(),
         parties in 2usize..6,
         threads in 1usize..5,
@@ -210,12 +239,12 @@ proptest! {
     fn prop_batched_and_per_gate_gmw_are_bit_identical(
         seed in any::<u64>(),
         parties in 2usize..6,
-        threaded in any::<bool>(),
+        backend in 0u8..3,
     ) {
-        if threaded {
-            assert_batching_modes_agree(seed, parties, &ThreadedTransport::with_threads(2));
-        } else {
-            assert_batching_modes_agree(seed, parties, &SimTransport);
+        match backend {
+            0 => assert_batching_modes_agree(seed, parties, &SimTransport),
+            1 => assert_batching_modes_agree(seed, parties, &ThreadedTransport::with_threads(2)),
+            _ => assert_batching_modes_agree(seed, parties, &SocketTransport::with_threads(2)),
         }
     }
 }
@@ -241,11 +270,23 @@ fn backends_agree_with_real_elgamal_ot() {
     );
 }
 
-/// Measured byte totals across the full Sim/Threaded × Layered/PerGate
-/// 2×2: within each batching mode the two backends must agree bit for
-/// bit, and the batched framing must never exceed the per-gate framing.
 #[test]
-fn measured_wire_bytes_bit_identical_across_the_2x2() {
+fn backends_agree_per_gate_with_real_elgamal_ot() {
+    assert_backends_agree(
+        0xE16B,
+        3,
+        &OtConfig::elgamal(dstress_crypto::group::GroupKind::Sim64),
+        2,
+        GmwBatching::PerGate,
+    );
+}
+
+/// Measured byte totals across the full backend × batching grid —
+/// {Sim, Threaded, Socket} × {Layered, PerGate}: within each batching
+/// mode all three backends must agree bit for bit, and the batched
+/// framing must never exceed the per-gate framing.
+#[test]
+fn measured_wire_bytes_bit_identical_across_the_grid() {
     let parties = 4;
     let (circuit, _, shares, master_seed) = scenario(0x2B17, parties);
     let ot = OtConfig::extension();
@@ -260,25 +301,34 @@ fn measured_wire_bytes_bit_identical_across_the_2x2() {
             master_seed,
             batching,
         );
-        let (thr, thr_traffic) = run_on(
-            &ThreadedTransport::with_threads(3),
-            &circuit,
-            &shares,
-            parties,
-            &ot,
-            master_seed,
-            batching,
-        );
-        assert_eq!(sim.counts.wire_bytes, thr.counts.wire_bytes, "{batching:?}");
-        assert_eq!(
-            sim.wire_bytes_per_party, thr.wire_bytes_per_party,
-            "{batching:?}"
-        );
-        assert_eq!(
-            sim_traffic.report().total_wire_bytes,
-            thr_traffic.report().total_wire_bytes,
-            "{batching:?}"
-        );
+        let backends: [(&str, Box<dyn Transport<dstress_mpc::GmwMessage>>); 2] = [
+            ("threaded", Box::new(ThreadedTransport::with_threads(3))),
+            ("socket", Box::new(SocketTransport::with_threads(3))),
+        ];
+        for (label, transport) in backends {
+            let (other, other_traffic) = run_on(
+                &*transport,
+                &circuit,
+                &shares,
+                parties,
+                &ot,
+                master_seed,
+                batching,
+            );
+            assert_eq!(
+                sim.counts.wire_bytes, other.counts.wire_bytes,
+                "{label} {batching:?}"
+            );
+            assert_eq!(
+                sim.wire_bytes_per_party, other.wire_bytes_per_party,
+                "{label} {batching:?}"
+            );
+            assert_eq!(
+                sim_traffic.report().total_wire_bytes,
+                other_traffic.report().total_wire_bytes,
+                "{label} {batching:?}"
+            );
+        }
         assert!(sim.counts.wire_bytes > 0, "{batching:?}");
         grid.push(sim.counts.wire_bytes);
     }

@@ -16,10 +16,11 @@
 //! the paper's own projection makes the same conservative assumption that
 //! nodes do not overlap computations from different blocks.
 
+use crate::wire::{self, Wire, WireError};
 use serde::{Deserialize, Serialize};
 
 /// Counts of the primitive operations performed by a protocol component.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OperationCounts {
     /// Modular exponentiations (ElGamal encryptions count two, adjustments
     /// and key re-randomisations one each).
@@ -92,6 +93,34 @@ impl OperationCounts {
             wire_bytes: self.wire_bytes * factor,
             rounds: self.rounds * factor,
         }
+    }
+}
+
+impl Wire for OperationCounts {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_uvarint(out, self.exponentiations);
+        wire::put_uvarint(out, self.group_multiplications);
+        wire::put_uvarint(out, self.base_ots);
+        wire::put_uvarint(out, self.extended_ots);
+        wire::put_uvarint(out, self.and_gates);
+        wire::put_uvarint(out, self.free_gates);
+        wire::put_uvarint(out, self.bytes_sent);
+        wire::put_uvarint(out, self.wire_bytes);
+        wire::put_uvarint(out, self.rounds);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(OperationCounts {
+            exponentiations: wire::get_uvarint(buf)?,
+            group_multiplications: wire::get_uvarint(buf)?,
+            base_ots: wire::get_uvarint(buf)?,
+            extended_ots: wire::get_uvarint(buf)?,
+            and_gates: wire::get_uvarint(buf)?,
+            free_gates: wire::get_uvarint(buf)?,
+            bytes_sent: wire::get_uvarint(buf)?,
+            wire_bytes: wire::get_uvarint(buf)?,
+            rounds: wire::get_uvarint(buf)?,
+        })
     }
 }
 
@@ -196,6 +225,28 @@ mod tests {
         assert_eq!(s.exponentiations, 45);
         assert_eq!(s.wire_bytes, 270);
         assert_eq!(s.rounds, 6);
+    }
+
+    #[test]
+    fn counts_round_trip_the_wire() {
+        let counts = OperationCounts {
+            exponentiations: 1,
+            group_multiplications: 128,
+            base_ots: 3,
+            extended_ots: 4,
+            and_gates: 5,
+            free_gates: 6,
+            bytes_sent: 7,
+            wire_bytes: 8,
+            rounds: 9,
+        };
+        let encoded = counts.encode();
+        // Nine uvarints; 128 costs two bytes.
+        assert_eq!(crate::wire::hex(&encoded), "01800103040506070809");
+        assert_eq!(OperationCounts::decode_exact(&encoded).unwrap(), counts);
+        for cut in 0..encoded.len() {
+            assert!(OperationCounts::decode_exact(&encoded[..cut]).is_err());
+        }
     }
 
     #[test]

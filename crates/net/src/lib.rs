@@ -14,8 +14,14 @@
 //!   [`transport::SimTransport`].
 //! * [`transport`] — the [`transport::Transport`] abstraction: protocol
 //!   code written as per-node actors runs unchanged on the deterministic
-//!   in-process backend ([`transport::SimTransport`]) or on a real worker
-//!   pool with per-node channels ([`transport::ThreadedTransport`]).
+//!   in-process backend ([`transport::SimTransport`]), on a real worker
+//!   pool with per-node channels ([`transport::ThreadedTransport`]), or
+//!   over real TCP connections ([`socket::SocketTransport`]).
+//! * [`frame`] — length-prefixed framing that restores message boundaries
+//!   on a TCP byte stream, with typed errors for torn frames, trailing
+//!   garbage, and oversized length prefixes.
+//! * [`socket`] — the TCP backend and [`socket::FramedConn`], the framed
+//!   non-blocking connection the master/worker deployment layer reuses.
 //! * [`wire`] — the hand-rolled wire format ([`wire::Wire`], varints,
 //!   bit-packed planes).  Both transport backends route every send
 //!   through `encode → bytes → decode` and return a [`wire::WireTally`]
@@ -43,14 +49,18 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod frame;
 pub mod mailbox;
 pub mod pool;
+pub mod socket;
 pub mod traffic;
 pub mod transport;
 pub mod wire;
 
 pub use cost::{CostModel, OperationCounts};
+pub use frame::{FrameDecoder, FrameError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use mailbox::Mailbox;
+pub use socket::{FramedConn, Hello, SocketTransport};
 pub use traffic::{NodeId, TrafficAccountant, TrafficReport};
 pub use transport::{
     ActorStatus, Endpoint, NodeActor, SimTransport, ThreadedTransport, Transport, TransportError,

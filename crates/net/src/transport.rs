@@ -79,13 +79,14 @@
 //! }
 //! ```
 
+use crate::frame::FrameError;
 use crate::mailbox::Mailbox;
 use crate::traffic::NodeId;
-use crate::wire::{Wire, WireTally};
+use crate::wire::{Wire, WireError, WireTally};
 use core::fmt;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Encodes a message through the wire format, measures the encoding, and
@@ -155,6 +156,12 @@ pub trait Endpoint<M> {
 }
 
 /// Errors reported by a transport run.
+///
+/// The in-process backends can only fail with [`TransportError::Stalled`]
+/// (their byte buffers never lie); the socket backend adds the failure
+/// modes a real network has: I/O errors, framing violations from hostile
+/// or desynchronised peers, payloads that do not decode, and peers that
+/// never complete the connection handshake.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
     /// Every unfinished actor is idle and no message is in flight (a
@@ -165,6 +172,40 @@ pub enum TransportError {
         /// Total actors in the run.
         actors: usize,
     },
+    /// A socket operation failed.  Only the [`std::io::ErrorKind`] is
+    /// kept (with a static context string) so the error stays `Clone`
+    /// and comparable in tests.
+    Io {
+        /// Which operation failed (e.g. `"connect"`, `"read"`).
+        context: &'static str,
+        /// The kind of I/O failure.
+        kind: std::io::ErrorKind,
+    },
+    /// A peer violated the frame layer: bad magic, oversized length
+    /// prefix, or a stream torn mid-frame.
+    Frame {
+        /// Local index of the offending peer (0 when unknown).
+        peer: usize,
+        /// The frame-layer violation.
+        error: FrameError,
+    },
+    /// A complete frame arrived but its payload failed to decode as the
+    /// expected message type.  Unlike the in-process backends — where a
+    /// codec mismatch is a local bug and panics — bytes from a remote
+    /// peer are untrusted input and fail typed.
+    Codec {
+        /// Local index of the offending peer.
+        peer: usize,
+        /// The wire-format decode failure.
+        error: WireError,
+    },
+    /// A peer failed to complete the connection handshake (hello /
+    /// registration) within the deadline, or sent a hello that does not
+    /// match the run.
+    Handshake {
+        /// What went wrong.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -174,6 +215,18 @@ impl fmt::Display for TransportError {
                 f,
                 "transport stalled: {done}/{actors} actors done, rest idle with no messages in flight"
             ),
+            TransportError::Io { context, kind } => {
+                write!(f, "socket i/o failed during {context}: {kind}")
+            }
+            TransportError::Frame { peer, error } => {
+                write!(f, "frame violation from peer {peer}: {error}")
+            }
+            TransportError::Codec { peer, error } => {
+                write!(f, "undecodable payload from peer {peer}: {error}")
+            }
+            TransportError::Handshake { context } => {
+                write!(f, "handshake failed: {context}")
+            }
         }
     }
 }
@@ -354,7 +407,7 @@ impl Default for ThreadedTransport {
 /// How long a run tolerates global quiescence before declaring a stall.
 /// Generous: it only matters for protocol bugs, which the deterministic
 /// [`SimTransport`] surfaces first in any well-tested code path.
-const STALL_TIMEOUT: Duration = Duration::from_secs(60);
+pub(crate) const STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Per-node queue counters shared by a run's endpoints: how many messages
 /// were pushed into each node's channel and how many its endpoint has
@@ -362,20 +415,20 @@ const STALL_TIMEOUT: Duration = Duration::from_secs(60);
 /// flight anywhere — the quiescence half of stall detection.  (Counting
 /// per node rather than globally keeps the counters useful for
 /// diagnostics and avoids a single hot cacheline under fan-in.)
-struct QueueCounters {
-    sent: Vec<AtomicU64>,
-    drained: Vec<AtomicU64>,
+pub(crate) struct QueueCounters {
+    pub(crate) sent: Vec<AtomicU64>,
+    pub(crate) drained: Vec<AtomicU64>,
     /// Set once a node's actor is [`ActorStatus::Done`].  A finished
     /// node's channel may never be drained again (its worker may already
     /// have exited), so messages addressed to it are protocol garbage
     /// and must not count as traffic in flight — otherwise one late send
     /// to a finished node would disable stall detection and turn every
     /// genuine stall into an unbounded hang.
-    finished: Vec<AtomicBool>,
+    pub(crate) finished: Vec<AtomicBool>,
 }
 
 impl QueueCounters {
-    fn new(nodes: usize) -> Self {
+    pub(crate) fn new(nodes: usize) -> Self {
         QueueCounters {
             sent: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             drained: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -387,7 +440,7 @@ impl QueueCounters {
     /// drained by its recipient.  Racy reads are fine: a message sent
     /// concurrently with this check implies progress, which independently
     /// resets the stall clock.
-    fn quiescent(&self) -> bool {
+    pub(crate) fn quiescent(&self) -> bool {
         self.sent
             .iter()
             .zip(&self.drained)
@@ -400,14 +453,14 @@ impl QueueCounters {
 
 /// Lock-free per-pair wire counters shared by a threaded run's endpoints;
 /// folded into a plain [`WireTally`] once every worker has joined.
-struct SharedTally {
+pub(crate) struct SharedTally {
     nodes: usize,
     bytes: Vec<AtomicU64>,
     messages: Vec<AtomicU64>,
 }
 
 impl SharedTally {
-    fn new(nodes: usize) -> Self {
+    pub(crate) fn new(nodes: usize) -> Self {
         SharedTally {
             nodes,
             bytes: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -415,7 +468,7 @@ impl SharedTally {
         }
     }
 
-    fn record(&self, from: usize, to: usize, bytes: u64) {
+    pub(crate) fn record(&self, from: usize, to: usize, bytes: u64) {
         let idx = from * self.nodes + to;
         self.bytes[idx].fetch_add(bytes, Ordering::Relaxed);
         self.messages[idx].fetch_add(1, Ordering::Relaxed);
@@ -423,7 +476,7 @@ impl SharedTally {
 
     /// Snapshot after all workers joined (the join is the happens-before
     /// edge that makes the relaxed counters complete).
-    fn collect(&self) -> WireTally {
+    pub(crate) fn collect(&self) -> WireTally {
         let mut tally = WireTally::new(self.nodes);
         for from in 0..self.nodes {
             for to in 0..self.nodes {
@@ -510,7 +563,7 @@ impl<M: Wire> Endpoint<M> for ThreadedEndpoint<M> {
 /// backs off from `yield_now` spinning to millisecond sleeps (so a peer
 /// worker stuck in a long computation — or a stall running out the
 /// timeout — does not burn a core).
-const SPIN_PASSES_BEFORE_SLEEP: u32 = 256;
+pub(crate) const SPIN_PASSES_BEFORE_SLEEP: u32 = 256;
 
 /// State shared by the workers of one run, used for *global* stall
 /// detection.  A run is declared stalled only when the system is provably
@@ -520,19 +573,56 @@ const SPIN_PASSES_BEFORE_SLEEP: u32 = 256;
 /// busy worker — e.g. one actor deep in a long computation between
 /// batched rounds — keeps the whole run alive, because workers unpark
 /// *before* each polling pass, not after it.
-struct WorkerShared {
+pub(crate) struct WorkerShared {
     /// Progress events (sends, receives, completions) across all workers.
-    progress: AtomicU64,
+    pub(crate) progress: AtomicU64,
     /// Workers currently parked idle, plus workers that finished.
-    idle_workers: AtomicUsize,
+    pub(crate) idle_workers: AtomicUsize,
     /// Total workers in the run.
-    workers: usize,
+    pub(crate) workers: usize,
     /// Per-node sent/drained message counters for the quiescence check.
-    counters: Arc<QueueCounters>,
+    pub(crate) counters: Arc<QueueCounters>,
     /// How long global quiescence is tolerated before failing the run.
-    stall_timeout: Duration,
-    /// Set when a stall was detected; all workers bail out.
-    failed: AtomicBool,
+    pub(crate) stall_timeout: Duration,
+    /// Set when the run failed (stall or socket error); all workers
+    /// bail out.
+    pub(crate) failed: AtomicBool,
+    /// The first non-stall failure any worker hit (socket backends only;
+    /// a bare `failed` flag with an empty slot means a stall).
+    pub(crate) failure: Mutex<Option<TransportError>>,
+}
+
+impl WorkerShared {
+    pub(crate) fn new(
+        counters: Arc<QueueCounters>,
+        workers: usize,
+        stall_timeout: Duration,
+    ) -> Self {
+        WorkerShared {
+            progress: AtomicU64::new(0),
+            idle_workers: AtomicUsize::new(0),
+            workers,
+            counters,
+            stall_timeout,
+            failed: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Records the first failure and tells every worker to bail out.
+    pub(crate) fn fail(&self, error: TransportError) {
+        let mut slot = self.failure.lock().expect("failure slot poisoned");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        drop(slot);
+        self.failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Takes the recorded failure, if any (after all workers joined).
+    pub(crate) fn take_failure(&self) -> Option<TransportError> {
+        self.failure.lock().expect("failure slot poisoned").take()
+    }
 }
 
 fn run_worker<M: Wire>(
@@ -659,14 +749,7 @@ impl<M: Wire + Send> Transport<M> for ThreadedTransport {
 
         let workers = self.threads.clamp(1, n);
         let shard_size = n.div_ceil(workers);
-        let shared = WorkerShared {
-            progress: AtomicU64::new(0),
-            idle_workers: AtomicUsize::new(0),
-            workers: n.div_ceil(shard_size),
-            counters,
-            stall_timeout: self.stall_timeout,
-            failed: AtomicBool::new(false),
-        };
+        let shared = WorkerShared::new(counters, n.div_ceil(shard_size), self.stall_timeout);
         let completed: usize = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             let mut rest: &mut [&mut dyn NodeActor<M>] = actors;

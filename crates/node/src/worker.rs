@@ -1,0 +1,161 @@
+//! The deployment worker: `dstress-node`'s task-execution loop.
+//!
+//! A worker is a deterministic function of its [`JobSpec`] and the task
+//! stream: it connects to the master, registers, rebuilds the program
+//! circuit from the job parameters, and then executes every batch with
+//! the engine's own task-level entry points
+//! ([`dstress_core::exec::execute_block_step_task`],
+//! [`dstress_core::exec::execute_accounted_transfer_task`]) — so the
+//! outcomes it returns are bit-for-bit what the master's in-process
+//! pool would have computed.  With `TransportKind::Socket` in the job,
+//! every block MPC the worker runs exchanges its GMW messages between
+//! the block's node actors over real loopback TCP connections.
+//!
+//! Per-node traffic is accounted locally as batches execute and
+//! reported back as totals when the master sends `Finish`.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dstress_core::exec::{execute_accounted_transfer_task, execute_block_step_task};
+use dstress_core::{CounterProgram, SecureVertexProgram};
+use dstress_crypto::group::Group;
+use dstress_net::pool::{default_threads, parallel_map};
+use dstress_net::socket::FramedConn;
+use dstress_net::traffic::{NodeId, TrafficAccountant};
+
+use crate::proto::{DeployMsg, JobSpec, PROTOCOL_VERSION};
+
+/// How long the worker waits for the next batch.  The master can spend
+/// a long stretch on phases it runs locally (init, aggregation), so the
+/// idle window is generous; a vanished master still ends the worker
+/// with a typed error rather than a hang.
+const BATCH_TIMEOUT: Duration = Duration::from_secs(600);
+/// Send-side drain deadline per frame.
+const SEND_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One worker session: connect, register, execute batches until
+/// `Finish`, report traffic, close.
+///
+/// # Errors
+///
+/// Returns a description of the first connection, protocol, or
+/// execution failure; the binary surfaces it on stderr with a non-zero
+/// exit.
+pub fn run_worker(master: &str) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(master).map_err(|e| format!("connect to master {master}: {e}"))?;
+    let mut conn = FramedConn::new(stream).map_err(|e| format!("frame setup: {e}"))?;
+    conn.send_msg(&DeployMsg::Register {
+        version: PROTOCOL_VERSION,
+    })
+    .and_then(|_| conn.flush_blocking(SEND_TIMEOUT))
+    .map_err(|e| format!("register: {e}"))?;
+
+    let job = match conn
+        .recv_msg::<DeployMsg>(SEND_TIMEOUT)
+        .map_err(|e| format!("receive job: {e}"))?
+    {
+        DeployMsg::Job(spec) => spec,
+        other => return Err(format!("expected Job after Register, got {other:?}")),
+    };
+    serve_job(&mut conn, &job)
+}
+
+/// The batch loop for one received job.
+fn serve_job(conn: &mut FramedConn, job: &JobSpec) -> Result<(), String> {
+    let program = CounterProgram {
+        width: job.width,
+        rounds: job.rounds,
+    };
+    let update_circuit = program.update_circuit(job.degree_bound as usize);
+    let state_bits = program.state_bits() as usize;
+    let message_bits = program.message_bits() as usize;
+    let group = Group::new(job.group);
+    let hosted: HashMap<u64, &[NodeId]> = job
+        .blocks
+        .iter()
+        .map(|(vertex, members)| (*vertex, members.as_slice()))
+        .collect();
+    let threads = default_threads();
+    let mut report = TrafficAccountant::new();
+
+    loop {
+        let batch = conn
+            .recv_msg::<DeployMsg>(BATCH_TIMEOUT)
+            .map_err(|e| format!("receive batch: {e}"))?;
+        let reply = match batch {
+            DeployMsg::BlockSteps(tasks) => {
+                for task in &tasks {
+                    let members = hosted.get(&task.vertex).copied().ok_or_else(|| {
+                        format!(
+                            "vertex {} is not hosted by worker {}",
+                            task.vertex, job.worker
+                        )
+                    })?;
+                    if task.members != members {
+                        return Err(format!(
+                            "vertex {} block members disagree with the assignment",
+                            task.vertex
+                        ));
+                    }
+                }
+                let (batching, transport) = (job.batching, job.transport);
+                let circuit = &update_circuit;
+                let outcomes: Result<Vec<_>, _> =
+                    parallel_map(tasks, threads, move |_off, task| {
+                        execute_block_step_task(
+                            circuit,
+                            batching,
+                            transport,
+                            state_bits,
+                            message_bits,
+                            task,
+                        )
+                    })
+                    .into_iter()
+                    .collect();
+                let outcomes = outcomes.map_err(|e| format!("block step failed: {e}"))?;
+                for outcome in &outcomes {
+                    for (id, totals) in &outcome.traffic {
+                        report.add_node_traffic(*id, totals);
+                    }
+                }
+                DeployMsg::BlockStepResults(outcomes)
+            }
+            DeployMsg::Transfers(tasks) => {
+                for task in &tasks {
+                    if !hosted.contains_key(&task.to) {
+                        return Err(format!(
+                            "transfer receiver {} is not hosted by worker {}",
+                            task.to, job.worker
+                        ));
+                    }
+                }
+                let (group, width) = (&group, job.width);
+                let outcomes: Vec<_> = parallel_map(tasks, threads, move |_off, task| {
+                    execute_accounted_transfer_task(group, width, &task)
+                });
+                for outcome in &outcomes {
+                    for (id, totals) in &outcome.traffic {
+                        report.add_node_traffic(*id, totals);
+                    }
+                }
+                DeployMsg::TransferResults(outcomes)
+            }
+            DeployMsg::Finish => {
+                conn.send_msg(&DeployMsg::Report {
+                    traffic: report.sorted_node_entries(),
+                })
+                .and_then(|_| conn.flush_blocking(SEND_TIMEOUT))
+                .map_err(|e| format!("send report: {e}"))?;
+                return Ok(());
+            }
+            other => return Err(format!("unexpected batch frame: {other:?}")),
+        };
+        conn.send_msg(&reply)
+            .and_then(|_| conn.flush_blocking(SEND_TIMEOUT))
+            .map_err(|e| format!("send results: {e}"))?;
+    }
+}

@@ -45,6 +45,23 @@ cargo test --release -q -p dstress-bench concurrency_modes_agree_on_small_point
 echo "==> round model: batched rounds scale with depth, not AND-gate count"
 cargo test --release -q -p dstress-mpc batched_rounds_scale_with_depth_not_gate_count
 
+echo "==> crypto kernels: windowed/multi-exp/dlog kernels pinned to the naive path"
+# Fixed-base tables, Straus/Pippenger multi-exp and the signed-BSGS /
+# fingerprint dlog recovery must be bit-identical to square-and-multiply
+# on both groups; the transfer protocol must produce identical shares and
+# wire bytes with kernels off, auto and precomputed.
+cargo test -q -p dstress-crypto kernels::
+cargo test -q -p dstress-crypto dlog::
+cargo test -q -p dstress-transfer kernel
+cargo test -q -p dstress-bench kernel_and_naive_arms_agree
+cargo test -q -p dstress-core transfer_modes_account_identically
+
+echo "==> crypto kernels: release A/B speedup gate (kernels >= 5x naive on the 256-bit group)"
+cargo test --release -q -p dstress-bench kernel_speedup_exceeds_5x -- --ignored
+
+echo "==> repro -- transfer smoke (time/traffic/ablation/kernels A/B into BENCH_results.json)"
+cargo run --release -q -p dstress-bench --bin repro -- transfer --threads 2 > /dev/null
+
 echo "==> wire format: round-trip, rejection and golden byte-layout suites"
 # Primitive layouts and the per-crate message codecs (GMW, transfer, engine).
 cargo test -q -p dstress-net --test wire_golden

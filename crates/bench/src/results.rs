@@ -119,6 +119,10 @@ impl BenchResults {
                 out.push_str("      \"counts\": {\n");
                 let fields = [
                     ("exponentiations", counts.exponentiations),
+                    (
+                        "fixed_base_exponentiations",
+                        counts.fixed_base_exponentiations,
+                    ),
                     ("group_multiplications", counts.group_multiplications),
                     ("base_ots", counts.base_ots),
                     ("extended_ots", counts.extended_ots),

@@ -920,6 +920,8 @@ mod tests {
         let r = real.phases.communication.counts;
         let a = accounted.phases.communication.counts;
         assert_eq!(r.exponentiations, a.exponentiations);
+        assert_eq!(r.fixed_base_exponentiations, a.fixed_base_exponentiations);
+        assert!(a.fixed_base_exponentiations > 0);
         assert_eq!(r.group_multiplications, a.group_multiplications);
         assert_eq!(r.bytes_sent, a.bytes_sent);
         // The accounted mode reproduces even the *measured* wire bytes of

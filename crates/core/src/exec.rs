@@ -336,7 +336,10 @@ pub fn execute_accounted_transfer_task(
     // L bits each with a shared ephemeral key.
     for &x_node in &task.sender_members {
         for y in 0..block_size {
-            counts.exponentiations += bits + 1;
+            // Shared `c1` through the generator table plus one
+            // variable-base pow per bit for the key terms.
+            counts.fixed_base_exponentiations += 1;
+            counts.exponentiations += bits;
             counts.group_multiplications += bits;
             let bytes = (bits + 1) * elem_bytes;
             traffic.record(x_node, sender_vertex, bytes);
@@ -347,9 +350,11 @@ pub fn execute_accounted_transfer_task(
             counts.wire_bytes += wire;
         }
     }
-    // Homomorphic aggregation and noise folding at vertex i.
-    counts.group_multiplications += (block_size as u64) * bits * 2 * (block_size as u64 - 1);
-    counts.exponentiations += block_size as u64 * bits; // noise encodings
+    // Homomorphic aggregation and noise folding at vertex i: one shared
+    // `c1` product plus L `c2` products per receiver, then a table-backed
+    // noise encoding per bit.
+    counts.group_multiplications += (block_size as u64) * (bits + 1) * (block_size as u64 - 1);
+    counts.fixed_base_exponentiations += block_size as u64 * bits; // noise encodings
     counts.group_multiplications += block_size as u64 * bits;
 
     // i -> j.
@@ -369,8 +374,8 @@ pub fn execute_accounted_transfer_task(
         let wire = dstress_transfer::wire::adjusted_wire_len(bits as usize, elem_bytes as usize);
         traffic.record_wire(receiver_vertex, y_node, wire);
         counts.wire_bytes += wire;
-        counts.exponentiations += bits; // adjust
-        counts.exponentiations += 2 * bits; // decrypt
+        counts.exponentiations += 1; // adjust of the shared ephemeral
+        counts.fixed_base_exponentiations += bits; // fused table decrypts
     }
     counts.rounds += 3;
 

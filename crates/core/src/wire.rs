@@ -385,10 +385,10 @@ mod tests {
                 },
             )],
         };
-        // states · 1 slot of 2 planes · 9 count uvarints · 1 entry
+        // states · 1 slot of 2 planes · 10 count uvarints · 1 entry
         assert_eq!(
             hex(&step.encode()),
-            "02010101000102020302000000000001000000020101030000000000"
+            "0201010100010202030200000000000001000000020101030000000000"
         );
         let transfer = TransferOutcome {
             to: 1,
@@ -397,7 +397,7 @@ mod tests {
             counts: OperationCounts::default(),
             traffic: Vec::new(),
         };
-        assert_eq!(hex(&transfer.encode()), "010001010000000000000000000000");
+        assert_eq!(hex(&transfer.encode()), "01000101000000000000000000000000");
     }
 
     #[test]

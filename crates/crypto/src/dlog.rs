@@ -10,15 +10,32 @@
 //!
 //! Two mechanisms are provided:
 //!
-//! * [`DlogTable`] — an exact mirror of the prototype's lookup table,
-//!   covering `0..=max`.
-//! * [`baby_step_giant_step`] — an O(√R) search used by tests and by the
-//!   aggregation step, where the range is larger but still bounded.
+//! * [`DlogTable`] — the prototype's lookup table, keyed on a truncated
+//!   64-bit *fingerprint* of each group element (16 bytes per entry instead
+//!   of a full element plus exponent). Hits are verified against the full
+//!   element by re-encoding the candidate through the generator's
+//!   fixed-base table, so fingerprint collisions can never produce a wrong
+//!   answer; build-time collisions fall back to an exact side map.
+//! * [`baby_step_giant_step`] / [`baby_step_giant_step_signed`] — O(√R)
+//!   searches over unsigned and signed ranges. A table built with
+//!   [`DlogTable::with_search_range`] uses the signed search as a fallback
+//!   when a lookup misses, widening the usable plaintext range far past
+//!   what the table itself stores.
 
 use crate::error::CryptoError;
 use crate::group::{Group, GroupElem};
 use dstress_math::U256;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Truncated fingerprint of a canonical group element: its low 64 bits.
+///
+/// For the 64-bit simulation group this is the *whole* element, so
+/// collisions cannot occur at all; for the 256-bit group collisions are
+/// birthday-rare and handled by verification plus the overflow map.
+fn fingerprint(canonical: &U256) -> u64 {
+    canonical.as_u64()
+}
 
 /// A precomputed table mapping `g^m ↦ m` for `m` in a small window.
 ///
@@ -29,49 +46,75 @@ use std::collections::HashMap;
 /// `N_l` entries).
 #[derive(Clone, Debug)]
 pub struct DlogTable {
-    table: HashMap<U256, i64>,
+    /// fingerprint(g^m) ↦ m for every window exponent (first writer wins).
+    table: HashMap<u64, i64>,
+    /// Exact-keyed entries whose fingerprint collided at build time.
+    overflow: HashMap<U256, i64>,
     max: u64,
     signed: bool,
+    /// Magnitude bound for the BSGS fallback search, when enabled.
+    search_range: Option<u64>,
 }
 
 impl DlogTable {
     /// Builds a table covering exponents `0..=max`.
     pub fn new(group: &Group, max: u64) -> Self {
-        let mut table = HashMap::with_capacity(max as usize + 1);
-        let mut acc = group.identity();
-        let g = group.generator();
-        for m in 0..=max {
-            table.insert(group.elem_to_int(acc), m as i64);
-            acc = group.mul(acc, g);
-        }
-        DlogTable {
-            table,
-            max,
-            signed: false,
-        }
+        Self::build(group, max, false)
     }
 
     /// Builds a table covering exponents `-max ..= max` (so `2·max + 1`
     /// entries).
     pub fn new_signed(group: &Group, max: u64) -> Self {
-        let mut table = HashMap::with_capacity(2 * max as usize + 1);
+        Self::build(group, max, true)
+    }
+
+    fn build(group: &Group, max: u64, signed: bool) -> Self {
+        let entries = if signed {
+            2 * max as usize + 1
+        } else {
+            max as usize + 1
+        };
+        let mut this = DlogTable {
+            table: HashMap::with_capacity(entries),
+            overflow: HashMap::new(),
+            max,
+            signed,
+            search_range: None,
+        };
         let g = group.generator();
-        let g_inv = group.inv(g).expect("generator is invertible");
         let mut acc = group.identity();
         for m in 0..=max {
-            table.insert(group.elem_to_int(acc), m as i64);
+            this.insert(group.elem_to_int(acc), m as i64);
             acc = group.mul(acc, g);
         }
-        let mut acc = g_inv;
-        for m in 1..=max {
-            table.insert(group.elem_to_int(acc), -(m as i64));
-            acc = group.mul(acc, g_inv);
+        if signed {
+            let g_inv = group.inv(g).expect("generator is invertible");
+            let mut acc = g_inv;
+            for m in 1..=max {
+                this.insert(group.elem_to_int(acc), -(m as i64));
+                acc = group.mul(acc, g_inv);
+            }
         }
-        DlogTable {
-            table,
-            max,
-            signed: true,
+        this
+    }
+
+    fn insert(&mut self, canonical: U256, m: i64) {
+        let fp = fingerprint(&canonical);
+        match self.table.entry(fp) {
+            Entry::Vacant(slot) => {
+                slot.insert(m);
+            }
+            Entry::Occupied(_) => {
+                self.overflow.insert(canonical, m);
+            }
         }
+    }
+
+    /// Enables a baby-step/giant-step fallback over `[-range, range]` for
+    /// lookups that miss the table.
+    pub fn with_search_range(mut self, range: u64) -> Self {
+        self.search_range = Some(range);
+        self
     }
 
     /// The largest exponent magnitude the table can recover.
@@ -86,7 +129,7 @@ impl DlogTable {
 
     /// Number of entries in the table (the paper's `N_l`).
     pub fn entries(&self) -> usize {
-        self.table.len()
+        self.table.len() + self.overflow.len()
     }
 
     /// Looks up the discrete log of `elem` as a non-negative value.
@@ -106,27 +149,57 @@ impl DlogTable {
     /// Looks up the discrete log of `elem`, allowing negative exponents
     /// when the table was built with [`DlogTable::new_signed`].
     ///
+    /// A fingerprint hit is confirmed by re-encoding the candidate exponent
+    /// (`g^m`, one fixed-base exponentiation) and comparing full elements;
+    /// an unconfirmed hit falls through to the exact overflow map and then
+    /// to the BSGS fallback, if one was configured.
+    ///
     /// # Errors
     ///
     /// Returns [`CryptoError::DlogOutOfRange`] when the exponent is not in
     /// the covered range.
     pub fn lookup_signed(&self, group: &Group, elem: GroupElem) -> Result<i64, CryptoError> {
-        self.table
-            .get(&group.elem_to_int(elem))
-            .copied()
-            .ok_or(CryptoError::DlogOutOfRange { searched: self.max })
+        let canonical = group.elem_to_int(elem);
+        if let Some(&m) = self.table.get(&fingerprint(&canonical)) {
+            if encode_signed(group, m) == elem {
+                return Ok(m);
+            }
+        }
+        if let Some(&m) = self.overflow.get(&canonical) {
+            return Ok(m);
+        }
+        if let Some(range) = self.search_range {
+            return baby_step_giant_step_signed(group, elem, range)
+                .map_err(|_| CryptoError::DlogOutOfRange { searched: range });
+        }
+        Err(CryptoError::DlogOutOfRange { searched: self.max })
     }
 
     /// Approximate memory footprint of the table in bytes, as used by the
-    /// Appendix B sizing argument (each entry stores a group element key
-    /// plus a 64-bit exponent).
+    /// Appendix B sizing argument: 16 bytes per fingerprinted entry (a
+    /// 64-bit fingerprint plus a 64-bit exponent) plus a full element key
+    /// for each overflow entry.
     pub fn memory_bytes(&self, group: &Group) -> usize {
-        self.entries() * (group.element_bytes() + 8)
+        self.table.len() * 16 + self.overflow.len() * (group.element_bytes() + 8)
+    }
+}
+
+/// Encodes a signed exponent as a group element: `g^m` for `m ≥ 0`,
+/// `g^(q − |m|)` (the inverse) otherwise.
+fn encode_signed(group: &Group, m: i64) -> GroupElem {
+    if m >= 0 {
+        group.generator_pow(&U256::from_u64(m as u64))
+    } else {
+        let e = group.q().wrapping_sub(&U256::from_u64(m.unsigned_abs()));
+        group.generator_pow(&e)
     }
 }
 
 /// Recovers `m` such that `g^m == elem` for `m ∈ [0, bound)` using
 /// baby-step/giant-step in O(√bound) time and memory.
+///
+/// The baby-step table is fingerprint-keyed like [`DlogTable`]; candidate
+/// matches are verified against the full element before being returned.
 ///
 /// # Errors
 ///
@@ -140,12 +213,22 @@ pub fn baby_step_giant_step(
         return Err(CryptoError::DlogOutOfRange { searched: 0 });
     }
     let m = (bound as f64).sqrt().ceil() as u64;
-    // Baby steps: g^j for j in [0, m).
-    let mut baby = HashMap::with_capacity(m as usize);
+    // Baby steps: g^j for j in [0, m), fingerprinted; exact keys catch the
+    // (birthday-rare) build collisions.
+    let mut baby: HashMap<u64, u64> = HashMap::with_capacity(m as usize);
+    let mut baby_overflow: HashMap<U256, u64> = HashMap::new();
     let g = group.generator();
     let mut acc = group.identity();
     for j in 0..m {
-        baby.entry(group.elem_to_int(acc)).or_insert(j);
+        let canonical = group.elem_to_int(acc);
+        match baby.entry(fingerprint(&canonical)) {
+            Entry::Vacant(slot) => {
+                slot.insert(j);
+            }
+            Entry::Occupied(_) => {
+                baby_overflow.entry(canonical).or_insert(j);
+            }
+        }
         acc = group.mul(acc, g);
     }
     // Giant steps: elem * (g^{-m})^i.
@@ -153,15 +236,44 @@ pub fn baby_step_giant_step(
     let g_m_inv = group.inv(g_m)?;
     let mut gamma = elem;
     for i in 0..m {
-        if let Some(&j) = baby.get(&group.elem_to_int(gamma)) {
+        let canonical = group.elem_to_int(gamma);
+        let mut candidates = [None, None];
+        candidates[0] = baby.get(&fingerprint(&canonical)).copied();
+        candidates[1] = baby_overflow.get(&canonical).copied();
+        for j in candidates.into_iter().flatten() {
             let result = i * m + j;
-            if result < bound {
+            // Confirm through the generator table: a fingerprint collision
+            // in the baby map must not fabricate an answer.
+            if result < bound && group.generator_pow(&U256::from_u64(result)) == elem {
                 return Ok(result);
             }
         }
         gamma = group.mul(gamma, g_m_inv);
     }
     Err(CryptoError::DlogOutOfRange { searched: bound })
+}
+
+/// Recovers `m` such that `g^m == elem` for `m ∈ [-max, max]`.
+///
+/// Shifts the problem into the unsigned range by searching
+/// `elem · g^max ∈ [0, 2·max]` and subtracting the shift — the standard
+/// trick for the signed windows the transfer protocol decrypts over.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::DlogOutOfRange`] (with `searched == max`) if no
+/// such `m` exists in the window.
+pub fn baby_step_giant_step_signed(
+    group: &Group,
+    elem: GroupElem,
+    max: u64,
+) -> Result<i64, CryptoError> {
+    let shift = group.generator_pow(&U256::from_u64(max));
+    let shifted = group.mul(elem, shift);
+    match baby_step_giant_step(group, shifted, 2 * max + 1) {
+        Ok(v) => Ok(v as i64 - max as i64),
+        Err(_) => Err(CryptoError::DlogOutOfRange { searched: max }),
+    }
 }
 
 #[cfg(test)]
@@ -213,10 +325,64 @@ mod tests {
     }
 
     #[test]
+    fn tables_work_on_the_prod_group() {
+        let group = Group::prod256();
+        let table = DlogTable::new_signed(&group, 40);
+        for m in [-40i64, -3, 0, 17, 40] {
+            let elem = if m >= 0 {
+                group.encode_exponent(m as u64)
+            } else {
+                group.inv(group.encode_exponent((-m) as u64)).unwrap()
+            };
+            assert_eq!(table.lookup_signed(&group, elem).unwrap(), m);
+        }
+        assert!(table
+            .lookup_signed(&group, group.encode_exponent(41))
+            .is_err());
+    }
+
+    #[test]
     fn table_memory_estimate() {
         let group = Group::sim64();
         let table = DlogTable::new(&group, 100);
         assert_eq!(table.memory_bytes(&group), 101 * 16);
+    }
+
+    #[test]
+    fn fingerprint_table_is_smaller_than_full_key_table() {
+        // The fingerprint encoding stores 16 bytes per entry regardless of
+        // the element width; the old full-key layout needed 40 on prod256.
+        let group = Group::prod256();
+        let table = DlogTable::new(&group, 100);
+        assert_eq!(table.memory_bytes(&group), 101 * 16);
+        assert!(table.memory_bytes(&group) < 101 * (group.element_bytes() + 8));
+    }
+
+    #[test]
+    fn search_range_fallback_widens_the_window() {
+        let group = Group::sim64();
+        let table = DlogTable::new_signed(&group, 10).with_search_range(50_000);
+        // Inside the table: served by the fingerprint map.
+        assert_eq!(
+            table
+                .lookup_signed(&group, group.encode_exponent(7))
+                .unwrap(),
+            7
+        );
+        // Outside the table but inside the search range: BSGS fallback.
+        assert_eq!(
+            table
+                .lookup_signed(&group, group.encode_exponent(40_000))
+                .unwrap(),
+            40_000
+        );
+        let neg = group.inv(group.encode_exponent(12_345)).unwrap();
+        assert_eq!(table.lookup_signed(&group, neg).unwrap(), -12_345);
+        // Outside both: the error reports the searched range.
+        let err = table
+            .lookup_signed(&group, group.encode_exponent(60_000))
+            .unwrap_err();
+        assert_eq!(err, CryptoError::DlogOutOfRange { searched: 50_000 });
     }
 
     #[test]
@@ -234,6 +400,37 @@ mod tests {
         let elem = group.encode_exponent(1000);
         assert!(baby_step_giant_step(&group, elem, 100).is_err());
         assert!(baby_step_giant_step(&group, elem, 0).is_err());
+    }
+
+    #[test]
+    fn signed_bsgs_covers_both_signs() {
+        for group in [Group::sim64(), Group::prod256()] {
+            for m in [-500i64, -33, -1, 0, 1, 212, 500] {
+                let elem = if m >= 0 {
+                    group.encode_exponent(m as u64)
+                } else {
+                    group.inv(group.encode_exponent((-m) as u64)).unwrap()
+                };
+                assert_eq!(baby_step_giant_step_signed(&group, elem, 500).unwrap(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_bsgs_rejection_matches_the_table_error() {
+        let group = Group::sim64();
+        let elem = group.encode_exponent(600);
+        let table = DlogTable::new_signed(&group, 500);
+        let table_err = table.lookup_signed(&group, elem).unwrap_err();
+        let bsgs_err = baby_step_giant_step_signed(&group, elem, 500).unwrap_err();
+        assert_eq!(table_err, bsgs_err);
+        assert_eq!(bsgs_err, CryptoError::DlogOutOfRange { searched: 500 });
+        // Negative out-of-range rejects identically.
+        let neg = group.inv(group.encode_exponent(501)).unwrap();
+        assert_eq!(
+            baby_step_giant_step_signed(&group, neg, 500).unwrap_err(),
+            CryptoError::DlogOutOfRange { searched: 500 }
+        );
     }
 
     #[test]

@@ -127,6 +127,19 @@ pub fn decrypt(group: &Group, sk: &SecretKey, ct: &Ciphertext) -> Result<GroupEl
     Ok(group.mul(ct.c2, shared_inv))
 }
 
+/// Fused decryption: computes `c2 · c1^(q − x)` in a single exponentiation
+/// instead of an exponentiation followed by a Fermat inversion (itself a
+/// full exponentiation).
+///
+/// Valid whenever `c1` lies in the order-`q` subgroup — true for every
+/// ciphertext the protocol produces — because there `c1^(q−x)` *is* the
+/// inverse of `c1^x`, making this bit-identical to [`decrypt`] at roughly
+/// half the cost.
+pub fn decrypt_fused(group: &Group, sk: &SecretKey, ct: &Ciphertext) -> GroupElem {
+    let neg = group.q().wrapping_sub(&sk.0.rem(&group.q()));
+    group.mul(ct.c2, group.pow(ct.c1, &neg))
+}
+
 /// Encrypts the small non-negative integer `m` as `g^m` (exponential
 /// ElGamal).  The result supports [`homomorphic_add`].
 pub fn encrypt_exponent(group: &Group, pk: &PublicKey, m: u64, rng: &mut dyn DetRng) -> Ciphertext {
@@ -201,11 +214,49 @@ pub fn encrypt_bits_multi_recipient(
         .collect())
 }
 
+/// The same multi-recipient encryption as [`encrypt_bits_multi_recipient`]
+/// with a caller-supplied ephemeral, computing the shared component
+/// `c1 = g^y` **once** instead of once per bit.
+///
+/// Bit-identical to the per-bit path (each ciphertext's values are the same
+/// group elements); the kernel-enabled transfer protocol uses this to avoid
+/// `L − 1` redundant generator exponentiations per sub-share.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::ShareCountMismatch`] if `bits` and `pks` have
+/// different lengths.
+pub fn encrypt_bits_shared_c1(
+    group: &Group,
+    pks: &[PublicKey],
+    bits: &[bool],
+    ephemeral: &U256,
+) -> Result<Vec<Ciphertext>, CryptoError> {
+    if pks.len() != bits.len() {
+        return Err(CryptoError::ShareCountMismatch {
+            expected: pks.len(),
+            actual: bits.len(),
+        });
+    }
+    let c1 = group.generator_pow(ephemeral);
+    Ok(bits
+        .iter()
+        .zip(pks.iter())
+        .map(|(&bit, pk)| {
+            let shared = group.pow(pk.0, ephemeral);
+            Ciphertext {
+                c1,
+                c2: group.mul(group.encode_exponent(bit as u64), shared),
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dlog::DlogTable;
-    use dstress_math::rng::{SplitMix64, Xoshiro256};
+    use dstress_math::rng::{DetRng, SplitMix64, Xoshiro256};
     use proptest::prelude::*;
 
     fn setup() -> (Group, KeyPair, Xoshiro256) {
@@ -324,6 +375,39 @@ mod tests {
             let m = decrypt(&group, &key.secret, ct).unwrap();
             assert_eq!(table.lookup(&group, m).unwrap(), bit as u64);
         }
+    }
+
+    #[test]
+    fn fused_decrypt_matches_plain_decrypt() {
+        for group in [Group::sim64(), Group::prod256()] {
+            let mut rng = Xoshiro256::new(0xF0);
+            let kp = KeyPair::generate(&group, &mut rng);
+            for m in [0u64, 1, 99, 5000] {
+                let ct = encrypt_exponent(&group, &kp.public, m, &mut rng);
+                assert_eq!(
+                    decrypt_fused(&group, &kp.secret, &ct),
+                    decrypt(&group, &kp.secret, &ct).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_c1_encryption_matches_per_bit_path() {
+        let (group, _, mut rng) = setup();
+        let keys: Vec<KeyPair> = (0..8)
+            .map(|_| KeyPair::generate(&group, &mut rng))
+            .collect();
+        let pks: Vec<PublicKey> = keys.iter().map(|k| k.public).collect();
+        let bits: Vec<bool> = (0..8).map(|i| i % 2 == 1).collect();
+        let mut rng_a = Xoshiro256::new(77);
+        let mut rng_b = rng_a.clone();
+        let per_bit = encrypt_bits_multi_recipient(&group, &pks, &bits, &mut rng_a).unwrap();
+        let ephemeral = group.random_nonzero_exponent(&mut rng_b);
+        let shared = encrypt_bits_shared_c1(&group, &pks, &bits, &ephemeral).unwrap();
+        assert_eq!(per_bit, shared, "both paths must be bit-identical");
+        // Both consumed the same single RNG draw.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]

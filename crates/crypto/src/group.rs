@@ -15,11 +15,18 @@
 //! identical; only the constants shrink).
 
 use crate::error::CryptoError;
+use crate::kernels::FixedBasePow;
 use dstress_math::field::{FpCtx, FpElem};
 use dstress_math::prime::verify_group_parameters;
 use dstress_math::rng::DetRng;
 use dstress_math::U256;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Window width of the lazily built generator table; 8 bits keeps the
+/// table at `⌈|q|/8⌉ × 255` elements (≈ 255 KiB for the 256-bit group)
+/// while cutting a generator exponentiation to one multiply per byte of
+/// the exponent.
+pub(crate) const GENERATOR_WINDOW_BITS: u32 = 8;
 
 /// Pre-defined group parameter sets.
 ///
@@ -64,6 +71,9 @@ pub struct Group {
     generator: GroupElem,
     p_ctx: Arc<FpCtx>,
     q_ctx: Arc<FpCtx>,
+    /// Windowed table for [`Group::generator_pow`], built on first use and
+    /// shared by every clone of the group handle.
+    gen_table: Arc<OnceLock<FixedBasePow>>,
 }
 
 impl Group {
@@ -118,6 +128,7 @@ impl Group {
             generator,
             p_ctx,
             q_ctx,
+            gen_table: Arc::new(OnceLock::new()),
         })
     }
 
@@ -183,9 +194,23 @@ impl Group {
         GroupElem(self.p_ctx.pow(a.0, e))
     }
 
-    /// `g^e` for the group generator.
+    /// `g^e` for the group generator, served from a windowed fixed-base
+    /// table (built lazily on first use). Bit-identical to
+    /// `pow(generator(), e)` — the kernel-equivalence proptests pin this.
     pub fn generator_pow(&self, e: &U256) -> GroupElem {
-        self.pow(self.generator, e)
+        self.generator_table().pow(e)
+    }
+
+    /// The shared fixed-base table for the generator.
+    pub fn generator_table(&self) -> &FixedBasePow {
+        self.gen_table.get_or_init(|| {
+            FixedBasePow::from_parts(
+                Arc::clone(&self.p_ctx),
+                self.q,
+                self.generator.0,
+                GENERATOR_WINDOW_BITS,
+            )
+        })
     }
 
     /// Encodes a small non-negative integer `m` as the group element `g^m`
@@ -227,6 +252,16 @@ impl Group {
     /// Exponent-ring context (`Z_q`), used for arithmetic on exponents.
     pub fn exponent_ctx(&self) -> &FpCtx {
         &self.q_ctx
+    }
+
+    /// Group-arithmetic context (`Z_p`), used by the exponentiation kernels.
+    pub(crate) fn p_ctx(&self) -> &FpCtx {
+        &self.p_ctx
+    }
+
+    /// Shared handle to the group-arithmetic context.
+    pub(crate) fn p_ctx_arc(&self) -> Arc<FpCtx> {
+        Arc::clone(&self.p_ctx)
     }
 
     /// Adds two exponents modulo `q`.
@@ -340,6 +375,25 @@ mod tests {
             g.encode_exponent(7)
         );
         assert_eq!(g.encode_exponent(0), g.identity());
+    }
+
+    #[test]
+    fn generator_pow_table_matches_plain_pow() {
+        for kind in [GroupKind::Sim64, GroupKind::Prod256] {
+            let g = Group::new(kind);
+            let mut rng = SplitMix64::new(6);
+            for _ in 0..20 {
+                let e = g.random_exponent(&mut rng);
+                assert_eq!(g.generator_pow(&e), g.pow(g.generator(), &e), "{kind:?}");
+            }
+            assert_eq!(g.generator_pow(&U256::ZERO), g.identity());
+            // Clones share the same lazily built table.
+            let clone = g.clone();
+            assert_eq!(
+                clone.generator_table().memory_bytes(),
+                g.generator_table().memory_bytes()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! Fast exponentiation kernels for the transfer hot path.
+//!
+//! The transfer protocol's cost is dominated by exponentiations whose bases
+//! are *fixed* across a run — the group generator and the long-lived
+//! (re-randomised) block-certificate keys — plus exponential-ElGamal
+//! decryptions whose per-receiver ciphertexts all share one ephemeral
+//! component. Three kernels exploit that structure:
+//!
+//! * [`FixedBasePow`] — a windowed fixed-base table: one-off precomputation
+//!   of `base^(d·2^(w·i))` for every window `i` and digit `d`, after which a
+//!   full exponentiation is one table lookup and multiply per nonzero digit,
+//!   with **zero** squarings. Window width `w` trades memory
+//!   (`(2^w − 1)·⌈|q|/w⌉` elements) against speed (`⌈|q|/w⌉` multiplies per
+//!   exponentiation).
+//! * [`multi_pow`] — simultaneous multi-exponentiation `∏ bᵢ^eᵢ`: Straus's
+//!   interleaved method for small batches (shared squaring chain), switching
+//!   to Pippenger's bucket method for large ones.
+//! * [`TransferKernels`] / [`RerandFactors`] — protocol-level bundles: one
+//!   [`FixedBasePow`] per certificate bit-key, and precomputed
+//!   re-randomisation factor pairs `(g^r, h^r)` for ciphertext refresh.
+//!
+//! Every kernel is pinned bit-identical to the square-and-multiply path by
+//! proptests (exponents in the order-`q` subgroup wrap mod `q`, exactly as
+//! [`Group::pow`] documents), so swapping a kernel into the protocol cannot
+//! change any released value.
+
+use crate::elgamal::{Ciphertext, PublicKey};
+use crate::group::{Group, GroupElem};
+use dstress_math::field::{FpCtx, FpElem};
+use dstress_math::rng::DetRng;
+use dstress_math::u256::LIMBS;
+use dstress_math::window::radix_digits;
+use dstress_math::U256;
+use std::sync::Arc;
+
+/// Widest supported fixed-base window (2^12 − 1 entries per window).
+pub const MAX_FIXED_BASE_WINDOW: u32 = 12;
+
+/// A windowed fixed-base exponentiation table for one group element.
+///
+/// For window width `w`, `windows[i][d − 1]` holds `base^(d · 2^(w·i))`;
+/// an exponentiation reduces the exponent mod `q`, splits it into base-`2^w`
+/// digits and multiplies one table entry per nonzero digit.
+#[derive(Clone, Debug)]
+pub struct FixedBasePow {
+    window_bits: u32,
+    q: U256,
+    ctx: Arc<FpCtx>,
+    windows: Vec<Vec<FpElem>>,
+}
+
+impl FixedBasePow {
+    /// Builds the table for `base` (assumed to lie in the order-`q`
+    /// subgroup, as every protocol element does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bits` is zero or exceeds
+    /// [`MAX_FIXED_BASE_WINDOW`].
+    pub fn new(group: &Group, base: GroupElem, window_bits: u32) -> Self {
+        Self::from_parts(group.p_ctx_arc(), group.q(), base.0, window_bits)
+    }
+
+    /// Internal constructor shared with [`Group`]'s lazily built generator
+    /// table (which cannot pass a `&Group` while constructing itself).
+    pub(crate) fn from_parts(ctx: Arc<FpCtx>, q: U256, base: FpElem, window_bits: u32) -> Self {
+        assert!(
+            (1..=MAX_FIXED_BASE_WINDOW).contains(&window_bits),
+            "window width {window_bits} out of range 1..={MAX_FIXED_BASE_WINDOW}"
+        );
+        let num_windows = q.bits().max(1).div_ceil(window_bits) as usize;
+        let entries_per_window = (1usize << window_bits) - 1;
+        let mut windows = Vec::with_capacity(num_windows);
+        let mut window_base = base;
+        for i in 0..num_windows {
+            let mut entries = Vec::with_capacity(entries_per_window);
+            let mut acc = window_base;
+            for d in 0..entries_per_window {
+                entries.push(acc);
+                if d + 1 < entries_per_window {
+                    acc = ctx.mul(acc, window_base);
+                }
+            }
+            windows.push(entries);
+            if i + 1 < num_windows {
+                for _ in 0..window_bits {
+                    window_base = ctx.mul(window_base, window_base);
+                }
+            }
+        }
+        FixedBasePow {
+            window_bits,
+            q,
+            ctx,
+            windows,
+        }
+    }
+
+    /// The window width in bits.
+    pub fn window_bits(&self) -> u32 {
+        self.window_bits
+    }
+
+    /// Computes `base^e`. The exponent wraps mod `q`, matching
+    /// [`Group::pow`] on order-`q` bases bit for bit.
+    ///
+    /// Digits are extracted from the limbs on the fly (the same base-`2^w`
+    /// split as [`radix_digits`], which the construction uses and the
+    /// proptests pin) so the hot path performs no allocation.
+    pub fn pow(&self, e: &U256) -> GroupElem {
+        let e = e.rem(&self.q);
+        let limbs = e.limbs();
+        let w = self.window_bits;
+        let mask = (1u64 << w) - 1;
+        let mut acc = self.ctx.one();
+        for (i, window) in self.windows.iter().enumerate() {
+            let bit = i as u32 * w;
+            let limb = (bit / 64) as usize;
+            if limb >= LIMBS {
+                break;
+            }
+            let shift = bit % 64;
+            let mut d = limbs[limb] >> shift;
+            if shift + w > 64 && limb + 1 < LIMBS {
+                d |= limbs[limb + 1] << (64 - shift);
+            }
+            d &= mask;
+            if d != 0 {
+                acc = self.ctx.mul(acc, window[d as usize - 1]);
+            }
+        }
+        GroupElem(acc)
+    }
+
+    /// Approximate memory footprint: one 32-byte element per table entry.
+    pub fn memory_bytes(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum::<usize>() * 32
+    }
+}
+
+/// Computes `∏ bases[i]^exponents[i]` with a single shared squaring chain.
+///
+/// Uses Straus's interleaved method (per-base radix-16 tables) for fewer
+/// than 32 bases and Pippenger's bucket method beyond that. Exponents are
+/// **not** reduced, so the result equals the naive product of
+/// [`Group::pow`] calls for arbitrary bases and exponents.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn multi_pow(group: &Group, bases: &[GroupElem], exponents: &[U256]) -> GroupElem {
+    assert_eq!(
+        bases.len(),
+        exponents.len(),
+        "multi_pow needs one exponent per base"
+    );
+    if bases.is_empty() {
+        return group.identity();
+    }
+    if bases.len() < 32 {
+        straus(group, bases, exponents)
+    } else {
+        pippenger(group, bases, exponents)
+    }
+}
+
+/// Straus interleaved multi-exponentiation with 4-bit windows.
+fn straus(group: &Group, bases: &[GroupElem], exponents: &[U256]) -> GroupElem {
+    const W: u32 = 4;
+    let ctx = group.p_ctx();
+    let tables: Vec<Vec<FpElem>> = bases
+        .iter()
+        .map(|b| {
+            let mut entries = Vec::with_capacity(15);
+            let mut acc = b.0;
+            for d in 0..15 {
+                entries.push(acc);
+                if d + 1 < 15 {
+                    acc = ctx.mul(acc, b.0);
+                }
+            }
+            entries
+        })
+        .collect();
+    let digit_rows: Vec<Vec<u64>> = exponents.iter().map(|e| radix_digits(e, W)).collect();
+    let top = match highest_nonzero_digit(&digit_rows) {
+        Some(top) => top,
+        None => return group.identity(),
+    };
+    let mut acc = ctx.one();
+    for i in (0..=top).rev() {
+        if i != top {
+            for _ in 0..W {
+                acc = ctx.mul(acc, acc);
+            }
+        }
+        for (row, table) in digit_rows.iter().zip(&tables) {
+            let d = row[i];
+            if d != 0 {
+                acc = ctx.mul(acc, table[d as usize - 1]);
+            }
+        }
+    }
+    GroupElem(acc)
+}
+
+/// Pippenger bucket multi-exponentiation; window width grows with the
+/// batch size.
+fn pippenger(group: &Group, bases: &[GroupElem], exponents: &[U256]) -> GroupElem {
+    let w: u32 = if bases.len() < 256 { 6 } else { 8 };
+    let ctx = group.p_ctx();
+    let digit_rows: Vec<Vec<u64>> = exponents.iter().map(|e| radix_digits(e, w)).collect();
+    let top = match highest_nonzero_digit(&digit_rows) {
+        Some(top) => top,
+        None => return group.identity(),
+    };
+    let buckets_len = (1usize << w) - 1;
+    let mut acc = ctx.one();
+    for i in (0..=top).rev() {
+        if i != top {
+            for _ in 0..w {
+                acc = ctx.mul(acc, acc);
+            }
+        }
+        let mut buckets: Vec<Option<FpElem>> = vec![None; buckets_len];
+        for (row, base) in digit_rows.iter().zip(bases) {
+            let d = row[i] as usize;
+            if d != 0 {
+                buckets[d - 1] = Some(match buckets[d - 1] {
+                    Some(cur) => ctx.mul(cur, base.0),
+                    None => base.0,
+                });
+            }
+        }
+        // Suffix-sum the buckets: ∑ d·bucket[d] via two multiplies per
+        // occupied bucket.
+        let mut running: Option<FpElem> = None;
+        let mut sum: Option<FpElem> = None;
+        for bucket in buckets.iter().rev() {
+            if let Some(b) = bucket {
+                running = Some(match running {
+                    Some(r) => ctx.mul(r, *b),
+                    None => *b,
+                });
+            }
+            if let Some(r) = running {
+                sum = Some(match sum {
+                    Some(s) => ctx.mul(s, r),
+                    None => r,
+                });
+            }
+        }
+        if let Some(s) = sum {
+            acc = ctx.mul(acc, s);
+        }
+    }
+    GroupElem(acc)
+}
+
+/// Index of the highest digit position that is nonzero in any row.
+fn highest_nonzero_digit(rows: &[Vec<u64>]) -> Option<usize> {
+    rows.iter()
+        .filter_map(|row| row.iter().rposition(|&d| d != 0))
+        .max()
+}
+
+/// Fixed-base tables for every bit-key of one block certificate, held for
+/// the lifetime of a run and reused across all transfers to that block.
+#[derive(Clone, Debug)]
+pub struct TransferKernels {
+    key_tables: Vec<Vec<FixedBasePow>>,
+}
+
+impl TransferKernels {
+    /// Builds one table per certificate key. `keys[y][l]` is the
+    /// (re-randomised) public key of receiver member `y` for bit `l`,
+    /// exactly as stored in a block certificate.
+    pub fn for_certificate(group: &Group, keys: &[Vec<PublicKey>], window_bits: u32) -> Self {
+        let key_tables = keys
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|pk| FixedBasePow::new(group, pk.0, window_bits))
+                    .collect()
+            })
+            .collect();
+        TransferKernels { key_tables }
+    }
+
+    /// Whether the tables cover `rows` receiver members of `bits` keys each.
+    pub fn matches_shape(&self, rows: usize, bits: usize) -> bool {
+        self.key_tables.len() == rows && self.key_tables.iter().all(|r| r.len() == bits)
+    }
+
+    /// `keys[recipient][bit]^e` through the precomputed table.
+    pub fn key_pow(&self, recipient: usize, bit: usize, e: &U256) -> GroupElem {
+        self.key_tables[recipient][bit].pow(e)
+    }
+
+    /// Total table memory across all keys.
+    pub fn memory_bytes(&self) -> usize {
+        self.key_tables
+            .iter()
+            .flatten()
+            .map(FixedBasePow::memory_bytes)
+            .sum()
+    }
+}
+
+/// Precomputed re-randomisation factors for ciphertext refresh under one
+/// public key: pairs `(g^r, h^r)` for fresh exponents `r`.
+///
+/// Multiplying a ciphertext `(c1, c2)` by a pair gives a *fresh-looking*
+/// encryption of the same plaintext without any online exponentiation —
+/// two multiplies instead of two exponentiations.
+#[derive(Clone, Debug)]
+pub struct RerandFactors {
+    factors: Vec<(GroupElem, GroupElem)>,
+}
+
+impl RerandFactors {
+    /// Draws `count` exponents and precomputes their factor pairs using
+    /// the generator table and one variable-base pow per factor.
+    pub fn new(group: &Group, pk: &PublicKey, count: usize, rng: &mut dyn DetRng) -> Self {
+        let factors = (0..count)
+            .map(|_| {
+                let r = group.random_nonzero_exponent(rng);
+                (group.generator_pow(&r), group.pow(pk.0, &r))
+            })
+            .collect();
+        RerandFactors { factors }
+    }
+
+    /// Number of precomputed factors.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Refreshes `ct` with factor `index` (wraps around the pool).
+    pub fn refresh(&self, group: &Group, index: usize, ct: &Ciphertext) -> Ciphertext {
+        let (g_r, h_r) = self.factors[index % self.factors.len()];
+        Ciphertext {
+            c1: group.mul(ct.c1, g_r),
+            c2: group.mul(ct.c2, h_r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{decrypt, encrypt_exponent, KeyPair};
+    use crate::group::GroupKind;
+    use dstress_math::rng::Xoshiro256;
+    use proptest::prelude::*;
+
+    fn groups() -> [Group; 2] {
+        [Group::sim64(), Group::prod256()]
+    }
+
+    #[test]
+    fn fixed_base_matches_square_and_multiply() {
+        for group in groups() {
+            let mut rng = Xoshiro256::new(0xFB);
+            for w in [1u32, 4, 6, 8] {
+                let base = group.generator_pow(&group.random_nonzero_exponent(&mut rng));
+                let table = FixedBasePow::new(&group, base, w);
+                for _ in 0..8 {
+                    let e = group.random_exponent(&mut rng);
+                    assert_eq!(
+                        table.pow(&e),
+                        group.pow(base, &e),
+                        "{:?} w={w}",
+                        group.kind()
+                    );
+                }
+                // Edge exponents.
+                assert_eq!(table.pow(&U256::ZERO), group.identity());
+                assert_eq!(table.pow(&U256::ONE), base);
+                assert_eq!(table.pow(&group.q()), group.identity());
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_base_wraps_exponents_mod_q() {
+        let group = Group::sim64();
+        let table = FixedBasePow::new(&group, group.generator(), 8);
+        let e = U256::from_u64(12345);
+        let wrapped = group.add_exponents(&e, &group.q()); // == e mod q
+        assert_eq!(table.pow(&e), table.pow(&wrapped));
+        let big = group.q().wrapping_add(&e);
+        assert_eq!(table.pow(&big), group.generator_pow(&e));
+    }
+
+    #[test]
+    fn fixed_base_memory_scales_with_window() {
+        let group = Group::prod256();
+        let w4 = FixedBasePow::new(&group, group.generator(), 4);
+        let w8 = FixedBasePow::new(&group, group.generator(), 8);
+        assert_eq!(w4.memory_bytes(), 64 * 15 * 32); // ⌈256/4⌉ windows × 15 entries
+        assert_eq!(w8.memory_bytes(), 32 * 255 * 32);
+        assert!(w8.memory_bytes() > w4.memory_bytes());
+        assert_eq!(w4.window_bits(), 4);
+    }
+
+    #[test]
+    fn multi_pow_matches_naive_product() {
+        for group in groups() {
+            let mut rng = Xoshiro256::new(0x3117);
+            for n in [0usize, 1, 2, 7, 31, 40, 64] {
+                let bases: Vec<GroupElem> = (0..n)
+                    .map(|_| group.generator_pow(&group.random_nonzero_exponent(&mut rng)))
+                    .collect();
+                let exps: Vec<U256> = (0..n).map(|_| group.random_exponent(&mut rng)).collect();
+                let fast = multi_pow(&group, &bases, &exps);
+                let naive = bases
+                    .iter()
+                    .zip(&exps)
+                    .fold(group.identity(), |acc, (b, e)| {
+                        group.mul(acc, group.pow(*b, e))
+                    });
+                assert_eq!(fast, naive, "{:?} n={n}", group.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pow_handles_zero_exponents() {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(4);
+        let bases: Vec<GroupElem> = (0..5)
+            .map(|_| group.generator_pow(&group.random_nonzero_exponent(&mut rng)))
+            .collect();
+        let exps = vec![U256::ZERO; 5];
+        assert_eq!(multi_pow(&group, &bases, &exps), group.identity());
+        // Mixed zero / nonzero.
+        let mut exps = vec![U256::ZERO; 5];
+        exps[2] = U256::from_u64(9);
+        assert_eq!(
+            multi_pow(&group, &bases, &exps),
+            group.pow(bases[2], &U256::from_u64(9))
+        );
+    }
+
+    #[test]
+    fn transfer_kernels_cover_certificate_shape() {
+        let group = Group::sim64();
+        let mut rng = Xoshiro256::new(0xCE27);
+        let keys: Vec<Vec<PublicKey>> = (0..3)
+            .map(|_| {
+                (0..4)
+                    .map(|_| KeyPair::generate(&group, &mut rng).public)
+                    .collect()
+            })
+            .collect();
+        let kernels = TransferKernels::for_certificate(&group, &keys, 6);
+        assert!(kernels.matches_shape(3, 4));
+        assert!(!kernels.matches_shape(4, 3));
+        assert!(kernels.memory_bytes() > 0);
+        for (y, row) in keys.iter().enumerate() {
+            for (l, pk) in row.iter().enumerate() {
+                let e = group.random_exponent(&mut rng);
+                assert_eq!(kernels.key_pow(y, l, &e), group.pow(pk.0, &e));
+            }
+        }
+    }
+
+    #[test]
+    fn rerand_factors_refresh_preserves_plaintext() {
+        for group in groups() {
+            let mut rng = Xoshiro256::new(0x5EAF);
+            let kp = KeyPair::generate(&group, &mut rng);
+            let pool = RerandFactors::new(&group, &kp.public, 4, &mut rng);
+            assert_eq!(pool.len(), 4);
+            assert!(!pool.is_empty());
+            let ct = encrypt_exponent(&group, &kp.public, 42, &mut rng);
+            for i in 0..6 {
+                let fresh = pool.refresh(&group, i, &ct);
+                assert_ne!(fresh, ct, "refresh must change the ciphertext");
+                assert_eq!(
+                    decrypt(&group, &kp.secret, &fresh).unwrap(),
+                    decrypt(&group, &kp.secret, &ct).unwrap(),
+                    "{:?}",
+                    group.kind()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_fixed_base_equals_naive(seed in any::<u64>(), w in 1u32..=10) {
+            for kind in [GroupKind::Sim64, GroupKind::Prod256] {
+                let group = Group::new(kind);
+                let mut rng = Xoshiro256::new(seed);
+                let base = group.generator_pow(&group.random_nonzero_exponent(&mut rng));
+                let table = FixedBasePow::new(&group, base, w);
+                let e = group.random_exponent(&mut rng);
+                prop_assert_eq!(table.pow(&e), group.pow(base, &e));
+            }
+        }
+
+        #[test]
+        fn prop_multi_pow_equals_naive(seed in any::<u64>(), n in 1usize..48) {
+            for kind in [GroupKind::Sim64, GroupKind::Prod256] {
+                let group = Group::new(kind);
+                let mut rng = Xoshiro256::new(seed);
+                let bases: Vec<GroupElem> = (0..n)
+                    .map(|_| group.generator_pow(&group.random_nonzero_exponent(&mut rng)))
+                    .collect();
+                let exps: Vec<U256> = (0..n).map(|_| group.random_exponent(&mut rng)).collect();
+                let naive = bases.iter().zip(&exps).fold(group.identity(), |acc, (b, e)| {
+                    group.mul(acc, group.pow(*b, e))
+                });
+                prop_assert_eq!(multi_pow(&group, &bases, &exps), naive);
+            }
+        }
+    }
+}

@@ -13,9 +13,13 @@
 //!   properties DStress relies on (§3 of the paper): an additive
 //!   homomorphism and public-key re-randomisation, plus the Kurosawa
 //!   multi-recipient optimisation used by the prototype (§5.1).
-//! * [`dlog`] — lookup-table and baby-step/giant-step discrete-log
-//!   recovery for decrypting exponential-ElGamal ciphertexts that carry
-//!   small sums.
+//! * [`dlog`] — fingerprint-keyed lookup tables and signed
+//!   baby-step/giant-step discrete-log recovery for decrypting
+//!   exponential-ElGamal ciphertexts that carry small sums.
+//! * [`kernels`] — fast exponentiation kernels: windowed fixed-base
+//!   tables, Straus/Pippenger multi-exponentiation and precomputed
+//!   re-randomisation factors, all pinned bit-identical to the naive
+//!   square-and-multiply path.
 //! * [`sharing`] — XOR secret sharing, sub-share splitting and bit
 //!   decomposition: the `⊕`-sharing substrate used by the blocks and the
 //!   message transfer protocol.
@@ -48,10 +52,12 @@ pub mod dlog;
 pub mod elgamal;
 pub mod error;
 pub mod group;
+pub mod kernels;
 pub mod sharing;
 
 pub use dlog::DlogTable;
 pub use elgamal::{Ciphertext, KeyPair, PublicKey, SecretKey};
 pub use error::CryptoError;
 pub use group::{Group, GroupElem, GroupKind};
+pub use kernels::{multi_pow, FixedBasePow, TransferKernels};
 pub use sharing::{split_xor, xor_reconstruct, BitMessage};

@@ -28,6 +28,9 @@ pub struct FpCtx {
     r_mod_m: U256,
     /// R^2 mod m, used to convert into Montgomery form.
     r2_mod_m: U256,
+    /// True when the modulus fits a single limb, enabling the u128-based
+    /// reduction fast path in [`FpCtx::mont_mul`].
+    single_limb: bool,
 }
 
 impl FpCtx {
@@ -57,6 +60,7 @@ impl FpCtx {
             n0_inv,
             r_mod_m,
             r2_mod_m,
+            single_limb: modulus.fits_u64(),
         })
     }
 
@@ -192,9 +196,45 @@ impl FpCtx {
         }
     }
 
-    /// Montgomery multiplication (CIOS): returns `a * b * R^{-1} mod m`.
-    #[allow(clippy::needless_range_loop)] // lockstep limb indexing
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod m`.
+    ///
+    /// Dispatches to a u128-based fast path when the modulus fits one limb
+    /// (the `Sim64` group and the Goldilocks test prime); both paths reduce
+    /// fully into `[0, m)`, so they are bit-identical on shared inputs.
     fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        if self.single_limb {
+            self.mont_mul_single(a.as_u64(), b.as_u64())
+        } else {
+            self.mont_mul_cios(a, b)
+        }
+    }
+
+    /// Single-limb Montgomery multiplication for moduli below 2^64.
+    ///
+    /// `R` is still 2^256, so four word-sized REDC steps run back to back,
+    /// each folding `t` as `(t >> 64) + ((t_0 + m·p) >> 64)` — the inner sum
+    /// is `≡ 0 mod 2^64` by choice of `m`, so the shift is exact and nothing
+    /// overflows `u128`. After the first step `t ≤ 2p`, after the second
+    /// `t ≤ p`, and it stays there, leaving one conditional subtract.
+    fn mont_mul_single(&self, a: u64, b: u64) -> U256 {
+        let p = self.modulus.as_u64();
+        let mut t = (a as u128) * (b as u128);
+        for _ in 0..LIMBS {
+            let t0 = t as u64;
+            let m = t0.wrapping_mul(self.n0_inv);
+            t = (t >> 64) + ((t0 as u128 + (m as u128) * (p as u128)) >> 64);
+        }
+        debug_assert!(t >> 64 == 0 && t as u64 <= p);
+        let mut r = t as u64;
+        if r >= p {
+            r -= p;
+        }
+        U256::from_u64(r)
+    }
+
+    /// Multi-limb Montgomery multiplication (CIOS).
+    #[allow(clippy::needless_range_loop)] // lockstep limb indexing
+    fn mont_mul_cios(&self, a: &U256, b: &U256) -> U256 {
         let a_limbs = a.limbs();
         let b_limbs = b.limbs();
         let m_limbs = self.modulus.limbs();
@@ -438,6 +478,21 @@ mod tests {
             seen[random_below(&mut rng, &bound).as_u64() as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_limb_fast_path_matches_cios() {
+        let ctx = small_ctx();
+        let mut rng = SplitMix64::new(21);
+        assert!(ctx.single_limb);
+        for _ in 0..500 {
+            let a = ctx.random(&mut rng);
+            let b = ctx.random(&mut rng);
+            assert_eq!(
+                ctx.mont_mul_single(a.0.as_u64(), b.0.as_u64()),
+                ctx.mont_mul_cios(&a.0, &b.0)
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod fixed;
 pub mod prime;
 pub mod rng;
 pub mod u256;
+pub mod window;
 
 pub use error::MathError;
 pub use field::{FpCtx, FpElem};

@@ -22,9 +22,13 @@ use serde::{Deserialize, Serialize};
 /// Counts of the primitive operations performed by a protocol component.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OperationCounts {
-    /// Modular exponentiations (ElGamal encryptions count two, adjustments
-    /// and key re-randomisations one each).
+    /// Variable-base modular exponentiations (square-and-multiply; ElGamal
+    /// key terms, ciphertext adjustments, key re-randomisations).
     pub exponentiations: u64,
+    /// Fixed-base exponentiations served from a windowed precomputation
+    /// table (generator powers, precomputed certificate keys, per-receiver
+    /// decryption tables). Split out so the kernel A/B is measurable.
+    pub fixed_base_exponentiations: u64,
     /// Group multiplications outside of exponentiations (homomorphic
     /// ciphertext aggregation).
     pub group_multiplications: u64,
@@ -52,6 +56,7 @@ impl OperationCounts {
     /// Adds another set of counts to this one.
     pub fn add(&mut self, other: &OperationCounts) {
         self.exponentiations += other.exponentiations;
+        self.fixed_base_exponentiations += other.fixed_base_exponentiations;
         self.group_multiplications += other.group_multiplications;
         self.base_ots += other.base_ots;
         self.extended_ots += other.extended_ots;
@@ -84,6 +89,7 @@ impl OperationCounts {
     pub fn scaled(&self, factor: u64) -> OperationCounts {
         OperationCounts {
             exponentiations: self.exponentiations * factor,
+            fixed_base_exponentiations: self.fixed_base_exponentiations * factor,
             group_multiplications: self.group_multiplications * factor,
             base_ots: self.base_ots * factor,
             extended_ots: self.extended_ots * factor,
@@ -99,6 +105,7 @@ impl OperationCounts {
 impl Wire for OperationCounts {
     fn encode_into(&self, out: &mut Vec<u8>) {
         wire::put_uvarint(out, self.exponentiations);
+        wire::put_uvarint(out, self.fixed_base_exponentiations);
         wire::put_uvarint(out, self.group_multiplications);
         wire::put_uvarint(out, self.base_ots);
         wire::put_uvarint(out, self.extended_ots);
@@ -112,6 +119,7 @@ impl Wire for OperationCounts {
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(OperationCounts {
             exponentiations: wire::get_uvarint(buf)?,
+            fixed_base_exponentiations: wire::get_uvarint(buf)?,
             group_multiplications: wire::get_uvarint(buf)?,
             base_ots: wire::get_uvarint(buf)?,
             extended_ots: wire::get_uvarint(buf)?,
@@ -129,6 +137,10 @@ impl Wire for OperationCounts {
 pub struct CostModel {
     /// Seconds per modular exponentiation (384-bit EC scalar mult class).
     pub seconds_per_exponentiation: f64,
+    /// Seconds per *fixed-base* exponentiation served from a windowed
+    /// precomputation table — roughly an eighth of a variable-base
+    /// exponentiation at the 8-bit window the kernels use.
+    pub seconds_per_fixed_base_exponentiation: f64,
     /// Seconds per plain group multiplication.
     pub seconds_per_group_multiplication: f64,
     /// Seconds per base (public-key) oblivious transfer.
@@ -154,6 +166,8 @@ impl CostModel {
         CostModel {
             // ~0.9 ms per 384-bit exponentiation (OpenSSL on 2.5 GHz Xeon).
             seconds_per_exponentiation: 0.9e-3,
+            // One table multiply per exponent byte with an 8-bit window.
+            seconds_per_fixed_base_exponentiation: 0.11e-3,
             seconds_per_group_multiplication: 2.0e-6,
             // Base OTs are a handful of exponentiations.
             seconds_per_base_ot: 3.0e-3,
@@ -175,6 +189,7 @@ impl CostModel {
     /// communication (the paper's own conservative assumption in §5.5).
     pub fn estimate_seconds(&self, counts: &OperationCounts) -> f64 {
         let compute = counts.exponentiations as f64 * self.seconds_per_exponentiation
+            + counts.fixed_base_exponentiations as f64 * self.seconds_per_fixed_base_exponentiation
             + counts.group_multiplications as f64 * self.seconds_per_group_multiplication
             + counts.base_ots as f64 * self.seconds_per_base_ot
             + counts.extended_ots as f64 * self.seconds_per_extended_ot
@@ -206,6 +221,7 @@ mod tests {
     fn counts_add_and_scale() {
         let a = OperationCounts {
             exponentiations: 10,
+            fixed_base_exponentiations: 4,
             bytes_sent: 100,
             wire_bytes: 90,
             rounds: 2,
@@ -218,6 +234,7 @@ mod tests {
         };
         let c = a.combined(&b);
         assert_eq!(c.exponentiations, 15);
+        assert_eq!(c.fixed_base_exponentiations, 4);
         assert_eq!(c.and_gates, 7);
         assert_eq!(c.bytes_sent, 100);
         assert_eq!(c.wire_bytes, 90);
@@ -231,6 +248,7 @@ mod tests {
     fn counts_round_trip_the_wire() {
         let counts = OperationCounts {
             exponentiations: 1,
+            fixed_base_exponentiations: 10,
             group_multiplications: 128,
             base_ots: 3,
             extended_ots: 4,
@@ -241,8 +259,8 @@ mod tests {
             rounds: 9,
         };
         let encoded = counts.encode();
-        // Nine uvarints; 128 costs two bytes.
-        assert_eq!(crate::wire::hex(&encoded), "01800103040506070809");
+        // Ten uvarints; 128 costs two bytes.
+        assert_eq!(crate::wire::hex(&encoded), "010a800103040506070809");
         assert_eq!(OperationCounts::decode_exact(&encoded).unwrap(), counts);
         for cut in 0..encoded.len() {
             assert!(OperationCounts::decode_exact(&encoded[..cut]).is_err());
@@ -276,6 +294,22 @@ mod tests {
             (t - 0.9).abs() < 1e-9,
             "1000 exponentiations ≈ 0.9 s, got {t}"
         );
+    }
+
+    #[test]
+    fn fixed_base_exponentiations_are_cheaper() {
+        let model = CostModel::paper_reference();
+        let fixed = OperationCounts {
+            fixed_base_exponentiations: 1000,
+            ..Default::default()
+        };
+        let variable = OperationCounts {
+            exponentiations: 1000,
+            ..Default::default()
+        };
+        let t_fixed = model.estimate_seconds(&fixed);
+        assert!((t_fixed - 0.11).abs() < 1e-9, "got {t_fixed}");
+        assert!(model.estimate_seconds(&variable) > 5.0 * t_fixed);
     }
 
     #[test]

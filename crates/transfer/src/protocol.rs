@@ -29,10 +29,11 @@ use crate::setup::{Block, BlockCertificate, NodeSecrets};
 use crate::wire::TransferWire;
 use dstress_crypto::dlog::DlogTable;
 use dstress_crypto::elgamal::{
-    adjust_ciphertext, decrypt, encrypt_bits_multi_recipient, encrypt_with_ephemeral,
-    homomorphic_add, Ciphertext,
+    adjust_ciphertext, decrypt, encrypt_bits_shared_c1, encrypt_with_ephemeral, homomorphic_add,
+    Ciphertext, PublicKey,
 };
 use dstress_crypto::group::Group;
+use dstress_crypto::kernels::{FixedBasePow, TransferKernels};
 use dstress_crypto::sharing::{split_xor, BitMessage};
 use dstress_dp::geometric::TwoSidedGeometric;
 use dstress_math::rng::DetRng;
@@ -58,6 +59,40 @@ fn wire_hop_cts(
     traffic.record_wire(from, to, encoded.len() as u64);
     counts.wire_bytes += encoded.len() as u64;
     TransferWire::decode_exact(&encoded)?.into_adjusted(group)
+}
+
+/// Window width of the per-receiver decryption tables built on the shared
+/// (adjusted) ephemeral component: small, because each table serves only
+/// `L` fused decryptions before being discarded.
+const DECRYPT_WINDOW_BITS: u32 = 4;
+
+/// Which exponentiation kernels the bitwise transfer protocols use.
+///
+/// All three modes are bit-identical in every produced value and every
+/// byte on the wire — they draw from the RNG in the same order and every
+/// kernel is pinned equal to its naive counterpart — so the mode only
+/// changes *how fast* the group arithmetic runs and how the work is
+/// split between `exponentiations` and `fixed_base_exponentiations`.
+#[derive(Clone, Copy, Debug)]
+pub enum KernelMode<'a> {
+    /// The pre-kernel path: square-and-multiply for every exponentiation,
+    /// Fermat inversions for negative noise, per-bit ciphertext adjustment
+    /// and inversion-based decryption. The honest baseline for the A/B.
+    Naive,
+    /// The kernel defaults: windowed generator table, shared-`c1`
+    /// encryption and aggregation, adjust-once-per-receiver, and fused
+    /// decryption through a per-receiver fixed-base table.
+    Auto,
+    /// Everything in `Auto`, plus precomputed fixed-base tables for the
+    /// certificate's bit-keys (built once per certificate and reused
+    /// across every transfer to that block).
+    Precomputed(&'a TransferKernels),
+}
+
+impl KernelMode<'_> {
+    fn is_naive(&self) -> bool {
+        matches!(self, KernelMode::Naive)
+    }
 }
 
 /// Which revision of the transfer protocol to run.
@@ -108,13 +143,32 @@ pub struct TransferOutcome {
 }
 
 /// Homomorphically adds a (possibly negative) plaintext constant into an
-/// exponential-ElGamal ciphertext.
-fn homomorphic_add_signed(
+/// exponential-ElGamal ciphertext through the generator table: negative
+/// values are encoded as `g^(q − |v|)` — the subgroup inverse of `g^|v|` —
+/// so no Fermat inversion is needed.
+fn homomorphic_add_signed(group: &Group, ct: &Ciphertext, value: i64) -> Ciphertext {
+    let magnitude = U256::from_u64(value.unsigned_abs()).rem(&group.q());
+    let exponent = if value >= 0 {
+        magnitude
+    } else {
+        group.q().wrapping_sub(&magnitude)
+    };
+    Ciphertext {
+        c1: ct.c1,
+        c2: group.mul(ct.c2, group.generator_pow(&exponent)),
+    }
+}
+
+/// The pre-kernel noise fold: square-and-multiply encoding plus a Fermat
+/// inversion for negative values. Bit-identical to
+/// [`homomorphic_add_signed`]; kept as the honest baseline for the
+/// kernel A/B.
+fn homomorphic_add_signed_naive(
     group: &Group,
     ct: &Ciphertext,
     value: i64,
 ) -> Result<Ciphertext, TransferError> {
-    let magnitude = group.encode_exponent(value.unsigned_abs());
+    let magnitude = group.pow(group.generator(), &U256::from_u64(value.unsigned_abs()));
     let adjustment = if value >= 0 {
         magnitude
     } else {
@@ -124,6 +178,31 @@ fn homomorphic_add_signed(
         c1: ct.c1,
         c2: group.mul(ct.c2, adjustment),
     })
+}
+
+/// The pre-kernel bit encryption: square-and-multiply for every component,
+/// recomputing `c1` for each bit exactly as the original multi-recipient
+/// path did before the generator table existed.
+fn encrypt_bits_naive(
+    group: &Group,
+    pks: &[PublicKey],
+    bit_values: &[bool],
+    ephemeral: &U256,
+) -> Vec<Ciphertext> {
+    let generator = group.generator();
+    bit_values
+        .iter()
+        .zip(pks)
+        .map(|(&bit, pk)| {
+            let c1 = group.pow(generator, ephemeral);
+            let shared = group.pow(pk.element(), ephemeral);
+            let msg = group.pow(generator, &U256::from_u64(bit as u64));
+            Ciphertext {
+                c1,
+                c2: group.mul(msg, shared),
+            }
+        })
+        .collect()
 }
 
 /// Transfers the shares of one message from block `B_i` to block `B_j`
@@ -160,6 +239,54 @@ pub fn transfer_message(
     traffic: &mut TrafficAccountant,
     rng: &mut dyn DetRng,
 ) -> Result<TransferOutcome, TransferError> {
+    transfer_message_with_kernels(
+        group,
+        config,
+        KernelMode::Auto,
+        sender_vertex,
+        receiver_vertex,
+        sender_block,
+        receiver_block,
+        sender_shares,
+        node_secrets,
+        certificate,
+        neighbor_key,
+        dlog,
+        traffic,
+        rng,
+    )
+}
+
+/// [`transfer_message`] with explicit control over the exponentiation
+/// kernels of the bitwise protocols (the whole-share strawmen are
+/// unaffected — they always run the default path).
+///
+/// Every [`KernelMode`] produces bit-identical shares, traffic and wire
+/// bytes; only the speed and the `exponentiations` /
+/// `fixed_base_exponentiations` split in the returned counts change.
+///
+/// # Errors
+///
+/// In addition to [`transfer_message`]'s errors, returns
+/// [`TransferError::CertificateShapeMismatch`] when
+/// [`KernelMode::Precomputed`] tables do not cover the certificate.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_message_with_kernels(
+    group: &Group,
+    config: &TransferConfig,
+    mode: KernelMode<'_>,
+    sender_vertex: NodeId,
+    receiver_vertex: NodeId,
+    sender_block: &Block,
+    receiver_block: &Block,
+    sender_shares: &[BitMessage],
+    node_secrets: &[NodeSecrets],
+    certificate: &BlockCertificate,
+    neighbor_key: &U256,
+    dlog: &DlogTable,
+    traffic: &mut TrafficAccountant,
+    rng: &mut dyn DetRng,
+) -> Result<TransferOutcome, TransferError> {
     let block_size = sender_block.size();
     let bits = config.message_bits as usize;
     if sender_shares.len() != block_size {
@@ -176,6 +303,11 @@ pub fn transfer_message(
     }
     if certificate.keys.len() != block_size || certificate.keys.iter().any(|k| k.len() != bits) {
         return Err(TransferError::CertificateShapeMismatch);
+    }
+    if let KernelMode::Precomputed(kernels) = mode {
+        if !kernels.matches_shape(block_size, bits) {
+            return Err(TransferError::CertificateShapeMismatch);
+        }
     }
 
     match config.variant {
@@ -213,6 +345,7 @@ pub fn transfer_message(
             group,
             config,
             None,
+            mode,
             sender_vertex,
             receiver_vertex,
             sender_block,
@@ -229,6 +362,7 @@ pub fn transfer_message(
             group,
             config,
             Some(alpha),
+            mode,
             sender_vertex,
             receiver_vertex,
             sender_block,
@@ -278,7 +412,10 @@ fn strawman1(
             group.encode_exponent(sender_shares[x_idx].value()),
             &ephemeral,
         );
-        counts.exponentiations += 3;
+        // The message encoding and `c1 = g^y` go through the generator
+        // table; only the key term `h^y` is a variable-base pow.
+        counts.exponentiations += 1;
+        counts.fixed_base_exponentiations += 2;
         traffic.record(x_node, sender_vertex, ct_bytes);
         counts.bytes_sent += ct_bytes;
         let ct = wire_hop_cts(group, traffic, &mut counts, x_node, sender_vertex, vec![ct])?
@@ -369,7 +506,8 @@ fn strawman2(
                 group.encode_exponent(subshare.value()),
                 &ephemeral,
             );
-            counts.exponentiations += 3;
+            counts.exponentiations += 1;
+            counts.fixed_base_exponentiations += 2;
             traffic.record(x_node, sender_vertex, ct_bytes);
             counts.bytes_sent += ct_bytes;
             row.push(ct);
@@ -495,6 +633,7 @@ fn bitwise_protocol(
     group: &Group,
     config: &TransferConfig,
     noise_alpha: Option<f64>,
+    mode: KernelMode<'_>,
     sender_vertex: NodeId,
     receiver_vertex: NodeId,
     sender_block: &Block,
@@ -523,11 +662,39 @@ fn bitwise_protocol(
         let mut batch = Vec::with_capacity(block_size);
         for (y_idx, subshare) in subshares.iter().enumerate() {
             let bit_values = subshare.to_bits();
-            let cts =
-                encrypt_bits_multi_recipient(group, &certificate.keys[y_idx], &bit_values, rng)?;
-            // One ephemeral exponentiation plus one per bit for the key
-            // term; the message bits are folded in with multiplications.
-            counts.exponentiations += bits as u64 + 1;
+            let ephemeral = group.random_nonzero_exponent(rng);
+            let keys = &certificate.keys[y_idx];
+            let cts = match mode {
+                KernelMode::Naive => {
+                    counts.exponentiations += bits as u64 + 1;
+                    encrypt_bits_naive(group, keys, &bit_values, &ephemeral)
+                }
+                KernelMode::Auto => {
+                    // `c1 = g^y` through the generator table, shared across
+                    // the bits; the key terms stay variable-base.
+                    counts.fixed_base_exponentiations += 1;
+                    counts.exponentiations += bits as u64;
+                    encrypt_bits_shared_c1(group, keys, &bit_values, &ephemeral)?
+                }
+                KernelMode::Precomputed(kernels) => {
+                    // The key terms also run through the per-certificate
+                    // fixed-base tables.
+                    counts.fixed_base_exponentiations += bits as u64 + 1;
+                    let c1 = group.generator_pow(&ephemeral);
+                    bit_values
+                        .iter()
+                        .enumerate()
+                        .map(|(l, &bit)| {
+                            let shared = kernels.key_pow(y_idx, l, &ephemeral);
+                            Ciphertext {
+                                c1,
+                                c2: group.mul(group.encode_exponent(bit as u64), shared),
+                            }
+                        })
+                        .collect()
+                }
+            };
+            // The message bits are folded in with multiplications.
             counts.group_multiplications += bits as u64;
             // Analytic wire size: the shared ephemeral component plus one
             // masked element per bit.
@@ -574,19 +741,45 @@ fn bitwise_protocol(
     let mut aggregated: Vec<Vec<Ciphertext>> = Vec::with_capacity(block_size);
     for per_receiver in &encrypted {
         let mut per_bit = Vec::with_capacity(bits);
-        for l in 0..bits {
-            let mut acc = per_receiver[0][l];
-            for sender_cts in per_receiver.iter().skip(1) {
-                acc = homomorphic_add(group, &acc, &sender_cts[l]);
-                counts.group_multiplications += 2;
+        if mode.is_naive() {
+            for l in 0..bits {
+                let mut acc = per_receiver[0][l];
+                for sender_cts in per_receiver.iter().skip(1) {
+                    acc = homomorphic_add(group, &acc, &sender_cts[l]);
+                    counts.group_multiplications += 2;
+                }
+                if let Some(dist) = &noise {
+                    let noise_value = dist.sample_even(rng);
+                    acc = homomorphic_add_signed_naive(group, &acc, noise_value)?;
+                    counts.exponentiations += 1;
+                    counts.group_multiplications += 1;
+                }
+                per_bit.push(acc);
             }
-            if let Some(dist) = &noise {
-                let noise_value = dist.sample_even(rng);
-                acc = homomorphic_add_signed(group, &acc, noise_value)?;
-                counts.exponentiations += 1;
+        } else {
+            // Every sender's L ciphertexts for this receiver share one
+            // ephemeral component, so the aggregated `c1` is identical at
+            // every bit position: one product per receiver instead of L.
+            let mut c1 = per_receiver[0][0].c1;
+            for sender_cts in per_receiver.iter().skip(1) {
+                c1 = group.mul(c1, sender_cts[0].c1);
                 counts.group_multiplications += 1;
             }
-            per_bit.push(acc);
+            for l in 0..bits {
+                let mut c2 = per_receiver[0][l].c2;
+                for sender_cts in per_receiver.iter().skip(1) {
+                    c2 = group.mul(c2, sender_cts[l].c2);
+                    counts.group_multiplications += 1;
+                }
+                let mut acc = Ciphertext { c1, c2 };
+                if let Some(dist) = &noise {
+                    let noise_value = dist.sample_even(rng);
+                    acc = homomorphic_add_signed(group, &acc, noise_value);
+                    counts.fixed_base_exponentiations += 1;
+                    counts.group_multiplications += 1;
+                }
+                per_bit.push(acc);
+            }
         }
         aggregated.push(per_bit);
     }
@@ -616,13 +809,27 @@ fn bitwise_protocol(
         let member_bytes = bits as u64 * 2 * elem_bytes;
         traffic.record(receiver_vertex, y_node, member_bytes);
         counts.bytes_sent += member_bytes;
-        let adjusted: Vec<Ciphertext> = per_bit
-            .iter()
-            .map(|ct| {
-                counts.exponentiations += 1;
-                adjust_ciphertext(group, ct, neighbor_key)
-            })
-            .collect();
+        let adjusted: Vec<Ciphertext> = if mode.is_naive() {
+            per_bit
+                .iter()
+                .map(|ct| {
+                    counts.exponentiations += 1;
+                    adjust_ciphertext(group, ct, neighbor_key)
+                })
+                .collect()
+        } else {
+            // The aggregated ciphertexts share their ephemeral component,
+            // so the expensive `c1^r` happens once per receiver.
+            counts.exponentiations += 1;
+            let shared_c1 = group.pow(per_bit[0].c1, neighbor_key);
+            per_bit
+                .iter()
+                .map(|ct| Ciphertext {
+                    c1: shared_c1,
+                    c2: ct.c2,
+                })
+                .collect()
+        };
         let adjusted = wire_hop_cts(
             group,
             traffic,
@@ -647,10 +854,24 @@ fn bitwise_protocol(
             unreachable!("every receiver member gets exactly one bundle from j");
         };
         let mut bit_shares = Vec::with_capacity(bits);
+        // Kernel path: all L adjusted ciphertexts share one ephemeral
+        // component, so a small per-receiver fixed-base table serves every
+        // fused decryption `c2 · c1^(q − x_l)`.
+        let decrypt_table = (!mode.is_naive() && !cts.is_empty())
+            .then(|| FixedBasePow::new(group, cts[0].c1, DECRYPT_WINDOW_BITS));
         for (l, ct) in cts.iter().enumerate() {
             let secret = &node_secrets[y_node.0].bit_keys[l].secret;
-            let elem = decrypt(group, secret, ct)?;
-            counts.exponentiations += 2;
+            let elem = match &decrypt_table {
+                Some(table) => {
+                    counts.fixed_base_exponentiations += 1;
+                    let neg = group.q().wrapping_sub(&secret.exponent().rem(&group.q()));
+                    group.mul(ct.c2, table.pow(&neg))
+                }
+                None => {
+                    counts.exponentiations += 2;
+                    decrypt(group, secret, ct)?
+                }
+            };
             let sum = dlog
                 .lookup_signed(group, elem)
                 .map_err(|_| TransferError::DecryptionFailure)?;
@@ -986,6 +1207,100 @@ mod tests {
         // Quadratic component: 8^2/4^2 = 4; linear components pull it down.
         assert!(ratio > 2.0 && ratio < 5.0, "ratio = {ratio}");
         assert!(o_large.counts.bytes_sent > o_small.counts.bytes_sent);
+    }
+
+    /// Like `run_transfer`, with an explicit kernel mode (always the
+    /// final protocol variant).
+    fn run_transfer_with_mode(
+        fx: &Fixture,
+        mode: KernelMode<'_>,
+        value: u64,
+        seed: u64,
+    ) -> TransferOutcome {
+        let config = TransferConfig::final_protocol(BITS, 0.5);
+        let mut rng = Xoshiro256::new(seed);
+        let message = BitMessage::new(value, BITS).unwrap();
+        let sender_shares = split_xor(message, fx.setup.blocks[0].size(), &mut rng);
+        let mut traffic = TrafficAccountant::new();
+        transfer_message_with_kernels(
+            &fx.group,
+            &config,
+            mode,
+            NodeId(0),
+            NodeId(1),
+            &fx.setup.blocks[0],
+            &fx.setup.blocks[1],
+            &sender_shares,
+            &fx.secrets,
+            &fx.setup.certificates[1][0],
+            &fx.secrets[1].neighbor_keys[0],
+            &fx.dlog,
+            &mut traffic,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_modes_are_bit_identical() {
+        let fx = fixture(3);
+        let kernels =
+            TransferKernels::for_certificate(&fx.group, &fx.setup.certificates[1][0].keys, 6);
+        let naive = run_transfer_with_mode(&fx, KernelMode::Naive, 0x9C, 31);
+        let auto = run_transfer_with_mode(&fx, KernelMode::Auto, 0x9C, 31);
+        let pre = run_transfer_with_mode(&fx, KernelMode::Precomputed(&kernels), 0x9C, 31);
+        assert_eq!(naive.receiver_shares, auto.receiver_shares);
+        assert_eq!(naive.receiver_shares, pre.receiver_shares);
+        assert_eq!(naive.counts.wire_bytes, auto.counts.wire_bytes);
+        assert_eq!(naive.counts.wire_bytes, pre.counts.wire_bytes);
+        assert_eq!(naive.counts.bytes_sent, auto.counts.bytes_sent);
+        // Naive counts everything as variable-base work; the kernels shift
+        // progressively more of it onto fixed-base tables.
+        assert_eq!(naive.counts.fixed_base_exponentiations, 0);
+        assert!(auto.counts.exponentiations < naive.counts.exponentiations);
+        assert!(pre.counts.exponentiations < auto.counts.exponentiations);
+    }
+
+    #[test]
+    fn kernel_counts_match_the_analytic_model() {
+        // Cross-check with `dstress-core`'s accounted execution model: for
+        // block size b and L message bits the default kernel path does
+        // b²L + b variable-base and b² + 2bL fixed-base exponentiations.
+        let fx = fixture(3);
+        let (b, l) = (4u64, BITS as u64);
+        let out = run_transfer_with_mode(&fx, KernelMode::Auto, 0x2F, 13);
+        assert_eq!(out.counts.exponentiations, b * b * l + b);
+        assert_eq!(out.counts.fixed_base_exponentiations, b * b + 2 * b * l);
+    }
+
+    #[test]
+    fn precomputed_kernels_of_wrong_shape_are_rejected() {
+        let fx = fixture(3);
+        let wrong =
+            TransferKernels::for_certificate(&fx.group, &fx.setup.certificates[1][0].keys[..2], 6);
+        let config = TransferConfig::final_protocol(BITS, 0.5);
+        let mut rng = Xoshiro256::new(3);
+        let message = BitMessage::new(1, BITS).unwrap();
+        let sender_shares = split_xor(message, 4, &mut rng);
+        let mut traffic = TrafficAccountant::new();
+        let err = transfer_message_with_kernels(
+            &fx.group,
+            &config,
+            KernelMode::Precomputed(&wrong),
+            NodeId(0),
+            NodeId(1),
+            &fx.setup.blocks[0],
+            &fx.setup.blocks[1],
+            &sender_shares,
+            &fx.secrets,
+            &fx.setup.certificates[1][0],
+            &fx.secrets[1].neighbor_keys[0],
+            &fx.dlog,
+            &mut traffic,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, TransferError::CertificateShapeMismatch);
     }
 
     proptest! {

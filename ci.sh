@@ -99,6 +99,32 @@ cargo test --release -q -p dstress-bench --test streaming_scale -- --ignored
 echo "==> repro -- scale smoke (quick sweep includes a measured N = 2500 point)"
 cargo run --release -q -p dstress-bench --bin repro -- scale --threads 2 > /dev/null
 
+echo "==> state store: backends, spill lifecycle, checkpoint formats and recovery"
+# The MemStore/SpillStore contract (bit-identical, segment geometry
+# backend-invariant), spill-log compaction, run-dir cleanup on error
+# paths, golden checkpoint/segment byte layouts with truncation /
+# trailing-garbage / bad-digest rejection, and in-process
+# kill-and-resume bit-identity (plain and spilling).
+cargo test -q -p dstress-core store::
+cargo test -q -p dstress-core spilling_backend_is_bit_identical_to_memory
+cargo test -q -p dstress-core spill_directory_is_removed_even_when_a_round_errors
+cargo test -q -p dstress-core checkpoint
+cargo test -q -p dstress-core kill_and_resume_is_bit_identical
+cargo test -q -p dstress-core resume_rejects_missing_and_foreign_checkpoints
+cargo test -q -p dstress-bench persist::
+
+echo "==> persist acceptance: budgeted run past the 10,000-vertex RAM wall + recovery"
+# Measured N = 12,000 with the budget at 1/4 of the store bytes: real
+# spill-file bytes, resident peak under budget (+ segment slack), and
+# kill-and-resume bit-identity on the budgeted path.
+cargo test --release -q -p dstress-bench --test persist_recovery -- --ignored
+
+echo "==> repro -- persist smoke (quick sweep includes a measured N = 12,000 point)"
+cargo run --release -q -p dstress-bench --bin repro -- persist --threads 2 > /dev/null
+
+echo "==> kill-and-resume e2e (master halted between rounds, restarted from checkpoint)"
+cargo test --release -q -p dstress-deploy --test kill_resume
+
 echo "==> socket frame layer: fault injection errors cleanly, never hangs"
 # Torn/partial frames, trailing garbage, oversized length prefixes,
 # mid-message disconnects and silent peers all surface as typed

@@ -14,7 +14,7 @@
 //! `transfer` (the four transfer experiments), `fig5-time`,
 //! `fig5-traffic`, `fig6`, `scale`, `naive-baseline`, `utility`,
 //! `edge-privacy`, `contagion`, `concurrency`, `sockets`, `rounds`,
-//! `bytes`, `all`.  The `transfer-kernels` experiment is the crypto-kernel
+//! `bytes`, `persist`, `all`.  The `transfer-kernels` experiment is the crypto-kernel
 //! A/B: the same transfers on the 256-bit production group with the
 //! exponentiation kernels off (square-and-multiply everywhere) and on
 //! (windowed fixed-base tables, shared-ephemeral aggregation, fused table
@@ -30,7 +30,13 @@
 //! experiment runs the *measured* streaming sweep past the old
 //! 2,000-vertex materialisation wall (streaming generators, CSR graphs,
 //! block-streaming execution) with per-point peak-memory figures, and
-//! labels its model-only continuation points explicitly.  The `--full`
+//! labels its model-only continuation points explicitly.  The `persist`
+//! experiment is the budgeted continuation of `scale`: the same measured
+//! sweep with the state-store byte budget set to a quarter of what the
+//! run would keep resident, so every point really pages share state to
+//! its spill log — it reports store-resident peak (which must honour the
+//! budget), spill-file bytes and peak heap, and ends with an in-process
+//! kill-and-resume bit-identity check.  The `--full`
 //! flag switches the measured
 //! experiments from the quick parameters to the paper's parameters (much
 //! slower).  The measured sweeps fan their points out over a worker pool;
@@ -49,6 +55,7 @@ use dstress_bench::mpc_micro::{
     MpcCircuitKind, MpcMicroRow,
 };
 use dstress_bench::naive_baseline::{baseline_comparison, paper_comparison};
+use dstress_bench::persist::{kill_resume_check, persist_sweep};
 use dstress_bench::policy::{edge_privacy_summary, utility_table};
 use dstress_bench::results::BenchResults;
 use dstress_bench::scalability::{
@@ -612,6 +619,7 @@ fn scale(full: bool, threads: usize, results: &mut BenchResults) {
                 .extra("degree_bound", point.degree_bound as f64)
                 .extra("generation_seconds", point.generation_seconds)
                 .extra("peak_alloc_bytes", point.peak_alloc_bytes as f64)
+                .extra("spill_file_bytes", point.spill_file_bytes as f64)
                 .extra("traffic_per_node_bytes", point.bytes_per_node);
         } else {
             println!(
@@ -643,6 +651,84 @@ fn scale(full: bool, threads: usize, results: &mut BenchResults) {
         .point("scale", &format!("determinism N={check_n}"))
         .extra("identical", if identical { 1.0 } else { 0.0 });
     assert!(identical, "streaming execution must be schedule-invariant");
+}
+
+fn persist(full: bool, threads: usize, results: &mut BenchResults) {
+    header("Persist: budgeted (disk-spilling) runs past the RAM wall");
+    let nodes: &[usize] = if full {
+        &[2_500, 12_000, 25_000]
+    } else {
+        &[1_200, 12_000]
+    };
+    println!(
+        "(scale workload with the state budget set to 1/4 of the unbudgeted store bytes, \
+         so every point pages share state to its run-scoped spill log; {threads} worker threads)"
+    );
+    println!(
+        "{:<8} {:>9} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12} {:>7}",
+        "N",
+        "edges",
+        "unbudgeted",
+        "budget",
+        "resident peak",
+        "spill file",
+        "peak heap",
+        "wall",
+        "ok"
+    );
+    for point in persist_sweep(nodes, threads) {
+        assert!(
+            point.spill_file_bytes > 0,
+            "a quarter budget must spill at N = {}",
+            point.nodes
+        );
+        assert!(
+            point.within_budget(),
+            "resident peak {} exceeds budget {} + slack {} at N = {}",
+            point.store_resident_peak_bytes,
+            point.budget_bytes,
+            point.slack_bytes,
+            point.nodes
+        );
+        println!(
+            "{:<8} {:>9} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12} {:>7}",
+            point.nodes,
+            point.edges,
+            format_bytes(point.unbudgeted_bytes as f64),
+            format_bytes(point.budget_bytes as f64),
+            format_bytes(point.store_resident_peak_bytes as f64),
+            format_bytes(point.spill_file_bytes as f64),
+            format_bytes(point.peak_alloc_bytes as f64),
+            format_seconds(point.wall_seconds),
+            point.within_budget(),
+        );
+        results
+            .point("persist", &format!("N={}", point.nodes))
+            .wall_seconds(point.wall_seconds)
+            .counts(point.counts)
+            .extra("measured", 1.0)
+            .extra("edges", point.edges as f64)
+            .extra("unbudgeted_bytes", point.unbudgeted_bytes as f64)
+            .extra("budget_bytes", point.budget_bytes as f64)
+            .extra(
+                "store_resident_peak_bytes",
+                point.store_resident_peak_bytes as f64,
+            )
+            .extra("spill_file_bytes", point.spill_file_bytes as f64)
+            .extra("peak_alloc_bytes", point.peak_alloc_bytes as f64)
+            .extra(
+                "within_budget",
+                if point.within_budget() { 1.0 } else { 0.0 },
+            );
+    }
+    // The recovery pin: crash after round 0, resume, same bits.
+    let check_n = if full { 500 } else { 200 };
+    let identical = kill_resume_check(check_n);
+    println!("Kill-and-resume at N = {check_n}: bit-identical = {identical}");
+    results
+        .point("persist", &format!("kill-resume N={check_n}"))
+        .extra("identical", if identical { 1.0 } else { 0.0 });
+    assert!(identical, "resume must reproduce the uninterrupted run");
 }
 
 fn naive(full: bool, results: &mut BenchResults) {
@@ -776,6 +862,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "fig5-time" | "fig5-traffic" | "fig5" => fig5(full, threads, results),
         "fig6" => fig6(full, results),
         "scale" => scale(full, threads, results),
+        "persist" => persist(full, threads, results),
         "concurrency" => concurrency(full, threads, results),
         "sockets" => sockets(full, threads, results),
         "rounds" => rounds(full, results),
@@ -798,6 +885,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "fig5",
                 "fig6",
                 "scale",
+                "persist",
                 "concurrency",
                 "sockets",
                 "rounds",
@@ -840,8 +928,8 @@ fn main() {
         eprintln!("unknown experiment '{experiment}'");
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
-             transfer-ablation transfer-kernels transfer fig5 fig6 scale concurrency sockets \
-             rounds bytes naive-baseline utility edge-privacy contagion all"
+             transfer-ablation transfer-kernels transfer fig5 fig6 scale persist concurrency \
+             sockets rounds bytes naive-baseline utility edge-privacy contagion all"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,239 @@
+//! The `persist` experiment: *measured* runs past the RAM wall.
+//!
+//! The scale sweep kept the whole share state resident; this experiment
+//! turns on the engine's byte budget ([`DStressConfig::with_state_budget`])
+//! so the state-store layer pages fixed-size row segments out to a
+//! run-scoped spill log, and *measures* the result: store-resident peak
+//! bytes (which must stay under the budget, up to one segment of slack
+//! per store), spill-file bytes, peak heap bytes, and wall seconds — all
+//! recorded in `BENCH_results.json` next to the in-memory scale points.
+//!
+//! The experiment also pins the recovery path in-process:
+//! [`kill_resume_check`] runs the same configuration uninterrupted and
+//! crashed-after-round-0-then-resumed (spilling in both arms) and
+//! reports whether the two releases are bit-identical with identical
+//! operation counts and wire-byte totals.
+
+use crate::alloc;
+use crate::streaming_scale::{runs_identical, ScaleTopology};
+use dstress_core::engine::RuntimeError;
+use dstress_core::store::packed_bytes;
+use dstress_core::{
+    CheckpointConfig, ConcurrencyMode, CounterProgram, DStressConfig, DStressRuntime,
+    SecureVertexProgram, SEGMENT_ROWS,
+};
+use dstress_graph::Graph;
+use dstress_net::cost::OperationCounts;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Seed of every persist run (graph generation and execution).
+const PERSIST_SEED: u64 = 0x9E25_1577;
+
+/// The workload: the scale sweep's counter program (8-bit words, two
+/// iterations) on a Barabási–Albert `m = 2` graph.
+fn persist_program() -> CounterProgram {
+    CounterProgram {
+        width: 8,
+        rounds: 2,
+    }
+}
+
+fn persist_topology() -> ScaleTopology {
+    ScaleTopology::ScaleFree { m: 2 }
+}
+
+fn persist_config(threads: usize) -> DStressConfig {
+    let mut config = DStressConfig::benchmark(2);
+    config.message_bits = 8;
+    config.seed = PERSIST_SEED;
+    if threads > 1 {
+        config = config.with_concurrency(ConcurrencyMode::Threaded { threads });
+    }
+    config
+}
+
+/// The bytes the engine's three stores (state + double-buffered inbox)
+/// would keep resident without a budget — the number the budget is set
+/// against.
+pub fn store_total_bytes(graph: &Graph, state_bits: usize, message_bits: usize) -> usize {
+    let block_size = 3; // k + 1 with the benchmark collusion bound k = 2
+    let state_rows = graph.vertex_count() * block_size;
+    let inbox_rows = graph.edge_count() * block_size;
+    packed_bytes(state_rows, state_bits) + 2 * packed_bytes(inbox_rows, message_bits)
+}
+
+/// The resident-peak slack the segment granularity permits: each of the
+/// three stores may round its share of the budget up to one whole
+/// segment.
+pub fn budget_slack_bytes(state_bits: usize, message_bits: usize) -> usize {
+    let segment = |width: usize| SEGMENT_ROWS * width.div_ceil(64) * 8;
+    segment(state_bits) + 2 * segment(message_bits)
+}
+
+/// One measured point of the persist sweep.
+#[derive(Clone, Debug)]
+pub struct PersistPoint {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Directed edges of the generated graph.
+    pub edges: usize,
+    /// What the stores would keep resident without a budget.
+    pub unbudgeted_bytes: usize,
+    /// The configured state budget (a quarter of the unbudgeted total,
+    /// so every point really pages).
+    pub budget_bytes: usize,
+    /// Segment-granularity slack on top of the budget.
+    pub slack_bytes: usize,
+    /// Peak store-resident bytes the engine observed.
+    pub store_resident_peak_bytes: usize,
+    /// High-water mark of the spill logs on disk.
+    pub spill_file_bytes: u64,
+    /// Peak heap bytes across graph build + run.
+    pub peak_alloc_bytes: usize,
+    /// Wall-clock seconds of the engine run alone.
+    pub wall_seconds: f64,
+    /// Operation counts of the run.
+    pub counts: OperationCounts,
+    /// The pre-noise aggregate (determinism handle).
+    pub ideal_output: f64,
+}
+
+impl PersistPoint {
+    /// Whether the measured resident peak honours the budget (up to the
+    /// segment-granularity slack).
+    pub fn within_budget(&self) -> bool {
+        self.store_resident_peak_bytes <= self.budget_bytes + self.slack_bytes
+    }
+}
+
+/// Runs one measured persist point: graph → budgeted (spilling) run,
+/// with peak heap captured around the whole build + run.
+pub fn run_persist_point(n: usize, threads: usize) -> PersistPoint {
+    let program = persist_program();
+    let config = persist_config(threads);
+    let state_bits = program.state_bits() as usize;
+    let message_bits = config.message_bits as usize;
+
+    let baseline = alloc::reset_peak();
+    let graph = persist_topology().build_graph(n, PERSIST_SEED);
+    let unbudgeted = store_total_bytes(&graph, state_bits, message_bits);
+    let budget = (unbudgeted / 4).max(1);
+    let runtime = DStressRuntime::new(config.with_state_budget(budget));
+    let run_start = Instant::now();
+    let run = runtime
+        .execute_streaming(&graph, &program)
+        .expect("persist run succeeds");
+    let wall_seconds = run_start.elapsed().as_secs_f64();
+    let peak = alloc::peak_bytes_since_reset().saturating_sub(baseline);
+    PersistPoint {
+        nodes: n,
+        edges: graph.edge_count(),
+        unbudgeted_bytes: unbudgeted,
+        budget_bytes: budget,
+        slack_bytes: budget_slack_bytes(state_bits, message_bits),
+        store_resident_peak_bytes: run.store_resident_peak_bytes,
+        spill_file_bytes: run.spill_file_bytes,
+        peak_alloc_bytes: peak,
+        wall_seconds,
+        counts: run.phases.total_counts(),
+        ideal_output: run.ideal_output,
+    }
+}
+
+/// The full persist sweep (sequentially, so per-point peak figures stay
+/// clean).  This is exactly what `repro -- persist` prints and records;
+/// the sweep always includes an `N` past the 10,000-vertex acceptance
+/// line.
+pub fn persist_sweep(nodes: &[usize], threads: usize) -> Vec<PersistPoint> {
+    nodes
+        .iter()
+        .map(|&n| run_persist_point(n, threads))
+        .collect()
+}
+
+/// Distinguishes concurrent checkpoint directories within one process.
+static CHECKPOINT_TAG: AtomicU64 = AtomicU64::new(0);
+
+/// Runs the persist workload at `n` three ways — uninterrupted, crashed
+/// right after round 0's checkpoint, and resumed from that checkpoint —
+/// and reports whether the resumed run equals the uninterrupted one bit
+/// for bit (released values, operation counts including wire bytes, and
+/// per-node traffic).  Both arms spill, so recovery is exercised on the
+/// budgeted path.
+pub fn kill_resume_check(n: usize) -> bool {
+    let program = persist_program();
+    let graph = persist_topology().build_graph(n, PERSIST_SEED);
+    let state_bits = program.state_bits() as usize;
+    let budget = (store_total_bytes(&graph, state_bits, 8) / 4).max(1);
+    let checkpoint_dir = std::env::temp_dir().join(format!(
+        "dstress-persist-ckpt-{}-{}",
+        std::process::id(),
+        CHECKPOINT_TAG.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let baseline = DStressRuntime::new(persist_config(1).with_state_budget(budget))
+        .execute_streaming(&graph, &program)
+        .expect("uninterrupted persist run succeeds");
+
+    let crash_config = persist_config(1)
+        .with_state_budget(budget)
+        .with_checkpoint(CheckpointConfig::every_round(checkpoint_dir.clone()))
+        .with_halt_after_round(0);
+    match DStressRuntime::new(crash_config).execute_streaming(&graph, &program) {
+        Err(RuntimeError::Halted { round: 0 }) => {}
+        other => panic!("expected the injected crash after round 0, got {other:?}"),
+    }
+
+    let resume_config = persist_config(1)
+        .with_state_budget(budget)
+        .with_checkpoint(CheckpointConfig::every_round(checkpoint_dir.clone()));
+    let resumed = DStressRuntime::new(resume_config)
+        .resume(&graph, &program)
+        .expect("resumed persist run succeeds");
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+
+    runs_identical(&baseline, &resumed)
+        && baseline.phases.total_counts().wire_bytes == resumed.phases.total_counts().wire_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_points_really_spill_and_stay_under_budget() {
+        let point = run_persist_point(220, 2);
+        assert_eq!(point.nodes, 220);
+        assert!(point.edges > 0);
+        assert!(point.budget_bytes < point.unbudgeted_bytes);
+        assert!(point.spill_file_bytes > 0, "a quarter budget must spill");
+        assert!(
+            point.within_budget(),
+            "resident peak {} exceeds budget {} + slack {}",
+            point.store_resident_peak_bytes,
+            point.budget_bytes,
+            point.slack_bytes
+        );
+        assert!(point.counts.and_gates > 0);
+        assert!(point.wall_seconds > 0.0);
+        assert!(point.ideal_output.is_finite());
+    }
+
+    #[test]
+    fn budgeted_runs_match_unbudgeted_runs() {
+        let program = persist_program();
+        let graph = persist_topology().build_graph(180, PERSIST_SEED);
+        let unbudgeted = DStressRuntime::new(persist_config(1))
+            .execute_streaming(&graph, &program)
+            .expect("unbudgeted run succeeds");
+        let point = run_persist_point(180, 1);
+        assert_eq!(point.ideal_output, unbudgeted.ideal_output);
+        assert_eq!(point.counts, unbudgeted.phases.total_counts());
+    }
+
+    #[test]
+    fn small_kill_resume_check_passes() {
+        assert!(kill_resume_check(120));
+    }
+}

@@ -117,6 +117,10 @@ pub struct ScalePoint {
     /// Peak heap bytes across graph build + run (measured points only —
     /// the bounded-memory claim covers the whole streaming path).
     pub peak_alloc_bytes: usize,
+    /// High-water mark of the run's spill logs on disk (0 unless a
+    /// state budget forces the stores to page; `repro -- persist` is
+    /// the budgeted sweep).
+    pub spill_file_bytes: u64,
     /// Operation counts of the run (measured points only).
     pub counts: OperationCounts,
     /// Mean bytes sent per node.
@@ -168,6 +172,7 @@ pub fn run_scale_point(topology: ScaleTopology, n: usize, threads: usize) -> Sca
         wall_seconds,
         generation_seconds,
         peak_alloc_bytes: peak,
+        spill_file_bytes: run.spill_file_bytes,
         counts: run.phases.total_counts(),
         bytes_per_node: run.mean_bytes_per_node(),
         ideal_output: run.ideal_output,
@@ -191,6 +196,7 @@ pub fn model_only_point(n: usize, degree_bound: usize) -> ScalePoint {
         wall_seconds: row.result.total_seconds,
         generation_seconds: 0.0,
         peak_alloc_bytes: 0,
+        spill_file_bytes: 0,
         counts: OperationCounts::default(),
         bytes_per_node: row.result.bytes_per_node,
         ideal_output: f64::NAN,

@@ -1,0 +1,55 @@
+//! Release-mode acceptance gate for the state-store spill + recovery
+//! path.
+//!
+//! This is the PR's acceptance criterion as a test: with a state budget
+//! a quarter of the unbudgeted store bytes, a run at `N` past the
+//! 10,000-vertex line must really page share state to disk
+//! (spill-file bytes > 0) while its store-resident peak honours the
+//! budget up to the segment-granularity slack, the budgeted run must be
+//! bit-identical to the unbudgeted one, and a run crashed at a round
+//! boundary must resume to the exact same release.
+//!
+//! One `#[ignore]`d test: it takes tens of seconds in release mode
+//! (ci.sh runs it explicitly with `--release -- --ignored`) and its
+//! peak-memory comparison needs the allocator counters to itself.
+
+use dstress_bench::persist::{kill_resume_check, run_persist_point};
+use dstress_bench::streaming_scale::run_scale_point;
+use dstress_bench::streaming_scale::ScaleTopology;
+
+#[test]
+#[ignore = "release-mode persist acceptance; ci.sh runs it with --release -- --ignored"]
+fn budgeted_run_past_the_ram_wall_spills_and_recovers() {
+    // (1) A measured point past the acceptance line: N > 10,000 with
+    // the budget a quarter of what the stores would keep resident.
+    let point = run_persist_point(12_000, 2);
+    assert!(point.nodes > 10_000 && point.edges > 10_000);
+    assert!(point.counts.and_gates > 0, "the MPCs really ran");
+    assert!(point.spill_file_bytes > 0, "a quarter budget must spill");
+    assert!(
+        point.within_budget(),
+        "resident peak {} exceeds budget {} + slack {}",
+        point.store_resident_peak_bytes,
+        point.budget_bytes,
+        point.slack_bytes
+    );
+
+    // (2) The budget is a real constraint: the unbudgeted run of the
+    // same workload keeps strictly more store bytes resident.
+    let unbudgeted = run_scale_point(ScaleTopology::ScaleFree { m: 2 }, 12_000, 2);
+    assert_eq!(unbudgeted.spill_file_bytes, 0, "scale points stay in RAM");
+    assert!(
+        point.store_resident_peak_bytes < point.unbudgeted_bytes,
+        "budgeted resident peak {} should undercut the unbudgeted store total {}",
+        point.store_resident_peak_bytes,
+        point.unbudgeted_bytes
+    );
+
+    // (3) Kill-and-resume on the budgeted path: crash after round 0's
+    // checkpoint, resume, and release the exact same bits with the same
+    // operation counts and wire-byte totals.
+    assert!(
+        kill_resume_check(600),
+        "resume must reproduce the uninterrupted run bit for bit"
+    );
+}

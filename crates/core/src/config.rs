@@ -3,6 +3,38 @@
 use dstress_crypto::group::GroupKind;
 use dstress_mpc::GmwBatching;
 use dstress_net::pool::default_threads;
+use std::path::PathBuf;
+
+/// Round-boundary checkpointing knobs.
+///
+/// When set on [`DStressConfig::checkpoint`], the engine writes a
+/// `Wire`-encoded checkpoint (manifest + packed store segments) into
+/// `dir` at every `every_rounds`-th round swap, pruning superseded
+/// checkpoints; [`crate::engine::DStressRuntime::resume`] rehydrates
+/// from the newest one and continues to a bit-identical final release.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory the checkpoint files live in (created on first write).
+    pub dir: PathBuf,
+    /// Checkpoint cadence in rounds (values below one are treated as
+    /// one: every round).
+    pub every_rounds: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints into `dir` at every round swap.
+    pub fn every_round(dir: PathBuf) -> Self {
+        CheckpointConfig {
+            dir,
+            every_rounds: 1,
+        }
+    }
+
+    /// The effective cadence (at least one round).
+    pub fn cadence(&self) -> u64 {
+        self.every_rounds.max(1)
+    }
+}
 
 /// How the communication steps execute their cryptography.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +155,23 @@ pub struct DStressConfig {
     pub gmw_batching: GmwBatching,
     /// Seed for all randomness in the run (setup, sharing, noise).
     pub seed: u64,
+    /// Byte budget for the resident share state (vertex state plus both
+    /// inbox buffers).  When the packed stores would exceed it, the
+    /// engine switches to the spilling backend and pages row segments to
+    /// disk so resident store bytes stay within the budget.  `None`
+    /// (the default) keeps everything in memory.
+    pub state_budget_bytes: Option<usize>,
+    /// Base directory for the run-scoped spill directory (removed when
+    /// the run finishes, even on error).  `None` uses the system temp
+    /// directory.
+    pub spill_dir: Option<PathBuf>,
+    /// Round-boundary checkpointing; `None` (the default) writes no
+    /// checkpoints.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Abort the run right after checkpointing the given round swap with
+    /// [`crate::engine::RuntimeError::Halted`] — the crash-injection
+    /// hook the kill-and-resume tests (and the deployment drill) use.
+    pub halt_after_round: Option<u64>,
 }
 
 impl DStressConfig {
@@ -141,6 +190,10 @@ impl DStressConfig {
             transport: TransportKind::Sim,
             gmw_batching: GmwBatching::Layered,
             seed: 0xD57E55,
+            state_budget_bytes: None,
+            spill_dir: None,
+            checkpoint: None,
+            halt_after_round: None,
         }
     }
 
@@ -175,6 +228,32 @@ impl DStressConfig {
         self.transport = transport;
         self
     }
+
+    /// Bounds the resident share state to `budget_bytes`, spilling row
+    /// segments to disk past it.
+    pub fn with_state_budget(mut self, budget_bytes: usize) -> Self {
+        self.state_budget_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Places the run-scoped spill directory under `dir` instead of the
+    /// system temp directory.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Enables round-boundary checkpointing.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Injects a crash right after the given round's checkpoint.
+    pub fn with_halt_after_round(mut self, round: u64) -> Self {
+        self.halt_after_round = Some(round);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +277,34 @@ mod tests {
             b.with_transport(TransportKind::Socket).transport,
             TransportKind::Socket
         );
+    }
+
+    #[test]
+    fn persistence_knobs_default_off_and_build() {
+        let cfg = DStressConfig::small_test(2);
+        assert_eq!(cfg.state_budget_bytes, None);
+        assert_eq!(cfg.spill_dir, None);
+        assert_eq!(cfg.checkpoint, None);
+        assert_eq!(cfg.halt_after_round, None);
+        let dir = PathBuf::from("/tmp/ckpt");
+        let cfg = cfg
+            .with_state_budget(4096)
+            .with_spill_dir(PathBuf::from("/tmp/spill"))
+            .with_checkpoint(CheckpointConfig::every_round(dir.clone()))
+            .with_halt_after_round(1);
+        assert_eq!(cfg.state_budget_bytes, Some(4096));
+        let checkpoint = cfg.checkpoint.expect("set above");
+        assert_eq!(checkpoint.dir, dir);
+        assert_eq!(checkpoint.cadence(), 1);
+        assert_eq!(
+            CheckpointConfig {
+                dir,
+                every_rounds: 0
+            }
+            .cadence(),
+            1
+        );
+        assert_eq!(cfg.halt_after_round, Some(1));
     }
 
     #[test]

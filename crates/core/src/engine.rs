@@ -30,13 +30,27 @@
 //! bounds the window by the worker count ([`BLOCKS_PER_WORKER`] blocks
 //! per worker), materialises only the in-flight blocks' GMW state and
 //! outgoing shares, and drops them as soon as the window's transfers are
-//! delivered.  Persistent per-vertex state is bit-packed (`PackedRows`
-//! internally): the state shares plus one inbox slot per *actual*
-//! in-edge, double-buffered across rounds.  The two schedules — and both
-//! [`crate::config::ConcurrencyMode`]s — are bit-identical in outputs,
-//! counts and traffic; only peak memory and wall-clock differ, which is
-//! what lets measured sweeps continue past the old full-materialisation
-//! wall.
+//! delivered.  Persistent per-vertex state lives behind the pluggable
+//! [`crate::store::StateStore`] layer: the state shares plus one inbox
+//! slot per *actual* in-edge, double-buffered across rounds, held either
+//! fully in memory or paged to a run-scoped spill directory when the
+//! packed stores exceed
+//! [`DStressConfig::state_budget_bytes`](crate::config::DStressConfig).
+//! The two schedules — and both [`crate::config::ConcurrencyMode`]s, and
+//! both store backends — are bit-identical in outputs, counts and
+//! traffic; only peak memory and wall-clock differ, which is what lets
+//! measured sweeps continue past the old full-materialisation wall.
+//!
+//! ## Checkpoints and recovery
+//!
+//! With [`DStressConfig::checkpoint`](crate::config::DStressConfig) set,
+//! the engine writes a checkpoint at each configured round swap: a
+//! `Wire`-encoded manifest (round index, RNG position, accumulated phase
+//! costs, traffic snapshot, segment digests) followed by every packed
+//! store segment.  [`DStressRuntime::resume`] rehydrates the newest
+//! checkpoint and continues the run — the restored RNG position makes
+//! every remaining draw identical, so the resumed run releases a
+//! bit-identical value with identical operation counts and wire bytes.
 
 use crate::config::{DStressConfig, TransferMode};
 use crate::exec::{
@@ -44,7 +58,11 @@ use crate::exec::{
 };
 use crate::noise_circuit::noising_circuit;
 use crate::program::SecureVertexProgram;
-use crate::wire::EngineMsg;
+use crate::store::{
+    collect_segments, digest64, load_latest_checkpoint, packed_bytes, restore_store,
+    write_checkpoint, MemStore, RunDirGuard, SpillStore, StateStore, StoreError,
+};
+use crate::wire::{CheckpointManifest, EngineMsg};
 use core::fmt;
 use dstress_circuit::CircuitError;
 use dstress_crypto::dlog::DlogTable;
@@ -89,6 +107,24 @@ pub enum RuntimeError {
     /// configured mode (remote workers hold no key material, so
     /// real-crypto transfers are local-only).
     Deploy(String),
+    /// The state-store layer failed: a spill or checkpoint file could not
+    /// be read or written, or failed validation.
+    Store(StoreError),
+    /// Checkpoint/resume consistency failed: no checkpoint to resume
+    /// from, or the checkpoint belongs to a different run shape.
+    Checkpoint {
+        /// What was inconsistent.
+        context: String,
+    },
+    /// The run halted deliberately after writing the checkpoint for the
+    /// given round — the crash-injection exit of
+    /// [`crate::config::DStressConfig::halt_after_round`], used by the
+    /// kill-and-resume tests and recovery drills.  Not a failure: the
+    /// checkpoint on disk is complete and resumable.
+    Halted {
+        /// The round whose swap was checkpointed before halting.
+        round: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -102,11 +138,22 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Wire(e) => write!(f, "engine wire format error: {e}"),
             RuntimeError::Deploy(context) => write!(f, "deployment error: {context}"),
+            RuntimeError::Store(e) => write!(f, "state store error: {e}"),
+            RuntimeError::Checkpoint { context } => write!(f, "checkpoint error: {context}"),
+            RuntimeError::Halted { round } => {
+                write!(f, "run halted after checkpointing round {round}")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+impl From<StoreError> for RuntimeError {
+    fn from(e: StoreError) -> Self {
+        RuntimeError::Store(e)
+    }
+}
 
 impl From<TransferError> for RuntimeError {
     fn from(e: TransferError) -> Self {
@@ -133,7 +180,7 @@ impl From<WireError> for RuntimeError {
 }
 
 /// Measured cost of one execution phase.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseCosts {
     /// Operation counts accumulated during the phase.
     pub counts: OperationCounts,
@@ -189,6 +236,17 @@ pub struct DStressRun {
     pub iterations: u32,
     /// Block size `k + 1` used for the run.
     pub block_size: usize,
+    /// High-water mark of the bytes the state-store layer held resident
+    /// in memory (packed words of resident segments, summed over the
+    /// state store and both inbox buffers), sampled at phase boundaries.
+    /// With the in-memory backend this is simply the packed store size;
+    /// with the spilling backend it stays within the configured budget
+    /// (plus segment-granularity slack).
+    pub store_resident_peak_bytes: usize,
+    /// High-water mark of the spill files' total size in bytes — 0 when
+    /// the run stayed in memory.  Reported next to peak-heap figures so
+    /// memory rows stay honest when spill is active.
+    pub spill_file_bytes: u64,
 }
 
 impl DStressRun {
@@ -231,7 +289,45 @@ impl DStressRuntime {
         graph: &Graph,
         program: &P,
     ) -> Result<DStressRun, RuntimeError> {
-        self.run_windowed(graph, program, usize::MAX, &LocalExecutor)
+        self.run_windowed(graph, program, usize::MAX, &LocalExecutor, false)
+    }
+
+    /// Resumes an interrupted run from the newest checkpoint in the
+    /// configured checkpoint directory and continues it to completion.
+    ///
+    /// The checkpoint manifest's RNG position makes every remaining draw
+    /// identical to the uninterrupted run, so the resumed run releases a
+    /// bit-identical value with identical operation counts, wire bytes
+    /// and traffic.  `graph`, `program` and the configuration must match
+    /// the original run — a fingerprint in the manifest rejects resuming
+    /// against a different run shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Checkpoint`] if no checkpoint directory is
+    /// configured, no checkpoint exists, or the checkpoint belongs to a
+    /// different run; otherwise as [`Self::execute`].
+    pub fn resume<P: SecureVertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+    ) -> Result<DStressRun, RuntimeError> {
+        self.run_windowed(graph, program, usize::MAX, &LocalExecutor, true)
+    }
+
+    /// [`Self::resume`] through a custom [`StepExecutor`] — the recovery
+    /// entry point of the master/worker deployment layer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::resume`].
+    pub fn resume_with<P: SecureVertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+        executor: &dyn StepExecutor,
+    ) -> Result<DStressRun, RuntimeError> {
+        self.run_windowed(graph, program, usize::MAX, executor, true)
     }
 
     /// Executes `program` over `graph` with the fully materialised
@@ -250,7 +346,7 @@ impl DStressRuntime {
         program: &P,
         executor: &dyn StepExecutor,
     ) -> Result<DStressRun, RuntimeError> {
-        self.run_windowed(graph, program, usize::MAX, executor)
+        self.run_windowed(graph, program, usize::MAX, executor, false)
     }
 
     /// Executes `program` over `graph` with the *block-streaming*
@@ -282,7 +378,7 @@ impl DStressRuntime {
             .concurrency
             .worker_threads()
             .saturating_mul(BLOCKS_PER_WORKER);
-        self.run_windowed(graph, program, window, &LocalExecutor)
+        self.run_windowed(graph, program, window, &LocalExecutor, false)
     }
 
     /// One-time setup, sized to the transfer mode: real-crypto runs need
@@ -341,14 +437,30 @@ impl DStressRuntime {
         program: &P,
         window: usize,
         executor: &dyn StepExecutor,
+        resume: bool,
     ) -> Result<DStressRun, RuntimeError> {
         let n = graph.vertex_count();
         let degree_bound = graph.degree_bound();
         let block_size = self.config.block_size();
         let state_bits = program.state_bits() as usize;
         let message_bits = program.message_bits() as usize;
+        let iterations = program.iterations();
         let group = Group::new(self.config.group);
         let mut rng = Xoshiro256::new(self.config.seed);
+
+        // Load the checkpoint to resume from before doing any work, so a
+        // missing/foreign checkpoint fails fast.
+        let resume_state = if resume {
+            let Some(checkpoint) = &self.config.checkpoint else {
+                return Err(RuntimeError::Checkpoint {
+                    context: "resume requested but no checkpoint directory is configured"
+                        .to_string(),
+                });
+            };
+            Some(load_latest_checkpoint(&checkpoint.dir)?)
+        } else {
+            None
+        };
 
         // ---- One-time setup --------------------------------------------
         let (secrets, setup) =
@@ -372,67 +484,181 @@ impl DStressRuntime {
             in_offset[v.0 + 1] = in_offset[v.0] + graph.in_degree(v);
         }
         let inbox_rows = in_offset[n] * block_size;
+        let state_rows = n * block_size;
 
-        // ---- Initialization step ----------------------------------------
-        let init_start = Instant::now();
-        let mut init_counts = OperationCounts::default();
-        // Bit-packed persistent share state: row (v · block + member).
-        let mut state_store = PackedRows::new(n * block_size, state_bits);
-        // Bit-packed inboxes, double-buffered: row
-        // ((in_offset[v] + slot) · block + member).
-        let mut inbox_store = PackedRows::new(inbox_rows, message_bits);
-        let mut inbox_next = PackedRows::new(inbox_rows, message_bits);
-        for v in graph.vertices() {
-            let initial = program.encode_initial_state(graph, v);
-            debug_assert_eq!(initial.len(), state_bits, "program state encoding width");
-            let mut shares = share_bits(&initial, block_size, &mut rng);
-            // Each member other than the owner receives its state share and
-            // D no-op message shares — as a real bit-packed wire message,
-            // whose decoded copy is the share the member actually uses.
-            let block = setup.block_of(NodeId(v.0));
-            let per_member_bytes =
-                (state_bits as u64 + (degree_bound * message_bits) as u64).div_ceil(8);
-            for (m_idx, &member) in block.members.iter().enumerate() {
-                if member == NodeId(v.0) {
-                    continue;
-                }
-                traffic.record(NodeId(v.0), member, per_member_bytes);
-                init_counts.bytes_sent += per_member_bytes;
-                let message = EngineMsg::InitShare {
-                    state: std::mem::take(&mut shares[m_idx]),
-                    inbox: vec![false; degree_bound * message_bits],
-                };
-                let encoded = message.encode();
-                traffic.record_wire(NodeId(v.0), member, encoded.len() as u64);
-                init_counts.wire_bytes += encoded.len() as u64;
-                let EngineMsg::InitShare { state, inbox: noop } =
-                    EngineMsg::decode_exact(&encoded)?
-                else {
-                    unreachable!("an InitShare was encoded");
-                };
-                shares[m_idx] = state;
-                // The decoded no-op shares are all-zero, which is exactly
-                // what the zero-initialised packed inbox already holds.
-                debug_assert!(noop.iter().all(|&bit| !bit));
+        // The run-shape fingerprint checkpoints carry: a resume against a
+        // different graph, program width, seed or iteration count is
+        // rejected instead of silently diverging.
+        let fingerprint = {
+            let mut bytes = Vec::with_capacity(64);
+            for value in [
+                n as u64,
+                in_offset[n] as u64,
+                degree_bound as u64,
+                block_size as u64,
+                state_bits as u64,
+                message_bits as u64,
+                self.config.seed,
+                u64::from(iterations),
+            ] {
+                bytes.extend_from_slice(&value.to_le_bytes());
             }
-            for (m_idx, share) in shares.iter().enumerate() {
-                state_store.write(v.0 * block_size + m_idx, share);
+            digest64(&bytes)
+        };
+        if let Some((manifest, _)) = &resume_state {
+            if manifest.fingerprint != fingerprint || manifest.iterations != u64::from(iterations) {
+                return Err(RuntimeError::Checkpoint {
+                    context: format!(
+                        "checkpoint fingerprint {:016x} does not match this run's {:016x} — \
+                         it belongs to a different graph, program or configuration",
+                        manifest.fingerprint, fingerprint
+                    ),
+                });
             }
         }
-        // Every vertex distributes its shares concurrently, so the whole
-        // step is one communication round — charging one per vertex would
-        // make the latency estimate scale with N instead of depth.
-        init_counts.rounds += 1;
-        let initialization = PhaseCosts {
-            counts: init_counts,
-            wall_seconds: init_start.elapsed().as_secs_f64(),
+
+        // ---- State stores ------------------------------------------------
+        // Declared before the stores so its `Drop` (removing the whole
+        // run-scoped spill directory) runs after theirs, on every exit
+        // path — success, error, or injected halt.
+        let spill_guard = match self.config.state_budget_bytes {
+            Some(budget)
+                if packed_bytes(state_rows, state_bits)
+                    + 2 * packed_bytes(inbox_rows, message_bits)
+                    > budget =>
+            {
+                Some(RunDirGuard::create(
+                    self.config.spill_dir.as_deref(),
+                    self.config.seed,
+                )?)
+            }
+            _ => None,
         };
+        // Persistent share state behind the store trait: the state rows
+        // (row v · block + member) and the double-buffered inboxes (row
+        // (in_offset[v] + slot) · block + member), either fully resident
+        // or paged against the byte budget, split proportionally.
+        type BoxedStore = Box<dyn StateStore>;
+        let (mut state_store, mut inbox_store, mut inbox_next): (
+            BoxedStore,
+            BoxedStore,
+            BoxedStore,
+        ) = match (&spill_guard, self.config.state_budget_bytes) {
+            (Some(guard), Some(budget)) => {
+                let state_bytes = packed_bytes(state_rows, state_bits);
+                let inbox_bytes = packed_bytes(inbox_rows, message_bits);
+                let total = (state_bytes + 2 * inbox_bytes).max(1);
+                let state_budget = budget * state_bytes / total;
+                let inbox_budget = budget * inbox_bytes / total;
+                (
+                    Box::new(SpillStore::create(
+                        state_rows,
+                        state_bits,
+                        state_budget,
+                        guard.path().join("state.log"),
+                    )?),
+                    Box::new(SpillStore::create(
+                        inbox_rows,
+                        message_bits,
+                        inbox_budget,
+                        guard.path().join("inbox-a.log"),
+                    )?),
+                    Box::new(SpillStore::create(
+                        inbox_rows,
+                        message_bits,
+                        inbox_budget,
+                        guard.path().join("inbox-b.log"),
+                    )?),
+                )
+            }
+            _ => (
+                Box::new(MemStore::new(state_rows, state_bits)),
+                Box::new(MemStore::new(inbox_rows, message_bits)),
+                Box::new(MemStore::new(inbox_rows, message_bits)),
+            ),
+        };
+        let mut store_resident_peak = 0usize;
+
+        // ---- Initialization step ----------------------------------------
+        let initialization;
+        let mut computation;
+        let mut communication;
+        let start_round: u32;
+        if let Some((manifest, records)) = resume_state {
+            // Rehydrate: stores, RNG position, accumulated costs and
+            // traffic — the initialization phase already ran before the
+            // checkpoint, so its cost carries over and its work is not
+            // repeated.
+            restore_store(state_store.as_mut(), 0, &records)?;
+            restore_store(inbox_store.as_mut(), 1, &records)?;
+            rng = Xoshiro256::from_state(manifest.rng_state);
+            initialization = manifest.initialization;
+            computation = manifest.computation;
+            communication = manifest.communication;
+            for (id, t) in &manifest.traffic {
+                traffic.add_node_traffic(*id, t);
+            }
+            start_round = manifest.round as u32;
+        } else {
+            let init_start = Instant::now();
+            let mut init_counts = OperationCounts::default();
+            for v in graph.vertices() {
+                let initial = program.encode_initial_state(graph, v);
+                debug_assert_eq!(initial.len(), state_bits, "program state encoding width");
+                let mut shares = share_bits(&initial, block_size, &mut rng);
+                // Each member other than the owner receives its state share and
+                // D no-op message shares — as a real bit-packed wire message,
+                // whose decoded copy is the share the member actually uses.
+                let block = setup.block_of(NodeId(v.0));
+                let per_member_bytes =
+                    (state_bits as u64 + (degree_bound * message_bits) as u64).div_ceil(8);
+                for (m_idx, &member) in block.members.iter().enumerate() {
+                    if member == NodeId(v.0) {
+                        continue;
+                    }
+                    traffic.record(NodeId(v.0), member, per_member_bytes);
+                    init_counts.bytes_sent += per_member_bytes;
+                    let message = EngineMsg::InitShare {
+                        state: std::mem::take(&mut shares[m_idx]),
+                        inbox: vec![false; degree_bound * message_bits],
+                    };
+                    let encoded = message.encode();
+                    traffic.record_wire(NodeId(v.0), member, encoded.len() as u64);
+                    init_counts.wire_bytes += encoded.len() as u64;
+                    let EngineMsg::InitShare { state, inbox: noop } =
+                        EngineMsg::decode_exact(&encoded)?
+                    else {
+                        unreachable!("an InitShare was encoded");
+                    };
+                    shares[m_idx] = state;
+                    // The decoded no-op shares are all-zero, which is exactly
+                    // what the zero-initialised packed inbox already holds.
+                    debug_assert!(noop.iter().all(|&bit| !bit));
+                }
+                for (m_idx, share) in shares.iter().enumerate() {
+                    state_store.write(v.0 * block_size + m_idx, share)?;
+                }
+            }
+            // Every vertex distributes its shares concurrently, so the whole
+            // step is one communication round — charging one per vertex would
+            // make the latency estimate scale with N instead of depth.
+            init_counts.rounds += 1;
+            initialization = PhaseCosts {
+                counts: init_counts,
+                wall_seconds: init_start.elapsed().as_secs_f64(),
+            };
+            computation = PhaseCosts::default();
+            communication = PhaseCosts::default();
+            start_round = 0;
+        }
+        store_resident_peak = store_resident_peak.max(
+            state_store.resident_bytes()
+                + inbox_store.resident_bytes()
+                + inbox_next.resident_bytes(),
+        );
 
         // ---- Iterations ---------------------------------------------------
         let update_circuit = program.update_circuit(degree_bound);
-        let mut computation = PhaseCosts::default();
-        let mut communication = PhaseCosts::default();
-        let iterations = program.iterations();
         let window = window.max(1);
         let ctx = StepContext {
             config: &self.config,
@@ -462,7 +688,7 @@ impl DStressRuntime {
             })
             .collect();
 
-        for round in 0..=iterations {
+        for round in start_round..=iterations {
             // Per-phase master seeds, drawn in the same order as the
             // phases themselves run (computation, then communication).
             let comp_seed = rng.next_u64();
@@ -485,24 +711,26 @@ impl DStressRuntime {
                 let tasks: Vec<BlockStepTask> = span
                     .clone()
                     .map(VertexId)
-                    .map(|v| BlockStepTask {
-                        vertex: v.0 as u64,
-                        seed: task_seed(comp_seed, v.0 as u64),
-                        members: setup.block_of(NodeId(v.0)).members.clone(),
-                        out_slots: graph.out_degree(v) as u64,
-                        input_shares: gather_block_inputs(
-                            graph,
-                            v,
-                            &state_store,
-                            &inbox_store,
-                            &in_offset,
-                            block_size,
-                            degree_bound,
-                            state_bits,
-                            message_bits,
-                        ),
+                    .map(|v| {
+                        Ok(BlockStepTask {
+                            vertex: v.0 as u64,
+                            seed: task_seed(comp_seed, v.0 as u64),
+                            members: setup.block_of(NodeId(v.0)).members.clone(),
+                            out_slots: graph.out_degree(v) as u64,
+                            input_shares: gather_block_inputs(
+                                graph,
+                                v,
+                                state_store.as_ref(),
+                                inbox_store.as_ref(),
+                                &in_offset,
+                                block_size,
+                                degree_bound,
+                                state_bits,
+                                message_bits,
+                            )?,
+                        })
                     })
-                    .collect();
+                    .collect::<Result<_, RuntimeError>>()?;
                 let outcomes = executor.run_block_steps(&ctx, tasks)?;
                 // The window's outgoing message shares, dropped as soon as
                 // its transfers have been delivered: only in-flight blocks
@@ -515,7 +743,7 @@ impl DStressRuntime {
                 for (off, outcome) in outcomes.into_iter().enumerate() {
                     let v = span.start + off;
                     for (m_idx, share) in outcome.new_state.iter().enumerate() {
-                        state_store.write(v * block_size + m_idx, share);
+                        state_store.write(v * block_size + m_idx, share)?;
                     }
                     window_out.push(outcome.outgoing);
                     comp_rounds = comp_rounds.max(outcome.counts.rounds);
@@ -559,7 +787,7 @@ impl DStressRuntime {
                     let base =
                         (in_offset[outcome.to as usize] + outcome.in_slot as usize) * block_size;
                     for (m_idx, share) in outcome.receiver_shares.iter().enumerate() {
-                        inbox_next.write(base + m_idx, share);
+                        inbox_next.write(base + m_idx, share)?;
                     }
                     comm_rounds = comm_rounds.max(outcome.counts.rounds);
                     let mut counts = outcome.counts;
@@ -582,6 +810,40 @@ impl DStressRuntime {
             // Every in-slot with an edge was overwritten by a transfer, so
             // the swap is a complete hand-over to the next round.
             std::mem::swap(&mut inbox_store, &mut inbox_next);
+            store_resident_peak = store_resident_peak.max(
+                state_store.resident_bytes()
+                    + inbox_store.resident_bytes()
+                    + inbox_next.resident_bytes(),
+            );
+
+            // Round-boundary checkpoint: everything a resumed run needs is
+            // the post-swap state + inbox stores, the RNG position, and
+            // the accumulated costs — `inbox_next` is fully overwritten
+            // before it is read again, so it is never checkpointed.
+            let halt_here = self.config.halt_after_round == Some(u64::from(round));
+            if let Some(checkpoint) = &self.config.checkpoint {
+                if (u64::from(round) + 1) % checkpoint.cadence() == 0 || halt_here {
+                    let (digests, records) =
+                        collect_segments(&[(0, state_store.as_ref()), (1, inbox_store.as_ref())])?;
+                    let manifest = CheckpointManifest {
+                        round: u64::from(round) + 1,
+                        iterations: u64::from(iterations),
+                        fingerprint,
+                        rng_state: rng.state(),
+                        initialization,
+                        computation,
+                        communication,
+                        traffic: traffic.sorted_node_entries(),
+                        segments: digests,
+                    };
+                    write_checkpoint(&checkpoint.dir, &manifest, &records)?;
+                }
+            }
+            if halt_here {
+                return Err(RuntimeError::Halted {
+                    round: u64::from(round),
+                });
+            }
         }
 
         // ---- Aggregation + noising ----------------------------------------
@@ -602,7 +864,8 @@ impl DStressRuntime {
             for (m_idx, &member) in block.members.iter().enumerate() {
                 // sub[ba_idx][bit]: this member's sub-share toward each
                 // aggregation-block member.
-                let member_state = state_store.read(v.0 * block_size + m_idx);
+                let mut member_state = Vec::with_capacity(state_bits);
+                state_store.read_into(v.0 * block_size + m_idx, &mut member_state)?;
                 let mut sub = vec![vec![false; state_bits]; block_size];
                 for (bit, &value) in member_state.iter().enumerate() {
                     let subshares = split_xor_bit(value, block_size, &mut rng);
@@ -688,6 +951,15 @@ impl DStressRuntime {
             wall_seconds: agg_start.elapsed().as_secs_f64(),
         };
 
+        store_resident_peak = store_resident_peak.max(
+            state_store.resident_bytes()
+                + inbox_store.resident_bytes()
+                + inbox_next.resident_bytes(),
+        );
+        let spill_file_bytes = state_store.spill_file_bytes()
+            + inbox_store.spill_file_bytes()
+            + inbox_next.spill_file_bytes();
+
         Ok(DStressRun {
             noised_output,
             ideal_output,
@@ -700,6 +972,8 @@ impl DStressRuntime {
             traffic,
             iterations,
             block_size,
+            store_resident_peak_bytes: store_resident_peak,
+            spill_file_bytes,
         })
     }
 }
@@ -710,88 +984,39 @@ impl DStressRuntime {
 /// materialisation is bounded by the concurrency level, not the graph.
 pub const BLOCKS_PER_WORKER: usize = 4;
 
-/// Fixed-width bit-packed row store — the persistent share state of the
-/// streaming engine.  One row is one member's share vector (state or one
-/// inbox slot); packing costs one bit per share bit instead of the byte
-/// (plus `Vec` header) of the nested-`Vec` representation the
-/// materialised engine used to hold for every vertex at once.
-#[derive(Clone, Debug)]
-struct PackedRows {
-    width: usize,
-    words_per_row: usize,
-    words: Vec<u64>,
-}
-
-impl PackedRows {
-    /// Creates a zeroed store of `rows` rows of `width` bits each.
-    fn new(rows: usize, width: usize) -> Self {
-        let words_per_row = width.div_ceil(64);
-        PackedRows {
-            width,
-            words_per_row,
-            words: vec![0; rows * words_per_row],
-        }
-    }
-
-    /// Unpacks one row.
-    fn read(&self, row: usize) -> Vec<bool> {
-        let base = row * self.words_per_row;
-        (0..self.width)
-            .map(|bit| (self.words[base + bit / 64] >> (bit % 64)) & 1 == 1)
-            .collect()
-    }
-
-    /// Unpacks one row onto the end of `out`.
-    fn read_into(&self, row: usize, out: &mut Vec<bool>) {
-        let base = row * self.words_per_row;
-        out.extend((0..self.width).map(|bit| (self.words[base + bit / 64] >> (bit % 64)) & 1 == 1));
-    }
-
-    /// Overwrites one row.
-    fn write(&mut self, row: usize, bits: &[bool]) {
-        debug_assert_eq!(bits.len(), self.width, "row width");
-        let base = row * self.words_per_row;
-        self.words[base..base + self.words_per_row].fill(0);
-        for (bit, &b) in bits.iter().enumerate() {
-            if b {
-                self.words[base + bit / 64] |= 1 << (bit % 64);
-            }
-        }
-    }
-}
-
 /// Gathers one block's GMW input shares from the packed stores: each
 /// member's state row followed by its `D` inbox slots — the slots past
 /// the vertex's in-degree hold the all-zero no-op share and are padded in
-/// here rather than stored.
+/// here rather than stored.  Store access is fallible because the
+/// spilling backend may need to page segments in from disk.
 #[allow(clippy::too_many_arguments)]
 fn gather_block_inputs(
     graph: &Graph,
     v: VertexId,
-    state_store: &PackedRows,
-    inbox_store: &PackedRows,
+    state_store: &dyn StateStore,
+    inbox_store: &dyn StateStore,
     in_offset: &[usize],
     block_size: usize,
     degree_bound: usize,
     state_bits: usize,
     message_bits: usize,
-) -> Vec<Vec<bool>> {
+) -> Result<Vec<Vec<bool>>, RuntimeError> {
     let in_degree = graph.in_degree(v);
     (0..block_size)
         .map(|m_idx| {
             let mut member_inputs = Vec::with_capacity(state_bits + degree_bound * message_bits);
-            state_store.read_into(v.0 * block_size + m_idx, &mut member_inputs);
+            state_store.read_into(v.0 * block_size + m_idx, &mut member_inputs)?;
             for slot in 0..degree_bound {
                 if slot < in_degree {
                     inbox_store.read_into(
                         (in_offset[v.0] + slot) * block_size + m_idx,
                         &mut member_inputs,
-                    );
+                    )?;
                 } else {
                     member_inputs.extend(std::iter::repeat(false).take(message_bits));
                 }
             }
-            member_inputs
+            Ok(member_inputs)
         })
         .collect()
 }
@@ -1257,5 +1482,249 @@ mod tests {
         let b = DStressRuntime::new(cfg).execute(&graph, &program).unwrap();
         assert_eq!(a.noised_output, b.noised_output);
         assert_eq!(a.ideal_output, b.ideal_output);
+    }
+
+    /// A unique per-test scratch directory (removed by the returned
+    /// guard) so persistence tests never collide.
+    fn test_dir(tag: &str) -> crate::store::RunDirGuard {
+        crate::store::RunDirGuard::create(
+            None,
+            tag.bytes().fold(0u64, |a, b| a << 8 | u64::from(b)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spilling_backend_is_bit_identical_to_memory() {
+        // 32 vertices × block 3 = 96 state rows and ~290 inbox rows —
+        // several segments per store, so a 1-byte budget forces real
+        // paging through the spill log.
+        let graph = ring_graph(32);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut mem_cfg = DStressConfig::benchmark(2);
+        mem_cfg.message_bits = 8;
+        // A 1-byte budget forces the spilling backend with a single
+        // resident segment per store — every access pattern pages.
+        let spill_cfg = mem_cfg.clone().with_state_budget(1);
+        let mem = DStressRuntime::new(mem_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let spill = DStressRuntime::new(spill_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&mem, &spill, "mem vs spill backend");
+        assert_eq!(mem.spill_file_bytes, 0);
+        assert!(spill.spill_file_bytes > 0, "a 1-byte budget must spill");
+        assert!(spill.store_resident_peak_bytes < mem.store_resident_peak_bytes);
+        assert!(mem.store_resident_peak_bytes > 0);
+
+        // The streaming schedule over the spilling backend agrees too.
+        let spill_streaming_cfg = DStressConfig::benchmark(2);
+        let mut spill_streaming_cfg = spill_streaming_cfg.with_state_budget(1);
+        spill_streaming_cfg.message_bits = 8;
+        let streaming = DStressRuntime::new(spill_streaming_cfg)
+            .execute_streaming(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&mem, &streaming, "mem vs spill streaming");
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_run() {
+        let scratch = test_dir("ckpt-inv");
+        let graph = ring_graph(6);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 3,
+        };
+        let mut plain_cfg = DStressConfig::benchmark(2);
+        plain_cfg.message_bits = 8;
+        let ckpt_cfg =
+            plain_cfg
+                .clone()
+                .with_checkpoint(crate::config::CheckpointConfig::every_round(
+                    scratch.path().join("ckpt"),
+                ));
+        let plain = DStressRuntime::new(plain_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        let checkpointed = DStressRuntime::new(ckpt_cfg)
+            .execute(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&plain, &checkpointed, "checkpointing is invisible");
+        // Only the newest checkpoint survives pruning.
+        assert_eq!(
+            crate::store::latest_checkpoint_round(&scratch.path().join("ckpt")).unwrap(),
+            Some(3)
+        );
+        let files = std::fs::read_dir(scratch.path().join("ckpt"))
+            .unwrap()
+            .count();
+        assert_eq!(files, 1, "superseded checkpoints are pruned");
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let scratch = test_dir("kill-res");
+        let ckpt_dir = scratch.path().join("ckpt");
+        let graph = ring_graph(7);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 3,
+        };
+        let mut base_cfg = DStressConfig::benchmark(2);
+        base_cfg.message_bits = 8;
+        let uninterrupted = DStressRuntime::new(base_cfg.clone())
+            .execute(&graph, &program)
+            .unwrap();
+
+        // Crash after round 1's checkpoint; drop the runtime entirely.
+        let crash_cfg = base_cfg
+            .clone()
+            .with_checkpoint(crate::config::CheckpointConfig::every_round(
+                ckpt_dir.clone(),
+            ))
+            .with_halt_after_round(1);
+        let crashed = DStressRuntime::new(crash_cfg).execute(&graph, &program);
+        assert!(matches!(crashed, Err(RuntimeError::Halted { round: 1 })));
+
+        // A fresh runtime resumes from the checkpoint and must match the
+        // uninterrupted run bit for bit — output, counts, wire bytes and
+        // per-node traffic.
+        let resume_cfg =
+            base_cfg
+                .clone()
+                .with_checkpoint(crate::config::CheckpointConfig::every_round(
+                    ckpt_dir.clone(),
+                ));
+        let resumed = DStressRuntime::new(resume_cfg)
+            .resume(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&uninterrupted, &resumed, "kill and resume");
+        assert_eq!(
+            uninterrupted.phases.total_counts().wire_bytes,
+            resumed.phases.total_counts().wire_bytes
+        );
+        assert_eq!(
+            uninterrupted.traffic.report().total_wire_bytes,
+            resumed.traffic.report().total_wire_bytes
+        );
+
+        // The same holds when the interrupted run *and* the resume use
+        // the spilling backend.
+        let spill_ckpt = scratch.path().join("ckpt-spill");
+        let spill_crash = base_cfg
+            .clone()
+            .with_state_budget(1)
+            .with_checkpoint(crate::config::CheckpointConfig::every_round(
+                spill_ckpt.clone(),
+            ))
+            .with_halt_after_round(0);
+        assert!(DStressRuntime::new(spill_crash)
+            .execute(&graph, &program)
+            .is_err());
+        let spill_resume = base_cfg
+            .with_state_budget(1)
+            .with_checkpoint(crate::config::CheckpointConfig::every_round(spill_ckpt));
+        let spill_resumed = DStressRuntime::new(spill_resume)
+            .resume(&graph, &program)
+            .unwrap();
+        assert_runs_identical(&uninterrupted, &spill_resumed, "spilling kill and resume");
+    }
+
+    #[test]
+    fn resume_rejects_missing_and_foreign_checkpoints() {
+        let scratch = test_dir("res-rej");
+        let graph = ring_graph(5);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut cfg = DStressConfig::benchmark(2);
+        cfg.message_bits = 8;
+
+        // No checkpoint directory configured at all.
+        let err = DStressRuntime::new(cfg.clone())
+            .resume(&graph, &program)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Checkpoint { .. }));
+
+        // Directory configured but empty.
+        let ckpt_dir = scratch.path().join("ckpt");
+        let cfg = cfg.with_checkpoint(crate::config::CheckpointConfig::every_round(
+            ckpt_dir.clone(),
+        ));
+        let err = DStressRuntime::new(cfg.clone())
+            .resume(&graph, &program)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Store(StoreError::Corrupt { .. })
+        ));
+
+        // A checkpoint from a *different* run shape is rejected by the
+        // fingerprint.
+        let crash = cfg.clone().with_halt_after_round(0);
+        assert!(DStressRuntime::new(crash)
+            .execute(&graph, &program)
+            .is_err());
+        let other_graph = ring_graph(6);
+        let err = DStressRuntime::new(cfg)
+            .resume(&other_graph, &program)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Checkpoint { .. }));
+    }
+
+    /// An executor that fails every window — the error-path probe for the
+    /// spill-directory lifecycle.
+    struct FailingExecutor;
+
+    impl StepExecutor for FailingExecutor {
+        fn run_block_steps(
+            &self,
+            _ctx: &StepContext<'_>,
+            _tasks: Vec<BlockStepTask>,
+        ) -> Result<Vec<crate::exec::BlockStepOutcome>, RuntimeError> {
+            Err(RuntimeError::Deploy("injected failure".to_string()))
+        }
+
+        fn run_transfers(
+            &self,
+            _ctx: &StepContext<'_>,
+            _tasks: Vec<TransferTask>,
+        ) -> Result<Vec<crate::exec::TransferOutcome>, RuntimeError> {
+            Err(RuntimeError::Deploy("injected failure".to_string()))
+        }
+    }
+
+    #[test]
+    fn spill_directory_is_removed_even_when_a_round_errors() {
+        let scratch = test_dir("spill-err");
+        let base = scratch.path().join("spill-base");
+        std::fs::create_dir_all(&base).unwrap();
+        let graph = ring_graph(6);
+        let program = CounterProgram {
+            width: 8,
+            rounds: 2,
+        };
+        let mut cfg = DStressConfig::benchmark(2)
+            .with_state_budget(1)
+            .with_spill_dir(base.clone());
+        cfg.message_bits = 8;
+        let err = DStressRuntime::new(cfg)
+            .execute_with(&graph, &program, &FailingExecutor)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Deploy(_)));
+        // The run-scoped directory — spill logs included — is gone.
+        let leftovers: Vec<_> = std::fs::read_dir(&base)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "orphaned spill state after a failed run: {leftovers:?}"
+        );
     }
 }

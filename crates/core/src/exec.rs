@@ -20,6 +20,13 @@
 //! [`execute_accounted_transfer_task`]) are plain functions of the task
 //! bytes, so a remote worker that decodes a task computes bit-for-bit
 //! what the local pool would have.
+//!
+//! Because tasks carry *copies* of their input shares, the engine's
+//! [`crate::store::StateStore`] backends are only ever touched from the
+//! scheduling thread — workers (threads or remote processes) never see a
+//! store, which is what lets the disk-spilling backend use plain
+//! single-threaded interior mutability and page segments during task
+//! building.
 
 use crate::config::{DStressConfig, TransferMode, TransportKind};
 use crate::engine::RuntimeError;

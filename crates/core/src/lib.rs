@@ -25,6 +25,10 @@
 //! * [`projection`] — the analytic cost model that reproduces Figure 6:
 //!   given `(N, D, k, I)` it predicts end-to-end computation time and
 //!   per-node traffic for deployments too large to simulate.
+//! * [`store`] — the pluggable state-store layer behind the engine's
+//!   share state: the in-memory packed backend, the disk-spilling
+//!   backend with a byte budget, and the round-boundary checkpoint
+//!   files that [`engine::DStressRuntime::resume`] recovers from.
 //!
 //! ## Example
 //!
@@ -50,9 +54,10 @@ pub mod exec;
 pub mod noise_circuit;
 pub mod program;
 pub mod projection;
+pub mod store;
 pub mod wire;
 
-pub use config::{ConcurrencyMode, DStressConfig, TransferMode, TransportKind};
+pub use config::{CheckpointConfig, ConcurrencyMode, DStressConfig, TransferMode, TransportKind};
 pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts, BLOCKS_PER_WORKER};
 pub use exec::{
     BlockStepOutcome, BlockStepTask, LocalExecutor, StepContext, StepExecutor, TransferOutcome,
@@ -60,3 +65,4 @@ pub use exec::{
 };
 pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
 pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};
+pub use store::{MemStore, RunDirGuard, SpillStore, StateStore, StoreError, SEGMENT_ROWS};

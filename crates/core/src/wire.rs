@@ -13,13 +13,29 @@
 //! | `InitShare` | `0x00` · uvarint(state bits) · uvarint(inbox bits) · state-plane · inbox-plane |
 //! | `AggShare`  | `0x01` · uvarint(bits) · bit-plane |
 //!
+//! The round-boundary checkpoint formats (written by the state-store
+//! layer, [`crate::store`]) also live here:
+//!
+//! | record | layout |
+//! |---|---|
+//! | `CheckpointManifest` | `0x4D` · u32 version · uvarint(round) · uvarint(iterations) · u64 fingerprint · 4×u64 RNG state · 3×phase costs · traffic entries · segment digests |
+//! | `SegmentRecord` | `0x53` · u8 store · uvarint(index) · uvarint(words) · words as u64 LE · u64 FNV-1a digest |
+//!
+//! Phase costs are the ten [`OperationCounts`] uvarints followed by the
+//! wall seconds as an `f64` bit pattern (u64 LE); segment digests are
+//! `u8 store · uvarint(index) · u64 digest` each, uvarint-counted.  A
+//! `SegmentRecord` whose digest does not match its words is rejected at
+//! decode time, so a torn checkpoint write cannot resume silently.
+//!
 //! Bit planes pack LSB-first with zero padding (see
 //! [`dstress_net::wire`]); an `InitShare` therefore costs
 //! `⌈state/8⌉ + ⌈D·L/8⌉` bytes plus a few header bytes — the analytical
 //! model's `⌈(state + D·L)/8⌉` figure plus at most one byte of padding
 //! per plane and the header.
 
+use crate::engine::PhaseCosts;
 use crate::exec::{BlockStepOutcome, BlockStepTask, TransferOutcome, TransferTask};
+use crate::store::digest64_words;
 use dstress_net::cost::OperationCounts;
 use dstress_net::traffic::{NodeId, NodeTraffic};
 use dstress_net::wire::{self, Wire, WireError};
@@ -27,6 +43,11 @@ use dstress_net::wire::{self, Wire, WireError};
 /// Message tags.
 const TAG_INIT_SHARE: u8 = 0x00;
 const TAG_AGG_SHARE: u8 = 0x01;
+/// Checkpoint record tags (`'M'` and `'S'`).
+const TAG_MANIFEST: u8 = 0x4D;
+const TAG_SEGMENT: u8 = 0x53;
+/// Layout version of the checkpoint manifest.
+const CHECKPOINT_VERSION: u32 = 1;
 
 /// A control message of the DStress engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -245,6 +266,189 @@ impl Wire for TransferOutcome {
             receiver_shares: get_bit_vecs(buf)?,
             counts: OperationCounts::decode(buf)?,
             traffic: get_traffic_entries(buf)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encodings
+// ---------------------------------------------------------------------------
+
+impl Wire for PhaseCosts {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.counts.encode_into(out);
+        wire::put_u64_le(out, self.wall_seconds.to_bits());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PhaseCosts {
+            counts: OperationCounts::decode(buf)?,
+            wall_seconds: f64::from_bits(wire::get_u64_le(buf)?),
+        })
+    }
+}
+
+/// The manifest's summary of one checkpoint segment: which store it
+/// belongs to, its index, and the FNV-1a digest of its packed words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentDigest {
+    /// Store id (0 = vertex state, 1 = the live inbox).
+    pub store: u8,
+    /// Segment index within the store.
+    pub index: u64,
+    /// [`digest64_words`] of the segment's packed words.
+    pub digest: u64,
+}
+
+/// A round-boundary checkpoint manifest: everything the engine needs —
+/// besides the packed segments that follow it in the checkpoint file —
+/// to resume a run from the top of round `round` and reach a
+/// bit-identical final release.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointManifest {
+    /// The round the resumed run continues *from* (the next to execute).
+    pub round: u64,
+    /// Total iterations of the checkpointed program, as a consistency
+    /// check against the resuming configuration.
+    pub iterations: u64,
+    /// Digest of the run's shape (graph geometry, widths, seed), so a
+    /// checkpoint cannot be resumed against a different run.
+    pub fingerprint: u64,
+    /// The engine RNG's 256-bit position at the round boundary.
+    pub rng_state: [u64; 4],
+    /// Accumulated initialization-phase costs.
+    pub initialization: PhaseCosts,
+    /// Accumulated computation-phase costs.
+    pub computation: PhaseCosts,
+    /// Accumulated communication-phase costs.
+    pub communication: PhaseCosts,
+    /// Per-node traffic snapshot, sorted by node id.
+    pub traffic: Vec<(NodeId, NodeTraffic)>,
+    /// Digests of every segment record that follows, in file order.
+    pub segments: Vec<SegmentDigest>,
+}
+
+impl Wire for CheckpointManifest {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_u8(out, TAG_MANIFEST);
+        wire::put_u32_le(out, CHECKPOINT_VERSION);
+        wire::put_uvarint(out, self.round);
+        wire::put_uvarint(out, self.iterations);
+        wire::put_u64_le(out, self.fingerprint);
+        for word in self.rng_state {
+            wire::put_u64_le(out, word);
+        }
+        self.initialization.encode_into(out);
+        self.computation.encode_into(out);
+        self.communication.encode_into(out);
+        put_traffic_entries(out, &self.traffic);
+        wire::put_uvarint(out, self.segments.len() as u64);
+        for segment in &self.segments {
+            wire::put_u8(out, segment.store);
+            wire::put_uvarint(out, segment.index);
+            wire::put_u64_le(out, segment.digest);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match wire::get_u8(buf)? {
+            TAG_MANIFEST => {}
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    what: "CheckpointManifest",
+                })
+            }
+        }
+        if wire::get_u32_le(buf)? != CHECKPOINT_VERSION {
+            return Err(WireError::Invalid {
+                what: "unsupported checkpoint version",
+            });
+        }
+        let round = wire::get_uvarint(buf)?;
+        let iterations = wire::get_uvarint(buf)?;
+        let fingerprint = wire::get_u64_le(buf)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = wire::get_u64_le(buf)?;
+        }
+        let initialization = PhaseCosts::decode(buf)?;
+        let computation = PhaseCosts::decode(buf)?;
+        let communication = PhaseCosts::decode(buf)?;
+        let traffic = get_traffic_entries(buf)?;
+        let count = wire::get_uvarint(buf)? as usize;
+        let mut segments = Vec::new();
+        for _ in 0..count {
+            segments.push(SegmentDigest {
+                store: wire::get_u8(buf)?,
+                index: wire::get_uvarint(buf)?,
+                digest: wire::get_u64_le(buf)?,
+            });
+        }
+        Ok(CheckpointManifest {
+            round,
+            iterations,
+            fingerprint,
+            rng_state,
+            initialization,
+            computation,
+            communication,
+            traffic,
+            segments,
+        })
+    }
+}
+
+/// One checkpointed store segment: its packed words, tagged with the
+/// store id and segment index and sealed with a digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Store id (0 = vertex state, 1 = the live inbox).
+    pub store: u8,
+    /// Segment index within the store.
+    pub index: u64,
+    /// The segment's packed words.
+    pub words: Vec<u64>,
+}
+
+impl Wire for SegmentRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_u8(out, TAG_SEGMENT);
+        wire::put_u8(out, self.store);
+        wire::put_uvarint(out, self.index);
+        wire::put_uvarint(out, self.words.len() as u64);
+        for &word in &self.words {
+            wire::put_u64_le(out, word);
+        }
+        wire::put_u64_le(out, digest64_words(&self.words));
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match wire::get_u8(buf)? {
+            TAG_SEGMENT => {}
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    what: "SegmentRecord",
+                })
+            }
+        }
+        let store = wire::get_u8(buf)?;
+        let index = wire::get_uvarint(buf)?;
+        let count = wire::get_uvarint(buf)? as usize;
+        let mut words = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            words.push(wire::get_u64_le(buf)?);
+        }
+        if wire::get_u64_le(buf)? != digest64_words(&words) {
+            return Err(WireError::Invalid {
+                what: "segment digest mismatch",
+            });
+        }
+        Ok(SegmentRecord {
+            store,
+            index,
+            words,
         })
     }
 }
@@ -473,6 +677,173 @@ mod tests {
                 TransferOutcome::decode_exact(&delivered.encode()).unwrap(),
                 delivered
             );
+        }
+    }
+
+    fn sample_manifest() -> CheckpointManifest {
+        CheckpointManifest {
+            round: 1,
+            iterations: 3,
+            fingerprint: 0xF00D,
+            rng_state: [1, 2, 3, 4],
+            initialization: PhaseCosts::default(),
+            computation: PhaseCosts::default(),
+            communication: PhaseCosts::default(),
+            traffic: vec![(
+                NodeId(1),
+                NodeTraffic {
+                    bytes_sent: 3,
+                    ..Default::default()
+                },
+            )],
+            segments: vec![SegmentDigest {
+                store: 0,
+                index: 2,
+                digest: 0x0102_0304_0506_0708,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_manifest_golden_encoding() {
+        // tag 4d · version 1 · round 01 · iterations 03 · fingerprint ·
+        // rng [1,2,3,4] · three zero phase-cost blocks (10 uvarints +
+        // f64 bits) · 1 traffic entry · 1 segment digest
+        let zero_costs = "000000000000000000000000000000000000";
+        let expected = [
+            "4d",
+            "01000000",
+            "01",
+            "03",
+            "0df0000000000000",
+            "0100000000000000",
+            "0200000000000000",
+            "0300000000000000",
+            "0400000000000000",
+            zero_costs,
+            zero_costs,
+            zero_costs,
+            "01",
+            "01",
+            "030000000000",
+            "01",
+            "00",
+            "02",
+            "0807060504030201",
+        ]
+        .concat();
+        let manifest = sample_manifest();
+        assert_eq!(hex(&manifest.encode()), expected);
+        assert_eq!(
+            CheckpointManifest::decode_exact(&manifest.encode()).unwrap(),
+            manifest
+        );
+    }
+
+    #[test]
+    fn segment_record_golden_encoding() {
+        let record = SegmentRecord {
+            store: 1,
+            index: 2,
+            words: vec![0x0B],
+        };
+        // tag 53 · store 01 · index 02 · word count 01 · word LE · digest
+        let expected = format!(
+            "53010201{}{}",
+            hex(&0x0Bu64.to_le_bytes()),
+            hex(&digest64_words(&[0x0B]).to_le_bytes())
+        );
+        assert_eq!(hex(&record.encode()), expected);
+        assert_eq!(
+            SegmentRecord::decode_exact(&record.encode()).unwrap(),
+            record
+        );
+    }
+
+    #[test]
+    fn checkpoint_records_reject_truncation_trailing_and_corruption() {
+        let manifest = sample_manifest().encode();
+        for cut in 0..manifest.len() {
+            assert!(CheckpointManifest::decode_exact(&manifest[..cut]).is_err());
+        }
+        let mut trailing = manifest.clone();
+        trailing.push(0x00);
+        assert!(CheckpointManifest::decode_exact(&trailing).is_err());
+        assert!(matches!(
+            CheckpointManifest::decode_exact(&[0x7F]),
+            Err(WireError::BadTag { .. })
+        ));
+        // An unknown version is rejected, not misinterpreted.
+        let mut wrong_version = manifest;
+        wrong_version[1] = 0x09;
+        assert!(matches!(
+            CheckpointManifest::decode_exact(&wrong_version),
+            Err(WireError::Invalid { .. })
+        ));
+
+        let record = SegmentRecord {
+            store: 0,
+            index: 1,
+            words: vec![0xAA, 0xBB, 0xCC],
+        }
+        .encode();
+        for cut in 0..record.len() {
+            assert!(SegmentRecord::decode_exact(&record[..cut]).is_err());
+        }
+        let mut trailing = record.clone();
+        trailing.push(0x00);
+        assert!(SegmentRecord::decode_exact(&trailing).is_err());
+        // Any flipped payload byte fails the digest check.
+        let mut corrupted = record;
+        corrupted[5] ^= 0x01;
+        assert!(matches!(
+            SegmentRecord::decode_exact(&corrupted),
+            Err(WireError::Invalid {
+                what: "segment digest mismatch"
+            })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_checkpoint_records_round_trip(
+            round in any::<u64>(),
+            rng0 in any::<u64>(),
+            rng1 in any::<u64>(),
+            wall in any::<u32>(),
+            nodes in proptest::collection::vec(0usize..5000, 0..5),
+            words in proptest::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let rng_state = [rng0, rng1, rng0 ^ rng1, rng0.wrapping_add(rng1)];
+            let manifest = CheckpointManifest {
+                round,
+                iterations: round / 2,
+                fingerprint: rng_state[0],
+                rng_state,
+                initialization: PhaseCosts {
+                    counts: OperationCounts { and_gates: round, ..Default::default() },
+                    wall_seconds: f64::from(wall) * 0.125,
+                },
+                computation: PhaseCosts::default(),
+                communication: PhaseCosts::default(),
+                traffic: nodes
+                    .iter()
+                    .map(|&n| (NodeId(n), NodeTraffic { wire_bytes_sent: round, ..Default::default() }))
+                    .collect(),
+                segments: words
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| SegmentDigest { store: (i % 2) as u8, index: i as u64, digest: w })
+                    .collect(),
+            };
+            prop_assert_eq!(
+                CheckpointManifest::decode_exact(&manifest.encode()).unwrap(),
+                manifest
+            );
+            let record = SegmentRecord { store: 1, index: round, words };
+            prop_assert_eq!(SegmentRecord::decode_exact(&record.encode()).unwrap(), record);
         }
     }
 }

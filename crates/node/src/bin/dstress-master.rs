@@ -11,10 +11,18 @@
 //!
 //! The `RESULT` line is the loopback integration test's pin: it must
 //! equal the in-process run's values bit for bit.
+//!
+//! With `--checkpoint-dir` the master checkpoints every round and
+//! resumes from the directory's latest checkpoint when one exists.
+//! `--halt-after-round N` injects a crash right after round `N`'s
+//! checkpoint: the process prints `HALTED N` and exits 0 (the
+//! checkpoint on disk is complete, so this is not a failure).
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use dstress_core::engine::RuntimeError;
 use dstress_core::TransportKind;
 use dstress_deploy::master::{run_master, MasterConfig};
 
@@ -42,6 +50,14 @@ fn parse_args() -> Result<(MasterConfig, String), String> {
             "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--graph-seed" => {
                 config.graph_seed = value()?.parse().map_err(|e| format!("--graph-seed: {e}"))?
+            }
+            "--checkpoint-dir" => config.checkpoint_dir = Some(PathBuf::from(value()?)),
+            "--halt-after-round" => {
+                config.halt_after_round = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--halt-after-round: {e}"))?,
+                )
             }
             "--gmw-transport" => {
                 config.worker_transport = match value()?.as_str() {
@@ -94,6 +110,12 @@ fn main() -> ExitCode {
                 .sum();
             println!("WORKER_WIRE_BYTES {fleet_wire}");
             println!("DONE");
+            ExitCode::SUCCESS
+        }
+        Err(RuntimeError::Halted { round }) => {
+            // Injected crash: the checkpoint for `round` is on disk and
+            // a restart with the same --checkpoint-dir resumes from it.
+            println!("HALTED {round}");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -20,15 +20,18 @@
 
 use std::io::{Read as IoRead, Write as IoWrite};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use dstress_core::engine::RuntimeError;
+use dstress_core::store::latest_checkpoint_round;
 use dstress_core::{
-    BlockStepOutcome, BlockStepTask, CounterProgram, DStressConfig, DStressRun, DStressRuntime,
-    StepContext, StepExecutor, TransferMode, TransferOutcome, TransferTask, TransportKind,
+    BlockStepOutcome, BlockStepTask, CheckpointConfig, CounterProgram, DStressConfig, DStressRun,
+    DStressRuntime, StepContext, StepExecutor, TransferMode, TransferOutcome, TransferTask,
+    TransportKind,
 };
 use dstress_finance::generator::{core_periphery, GeneratorConfig};
 use dstress_graph::Graph;
@@ -72,6 +75,14 @@ pub struct MasterConfig {
     /// makes every remote block MPC exchange its GMW messages over real
     /// loopback TCP; results are bit-identical either way.
     pub worker_transport: TransportKind,
+    /// Directory for round-boundary checkpoints.  When set, the master
+    /// checkpoints after every round, and — if the directory already
+    /// holds a checkpoint for this run — resumes from it instead of
+    /// starting over.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Crash injection: stop right after this round's checkpoint is on
+    /// disk.  The engine surfaces this as [`RuntimeError::Halted`].
+    pub halt_after_round: Option<u64>,
 }
 
 impl MasterConfig {
@@ -87,6 +98,8 @@ impl MasterConfig {
             seed: 0xD57E55,
             graph_seed: 5,
             worker_transport: TransportKind::Socket,
+            checkpoint_dir: None,
+            halt_after_round: None,
         }
     }
 
@@ -96,6 +109,10 @@ impl MasterConfig {
         let mut config = DStressConfig::benchmark(self.collusion_bound);
         config.message_bits = self.width;
         config.seed = self.seed;
+        if let Some(dir) = &self.checkpoint_dir {
+            config = config.with_checkpoint(CheckpointConfig::every_round(dir.clone()));
+        }
+        config.halt_after_round = self.halt_after_round;
         config
     }
 
@@ -516,7 +533,18 @@ fn run_master_inner(
         rounds: config.rounds,
     };
     let executor = RemoteExecutor { fleet: &fleet };
-    let run = runtime.execute_with(&graph, &program, &executor)?;
+    // Resume when the checkpoint directory already holds a round; the
+    // engine validates the manifest's run fingerprint, so a foreign
+    // checkpoint is a typed error rather than a wrong answer.
+    let resume = match &config.checkpoint_dir {
+        Some(dir) => latest_checkpoint_round(dir)?.is_some(),
+        None => false,
+    };
+    let run = if resume {
+        runtime.resume_with(&graph, &program, &executor)?
+    } else {
+        runtime.execute_with(&graph, &program, &executor)?
+    };
 
     let worker_traffic = fleet.finish()?;
     status.set_phase("done");
@@ -558,6 +586,21 @@ mod tests {
         probe.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.0 404"), "{response}");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn engine_config_threads_checkpoint_knobs() {
+        let mut config = MasterConfig::loopback(2);
+        assert!(config.engine_config().checkpoint.is_none());
+        assert!(config.engine_config().halt_after_round.is_none());
+
+        config.checkpoint_dir = Some(PathBuf::from("/tmp/ckpt"));
+        config.halt_after_round = Some(0);
+        let engine = config.engine_config();
+        let checkpoint = engine.checkpoint.expect("checkpoint config is threaded");
+        assert_eq!(checkpoint.dir, PathBuf::from("/tmp/ckpt"));
+        assert_eq!(checkpoint.cadence(), 1);
+        assert_eq!(engine.halt_after_round, Some(0));
     }
 
     #[test]

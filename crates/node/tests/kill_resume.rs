@@ -1,0 +1,145 @@
+//! Kill-and-resume recovery, end to end over loopback TCP.
+//!
+//! Phase one runs a master with `--checkpoint-dir` and
+//! `--halt-after-round 0`: the master computes round 0 on three
+//! workers, writes the round-boundary checkpoint, prints `HALTED 0`
+//! and exits 0 — an injected crash with the checkpoint already on
+//! disk.  The phase-one workers lose their master mid-run and are
+//! simply killed; no state of theirs is needed.
+//!
+//! Phase two starts a fresh master on the same checkpoint directory
+//! with a fresh fleet.  It finds the checkpoint, resumes from the
+//! recorded round and RNG position, and must release the exact value
+//! an uninterrupted in-process run produces — bit for bit, with the
+//! same ideal output.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use dstress_core::{CounterProgram, DStressRuntime};
+use dstress_deploy::master::MasterConfig;
+
+/// Kills the child on drop so a failing assertion never leaks
+/// processes.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("master stdout stays open");
+    line.trim_end().to_string()
+}
+
+fn spawn_master(extra: &[&str]) -> (ChildGuard, BufReader<std::process::ChildStdout>, String) {
+    let mut master = ChildGuard(
+        Command::new(env!("CARGO_BIN_EXE_dstress-master"))
+            .args(["--workers", "3", "--rounds", "2"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn dstress-master"),
+    );
+    let mut master_out = BufReader::new(master.0.stdout.take().expect("piped stdout"));
+    let listen = read_line(&mut master_out);
+    let addr = listen
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("expected LISTEN line, got {listen:?}"))
+        .to_string();
+    (master, master_out, addr)
+}
+
+fn spawn_workers(addr: &str) -> Vec<ChildGuard> {
+    (0..3)
+        .map(|_| {
+            ChildGuard(
+                Command::new(env!("CARGO_BIN_EXE_dstress-node"))
+                    .args(["--master", addr])
+                    .spawn()
+                    .expect("spawn dstress-node"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn master_killed_between_rounds_resumes_to_the_same_bits() {
+    let checkpoint_dir =
+        std::env::temp_dir().join(format!("dstress-kill-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+    let dir_arg = checkpoint_dir.to_str().expect("utf-8 temp path");
+
+    // Phase one: crash right after round 0's checkpoint.
+    let (mut master, mut master_out, addr) =
+        spawn_master(&["--checkpoint-dir", dir_arg, "--halt-after-round", "0"]);
+    let workers = spawn_workers(&addr);
+    let halted = read_line(&mut master_out);
+    assert_eq!(halted, "HALTED 0", "expected the injected crash");
+    let status = master.0.wait().expect("master exit status");
+    assert!(status.success(), "a halt is not a failure, got {status}");
+    std::mem::forget(master);
+    // The phase-one workers lost their master mid-run; kill them
+    // without asserting on their exit status.
+    drop(workers);
+
+    assert!(
+        checkpoint_dir.join("checkpoint-00000001.ckpt").is_file(),
+        "round 0's checkpoint survives the crash"
+    );
+
+    // Phase two: a fresh master and fresh fleet resume from disk.
+    let (mut master, mut master_out, addr) = spawn_master(&["--checkpoint-dir", dir_arg]);
+    let workers = spawn_workers(&addr);
+
+    let result = read_line(&mut master_out);
+    let payload = result
+        .strip_prefix("RESULT ")
+        .unwrap_or_else(|| panic!("expected RESULT line, got {result:?}"));
+    let mut parts = payload.split_whitespace();
+    let noised = u64::from_str_radix(parts.next().expect("noised bits"), 16).unwrap();
+    let ideal = u64::from_str_radix(parts.next().expect("ideal bits"), 16).unwrap();
+    let wire = read_line(&mut master_out);
+    assert!(wire.starts_with("WORKER_WIRE_BYTES "), "{wire}");
+    assert_eq!(read_line(&mut master_out), "DONE");
+
+    for mut worker in workers {
+        let status = worker.0.wait().expect("worker exit status");
+        assert!(status.success(), "worker exited with {status}");
+        std::mem::forget(worker);
+    }
+    let status = master.0.wait().expect("master exit status");
+    assert!(status.success(), "master exited with {status}");
+    std::mem::forget(master);
+
+    // The pin: the crashed-and-resumed deployment equals an
+    // uninterrupted in-process run bit for bit.
+    let mut config = MasterConfig::loopback(3);
+    config.rounds = 2;
+    let graph = config.build_graph();
+    let program = CounterProgram {
+        width: config.width,
+        rounds: config.rounds,
+    };
+    let run = DStressRuntime::new(config.engine_config())
+        .execute(&graph, &program)
+        .expect("in-process run");
+    assert_eq!(
+        noised,
+        run.noised_output.to_bits(),
+        "resumed noised output diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        ideal,
+        run.ideal_output.to_bits(),
+        "resumed ideal output diverged from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+}

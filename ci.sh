@@ -122,6 +122,30 @@ cargo test --release -q -p dstress-bench --test persist_recovery -- --ignored
 echo "==> repro -- persist smoke (quick sweep includes a measured N = 12,000 point)"
 cargo run --release -q -p dstress-bench --bin repro -- persist --threads 2 > /dev/null
 
+echo "==> DP edge cases: integer budget ledger, geometric clamp, PSA aggregation"
+# The micro-ε budget accounting (max_queries == successful charges at FP
+# boundaries, million-charge drift-free totals, typed errors), the
+# for_epsilon underflow clamp, and the PSA encrypt/aggregate/decrypt
+# round-trip with mask cancellation.
+cargo test -q -p dstress-dp budget::
+cargo test -q -p dstress-dp geometric::
+cargo test -q -p dstress-dp psa::
+
+echo "==> analytics suite: plaintext references, circuit programs, engine releases"
+# The four scenario programs (degree histogram, WCC, SSSP, PageRank):
+# circuit == reference on every vertex, engine releases inside the
+# analytic error bounds, fixed-point quantisation accounting.
+cargo test -q -p dstress-graph analytics::
+cargo test --release -q -p dstress-core analytics::
+
+echo "==> recurring releases: ε composition, exhaustion, full-MPC/PSA cadence"
+cargo test --release -q -p dstress-core schedule::
+cargo test --release -q -p dstress-finance monitor::
+cargo test --release -q -p dstress-bench --lib scenarios::
+
+echo "==> repro -- scenarios smoke (per-program releases + recurring A/B into BENCH_results.json)"
+cargo run --release -q -p dstress-bench --bin repro -- scenarios --threads 2 > /dev/null
+
 echo "==> kill-and-resume e2e (master halted between rounds, restarted from checkpoint)"
 cargo test --release -q -p dstress-deploy --test kill_resume
 

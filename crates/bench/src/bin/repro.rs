@@ -14,7 +14,11 @@
 //! `transfer` (the four transfer experiments), `fig5-time`,
 //! `fig5-traffic`, `fig6`, `scale`, `naive-baseline`, `utility`,
 //! `edge-privacy`, `contagion`, `concurrency`, `sockets`, `rounds`,
-//! `bytes`, `persist`, `all`.  The `transfer-kernels` experiment is the crypto-kernel
+//! `bytes`, `persist`, `scenarios`, `all`.  The `scenarios` experiment
+//! runs the DP graph-analytics suite (degree histogram, WCC, SSSP,
+//! PageRank) through the full engine, asserts every release lands inside
+//! its analytic error bound, and A/Bs K recurring full-MPC releases
+//! against K PSA releases on one shared privacy budget.  The `transfer-kernels` experiment is the crypto-kernel
 //! A/B: the same transfers on the 256-bit production group with the
 //! exponentiation kernels off (square-and-multiply everywhere) and on
 //! (windowed fixed-base tables, shared-ephemeral aggregation, fused table
@@ -61,6 +65,7 @@ use dstress_bench::results::BenchResults;
 use dstress_bench::scalability::{
     concurrency_comparison, fig6_node_counts, fig6_sweep, headline_projection, validation_point,
 };
+use dstress_bench::scenarios::{recurring_comparison, scenario_rows};
 use dstress_bench::streaming_scale::{scale_sweep, streaming_determinism_check, ScaleTopology};
 use dstress_bench::transfer_micro::{
     block_size_sweep_with_threads as transfer_sweep, run_transfer_kernels_ab,
@@ -731,6 +736,89 @@ fn persist(full: bool, threads: usize, results: &mut BenchResults) {
     assert!(identical, "resume must reproduce the uninterrupted run");
 }
 
+fn scenarios(full: bool, results: &mut BenchResults) {
+    header("Scenarios: DP graph-analytics suite (engine releases vs plaintext references)");
+    println!(
+        "{:<18} {:>4} {:>5} {:>12} {:>12} {:>10} {:>10} {:>6} {:>10} {:>12}",
+        "program",
+        "N",
+        "iter",
+        "released",
+        "reference",
+        "|err|",
+        "bound",
+        "sens",
+        "wall",
+        "traffic/node"
+    );
+    for row in scenario_rows(full) {
+        assert!(
+            row.within_bound(),
+            "{} release outside its analytic bound",
+            row.program
+        );
+        println!(
+            "{:<18} {:>4} {:>5} {:>12.4} {:>12.4} {:>10.4} {:>10.1} {:>6.2} {:>10} {:>12}",
+            row.program,
+            row.vertices,
+            row.iterations,
+            row.released,
+            row.reference,
+            row.error(),
+            row.error_bound,
+            row.sensitivity,
+            format_seconds(row.measured_seconds),
+            format_bytes(row.traffic_per_node_bytes),
+        );
+        results
+            .point("scenarios", row.program)
+            .wall_seconds(row.measured_seconds)
+            .counts(row.counts)
+            .extra("released", row.released)
+            .extra("reference", row.reference)
+            .extra("released_error", row.error())
+            .extra("error_bound", row.error_bound)
+            .extra("sensitivity", row.sensitivity)
+            .extra("epsilon", row.epsilon)
+            .extra("iterations", row.iterations as f64)
+            .extra("traffic_per_node_bytes", row.traffic_per_node_bytes);
+    }
+    println!(
+        "(every release must land inside quantisation + Laplace tail at delta = 1e-9; asserted)"
+    );
+
+    let cmp = recurring_comparison(full);
+    println!(
+        "Recurring releases ({} per arm, eps {} each, one shared budget):",
+        cmp.releases_per_arm, cmp.epsilon_per_release
+    );
+    println!(
+        "  full MPC {} per release, PSA {} per release  =>  PSA {:.0}x cheaper; eps spent {:.2}",
+        format_seconds(cmp.full_seconds_per_release),
+        format_seconds(cmp.psa_seconds_per_release),
+        cmp.speedup(),
+        cmp.epsilon_spent,
+    );
+    assert!(
+        cmp.speedup() > 1.0,
+        "PSA releases must be cheaper per release than full MPC"
+    );
+    results
+        .point("scenarios", "recurring full-mpc")
+        .wall_seconds(cmp.full_seconds_per_release)
+        .extra("releases", cmp.releases_per_arm as f64)
+        .extra("mean_value", cmp.full_mean_value)
+        .extra("reference", cmp.reference);
+    results
+        .point("scenarios", "recurring psa")
+        .wall_seconds(cmp.psa_seconds_per_release)
+        .extra("releases", cmp.releases_per_arm as f64)
+        .extra("mean_value", cmp.psa_mean_value)
+        .extra("reference", cmp.reference)
+        .extra("speedup_vs_full", cmp.speedup())
+        .extra("epsilon_spent", cmp.epsilon_spent);
+}
+
 fn naive(full: bool, results: &mut BenchResults) {
     header("§5.5: naive monolithic-MPC baseline vs DStress");
     let comparison = if full {
@@ -867,6 +955,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "sockets" => sockets(full, threads, results),
         "rounds" => rounds(full, results),
         "bytes" => bytes(full, threads, results),
+        "scenarios" => scenarios(full, results),
         "naive-baseline" => naive(full, results),
         "utility" => utility(),
         "edge-privacy" => edge_privacy(),
@@ -890,6 +979,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "sockets",
                 "rounds",
                 "bytes",
+                "scenarios",
                 "naive-baseline",
                 "utility",
                 "edge-privacy",
@@ -929,7 +1019,7 @@ fn main() {
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
              transfer-ablation transfer-kernels transfer fig5 fig6 scale persist concurrency \
-             sockets rounds bytes naive-baseline utility edge-privacy contagion all"
+             sockets rounds bytes scenarios naive-baseline utility edge-privacy contagion all"
         );
         std::process::exit(1);
     }

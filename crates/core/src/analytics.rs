@@ -1,0 +1,639 @@
+//! Circuit encodings of the DP graph-analytics suite.
+//!
+//! Four classic graph analytics as [`SecureVertexProgram`]s — the
+//! ROADMAP's "scenario diversity" workloads.  Each mirrors, bit for bit,
+//! the timeline of its plaintext reference in
+//! [`dstress_graph::analytics`]: the same update/message semantics under
+//! the engine's `I` rounds + final update schedule, so a secure run's
+//! pre-noise `ideal_output` equals the reference aggregate exactly
+//! (integer programs) or up to fixed-point quantisation (PageRank).
+//!
+//! Every program releases a single scalar and carries the edge-DP
+//! sensitivity of that scalar (documented per type in the reference
+//! module), which the engine feeds to the Laplace mechanism — the same
+//! plumbing the finance case studies use.
+//!
+//! The no-op message `⊥` is all-zero bits throughout, which is why the
+//! value-carrying encodings below reserve 0: SSSP messages carry
+//! `distance + 1`, WCC labels are `vertex id + 1`.
+
+use crate::program::SecureVertexProgram;
+use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder, Word};
+use dstress_circuit::Circuit;
+use dstress_graph::analytics::PAGERANK_DAMPING;
+use dstress_graph::{Graph, VertexId};
+
+/// Folds `state` with the minimum of the non-⊥ (non-zero) incoming
+/// message slots — the shared core of the SSSP and WCC update circuits.
+fn min_over_nonzero_messages(
+    b: &mut CircuitBuilder,
+    state: &Word,
+    incoming: &[Word],
+    width: u32,
+) -> Word {
+    let zero = b.const_word(0, width);
+    let mut acc = state.clone();
+    for msg in incoming {
+        let is_noop = b.eq_word(msg, &zero);
+        let carries_value = b.not(is_noop);
+        let candidate = b.min_unsigned(&acc, msg);
+        acc = b.mux_word(carries_value, &candidate, &acc);
+    }
+    acc
+}
+
+/// One bin of the private degree histogram: releases how many vertices
+/// have out-degree in `[lo, hi]`.
+///
+/// Communication-free (one round of all-⊥ messages keeps the traffic
+/// pattern uniform); a full histogram is a sequence of single-bin
+/// releases composed by the budget accountant.  Sensitivity 1 (edge-DP):
+/// one edge moves at most one vertex across a bin boundary.
+pub struct DegreeHistogramProgram {
+    /// Word width of the per-vertex degree state.
+    pub width: u32,
+    /// Inclusive lower bin edge.
+    pub lo: u64,
+    /// Inclusive upper bin edge.
+    pub hi: u64,
+}
+
+impl SecureVertexProgram for DegreeHistogramProgram {
+    fn state_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn message_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn aggregate_bits(&self) -> u32 {
+        32
+    }
+
+    fn iterations(&self) -> u32 {
+        1
+    }
+
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    fn encode_initial_state(&self, graph: &Graph, v: VertexId) -> Vec<bool> {
+        let degree = graph.out_degree(v) as u64;
+        assert!(
+            degree < (1u64 << self.width),
+            "degree {degree} does not fit in {} bits",
+            self.width
+        );
+        encode_word(degree, self.width)
+    }
+
+    fn update_circuit(&self, degree_bound: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let state = b.input_word(self.width);
+        for _ in 0..degree_bound {
+            b.input_word(self.width);
+        }
+        b.output_word(&state); // Degree is static: pass it through.
+        let noop = b.const_word(0, self.width);
+        for _ in 0..degree_bound {
+            b.output_word(&noop);
+        }
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn aggregation_circuit(&self, vertices: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let states: Vec<_> = (0..vertices).map(|_| b.input_word(self.width)).collect();
+        let lo = b.const_word(self.lo, self.width);
+        let hi = b.const_word(self.hi, self.width);
+        let indicators: Vec<Word> = states
+            .iter()
+            .map(|s| {
+                let below = b.lt_unsigned(s, &lo);
+                let above = b.lt_unsigned(&hi, s);
+                let outside = b.or(below, above);
+                let inside = b.not(outside);
+                b.zero_extend(&vec![inside], 32)
+            })
+            .collect();
+        let count = b.sum(&indicators);
+        b.output_word(&count);
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+        decode_word(bits) as f64
+    }
+}
+
+/// Secure WCC by min-label propagation: releases the number of
+/// component roots (vertices still holding their own label).
+///
+/// Exact component count on symmetric graphs when `rounds ≥ diameter`;
+/// sensitivity 1 (edge-DP).
+pub struct WccProgram {
+    /// Word width of labels (must hold `vertex count`, since labels are
+    /// `v + 1`).
+    pub width: u32,
+    /// Propagation rounds.
+    pub rounds: u32,
+}
+
+impl SecureVertexProgram for WccProgram {
+    fn state_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn message_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn aggregate_bits(&self) -> u32 {
+        32
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    fn encode_initial_state(&self, graph: &Graph, v: VertexId) -> Vec<bool> {
+        let label = v.0 as u64 + 1;
+        assert!(
+            graph.vertex_count() < (1usize << self.width),
+            "labels up to {} do not fit in {} bits",
+            graph.vertex_count(),
+            self.width
+        );
+        encode_word(label, self.width)
+    }
+
+    fn update_circuit(&self, degree_bound: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let state = b.input_word(self.width);
+        let incoming: Vec<_> = (0..degree_bound)
+            .map(|_| b.input_word(self.width))
+            .collect();
+        let new_label = min_over_nonzero_messages(&mut b, &state, &incoming, self.width);
+        b.output_word(&new_label);
+        for _ in 0..degree_bound {
+            b.output_word(&new_label); // Broadcast the adopted label.
+        }
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn aggregation_circuit(&self, vertices: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let states: Vec<_> = (0..vertices).map(|_| b.input_word(self.width)).collect();
+        let indicators: Vec<Word> = states
+            .iter()
+            .enumerate()
+            .map(|(v, s)| {
+                let own = b.const_word(v as u64 + 1, self.width);
+                let is_root = b.eq_word(s, &own);
+                b.zero_extend(&vec![is_root], 32)
+            })
+            .collect();
+        let count = b.sum(&indicators);
+        b.output_word(&count);
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+        decode_word(bits) as f64
+    }
+}
+
+/// Secure SSSP hop counts: releases the distance from `source` to
+/// `target`, truncated at `rounds + 1` ("farther than observable").
+///
+/// Messages carry `distance + 1` with ⊥ = 0.  Sensitivity `rounds + 1`
+/// (edge-DP: one edge can swing the release across its whole range).
+pub struct SsspProgram {
+    /// Word width of distances (must hold the cap `rounds + 1`).
+    pub width: u32,
+    /// Source vertex (distance 0).
+    pub source: VertexId,
+    /// Vertex whose truncated distance is released.
+    pub target: VertexId,
+    /// Propagation rounds.
+    pub rounds: u32,
+}
+
+impl SsspProgram {
+    /// The truncation cap `rounds + 1`.
+    pub fn cap(&self) -> u64 {
+        self.rounds as u64 + 1
+    }
+}
+
+impl SecureVertexProgram for SsspProgram {
+    fn state_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn message_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn aggregate_bits(&self) -> u32 {
+        self.width
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        self.cap() as f64
+    }
+
+    fn encode_initial_state(&self, _graph: &Graph, v: VertexId) -> Vec<bool> {
+        assert!(
+            self.cap() + 1 < (1u64 << self.width),
+            "cap {} does not fit in {} bits",
+            self.cap(),
+            self.width
+        );
+        let initial = if v == self.source { 0 } else { self.cap() };
+        encode_word(initial, self.width)
+    }
+
+    fn update_circuit(&self, degree_bound: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let state = b.input_word(self.width);
+        let incoming: Vec<_> = (0..degree_bound)
+            .map(|_| b.input_word(self.width))
+            .collect();
+        // A message m ≠ 0 offers distance m through the sending edge.
+        let new_dist = min_over_nonzero_messages(&mut b, &state, &incoming, self.width);
+        b.output_word(&new_dist);
+        // Outgoing: dist + 1 when within the horizon, ⊥ otherwise.
+        let cap = b.const_word(self.cap(), self.width);
+        let one = b.const_word(1, self.width);
+        let zero = b.const_word(0, self.width);
+        let reached = b.lt_unsigned(&new_dist, &cap);
+        let offer = b.add(&new_dist, &one);
+        let outgoing = b.mux_word(reached, &offer, &zero);
+        for _ in 0..degree_bound {
+            b.output_word(&outgoing);
+        }
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn aggregation_circuit(&self, vertices: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let states: Vec<_> = (0..vertices).map(|_| b.input_word(self.width)).collect();
+        b.output_word(&states[self.target.0]);
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+        decode_word(bits) as f64
+    }
+}
+
+/// Secure PageRank in fixed point: releases the rank of `target` after
+/// `rounds` power iterations with damping `d = 1/4` (dyadic, applied as
+/// an exact right shift — see [`PAGERANK_DAMPING`]).
+///
+/// State is `[rank, 1/outdeg]`, both `frac_bits + 4`-bit fixed-point
+/// words; the private per-vertex `1/outdeg` rides in the state so the
+/// message circuit can divide without a division gate.  Sensitivity
+/// `2d/(1 − d) = 2/3` in rank units (edge-DP).
+pub struct PageRankProgram {
+    /// Fractional bits of the fixed-point encoding.
+    pub frac_bits: u32,
+    /// Vertex whose rank is released.
+    pub target: VertexId,
+    /// Power-iteration rounds.
+    pub rounds: u32,
+    /// Vertex count `N` (baked into the `(1 − d)/N` circuit constant).
+    pub vertices: usize,
+}
+
+impl PageRankProgram {
+    /// Word width: `frac_bits` plus headroom for message sums.
+    fn width(&self) -> u32 {
+        self.frac_bits + 4
+    }
+
+    /// The circuit constant `(1 − d)/N` in fixed point.
+    fn base_units(&self) -> u64 {
+        let scale = (1u64 << self.frac_bits) as f64;
+        ((1.0 - PAGERANK_DAMPING) / self.vertices as f64 * scale).round() as u64
+    }
+
+    /// Worst-case absolute error of the released rank versus the
+    /// real-valued reference, in rank units: every round each of the
+    /// `degree_bound` incoming messages carries one `mul_fixed`
+    /// truncation plus the `1/outdeg` quantisation, damped by `d`.
+    pub fn quantisation_bound(&self, degree_bound: usize) -> f64 {
+        let ulp = 1.0 / (1u64 << self.frac_bits) as f64;
+        // Per round: d · D · (truncation + inv quantisation) + base rounding,
+        // summed over the geometric propagation (bounded by rounds + 1).
+        (self.rounds as f64 + 1.0) * (degree_bound as f64 * 2.0 * PAGERANK_DAMPING + 1.0) * ulp
+    }
+}
+
+impl SecureVertexProgram for PageRankProgram {
+    fn state_bits(&self) -> u32 {
+        2 * self.width()
+    }
+
+    fn message_bits(&self) -> u32 {
+        self.width()
+    }
+
+    fn aggregate_bits(&self) -> u32 {
+        self.width()
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        (2.0 * PAGERANK_DAMPING / (1.0 - PAGERANK_DAMPING)).min(1.0)
+    }
+
+    fn encode_initial_state(&self, graph: &Graph, v: VertexId) -> Vec<bool> {
+        assert_eq!(
+            graph.vertex_count(),
+            self.vertices,
+            "program was built for a different vertex count"
+        );
+        let scale = (1u64 << self.frac_bits) as f64;
+        let rank0 = (scale / self.vertices as f64).round() as u64;
+        let outdeg = graph.out_degree(v);
+        let inv = if outdeg == 0 {
+            0
+        } else {
+            (scale / outdeg as f64).round() as u64
+        };
+        let mut bits = encode_word(rank0, self.width());
+        bits.extend(encode_word(inv, self.width()));
+        bits
+    }
+
+    fn update_circuit(&self, degree_bound: usize) -> Circuit {
+        let w = self.width();
+        let mut b = CircuitBuilder::new();
+        let _rank = b.input_word(w); // Overwritten every round.
+        let inv_outdeg = b.input_word(w);
+        let incoming: Vec<_> = (0..degree_bound).map(|_| b.input_word(w)).collect();
+
+        // rank' = (1 − d)/N + d · Σ messages, with d = 1/4 as a shift.
+        let mass = b.sum(&incoming);
+        let damped = b.shr_const(&mass, 2);
+        let base = b.const_word(self.base_units(), w);
+        let new_rank = b.add(&base, &damped);
+
+        b.output_word(&new_rank);
+        b.output_word(&inv_outdeg);
+
+        // message = rank' / outdeg, via the private fixed-point inverse.
+        let outgoing = b.mul_fixed(&new_rank, &inv_outdeg, self.frac_bits);
+        for _ in 0..degree_bound {
+            b.output_word(&outgoing);
+        }
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn aggregation_circuit(&self, vertices: usize) -> Circuit {
+        let w = self.width();
+        let mut b = CircuitBuilder::new();
+        let mut target_rank = None;
+        for v in 0..vertices {
+            let rank = b.input_word(w);
+            let _inv = b.input_word(w);
+            if v == self.target.0 {
+                target_rank = Some(rank);
+            }
+        }
+        b.output_word(&target_rank.expect("target vertex within range"));
+        b.build().expect("builder circuits are well formed")
+    }
+
+    fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+        decode_word(bits) as f64 / (1u64 << self.frac_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DStressConfig;
+    use crate::engine::DStressRuntime;
+    use crate::program::execute_plaintext;
+    use dstress_graph::analytics::{DegreeBin, PageRankRef, SsspHops, WccLabels};
+    use dstress_graph::execute_reference;
+
+    /// The shared utility-test topology: two components — an undirected
+    /// path 0–1–2–3 and a triangle 4–5–6.
+    fn two_component_graph() -> Graph {
+        let mut g = Graph::new(7, 4);
+        for i in 0..3 {
+            g.add_bidirectional(VertexId(i), VertexId(i + 1)).unwrap();
+        }
+        g.add_bidirectional(VertexId(4), VertexId(5)).unwrap();
+        g.add_bidirectional(VertexId(5), VertexId(6)).unwrap();
+        g.add_bidirectional(VertexId(6), VertexId(4)).unwrap();
+        g
+    }
+
+    /// Asserts a secure release sits within the analytic error bound
+    /// around the plaintext reference: the fixed-point quantisation (0
+    /// for the integer programs) plus the Laplace tail bound at
+    /// δ = 10⁻⁹ for the run's sensitivity/ε.
+    fn assert_release_within_bounds(
+        released: f64,
+        reference: f64,
+        quantisation: f64,
+        sensitivity: f64,
+        epsilon: f64,
+    ) {
+        let laplace_tail = sensitivity / epsilon * (1e-9f64).recip().ln();
+        let bound = quantisation + laplace_tail;
+        assert!(
+            (released - reference).abs() <= bound,
+            "released {released} vs reference {reference}: outside ±{bound}"
+        );
+    }
+
+    #[test]
+    fn degree_histogram_circuit_matches_reference() {
+        let g = two_component_graph();
+        for (lo, hi) in [(0u64, 1), (2, 2), (3, 4), (0, 8)] {
+            let secure = DegreeHistogramProgram { width: 8, lo, hi };
+            let reference = execute_reference(&g, &DegreeBin::new(&g, lo, hi));
+            assert_eq!(
+                execute_plaintext(&g, &secure),
+                reference.aggregate,
+                "bin [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn wcc_circuit_matches_reference() {
+        let g = two_component_graph();
+        let secure = WccProgram {
+            width: 8,
+            rounds: 4,
+        };
+        let reference = execute_reference(&g, &WccLabels { rounds: 4 });
+        assert_eq!(execute_plaintext(&g, &secure), reference.aggregate);
+        assert_eq!(reference.aggregate, 2.0);
+    }
+
+    #[test]
+    fn sssp_circuit_matches_reference_including_truncation() {
+        let g = two_component_graph();
+        for (target, rounds) in [(3usize, 4u32), (3, 2), (6, 3)] {
+            let secure = SsspProgram {
+                width: 8,
+                source: VertexId(0),
+                target: VertexId(target),
+                rounds,
+            };
+            let reference = execute_reference(
+                &g,
+                &SsspHops {
+                    source: VertexId(0),
+                    target: VertexId(target),
+                    rounds,
+                },
+            );
+            assert_eq!(
+                execute_plaintext(&g, &secure),
+                reference.aggregate,
+                "target {target}, rounds {rounds}"
+            );
+        }
+        // Vertex 6 is unreachable from 0: the release is the cap.
+        let unreachable = SsspProgram {
+            width: 8,
+            source: VertexId(0),
+            target: VertexId(6),
+            rounds: 3,
+        };
+        assert_eq!(execute_plaintext(&g, &unreachable), 4.0);
+    }
+
+    #[test]
+    fn pagerank_circuit_tracks_reference_within_quantisation() {
+        let g = two_component_graph();
+        let secure = PageRankProgram {
+            frac_bits: 12,
+            target: VertexId(1),
+            rounds: 8,
+            vertices: g.vertex_count(),
+        };
+        let reference = execute_reference(&g, &PageRankRef::new(&g, VertexId(1), 8));
+        let circuit_value = execute_plaintext(&g, &secure);
+        let bound = secure.quantisation_bound(g.degree_bound());
+        assert!(
+            (circuit_value - reference.aggregate).abs() <= bound,
+            "circuit {circuit_value} vs reference {} (bound {bound})",
+            reference.aggregate
+        );
+        // The bound is tight enough to be meaningful at this scale.
+        assert!(bound < 0.05, "quantisation bound {bound} too loose");
+    }
+
+    #[test]
+    fn engine_releases_each_program_within_analytic_bounds() {
+        let g = two_component_graph();
+        let mut config = DStressConfig::small_test(2);
+        config.epsilon = 1.0;
+
+        // Degree histogram: bin [2, 2] holds the path interior + triangle.
+        let histogram = DegreeHistogramProgram {
+            width: 8,
+            lo: 2,
+            hi: 2,
+        };
+        let run = DStressRuntime::new(config.clone())
+            .execute(&g, &histogram)
+            .unwrap();
+        assert_eq!(run.ideal_output, 5.0);
+        assert_release_within_bounds(run.noised_output, 5.0, 0.0, 1.0, config.epsilon);
+
+        // WCC: two components.
+        let wcc = WccProgram {
+            width: 8,
+            rounds: 4,
+        };
+        let run = DStressRuntime::new(config.clone())
+            .execute(&g, &wcc)
+            .unwrap();
+        assert_eq!(run.ideal_output, 2.0);
+        assert_release_within_bounds(run.noised_output, 2.0, 0.0, 1.0, config.epsilon);
+
+        // SSSP: distance 0 → 3 is 3 hops.
+        let sssp = SsspProgram {
+            width: 8,
+            source: VertexId(0),
+            target: VertexId(3),
+            rounds: 4,
+        };
+        let run = DStressRuntime::new(config.clone())
+            .execute(&g, &sssp)
+            .unwrap();
+        assert_eq!(run.ideal_output, 3.0);
+        assert_release_within_bounds(
+            run.noised_output,
+            3.0,
+            0.0,
+            sssp.sensitivity(),
+            config.epsilon,
+        );
+
+        // PageRank: the engine's pre-noise output equals the plaintext
+        // circuit exactly; the release adds Laplace on top of that plus
+        // the quantisation slack against the real-valued reference.
+        let pagerank = PageRankProgram {
+            frac_bits: 12,
+            target: VertexId(1),
+            rounds: 4,
+            vertices: g.vertex_count(),
+        };
+        let run = DStressRuntime::new(config.clone())
+            .execute(&g, &pagerank)
+            .unwrap();
+        assert_eq!(run.ideal_output, execute_plaintext(&g, &pagerank));
+        let reference = execute_reference(&g, &PageRankRef::new(&g, VertexId(1), 4));
+        assert_release_within_bounds(
+            run.noised_output,
+            reference.aggregate,
+            pagerank.quantisation_bound(g.degree_bound()),
+            pagerank.sensitivity(),
+            config.epsilon,
+        );
+    }
+
+    #[test]
+    fn pagerank_state_layout_has_rank_then_inverse() {
+        let g = two_component_graph();
+        let p = PageRankProgram {
+            frac_bits: 12,
+            target: VertexId(0),
+            rounds: 1,
+            vertices: g.vertex_count(),
+        };
+        let bits = p.encode_initial_state(&g, VertexId(1));
+        assert_eq!(bits.len(), p.state_bits() as usize);
+        let w = (p.state_bits() / 2) as usize;
+        let rank0 = decode_word(&bits[..w]);
+        let inv = decode_word(&bits[w..]);
+        assert_eq!(rank0, (4096.0 / 7.0_f64).round() as u64);
+        // Vertex 1 has out-degree 2 in the path.
+        assert_eq!(inv, 2048);
+    }
+}

@@ -11,8 +11,14 @@
 //!
 //! Modules:
 //!
+//! * [`analytics`] — the DP graph-analytics suite (PageRank, WCC, SSSP,
+//!   degree histogram) as circuit programs, mirroring the plaintext
+//!   references in `dstress_graph::analytics`.
 //! * [`config`] — runtime configuration (collusion bound, message width,
 //!   privacy parameters, execution mode).
+//! * [`schedule`] — recurring releases: a budget accountant gating the
+//!   full-MPC and PSA release pipelines with ε composition across
+//!   releases.
 //! * [`program`] — the [`program::SecureVertexProgram`] trait: the
 //!   circuit-level description of a vertex program (initial-state
 //!   encoding, update circuit, aggregation circuit, sensitivity).
@@ -48,15 +54,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod config;
 pub mod engine;
 pub mod exec;
 pub mod noise_circuit;
 pub mod program;
 pub mod projection;
+pub mod schedule;
 pub mod store;
 pub mod wire;
 
+pub use analytics::{DegreeHistogramProgram, PageRankProgram, SsspProgram, WccProgram};
 pub use config::{CheckpointConfig, ConcurrencyMode, DStressConfig, TransferMode, TransportKind};
 pub use engine::{DStressRun, DStressRuntime, PhaseBreakdown, PhaseCosts, BLOCKS_PER_WORKER};
 pub use exec::{
@@ -65,4 +74,5 @@ pub use exec::{
 };
 pub use program::{execute_plaintext, CounterProgram, SecureVertexProgram};
 pub use projection::{ProjectionInputs, ProjectionResult, ScalabilityModel};
+pub use schedule::{ReleaseMode, ReleaseRecord, ReleaseSchedule, ScheduleError};
 pub use store::{MemStore, RunDirGuard, SpillStore, StateStore, StoreError, SEGMENT_ROWS};

@@ -1,0 +1,362 @@
+//! Recurring releases with budget composition.
+//!
+//! A one-shot DStress run answers a single query under a single ε.  Real
+//! deployments *recur*: the systemic-risk monitor published monthly, a
+//! degree histogram released bin by bin, a metric refreshed every round.
+//! Sequential composition makes the privacy cost additive — `K` releases
+//! at ε_round spend `K · ε_round` — so every release must clear a shared
+//! [`BudgetAccountant`] before it runs.
+//!
+//! [`ReleaseSchedule`] is that gate.  It offers two release paths:
+//!
+//! * [`ReleaseSchedule::release_full`] — the full MPC pipeline (blocks,
+//!   GMW, transfer protocol, Laplace release) via [`DStressRuntime`],
+//!   rerun with the schedule's per-release ε and a per-release seed.
+//! * [`ReleaseSchedule::release_psa`] — the private-stream-aggregation
+//!   path ([`PsaSystem`]): one ciphertext per participant per round with
+//!   geometric noise folded in, no MPC at all.  Orders of magnitude
+//!   cheaper per release (`repro -- scenarios` measures the ratio); the
+//!   trade is that PSA only computes *additive* statistics, so the
+//!   monitor uses it for interim releases between full-MPC runs.
+//!
+//! The budget is charged **before** the release executes and is not
+//! refunded on failure: a failed run may still have leaked through
+//! timing or partial outputs, so the accountant stays conservative.
+//! When the budget runs out the schedule refuses further releases until
+//! [`ReleaseSchedule::replenish`] (the paper's §4.5 annual reset).
+
+use crate::config::DStressConfig;
+use crate::engine::{DStressRuntime, RuntimeError};
+use crate::program::SecureVertexProgram;
+use dstress_dp::psa::{PsaError, PsaSystem};
+use dstress_dp::{BudgetAccountant, BudgetError};
+use dstress_graph::Graph;
+use dstress_math::rng::{splitmix64_finalize, DetRng};
+use std::fmt;
+
+/// Why a scheduled release did not produce a value.
+#[derive(Debug)]
+pub enum ScheduleError {
+    /// The budget accountant refused the charge (exhausted or invalid ε).
+    Budget(BudgetError),
+    /// The full-MPC pipeline failed.
+    Runtime(RuntimeError),
+    /// The PSA pipeline failed.
+    Psa(PsaError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Budget(e) => write!(f, "release refused: {e}"),
+            ScheduleError::Runtime(e) => write!(f, "full-MPC release failed: {e}"),
+            ScheduleError::Psa(e) => write!(f, "PSA release failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<BudgetError> for ScheduleError {
+    fn from(e: BudgetError) -> Self {
+        ScheduleError::Budget(e)
+    }
+}
+
+impl From<RuntimeError> for ScheduleError {
+    fn from(e: RuntimeError) -> Self {
+        ScheduleError::Runtime(e)
+    }
+}
+
+impl From<PsaError> for ScheduleError {
+    fn from(e: PsaError) -> Self {
+        ScheduleError::Psa(e)
+    }
+}
+
+/// How a recorded release was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseMode {
+    /// Full MPC pipeline with a Laplace release.
+    FullMpc,
+    /// Private stream aggregation with geometric noise.
+    Psa,
+}
+
+/// One completed release.
+#[derive(Clone, Debug)]
+pub struct ReleaseRecord {
+    /// The label charged to the audit trail.
+    pub label: String,
+    /// Which pipeline produced it.
+    pub mode: ReleaseMode,
+    /// The released (noisy) value.
+    pub value: f64,
+    /// The ε spent on it.
+    pub epsilon: f64,
+}
+
+/// A recurring-release schedule: a budget accountant in front of the two
+/// release pipelines, with an audit trail of everything released.
+pub struct ReleaseSchedule {
+    accountant: BudgetAccountant,
+    epsilon_per_release: f64,
+    releases: Vec<ReleaseRecord>,
+}
+
+impl ReleaseSchedule {
+    /// Creates a schedule spending `epsilon_per_release` from `accountant`
+    /// on every release.
+    pub fn new(accountant: BudgetAccountant, epsilon_per_release: f64) -> Self {
+        ReleaseSchedule {
+            accountant,
+            epsilon_per_release,
+            releases: Vec::new(),
+        }
+    }
+
+    /// The per-release ε.
+    pub fn epsilon_per_release(&self) -> f64 {
+        self.epsilon_per_release
+    }
+
+    /// The underlying accountant (total, spent, audit trail).
+    pub fn accountant(&self) -> &BudgetAccountant {
+        &self.accountant
+    }
+
+    /// Completed releases, in order.
+    pub fn releases(&self) -> &[ReleaseRecord] {
+        &self.releases
+    }
+
+    /// How many more releases the remaining budget allows.
+    pub fn releases_remaining(&self) -> u32 {
+        let spent_releases = self
+            .accountant
+            .max_queries(self.epsilon_per_release)
+            .map(|total| {
+                let used = (self.accountant.spent() / self.epsilon_per_release).round() as u32;
+                total.saturating_sub(used)
+            });
+        spent_releases.unwrap_or(0)
+    }
+
+    /// Resets the accountant (the §4.5 annual replenishment), keeping the
+    /// release history.
+    pub fn replenish(&mut self) {
+        self.accountant.replenish();
+    }
+
+    fn charge(&mut self, label: &str) -> Result<(), ScheduleError> {
+        self.accountant.charge(label, self.epsilon_per_release)?;
+        Ok(())
+    }
+
+    /// Runs the full MPC pipeline for one scheduled release.
+    ///
+    /// The runtime executes with the schedule's per-release ε (overriding
+    /// `config.epsilon`) and a seed derived from the release index, so
+    /// repeated releases draw independent noise.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Budget`] if the accountant refuses the charge
+    /// (nothing runs in that case), [`ScheduleError::Runtime`] if the
+    /// pipeline fails (the charge is *not* refunded — see module docs).
+    pub fn release_full<P: SecureVertexProgram>(
+        &mut self,
+        config: &DStressConfig,
+        graph: &Graph,
+        program: &P,
+        label: &str,
+    ) -> Result<f64, ScheduleError> {
+        self.charge(label)?;
+        let mut run_config = config.clone();
+        run_config.epsilon = self.epsilon_per_release;
+        run_config.seed ^= splitmix64_finalize(self.releases.len() as u64 + 1);
+        let run = DStressRuntime::new(run_config).execute(graph, program)?;
+        self.releases.push(ReleaseRecord {
+            label: label.to_string(),
+            mode: ReleaseMode::FullMpc,
+            value: run.noised_output,
+            epsilon: self.epsilon_per_release,
+        });
+        Ok(run.noised_output)
+    }
+
+    /// Runs one PSA round for one scheduled release: every participant
+    /// encrypts its value (noise included) and the aggregator decrypts
+    /// the noisy sum.  No MPC runs.
+    ///
+    /// The round number is the release index, so each release re-masks
+    /// under a fresh `H(t)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Budget`] if the accountant refuses the charge,
+    /// [`ScheduleError::Psa`] for pipeline failures (charge not
+    /// refunded).
+    pub fn release_psa(
+        &mut self,
+        psa: &PsaSystem,
+        values: &[u64],
+        label: &str,
+        rng: &mut dyn DetRng,
+    ) -> Result<f64, ScheduleError> {
+        self.charge(label)?;
+        let round = self.releases.len() as u64;
+        let ciphertexts = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| psa.encrypt(i, round, v, rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        let noisy_sum = psa.aggregate(round, &ciphertexts)? as f64;
+        self.releases.push(ReleaseRecord {
+            label: label.to_string(),
+            mode: ReleaseMode::Psa,
+            value: noisy_sum,
+            epsilon: self.epsilon_per_release,
+        });
+        Ok(noisy_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::CounterProgram;
+    use dstress_crypto::group::Group;
+    use dstress_graph::generate::ring_with_chords;
+    use dstress_math::rng::Xoshiro256;
+
+    fn tiny_graph() -> Graph {
+        let mut rng = Xoshiro256::new(7);
+        ring_with_chords(5, 0, 2, &mut rng)
+    }
+
+    #[test]
+    fn k_full_releases_compose_k_epsilon_and_exhaust_on_k_plus_one() {
+        // Budget 0.3, ε_round 0.1: exactly 3 releases fit (the budget
+        // bugfix makes this boundary exact — see dstress-dp).
+        let mut schedule = ReleaseSchedule::new(BudgetAccountant::new(0.3), 0.1);
+        let graph = tiny_graph();
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let config = DStressConfig::benchmark(2);
+
+        assert_eq!(schedule.releases_remaining(), 3);
+        for month in 0..3 {
+            let label = format!("monitor month {month}");
+            schedule
+                .release_full(&config, &graph, &program, &label)
+                .unwrap();
+        }
+        assert_eq!(schedule.releases().len(), 3);
+        // Audit trail composes to exactly K · ε_round.
+        assert!((schedule.accountant().spent() - 0.3).abs() < 1e-12);
+        assert_eq!(schedule.accountant().charges().len(), 3);
+        assert_eq!(schedule.releases_remaining(), 0);
+
+        // Release K + 1 is refused by the accountant, before anything runs.
+        let err = schedule
+            .release_full(&config, &graph, &program, "month 3")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Budget(BudgetError::Exhausted { .. })
+        ));
+        assert_eq!(schedule.releases().len(), 3);
+
+        // Replenish re-enables the schedule.
+        schedule.replenish();
+        assert_eq!(schedule.releases_remaining(), 3);
+        schedule
+            .release_full(&config, &graph, &program, "year 2, month 0")
+            .unwrap();
+        assert_eq!(schedule.releases().len(), 4);
+    }
+
+    #[test]
+    fn independent_releases_draw_independent_noise() {
+        let mut schedule = ReleaseSchedule::new(BudgetAccountant::new(2.0), 0.1);
+        let graph = tiny_graph();
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let config = DStressConfig::benchmark(2);
+        let a = schedule
+            .release_full(&config, &graph, &program, "a")
+            .unwrap();
+        let b = schedule
+            .release_full(&config, &graph, &program, "b")
+            .unwrap();
+        assert_ne!(a, b, "per-release seeds must decorrelate the noise");
+    }
+
+    #[test]
+    fn psa_releases_share_the_same_accountant() {
+        let mut rng = Xoshiro256::new(21);
+        let psa = PsaSystem::setup(Group::sim64(), 4, 0.1, 1.0, 50, &mut rng);
+        let mut schedule = ReleaseSchedule::new(BudgetAccountant::new(0.25), 0.1);
+
+        let values = [10u64, 20, 5, 15];
+        schedule
+            .release_psa(&psa, &values, "psa round 0", &mut rng)
+            .unwrap();
+        schedule
+            .release_psa(&psa, &values, "psa round 1", &mut rng)
+            .unwrap();
+        assert!((schedule.accountant().spent() - 0.2).abs() < 1e-12);
+        assert_eq!(schedule.releases().len(), 2);
+        assert!(schedule
+            .releases()
+            .iter()
+            .all(|r| r.mode == ReleaseMode::Psa));
+
+        // Third PSA round breaks the 0.25 budget.
+        let err = schedule
+            .release_psa(&psa, &values, "psa round 2", &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Budget(_)));
+    }
+
+    #[test]
+    fn mixed_full_and_psa_releases_compose_on_one_budget() {
+        let mut rng = Xoshiro256::new(5);
+        let psa = PsaSystem::setup(Group::sim64(), 3, 0.1, 1.0, 50, &mut rng);
+        let mut schedule = ReleaseSchedule::new(BudgetAccountant::new(0.3), 0.1);
+        let graph = tiny_graph();
+        let program = CounterProgram {
+            width: 8,
+            rounds: 1,
+        };
+        let config = DStressConfig::benchmark(2);
+
+        schedule
+            .release_full(&config, &graph, &program, "quarterly full run")
+            .unwrap();
+        schedule
+            .release_psa(&psa, &[1, 2, 3], "interim psa", &mut rng)
+            .unwrap();
+        schedule
+            .release_psa(&psa, &[4, 5, 6], "interim psa", &mut rng)
+            .unwrap();
+        assert!((schedule.accountant().spent() - 0.3).abs() < 1e-12);
+        assert_eq!(
+            schedule
+                .releases()
+                .iter()
+                .filter(|r| r.mode == ReleaseMode::FullMpc)
+                .count(),
+            1
+        );
+        assert!(schedule
+            .release_psa(&psa, &[0, 0, 0], "one too many", &mut rng)
+            .is_err());
+    }
+}

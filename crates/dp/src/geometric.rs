@@ -39,9 +39,17 @@ impl TwoSidedGeometric {
 
     /// Builds the distribution that gives `epsilon`-DP for a query of the
     /// given sensitivity: `alpha = exp(-epsilon / sensitivity)`.
+    ///
+    /// For extreme `epsilon / sensitivity` ratios (≳ 745) the exponential
+    /// underflows to 0.0, which is outside the valid α range; α is clamped
+    /// to the smallest positive `f64` instead.  The limit is correct: as
+    /// α → 0 the distribution converges to a point mass at 0, i.e. a
+    /// noise-free release — exactly what an astronomically large ε
+    /// permits.
     pub fn for_epsilon(epsilon: f64, sensitivity: f64) -> Self {
         assert!(epsilon > 0.0 && sensitivity > 0.0);
-        TwoSidedGeometric::new((-epsilon / sensitivity).exp())
+        let alpha = (-epsilon / sensitivity).exp().max(f64::MIN_POSITIVE);
+        TwoSidedGeometric::new(alpha)
     }
 
     /// The distribution parameter α.
@@ -191,6 +199,23 @@ mod tests {
             (analytic - empirical).abs() < 0.005,
             "analytic {analytic} vs empirical {empirical}"
         );
+    }
+
+    #[test]
+    fn extreme_epsilon_ratio_clamps_instead_of_panicking() {
+        // The satellite regression: exp(-10^4) underflows to 0.0, which
+        // used to trip the alpha ∈ (0, 1) assert.  The clamped
+        // distribution is the noise ≡ 0 limit.
+        let g = TwoSidedGeometric::for_epsilon(1e4, 1.0);
+        assert!(g.alpha() > 0.0 && g.alpha() < 1.0);
+        assert!((g.pmf(0) - 1.0).abs() < 1e-12);
+        let mut rng = Xoshiro256::new(11);
+        for _ in 0..1000 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+        // Just below the underflow threshold the exact α is still used.
+        let g = TwoSidedGeometric::for_epsilon(700.0, 1.0);
+        assert!((g.alpha() - (-700.0f64).exp()).abs() < 1e-300);
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Plaintext graph-analytics vertex programs.
+//!
+//! The DP graph-analytics suite (ROADMAP: "scenario diversity") runs four
+//! classic analytics — PageRank, weakly-connected components by label
+//! propagation, single-source shortest paths, and a degree histogram — as
+//! DStress vertex programs.  This module holds the *plaintext reference*
+//! form of each: the same update/message/aggregate timeline as the secure
+//! circuit encodings in `dstress_core::analytics`, executed by
+//! [`crate::reference::execute_reference`], so the utility tests can
+//! compare a noisy secure release against an exact reference value.
+//!
+//! Timeline fidelity matters more than textbook form here: the reference
+//! executor runs `I` update+communication rounds plus one final update,
+//! so information propagates exactly `I` hops.  The analytics below are
+//! written against *that* timeline (e.g. SSSP distances are truncated at
+//! `I`; label propagation converges only if `I` covers the diameter), and
+//! the circuit encodings mirror it bit for bit.
+//!
+//! Each program releases a **single scalar** (the quantity DStress's
+//! output mechanism noises): the rank of a designated vertex, the number
+//! of component roots, the truncated distance to a target, or one
+//! histogram bin's count.  The per-program edge-DP sensitivity of that
+//! scalar is documented on each type and fed to the DP layer by the
+//! secure encodings.
+
+use crate::graph::{Graph, VertexId};
+use crate::program::VertexProgram;
+
+/// Plaintext PageRank releasing the rank of one designated vertex.
+///
+/// The update rule is the power iteration
+/// `r_v ← (1 − d)/N + d · Σ_{u→v} r_u / outdeg(u)` with damping
+/// `d = 1/4`, chosen dyadic so the circuit encoding applies it as an
+/// exact shift.  Under the reference timeline the first update sees no
+/// messages, so the iteration effectively starts from the uniform
+/// `(1 − d)/N` vector; it converges to the same fixed point as any other
+/// start.  Dangling vertices simply drop their mass (reference and
+/// circuit agree on this).
+///
+/// **Sensitivity** (edge-DP, released scalar = target's rank in `[0, 1]`):
+/// rewiring one edge changes the target's rank by at most
+/// `min(1, 2d/(1 − d))`; with `d = 1/4` that is `2/3`.
+pub struct PageRankRef {
+    /// Vertex whose rank is released.
+    pub target: VertexId,
+    /// Number of power-iteration rounds.
+    pub rounds: u32,
+    /// `1 / outdeg(v)` per vertex (0 for dangling vertices), captured at
+    /// construction because the trait's `init`/`message` take no graph.
+    inv_outdeg: Vec<f64>,
+    n: usize,
+}
+
+/// The damping factor `d` shared by the reference and circuit PageRank.
+pub const PAGERANK_DAMPING: f64 = 0.25;
+
+impl PageRankRef {
+    /// Builds the program for `graph`, releasing `target`'s rank after
+    /// `rounds` iterations.
+    pub fn new(graph: &Graph, target: VertexId, rounds: u32) -> Self {
+        let inv_outdeg = graph
+            .vertices()
+            .map(|v| {
+                let d = graph.out_degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        PageRankRef {
+            target,
+            rounds,
+            inv_outdeg,
+            n: graph.vertex_count(),
+        }
+    }
+}
+
+impl VertexProgram for PageRankRef {
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, _v: VertexId) -> f64 {
+        1.0 / self.n as f64
+    }
+
+    fn no_op(&self) -> f64 {
+        0.0
+    }
+
+    fn update(&self, _v: VertexId, _state: &f64, incoming: &[(VertexId, f64)]) -> f64 {
+        let base = (1.0 - PAGERANK_DAMPING) / self.n as f64;
+        base + PAGERANK_DAMPING * incoming.iter().map(|(_, m)| m).sum::<f64>()
+    }
+
+    fn message(&self, v: VertexId, state: &f64, _to: VertexId) -> f64 {
+        state * self.inv_outdeg[v.0]
+    }
+
+    fn aggregate(&self, _graph: &Graph, states: &[f64]) -> f64 {
+        states[self.target.0]
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        (2.0 * PAGERANK_DAMPING / (1.0 - PAGERANK_DAMPING)).min(1.0)
+    }
+}
+
+/// Weakly-connected components by min-label propagation, releasing the
+/// number of components.
+///
+/// Every vertex starts with the label `v + 1` (labels are ≥ 1 so the
+/// no-op message can be 0), repeatedly adopts the minimum label heard
+/// from an in-neighbour, and the release counts *roots* — vertices still
+/// holding their own label.  On a **symmetric** graph (every edge paired
+/// with its reverse) run for `iterations ≥ diameter`, the count equals
+/// the number of weakly-connected components.
+///
+/// **Sensitivity** (edge-DP): adding or removing one (bidirectional)
+/// edge merges or splits at most one pair of components — the root count
+/// changes by at most 1.
+pub struct WccLabels {
+    /// Number of propagation rounds (must cover the diameter for an
+    /// exact component count).
+    pub rounds: u32,
+}
+
+impl VertexProgram for WccLabels {
+    type State = u64;
+    type Message = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        v.0 as u64 + 1
+    }
+
+    fn no_op(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, _v: VertexId, state: &u64, incoming: &[(VertexId, u64)]) -> u64 {
+        incoming
+            .iter()
+            .map(|(_, m)| *m)
+            .filter(|&m| m != 0)
+            .fold(*state, u64::min)
+    }
+
+    fn message(&self, _v: VertexId, state: &u64, _to: VertexId) -> u64 {
+        *state
+    }
+
+    fn aggregate(&self, _graph: &Graph, states: &[u64]) -> f64 {
+        states
+            .iter()
+            .enumerate()
+            .filter(|&(v, &label)| label == v as u64 + 1)
+            .count() as f64
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Single-source shortest paths (hop counts), releasing the truncated
+/// distance from a source to a target vertex.
+///
+/// Distances propagate one hop per round, so after `I` rounds every
+/// vertex within `I` hops holds its exact distance and everything
+/// farther (or unreachable) holds the truncation cap `I + 1`.  Messages
+/// carry `dist + 1` — the distance *through* the sending edge — with 0
+/// as the no-op, exactly as the circuit encoding does.
+///
+/// **Sensitivity** (edge-DP): one edge can swing the released value
+/// across its whole range `[0, I + 1]`, e.g. from unreachable (`I + 1`)
+/// to adjacent (1); the range bound `I + 1` is the sensitivity.
+pub struct SsspHops {
+    /// Source vertex (distance 0).
+    pub source: VertexId,
+    /// Vertex whose truncated distance is released.
+    pub target: VertexId,
+    /// Number of propagation rounds; distances are exact up to this.
+    pub rounds: u32,
+}
+
+impl SsspHops {
+    /// The truncation cap: the state value meaning "farther than
+    /// reachable in [`Self::rounds`] hops".
+    pub fn cap(&self) -> u64 {
+        self.rounds as u64 + 1
+    }
+}
+
+impl VertexProgram for SsspHops {
+    type State = u64;
+    type Message = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        if v == self.source {
+            0
+        } else {
+            self.cap()
+        }
+    }
+
+    fn no_op(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, _v: VertexId, state: &u64, incoming: &[(VertexId, u64)]) -> u64 {
+        // A message m ≠ 0 from a neighbour at distance m − 1 offers the
+        // distance m through that edge.
+        incoming
+            .iter()
+            .map(|(_, m)| *m)
+            .filter(|&m| m != 0)
+            .fold(*state, u64::min)
+            .min(self.cap())
+    }
+
+    fn message(&self, _v: VertexId, state: &u64, _to: VertexId) -> u64 {
+        if *state >= self.cap() {
+            0 // Nothing useful to offer yet: the no-op.
+        } else {
+            state + 1
+        }
+    }
+
+    fn aggregate(&self, _graph: &Graph, states: &[u64]) -> f64 {
+        states[self.target.0] as f64
+    }
+
+    fn iterations(&self) -> u32 {
+        self.rounds
+    }
+
+    fn sensitivity(&self) -> f64 {
+        self.cap() as f64
+    }
+}
+
+/// Degree histogram, releasing the count of vertices whose out-degree
+/// falls in one bin `[lo, hi]`.
+///
+/// The program is communication-free (each vertex knows its own degree):
+/// zero iterations, a pass-through update, and an aggregation that
+/// counts in-bin vertices.  A full histogram is a *sequence* of
+/// single-bin releases — exactly the recurring-release regime the budget
+/// accountant composes ε across.
+///
+/// **Sensitivity** (edge-DP): one edge changes one vertex's out-degree
+/// by one, moving at most one vertex in or out of the bin — the count
+/// changes by at most 1.
+pub struct DegreeBin {
+    /// Inclusive lower edge of the bin.
+    pub lo: u64,
+    /// Inclusive upper edge of the bin.
+    pub hi: u64,
+    /// Per-vertex out-degrees, captured at construction (the trait's
+    /// `init` takes no graph).
+    degrees: Vec<u64>,
+}
+
+impl DegreeBin {
+    /// Builds the single-bin program for `graph`.
+    pub fn new(graph: &Graph, lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty degree bin [{lo}, {hi}]");
+        DegreeBin {
+            lo,
+            hi,
+            degrees: graph
+                .vertices()
+                .map(|v| graph.out_degree(v) as u64)
+                .collect(),
+        }
+    }
+}
+
+impl VertexProgram for DegreeBin {
+    type State = u64;
+    type Message = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        self.degrees[v.0]
+    }
+
+    fn no_op(&self) -> u64 {
+        0
+    }
+
+    fn update(&self, _v: VertexId, state: &u64, _incoming: &[(VertexId, u64)]) -> u64 {
+        *state
+    }
+
+    fn message(&self, _v: VertexId, _state: &u64, _to: VertexId) -> u64 {
+        0
+    }
+
+    fn aggregate(&self, _graph: &Graph, states: &[u64]) -> f64 {
+        states
+            .iter()
+            .filter(|&&d| self.lo <= d && d <= self.hi)
+            .count() as f64
+    }
+
+    fn iterations(&self) -> u32 {
+        0
+    }
+
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::execute_reference;
+
+    /// An undirected path 0 — 1 — … — (n−1).
+    fn sym_path(n: usize) -> Graph {
+        let mut g = Graph::new(n, 4);
+        for i in 0..n - 1 {
+            g.add_bidirectional(VertexId(i), VertexId(i + 1)).unwrap();
+        }
+        g
+    }
+
+    /// Exact BFS hop distances, the independent oracle for `SsspHops`.
+    fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<Option<u64>> {
+        let mut dist = vec![None; graph.vertex_count()];
+        dist[source.0] = Some(0);
+        let mut frontier = vec![source];
+        let mut d = 0u64;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for v in frontier {
+                for &to in graph.out_neighbors(v) {
+                    if dist[to.0].is_none() {
+                        dist[to.0] = Some(d);
+                        next.push(to);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    #[test]
+    fn sssp_matches_bfs_within_horizon() {
+        let g = sym_path(7);
+        let oracle = bfs_distances(&g, VertexId(0));
+        for (target, expected) in oracle.iter().enumerate() {
+            let prog = SsspHops {
+                source: VertexId(0),
+                target: VertexId(target),
+                rounds: 6,
+            };
+            let trace = execute_reference(&g, &prog);
+            assert_eq!(trace.aggregate, expected.unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn sssp_truncates_beyond_horizon_and_for_unreachable() {
+        // A path over vertices 0..6 plus an isolated vertex 6.
+        let mut g = Graph::new(7, 4);
+        for i in 0..5 {
+            g.add_bidirectional(VertexId(i), VertexId(i + 1)).unwrap();
+        }
+        let near_horizon = SsspHops {
+            source: VertexId(0),
+            target: VertexId(5),
+            rounds: 3, // vertex 5 is 5 hops away — beyond the horizon
+        };
+        assert_eq!(execute_reference(&g, &near_horizon).aggregate, 4.0);
+        let unreachable = SsspHops {
+            source: VertexId(0),
+            target: VertexId(6),
+            rounds: 10,
+        };
+        assert_eq!(execute_reference(&g, &unreachable).aggregate, 11.0);
+    }
+
+    #[test]
+    fn wcc_counts_components_on_symmetric_graphs() {
+        // Two components: a path of 4 and a triangle of 3.
+        let mut g = Graph::new(7, 4);
+        for i in 0..3 {
+            g.add_bidirectional(VertexId(i), VertexId(i + 1)).unwrap();
+        }
+        g.add_bidirectional(VertexId(4), VertexId(5)).unwrap();
+        g.add_bidirectional(VertexId(5), VertexId(6)).unwrap();
+        g.add_bidirectional(VertexId(6), VertexId(4)).unwrap();
+        let trace = execute_reference(&g, &WccLabels { rounds: 7 });
+        assert_eq!(trace.aggregate, 2.0);
+    }
+
+    #[test]
+    fn wcc_needs_the_diameter_to_converge() {
+        // One component shaped 2 — 3 — 0 — 4 — 5: vertex 2 is a local
+        // label minimum two hops from the global minimum 0.
+        let mut g = Graph::new(6, 4);
+        for (a, b) in [(2, 3), (3, 0), (0, 4), (4, 5)] {
+            g.add_bidirectional(VertexId(a), VertexId(b)).unwrap();
+        }
+        // Vertex 1 is isolated — a second component.
+        assert_eq!(
+            execute_reference(&g, &WccLabels { rounds: 4 }).aggregate,
+            2.0
+        );
+        // One round is too few: label 1 has not yet displaced the local
+        // minimum at vertex 2, so the count over-reports (documented
+        // convergence requirement: iterations must cover the diameter).
+        assert_eq!(
+            execute_reference(&g, &WccLabels { rounds: 1 }).aggregate,
+            3.0
+        );
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution_and_favours_hubs() {
+        // A star: every leaf points at the hub and back.
+        let mut g = Graph::new(5, 8);
+        for leaf in 1..5 {
+            g.add_bidirectional(VertexId(0), VertexId(leaf)).unwrap();
+        }
+        let ranks: Vec<f64> = (0..5)
+            .map(|t| execute_reference(&g, &PageRankRef::new(&g, VertexId(t), 20)).aggregate)
+            .collect();
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "ranks sum to {total}");
+        for leaf in 1..5 {
+            assert!(ranks[0] > ranks[leaf], "hub should outrank leaves");
+        }
+    }
+
+    #[test]
+    fn pagerank_sensitivity_is_the_dyadic_damping_bound() {
+        let g = sym_path(3);
+        let p = PageRankRef::new(&g, VertexId(0), 4);
+        assert!((p.sensitivity() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_bin_counts_exactly() {
+        let mut g = Graph::new(5, 8);
+        // Out-degrees: 0 → 3, 1 → 1, 2 → 1, 3 → 1, 4 → 0.
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.add_edge(VertexId(0), VertexId(2)).unwrap();
+        g.add_edge(VertexId(0), VertexId(3)).unwrap();
+        g.add_edge(VertexId(1), VertexId(0)).unwrap();
+        g.add_edge(VertexId(2), VertexId(0)).unwrap();
+        g.add_edge(VertexId(3), VertexId(4)).unwrap();
+        for (lo, hi, expected) in [(0, 0, 1.0), (1, 1, 3.0), (2, 3, 1.0), (0, 3, 5.0)] {
+            let trace = execute_reference(&g, &DegreeBin::new(&g, lo, hi));
+            assert_eq!(trace.aggregate, expected, "bin [{lo}, {hi}]");
+        }
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`reference`](mod@reference) — the plaintext reference executor: the "ideal
 //!   functionality" that the secure runtime in `dstress-core` must agree
 //!   with (up to DP noise).
+//! * [`analytics`] — the plaintext reference forms of the DP
+//!   graph-analytics suite (PageRank, WCC label propagation, SSSP hop
+//!   counts, degree histogram); the circuit encodings live in
+//!   `dstress_core::analytics`.
 //! * [`generate`] — generic random-graph generators used to build test
 //!   topologies (the financial core–periphery generator lives in
 //!   `dstress-finance`).
@@ -43,12 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod generate;
 pub mod graph;
 pub mod program;
 pub mod reference;
 pub mod stream;
 
+pub use analytics::{DegreeBin, PageRankRef, SsspHops, WccLabels};
 pub use graph::{Graph, GraphError, VertexId};
 pub use program::VertexProgram;
 pub use reference::{execute_reference, ReferenceTrace};

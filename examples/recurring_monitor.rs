@@ -1,0 +1,64 @@
+//! The recurring systemic-risk monitor: a year of monthly releases on
+//! one privacy budget.
+//!
+//! Regulators want the stress picture refreshed monthly, but the banks'
+//! annual budget caps what can be released.  The monitor runs the full
+//! Eisenberg–Noe MPC pipeline every third month and publishes a cheap
+//! PSA distress count (encrypted aggregation under geometric noise, no
+//! MPC) in between — both paths charging the same accountant, so ε
+//! composes across the year and month 13 is refused until the annual
+//! replenish.
+//!
+//! Run with `cargo run --release --example recurring_monitor`.
+
+use dstress::core::DStressConfig;
+use dstress::dp::BudgetAccountant;
+use dstress::finance::{core_periphery, GeneratorConfig, SystemicRiskMonitor};
+use dstress::math::rng::Xoshiro256;
+
+fn main() {
+    let mut rng = Xoshiro256::new(0x50_4e_4c);
+    let network = core_periphery(&GeneratorConfig::small(6, 2), &mut rng);
+    let config = DStressConfig::benchmark(2);
+
+    // Twelve monthly releases at epsilon 0.05 fit a 0.6 annual budget.
+    let mut monitor = SystemicRiskMonitor::new(
+        &network,
+        config,
+        BudgetAccountant::new(0.6),
+        0.05,
+        3,   // Full MPC every third month.
+        2.0, // Leverage bound for the EN balance-sheet synthesis.
+        &mut rng,
+    );
+
+    println!(
+        "{:<7} {:<9} {:>12} {:>8}",
+        "month", "mode", "released", "spent"
+    );
+    for month in 0..12 {
+        let release = monitor
+            .publish_month(month, &mut rng)
+            .expect("the annual budget covers twelve months");
+        println!(
+            "{:<7} {:<9} {:>12.2} {:>8.2}",
+            release.month,
+            format!("{:?}", release.mode),
+            release.value,
+            monitor.schedule().accountant().spent()
+        );
+    }
+
+    match monitor.publish_month(12, &mut rng) {
+        Err(e) => println!("month 12 refused (budget exhausted): {e}"),
+        Ok(_) => unreachable!("the thirteenth release must be refused"),
+    }
+    monitor.replenish_annual();
+    let release = monitor
+        .publish_month(12, &mut rng)
+        .expect("the replenished budget covers the new year");
+    println!(
+        "after replenish, month 12 publishes {:.2} via {:?}",
+        release.value, release.mode
+    );
+}

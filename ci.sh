@@ -32,6 +32,30 @@ fi
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "==> nondeterminism lint (no HashMap/HashSet/Instant::now/SystemTime on the share path)"
+./scripts/nondeterminism_lint.sh
+
+echo "==> static analysis: positive certification of every shipped program"
+# Range + sensitivity + information-flow certification (dstress-analyze):
+# the four analytics and the modular counter certify clean, and both
+# finance case studies certify on a live shocked network.
+cargo test -q -p dstress-analyze --test certify
+cargo test -q -p dstress-analyze --test finance
+
+echo "==> static analysis: golden rejections, guard refinements, interval soundness"
+# Deliberately broken artifacts (width overflow, under-declared
+# sensitivity, leak around the noise path, release outside the recovery
+# window) must fail with their exact typed findings; the guard/dominance
+# refinements are pinned; proptests check concrete runs always land
+# inside certified intervals.
+cargo test -q -p dstress-analyze --test golden
+cargo test -q -p dstress-analyze --test refinement
+cargo test -q -p dstress-analyze --test soundness
+cargo test -q -p dstress-analyze --lib
+
+echo "==> repro -- analyze smoke (release; exits non-zero on any finding)"
+cargo run --release -q -p dstress-bench --bin repro -- analyze > /dev/null
+
 echo "==> determinism suite under --release (Sim == Threaded == Socket, three-way)"
 # The suite covers both GmwBatching modes (named backends_agree_batched_mode /
 # backends_agree_per_gate_mode tests plus mode-crossing proptests), with the

@@ -1,0 +1,683 @@
+//! Whole-program certification for `SecureVertexProgram`s.
+//!
+//! A program's privacy guarantee rests on a chain of facts: the update
+//! circuit keeps every word inside its declared range round after round
+//! (an inductive invariant — declared ranges cover the initial encoding
+//! and the analyzer proves one update step preserves them), the
+//! aggregation stays in range on those states, the declared sensitivity
+//! upper-bounds what one changed edge can do to the aggregate, and the
+//! noising circuit is the only road from private data to the released
+//! output.  [`analyze_program`] certifies each link and composes them:
+//!
+//! * update circuit: range + overflow + flow pass with the declared
+//!   state/message ranges; state and message outputs are checked back
+//!   against those ranges (the invariant step);
+//! * aggregation circuit: same pass over `N` copies of the state layout,
+//!   producing the certified aggregate interval;
+//! * noising circuit: the aggregate interval is fed into
+//!   `dstress_core::noise_circuit::noising_circuit`, outputs are checked
+//!   against the release window and the noised-release flow policy;
+//! * sensitivity: recomputed under the program's declared
+//!   [`SensitivityModel`] and compared against `sensitivity()` —
+//!   declaring less than the certified bound is a hard error.
+
+use std::collections::BTreeMap;
+
+use dstress_circuit::{
+    Circuit, CircuitSpec, FlowPolicy, GadgetKind, Interval, ProgramInputRef, ProgramSpec,
+    RangePremise, ReleaseSpec, SensitivityModel, Taint, WireId, WordSpec,
+};
+use dstress_core::noise_circuit::noising_circuit;
+use dstress_core::SecureVertexProgram;
+
+use crate::deps::GroupDeps;
+use crate::range::RangeAnalysis;
+use crate::relational::DeltaAnalysis;
+use crate::report::{CircuitReport, Finding};
+use crate::{analyze_with, dedup_findings, input_words};
+
+/// Width of each of the two geometric-noise randomness words, matching
+/// the engine's `noising_circuit(aggregate_bits, 64, 0)` call.
+pub const NOISE_RANDOM_BITS: u32 = 64;
+
+/// The certified result of analyzing one program end to end.
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// Program name from its spec.
+    pub program: String,
+    /// The sensitivity the program declares.
+    pub declared_sensitivity: f64,
+    /// The bound the analyzer certified, when the model yields a number
+    /// (external-lemma and modular programs certify premises instead).
+    pub certified_sensitivity: Option<f64>,
+    /// Human-readable name of the sensitivity model used.
+    pub model: String,
+    /// Named semantic lemmas the certification rests on, verbatim.
+    pub assumptions: Vec<String>,
+    /// Report for the update circuit.
+    pub update: CircuitReport,
+    /// Report for the aggregation circuit.
+    pub aggregation: CircuitReport,
+    /// Report for the noising circuit fed with the certified aggregate.
+    pub noising: CircuitReport,
+    /// Certified interval of the pre-noise aggregate.
+    pub aggregate_interval: Interval,
+    /// Program-level findings (sensitivity, decomposition, invariants).
+    pub findings: Vec<Finding>,
+}
+
+impl ProgramReport {
+    /// All findings across the program and its three circuits.
+    pub fn all_findings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .chain(&self.update.findings)
+            .chain(&self.aggregation.findings)
+            .chain(&self.noising.findings)
+            .collect()
+    }
+
+    /// True when the program certified with no findings anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.all_findings().is_empty()
+    }
+}
+
+/// Analyzes a program's update, aggregation and noising circuits under
+/// its declared [`ProgramSpec`] and certifies its sensitivity.
+///
+/// `release` overrides the recovery window for the noised output; the
+/// default is the two's-complement decode window at `aggregate_bits`.
+pub fn analyze_program(
+    program: &dyn SecureVertexProgram,
+    degree_bound: usize,
+    vertices: usize,
+    release: Option<ReleaseSpec>,
+) -> ProgramReport {
+    let spec = program.analysis_spec(degree_bound);
+    let name = spec.name.clone();
+    let mut findings = Vec::new();
+
+    // Fall back to opaque full-range single words when the program is
+    // unannotated, so the structural passes still run.
+    let mut state_words = spec.state_words.clone();
+    let mut message_words = spec.message_words.clone();
+    if matches!(spec.sensitivity_model, SensitivityModel::Unspecified) {
+        findings.push(Finding::MissingSpec {
+            subject: name.clone(),
+        });
+        if state_words.is_empty() && program.state_bits() > 0 {
+            state_words = vec![WordSpec {
+                name: "state".to_string(),
+                width: program.state_bits(),
+                range: None,
+                taint: Taint::Private,
+            }];
+        }
+        if message_words.is_empty() && program.message_bits() > 0 {
+            message_words = vec![WordSpec {
+                name: "message".to_string(),
+                width: program.message_bits(),
+                range: None,
+                taint: Taint::Private,
+            }];
+        }
+    }
+    let state_total: u32 = state_words.iter().map(|w| w.width).sum();
+    let message_total: u32 = message_words.iter().map(|w| w.width).sum();
+    if state_total != program.state_bits() || message_total != program.message_bits() {
+        findings.push(Finding::LayoutMismatch {
+            subject: name.clone(),
+            detail: format!(
+                "spec declares {state_total}-bit state and {message_total}-bit messages; the \
+                 program has state_bits={} message_bits={}",
+                program.state_bits(),
+                program.message_bits()
+            ),
+        });
+    }
+
+    // --- Update circuit -------------------------------------------------
+    let update = program.update_circuit(degree_bound);
+    let mut update_inputs: Vec<WordSpec> = state_words.clone();
+    for d in 0..degree_bound {
+        for w in &message_words {
+            let mut slot = w.clone();
+            slot.name = format!("msg[{d}].{}", w.name);
+            update_inputs.push(slot);
+        }
+    }
+    let flat_index = |r: ProgramInputRef| -> usize {
+        match r {
+            ProgramInputRef::State(i) => i,
+            ProgramInputRef::Message(d, w) => state_words.len() + d * message_words.len() + w,
+        }
+    };
+    let update_outputs: Vec<u32> = update_inputs.iter().map(|w| w.width).collect();
+    let update_spec = CircuitSpec {
+        name: format!("{name}/update"),
+        inputs: update_inputs.clone(),
+        output_words: update_outputs,
+        policy: FlowPolicy::Internal,
+        release: None,
+        modular: spec.modular,
+        dominance: spec
+            .dominance
+            .iter()
+            .map(|&(a, b)| (flat_index(a), flat_index(b)))
+            .collect(),
+    };
+    let sum_cap = update_sum_cap(&update, &spec, &state_words, &message_words, degree_bound);
+    let (update_report, update_ranges) = analyze_with(&update, &update_spec, sum_cap);
+
+    // Inductive invariant: one step keeps every declared range.
+    let words_per_slot = message_words.len();
+    let state_out = &update_report.output_intervals
+        [..state_words.len().min(update_report.output_intervals.len())];
+    for (i, iv) in state_out.iter().enumerate() {
+        let declared = state_words[i].effective_range();
+        if !declared.contains_interval(*iv) {
+            findings.push(Finding::PremiseViolated {
+                program: name.clone(),
+                premise: format!(
+                    "update keeps state word '{}' within {declared}",
+                    state_words[i].name
+                ),
+                certified: *iv,
+            });
+        }
+    }
+    let msg_out = update_report
+        .output_intervals
+        .get(state_words.len()..)
+        .unwrap_or(&[]);
+    for (k, iv) in msg_out.iter().enumerate() {
+        let w = &message_words[k % words_per_slot.max(1)];
+        let declared = w.effective_range();
+        if !declared.contains_interval(*iv) {
+            findings.push(Finding::PremiseViolated {
+                program: name.clone(),
+                premise: format!("update keeps message word '{}' within {declared}", w.name),
+                certified: *iv,
+            });
+        }
+    }
+
+    // --- Aggregation circuit --------------------------------------------
+    let aggregation = program.aggregation_circuit(vertices);
+    let mut agg_inputs = Vec::with_capacity(vertices * state_words.len());
+    for v in 0..vertices {
+        for w in &state_words {
+            let mut per_vertex = w.clone();
+            per_vertex.name = format!("v{v}.{}", w.name);
+            agg_inputs.push(per_vertex);
+        }
+    }
+    let agg_spec = CircuitSpec {
+        name: format!("{name}/aggregation"),
+        inputs: agg_inputs,
+        output_words: vec![program.aggregate_bits()],
+        policy: FlowPolicy::Internal,
+        release: None,
+        modular: spec.modular,
+        dominance: Vec::new(),
+    };
+    let (agg_report, agg_ranges) = analyze_with(&aggregation, &agg_spec, None);
+    let aggregate_interval = agg_report
+        .output_intervals
+        .first()
+        .copied()
+        .unwrap_or_else(|| Interval::unsigned(program.aggregate_bits()));
+
+    // --- Noising circuit -------------------------------------------------
+    let noising = noising_circuit(program.aggregate_bits(), NOISE_RANDOM_BITS, 0);
+    let noising_spec = CircuitSpec {
+        name: format!("{name}/noising"),
+        inputs: vec![
+            WordSpec {
+                name: "aggregate".to_string(),
+                width: program.aggregate_bits(),
+                range: Some(aggregate_interval),
+                taint: Taint::Private,
+            },
+            WordSpec::noise("geom_r1", NOISE_RANDOM_BITS),
+            WordSpec::noise("geom_r2", NOISE_RANDOM_BITS),
+        ],
+        output_words: vec![program.aggregate_bits()],
+        policy: FlowPolicy::NoisedRelease,
+        release: Some(release.unwrap_or_else(|| ReleaseSpec {
+            window: Interval::signed(program.aggregate_bits()),
+            description: format!(
+                "two's-complement decode at {} bits",
+                program.aggregate_bits()
+            ),
+        })),
+        modular: false,
+        dominance: Vec::new(),
+    };
+    let (noising_report, _) = analyze_with(&noising, &noising_spec, None);
+
+    // --- Sensitivity ------------------------------------------------------
+    let declared = program.sensitivity();
+    let mut assumptions = Vec::new();
+    let (model, certified) = certify_sensitivity(
+        &spec,
+        &name,
+        program,
+        degree_bound,
+        vertices,
+        &update,
+        &update_ranges,
+        &update_report,
+        &aggregation,
+        &agg_ranges,
+        &state_words,
+        &message_words,
+        aggregate_interval,
+        &mut assumptions,
+        &mut findings,
+    );
+    if let Some(c) = certified {
+        if declared + 1e-9 < c {
+            findings.push(Finding::UnderDeclaredSensitivity {
+                program: name.clone(),
+                declared,
+                certified: c,
+                model: model.clone(),
+            });
+        }
+    }
+
+    ProgramReport {
+        program: name,
+        declared_sensitivity: declared,
+        certified_sensitivity: certified,
+        model,
+        assumptions,
+        update: update_report,
+        aggregation: agg_report,
+        noising: noising_report,
+        aggregate_interval,
+        findings: dedup_findings(findings),
+    }
+}
+
+/// Builds the sum-cap configuration for the update circuit: the message
+/// input words, capped by the spec's mass-conservation bound.  Applied
+/// only when every message range is provably non-negative (subset sums
+/// of non-negative terms stay under the cap).
+fn update_sum_cap(
+    update: &Circuit,
+    spec: &ProgramSpec,
+    state_words: &[WordSpec],
+    message_words: &[WordSpec],
+    degree_bound: usize,
+) -> Option<(Vec<Vec<WireId>>, i128)> {
+    let cap = spec.message_sum_cap?;
+    if message_words.iter().any(|w| w.effective_range().lo < 0) {
+        return None;
+    }
+    let mut widths: Vec<u32> = state_words.iter().map(|w| w.width).collect();
+    for _ in 0..degree_bound {
+        widths.extend(message_words.iter().map(|w| w.width));
+    }
+    let words = input_words(update, &widths).ok()?;
+    Some((words[state_words.len()..].to_vec(), cap))
+}
+
+/// Certifies the declared sensitivity under the program's model.
+/// Returns the model name and the certified bound (when numeric).
+#[allow(clippy::too_many_arguments)]
+fn certify_sensitivity(
+    spec: &ProgramSpec,
+    name: &str,
+    program: &dyn SecureVertexProgram,
+    degree_bound: usize,
+    vertices: usize,
+    update: &Circuit,
+    update_ranges: &RangeAnalysis,
+    update_report: &CircuitReport,
+    aggregation: &Circuit,
+    agg_ranges: &RangeAnalysis,
+    state_words: &[WordSpec],
+    message_words: &[WordSpec],
+    aggregate_interval: Interval,
+    assumptions: &mut Vec<String>,
+    findings: &mut Vec<Finding>,
+) -> (String, Option<f64>) {
+    match &spec.sensitivity_model {
+        SensitivityModel::Unspecified => ("unspecified".to_string(), None),
+        SensitivityModel::Modular { reason } => {
+            assumptions.push(format!(
+                "modular program, sensitivity not certified: {reason}"
+            ));
+            ("modular".to_string(), None)
+        }
+        SensitivityModel::OutputRange => {
+            // Any two neighbouring runs land in the certified aggregate
+            // interval, so its diameter bounds the sensitivity.
+            (
+                "output-range".to_string(),
+                Some(aggregate_interval.width() as f64),
+            )
+        }
+        SensitivityModel::LocalizedDelta {
+            changed_state_words,
+        } => {
+            // The update must be state-local: state outputs never read
+            // messages, message outputs are constant.
+            check_update_locality(
+                name,
+                update,
+                state_words,
+                message_words,
+                degree_bound,
+                findings,
+            );
+            let certified = decompose_aggregation(
+                name,
+                program,
+                aggregation,
+                agg_ranges,
+                state_words,
+                vertices,
+                findings,
+            );
+            assumptions.push(format!(
+                "a neighbouring edge changes at most {changed_state_words} state word(s), all at \
+                 one vertex (out-degree encoding)"
+            ));
+            ("localized-delta".to_string(), certified)
+        }
+        SensitivityModel::DecomposedCounting {
+            max_changed_terms,
+            lemma,
+        } => {
+            let per_term = decompose_aggregation(
+                name,
+                program,
+                aggregation,
+                agg_ranges,
+                state_words,
+                vertices,
+                findings,
+            );
+            assumptions.push(lemma.clone());
+            (
+                "decomposed-counting".to_string(),
+                per_term.map(|w| w * *max_changed_terms as f64),
+            )
+        }
+        SensitivityModel::GeometricContraction {
+            damping_shift,
+            lemma,
+        } => {
+            assumptions.push(lemma.clone());
+            check_contraction(
+                name,
+                update,
+                update_ranges,
+                state_words,
+                message_words,
+                degree_bound,
+                *damping_shift,
+                findings,
+            );
+            let d = 1.0 / f64::from(1u32 << *damping_shift);
+            (
+                "geometric-contraction".to_string(),
+                Some(2.0 * d / (1.0 - d)),
+            )
+        }
+        SensitivityModel::ExternalLemma { lemma, premises } => {
+            assumptions.push(lemma.clone());
+            for premise in premises {
+                check_premise(
+                    name,
+                    premise,
+                    update_report,
+                    state_words,
+                    message_words,
+                    findings,
+                );
+            }
+            ("external-lemma".to_string(), None)
+        }
+    }
+}
+
+/// Verifies a state-local update: state outputs depend only on state
+/// inputs, message outputs on nothing at all.
+fn check_update_locality(
+    name: &str,
+    update: &Circuit,
+    state_words: &[WordSpec],
+    message_words: &[WordSpec],
+    degree_bound: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let mut widths: Vec<u32> = state_words.iter().map(|w| w.width).collect();
+    for _ in 0..degree_bound {
+        widths.extend(message_words.iter().map(|w| w.width));
+    }
+    let Ok(words) = input_words(update, &widths) else {
+        return; // Already reported as a layout mismatch.
+    };
+    // Group 0 = state wires, group 1 = message wires.
+    let mut wire_group: BTreeMap<WireId, usize> = BTreeMap::new();
+    for (i, word) in words.iter().enumerate() {
+        let group = usize::from(i >= state_words.len());
+        for &w in word {
+            wire_group.insert(w, group);
+        }
+    }
+    let deps = GroupDeps::of(update, &wire_group, 2);
+    let outputs = update.outputs();
+    let state_bits: usize = state_words.iter().map(|w| w.width as usize).sum();
+    if outputs.len() < state_bits {
+        return;
+    }
+    let state_deps = deps.groups_of(&outputs[..state_bits]);
+    if state_deps.contains(&1) {
+        findings.push(Finding::DecompositionFailed {
+            program: name.to_string(),
+            detail: "state outputs read message inputs; the update is not state-local".to_string(),
+        });
+    }
+    let message_deps = deps.groups_of(&outputs[state_bits..]);
+    if !message_deps.is_empty() {
+        findings.push(Finding::DecompositionFailed {
+            program: name.to_string(),
+            detail: "message outputs are not constant; a changed vertex could propagate"
+                .to_string(),
+        });
+    }
+}
+
+/// Verifies the aggregation is a sum of per-vertex terms and returns the
+/// worst-case contribution of one changed vertex: (terms touching that
+/// vertex) x (widest term interval).
+fn decompose_aggregation(
+    name: &str,
+    program: &dyn SecureVertexProgram,
+    aggregation: &Circuit,
+    agg_ranges: &RangeAnalysis,
+    state_words: &[WordSpec],
+    vertices: usize,
+    findings: &mut Vec<Finding>,
+) -> Option<f64> {
+    let fail = |findings: &mut Vec<Finding>, detail: String| {
+        findings.push(Finding::DecompositionFailed {
+            program: name.to_string(),
+            detail,
+        });
+        None
+    };
+    let Some(sum) = aggregation
+        .gadgets()
+        .iter()
+        .rev()
+        .find(|e| e.kind == GadgetKind::Sum && e.output == aggregation.outputs())
+    else {
+        return fail(
+            findings,
+            "no sum gadget produces the aggregation output".to_string(),
+        );
+    };
+
+    // Per-vertex input groups.
+    let state_bits = program.state_bits() as usize;
+    let mut widths = Vec::with_capacity(vertices * state_words.len());
+    for _ in 0..vertices {
+        widths.extend(state_words.iter().map(|w| w.width));
+    }
+    let words = input_words(aggregation, &widths).ok()?;
+    let mut wire_group: BTreeMap<WireId, usize> = BTreeMap::new();
+    for (i, word) in words.iter().enumerate() {
+        let vertex = i / state_words.len().max(1);
+        for &w in word {
+            wire_group.insert(w, vertex);
+        }
+    }
+    let _ = state_bits;
+    let deps = GroupDeps::of(aggregation, &wire_group, vertices.max(1));
+
+    let mut per_vertex_terms = vec![0u64; vertices];
+    let mut max_width = 0i128;
+    for term in &sum.inputs {
+        let groups = deps.groups_of(term);
+        if groups.len() > 1 {
+            return fail(
+                findings,
+                format!("a sum term depends on {} vertices", groups.len()),
+            );
+        }
+        if let Some(&v) = groups.first() {
+            per_vertex_terms[v] += 1;
+            max_width = max_width.max(agg_ranges.interval_of(term).width());
+        }
+    }
+    let worst_terms = per_vertex_terms.iter().copied().max().unwrap_or(0);
+    Some(worst_terms as f64 * max_width as f64)
+}
+
+/// Verifies the geometric-contraction premise on the update circuit: a
+/// single-slot message delta of X leaves the first state word (the rank)
+/// within X >> damping_shift plus rounding slack, and each outgoing
+/// message within the rank delta plus slack.
+#[allow(clippy::too_many_arguments)]
+fn check_contraction(
+    name: &str,
+    update: &Circuit,
+    update_ranges: &RangeAnalysis,
+    state_words: &[WordSpec],
+    message_words: &[WordSpec],
+    degree_bound: usize,
+    damping_shift: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let mut widths: Vec<u32> = state_words.iter().map(|w| w.width).collect();
+    for _ in 0..degree_bound {
+        widths.extend(message_words.iter().map(|w| w.width));
+    }
+    let Ok(words) = input_words(update, &widths) else {
+        return;
+    };
+    let x = message_words
+        .first()
+        .map(|w| w.effective_range().hi)
+        .unwrap_or(0);
+    // Perturb one incoming slot by up to X; everything else identical.
+    let seeds = vec![(words[state_words.len()].clone(), Interval::new(-x, x))];
+    let deltas = DeltaAnalysis::run(update.gadgets(), update_ranges, &seeds, &words);
+
+    let state_bits: usize = state_words.iter().map(|w| w.width as usize).sum();
+    let rank_width = state_words.first().map(|w| w.width as usize).unwrap_or(0);
+    let outputs = update.outputs();
+    if outputs.len() < state_bits || rank_width == 0 {
+        return;
+    }
+    let rank_out = &outputs[..rank_width];
+    let rank_delta = deltas.delta_of(rank_out);
+    let bound = (x >> damping_shift) + 2;
+    if rank_delta.lo < -bound || rank_delta.hi > bound {
+        findings.push(Finding::ContractionViolated {
+            program: name.to_string(),
+            detail: format!(
+                "a message delta of {x} yields a rank delta of {rank_delta}, exceeding the damped \
+                 bound [{}, {}] for shift {damping_shift}",
+                -bound, bound
+            ),
+        });
+    }
+    // Outgoing messages must not amplify the rank delta.
+    let msg_bits: usize = message_words.iter().map(|w| w.width as usize).sum();
+    let msg_bound = bound + 2;
+    for d in 0..degree_bound {
+        let start = state_bits + d * msg_bits;
+        if outputs.len() < start + msg_bits || msg_bits == 0 {
+            break;
+        }
+        let out_word = &outputs[start..start + msg_bits];
+        let md = deltas.delta_of(out_word);
+        if md.lo < -msg_bound || md.hi > msg_bound {
+            findings.push(Finding::ContractionViolated {
+                program: name.to_string(),
+                detail: format!(
+                    "outgoing message {d} delta {md} exceeds the rank delta bound [{}, {}]",
+                    -msg_bound, msg_bound
+                ),
+            });
+        }
+    }
+}
+
+/// Checks one external-lemma range premise against the certified update
+/// output intervals.
+fn check_premise(
+    name: &str,
+    premise: &RangePremise,
+    update_report: &CircuitReport,
+    state_words: &[WordSpec],
+    message_words: &[WordSpec],
+    findings: &mut Vec<Finding>,
+) {
+    match premise {
+        RangePremise::StateWordWithin { index, range } => {
+            let Some(iv) = update_report.output_intervals.get(*index) else {
+                return;
+            };
+            if !range.contains_interval(*iv) {
+                findings.push(Finding::PremiseViolated {
+                    program: name.to_string(),
+                    premise: format!(
+                        "state word '{}' stays within {range}",
+                        state_words
+                            .get(*index)
+                            .map(|w| w.name.as_str())
+                            .unwrap_or("?")
+                    ),
+                    certified: *iv,
+                });
+            }
+        }
+        RangePremise::MessagesWithin { range } => {
+            let words_per_slot = message_words.len().max(1);
+            for (k, iv) in update_report
+                .output_intervals
+                .iter()
+                .skip(state_words.len())
+                .enumerate()
+            {
+                if !range.contains_interval(*iv) {
+                    let w = &message_words[k % words_per_slot];
+                    findings.push(Finding::PremiseViolated {
+                        program: name.to_string(),
+                        premise: format!("message word '{}' stays within {range}", w.name),
+                        certified: *iv,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Typed analysis findings and per-circuit reports.
+//!
+//! Every way an analysis can fail is a [`Finding`] variant carrying the
+//! evidence (the offending gadget, the certified interval, the witness
+//! wire path), so CI gates and tests can pin exact failures instead of
+//! grepping log text.
+
+use core::fmt;
+use dstress_circuit::{CircuitError, Interval, WireId};
+
+/// One defect or unprovable obligation discovered by the analyzer.
+///
+/// An empty finding list means the circuit (or program) is *certified*:
+/// no gadget can overflow its width under the declared input ranges,
+/// every released value fits its recovery window, the declared
+/// sensitivity upper-bounds the certified bound, and private taint only
+/// reaches released outputs through the noise path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Finding {
+    /// The program has no analysis spec: its privacy math is unaudited.
+    MissingSpec {
+        /// The unannotated program or circuit.
+        subject: String,
+    },
+    /// The spec's declared word layout does not match the circuit.
+    LayoutMismatch {
+        /// The circuit being analyzed.
+        subject: String,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The circuit failed IR validation.
+    MalformedCircuit {
+        /// The circuit being analyzed.
+        subject: String,
+        /// The underlying IR error.
+        error: CircuitError,
+    },
+    /// A recorded gadget event is structurally inconsistent with the
+    /// gate list (wrong arity, width mismatch, out-of-range wires).
+    MalformedGadget {
+        /// The circuit being analyzed.
+        subject: String,
+        /// Index of the event in the gadget trace.
+        event: usize,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// A gadget's mathematical value range fits neither the unsigned nor
+    /// the signed window of its word width: the wires wrap and downstream
+    /// arithmetic is garbage.
+    Overflow {
+        /// The circuit being analyzed.
+        subject: String,
+        /// Index of the event in the gadget trace.
+        event: usize,
+        /// Human-readable gadget description.
+        gadget: String,
+        /// The certified mathematical interval.
+        interval: Interval,
+        /// The word width it must fit.
+        width: u32,
+    },
+    /// An unsigned gadget (comparison, divider, shift, extension)
+    /// consumes a word whose certified range admits negative values:
+    /// the gadget would misread the two's-complement encoding.
+    UnsignedMisuse {
+        /// The circuit being analyzed.
+        subject: String,
+        /// Index of the event in the gadget trace.
+        event: usize,
+        /// Human-readable gadget description.
+        gadget: String,
+        /// The offending operand interval.
+        interval: Interval,
+    },
+    /// A released output's certified interval escapes the declared
+    /// recovery window (e.g. the dlog table's search range or the
+    /// two's-complement decode window).
+    ReleaseOutOfWindow {
+        /// The circuit being analyzed.
+        subject: String,
+        /// The certified output interval.
+        certified: Interval,
+        /// The recovery window it must land in.
+        window: Interval,
+        /// Where the window comes from.
+        window_source: String,
+    },
+    /// The program declares a sensitivity smaller than the bound the
+    /// analyzer certified: its releases would be under-noised.
+    UnderDeclaredSensitivity {
+        /// The offending program.
+        program: String,
+        /// The declared `sensitivity()`.
+        declared: f64,
+        /// The certified lower bound on the true sensitivity bound.
+        certified: f64,
+        /// The model used for certification.
+        model: String,
+    },
+    /// A range premise of the program's sensitivity lemma failed.
+    PremiseViolated {
+        /// The offending program.
+        program: String,
+        /// The premise that failed.
+        premise: String,
+        /// The certified interval that violates it.
+        certified: Interval,
+    },
+    /// The aggregation circuit does not decompose into per-vertex terms
+    /// as the sensitivity model requires.
+    DecompositionFailed {
+        /// The offending program.
+        program: String,
+        /// Why the decomposition failed.
+        detail: String,
+    },
+    /// The update circuit is not the contraction its sensitivity model
+    /// claims (the certified per-round delta exceeds the damped bound).
+    ContractionViolated {
+        /// The offending program.
+        program: String,
+        /// The certified vs required deltas.
+        detail: String,
+    },
+    /// Private taint reaches an output wire without passing through the
+    /// noise path: the release would leak unprotected private data.
+    PrivateLeak {
+        /// The circuit being analyzed.
+        subject: String,
+        /// Index of the leaking output in the output list.
+        output: usize,
+        /// The leaking output wire.
+        output_wire: WireId,
+        /// The private input wire the taint originates from.
+        source_wire: WireId,
+        /// Name of the input word the source wire belongs to.
+        source_word: String,
+        /// A private-tainted, noise-free wire path from output back to
+        /// the source (truncated to its first hops when long).
+        witness: Vec<WireId>,
+    },
+    /// The analyzer's independent AND-depth recomputation disagrees with
+    /// `CircuitStats` or the layering pass.
+    DepthMismatch {
+        /// The circuit being analyzed.
+        subject: String,
+        /// The analyzer's recomputed output depth / all-gate depth.
+        recomputed: (usize, usize),
+        /// `CircuitStats::of(..).and_depth`.
+        stats: usize,
+        /// `CircuitLayers::of(..).rounds()`.
+        layered: usize,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::MissingSpec { subject } => {
+                write!(f, "{subject}: no analysis spec declared")
+            }
+            Finding::LayoutMismatch { subject, detail } => {
+                write!(f, "{subject}: spec layout mismatch: {detail}")
+            }
+            Finding::MalformedCircuit { subject, error } => {
+                write!(f, "{subject}: malformed circuit: {error}")
+            }
+            Finding::MalformedGadget {
+                subject,
+                event,
+                detail,
+            } => write!(f, "{subject}: malformed gadget event {event}: {detail}"),
+            Finding::Overflow {
+                subject,
+                event,
+                gadget,
+                interval,
+                width,
+            } => write!(
+                f,
+                "{subject}: event {event} ({gadget}) range {interval} fits neither the \
+                 unsigned nor the signed window of {width} bits"
+            ),
+            Finding::UnsignedMisuse {
+                subject,
+                event,
+                gadget,
+                interval,
+            } => write!(
+                f,
+                "{subject}: event {event} ({gadget}) reads an operand with range {interval} \
+                 as unsigned"
+            ),
+            Finding::ReleaseOutOfWindow {
+                subject,
+                certified,
+                window,
+                window_source,
+            } => write!(
+                f,
+                "{subject}: released range {certified} escapes the recovery window {window} \
+                 ({window_source})"
+            ),
+            Finding::UnderDeclaredSensitivity {
+                program,
+                declared,
+                certified,
+                model,
+            } => write!(
+                f,
+                "{program}: declared sensitivity {declared} is below the certified bound \
+                 {certified} (model: {model})"
+            ),
+            Finding::PremiseViolated {
+                program,
+                premise,
+                certified,
+            } => write!(
+                f,
+                "{program}: lemma premise failed: {premise} (certified {certified})"
+            ),
+            Finding::DecompositionFailed { program, detail } => {
+                write!(f, "{program}: aggregation decomposition failed: {detail}")
+            }
+            Finding::ContractionViolated { program, detail } => {
+                write!(f, "{program}: contraction check failed: {detail}")
+            }
+            Finding::PrivateLeak {
+                subject,
+                output,
+                output_wire,
+                source_wire,
+                source_word,
+                witness,
+            } => write!(
+                f,
+                "{subject}: output {output} (wire {output_wire}) carries private taint from \
+                 input '{source_word}' (wire {source_wire}) without noise; witness path \
+                 {witness:?}"
+            ),
+            Finding::DepthMismatch {
+                subject,
+                recomputed,
+                stats,
+                layered,
+            } => write!(
+                f,
+                "{subject}: AND-depth recomputation {recomputed:?} (outputs, all gates) \
+                 disagrees with CircuitStats {stats} / layering rounds {layered}"
+            ),
+        }
+    }
+}
+
+/// The certified result of analyzing one circuit.
+#[derive(Clone, Debug)]
+pub struct CircuitReport {
+    /// The circuit's name (from the spec).
+    pub subject: String,
+    /// AND gates (the GMW cost driver).
+    pub and_gates: usize,
+    /// Total gates.
+    pub total_gates: usize,
+    /// Independently recomputed AND depth over the output cone.
+    pub and_depth: usize,
+    /// Independently recomputed AND depth over all gates (the layered
+    /// execution's round count, which also schedules dead gates).
+    pub and_depth_all: usize,
+    /// Certified mathematical interval of each declared output word.
+    pub output_intervals: Vec<Interval>,
+    /// Findings for this circuit (empty = certified).
+    pub findings: Vec<Finding>,
+}
+
+impl CircuitReport {
+    /// True when the circuit certified with no findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}

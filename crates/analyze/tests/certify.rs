@@ -1,0 +1,139 @@
+//! Positive certification: every shipped program must come back with a
+//! clean report — declared sensitivities certified, no overflow, no leak.
+
+use dstress_analyze::analyze_program;
+use dstress_core::analytics::{DegreeHistogramProgram, PageRankProgram, SsspProgram, WccProgram};
+use dstress_core::program::{CounterProgram, SecureVertexProgram};
+use dstress_graph::VertexId;
+
+fn assert_clean(report: &dstress_analyze::ProgramReport) {
+    assert!(
+        report.is_clean(),
+        "{} not certified:\n{}",
+        report.program,
+        report
+            .all_findings()
+            .iter()
+            .map(|f| format!("  - {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn degree_histogram_certifies() {
+    let p = DegreeHistogramProgram {
+        width: 16,
+        lo: 2,
+        hi: 5,
+    };
+    let report = analyze_program(&p, 4, 8, None);
+    assert_clean(&report);
+    assert_eq!(report.certified_sensitivity, Some(1.0));
+    assert!(report.declared_sensitivity >= 1.0);
+}
+
+#[test]
+fn wcc_certifies() {
+    let p = WccProgram {
+        width: 16,
+        rounds: 4,
+    };
+    let report = analyze_program(&p, 4, 8, None);
+    assert_clean(&report);
+    assert_eq!(report.certified_sensitivity, Some(1.0));
+}
+
+#[test]
+fn sssp_certifies() {
+    let p = SsspProgram {
+        width: 16,
+        source: VertexId(0),
+        target: VertexId(5),
+        rounds: 6,
+    };
+    let report = analyze_program(&p, 4, 8, None);
+    assert_clean(&report);
+    assert_eq!(report.certified_sensitivity, Some(p.cap() as f64));
+}
+
+#[test]
+fn pagerank_certifies() {
+    let p = PageRankProgram {
+        frac_bits: 10,
+        target: VertexId(3),
+        rounds: 5,
+        vertices: 8,
+    };
+    let report = analyze_program(&p, 4, 8, None);
+    assert_clean(&report);
+    // 2d/(1-d) with d = 1/4 is exactly 2/3 of a rank unit.
+    let c = report.certified_sensitivity.expect("contraction certifies");
+    assert!((c - 2.0 / 3.0).abs() < 1e-9);
+    assert!(p.sensitivity() >= c);
+}
+
+#[test]
+fn counter_is_modular_and_clean() {
+    let p = CounterProgram {
+        width: 16,
+        rounds: 3,
+    };
+    let report = analyze_program(&p, 4, 8, None);
+    assert_clean(&report);
+    // Modular programs are certified only under the wrap-around caveat.
+    assert_eq!(report.certified_sensitivity, None);
+    assert!(!report.assumptions.is_empty());
+}
+
+#[test]
+fn unannotated_program_is_flagged() {
+    struct Bare;
+    impl SecureVertexProgram for Bare {
+        fn state_bits(&self) -> u32 {
+            4
+        }
+        fn message_bits(&self) -> u32 {
+            4
+        }
+        fn aggregate_bits(&self) -> u32 {
+            8
+        }
+        fn iterations(&self) -> u32 {
+            1
+        }
+        fn sensitivity(&self) -> f64 {
+            1.0
+        }
+        fn encode_initial_state(&self, _graph: &dstress_graph::Graph, _v: VertexId) -> Vec<bool> {
+            vec![false; 4]
+        }
+        fn update_circuit(&self, degree_bound: usize) -> dstress_circuit::Circuit {
+            let mut b = dstress_circuit::builder::CircuitBuilder::new();
+            let s = b.input_word(4);
+            let msgs: Vec<_> = (0..degree_bound).map(|_| b.input_word(4)).collect();
+            b.output_word(&s);
+            for m in &msgs {
+                b.output_word(m);
+            }
+            b.build().unwrap()
+        }
+        fn aggregation_circuit(&self, vertices: usize) -> dstress_circuit::Circuit {
+            let mut b = dstress_circuit::builder::CircuitBuilder::new();
+            let states: Vec<_> = (0..vertices).map(|_| b.input_word(4)).collect();
+            let wide: Vec<_> = states.iter().map(|s| b.zero_extend(s, 8)).collect();
+            let total = b.sum(&wide);
+            b.output_word(&total);
+            b.build().unwrap()
+        }
+        fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+            dstress_circuit::builder::decode_word(bits) as f64
+        }
+    }
+    let report = analyze_program(&Bare, 2, 4, None);
+    assert!(!report.is_clean());
+    assert!(report
+        .all_findings()
+        .iter()
+        .any(|f| matches!(f, dstress_analyze::Finding::MissingSpec { .. })));
+}

@@ -1,0 +1,196 @@
+//! Golden rejection fixtures: each deliberately broken artifact must be
+//! rejected with the exact typed finding, not a generic failure.
+
+use dstress_analyze::{analyze, analyze_program, Finding};
+use dstress_circuit::builder::CircuitBuilder;
+use dstress_circuit::spec::{CircuitSpec, FlowPolicy, Interval, ReleaseSpec, WordSpec};
+use dstress_core::analytics::SsspProgram;
+use dstress_core::noise_circuit::noising_circuit;
+use dstress_core::program::SecureVertexProgram;
+use dstress_graph::{Graph, VertexId};
+
+/// Fixture 1: a width-overflowing gadget.  Two 8-bit inputs up to 200
+/// feed an 8-bit adder; the sum reaches 400, which wraps.
+#[test]
+fn overflowing_adder_is_rejected_with_overflow() {
+    let mut b = CircuitBuilder::new();
+    let x = b.input_word(8);
+    let y = b.input_word(8);
+    let s = b.add(&x, &y);
+    b.output_word(&s);
+    let c = b.build().unwrap();
+
+    let spec = CircuitSpec::internal(
+        "golden-overflow",
+        vec![
+            WordSpec::private("x", 8, Interval::new(0, 200)),
+            WordSpec::private("y", 8, Interval::new(0, 200)),
+        ],
+    );
+    let report = analyze(&c, &spec);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    match &report.findings[0] {
+        Finding::Overflow {
+            subject,
+            gadget,
+            interval,
+            width,
+            ..
+        } => {
+            assert_eq!(subject, "golden-overflow");
+            assert_eq!(gadget, "Add");
+            assert_eq!(*interval, Interval::new(0, 400));
+            assert_eq!(*width, 8);
+        }
+        other => panic!("expected Overflow, got {other}"),
+    }
+}
+
+/// Fixture 2: a program whose declared sensitivity undercuts the
+/// certified bound.  SSSP certifies `cap = rounds + 1`; declaring 1.0
+/// must be a hard error naming both numbers.
+struct UnderdeclaredSssp(SsspProgram);
+
+impl SecureVertexProgram for UnderdeclaredSssp {
+    fn state_bits(&self) -> u32 {
+        self.0.state_bits()
+    }
+    fn message_bits(&self) -> u32 {
+        self.0.message_bits()
+    }
+    fn aggregate_bits(&self) -> u32 {
+        self.0.aggregate_bits()
+    }
+    fn iterations(&self) -> u32 {
+        self.0.iterations()
+    }
+    fn sensitivity(&self) -> f64 {
+        1.0 // deliberately below the certified cap
+    }
+    fn encode_initial_state(&self, graph: &Graph, v: VertexId) -> Vec<bool> {
+        self.0.encode_initial_state(graph, v)
+    }
+    fn update_circuit(&self, degree_bound: usize) -> dstress_circuit::Circuit {
+        self.0.update_circuit(degree_bound)
+    }
+    fn aggregation_circuit(&self, vertices: usize) -> dstress_circuit::Circuit {
+        self.0.aggregation_circuit(vertices)
+    }
+    fn decode_aggregate(&self, bits: &[bool]) -> f64 {
+        self.0.decode_aggregate(bits)
+    }
+    fn analysis_spec(&self, degree_bound: usize) -> dstress_circuit::spec::ProgramSpec {
+        self.0.analysis_spec(degree_bound)
+    }
+}
+
+#[test]
+fn under_declared_sensitivity_is_rejected() {
+    let p = UnderdeclaredSssp(SsspProgram {
+        width: 16,
+        source: VertexId(0),
+        target: VertexId(3),
+        rounds: 6,
+    });
+    let report = analyze_program(&p, 4, 8, None);
+    let findings = report.all_findings();
+    let found = findings.iter().find_map(|f| match f {
+        Finding::UnderDeclaredSensitivity {
+            program,
+            declared,
+            certified,
+            ..
+        } => Some((program.clone(), *declared, *certified)),
+        _ => None,
+    });
+    let (program, declared, certified) =
+        found.unwrap_or_else(|| panic!("expected UnderDeclaredSensitivity in {findings:?}"));
+    assert_eq!(program, "sssp");
+    assert_eq!(declared, 1.0);
+    assert_eq!(certified, 7.0); // cap = rounds + 1
+}
+
+/// Fixture 3: private data escaping around the noise path.  With
+/// `scale_shift > 0` the shifted noise has constant-zero low bits, so
+/// the low bits of the released sum are the aggregate's own bits,
+/// noise-free — a leak with a concrete witness path.
+#[test]
+fn leak_around_noise_path_is_rejected() {
+    let c = noising_circuit(16, 8, 3);
+    let spec = CircuitSpec {
+        name: "golden-leak".to_string(),
+        inputs: vec![
+            WordSpec::private("aggregate", 16, Interval::new(0, 1000)),
+            WordSpec::noise("geom_r1", 8),
+            WordSpec::noise("geom_r2", 8),
+        ],
+        output_words: vec![16],
+        policy: FlowPolicy::NoisedRelease,
+        release: None,
+        modular: true, // wrapping noise addition is intended
+        dominance: Vec::new(),
+    };
+    let report = analyze(&c, &spec);
+    let leaks: Vec<_> = report
+        .findings
+        .iter()
+        .filter_map(|f| match f {
+            Finding::PrivateLeak {
+                subject,
+                source_word,
+                witness,
+                ..
+            } => Some((subject.clone(), source_word.clone(), witness.clone())),
+            _ => None,
+        })
+        .collect();
+    // Exactly the 3 shifted-out low bits leak, each with a witness path
+    // starting at the private aggregate word.
+    assert_eq!(leaks.len(), 3, "{:?}", report.findings);
+    for (subject, source_word, witness) in leaks {
+        assert_eq!(subject, "golden-leak");
+        assert_eq!(source_word, "aggregate");
+        assert!(!witness.is_empty());
+    }
+
+    // The engine's actual configuration (shift 0) mixes noise into every
+    // output bit and is certified clean.
+    let clean = noising_circuit(16, 8, 0);
+    let mut spec0 = spec.clone();
+    spec0.name = "noising-shift0".to_string();
+    let report0 = analyze(&clean, &spec0);
+    assert!(report0.is_clean(), "{:?}", report0.findings);
+}
+
+/// Fixture 4: a released value that can land outside the recovery
+/// window wired into the release spec.
+#[test]
+fn release_outside_recovery_window_is_rejected() {
+    let mut b = CircuitBuilder::new();
+    let x = b.input_word(16);
+    b.output_word(&x);
+    let c = b.build().unwrap();
+
+    let spec = CircuitSpec {
+        name: "golden-window".to_string(),
+        inputs: vec![WordSpec::private("x", 16, Interval::new(0, 5000))],
+        output_words: vec![16],
+        policy: FlowPolicy::Internal,
+        release: Some(ReleaseSpec {
+            window: Interval::new(0, 1024),
+            description: "dlog recovery table of 1024 entries".to_string(),
+        }),
+        modular: false,
+        dominance: Vec::new(),
+    };
+    let report = analyze(&c, &spec);
+    assert!(
+        report.findings.iter().any(|f| matches!(
+            f,
+            Finding::ReleaseOutOfWindow { certified, window, .. }
+                if *certified == Interval::new(0, 5000) && *window == Interval::new(0, 1024)
+        )),
+        "{:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,184 @@
+//! Unit tests for the range domain's refinements: mux guard refinement,
+//! guarded-consumer suppression, declared dominance and the sum cap.
+
+use dstress_analyze::{RangeAnalysis, RangeConfig};
+use dstress_circuit::builder::CircuitBuilder;
+use dstress_circuit::Interval;
+
+#[test]
+fn mux_guard_refines_divider_branch() {
+    // prorate = liquid < total ? liquid/total : 1 — the clamp idiom of
+    // the Eisenberg–Noe update.  Unrefined, the divider saturates to
+    // 2^w - 1 because the divisor may be zero; the guard proves the
+    // selected branch stays below one.
+    let (w, f) = (16, 5);
+    let mut b = CircuitBuilder::new();
+    let liquid = b.input_word(w);
+    let total = b.input_word(w);
+    let short = b.lt_unsigned(&liquid, &total);
+    let ratio = b.div_fixed(&liquid, &total, f);
+    let one = b.const_word(1 << f, w);
+    let prorate = b.mux_word(short, &ratio, &one);
+    b.output_word(&prorate);
+    let c = b.build().unwrap();
+
+    let cfg = RangeConfig::new(
+        "refine-div",
+        vec![
+            (liquid.clone(), Interval::new(0, 4000)),
+            (total.clone(), Interval::new(0, 3000)),
+        ],
+    );
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(ra.findings.is_empty(), "{:?}", ra.findings);
+    assert_eq!(ra.interval_of(&prorate), Interval::new(0, 32));
+}
+
+#[test]
+fn guarded_consumer_suppresses_clamped_sub() {
+    // mux(a < b, 0, a - b): the subtraction wraps when a < b, but that
+    // branch is never selected, so there is no overflow to report and
+    // the mux output is non-negative.
+    let w = 8;
+    let mut b = CircuitBuilder::new();
+    let a = b.input_word(w);
+    let bb = b.input_word(w);
+    let lt = b.lt_unsigned(&a, &bb);
+    let diff = b.sub(&a, &bb);
+    let zero = b.const_word(0, w);
+    let clamped = b.mux_word(lt, &zero, &diff);
+    b.output_word(&clamped);
+    let c = b.build().unwrap();
+
+    let cfg = RangeConfig::new(
+        "clamp",
+        vec![
+            (a.clone(), Interval::new(0, 200)),
+            (bb.clone(), Interval::new(0, 200)),
+        ],
+    );
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(ra.findings.is_empty(), "{:?}", ra.findings);
+    assert_eq!(ra.interval_of(&clamped), Interval::new(0, 200));
+}
+
+#[test]
+fn unguarded_wrapping_sub_is_flagged() {
+    // The same subtraction without the protecting mux is a genuine
+    // overflow at width 8: [-200, 200] fits neither window.
+    let w = 8;
+    let mut b = CircuitBuilder::new();
+    let a = b.input_word(w);
+    let bb = b.input_word(w);
+    let diff = b.sub(&a, &bb);
+    b.output_word(&diff);
+    let c = b.build().unwrap();
+
+    let cfg = RangeConfig::new(
+        "wrap",
+        vec![
+            (a.clone(), Interval::new(0, 200)),
+            (bb.clone(), Interval::new(0, 200)),
+        ],
+    );
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(
+        ra.findings
+            .iter()
+            .any(|f| matches!(f, dstress_analyze::Finding::Overflow { .. })),
+        "{:?}",
+        ra.findings
+    );
+}
+
+#[test]
+fn dominance_bounds_sub_below() {
+    // credit - shortfall with the declared fact credit >= shortfall:
+    // non-negative without any guard in the circuit.
+    let w = 8;
+    let mut b = CircuitBuilder::new();
+    let credit = b.input_word(w);
+    let shortfall = b.input_word(w);
+    let received = b.sub(&credit, &shortfall);
+    b.output_word(&received);
+    let c = b.build().unwrap();
+
+    let mut cfg = RangeConfig::new(
+        "dominance",
+        vec![
+            (credit.clone(), Interval::new(0, 100)),
+            (shortfall.clone(), Interval::new(0, 100)),
+        ],
+    );
+    cfg.dominance.push((0, 1));
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(ra.findings.is_empty(), "{:?}", ra.findings);
+    assert_eq!(ra.interval_of(&received), Interval::new(0, 100));
+}
+
+#[test]
+fn sum_cap_tightens_message_sums() {
+    // Four slots of [0, 100] would naively sum to 400; the declared
+    // mass-conservation cap proves 150.
+    let w = 16;
+    let mut b = CircuitBuilder::new();
+    let slots: Vec<_> = (0..4).map(|_| b.input_word(w)).collect();
+    let total = b.sum(&slots);
+    b.output_word(&total);
+    let c = b.build().unwrap();
+
+    let mut cfg = RangeConfig::new(
+        "sumcap",
+        slots
+            .iter()
+            .map(|s| (s.clone(), Interval::new(0, 100)))
+            .collect(),
+    );
+    cfg.sum_cap = Some((slots.clone(), 150));
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(ra.findings.is_empty(), "{:?}", ra.findings);
+    assert_eq!(ra.interval_of(&total), Interval::new(0, 150));
+
+    // Without the cap the naive sum is certified instead.
+    let cfg2 = RangeConfig::new(
+        "nocap",
+        slots
+            .iter()
+            .map(|s| (s.clone(), Interval::new(0, 100)))
+            .collect(),
+    );
+    let ra2 = RangeAnalysis::run(&c, &cfg2);
+    assert_eq!(ra2.interval_of(&total), Interval::new(0, 400));
+}
+
+#[test]
+fn or_of_lt_and_eq_yields_strict_guard() {
+    // discount = no_discount ? 0 : one - ratio, where no_discount =
+    // or(one < ratio, one == ratio): the EGJ idiom.  On the taken
+    // branch ratio < one strictly, so the subtraction stays in [1, one].
+    let (w, f) = (16, 5);
+    let mut b = CircuitBuilder::new();
+    let value = b.input_word(w);
+    let orig = b.input_word(w);
+    let one = b.const_word(1 << f, w);
+    let ratio = b.div_fixed(&value, &orig, f);
+    let healthy = b.lt_unsigned(&one, &ratio);
+    let at_par = b.eq_word(&one, &ratio);
+    let no_discount = b.or(healthy, at_par);
+    let discount_raw = b.sub(&one, &ratio);
+    let zero = b.const_word(0, w);
+    let discount = b.mux_word(no_discount, &zero, &discount_raw);
+    b.output_word(&discount);
+    let c = b.build().unwrap();
+
+    let cfg = RangeConfig::new(
+        "egj-discount",
+        vec![
+            (value.clone(), Interval::new(0, 5000)),
+            (orig.clone(), Interval::new(0, 5000)),
+        ],
+    );
+    let ra = RangeAnalysis::run(&c, &cfg);
+    assert!(ra.findings.is_empty(), "{:?}", ra.findings);
+    assert_eq!(ra.interval_of(&discount), Interval::new(0, 32));
+}

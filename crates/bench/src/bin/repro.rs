@@ -14,7 +14,12 @@
 //! `transfer` (the four transfer experiments), `fig5-time`,
 //! `fig5-traffic`, `fig6`, `scale`, `naive-baseline`, `utility`,
 //! `edge-privacy`, `contagion`, `concurrency`, `sockets`, `rounds`,
-//! `bytes`, `persist`, `scenarios`, `all`.  The `scenarios` experiment
+//! `bytes`, `persist`, `scenarios`, `analyze`, `all`.  The `analyze`
+//! experiment runs the static analyzer (`dstress-analyze`) over every
+//! shipped program and circuit — certified ranges, sensitivity bounds,
+//! release windows and private-data flow — and exits non-zero on any
+//! finding; `ci.sh` uses it as the pre-deployment certification gate.
+//! The `scenarios` experiment
 //! runs the DP graph-analytics suite (degree histogram, WCC, SSSP,
 //! PageRank) through the full engine, asserts every release lands inside
 //! its analytic error bound, and A/Bs K recurring full-MPC releases
@@ -53,6 +58,7 @@
 //! seconds and operation counts — so the performance trajectory is
 //! machine-readable across commits.
 
+use dstress_bench::analyze_suite::analyze_suite_rows;
 use dstress_bench::end_to_end::{fig5_sweep_with_threads, EndToEndParams};
 use dstress_bench::mpc_micro::{
     block_size_sweep_with_threads, parameter_sweep_with_threads, run_mpc_micro_with,
@@ -932,6 +938,74 @@ fn contagion() {
     );
 }
 
+fn analyze_experiment(results: &mut BenchResults) {
+    header("Static analysis: certified ranges, sensitivity bounds and private-data flow");
+    println!(
+        "{:<18} {:<22} {:>8} {:>6} {:>8} {:>8} {:>9} {:>10} {:>22} {:>8}",
+        "program",
+        "model",
+        "upd AND",
+        "depth",
+        "agg AND",
+        "nse AND",
+        "declared",
+        "certified",
+        "aggregate range",
+        "findings"
+    );
+    let rows = analyze_suite_rows();
+    let mut total_findings = 0usize;
+    for row in &rows {
+        println!(
+            "{:<18} {:<22} {:>8} {:>6} {:>8} {:>8} {:>9} {:>10} {:>22} {:>8}",
+            row.name,
+            row.model,
+            row.update_and_gates,
+            row.update_and_depth,
+            row.aggregation_and_gates,
+            row.noising_and_gates,
+            if row.declared_sensitivity.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.4}", row.declared_sensitivity)
+            },
+            match row.certified_sensitivity {
+                Some(c) => format!("{c:.4}"),
+                None if row.assumptions > 0 => "lemma".to_string(),
+                None => "-".to_string(),
+            },
+            row.aggregate_interval.to_string(),
+            row.findings.len(),
+        );
+        total_findings += row.findings.len();
+        results
+            .point("analyze", &row.name)
+            .wall_seconds(row.wall_seconds)
+            .extra("update_and_gates", row.update_and_gates as f64)
+            .extra("update_and_depth", row.update_and_depth as f64)
+            .extra("aggregation_and_gates", row.aggregation_and_gates as f64)
+            .extra("noising_and_gates", row.noising_and_gates as f64)
+            .extra("declared_sensitivity", row.declared_sensitivity)
+            .extra(
+                "certified_sensitivity",
+                row.certified_sensitivity.unwrap_or(-1.0),
+            )
+            .extra("assumptions", row.assumptions as f64)
+            .extra("findings", row.findings.len() as f64);
+    }
+    if total_findings > 0 {
+        eprintln!("\nanalysis findings:");
+        for row in &rows {
+            for f in &row.findings {
+                eprintln!("  [{}] {f}", row.name);
+            }
+        }
+        eprintln!("analyze: {total_findings} findings — certification FAILED");
+        std::process::exit(1);
+    }
+    println!("\nanalyze: {} artifacts certified, 0 findings", rows.len());
+}
+
 fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults) -> bool {
     match experiment {
         "fig3-left" => fig3_left(&fig3_fig4_rows(full, threads), full, results),
@@ -956,6 +1030,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
         "rounds" => rounds(full, results),
         "bytes" => bytes(full, threads, results),
         "scenarios" => scenarios(full, results),
+        "analyze" => analyze_experiment(results),
         "naive-baseline" => naive(full, results),
         "utility" => utility(),
         "edge-privacy" => edge_privacy(),
@@ -980,6 +1055,7 @@ fn run(experiment: &str, full: bool, threads: usize, results: &mut BenchResults)
                 "rounds",
                 "bytes",
                 "scenarios",
+                "analyze",
                 "naive-baseline",
                 "utility",
                 "edge-privacy",
@@ -1019,7 +1095,8 @@ fn main() {
         eprintln!(
             "available: fig3-left fig3-right fig4 transfer-time transfer-traffic \
              transfer-ablation transfer-kernels transfer fig5 fig6 scale persist concurrency \
-             sockets rounds bytes scenarios naive-baseline utility edge-privacy contagion all"
+             sockets rounds bytes scenarios analyze naive-baseline utility edge-privacy \
+             contagion all"
         );
         std::process::exit(1);
     }

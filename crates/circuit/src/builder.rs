@@ -14,6 +14,7 @@
 //! comparisons ~2 AND/bit, schoolbook multiplication ~2·W AND/bit and the
 //! restoring divider ~3·W AND per quotient bit.
 
+use crate::gadgets::{GadgetEvent, GadgetKind};
 use crate::ir::{Circuit, CircuitError, Gate, WireId};
 
 /// A fixed-width little-endian word of wires.
@@ -25,12 +26,32 @@ pub struct CircuitBuilder {
     gates: Vec<Gate>,
     num_inputs: usize,
     outputs: Vec<WireId>,
+    gadgets: Vec<GadgetEvent>,
+    gadget_depth: usize,
 }
 
 impl CircuitBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         CircuitBuilder::default()
+    }
+
+    /// Marks the start of a word-level gadget; nested gadget calls bump
+    /// the depth so only the outermost call records an event.
+    fn enter_gadget(&mut self) {
+        self.gadget_depth += 1;
+    }
+
+    /// Marks the end of a gadget and records its event when top-level.
+    fn record_gadget(&mut self, kind: GadgetKind, inputs: &[&[WireId]], output: &[WireId]) {
+        self.gadget_depth -= 1;
+        if self.gadget_depth == 0 {
+            self.gadgets.push(GadgetEvent {
+                kind,
+                inputs: inputs.iter().map(|w| w.to_vec()).collect(),
+                output: output.to_vec(),
+            });
+        }
     }
 
     /// Adds a single input wire.
@@ -43,7 +64,10 @@ impl CircuitBuilder {
 
     /// Adds `width` input wires forming a word (LSB first).
     pub fn input_word(&mut self, width: u32) -> Word {
-        (0..width).map(|_| self.input()).collect()
+        self.enter_gadget();
+        let out: Word = (0..width).map(|_| self.input()).collect();
+        self.record_gadget(GadgetKind::InputWord, &[], &out);
+        out
     }
 
     /// A constant bit.
@@ -59,9 +83,12 @@ impl CircuitBuilder {
 
     /// A constant word (LSB first).
     pub fn const_word(&mut self, value: u64, width: u32) -> Word {
-        (0..width)
+        self.enter_gadget();
+        let out: Word = (0..width)
             .map(|i| self.const_bit((value >> i) & 1 == 1))
-            .collect()
+            .collect();
+        self.record_gadget(GadgetKind::ConstWord(value), &[], &out);
+        out
     }
 
     /// XOR of two bits.
@@ -87,18 +114,24 @@ impl CircuitBuilder {
 
     /// OR of two bits (`a | b = ¬(¬a ∧ ¬b)`, one AND gate).
     pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.enter_gadget();
         let na = self.not(a);
         let nb = self.not(b);
         let nand = self.and(na, nb);
-        self.not(nand)
+        let out = self.not(nand);
+        self.record_gadget(GadgetKind::Or, &[&[a], &[b]], &[out]);
+        out
     }
 
     /// Bit multiplexer: returns `if sel { then } else { otherwise }`
     /// (one AND gate).
     pub fn mux(&mut self, sel: WireId, then: WireId, otherwise: WireId) -> WireId {
+        self.enter_gadget();
         let diff = self.xor(then, otherwise);
         let masked = self.and(sel, diff);
-        self.xor(masked, otherwise)
+        let out = self.xor(masked, otherwise);
+        self.record_gadget(GadgetKind::MuxBit, &[&[sel], &[then], &[otherwise]], &[out]);
+        out
     }
 
     /// Word-wise multiplexer.
@@ -108,24 +141,35 @@ impl CircuitBuilder {
     /// Panics if the word widths differ.
     pub fn mux_word(&mut self, sel: WireId, then: &Word, otherwise: &Word) -> Word {
         assert_eq!(then.len(), otherwise.len(), "mux_word width mismatch");
-        then.iter()
+        self.enter_gadget();
+        let out: Word = then
+            .iter()
             .zip(otherwise.iter())
             .map(|(&t, &o)| self.mux(sel, t, o))
-            .collect()
+            .collect();
+        self.record_gadget(GadgetKind::MuxWord, &[&[sel], then, otherwise], &out);
+        out
     }
 
     /// Bitwise XOR of two words.
     pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
         assert_eq!(a.len(), b.len(), "xor_word width mismatch");
-        a.iter()
+        self.enter_gadget();
+        let out: Word = a
+            .iter()
             .zip(b.iter())
             .map(|(&x, &y)| self.xor(x, y))
-            .collect()
+            .collect();
+        self.record_gadget(GadgetKind::XorWord, &[a, b], &out);
+        out
     }
 
     /// Bitwise NOT of a word.
     pub fn not_word(&mut self, a: &Word) -> Word {
-        a.iter().map(|&x| self.not(x)).collect()
+        self.enter_gadget();
+        let out: Word = a.iter().map(|&x| self.not(x)).collect();
+        self.record_gadget(GadgetKind::NotWord, &[a], &out);
+        out
     }
 
     /// Ripple-carry addition with explicit carry-in; returns the sum word
@@ -149,95 +193,127 @@ impl CircuitBuilder {
 
     /// Wrapping addition of two equal-width words.
     pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let zero = self.const_bit(false);
-        self.add_with_carry(a, b, zero).0
+        let out = self.add_with_carry(a, b, zero).0;
+        self.record_gadget(GadgetKind::Add, &[a, b], &out);
+        out
     }
 
     /// Wrapping subtraction `a - b` (two's complement).
     pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let not_b = self.not_word(b);
         let one = self.const_bit(true);
-        self.add_with_carry(a, &not_b, one).0
+        let out = self.add_with_carry(a, &not_b, one).0;
+        self.record_gadget(GadgetKind::Sub, &[a, b], &out);
+        out
     }
 
     /// Two's-complement negation.
     pub fn neg(&mut self, a: &Word) -> Word {
+        self.enter_gadget();
         let zero = self.const_word(0, a.len() as u32);
-        self.sub(&zero, a)
+        let out = self.sub(&zero, a);
+        self.record_gadget(GadgetKind::Neg, &[a], &out);
+        out
     }
 
     /// Unsigned comparison `a < b` (single output bit).
     pub fn lt_unsigned(&mut self, a: &Word, b: &Word) -> WireId {
+        self.enter_gadget();
         // a < b  iff  the subtraction a - b borrows, i.e. the carry-out of
         // a + ¬b + 1 is zero.
         let not_b = self.not_word(b);
         let one = self.const_bit(true);
         let (_, carry) = self.add_with_carry(a, &not_b, one);
-        self.not(carry)
+        let out = self.not(carry);
+        self.record_gadget(GadgetKind::LtUnsigned, &[a, b], &[out]);
+        out
     }
 
     /// Signed (two's complement) comparison `a < b`.
     pub fn lt_signed(&mut self, a: &Word, b: &Word) -> WireId {
+        self.enter_gadget();
         let sign_a = *a.last().expect("non-empty word");
         let sign_b = *b.last().expect("non-empty word");
         let lt_u = self.lt_unsigned(a, b);
         // If signs are equal, unsigned comparison gives the right answer;
         // otherwise a < b exactly when a is negative.
         let signs_differ = self.xor(sign_a, sign_b);
-        self.mux(signs_differ, sign_a, lt_u)
+        let out = self.mux(signs_differ, sign_a, lt_u);
+        self.record_gadget(GadgetKind::LtSigned, &[a, b], &[out]);
+        out
     }
 
     /// Equality test of two words (single output bit).
     pub fn eq_word(&mut self, a: &Word, b: &Word) -> WireId {
         assert_eq!(a.len(), b.len(), "eq width mismatch");
+        self.enter_gadget();
         let mut all_equal = self.const_bit(true);
         for (&x, &y) in a.iter().zip(b.iter()) {
             let diff = self.xor(x, y);
             let same = self.not(diff);
             all_equal = self.and(all_equal, same);
         }
+        self.record_gadget(GadgetKind::EqWord, &[a, b], &[all_equal]);
         all_equal
     }
 
     /// Returns `max(a, 0)` for a signed word: clamps negative values to
     /// zero (used to clamp pro-rata fractions and shortfalls).
     pub fn relu(&mut self, a: &Word) -> Word {
+        self.enter_gadget();
         let sign = *a.last().expect("non-empty word");
         let zero = self.const_word(0, a.len() as u32);
-        self.mux_word(sign, &zero, a)
+        let out = self.mux_word(sign, &zero, a);
+        self.record_gadget(GadgetKind::Relu, &[a], &out);
+        out
     }
 
     /// Unsigned minimum of two words.
     pub fn min_unsigned(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let a_lt_b = self.lt_unsigned(a, b);
-        self.mux_word(a_lt_b, a, b)
+        let out = self.mux_word(a_lt_b, a, b);
+        self.record_gadget(GadgetKind::MinUnsigned, &[a, b], &out);
+        out
     }
 
     /// Unsigned maximum of two words.
     pub fn max_unsigned(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let a_lt_b = self.lt_unsigned(a, b);
-        self.mux_word(a_lt_b, b, a)
+        let out = self.mux_word(a_lt_b, b, a);
+        self.record_gadget(GadgetKind::MaxUnsigned, &[a, b], &out);
+        out
     }
 
     /// Zero-extends a word to `width` bits.
     pub fn zero_extend(&mut self, a: &Word, width: u32) -> Word {
         assert!(width as usize >= a.len(), "cannot shrink in zero_extend");
+        self.enter_gadget();
         let mut out = a.clone();
         while out.len() < width as usize {
             out.push(self.const_bit(false));
         }
+        self.record_gadget(GadgetKind::ZeroExtend, &[a], &out);
         out
     }
 
     /// Truncates a word to its low `width` bits.
     pub fn truncate(&mut self, a: &Word, width: u32) -> Word {
         assert!(width as usize <= a.len(), "cannot grow in truncate");
-        a[..width as usize].to_vec()
+        self.enter_gadget();
+        let out = a[..width as usize].to_vec();
+        self.record_gadget(GadgetKind::Truncate, &[a], &out);
+        out
     }
 
     /// Logical left shift by a constant amount (bits shifted in are zero),
     /// keeping the original width.
     pub fn shl_const(&mut self, a: &Word, amount: u32) -> Word {
+        self.enter_gadget();
         let width = a.len();
         let mut out = Vec::with_capacity(width);
         for i in 0..width {
@@ -247,11 +323,13 @@ impl CircuitBuilder {
                 out.push(a[i - amount as usize]);
             }
         }
+        self.record_gadget(GadgetKind::ShlConst(amount), &[a], &out);
         out
     }
 
     /// Logical right shift by a constant amount, keeping the width.
     pub fn shr_const(&mut self, a: &Word, amount: u32) -> Word {
+        self.enter_gadget();
         let width = a.len();
         let mut out = Vec::with_capacity(width);
         for i in 0..width {
@@ -262,12 +340,14 @@ impl CircuitBuilder {
                 out.push(self.const_bit(false));
             }
         }
+        self.record_gadget(GadgetKind::ShrConst(amount), &[a], &out);
         out
     }
 
     /// Unsigned schoolbook multiplication producing the full
     /// `a.len() + b.len()`-bit product.
     pub fn mul_full(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let out_width = a.len() + b.len();
         let mut acc = self.const_word(0, out_width as u32);
         for (i, &b_bit) in b.iter().enumerate() {
@@ -282,23 +362,30 @@ impl CircuitBuilder {
             }
             acc = self.add(&acc, &partial);
         }
+        self.record_gadget(GadgetKind::MulFull, &[a, b], &acc);
         acc
     }
 
     /// Unsigned multiplication truncated to the width of `a`
     /// (wrapping, like `u64::wrapping_mul` at that width).
     pub fn mul(&mut self, a: &Word, b: &Word) -> Word {
+        self.enter_gadget();
         let full = self.mul_full(a, b);
-        self.truncate(&full, a.len() as u32)
+        let out = self.truncate(&full, a.len() as u32);
+        self.record_gadget(GadgetKind::Mul, &[a, b], &out);
+        out
     }
 
     /// Fixed-point multiplication of two non-negative values with
     /// `frac_bits` fractional bits: computes `(a * b) >> frac_bits`
     /// truncated back to the operand width.
     pub fn mul_fixed(&mut self, a: &Word, b: &Word, frac_bits: u32) -> Word {
+        self.enter_gadget();
         let full = self.mul_full(a, b);
         let shifted = self.shr_const(&full, frac_bits);
-        self.truncate(&shifted, a.len() as u32)
+        let out = self.truncate(&shifted, a.len() as u32);
+        self.record_gadget(GadgetKind::MulFixed(frac_bits), &[a, b], &out);
+        out
     }
 
     /// Fixed-point division of non-negative values with `frac_bits`
@@ -307,6 +394,7 @@ impl CircuitBuilder {
     /// the all-ones word (saturates), mirroring the plaintext reference.
     pub fn div_fixed(&mut self, a: &Word, b: &Word, frac_bits: u32) -> Word {
         assert_eq!(a.len(), b.len(), "div width mismatch");
+        self.enter_gadget();
         let width = a.len();
         let total_bits = width + frac_bits as usize;
         // Numerator is a shifted left by frac_bits, so it has
@@ -336,16 +424,21 @@ impl CircuitBuilder {
                                  // Saturate on division by zero: quotient would be all ones anyway
                                  // because remainder >= 0 == divisor at every step, which is the
                                  // documented saturation behaviour.
-        self.truncate(&quotient_bits, width as u32)
+        let out = self.truncate(&quotient_bits, width as u32);
+        self.record_gadget(GadgetKind::DivFixed(frac_bits), &[a, b], &out);
+        out
     }
 
     /// Sums a list of equal-width words (wrapping).
     pub fn sum(&mut self, words: &[Word]) -> Word {
         assert!(!words.is_empty(), "sum of no words");
+        self.enter_gadget();
         let mut acc = words[0].clone();
         for w in &words[1..] {
             acc = self.add(&acc, w);
         }
+        let inputs: Vec<&[WireId]> = words.iter().map(|w| w.as_slice()).collect();
+        self.record_gadget(GadgetKind::Sum, &inputs, &acc);
         acc
     }
 
@@ -376,7 +469,7 @@ impl CircuitBuilder {
     /// Returns [`CircuitError`] if the gate list is inconsistent (cannot
     /// happen when only builder methods were used).
     pub fn build(self) -> Result<Circuit, CircuitError> {
-        Circuit::new(self.gates, self.num_inputs, self.outputs)
+        Circuit::with_gadgets(self.gates, self.num_inputs, self.outputs, self.gadgets)
     }
 }
 
@@ -583,6 +676,70 @@ mod tests {
         builder.output_word(&p);
         let mult = builder.build().unwrap();
         assert!(mult.and_gates() > 16 * 16, "multiplier should dominate");
+    }
+
+    #[test]
+    fn gadget_trace_records_top_level_only() {
+        use crate::gadgets::GadgetKind;
+        let mut builder = CircuitBuilder::new();
+        let a = builder.input_word(8);
+        let b = builder.input_word(8);
+        // min_unsigned internally builds a comparator and a word mux; only
+        // the outer MinUnsigned event may appear.
+        let m = builder.min_unsigned(&a, &b);
+        builder.output_word(&m);
+        let circuit = builder.build().unwrap();
+        let kinds: Vec<_> = circuit.gadgets().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                GadgetKind::InputWord,
+                GadgetKind::InputWord,
+                GadgetKind::MinUnsigned
+            ]
+        );
+        let ev = &circuit.gadgets()[2];
+        assert_eq!(ev.inputs, vec![a, b]);
+        assert_eq!(ev.output, m);
+    }
+
+    #[test]
+    fn gadget_trace_carries_parameters() {
+        use crate::gadgets::GadgetKind;
+        let mut builder = CircuitBuilder::new();
+        let a = builder.input_word(8);
+        let b = builder.input_word(8);
+        let q = builder.div_fixed(&a, &b, 4);
+        let s = builder.shl_const(&q, 2);
+        let c = builder.const_word(42, 8);
+        let p = builder.mul_fixed(&s, &c, 4);
+        builder.output_word(&p);
+        let circuit = builder.build().unwrap();
+        let kinds: Vec<_> = circuit.gadgets().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                GadgetKind::InputWord,
+                GadgetKind::InputWord,
+                GadgetKind::DivFixed(4),
+                GadgetKind::ShlConst(2),
+                GadgetKind::ConstWord(42),
+                GadgetKind::MulFixed(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn mux_event_exposes_selector() {
+        let mut builder = CircuitBuilder::new();
+        let sel = builder.input();
+        let a = builder.input_word(4);
+        let b = builder.input_word(4);
+        let out = builder.mux_word(sel, &a, &b);
+        builder.output_word(&out);
+        let circuit = builder.build().unwrap();
+        let mux = circuit.gadgets().last().unwrap();
+        assert_eq!(mux.mux_selector(), Some(sel));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use core::fmt;
 
+use crate::gadgets::GadgetEvent;
+
 /// Identifier of a wire (the index of the gate that drives it).
 pub type WireId = usize;
 
@@ -50,6 +52,18 @@ pub enum CircuitError {
         /// The offending wire id.
         wire: WireId,
     },
+    /// An input gate referenced an input index at or beyond the declared
+    /// input count.  Previously this was unchecked and evaluation panicked
+    /// on an out-of-bounds index; validation now rejects it up front so
+    /// the analyzer and the engine can report the malformed circuit.
+    InputIndexOutOfRange {
+        /// The gate index of the offending [`Gate::Input`].
+        gate: usize,
+        /// The referenced input index.
+        index: usize,
+        /// The circuit's declared input count.
+        num_inputs: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -62,6 +76,16 @@ impl fmt::Display for CircuitError {
                 write!(f, "circuit expects {expected} inputs, got {actual}")
             }
             CircuitError::InvalidOutput { wire } => write!(f, "invalid output wire {wire}"),
+            CircuitError::InputIndexOutOfRange {
+                gate,
+                index,
+                num_inputs,
+            } => {
+                write!(
+                    f,
+                    "gate {gate} reads input {index} but the circuit declares {num_inputs} inputs"
+                )
+            }
         }
     }
 }
@@ -74,6 +98,7 @@ pub struct Circuit {
     gates: Vec<Gate>,
     num_inputs: usize,
     outputs: Vec<WireId>,
+    gadgets: Vec<GadgetEvent>,
 }
 
 impl Circuit {
@@ -82,11 +107,28 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`CircuitError`] if any gate references a wire at or after
-    /// its own position, or if an output references a non-existent wire.
+    /// its own position, reads a non-existent input index, or if an
+    /// output references a non-existent wire.
     pub fn new(
         gates: Vec<Gate>,
         num_inputs: usize,
         outputs: Vec<WireId>,
+    ) -> Result<Self, CircuitError> {
+        Circuit::with_gadgets(gates, num_inputs, outputs, Vec::new())
+    }
+
+    /// Creates a circuit carrying a word-level gadget trace (recorded by
+    /// [`crate::CircuitBuilder`]), with the same validation as
+    /// [`Circuit::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::new`].
+    pub fn with_gadgets(
+        gates: Vec<Gate>,
+        num_inputs: usize,
+        outputs: Vec<WireId>,
+        gadgets: Vec<GadgetEvent>,
     ) -> Result<Self, CircuitError> {
         for (idx, gate) in gates.iter().enumerate() {
             let check = |wire: WireId| -> Result<(), CircuitError> {
@@ -97,7 +139,16 @@ impl Circuit {
                 }
             };
             match gate {
-                Gate::Input(_) | Gate::ConstFalse | Gate::ConstTrue => {}
+                Gate::Input(n) => {
+                    if *n >= num_inputs {
+                        return Err(CircuitError::InputIndexOutOfRange {
+                            gate: idx,
+                            index: *n,
+                            num_inputs,
+                        });
+                    }
+                }
+                Gate::ConstFalse | Gate::ConstTrue => {}
                 Gate::Xor(a, b) | Gate::And(a, b) => {
                     check(*a)?;
                     check(*b)?;
@@ -114,6 +165,7 @@ impl Circuit {
             gates,
             num_inputs,
             outputs,
+            gadgets,
         })
     }
 
@@ -156,6 +208,13 @@ impl Circuit {
             .iter()
             .filter(|g| matches!(g, Gate::Xor(_, _)))
             .count()
+    }
+
+    /// The word-level gadget trace recorded by the builder (empty for
+    /// circuits assembled gate by gate).  Advisory only: evaluation and
+    /// the GMW engine never consult it.
+    pub fn gadgets(&self) -> &[GadgetEvent] {
+        &self.gadgets
     }
 }
 
@@ -203,6 +262,23 @@ mod tests {
         let gates = vec![Gate::Input(0)];
         let err = Circuit::new(gates, 1, vec![3]).unwrap_err();
         assert_eq!(err, CircuitError::InvalidOutput { wire: 3 });
+    }
+
+    #[test]
+    fn input_index_out_of_range_is_rejected() {
+        // Declares one input but reads input index 3: previously this
+        // passed validation and panicked at evaluation time.
+        let gates = vec![Gate::Input(0), Gate::Input(3)];
+        let err = Circuit::new(gates, 1, vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::InputIndexOutOfRange {
+                gate: 1,
+                index: 3,
+                num_inputs: 1
+            }
+        );
+        assert!(err.to_string().contains("input 3"));
     }
 
     #[test]

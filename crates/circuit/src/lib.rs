@@ -23,6 +23,12 @@
 //!   lets the GMW engine batch a whole layer of OTs into one message
 //!   exchange per party pair, making round counts scale with circuit
 //!   depth instead of AND-gate count.
+//! * [`gadgets`] — the word-level gadget trace the builder records, which
+//!   lets the static analyzer in `dstress-analyze` reason about adders
+//!   and multipliers as arithmetic instead of bit soup.
+//! * [`spec`] — analysis specifications: declared input ranges, privacy
+//!   taints, release windows and sensitivity models, consumed by
+//!   `dstress-analyze` to certify circuits before anything runs.
 //!
 //! ## Example
 //!
@@ -48,12 +54,19 @@
 
 pub mod builder;
 pub mod eval;
+pub mod gadgets;
 pub mod ir;
 pub mod layers;
+pub mod spec;
 pub mod stats;
 
 pub use builder::{CircuitBuilder, Word};
 pub use eval::{evaluate, evaluate_wires};
+pub use gadgets::{GadgetEvent, GadgetKind};
 pub use ir::{Circuit, CircuitError, Gate, WireId};
 pub use layers::{evaluate_layered, CircuitLayers};
+pub use spec::{
+    CircuitSpec, FlowPolicy, Interval, ProgramInputRef, ProgramSpec, RangePremise, ReleaseSpec,
+    SensitivityModel, Taint, WordSpec,
+};
 pub use stats::CircuitStats;

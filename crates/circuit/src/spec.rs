@@ -1,0 +1,406 @@
+//! Analysis specifications: the facts a circuit's author declares so the
+//! static analyzer (`dstress-analyze`) can certify the circuit.
+//!
+//! A [`CircuitSpec`] names each input word, bounds its value range, labels
+//! its privacy taint and states the release policy.  A [`ProgramSpec`]
+//! does the same for a `SecureVertexProgram`'s per-vertex state and
+//! message layouts and names the *sensitivity model* under which the
+//! program's declared sensitivity is to be certified.  The types live in
+//! this crate (rather than in the analyzer) so that programs in
+//! `dstress-core` and `dstress-finance` can annotate themselves without
+//! depending on the analyzer.
+//!
+//! The analyzer treats every declared range as a *precondition* and every
+//! model premise as a proof obligation: ranges it can check, it checks;
+//! the few genuinely semantic steps (e.g. WCC's "one edge flips at most
+//! one root indicator") are named lemmas that surface verbatim in the
+//! analysis report as assumptions.
+
+use core::fmt;
+
+/// A closed integer interval `[lo, hi]` over mathematical integers.
+///
+/// Intervals track the *mathematical* value of a word, before any
+/// wrapping; `i128` comfortably covers products of 64-bit words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`; panics if `lo > hi` (caller bug).
+    pub fn new(lo: i128, hi: i128) -> Self {
+        assert!(lo <= hi, "interval lower bound above upper bound");
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i128) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The full unsigned range of a `width`-bit word, `[0, 2^width - 1]`.
+    pub fn unsigned(width: u32) -> Self {
+        Interval {
+            lo: 0,
+            hi: (1i128 << width) - 1,
+        }
+    }
+
+    /// The full signed two's-complement range of a `width`-bit word.
+    pub fn signed(width: u32) -> Self {
+        Interval {
+            lo: -(1i128 << (width - 1)),
+            hi: (1i128 << (width - 1)) - 1,
+        }
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: i128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether every point of `other` lies inside `self`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The diameter `hi - lo` (0 for a point).
+    pub fn width(self) -> i128 {
+        self.hi - self.lo
+    }
+
+    /// True when the mathematical values fit a `width`-bit unsigned word.
+    pub fn fits_unsigned(self, width: u32) -> bool {
+        Interval::unsigned(width).contains_interval(self)
+    }
+
+    /// True when the values fit a `width`-bit two's-complement word.
+    pub fn fits_signed(self, width: u32) -> bool {
+        Interval::signed(width).contains_interval(self)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Privacy taint carried by an input word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Taint {
+    /// Publicly known (constants, public parameters).
+    Public,
+    /// A participant's private data; must not reach a released output
+    /// without passing through noise.
+    Private,
+    /// Distributed noise-generation randomness: the sanctioned channel
+    /// through which private values may be released.
+    Noise,
+}
+
+/// How the outputs of a circuit are used, which determines what the
+/// information-flow analysis must prove about them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPolicy {
+    /// Outputs stay secret-shared inside the MPC (update and aggregation
+    /// circuits): no flow restriction, taint is only propagated onward.
+    Internal,
+    /// Outputs are reconstructed and released: every output wire touched
+    /// by private taint must also carry noise taint.
+    NoisedRelease,
+}
+
+/// Declared facts about one input word.
+#[derive(Clone, Debug)]
+pub struct WordSpec {
+    /// Human-readable name, used in findings ("prorate", "rank").
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Declared value range (a precondition on callers), or `None` for
+    /// the full unsigned range of the width.
+    pub range: Option<Interval>,
+    /// Privacy label.
+    pub taint: Taint,
+}
+
+impl WordSpec {
+    /// A private word with a declared range.
+    pub fn private(name: &str, width: u32, range: Interval) -> Self {
+        WordSpec {
+            name: name.to_string(),
+            width,
+            range: Some(range),
+            taint: Taint::Private,
+        }
+    }
+
+    /// A noise-randomness word spanning its full unsigned range.
+    pub fn noise(name: &str, width: u32) -> Self {
+        WordSpec {
+            name: name.to_string(),
+            width,
+            range: None,
+            taint: Taint::Noise,
+        }
+    }
+
+    /// A public word with a declared range.
+    pub fn public(name: &str, width: u32, range: Interval) -> Self {
+        WordSpec {
+            name: name.to_string(),
+            width,
+            range: Some(range),
+            taint: Taint::Public,
+        }
+    }
+
+    /// The effective range: the declared one, or full unsigned.
+    pub fn effective_range(&self) -> Interval {
+        self.range.unwrap_or_else(|| Interval::unsigned(self.width))
+    }
+}
+
+/// Declared facts about a released value, checked against the certified
+/// output interval.
+#[derive(Clone, Debug)]
+pub struct ReleaseSpec {
+    /// The window inside which the released value must land for the
+    /// decoding side (e.g. a dlog recovery table) to recover it.
+    pub window: Interval,
+    /// Where the window comes from ("signed 32-bit decode",
+    /// "DlogTable::new_signed(600)").
+    pub description: String,
+}
+
+/// The specification for analyzing one standalone circuit.
+#[derive(Clone, Debug)]
+pub struct CircuitSpec {
+    /// Name used in reports and findings.
+    pub name: String,
+    /// Input words in input order; total width must equal the circuit's
+    /// input count.
+    pub inputs: Vec<WordSpec>,
+    /// Output word widths, splitting the circuit's flat output list into
+    /// words for per-word interval reporting.  Empty means "one word
+    /// spanning all outputs".
+    pub output_words: Vec<u32>,
+    /// What the outputs are used for.
+    pub policy: FlowPolicy,
+    /// Release window for the outputs, when they are released.
+    pub release: Option<ReleaseSpec>,
+    /// When true, all arithmetic in this circuit is *intended* to be
+    /// modular (mod 2^width); the range analysis skips overflow findings
+    /// and tracks full-width ranges only.
+    pub modular: bool,
+    /// Pointwise dominance preconditions: `(a, b)` declares that input
+    /// word `a`'s value is always >= input word `b`'s value, letting the
+    /// analyzer bound `a - b` in `[0, hi(a)]`.
+    pub dominance: Vec<(usize, usize)>,
+}
+
+impl CircuitSpec {
+    /// A minimal spec: named inputs, internal policy, nothing declared.
+    pub fn internal(name: &str, inputs: Vec<WordSpec>) -> Self {
+        CircuitSpec {
+            name: name.to_string(),
+            inputs,
+            output_words: Vec::new(),
+            policy: FlowPolicy::Internal,
+            release: None,
+            modular: false,
+            dominance: Vec::new(),
+        }
+    }
+}
+
+/// A checkable premise of an [`SensitivityModel::ExternalLemma`].
+#[derive(Clone, Debug)]
+pub enum RangePremise {
+    /// The update circuit's output for state word `index` must stay
+    /// within `range`.
+    StateWordWithin {
+        /// Index into the program's state-word layout.
+        index: usize,
+        /// The required interval.
+        range: Interval,
+    },
+    /// Every message word the update circuit emits must stay within
+    /// `range`.
+    MessagesWithin {
+        /// The required interval.
+        range: Interval,
+    },
+}
+
+/// Under which model the analyzer certifies a program's declared
+/// sensitivity against neighbouring inputs (edge-level DP: neighbouring
+/// graphs differ in one directed edge).
+#[derive(Clone, Debug)]
+pub enum SensitivityModel {
+    /// No model declared.  The analyzer reports a finding: unannotated
+    /// programs do not pass the gate.
+    Unspecified,
+    /// The program's arithmetic is intentionally modular (benchmark
+    /// counters); its sensitivity declaration is not certified and the
+    /// program must not be used for calibrated releases.
+    Modular {
+        /// Why modular wrap is acceptable for this program.
+        reason: String,
+    },
+    /// Sensitivity is bounded by the diameter of the certified aggregate
+    /// output range (valid when the whole range is reachable and any two
+    /// neighbouring runs stay inside it, e.g. SSSP's truncated hop
+    /// distance).
+    OutputRange,
+    /// One neighbouring edge changes exactly `changed_state_words`
+    /// initial state words; the update circuit must be message-free and
+    /// state-local so the change never spreads, and the aggregation must
+    /// decompose into per-vertex terms (degree histograms).
+    LocalizedDelta {
+        /// How many per-vertex state words a neighbouring edge can touch.
+        changed_state_words: usize,
+    },
+    /// The aggregation decomposes into per-vertex indicator terms and a
+    /// named lemma bounds how many terms a neighbouring edge can flip
+    /// (WCC root counting).
+    DecomposedCounting {
+        /// Maximum number of terms a single edge change can flip.
+        max_changed_terms: u64,
+        /// The semantic lemma justifying `max_changed_terms`.
+        lemma: String,
+    },
+    /// The update circuit is a contraction with dyadic damping factor
+    /// `d = 2^-damping_shift` in the L1 norm over vertices; sensitivity
+    /// is the geometric series bound `2d / (1 - d)` (PageRank).
+    GeometricContraction {
+        /// The shift: damping factor is `2^-damping_shift`.
+        damping_shift: u32,
+        /// The L1 mass-conservation lemma the series bound rests on.
+        lemma: String,
+    },
+    /// The bound comes from an external theorem (the paper's financial
+    /// lemmas); the analyzer certifies the listed range premises and
+    /// surfaces the lemma as a named assumption.
+    ExternalLemma {
+        /// The theorem being invoked.
+        lemma: String,
+        /// Premises the analyzer must certify on the circuits.
+        premises: Vec<RangePremise>,
+    },
+}
+
+/// The specification for analyzing a `SecureVertexProgram`.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    /// Program name used in reports.
+    pub name: String,
+    /// Per-vertex state layout; widths must sum to `state_bits`.  Ranges
+    /// bound the *initial* state produced by `encode_initial_state`.
+    pub state_words: Vec<WordSpec>,
+    /// Per-slot message layout; widths must sum to `message_bits`.
+    /// Declared ranges, when present, are checked as a message-range
+    /// invariant against the certified update outputs.
+    pub message_words: Vec<WordSpec>,
+    /// The sensitivity certification model.
+    pub sensitivity_model: SensitivityModel,
+    /// Modular-arithmetic escape hatch, as in [`CircuitSpec::modular`].
+    pub modular: bool,
+    /// Dominance preconditions on the update circuit, expressed over
+    /// (state word index | message slot), see [`ProgramInputRef`].
+    pub dominance: Vec<(ProgramInputRef, ProgramInputRef)>,
+    /// A mass-conservation cap: when set, any `sum` gadget whose inputs
+    /// are exactly message input words is certified against `[0, cap]`
+    /// instead of the naive per-slot sum (PageRank's L1 lemma: total
+    /// incoming mass is bounded by the total rank in the system).
+    pub message_sum_cap: Option<i128>,
+}
+
+/// Reference to an input word of a program's update circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramInputRef {
+    /// The `i`-th word of the per-vertex state layout.
+    State(usize),
+    /// The `w`-th word of the `d`-th incoming message slot.
+    Message(usize, usize),
+}
+
+impl ProgramSpec {
+    /// The placeholder spec for programs that have not been annotated.
+    /// Analyzing it yields a `MissingSpec` finding.
+    pub fn unspecified(name: &str) -> Self {
+        ProgramSpec {
+            name: name.to_string(),
+            state_words: Vec::new(),
+            message_words: Vec::new(),
+            sensitivity_model: SensitivityModel::Unspecified,
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let a = Interval::new(-3, 7);
+        assert!(a.contains(0));
+        assert!(!a.contains(8));
+        assert_eq!(a.width(), 10);
+        assert_eq!(a.hull(Interval::point(20)).hi, 20);
+        assert_eq!(a.intersect(Interval::new(5, 9)), Some(Interval::new(5, 7)));
+        assert_eq!(a.intersect(Interval::new(8, 9)), None);
+    }
+
+    #[test]
+    fn interval_windows() {
+        assert!(Interval::new(0, 255).fits_unsigned(8));
+        assert!(!Interval::new(0, 256).fits_unsigned(8));
+        assert!(Interval::new(-128, 127).fits_signed(8));
+        assert!(!Interval::new(-129, 0).fits_signed(8));
+        assert_eq!(Interval::unsigned(4), Interval::new(0, 15));
+        assert_eq!(Interval::signed(4), Interval::new(-8, 7));
+    }
+
+    #[test]
+    fn word_spec_ranges() {
+        let w = WordSpec::private("degree", 8, Interval::new(0, 12));
+        assert_eq!(w.effective_range(), Interval::new(0, 12));
+        let n = WordSpec::noise("coins", 16);
+        assert_eq!(n.effective_range(), Interval::unsigned(16));
+        assert_eq!(n.taint, Taint::Noise);
+    }
+
+    #[test]
+    fn interval_display() {
+        assert_eq!(Interval::new(-2, 9).to_string(), "[-2, 9]");
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::program::SecureVertexProgram;
 use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder, Word};
+use dstress_circuit::spec::{Interval, ProgramSpec, SensitivityModel, WordSpec};
 use dstress_circuit::Circuit;
 use dstress_graph::analytics::PAGERANK_DAMPING;
 use dstress_graph::{Graph, VertexId};
@@ -126,6 +127,25 @@ impl SecureVertexProgram for DegreeHistogramProgram {
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         decode_word(bits) as f64
     }
+
+    fn analysis_spec(&self, _degree_bound: usize) -> ProgramSpec {
+        ProgramSpec {
+            name: "degree-histogram".to_string(),
+            state_words: vec![WordSpec::private(
+                "degree",
+                self.width,
+                Interval::unsigned(self.width),
+            )],
+            // Communication-free: every message is the no-op ⊥ = 0.
+            message_words: vec![WordSpec::private("noop", self.width, Interval::point(0))],
+            sensitivity_model: SensitivityModel::LocalizedDelta {
+                changed_state_words: 1,
+            },
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: None,
+        }
+    }
 }
 
 /// Secure WCC by min-label propagation: releases the number of
@@ -206,6 +226,32 @@ impl SecureVertexProgram for WccProgram {
 
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         decode_word(bits) as f64
+    }
+
+    fn analysis_spec(&self, _degree_bound: usize) -> ProgramSpec {
+        ProgramSpec {
+            name: "wcc".to_string(),
+            state_words: vec![WordSpec::private(
+                "label",
+                self.width,
+                Interval::unsigned(self.width),
+            )],
+            message_words: vec![WordSpec::private(
+                "label",
+                self.width,
+                Interval::unsigned(self.width),
+            )],
+            sensitivity_model: SensitivityModel::DecomposedCounting {
+                max_changed_terms: 1,
+                lemma: "min-label propagation: one changed edge can merge or split at most \
+                        one component pair, flipping the root indicator of at most one \
+                        vertex (the larger-labelled root)"
+                    .to_string(),
+            },
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: None,
+        }
     }
 }
 
@@ -295,6 +341,25 @@ impl SecureVertexProgram for SsspProgram {
 
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         decode_word(bits) as f64
+    }
+
+    fn analysis_spec(&self, _degree_bound: usize) -> ProgramSpec {
+        let cap = self.cap() as i128;
+        ProgramSpec {
+            name: "sssp".to_string(),
+            // Distances are 0 or truncated at the cap; offers carry
+            // distance + 1 with ⊥ = 0.
+            state_words: vec![WordSpec::private("dist", self.width, Interval::new(0, cap))],
+            message_words: vec![WordSpec::private(
+                "offer",
+                self.width,
+                Interval::new(0, cap + 1),
+            )],
+            sensitivity_model: SensitivityModel::OutputRange,
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: None,
+        }
     }
 }
 
@@ -422,6 +487,35 @@ impl SecureVertexProgram for PageRankProgram {
 
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         decode_word(bits) as f64 / (1u64 << self.frac_bits) as f64
+    }
+
+    fn analysis_spec(&self, _degree_bound: usize) -> ProgramSpec {
+        // L1 mass-conservation cap on the total incoming mass at any
+        // vertex: the system-wide rank total stays below
+        // 2^frac_bits + 2N (the fixed point of T' ≤ (1-d)·2^f + d·T
+        // plus rounding slack), and all messages are non-negative.
+        let mass_cap = (1i128 << self.frac_bits) + 2 * self.vertices as i128;
+        let rank_hi = self.base_units() as i128 + (mass_cap >> 2);
+        let w = self.width();
+        ProgramSpec {
+            name: "pagerank".to_string(),
+            state_words: vec![
+                WordSpec::private("rank", w, Interval::new(0, rank_hi)),
+                WordSpec::private("inv_outdeg", w, Interval::new(0, 1i128 << self.frac_bits)),
+            ],
+            message_words: vec![WordSpec::private("mass", w, Interval::new(0, rank_hi))],
+            sensitivity_model: SensitivityModel::GeometricContraction {
+                damping_shift: 2,
+                lemma: "L1 mass conservation: 1/outdeg splits each rank among its \
+                        out-neighbours (outdeg · inv_outdeg ≤ 2^frac_bits + outdeg/2), so \
+                        total incoming mass stays below 2^frac_bits + 2N and one changed \
+                        edge perturbs only one vertex's incoming mass"
+                    .to_string(),
+            },
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: Some(mass_cap),
+        }
     }
 }
 

@@ -82,7 +82,7 @@ use dstress_transfer::setup::{
     generate_block_assignment, generate_system, NodeSecrets, SystemSetup,
 };
 use dstress_transfer::TransferError;
-use std::time::Instant;
+use std::time::Instant; // lint:allow-nondeterminism -- metrics timing import
 
 /// Errors produced by the runtime.
 #[derive(Debug)]
@@ -600,7 +600,7 @@ impl DStressRuntime {
             }
             start_round = manifest.round as u32;
         } else {
-            let init_start = Instant::now();
+            let init_start = Instant::now(); // lint:allow-nondeterminism -- wall-clock metrics only, never touches shares
             let mut init_counts = OperationCounts::default();
             for v in graph.vertices() {
                 let initial = program.encode_initial_state(graph, v);
@@ -703,11 +703,11 @@ impl DStressRuntime {
                 // Computation step for the window's blocks (the final
                 // pass, at `round == iterations`, consumes the last round
                 // of messages and produces no outgoing traffic).
-                let comp_start = Instant::now();
-                // Task building is sequential and rng-free, so the tasks —
-                // and therefore the outcomes any conforming executor
-                // computes from them — are bit-identical across window
-                // sizes, concurrency modes and placements.
+                let comp_start = Instant::now(); // lint:allow-nondeterminism -- wall-clock metrics only, never touches shares
+                                                 // Task building is sequential and rng-free, so the tasks —
+                                                 // and therefore the outcomes any conforming executor
+                                                 // computes from them — are bit-identical across window
+                                                 // sizes, concurrency modes and placements.
                 let tasks: Vec<BlockStepTask> = span
                     .clone()
                     .map(VertexId)
@@ -761,7 +761,7 @@ impl DStressRuntime {
 
                 // Communication step for the window's out-edges, delivered
                 // into the next round's inbox buffer.
-                let comm_start = Instant::now();
+                let comm_start = Instant::now(); // lint:allow-nondeterminism -- wall-clock metrics only, never touches shares
                 let mut tasks: Vec<TransferTask> = Vec::new();
                 for (off, out_msgs) in window_out.iter().enumerate() {
                     let v = VertexId(span.start + off);
@@ -847,7 +847,7 @@ impl DStressRuntime {
         }
 
         // ---- Aggregation + noising ----------------------------------------
-        let agg_start = Instant::now();
+        let agg_start = Instant::now(); // lint:allow-nondeterminism -- wall-clock metrics only, never touches shares
         let mut agg_counts = OperationCounts::default();
         let agg_block = &setup.aggregation_block;
 

@@ -18,6 +18,7 @@
 //!   state of every vertex) and produces `aggregate_bits` wires that
 //!   decode to the pre-noise output.
 
+use dstress_circuit::spec::ProgramSpec;
 use dstress_circuit::Circuit;
 use dstress_graph::{Graph, VertexId};
 
@@ -55,6 +56,19 @@ pub trait SecureVertexProgram {
     /// Decodes the aggregation circuit's output bits into the scalar the
     /// program reports (e.g. the total dollar shortfall).
     fn decode_aggregate(&self, bits: &[bool]) -> f64;
+
+    /// Declares the analysis specification for `dstress-analyze`: named
+    /// state/message words with value ranges (inductive invariants over
+    /// the rounds) and the model under which the declared sensitivity is
+    /// certified.
+    ///
+    /// The default is [`ProgramSpec::unspecified`], which the analyzer
+    /// reports as a finding: every program meant for calibrated releases
+    /// must override this.
+    fn analysis_spec(&self, degree_bound: usize) -> ProgramSpec {
+        let _ = degree_bound;
+        ProgramSpec::unspecified("unannotated program")
+    }
 }
 
 /// Executes a [`SecureVertexProgram`] entirely in plaintext by evaluating
@@ -140,6 +154,7 @@ pub struct CounterProgram {
 mod counter_impl {
     use super::{CounterProgram, SecureVertexProgram};
     use dstress_circuit::builder::{decode_word, encode_word, CircuitBuilder};
+    use dstress_circuit::spec::{ProgramSpec, SensitivityModel, Taint, WordSpec};
     use dstress_circuit::Circuit;
     use dstress_graph::{Graph, VertexId};
 
@@ -199,6 +214,32 @@ mod counter_impl {
 
         fn decode_aggregate(&self, bits: &[bool]) -> f64 {
             decode_word(bits) as f64
+        }
+
+        fn analysis_spec(&self, _degree_bound: usize) -> ProgramSpec {
+            ProgramSpec {
+                name: "counter".to_string(),
+                state_words: vec![WordSpec {
+                    name: "count".to_string(),
+                    width: self.width,
+                    range: None,
+                    taint: Taint::Private,
+                }],
+                message_words: vec![WordSpec {
+                    name: "count".to_string(),
+                    width: self.width,
+                    range: None,
+                    taint: Taint::Private,
+                }],
+                sensitivity_model: SensitivityModel::Modular {
+                    reason: "benchmark counter: wrapping sums exercise the runtime; its \
+                             releases are never calibrated"
+                        .to_string(),
+                },
+                modular: true,
+                dominance: Vec::new(),
+                message_sum_cap: None,
+            }
         }
     }
 }

@@ -25,7 +25,7 @@
 
 use core::fmt;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -302,7 +302,7 @@ struct SpillInner {
     words_per_row: usize,
     /// Resident segments cap (≥ 1), derived from the byte budget.
     max_resident: usize,
-    resident: HashMap<usize, Segment>,
+    resident: BTreeMap<usize, Segment>,
     /// Monotonic access counter feeding `Segment::last_used`.
     tick: u64,
     /// Per-segment location in the log: `(offset, byte length)`.
@@ -358,7 +358,7 @@ impl SpillStore {
                 width,
                 words_per_row,
                 max_resident,
-                resident: HashMap::new(),
+                resident: BTreeMap::new(),
                 tick: 0,
                 index: vec![None; segment_count(rows)],
                 file,

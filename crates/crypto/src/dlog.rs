@@ -175,6 +175,24 @@ impl DlogTable {
         Err(CryptoError::DlogOutOfRange { searched: self.max })
     }
 
+    /// The inclusive window of exponents [`Self::lookup_signed`] can
+    /// recover: the table window, widened by the BSGS fallback range when
+    /// one was configured.
+    ///
+    /// This is the contract the static analyzer checks released values
+    /// against: a release whose certified interval leaves this window can
+    /// produce the paper's "decryption failure" even with zero noise.
+    pub fn recovery_window(&self) -> (i64, i64) {
+        let lo = if self.signed { -(self.max as i64) } else { 0 };
+        let hi = self.max as i64;
+        match self.search_range {
+            // The BSGS fallback searches [-range, range] regardless of
+            // the table's own signedness.
+            Some(range) => ((-(range as i64)).min(lo), (range as i64).max(hi)),
+            None => (lo, hi),
+        }
+    }
+
     /// Approximate memory footprint of the table in bytes, as used by the
     /// Appendix B sizing argument: 16 bytes per fingerprinted entry (a
     /// 64-bit fingerprint plus a 64-bit exponent) plus a full element key
@@ -279,6 +297,28 @@ pub fn baby_step_giant_step_signed(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_window_matches_construction() {
+        let group = Group::sim64();
+        assert_eq!(DlogTable::new(&group, 50).recovery_window(), (0, 50));
+        assert_eq!(
+            DlogTable::new_signed(&group, 50).recovery_window(),
+            (-50, 50)
+        );
+        assert_eq!(
+            DlogTable::new(&group, 50)
+                .with_search_range(80)
+                .recovery_window(),
+            (-80, 80)
+        );
+        assert_eq!(
+            DlogTable::new_signed(&group, 100)
+                .with_search_range(80)
+                .recovery_window(),
+            (-100, 100)
+        );
+    }
 
     #[test]
     fn table_recovers_all_entries() {

@@ -22,6 +22,9 @@
 use crate::metrics::{sensitivity_bound_en, CircuitParams, ShortfallReport};
 use crate::network::FinancialNetwork;
 use dstress_circuit::builder::{encode_word, CircuitBuilder};
+use dstress_circuit::spec::{
+    Interval, ProgramInputRef, ProgramSpec, RangePremise, SensitivityModel, WordSpec,
+};
 use dstress_circuit::Circuit;
 use dstress_core::SecureVertexProgram;
 use dstress_graph::{Graph, VertexId, VertexProgram};
@@ -299,6 +302,76 @@ impl SecureVertexProgram for EisenbergNoeSecure<'_> {
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         self.params
             .decode(dstress_circuit::builder::decode_word(bits))
+    }
+
+    fn analysis_spec(&self, degree_bound: usize) -> ProgramSpec {
+        let w = self.params.word_bits;
+        let one = 1i128 << self.params.frac_bits;
+        let net = self.network;
+        let graph = net.graph();
+        // Per-instance bounds: the analysis certifies *this* network's
+        // encoding, so the word ranges come from the live balance sheets.
+        let mut cash_hi = 0i128;
+        let mut total_debt_hi = 0i128;
+        let mut debt_hi = 0i128;
+        for v in graph.vertices() {
+            cash_hi = cash_hi.max(self.params.encode(net.bank(v).cash) as i128);
+            total_debt_hi = total_debt_hi.max(self.params.encode(net.total_debt(v)) as i128);
+            for &to in graph.out_neighbors(v) {
+                debt_hi = debt_hi.max(self.params.encode(net.exposure(v, to).debt) as i128);
+            }
+        }
+        let mut state_words = vec![
+            WordSpec::private("cash", w, Interval::new(0, cash_hi)),
+            WordSpec::private("total_debt", w, Interval::new(0, total_debt_hi)),
+            WordSpec::private("prorate", w, Interval::new(0, one)),
+        ];
+        for d in 0..degree_bound {
+            state_words.push(WordSpec::private(
+                &format!("debt_out[{d}]"),
+                w,
+                Interval::new(0, debt_hi),
+            ));
+        }
+        for d in 0..degree_bound {
+            state_words.push(WordSpec::private(
+                &format!("credit_in[{d}]"),
+                w,
+                Interval::new(0, debt_hi),
+            ));
+        }
+        // A reported shortfall never exceeds the debt it is about:
+        // msg[d] = debt · (1 − prorate) ≤ debt = credit_in[d], which the
+        // range pass needs to keep `credit − shortfall` non-negative.
+        let dominance = (0..degree_bound)
+            .map(|d| {
+                (
+                    ProgramInputRef::State(3 + degree_bound + d),
+                    ProgramInputRef::Message(d, 0),
+                )
+            })
+            .collect();
+        ProgramSpec {
+            name: "eisenberg-noe".to_string(),
+            state_words,
+            message_words: vec![WordSpec::private("shortfall", w, Interval::new(0, debt_hi))],
+            sensitivity_model: SensitivityModel::ExternalLemma {
+                lemma: format!(
+                    "Hemenway–Khanna (§4.4): under the regulatory leverage bound \
+                     r = {}, re-allocating T dollars in one portfolio moves the \
+                     Eisenberg–Noe total dollar shortfall by at most T/r, provided \
+                     every pro-rata payment fraction stays in [0, 1]",
+                    self.leverage_bound
+                ),
+                premises: vec![RangePremise::StateWordWithin {
+                    index: 2,
+                    range: Interval::new(0, one),
+                }],
+            },
+            modular: false,
+            dominance,
+            message_sum_cap: None,
+        }
     }
 }
 

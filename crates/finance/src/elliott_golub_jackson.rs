@@ -17,6 +17,7 @@
 use crate::metrics::{sensitivity_bound_egj, CircuitParams, ShortfallReport};
 use crate::network::FinancialNetwork;
 use dstress_circuit::builder::{encode_word, CircuitBuilder};
+use dstress_circuit::spec::{Interval, ProgramSpec, RangePremise, SensitivityModel, WordSpec};
 use dstress_circuit::Circuit;
 use dstress_core::SecureVertexProgram;
 use dstress_graph::{Graph, VertexId, VertexProgram};
@@ -318,6 +319,77 @@ impl SecureVertexProgram for ElliottGolubJacksonSecure<'_> {
     fn decode_aggregate(&self, bits: &[bool]) -> f64 {
         self.params
             .decode(dstress_circuit::builder::decode_word(bits))
+    }
+
+    fn analysis_spec(&self, degree_bound: usize) -> ProgramSpec {
+        let w = self.params.word_bits;
+        let f = self.params.frac_bits;
+        let one = 1i128 << f;
+        let net = self.network;
+        let graph = net.graph();
+        let mut base_hi = 0i128;
+        let mut orig_hi = 0i128;
+        let mut threshold_hi = 0i128;
+        let mut penalty_hi = 0i128;
+        let mut holding_hi = 0i128;
+        for v in graph.vertices() {
+            let bank = net.bank(v);
+            base_hi = base_hi.max(self.params.encode(bank.external_assets) as i128);
+            orig_hi = orig_hi.max(self.params.encode(bank.initial_valuation) as i128);
+            threshold_hi = threshold_hi.max(self.params.encode(bank.threshold) as i128);
+            penalty_hi = penalty_hi.max(self.params.encode(bank.penalty) as i128);
+            for &to in graph.out_neighbors(v) {
+                holding_hi =
+                    holding_hi.max(self.params.encode(net.exposure(v, to).holding) as i128);
+            }
+        }
+        // A valuation starts at origVal and is re-derived every round as
+        // base + Σ_d holding·(1 − discount)·neighborOrig, each product
+        // truncated at `f` fractional bits.
+        let contribution_hi = (holding_hi * orig_hi) >> f;
+        let value_hi = orig_hi.max(base_hi + degree_bound as i128 * contribution_hi);
+        let mut state_words = vec![
+            WordSpec::private("base", w, Interval::new(0, base_hi)),
+            WordSpec::private("orig_val", w, Interval::new(0, orig_hi)),
+            WordSpec::private("value", w, Interval::new(0, value_hi)),
+            WordSpec::private("threshold", w, Interval::new(0, threshold_hi)),
+            WordSpec::private("penalty", w, Interval::new(0, penalty_hi)),
+        ];
+        for d in 0..degree_bound {
+            state_words.push(WordSpec::private(
+                &format!("holding_in[{d}]"),
+                w,
+                Interval::new(0, holding_hi),
+            ));
+        }
+        for d in 0..degree_bound {
+            state_words.push(WordSpec::private(
+                &format!("neighbor_orig[{d}]"),
+                w,
+                Interval::new(0, orig_hi),
+            ));
+        }
+        ProgramSpec {
+            name: "elliott-golub-jackson".to_string(),
+            state_words,
+            message_words: vec![WordSpec::private("discount", w, Interval::new(0, one))],
+            sensitivity_model: SensitivityModel::ExternalLemma {
+                lemma: format!(
+                    "Hemenway–Khanna (§4.4): under the regulatory leverage bound \
+                     r = {}, re-allocating T dollars moves the \
+                     Elliott–Golub–Jackson total dollar shortfall by at most \
+                     2T/r, provided every reported valuation discount stays in \
+                     [0, 1]",
+                    self.leverage_bound
+                ),
+                premises: vec![RangePremise::MessagesWithin {
+                    range: Interval::new(0, one),
+                }],
+            },
+            modular: false,
+            dominance: Vec::new(),
+            message_sum_cap: None,
+        }
     }
 }
 

@@ -1045,7 +1045,7 @@ impl NodeActor<GmwMessage> for GmwParty<'_> {
 mod tests {
     use super::*;
     use dstress_circuit::builder::CircuitBuilder;
-    use std::collections::HashSet;
+    use std::collections::HashSet; // lint:allow-nondeterminism -- test-only membership set
 
     fn tiny_and_circuit() -> Circuit {
         let mut b = CircuitBuilder::new();
@@ -1084,7 +1084,7 @@ mod tests {
     fn derive_seed_has_no_collisions_across_streams() {
         // Adjacent indices under every domain tag, several masters: no
         // collisions anywhere in the cross product.
-        let mut seen = HashSet::new();
+        let mut seen = HashSet::new(); // lint:allow-nondeterminism -- test-only, order never observed
         for master in [0u64, 1, 2, 0x9E37_79B9_7F4A_7C15] {
             for tag in [TAG_PARTY_RNG, TAG_PAIR_OT, TAG_AND_MASK] {
                 for index in 0..2048u64 {

@@ -82,3 +82,7 @@ pub use dstress_core as core;
 
 /// The systemic-risk case study (re-export of `dstress-finance`).
 pub use dstress_finance as finance;
+
+/// Static circuit analysis and certification (re-export of
+/// `dstress-analyze`).
+pub use dstress_analyze as analyze;
